@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Ablation: capacitor-bank sizing (S 3.3.4-3.3.5).
+ *
+ * Larger N reclaims more stranded energy (factor N^2), but the
+ * parallel->series boost spikes the last-level rail; Equation 2 bounds
+ * C_unit so the spike stays below the buffer-full threshold.  This bench
+ * sweeps N and C_unit to chart both effects.
+ */
+
+#include "bench_common.hh"
+
+#include <cmath>
+
+#include "core/bank.hh"
+#include "core/react_config.hh"
+#include "util/units.hh"
+
+int
+main()
+{
+    using namespace react;
+    bench::printPreamble("Ablation: bank size N and unit capacitance",
+                         "S 3.3.4 (N^2 reclamation) + S 3.3.5 / Eqs. 1-2 "
+                         "(spike constraint)");
+
+    const core::ReactConfig cfg = core::ReactConfig::paperConfig();
+
+    TextTable reclaim("stranded energy after reclamation, "
+                      "470 uF units drained to V_low = 1.9 V");
+    reclaim.setHeader({"N", "stranded w/o reclaim (uJ)",
+                       "with reclaim (uJ)", "reduction"});
+    for (int n = 1; n <= 8; ++n) {
+        core::BankSpec spec;
+        spec.count = n;
+        spec.unit.capacitance = 470e-6;
+        spec.unit.ratedVoltage = 50.0;
+        core::CapacitorBank bank(spec);
+        bank.setState(core::BankState::Parallel);
+        bank.setUnitVoltage(cfg.vLow);
+        const double before = bank.storedEnergy();
+        bank.setState(core::BankState::Series);
+        bank.addChargeAtTerminal(bank.terminalCapacitance() *
+                                 (cfg.vLow - bank.terminalVoltage()));
+        const double after = bank.storedEnergy();
+        reclaim.addRow({TextTable::integer(n),
+                        TextTable::num(before * 1e6, 1),
+                        TextTable::num(after * 1e6, 1),
+                        TextTable::num(before / after, 1) + "x"});
+    }
+    reclaim.print();
+
+    TextTable limits("\nEquation 2: C_unit ceiling and Table-1 "
+                     "compliance (V_low 1.9, V_high 3.5, C_last 770 uF)");
+    limits.setHeader({"N", "C_unit limit (uF)"});
+    for (int n = 2; n <= 6; ++n) {
+        const double limit = cfg.unitCapacitanceLimit(n);
+        limits.addRow({TextTable::integer(n),
+                       std::isfinite(limit)
+                           ? TextTable::num(limit * 1e6, 0)
+                           : "unconstrained"});
+    }
+    limits.print();
+
+    TextTable spikes("\nEquation 1: last-level voltage right after the "
+                     "reclamation boost, per Table-1 bank");
+    spikes.setHeader({"bank", "N", "C_unit(uF)", "V_spike(V)",
+                      "< V_high?"});
+    int idx = 1;
+    for (const auto &bank : cfg.banks) {
+        const double v = cfg.reclamationSpikeVoltage(bank);
+        spikes.addRow({TextTable::integer(idx), TextTable::integer(
+                           bank.count),
+                       TextTable::num(bank.unit.capacitance * 1e6, 0),
+                       TextTable::num(v, 2),
+                       v < cfg.vHigh ? "yes" : "NO"});
+        ++idx;
+    }
+    spikes.print();
+    return 0;
+}

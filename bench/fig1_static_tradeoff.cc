@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fig. 1 / S 2.1.1 reproduction: the reactivity-longevity tradeoff of
+ * static buffers on a simulated pedestrian solar harvester (5 cm^2,
+ * 22 % efficient panel; 3.6 V enable, 1.8 V brown-out, 1.5 mA active).
+ *
+ * Paper observations: the 1 mF buffer reaches the enable voltage over
+ * 8x sooner than the 300 mF one; mean uninterrupted on-period 10 s vs
+ * 880 s; overall on-time 27 % vs 49 %.
+ */
+
+#include <memory>
+
+#include "bench_common.hh"
+
+#include "buffers/static_buffer.hh"
+
+int
+main()
+{
+    using namespace react;
+    bench::printPreamble(
+        "Fig. 1: static buffer operation on a pedestrian solar harvester",
+        "Fig. 1 + S 2.1.1 (1 mF vs 300 mF: charge time, on-period, "
+        "duty cycle)");
+
+    // Three hours of walking: long enough to amortize the 300 mF
+    // buffer's charge time, as in the paper's figure.
+    const auto power = trace::makePedestrianSolarTrace(1, 10800.0);
+
+    // Fig. 1's system enables at 3.6 V and browns out at 1.8 V.
+    harness::ExperimentConfig cfg;
+    cfg.enableVoltage = 3.6;
+    cfg.brownoutVoltage = 1.8;
+    cfg.drainAllowance = 120.0;
+
+    TextTable table;
+    table.setHeader({"buffer", "first-enable(s)", "mean on-period(s)",
+                     "on-time", "cycles", "clipped/harvested"});
+
+    struct Row { double cap; const char *name; };
+    const Row rows[] = {{1e-3, "1mF"}, {10e-3, "10mF"},
+                        {100e-3, "100mF"}, {300e-3, "300mF"}};
+    double latency_1mf = 0.0, latency_300mf = -1.0;
+    for (const auto &row : rows) {
+        buffer::StaticBuffer buf(harness::staticBufferSpec(row.cap), 3.6,
+                                 row.name);
+        // The Fig. 1 system draws a constant 1.5 mA while on: run with
+        // the DE workload (continuous active mode).
+        auto de = harness::makeBenchmark(
+            harness::BenchmarkKind::DataEncryption,
+            power.duration() + cfg.drainAllowance);
+        harvest::HarvesterFrontend frontend(power);
+        const auto r = harness::runExperiment(buf, de.get(), frontend,
+                                              cfg);
+        table.addRow({row.name, bench::latencyCell(r.latency, 1),
+                      TextTable::num(r.meanOnPeriod(), 1),
+                      TextTable::percent(r.dutyCycle(), 0),
+                      TextTable::integer(
+                          static_cast<long long>(r.powerCycles)),
+                      TextTable::percent(
+                          r.ledger.harvested > 0
+                              ? r.ledger.clipped / r.ledger.harvested
+                              : 0.0,
+                          0)});
+        if (row.cap == 1e-3)
+            latency_1mf = r.latency;
+        if (row.cap == 300e-3)
+            latency_300mf = r.latency;
+    }
+    table.print();
+
+    if (latency_1mf > 0.0 && latency_300mf > 0.0) {
+        std::printf("\ncharge-time ratio 300mF/1mF = %.0fx  "
+                    "(paper: >8x)\n", latency_300mf / latency_1mf);
+    } else {
+        std::printf("\n300 mF never reached the enable voltage on this "
+                    "trace realization (the paper's night-time risk, "
+                    "S 2.1.2)\n");
+    }
+    std::printf("paper shape: small buffer = reactive but short-lived "
+                "and clipping-heavy; large buffer = slow but long-lived "
+                "and capture-efficient\n");
+    return 0;
+}

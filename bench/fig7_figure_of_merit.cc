@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fig. 7 reproduction: per-benchmark figures of merit normalized to
+ * REACT, averaged across the five power traces, plus the headline
+ * aggregate improvements of S 5.5.
+ *
+ * Paper headlines: REACT beats the equally-reactive 770 uF buffer by
+ * 39.1 %, the equal-capacity 17 mF buffer by 19.3 %, the next-best
+ * 10 mF buffer by 18.8 %, and Morphy by 26.2 %.
+ */
+
+#include "bench_common.hh"
+
+#include "harness/figure_of_merit.hh"
+
+int
+main()
+{
+    using namespace react;
+    bench::printPreamble(
+        "Fig. 7: aggregate figure of merit (normalized to REACT)",
+        "Fig. 7 + S 5.5 headline improvements");
+
+    const harness::BenchmarkKind benchmarks[4] = {
+        harness::BenchmarkKind::DataEncryption,
+        harness::BenchmarkKind::SenseCompute,
+        harness::BenchmarkKind::RadioTransmit,
+        harness::BenchmarkKind::PacketForward,
+    };
+
+    std::vector<std::vector<double>> per_benchmark;
+    TextTable table;
+    table.setHeader({"Benchmark", "770uF", "10mF", "17mF", "Morphy",
+                     "REACT"});
+
+    for (const auto bench_kind : benchmarks) {
+        harness::MeritMatrix matrix;
+        matrix.benchmarkName = harness::benchmarkKindName(bench_kind);
+        for (const auto buffer_kind : harness::kAllBuffers)
+            matrix.bufferNames.push_back(
+                harness::bufferKindName(buffer_kind));
+        matrix.counts.assign(5, std::vector<double>());
+        for (const auto trace_kind : trace::kAllPaperTraces) {
+            matrix.traceNames.push_back(
+                trace::paperTraceName(trace_kind));
+            size_t col = 0;
+            for (const auto buffer_kind : harness::kAllBuffers) {
+                const auto r = bench::runCell(buffer_kind, bench_kind,
+                                              trace_kind);
+                // PF's figure of merit is forwarded packets.
+                const double merit =
+                    bench_kind == harness::BenchmarkKind::PacketForward
+                        ? static_cast<double>(r.packetsTx + r.packetsRx)
+                        : static_cast<double>(r.workUnits);
+                matrix.counts[col].push_back(merit);
+                ++col;
+            }
+        }
+        const auto scores = harness::normalizedMerit(matrix, 4);
+        per_benchmark.push_back(scores);
+        std::vector<std::string> row = {matrix.benchmarkName};
+        for (double s : scores)
+            row.push_back(TextTable::num(s, 3));
+        table.addRow(row);
+    }
+
+    const auto aggregate = harness::averageMerit(per_benchmark);
+    table.addSeparator();
+    std::vector<std::string> agg_row = {"Aggregate"};
+    for (double s : aggregate)
+        agg_row.push_back(TextTable::num(s, 3));
+    table.addRow(agg_row);
+    table.print();
+
+    std::printf("\nheadline improvements of REACT (paper values in "
+                "parentheses):\n");
+    const char *labels[4] = {"770uF", "10mF", "17mF", "Morphy"};
+    const double paper_vals[4] = {0.391, 0.188, 0.193, 0.262};
+    for (int i = 0; i < 4; ++i) {
+        std::printf("  vs %-7s %+6.1f%%   (paper %+.1f%%)\n", labels[i],
+                    harness::improvementOver(
+                        aggregate[static_cast<size_t>(i)]) * 100.0,
+                    paper_vals[i] * 100.0);
+    }
+    return 0;
+}

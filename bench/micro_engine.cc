@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the simulator's hot loops: one
+ * integration step per buffer architecture, the exact charge-transfer
+ * kernel, AES-128, and trace generation.  These bound the wall-clock
+ * cost of the table benches (hundreds of millions of steps).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "buffers/morphy_buffer.hh"
+#include "buffers/static_buffer.hh"
+#include "core/react_buffer.hh"
+#include "harness/paper_setup.hh"
+#include "sim/charge_transfer.hh"
+#include "trace/generator.hh"
+#include "workload/aes128.hh"
+
+namespace {
+
+using namespace react;
+
+void
+BM_StaticBufferStep(benchmark::State &state)
+{
+    buffer::StaticBuffer buf(harness::staticBufferSpec(10e-3));
+    for (auto _ : state) {
+        buf.step(1e-3, 2e-3, 1e-3);
+        benchmark::DoNotOptimize(buf.railVoltage());
+    }
+}
+BENCHMARK(BM_StaticBufferStep);
+
+void
+BM_ReactBufferStep(benchmark::State &state)
+{
+    core::ReactBuffer buf;
+    for (int i = 0; i < 5000; ++i)
+        buf.step(1e-3, 3e-3, 0.0);
+    buf.notifyBackendPower(true);
+    for (auto _ : state) {
+        buf.step(1e-3, 3e-3, 1e-3);
+        benchmark::DoNotOptimize(buf.railVoltage());
+    }
+}
+BENCHMARK(BM_ReactBufferStep);
+
+void
+BM_MorphyBufferStep(benchmark::State &state)
+{
+    buffer::MorphyBuffer buf;
+    for (int i = 0; i < 5000; ++i)
+        buf.step(1e-3, 3e-3, 0.0);
+    for (auto _ : state) {
+        buf.step(1e-3, 3e-3, 1e-3);
+        benchmark::DoNotOptimize(buf.railVoltage());
+    }
+}
+BENCHMARK(BM_MorphyBufferStep);
+
+void
+BM_ChargeTransfer(benchmark::State &state)
+{
+    sim::CapacitorSpec spec;
+    spec.capacitance = 1e-3;
+    spec.ratedVoltage = 6.3;
+    sim::Capacitor a(spec, 3.5), b(spec, 1.9);
+    for (auto _ : state) {
+        auto r = sim::transferCharge(a, b, 1.0, 0.01, 1e-3);
+        benchmark::DoNotOptimize(r.charge);
+        // Keep the pair from settling so the kernel stays on the hot
+        // path.
+        a.setVoltage(3.5);
+        b.setVoltage(1.9);
+    }
+}
+BENCHMARK(BM_ChargeTransfer);
+
+void
+BM_Aes128Block(benchmark::State &state)
+{
+    workload::Aes128 aes({0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                          0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
+                          0x3c});
+    workload::Aes128::Block block{};
+    for (auto _ : state) {
+        block = aes.encrypt(block);
+        benchmark::DoNotOptimize(block);
+    }
+}
+BENCHMARK(BM_Aes128Block);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    trace::VolatileSourceParams p;
+    p.duration = static_cast<double>(state.range(0));
+    p.targetMeanPower = 1e-3;
+    p.targetCv = 1.5;
+    uint64_t seed = 1;
+    for (auto _ : state) {
+        Rng rng(seed++);
+        auto t = trace::generateVolatileSource(p, rng);
+        benchmark::DoNotOptimize(t.totalEnergy());
+    }
+}
+BENCHMARK(BM_TraceGeneration)->Arg(60)->Arg(300);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * S 2.1.2 reproduction: power volatility and buffer efficiency.
+ *
+ * Two observations motivate energy-adaptive buffering:
+ *  1. Pedestrian solar power is spike-dominated (82 % of energy above
+ *     10 mW while 77 % of time sits below 3 mW) -- so a small buffer
+ *     burns the spikes off as heat while a large one captures them.
+ *  2. Under night-time scarcity the relationship flips: the 1 mF buffer
+ *     achieves a 5.7 % duty cycle versus 3.3 % for 10 mF, and 300 mF
+ *     never starts -- cold-start energy below the operating voltage is
+ *     dead weight.
+ */
+
+#include "bench_common.hh"
+
+#include "buffers/static_buffer.hh"
+
+int
+main()
+{
+    using namespace react;
+    bench::printPreamble("S 2.1.2: volatility and buffer efficiency",
+                         "S 2.1.2 (spike decomposition; night-time duty "
+                         "cycles)");
+
+    const auto ped = trace::makePedestrianSolarTrace();
+    std::printf("pedestrian trace spike structure:\n");
+    std::printf("  energy above 10 mW: %.0f%%   (paper: 82%%)\n",
+                ped.energyFractionAbove(1e-2) * 100.0);
+    std::printf("  time below 3 mW:    %.0f%%   (paper: 77%%)\n\n",
+                ped.timeFractionBelow(3e-3) * 100.0);
+
+    const auto night = trace::makeNightSolarTrace();
+    std::printf("night-time trace: mean %.2f mW over %.0f s\n\n",
+                night.stats().meanPower * 1e3, night.duration());
+
+    harness::ExperimentConfig cfg;
+    cfg.enableVoltage = 3.6;
+    cfg.brownoutVoltage = 1.8;
+    cfg.drainAllowance = 120.0;
+
+    TextTable table("night-time duty cycle by buffer size");
+    table.setHeader({"buffer", "first-enable(s)", "duty", "paper duty"});
+    struct Row { double cap; const char *name; const char *paper; };
+    const Row rows[] = {{1e-3, "1mF", "5.7%"},
+                        {10e-3, "10mF", "3.3%"},
+                        {300e-3, "300mF", "never starts"}};
+    for (const auto &row : rows) {
+        buffer::StaticBuffer buf(harness::staticBufferSpec(row.cap), 3.6,
+                                 row.name);
+        auto de = harness::makeBenchmark(
+            harness::BenchmarkKind::DataEncryption,
+            night.duration() + cfg.drainAllowance);
+        harvest::HarvesterFrontend frontend(night);
+        const auto r = harness::runExperiment(buf, de.get(), frontend,
+                                              cfg);
+        table.addRow({row.name, bench::latencyCell(r.latency, 1),
+                      r.latency < 0 ? "never starts"
+                                    : TextTable::percent(r.dutyCycle(), 1),
+                      row.paper});
+    }
+    table.print();
+    std::printf("\npaper shape: under scarcity, smaller is better; the "
+                "oversized buffer strands all harvested energy below its "
+                "enable voltage.\n");
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Table 2 reproduction: DE / SC / RT benchmark performance across the
+ * five power traces and five energy buffers.
+ *
+ * Work units are encryptions (DE), captured samples (SC), and completed
+ * transmissions (RT).  As in the paper, each trace is replayed once and
+ * the system then runs until the buffer drains.  Expected shape:
+ *  - small static buffers win reactivity-bound cells under weak traces,
+ *  - large ones win capacity-bound cells under strong traces,
+ *  - Morphy's switching losses drag it below suitable static buffers,
+ *  - REACT matches or beats the best static choice in most cells.
+ */
+
+#include "bench_common.hh"
+
+namespace {
+
+/** Paper Table 2 values, [benchmark][trace][buffer]. */
+const double kPaper[3][5][5] = {
+    // DE
+    {{1275, 1574, 1831, 1745, 1711},
+     {666, 472, 0, 357, 576},
+     {810, 1004, 645, 801, 1038},
+     {6666, 7290, 7936, 8194, 9756},
+     {2168, 2186, 2554, 2399, 2232}},
+    // SC
+    {{50, 81, 104, 77, 83},
+     {44, 28, 0, 39, 49},
+     {52, 50, 40, 53, 84},
+     {330, 353, 367, 398, 439},
+     {88, 110, 130, 133, 154}},
+    // RT
+    {{22, 53, 56, 38, 48},
+     {4, 6, 0, 0, 3},
+     {4, 13, 12, 4, 15},
+     {1376, 1457, 1542, 1059, 1426},
+     {8, 40, 48, 31, 34}},
+};
+
+const react::harness::BenchmarkKind kBenchmarks[3] = {
+    react::harness::BenchmarkKind::DataEncryption,
+    react::harness::BenchmarkKind::SenseCompute,
+    react::harness::BenchmarkKind::RadioTransmit,
+};
+
+const char *kBenchNames[3] = {"Data Encrypt", "Sense and Compute",
+                              "Radio Transmit"};
+
+} // namespace
+
+int
+main()
+{
+    using namespace react;
+    bench::printPreamble(
+        "Table 2: benchmark performance (work units completed)",
+        "Table 2 (DE encryptions / SC samples / RT transmissions, "
+        "trace + run-until-drain)");
+
+    for (int b = 0; b < 3; ++b) {
+        TextTable table(kBenchNames[b]);
+        table.setHeader({"Trace", "770uF", "10mF", "17mF", "Morphy",
+                         "REACT"});
+        std::vector<double> mean(5, 0.0), paper_mean(5, 0.0);
+        int row = 0;
+        for (const auto trace_kind : trace::kAllPaperTraces) {
+            std::vector<std::string> measured = {
+                trace::paperTraceName(trace_kind)};
+            std::vector<std::string> paper = {"  (paper)"};
+            int col = 0;
+            for (const auto buffer_kind : harness::kAllBuffers) {
+                const auto r = bench::runCell(buffer_kind, kBenchmarks[b],
+                                              trace_kind);
+                measured.push_back(TextTable::integer(
+                    static_cast<long long>(r.workUnits)));
+                paper.push_back(TextTable::integer(
+                    static_cast<long long>(kPaper[b][row][col])));
+                mean[static_cast<size_t>(col)] +=
+                    static_cast<double>(r.workUnits) / 5.0;
+                paper_mean[static_cast<size_t>(col)] +=
+                    kPaper[b][row][col] / 5.0;
+                ++col;
+            }
+            table.addRow(measured);
+            table.addRow(paper);
+            table.addSeparator();
+            ++row;
+        }
+        std::vector<std::string> mean_row = {"Mean"};
+        std::vector<std::string> paper_row = {"  (paper mean)"};
+        for (size_t c = 0; c < 5; ++c) {
+            mean_row.push_back(TextTable::num(mean[c], 0));
+            paper_row.push_back(TextTable::num(paper_mean[c], 0));
+        }
+        table.addRow(mean_row);
+        table.addRow(paper_row);
+        table.print();
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Table 3 reproduction: statistics of the five evaluation power traces.
+ *
+ * The synthetic generators are calibrated so duration and mean power
+ * match the published values exactly and the coefficient of variation
+ * lands close; this bench prints paper-vs-measured for the record.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace react;
+    bench::printPreamble("Table 3: power-trace characterization",
+                         "Table 3 (trace duration, mean power, CV)");
+
+    TextTable table;
+    table.setHeader({"Trace", "Time(s)", "paper", "Avg.Pow(mW)", "paper",
+                     "CV", "paper", "Peak(mW)"});
+    for (const auto which : trace::kAllPaperTraces) {
+        const auto &spec = trace::paperTraceSpec(which);
+        const auto &t = bench::evaluationTrace(which);
+        const auto s = t.stats();
+        table.addRow({spec.name,
+                      TextTable::num(s.duration, 0),
+                      TextTable::num(spec.duration, 0),
+                      TextTable::num(s.meanPower * 1e3, 3),
+                      TextTable::num(spec.meanPower * 1e3, 3),
+                      TextTable::percent(s.cv, 0),
+                      TextTable::percent(spec.cv, 0),
+                      TextTable::num(s.peakPower * 1e3, 1)});
+    }
+    table.print();
+
+    std::printf("\nSpike structure of the Fig. 1 pedestrian solar trace "
+                "(S 2.1.2):\n");
+    const auto ped = trace::makePedestrianSolarTrace();
+    std::printf("  energy arriving above 10 mW: %.0f%%  (paper: 82%%)\n",
+                ped.energyFractionAbove(1e-2) * 100.0);
+    std::printf("  time spent below 3 mW:       %.0f%%  (paper: 77%%)\n",
+                ped.timeFractionBelow(3e-3) * 100.0);
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Table 4 reproduction: system latency (time from trace start to the
+ * first backend enable) for every trace x buffer cell.
+ *
+ * The paper's headline reactivity results: REACT matches the smallest
+ * static buffer (it charges only the 770 uF last-level buffer from a
+ * cold start), Morphy is slightly faster still (250 uF smallest
+ * configuration), and the equal-capacity 17 mF buffer is on average
+ * ~7.7x slower -- or never starts at all (RF Obstruction).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace react;
+    bench::printPreamble("Table 4: system latency (seconds)",
+                         "Table 4 (charge time to the 3.3 V enable "
+                         "voltage; '-' = never starts)");
+
+    // Paper values for side-by-side comparison.
+    const double paper[5][5] = {
+        {6.65, 17.73, 31.27, 5.51, 6.65},
+        {14.58, 223.07, -1.0, 6.50, 16.0},
+        {6.90, 148.10, 239.88, 5.65, 6.38},
+        {42.11, 737.39, 741.42, 35.59, 41.26},
+        {119.60, 196.30, 213.00, 108.10, 130.6},
+    };
+
+    harness::ExperimentConfig cfg;
+    cfg.stopAfterLatency = true;
+
+    TextTable table;
+    table.setHeader({"Trace", "770uF", "10mF", "17mF", "Morphy", "REACT"});
+
+    std::vector<double> measured_mean(5, 0.0);
+    std::vector<double> paper_mean(5, 0.0);
+    std::vector<int> started(5, 0);
+
+    int row_idx = 0;
+    for (const auto trace_kind : trace::kAllPaperTraces) {
+        std::vector<std::string> measured_row = {
+            trace::paperTraceName(trace_kind)};
+        std::vector<std::string> paper_row = {"  (paper)"};
+        int col_idx = 0;
+        for (const auto buffer_kind : harness::kAllBuffers) {
+            auto buffer = harness::makeBuffer(buffer_kind);
+            harvest::HarvesterFrontend frontend(
+                bench::evaluationTrace(trace_kind));
+            const auto r =
+                harness::runExperiment(*buffer, nullptr, frontend, cfg);
+            measured_row.push_back(bench::latencyCell(r.latency));
+            paper_row.push_back(bench::latencyCell(
+                paper[row_idx][col_idx]));
+            if (r.latency >= 0.0) {
+                measured_mean[static_cast<size_t>(col_idx)] += r.latency;
+                ++started[static_cast<size_t>(col_idx)];
+            }
+            if (paper[row_idx][col_idx] >= 0.0)
+                paper_mean[static_cast<size_t>(col_idx)] +=
+                    paper[row_idx][col_idx];
+            ++col_idx;
+        }
+        table.addRow(measured_row);
+        table.addRow(paper_row);
+        table.addSeparator();
+        ++row_idx;
+    }
+
+    std::vector<std::string> mean_row = {"Mean(started)"};
+    std::vector<std::string> paper_mean_row = {"  (paper mean)"};
+    for (size_t c = 0; c < 5; ++c) {
+        mean_row.push_back(
+            started[c] > 0
+                ? TextTable::num(measured_mean[c] / started[c], 2)
+                : "-");
+        paper_mean_row.push_back(TextTable::num(paper_mean[c] / 5.0, 2));
+    }
+    table.addRow(mean_row);
+    table.addRow(paper_mean_row);
+    table.print();
+
+    // Headline ratio: REACT vs the equal-capacity 17 mF buffer, over
+    // traces where both start.
+    std::printf("\nheadline: 17mF/REACT mean latency ratio = %.1fx "
+                "(paper: ~7.7x; 17 mF never starts on RF Obs.)\n",
+                started[2] > 0 && started[4] > 0
+                    ? (measured_mean[2] / started[2]) /
+                          (measured_mean[4] / started[4])
+                    : 0.0);
+    return 0;
+}

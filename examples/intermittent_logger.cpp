@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Scenario: correct computation across power failures on a REACT buffer.
+ *
+ * A batteryless data logger chains AES-128 encryptions over its readings
+ * using the task-based intermittent runtime: every task commits its
+ * writes and control-flow edge atomically to FRAM, so a brown-out
+ * mid-task re-executes the task instead of corrupting state.  This
+ * example drives the runtime through *real* simulated power cycles (a
+ * weak RF trace into a REACT buffer with a 3.3 V / 1.8 V power gate) and
+ * verifies the final digest against an uninterrupted run.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/react_buffer.hh"
+#include "intermittent/task_runtime.hh"
+#include "sim/power_gate.hh"
+#include "trace/paper_traces.hh"
+#include "workload/aes128.hh"
+
+namespace {
+
+using namespace react;
+
+/** Build the logger program: sample -> encrypt -> (repeat) . */
+intermittent::TaskRuntime
+makeLogger(int records)
+{
+    intermittent::TaskRuntime rt("init");
+    rt.addTask("init", [](intermittent::TaskContext &ctx) {
+        ctx.writeBytes("digest", std::vector<uint8_t>(16, 0));
+        ctx.writeU64("n", 0);
+        return "record";
+    });
+    rt.addTask("record", [records](intermittent::TaskContext &ctx) {
+        static const workload::Aes128 aes(
+            {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7,
+             0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c});
+        const uint64_t n = ctx.readU64("n");
+        // "Sample": a deterministic pseudo-reading folded into the
+        // running encrypted digest.
+        auto bytes = ctx.readBytes("digest");
+        workload::Aes128::Block block{};
+        std::copy(bytes.begin(), bytes.end(), block.begin());
+        block[0] ^= static_cast<uint8_t>(n * 37 + 11);
+        block = aes.encrypt(block);
+        ctx.writeBytes("digest", std::vector<uint8_t>(block.begin(),
+                                                      block.end()));
+        ctx.writeU64("n", n + 1);
+        return n + 1 >= static_cast<uint64_t>(records) ? "" : "record";
+    });
+    return rt;
+}
+
+} // namespace
+
+int
+main()
+{
+    const int records = 200;
+    const double task_cost = 0.05;  // 50 ms of active CPU per task
+
+    // Reference digest on continuous power.
+    auto reference = makeLogger(records);
+    while (reference.step()) {
+    }
+    std::vector<uint8_t> expected;
+    reference.store().read("digest", &expected);
+
+    // Intermittent run: weak RF power into REACT, real gate, real
+    // brown-outs.
+    core::ReactBuffer buffer;
+    sim::PowerGate gate(3.3, 1.8);
+    auto power = trace::makePaperTrace(trace::PaperTrace::RfMobile);
+    auto logger = makeLogger(records);
+
+    const double dt = 1e-3;
+    double t = 0.0;
+    double task_progress = -1.0;  // < 0: no task in flight
+    uint64_t cycles = 0;
+    while (!logger.finished() && t < 3600.0) {
+        t += dt;
+        if (gate.update(buffer.railVoltage())) {
+            if (gate.isOn()) {
+                buffer.notifyBackendPower(true);
+                ++cycles;
+            } else {
+                buffer.notifyBackendPower(false);
+                if (task_progress >= 0.0) {
+                    // Power died mid-task: everything volatile is lost.
+                    logger.stepWithFailure();
+                    task_progress = -1.0;
+                }
+            }
+        }
+        const double load = gate.isOn() ? 1.5e-3 : 0.0;
+        buffer.step(dt, power.power(t), load);
+        if (gate.isOn()) {
+            if (task_progress < 0.0)
+                task_progress = 0.0;
+            task_progress += dt;
+            if (task_progress >= task_cost) {
+                logger.step();
+                task_progress = -1.0;
+            }
+        }
+    }
+
+    std::vector<uint8_t> actual;
+    logger.store().read("digest", &actual);
+
+    std::printf("intermittent logger on '%s' power:\n",
+                power.name().c_str());
+    std::printf("  records encrypted: %d in %.0f s across %llu power "
+                "cycles\n", records, t,
+                static_cast<unsigned long long>(cycles));
+    std::printf("  tasks committed: %llu, aborted by brown-outs: %llu\n",
+                static_cast<unsigned long long>(logger.tasksCommitted()),
+                static_cast<unsigned long long>(logger.tasksAborted()));
+    std::printf("  digest matches continuous-power run: %s\n",
+                actual == expected ? "YES" : "NO");
+    return actual == expected ? 0 : 1;
+}

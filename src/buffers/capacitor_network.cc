@@ -1,0 +1,193 @@
+#include "capacitor_network.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/logging.hh"
+
+namespace react {
+namespace buffer {
+
+double
+NetworkConfig::equivalentCapacitance(double unit_capacitance) const
+{
+    double total = 0.0;
+    for (const auto &branch : branches) {
+        if (!branch.empty())
+            total += unit_capacitance / static_cast<double>(branch.size());
+    }
+    return total;
+}
+
+CapacitorNetwork::CapacitorNetwork(int unit_count,
+                                   const sim::CapacitorSpec &unit_spec)
+{
+    react_assert(unit_count > 0, "network needs at least one unit");
+    units.reserve(static_cast<size_t>(unit_count));
+    for (int i = 0; i < unit_count; ++i)
+        units.emplace_back(unit_spec);
+}
+
+double
+CapacitorNetwork::unitVoltage(int index) const
+{
+    return units.at(static_cast<size_t>(index)).voltage();
+}
+
+void
+CapacitorNetwork::setUnitVoltage(int index, double voltage)
+{
+    units.at(static_cast<size_t>(index)).setVoltage(voltage);
+}
+
+double
+CapacitorNetwork::branchVoltage(const std::vector<int> &branch) const
+{
+    double v = 0.0;
+    for (int idx : branch)
+        v += units.at(static_cast<size_t>(idx)).voltage();
+    return v;
+}
+
+double
+CapacitorNetwork::branchCapacitance(const std::vector<int> &branch) const
+{
+    react_assert(!branch.empty(), "empty branch");
+    return units[0].capacitance() / static_cast<double>(branch.size());
+}
+
+double
+CapacitorNetwork::equivalentCapacitance() const
+{
+    return current.equivalentCapacitance(units[0].capacitance());
+}
+
+double
+CapacitorNetwork::outputVoltage() const
+{
+    // Between reconfigurations the connected branches stay equalized, so
+    // any branch's terminal voltage is the node voltage.
+    if (current.branches.empty())
+        return 0.0;
+    return branchVoltage(current.branches.front());
+}
+
+double
+CapacitorNetwork::storedEnergy() const
+{
+    double e = 0.0;
+    for (const auto &unit : units)
+        e += unit.energy();
+    return e;
+}
+
+double
+CapacitorNetwork::connectedEnergy() const
+{
+    double e = 0.0;
+    for (const auto &branch : current.branches) {
+        for (int idx : branch)
+            e += units[static_cast<size_t>(idx)].energy();
+    }
+    return e;
+}
+
+double
+CapacitorNetwork::equalizeConnected()
+{
+    if (current.branches.empty())
+        return 0.0;
+
+    // Parallel equalization: the common terminal voltage conserves total
+    // branch charge, V_f = sum(Q_br) / sum(C_br).
+    double q_total = 0.0;
+    double c_total = 0.0;
+    for (const auto &branch : current.branches) {
+        const double c_br = branchCapacitance(branch);
+        q_total += c_br * branchVoltage(branch);
+        c_total += c_br;
+    }
+    const double v_final = std::max(q_total / c_total, 0.0);
+
+    double e_before = connectedEnergy();
+    for (const auto &branch : current.branches) {
+        const double c_br = branchCapacitance(branch);
+        const double dq = c_br * (v_final - branchVoltage(branch));
+        // Series chains carry the same charge through every member.
+        for (int idx : branch)
+            units[static_cast<size_t>(idx)].addCharge(dq);
+    }
+    double e_after = connectedEnergy();
+    return std::max(e_before - e_after, 0.0);
+}
+
+double
+CapacitorNetwork::reconfigure(const NetworkConfig &next)
+{
+    // Validate: indices in range, no duplicates.
+    std::set<int> seen;
+    for (const auto &branch : next.branches) {
+        react_assert(!branch.empty(), "network config has an empty branch");
+        for (int idx : branch) {
+            react_assert(idx >= 0 && idx < unitCount(),
+                         "network config index %d out of range", idx);
+            react_assert(seen.insert(idx).second,
+                         "unit %d appears twice in network config", idx);
+        }
+    }
+
+    current = next;
+    return equalizeConnected();
+}
+
+void
+CapacitorNetwork::addChargeAtOutput(double dq)
+{
+    if (current.branches.empty())
+        return;
+    const double c_eq = equivalentCapacitance();
+    const double dv = dq / c_eq;
+    for (const auto &branch : current.branches) {
+        const double dq_br = branchCapacitance(branch) * dv;
+        for (int idx : branch)
+            units[static_cast<size_t>(idx)].addCharge(dq_br);
+    }
+}
+
+double
+CapacitorNetwork::leak(double dt)
+{
+    double lost = 0.0;
+    for (auto &unit : units)
+        lost += unit.leak(dt);
+    // Leakage perturbs series-chain balance only within a chain (all units
+    // decay by the same factor, so equal units stay equal); connected
+    // branches may drift apart slightly, which the next equalization
+    // charges back -- physically this is the standing balancing current.
+    return lost;
+}
+
+double
+CapacitorNetwork::clipOutput(double ceiling)
+{
+    double clipped = 0.0;
+    const double v_out = outputVoltage();
+    if (!current.branches.empty() && v_out > ceiling) {
+        const double e_before = connectedEnergy();
+        addChargeAtOutput(equivalentCapacitance() * (ceiling - v_out));
+        clipped += e_before - connectedEnergy();
+    }
+    // Disconnected units are bounded only by their rating.
+    std::set<int> connected;
+    for (const auto &branch : current.branches)
+        connected.insert(branch.begin(), branch.end());
+    for (int i = 0; i < unitCount(); ++i) {
+        if (!connected.count(i))
+            clipped += units[static_cast<size_t>(i)].clip();
+    }
+    return clipped;
+}
+
+} // namespace buffer
+} // namespace react

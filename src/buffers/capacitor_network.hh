@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Fully-interconnected switched-capacitor network (the Morphy [49]
+ * architecture REACT is compared against).
+ *
+ * The network holds a pool of identical unit capacitors that software
+ * arranges into an arbitrary set of parallel *branches*, each branch a
+ * series chain of units; unassigned units are disconnected but retain
+ * charge.  All connected branches share the output node, so between
+ * reconfigurations the network behaves as a single equivalent capacitor.
+ *
+ * The crucial physics lives in reconfigure(): when the new arrangement
+ * places branches with different terminal voltages in parallel, charge
+ * rushes through the switches to equalize them and the difference in
+ * stored energy is dissipated as heat (the paper's Fig. 5; 25 % of stored
+ * energy for the 4-cap example, 56.25 % for the 8-cap one -- both
+ * reproduced by unit tests).  This loss is what REACT's bank isolation
+ * eliminates.
+ */
+
+#ifndef REACT_BUFFERS_CAPACITOR_NETWORK_HH
+#define REACT_BUFFERS_CAPACITOR_NETWORK_HH
+
+#include <vector>
+
+#include "sim/capacitor.hh"
+
+namespace react {
+namespace buffer {
+
+/** One network arrangement: parallel branches of series unit indices. */
+struct NetworkConfig
+{
+    /** Each inner vector lists the unit-capacitor indices of one series
+     *  chain; chains are connected in parallel at the output node. */
+    std::vector<std::vector<int>> branches;
+
+    /** Equivalent capacitance of the arrangement for the given unit size. */
+    double equivalentCapacitance(double unit_capacitance) const;
+};
+
+/** Pool of unit capacitors under software-defined arrangement. */
+class CapacitorNetwork
+{
+  public:
+    /**
+     * @param unit_count Number of identical unit capacitors.
+     * @param unit_spec Part parameters of each unit.
+     */
+    CapacitorNetwork(int unit_count, const sim::CapacitorSpec &unit_spec);
+
+    /** Number of unit capacitors in the pool. */
+    int unitCount() const { return static_cast<int>(units.size()); }
+
+    /** Voltage of one unit capacitor. */
+    double unitVoltage(int index) const;
+
+    /** Directly set one unit's voltage (testing / initialization). */
+    void setUnitVoltage(int index, double voltage);
+
+    /** Present arrangement. */
+    const NetworkConfig &config() const { return current; }
+
+    /** Equivalent capacitance of the connected arrangement (0 if none). */
+    double equivalentCapacitance() const;
+
+    /** Output-node voltage (terminal voltage of the connected branches;
+     *  0 when nothing is connected). */
+    double outputVoltage() const;
+
+    /** Total energy stored on all units (connected or not). */
+    double storedEnergy() const;
+
+    /** Energy stored on connected units only. */
+    double connectedEnergy() const;
+
+    /**
+     * Rearrange the network.  Branches at differing terminal voltages
+     * equalize through the interconnect, dissipating energy.
+     *
+     * @param next New arrangement (indices must be valid and unique).
+     * @return Energy dissipated by charge sharing, joules (>= 0).
+     */
+    double reconfigure(const NetworkConfig &next);
+
+    /**
+     * Add signed charge at the output node, distributed across connected
+     * branches so all terminal voltages move together (parallel physics).
+     * No-op when nothing is connected.
+     *
+     * @param dq Charge in coulombs (negative discharges).
+     */
+    void addChargeAtOutput(double dq);
+
+    /** Apply self-discharge to every unit; returns energy leaked. */
+    double leak(double dt);
+
+    /**
+     * Clamp the output node to the given ceiling; the excess is burned.
+     * Disconnected units clamp to their own rated voltage.
+     *
+     * @return Energy clipped, joules.
+     */
+    double clipOutput(double ceiling);
+
+  private:
+    /** Terminal voltage of one branch (sum of member unit voltages). */
+    double branchVoltage(const std::vector<int> &branch) const;
+
+    /** Series capacitance of one branch. */
+    double branchCapacitance(const std::vector<int> &branch) const;
+
+    /** Equalize all connected branches to a common terminal voltage;
+     *  returns the energy dissipated. */
+    double equalizeConnected();
+
+    std::vector<sim::Capacitor> units;
+    NetworkConfig current;
+};
+
+} // namespace buffer
+} // namespace react
+
+#endif // REACT_BUFFERS_CAPACITOR_NETWORK_HH

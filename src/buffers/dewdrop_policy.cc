@@ -1,0 +1,48 @@
+#include "dewdrop_policy.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace react {
+namespace buffer {
+
+DewdropPolicy::DewdropPolicy(double capacitance, double brownout_voltage,
+                             double max_voltage, double margin)
+    : capacitance(capacitance), vMin(brownout_voltage), vMax(max_voltage),
+      margin(margin)
+{
+    react_assert(capacitance > 0.0, "capacitance must be positive");
+    react_assert(max_voltage > brownout_voltage,
+                 "max voltage must exceed brown-out");
+    react_assert(margin >= 1.0, "margin must be >= 1");
+}
+
+double
+DewdropPolicy::enableVoltageFor(double task_energy) const
+{
+    react_assert(task_energy >= 0.0, "task energy must be >= 0");
+    const double v = std::sqrt(vMin * vMin +
+                               2.0 * task_energy * margin / capacitance);
+    // A sliver above brown-out is required even for free tasks so the
+    // supervisor has hysteresis to work with.
+    return std::clamp(v, vMin + 0.1, vMax);
+}
+
+double
+DewdropPolicy::maxTaskEnergy() const
+{
+    return units::capEnergyWindow(capacitance, vMax, vMin) / margin;
+}
+
+bool
+DewdropPolicy::feasible(double task_energy) const
+{
+    return task_energy * margin <=
+        units::capEnergyWindow(capacitance, vMax, vMin);
+}
+
+} // namespace buffer
+} // namespace react

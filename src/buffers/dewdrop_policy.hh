@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Dewdrop-style adaptive enable voltage (Buettner et al., NSDI'11),
+ * implemented as an extension baseline (S 2.4 of the paper).
+ *
+ * Dewdrop keeps a single fixed capacitor but varies the *enable voltage*
+ * to match the next task: a cheap task can start at 2.2 V instead of
+ * waiting for 3.6 V, trading stored margin for reactivity.  Energy stays
+ * fully fungible (one capacitor), but the approach cannot escape the
+ * reactivity-longevity tradeoff of the capacitor size itself -- the
+ * limitation REACT's variable capacitance removes.
+ */
+
+#ifndef REACT_BUFFERS_DEWDROP_POLICY_HH
+#define REACT_BUFFERS_DEWDROP_POLICY_HH
+
+namespace react {
+namespace buffer {
+
+/** Enable-voltage planner for a fixed-capacitor system. */
+class DewdropPolicy
+{
+  public:
+    /**
+     * @param capacitance Buffer capacitance in farads.
+     * @param brownout_voltage Minimum operating voltage.
+     * @param max_voltage Highest permissible enable voltage (rail clamp
+     *        or capacitor rating).
+     * @param margin Multiplier on the task energy to absorb conversion
+     *        losses and estimation error (Dewdrop adapts this online; we
+     *        use a fixed factor).
+     */
+    DewdropPolicy(double capacitance, double brownout_voltage = 1.8,
+                  double max_voltage = 3.6, double margin = 1.3);
+
+    /**
+     * Enable voltage that banks enough charge for a task of the given
+     * energy: V = sqrt(V_min^2 + 2 E margin / C), clamped to the legal
+     * range.
+     *
+     * @param task_energy Energy of the next task burst, joules.
+     */
+    double enableVoltageFor(double task_energy) const;
+
+    /**
+     * Largest task energy startable at all with this capacitor (the
+     * window between max voltage and brown-out, de-rated by the margin).
+     */
+    double maxTaskEnergy() const;
+
+    /** Whether a task of the given energy can complete at all. */
+    bool feasible(double task_energy) const;
+
+  private:
+    double capacitance;
+    double vMin;
+    double vMax;
+    double margin;
+};
+
+} // namespace buffer
+} // namespace react
+
+#endif // REACT_BUFFERS_DEWDROP_POLICY_HH

@@ -1,0 +1,21 @@
+#include "energy_buffer.hh"
+
+#include <algorithm>
+
+#include "util/units.hh"
+
+namespace react {
+namespace buffer {
+
+double
+EnergyBuffer::availableEnergy(double floor_voltage) const
+{
+    const double v = railVoltage();
+    if (v <= floor_voltage)
+        return 0.0;
+    return units::capEnergyWindow(equivalentCapacitance(), v,
+                                  floor_voltage);
+}
+
+} // namespace buffer
+} // namespace react

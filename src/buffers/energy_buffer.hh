@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Common interface for energy-buffer architectures.
+ *
+ * Every buffer the paper evaluates -- fixed capacitors, the Morphy switched
+ * network, and REACT itself -- sits between the harvesting frontend and the
+ * power-gated computational backend.  The harness drives them all through
+ * this interface: feed input power, draw load current, observe the rail
+ * voltage, and audit the energy ledger.  Adaptive buffers additionally
+ * expose a small control surface (capacitance levels) that the paper's
+ * software-directed longevity mechanism (S 3.4.1) builds on.
+ */
+
+#ifndef REACT_BUFFERS_ENERGY_BUFFER_HH
+#define REACT_BUFFERS_ENERGY_BUFFER_HH
+
+#include <string>
+
+#include "sim/energy_ledger.hh"
+
+namespace react {
+namespace buffer {
+
+/** Abstract energy buffer between harvester and backend. */
+class EnergyBuffer
+{
+  public:
+    virtual ~EnergyBuffer() = default;
+
+    /** Display name used in reports ("770uF", "Morphy", "REACT"...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Advance the buffer by one timestep.
+     *
+     * @param dt Timestep in seconds.
+     * @param input_power Power entering the buffer from the harvester, W.
+     * @param load_current Current drawn by the backend from the rail, A
+     *        (0 when the power gate is open).
+     */
+    virtual void step(double dt, double input_power,
+                      double load_current) = 0;
+
+    /** Voltage presented to the power gate / backend, volts. */
+    virtual double railVoltage() const = 0;
+
+    /** Total energy stored across all capacitors, joules. */
+    virtual double storedEnergy() const = 0;
+
+    /** Present equivalent capacitance seen at the rail, farads. */
+    virtual double equivalentCapacitance() const = 0;
+
+    /**
+     * Energy extractable right now before the rail falls to the given
+     * floor voltage (an ADC-style self-check the workloads use to gate
+     * short atomic operations).
+     */
+    virtual double availableEnergy(double floor_voltage) const;
+
+    /** Cumulative energy accounting since the last reset. */
+    const sim::EnergyLedger &ledger() const { return energyLedger; }
+
+    /** Return to the cold-start state (all charge gone, ledger cleared). */
+    virtual void reset() = 0;
+
+    /**
+     * @name Adaptive-capacitance control surface
+     *
+     * Static buffers keep the defaults (a single level, always satisfied).
+     * REACT and Morphy map levels onto their bank / configuration state
+     * machines; level k is only reached when the buffer was near-full at
+     * level k-1, so "level >= k" doubles as a stored-energy guarantee.
+     * @{
+     */
+
+    /** Current capacitance level (0 = minimum configuration). */
+    virtual int capacitanceLevel() const { return 0; }
+
+    /** Largest reachable level. */
+    virtual int maxCapacitanceLevel() const { return 0; }
+
+    /**
+     * Software-directed longevity request (S 3.4.1): ask the buffer to
+     * accumulate at least the given level before levelSatisfied() reports
+     * true.  Values above maxCapacitanceLevel() are clamped.
+     */
+    virtual void requestMinLevel(int level) { (void)level; }
+
+    /** Whether the most recent longevity request has been met. */
+    virtual bool levelSatisfied() const { return true; }
+
+    /**
+     * Usable energy guaranteed once the given level is reached, i.e. the
+     * discharge window the backend can count on for an atomic operation.
+     */
+    virtual double usableEnergyAtLevel(int level) const
+    {
+        (void)level;
+        return 0.0;
+    }
+
+    /**
+     * Notify the buffer of backend power transitions.  REACT's management
+     * software runs on the backend MCU, so its banks physically disconnect
+     * (normally-open switches) when the MCU loses power.
+     */
+    virtual void notifyBackendPower(bool on) { (void)on; }
+
+    /**
+     * Fraction of backend compute time consumed by the buffer's
+     * monitoring software (REACT: 1.8 % at 10 Hz polling; 0 for buffers
+     * with no on-MCU component).
+     */
+    virtual double softwareOverheadFraction() const { return 0.0; }
+
+    /** @} */
+
+  protected:
+    sim::EnergyLedger energyLedger;
+};
+
+} // namespace buffer
+} // namespace react
+
+#endif // REACT_BUFFERS_ENERGY_BUFFER_HH

@@ -1,0 +1,249 @@
+#include "morphy_buffer.hh"
+
+#include <algorithm>
+
+#include "sim/charge_transfer.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace react {
+namespace buffer {
+
+namespace {
+
+/**
+ * Build the 11-configuration ladder used by the paper's Morphy
+ * implementation: the seven reconfigurable units are regrouped into
+ * parallel combinations of series chains, ordered by ascending
+ * equivalent capacitance.  Each transition regroups chains -- placing
+ * branch terminals at different potentials in parallel -- which is
+ * exactly the dissipative charge sharing of Fig. 5 that REACT's bank
+ * isolation avoids.  Units not referenced by a configuration are
+ * disconnected (retaining charge).
+ */
+std::vector<NetworkConfig>
+buildLadder(int unit_count)
+{
+    react_assert(unit_count == 7,
+                 "the paper's Morphy ladder is defined for 7 units");
+    auto cfg = [](std::vector<std::vector<int>> branches) {
+        NetworkConfig c;
+        c.branches = std::move(branches);
+        return c;
+    };
+    std::vector<NetworkConfig> ladder;
+    // Equivalent capacitances below include the 250 uF task capacitor.
+    ladder.push_back(cfg({}));                          // 0.25 mF
+    ladder.push_back(cfg({{0, 1, 2, 3, 4, 5, 6}}));     // 0.54 mF (7s)
+    ladder.push_back(cfg({{0, 1, 2, 3}, {4, 5, 6}}));   // 1.42 mF (4s|3s)
+    ladder.push_back(cfg({{0, 1, 2, 3, 4}, {5, 6}}));   // 1.65 mF (5s|2s)
+    ladder.push_back(cfg({{0, 1, 2}, {3, 4}, {5, 6}})); // 2.92 mF
+    ladder.push_back(cfg({{0, 1}, {2, 3}, {4, 5}}));    // 3.25 mF
+    ladder.push_back(cfg({{0, 1}, {2, 3}, {4, 5}, {6}}));   // 5.25 mF
+    ladder.push_back(cfg({{0, 1}, {2, 3}, {4}, {5}, {6}})); // 7.25 mF
+    ladder.push_back(cfg({{0, 1}, {2}, {3}, {4}, {5}, {6}})); // 11.25 mF
+    ladder.push_back(cfg({{0}, {1}, {2}, {3}, {4}, {5}}));  // 12.25 mF
+    ladder.push_back(cfg({{0}, {1}, {2}, {3}, {4}, {5}, {6}})); // 14.25 mF
+    return ladder;
+}
+
+} // namespace
+
+MorphyBuffer::MorphyBuffer(const MorphyParams &params)
+    : params(params), task(params.taskCap),
+      network(params.unitCount, params.unitCap),
+      configs(buildLadder(params.unitCount))
+{
+    react_assert(params.vHigh > params.vLow, "thresholds must be ordered");
+    react_assert(params.railClamp >= params.vHigh,
+                 "clamp must sit at or above the overvoltage threshold");
+}
+
+double
+MorphyBuffer::railVoltage() const
+{
+    return task.voltage();
+}
+
+double
+MorphyBuffer::storedEnergy() const
+{
+    return task.energy() + network.storedEnergy();
+}
+
+double
+MorphyBuffer::equivalentCapacitance() const
+{
+    return task.capacitance() + network.equivalentCapacitance();
+}
+
+int
+MorphyBuffer::maxCapacitanceLevel() const
+{
+    return static_cast<int>(configs.size()) - 1;
+}
+
+void
+MorphyBuffer::requestMinLevel(int level)
+{
+    requestedLevel = std::clamp(level, 0, maxCapacitanceLevel());
+}
+
+bool
+MorphyBuffer::levelSatisfied() const
+{
+    if (requestedLevel <= 0)
+        return true;
+    // Same stale-surrogate caveat as REACT: the ladder index guarantees
+    // stored energy only while the buffer is near-full at that index.
+    return configIndex >= requestedLevel &&
+        railVoltage() >= params.vHigh;
+}
+
+double
+MorphyBuffer::usableEnergyAtLevel(int level) const
+{
+    const int idx = std::clamp(level, 0, maxCapacitanceLevel());
+    const double c = task.capacitance() +
+        configs[static_cast<size_t>(idx)]
+            .equivalentCapacitance(params.unitCap.capacitance);
+    return units::capEnergyWindow(c, params.vHigh, params.vLow);
+}
+
+void
+MorphyBuffer::addRailCharge(double dq)
+{
+    // Between reconfigurations the connected network tracks the task cap,
+    // so charge splits proportionally to capacitance.
+    const double c_net = network.equivalentCapacitance();
+    const double c_total = task.capacitance() + c_net;
+    const double dv = dq / c_total;
+    task.addCharge(task.capacitance() * dv);
+    if (c_net > 0.0)
+        network.addChargeAtOutput(c_net * dv);
+}
+
+void
+MorphyBuffer::applyConfig(int index)
+{
+    react_assert(index >= 0 && index <= maxCapacitanceLevel(),
+                 "morphy config index out of range");
+    if (index == configIndex)
+        return;
+    configIndex = index;
+    ++reconfigCount;
+
+    // Stage 1: branches of the new arrangement equalize among themselves.
+    double loss = network.reconfigure(configs[static_cast<size_t>(index)]);
+
+    // Stage 2: the (now internally equalized) network shares the output
+    // node with the task capacitor; equalize them too.  The staging is
+    // energy-equivalent to a single simultaneous equalization.
+    const double c_net = network.equivalentCapacitance();
+    if (c_net > 0.0) {
+        const double v_net = network.outputVoltage();
+        const double v_task = task.voltage();
+        const double v_final =
+            (task.charge() + c_net * v_net) / (task.capacitance() + c_net);
+        const double e_before = task.energy() +
+            units::capEnergy(c_net, v_net);
+        network.addChargeAtOutput(c_net * (v_final - v_net));
+        task.setVoltage(v_final);
+        const double e_after = task.energy() +
+            units::capEnergy(c_net, v_final);
+        loss += std::max(e_before - e_after, 0.0);
+        (void)v_task;
+    }
+    energyLedger.switchLoss += loss;
+}
+
+void
+MorphyBuffer::pollController()
+{
+    const double v = railVoltage();
+    if (v >= params.vHigh && configIndex < maxCapacitanceLevel()) {
+        applyConfig(configIndex + 1);
+    } else if (v <= params.vLow && configIndex > 0) {
+        applyConfig(configIndex - 1);
+    }
+}
+
+void
+MorphyBuffer::step(double dt, double input_power, double load_current)
+{
+    // 1. Self-discharge everywhere.
+    energyLedger.leaked += task.leak(dt) + network.leak(dt);
+
+    // Asymmetric leakage pulls the network a hair below the task
+    // capacitor each step; physically they share the output node, so a
+    // standing balancing current keeps them equalized.  Restore the
+    // invariant and charge the (tiny) redistribution loss to leakage.
+    const double c_net_node = network.equivalentCapacitance();
+    if (c_net_node > 0.0) {
+        const double v_net = network.outputVoltage();
+        const double v_task = task.voltage();
+        if (v_net != v_task) {
+            const double v_common =
+                (task.charge() + c_net_node * v_net) /
+                (task.capacitance() + c_net_node);
+            const double e_before = task.energy() +
+                units::capEnergy(c_net_node, v_net);
+            network.addChargeAtOutput(c_net_node * (v_common - v_net));
+            task.setVoltage(v_common);
+            const double e_after = task.energy() +
+                units::capEnergy(c_net_node, v_common);
+            energyLedger.leaked += std::max(e_before - e_after, 0.0);
+        }
+    }
+
+    // 2. Harvested input lands on the common rail node.
+    if (input_power > 0.0) {
+        const double v_eff = std::max(railVoltage(), 0.2);
+        const double e_before = storedEnergy();
+        addRailCharge(input_power / v_eff * dt);
+        energyLedger.harvested += storedEnergy() - e_before;
+    }
+
+    // 3. Backend load.
+    if (load_current > 0.0) {
+        const double e_before = storedEnergy();
+        addRailCharge(-load_current * dt);
+        energyLedger.delivered += e_before - storedEnergy();
+    }
+
+    // 4. Overvoltage protection on the rail; disconnected units clamp to
+    //    their rating inside the network.
+    if (railVoltage() > params.railClamp) {
+        const double e_before = storedEnergy();
+        const double c_total = equivalentCapacitance();
+        addRailCharge(c_total * (params.railClamp - railVoltage()));
+        energyLedger.clipped += e_before - storedEnergy();
+    }
+    energyLedger.clipped += network.clipOutput(params.railClamp);
+
+    // 5. Battery-powered controller polls at its fixed rate regardless of
+    //    the backend's power state.
+    pollAccumulator += dt;
+    const double poll_period = 1.0 / params.pollRateHz;
+    while (pollAccumulator >= poll_period) {
+        pollAccumulator -= poll_period;
+        pollController();
+    }
+}
+
+void
+MorphyBuffer::reset()
+{
+    task.setVoltage(0.0);
+    for (int i = 0; i < network.unitCount(); ++i)
+        network.setUnitVoltage(i, 0.0);
+    network.reconfigure(NetworkConfig{});
+    configIndex = 0;
+    requestedLevel = 0;
+    pollAccumulator = 0.0;
+    reconfigCount = 0;
+    energyLedger = sim::EnergyLedger();
+}
+
+} // namespace buffer
+} // namespace react

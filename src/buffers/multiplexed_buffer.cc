@@ -1,0 +1,162 @@
+#include "multiplexed_buffer.hh"
+
+#include <algorithm>
+
+#include "sim/charge_transfer.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace react {
+namespace buffer {
+
+MultiplexedBuffer::MultiplexedBuffer(
+    const std::vector<sim::CapacitorSpec> &capacitors, double rail_clamp)
+    : clamp(rail_clamp)
+{
+    react_assert(!capacitors.empty(), "need at least one capacitor");
+    caps.reserve(capacitors.size());
+    for (const auto &spec : capacitors)
+        caps.emplace_back(spec);
+}
+
+double
+MultiplexedBuffer::railVoltage() const
+{
+    return caps[static_cast<size_t>(active)].voltage();
+}
+
+double
+MultiplexedBuffer::storedEnergy() const
+{
+    double e = 0.0;
+    for (const auto &cap : caps)
+        e += cap.energy();
+    return e;
+}
+
+double
+MultiplexedBuffer::equivalentCapacitance() const
+{
+    return caps[static_cast<size_t>(active)].capacitance();
+}
+
+int
+MultiplexedBuffer::maxCapacitanceLevel() const
+{
+    return static_cast<int>(caps.size()) - 1;
+}
+
+void
+MultiplexedBuffer::requestMinLevel(int level)
+{
+    requestedLevel = std::clamp(level, 0, maxCapacitanceLevel());
+    // Capybara switches modes explicitly: honor the request by selecting
+    // the capacitor backing that mode.
+    selectActive(requestedLevel);
+}
+
+bool
+MultiplexedBuffer::levelSatisfied() const
+{
+    // The requested capacitor must actually be charged to be useful.
+    return caps[static_cast<size_t>(requestedLevel)].voltage() >=
+        clamp * 0.95;
+}
+
+double
+MultiplexedBuffer::usableEnergyAtLevel(int level) const
+{
+    const int idx = std::clamp(level, 0, maxCapacitanceLevel());
+    return units::capEnergyWindow(
+        caps[static_cast<size_t>(idx)].capacitance(), clamp, 1.8);
+}
+
+void
+MultiplexedBuffer::selectActive(int index)
+{
+    react_assert(index >= 0 && index <= maxCapacitanceLevel(),
+                 "active capacitor index out of range");
+    active = index;
+}
+
+double
+MultiplexedBuffer::capVoltage(int index) const
+{
+    return caps.at(static_cast<size_t>(index)).voltage();
+}
+
+void
+MultiplexedBuffer::step(double dt, double input_power, double load_current)
+{
+    // 1. Self-discharge.
+    for (auto &cap : caps)
+        energyLedger.leaked += cap.leak(dt);
+
+    // 2. Harvested input charges the active capacitor until full, then
+    //    spills down the priority list.
+    if (input_power > 0.0) {
+        double remaining_dt = dt;
+        // Order: active first, then the others by priority.
+        std::vector<int> order;
+        order.push_back(active);
+        for (int i = 0; i < static_cast<int>(caps.size()); ++i) {
+            if (i != active)
+                order.push_back(i);
+        }
+        for (int idx : order) {
+            if (remaining_dt <= 0.0)
+                break;
+            auto &cap = caps[static_cast<size_t>(idx)];
+            if (cap.voltage() >= clamp)
+                continue;
+            const double e_before = cap.energy();
+            sim::chargeFromPower(cap, input_power, remaining_dt);
+            // If this capacitor hit the clamp mid-step, pass the excess
+            // time slice to the next one.
+            if (cap.voltage() > clamp) {
+                const double v_over = cap.voltage();
+                const double q_excess =
+                    cap.capacitance() * (v_over - clamp);
+                const double v_eff = std::max(clamp, 0.2);
+                const double used_fraction = 1.0 -
+                    q_excess * v_eff / (input_power * remaining_dt);
+                cap.setVoltage(clamp);
+                remaining_dt *= std::clamp(1.0 - used_fraction, 0.0, 1.0);
+            } else {
+                remaining_dt = 0.0;
+            }
+            energyLedger.harvested += cap.energy() - e_before;
+        }
+        // Every capacitor full: the remainder burns off.
+        if (remaining_dt > 0.0) {
+            const double wasted = input_power * remaining_dt;
+            energyLedger.harvested += wasted;
+            energyLedger.clipped += wasted;
+        }
+    }
+
+    // 3. Load draws from the active capacitor only.
+    if (load_current > 0.0) {
+        auto &cap = caps[static_cast<size_t>(active)];
+        const double e_before = cap.energy();
+        cap.applyCurrent(-load_current, dt);
+        energyLedger.delivered += e_before - cap.energy();
+    }
+
+    // 4. Clamp.
+    for (auto &cap : caps)
+        energyLedger.clipped += cap.clip(clamp);
+}
+
+void
+MultiplexedBuffer::reset()
+{
+    for (auto &cap : caps)
+        cap.setVoltage(0.0);
+    active = 0;
+    requestedLevel = 0;
+    energyLedger = sim::EnergyLedger();
+}
+
+} // namespace buffer
+} // namespace react

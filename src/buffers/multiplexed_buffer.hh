@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Capybara-style multiplexed static storage (Colin et al., ASPLOS'18),
+ * implemented as an extension baseline (S 2.3 of the paper).
+ *
+ * The design keeps an array of heterogeneous fixed capacitors.  Software
+ * selects one as the *active* buffer powering the rail (small for
+ * reactive tasks, large for atomic high-energy tasks); harvested energy
+ * beyond the active capacitor's capacity spills into the remaining
+ * capacitors in a fixed priority order.  This raises total capacity
+ * without hurting reactivity, but energy parked on non-active capacitors
+ * is not fungible: it can strand below a useful voltage and leak away --
+ * the limitation that motivates REACT's unified last-level buffer.
+ */
+
+#ifndef REACT_BUFFERS_MULTIPLEXED_BUFFER_HH
+#define REACT_BUFFERS_MULTIPLEXED_BUFFER_HH
+
+#include <string>
+#include <vector>
+
+#include "buffers/energy_buffer.hh"
+#include "sim/capacitor.hh"
+
+namespace react {
+namespace buffer {
+
+/** Capybara-like bank of software-selected static buffers. */
+class MultiplexedBuffer : public EnergyBuffer
+{
+  public:
+    /**
+     * @param capacitors Capacitor array, ordered by charging priority;
+     *        index 0 is the default active buffer.
+     * @param rail_clamp Overvoltage clamp applied per capacitor.
+     */
+    explicit MultiplexedBuffer(const std::vector<sim::CapacitorSpec>
+                                   &capacitors,
+                               double rail_clamp = 3.6);
+
+    std::string name() const override { return "Capybara"; }
+    void step(double dt, double input_power, double load_current) override;
+    double railVoltage() const override;
+    double storedEnergy() const override;
+    double equivalentCapacitance() const override;
+    void reset() override;
+
+    /** Capacitance "modes" map onto capacitor indices. */
+    int capacitanceLevel() const override { return active; }
+    int maxCapacitanceLevel() const override;
+    void requestMinLevel(int level) override;
+    bool levelSatisfied() const override;
+    double usableEnergyAtLevel(int level) const override;
+
+    /** Select the capacitor powering the rail (Capybara mode switch). */
+    void selectActive(int index);
+
+    /** Voltage of an individual capacitor. */
+    double capVoltage(int index) const;
+
+  private:
+    std::vector<sim::Capacitor> caps;
+    double clamp;
+    int active = 0;
+    int requestedLevel = 0;
+};
+
+} // namespace buffer
+} // namespace react
+
+#endif // REACT_BUFFERS_MULTIPLEXED_BUFFER_HH

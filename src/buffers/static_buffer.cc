@@ -1,0 +1,85 @@
+#include "static_buffer.hh"
+
+#include <cstdio>
+
+#include "sim/charge_transfer.hh"
+#include "util/logging.hh"
+
+namespace react {
+namespace buffer {
+
+namespace {
+
+std::string
+defaultName(double capacitance)
+{
+    char buf[32];
+    if (capacitance >= 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.0fmF", capacitance * 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.0fuF", capacitance * 1e6);
+    return buf;
+}
+
+} // namespace
+
+StaticBuffer::StaticBuffer(const sim::CapacitorSpec &spec, double rail_clamp,
+                           std::string display_name)
+    : cap(spec), clamp(rail_clamp),
+      label(display_name.empty() ? defaultName(spec.capacitance)
+                                 : std::move(display_name))
+{
+    react_assert(rail_clamp > 0.0, "rail clamp must be positive");
+    react_assert(rail_clamp <= spec.ratedVoltage,
+                 "rail clamp cannot exceed the capacitor rating");
+}
+
+void
+StaticBuffer::step(double dt, double input_power, double load_current)
+{
+    // 1. Self-discharge.
+    energyLedger.leaked += cap.leak(dt);
+
+    // 2. Harvested input (direct connection, no input diode).
+    const double e_before_in = cap.energy();
+    sim::chargeFromPower(cap, input_power, dt);
+    energyLedger.harvested += cap.energy() - e_before_in;
+
+    // 3. Backend load.
+    if (load_current > 0.0) {
+        const double e_before_load = cap.energy();
+        cap.applyCurrent(-load_current, dt);
+        energyLedger.delivered += e_before_load - cap.energy();
+    }
+
+    // 4. Overvoltage protection.
+    energyLedger.clipped += cap.clip(clamp);
+}
+
+double
+StaticBuffer::railVoltage() const
+{
+    return cap.voltage();
+}
+
+double
+StaticBuffer::storedEnergy() const
+{
+    return cap.energy();
+}
+
+double
+StaticBuffer::equivalentCapacitance() const
+{
+    return cap.capacitance();
+}
+
+void
+StaticBuffer::reset()
+{
+    cap.setVoltage(0.0);
+    energyLedger = sim::EnergyLedger();
+}
+
+} // namespace buffer
+} // namespace react

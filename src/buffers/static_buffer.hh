@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fixed-size capacitor buffer: the conventional design point REACT is
+ * evaluated against (770 uF / 10 mF / 17 mF in the paper).
+ *
+ * A static buffer is a single capacitor across the rail.  Its behaviour
+ * embodies the tradeoff of S 2.1: small capacitors charge quickly (high
+ * reactivity) but clip harvested energy once full; large capacitors capture
+ * surplus but enable slowly and strand cold-start energy below the minimum
+ * operating voltage.
+ */
+
+#ifndef REACT_BUFFERS_STATIC_BUFFER_HH
+#define REACT_BUFFERS_STATIC_BUFFER_HH
+
+#include <string>
+
+#include "buffers/energy_buffer.hh"
+#include "sim/capacitor.hh"
+
+namespace react {
+namespace buffer {
+
+/** Single fixed capacitor across the rail. */
+class StaticBuffer : public EnergyBuffer
+{
+  public:
+    /**
+     * @param spec Capacitor part parameters.
+     * @param rail_clamp Overvoltage-protection clamp, volts; harvested
+     *        energy beyond it is discarded as heat (the paper's 3.6 V).
+     * @param display_name Report label; derived from capacitance if empty.
+     */
+    explicit StaticBuffer(const sim::CapacitorSpec &spec,
+                          double rail_clamp = 3.6,
+                          std::string display_name = "");
+
+    std::string name() const override { return label; }
+    void step(double dt, double input_power, double load_current) override;
+    double railVoltage() const override;
+    double storedEnergy() const override;
+    double equivalentCapacitance() const override;
+    void reset() override;
+
+    /** Overvoltage clamp in volts. */
+    double railClamp() const { return clamp; }
+
+  private:
+    sim::Capacitor cap;
+    double clamp;
+    std::string label;
+};
+
+} // namespace buffer
+} // namespace react
+
+#endif // REACT_BUFFERS_STATIC_BUFFER_HH

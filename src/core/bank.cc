@@ -1,0 +1,139 @@
+#include "bank.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace react {
+namespace core {
+
+const char *
+bankStateName(BankState state)
+{
+    switch (state) {
+      case BankState::Disconnected:
+        return "disconnected";
+      case BankState::Series:
+        return "series";
+      case BankState::Parallel:
+        return "parallel";
+    }
+    return "?";
+}
+
+double
+BankSpec::seriesCapacitance() const
+{
+    return unit.capacitance / static_cast<double>(count);
+}
+
+double
+BankSpec::parallelCapacitance() const
+{
+    return unit.capacitance * static_cast<double>(count);
+}
+
+double
+BankSpec::energyAtUnitVoltage(double v_unit) const
+{
+    return static_cast<double>(count) *
+        units::capEnergy(unit.capacitance, v_unit);
+}
+
+CapacitorBank::CapacitorBank(const BankSpec &spec)
+    : bankSpec(spec)
+{
+    react_assert(spec.count >= 1, "bank needs at least one capacitor");
+    react_assert(spec.unit.capacitance > 0.0,
+                 "bank unit capacitance must be positive");
+}
+
+void
+CapacitorBank::setUnitVoltage(double v)
+{
+    react_assert(v >= 0.0, "unit voltage must be >= 0");
+    vUnit = v;
+}
+
+double
+CapacitorBank::terminalVoltage() const
+{
+    switch (bankState) {
+      case BankState::Disconnected:
+        return 0.0;
+      case BankState::Series:
+        return vUnit * static_cast<double>(bankSpec.count);
+      case BankState::Parallel:
+        return vUnit;
+    }
+    return 0.0;
+}
+
+double
+CapacitorBank::terminalCapacitance() const
+{
+    switch (bankState) {
+      case BankState::Disconnected:
+        return 0.0;
+      case BankState::Series:
+        return bankSpec.seriesCapacitance();
+      case BankState::Parallel:
+        return bankSpec.parallelCapacitance();
+    }
+    return 0.0;
+}
+
+double
+CapacitorBank::storedEnergy() const
+{
+    return bankSpec.energyAtUnitVoltage(vUnit);
+}
+
+void
+CapacitorBank::setState(BankState state)
+{
+    // Break-before-make switches: per-capacitor charge is untouched, so
+    // stored energy is identical before and after (verified by tests).
+    bankState = state;
+}
+
+void
+CapacitorBank::addChargeAtTerminal(double dq)
+{
+    react_assert(connected(), "cannot move charge on a disconnected bank");
+    const double n = static_cast<double>(bankSpec.count);
+    if (bankState == BankState::Series) {
+        // The same charge flows through every series member.
+        vUnit += dq / bankSpec.unit.capacitance;
+    } else {
+        vUnit += dq / (n * bankSpec.unit.capacitance);
+    }
+    if (vUnit < 0.0)
+        vUnit = 0.0;
+}
+
+double
+CapacitorBank::leak(double dt)
+{
+    const double r = bankSpec.unit.leakResistance();
+    if (!std::isfinite(r) || vUnit <= 0.0)
+        return 0.0;
+    const double before = storedEnergy();
+    vUnit *= std::exp(-dt / (r * bankSpec.unit.capacitance));
+    return before - storedEnergy();
+}
+
+double
+CapacitorBank::clipToRating()
+{
+    if (vUnit <= bankSpec.unit.ratedVoltage)
+        return 0.0;
+    const double before = storedEnergy();
+    vUnit = bankSpec.unit.ratedVoltage;
+    return before - storedEnergy();
+}
+
+} // namespace core
+} // namespace react

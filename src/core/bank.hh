@@ -1,0 +1,120 @@
+/**
+ * @file
+ * One isolated REACT capacitor bank (S 3.3).
+ *
+ * A bank holds N identical capacitors that are only ever arranged
+ * full-series or full-parallel, so no current ever flows *between* the
+ * capacitors of a bank: by symmetry every member carries the same charge,
+ * and a series<->parallel transition merely rewires terminals while
+ * conserving each capacitor's charge.  That is the paper's key efficiency
+ * property -- reconfiguration is lossless (S 3.3.3) -- and it also enables
+ * charge reclamation: switching a drained parallel bank into series
+ * multiplies the terminal voltage by N, making energy below the
+ * undervoltage threshold extractable again (S 3.3.4, an N^2 reduction in
+ * stranded energy).
+ */
+
+#ifndef REACT_CORE_BANK_HH
+#define REACT_CORE_BANK_HH
+
+#include "sim/capacitor.hh"
+
+namespace react {
+namespace core {
+
+/** Electrical arrangement of a bank's capacitors. */
+enum class BankState
+{
+    /** Normally-open switches released: no terminal connection. */
+    Disconnected,
+    /** Full series chain: capacitance C/N, terminal N * v_unit. */
+    Series,
+    /** Full parallel: capacitance N * C, terminal v_unit. */
+    Parallel,
+};
+
+/** Human-readable state name. */
+const char *bankStateName(BankState state);
+
+/** Static description of one bank (a Table-1 row). */
+struct BankSpec
+{
+    /** Number of identical capacitors. */
+    int count = 1;
+    /** Part parameters of each capacitor. */
+    sim::CapacitorSpec unit;
+
+    /** Capacitance in the series arrangement. */
+    double seriesCapacitance() const;
+    /** Capacitance in the parallel arrangement. */
+    double parallelCapacitance() const;
+    /** Total energy capacity at a given per-capacitor voltage. */
+    double energyAtUnitVoltage(double v_unit) const;
+};
+
+/** Run-time state of one bank. */
+class CapacitorBank
+{
+  public:
+    explicit CapacitorBank(const BankSpec &spec);
+
+    /** Static description. */
+    const BankSpec &spec() const { return bankSpec; }
+
+    /** Present arrangement. */
+    BankState state() const { return bankState; }
+
+    /** Per-capacitor voltage (identical across members by symmetry). */
+    double unitVoltage() const { return vUnit; }
+
+    /** Force the per-capacitor voltage (tests / initialization). */
+    void setUnitVoltage(double v);
+
+    /** Whether the bank participates in the power network. */
+    bool connected() const { return bankState != BankState::Disconnected; }
+
+    /**
+     * Terminal voltage as seen from the common rail; 0 when disconnected
+     * (the terminal floats).
+     */
+    double terminalVoltage() const;
+
+    /** Capacitance presented at the terminals; 0 when disconnected. */
+    double terminalCapacitance() const;
+
+    /** Total stored energy (retained even while disconnected). */
+    double storedEnergy() const;
+
+    /**
+     * Rewire the bank.  Per-capacitor charge is conserved -- the operation
+     * is lossless, only the terminal abstraction changes.
+     */
+    void setState(BankState state);
+
+    /**
+     * Add signed charge at the terminals.  Series chains pass the same
+     * charge through every member (v_unit += dq / C_unit); parallel banks
+     * split it evenly (v_unit += dq / (N C_unit)).  Must be connected.
+     */
+    void addChargeAtTerminal(double dq);
+
+    /** Exact exponential self-discharge; returns energy leaked. */
+    double leak(double dt);
+
+    /**
+     * Clamp the per-capacitor voltage to the part rating.
+     *
+     * @return Energy clipped, joules.
+     */
+    double clipToRating();
+
+  private:
+    BankSpec bankSpec;
+    BankState bankState = BankState::Disconnected;
+    double vUnit = 0.0;
+};
+
+} // namespace core
+} // namespace react
+
+#endif // REACT_CORE_BANK_HH

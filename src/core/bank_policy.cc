@@ -1,0 +1,51 @@
+#include "bank_policy.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace react {
+namespace core {
+
+BankPolicy::BankPolicy(int bank_count)
+    : banks(bank_count)
+{
+    react_assert(bank_count >= 0, "bank count must be >= 0");
+}
+
+BankState
+BankPolicy::stateForLevel(int bank_index, int level) const
+{
+    react_assert(bank_index >= 0 && bank_index < banks,
+                 "bank index out of range");
+    react_assert(level >= 0 && level <= maxLevel(),
+                 "level %d out of range", level);
+    const int sub = std::clamp(level - 2 * bank_index, 0, 2);
+    switch (sub) {
+      case 0:
+        return BankState::Disconnected;
+      case 1:
+        return BankState::Series;
+      default:
+        return BankState::Parallel;
+    }
+}
+
+int
+BankPolicy::bankChangedByRaise(int level) const
+{
+    if (level >= maxLevel())
+        return -1;
+    return level / 2;
+}
+
+int
+BankPolicy::bankChangedByLower(int level) const
+{
+    if (level <= 0)
+        return -1;
+    return (level - 1) / 2;
+}
+
+} // namespace core
+} // namespace react

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Pure level <-> bank-state mapping for REACT's controller (S 3.4).
+ *
+ * The controller tracks a single integer capacitance level.  Each bank
+ * contributes two sub-steps in connection order: first Series (a small
+ * capacitance increment that avoids yanking the rail down), then Parallel
+ * (the full contribution, reached by a lossless reconfiguration of the
+ * already-charged bank).  An overvoltage signal raises the level by one; an
+ * undervoltage signal lowers it, which walks the same ladder backwards --
+ * Parallel -> Series is the charge-reclamation boost of S 3.3.4, and
+ * Series -> Disconnected retires a drained bank.
+ */
+
+#ifndef REACT_CORE_BANK_POLICY_HH
+#define REACT_CORE_BANK_POLICY_HH
+
+#include "core/bank.hh"
+
+namespace react {
+namespace core {
+
+/** Capacitance-level arithmetic shared by controller and benches. */
+class BankPolicy
+{
+  public:
+    /** @param bank_count Number of configurable banks. */
+    explicit BankPolicy(int bank_count);
+
+    /** Number of configurable banks. */
+    int bankCount() const { return banks; }
+
+    /** Highest level: every bank parallel. */
+    int maxLevel() const { return banks * 2; }
+
+    /**
+     * Arrangement of one bank at a given level.
+     *
+     * @param bank_index Connection-order index (0 connects first).
+     * @param level Controller level in [0, maxLevel()].
+     */
+    BankState stateForLevel(int bank_index, int level) const;
+
+    /** Which bank changes when moving from `level` to `level + 1`;
+     *  -1 when already at the top. */
+    int bankChangedByRaise(int level) const;
+
+    /** Which bank changes when moving from `level` to `level - 1`;
+     *  -1 when already at the bottom. */
+    int bankChangedByLower(int level) const;
+
+  private:
+    int banks;
+};
+
+} // namespace core
+} // namespace react
+
+#endif // REACT_CORE_BANK_POLICY_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The REACT energy buffer: the paper's primary contribution (S 3).
+ *
+ * Hardware model (Fig. 2): a small always-connected last-level buffer sets
+ * the cold-start capacitance, so the system enables as fast as the
+ * smallest static design.  Configurable banks hang off the harvester node
+ * through normally-open switches and ideal isolation diodes: banks charge
+ * only from the harvester (current flows to the lowest-voltage connected
+ * element) and discharge only into the last-level buffer (when their
+ * terminal exceeds the rail).  Because capacitors within a bank are only
+ * ever full-series or full-parallel, reconfiguration never moves charge
+ * between capacitors and is lossless -- the decisive difference from the
+ * fully-interconnected Morphy network.
+ *
+ * Software model (S 3.4): the management code runs on the backend MCU,
+ * polling two comparators at 10 Hz.  Overvoltage raises the capacitance
+ * level (connect-in-series, then reconfigure-to-parallel); undervoltage
+ * lowers it (parallel -> series boosts the bank terminal by N, reclaiming
+ * charge below V_low; series -> disconnected retires a drained bank).
+ * When the MCU loses power the normally-open switches release: all banks
+ * physically disconnect, retaining charge, and reconnect from FRAM state
+ * at the next power-up.
+ */
+
+#ifndef REACT_CORE_REACT_BUFFER_HH
+#define REACT_CORE_REACT_BUFFER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "buffers/energy_buffer.hh"
+#include "core/bank.hh"
+#include "core/bank_policy.hh"
+#include "core/react_config.hh"
+#include "sim/capacitor.hh"
+
+namespace react {
+namespace core {
+
+/** REACT: reconfigurable, energy-adaptive capacitor banks. */
+class ReactBuffer : public buffer::EnergyBuffer
+{
+  public:
+    /** @param config Hardware description; must pass validate(). */
+    explicit ReactBuffer(const ReactConfig &config =
+                             ReactConfig::paperConfig());
+
+    std::string name() const override { return "REACT"; }
+    void step(double dt, double input_power, double load_current) override;
+    double railVoltage() const override;
+    double storedEnergy() const override;
+    double equivalentCapacitance() const override;
+    void reset() override;
+
+    int capacitanceLevel() const override { return level; }
+    int maxCapacitanceLevel() const override { return policy.maxLevel(); }
+    double availableEnergy(double floor_voltage) const override;
+    void requestMinLevel(int min_level) override;
+    bool levelSatisfied() const override;
+    double usableEnergyAtLevel(int query_level) const override;
+    void notifyBackendPower(bool on) override;
+
+    /** Compute-time fraction stolen by the 10 Hz monitoring software. */
+    double softwareOverheadFraction() const override;
+
+    /** Hardware configuration. */
+    const ReactConfig &config() const { return cfg; }
+
+    /** Voltage on the last-level buffer (== rail). */
+    double lastLevelVoltage() const { return lastLevel.voltage(); }
+
+    /** Run-time state of one bank. */
+    const CapacitorBank &bank(int index) const;
+
+    /** Number of configurable banks. */
+    int bankCount() const { return static_cast<int>(banks.size()); }
+
+    /** Cumulative count of bank state transitions. */
+    uint64_t transitions() const { return transitionCount; }
+
+  private:
+    /** Reapply the logical (FRAM) bank states to the physical switches. */
+    void applyLevel();
+
+    /** One controller poll: read comparators, step the level. */
+    void pollController();
+
+    /** Route harvested input to the lowest-voltage connected element. */
+    void routeInput(double input_power, double dt);
+
+    /** Drain banks above the rail into the last-level buffer. */
+    void replenishLastLevel(double dt);
+
+    ReactConfig cfg;
+    BankPolicy policy;
+    sim::Capacitor lastLevel;
+    std::vector<CapacitorBank> banks;
+
+    /** Controller level persisted in FRAM across power failures. */
+    int level = 0;
+    int requestedLevel = 0;
+    bool backendOn = false;
+    double pollAccumulator = 0.0;
+    uint64_t transitionCount = 0;
+};
+
+} // namespace core
+} // namespace react
+
+#endif // REACT_CORE_REACT_BUFFER_HH

@@ -1,0 +1,143 @@
+#include "react_config.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace react {
+namespace core {
+
+using units::microfarads;
+using units::microamps;
+
+double
+ReactConfig::maxCapacitance() const
+{
+    double total = lastLevel.capacitance;
+    for (const auto &bank : banks)
+        total += bank.parallelCapacitance();
+    return total;
+}
+
+double
+ReactConfig::minCapacitance() const
+{
+    return lastLevel.capacitance;
+}
+
+double
+ReactConfig::reclamationSpikeVoltage(const BankSpec &bank) const
+{
+    // Equation 1: charge sharing between the series-configured bank
+    // (C_unit / N at N V_low) and the last-level buffer (C_last at V_low).
+    const double n = static_cast<double>(bank.count);
+    const double c_ser = bank.unit.capacitance / n;
+    const double c_last = lastLevel.capacitance;
+    return ((n * vLow) * c_ser + vLow * c_last) / (c_last + c_ser);
+}
+
+double
+ReactConfig::unitCapacitanceLimit(int count) const
+{
+    const double n = static_cast<double>(count);
+    const double denom = n * vLow - vHigh;
+    if (denom <= 0.0) {
+        // The boosted voltage N * V_low cannot even reach V_high, so no
+        // unit size violates the constraint.
+        return std::numeric_limits<double>::infinity();
+    }
+    return n * lastLevel.capacitance * (vHigh - vLow) / denom;
+}
+
+bool
+ReactConfig::validate(std::string *error) const
+{
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+
+    if (!(vLow < vHigh))
+        return fail("vLow must be below vHigh");
+    if (!(vHigh <= railClamp))
+        return fail("vHigh must not exceed the rail clamp");
+    if (lastLevel.capacitance <= 0.0)
+        return fail("last-level capacitance must be positive");
+    if (pollRateHz <= 0.0)
+        return fail("poll rate must be positive");
+
+    for (size_t i = 0; i < banks.size(); ++i) {
+        const BankSpec &bank = banks[i];
+        if (bank.count < 1)
+            return fail(detail::format("bank %zu has no capacitors", i));
+        if (bank.unit.capacitance <= 0.0) {
+            return fail(detail::format(
+                "bank %zu unit capacitance must be positive", i));
+        }
+        // Equation 2: keep the reclamation spike below V_high.
+        const double limit = unitCapacitanceLimit(bank.count);
+        if (bank.unit.capacitance >= limit) {
+            return fail(detail::format(
+                "bank %zu violates Eq. 2: C_unit %.0f uF >= limit %.0f uF",
+                i, bank.unit.capacitance * 1e6, limit * 1e6));
+        }
+        // The series terminal voltage N * V_low must respect per-part
+        // ratings while the spike drains into the last-level buffer.
+        const double boosted = static_cast<double>(bank.count) * vLow;
+        if (boosted > bank.unit.ratedVoltage *
+                static_cast<double>(bank.count)) {
+            return fail(detail::format(
+                "bank %zu exceeds unit voltage rating during reclamation",
+                i));
+        }
+    }
+    return true;
+}
+
+ReactConfig
+ReactConfig::paperConfig()
+{
+    ReactConfig cfg;
+
+    // Last-level buffer: 770 uF of ceramic capacitance (Table 1, bank 0).
+    // Leakage follows an insulation-resistance model with tau ~= 2000 s
+    // (see DESIGN.md: datasheet worst-case microamp figures would swamp
+    // every buffer equally and contradict the paper's multi-minute storage
+    // horizons).
+    auto ceramic = [](double capacitance) {
+        sim::CapacitorSpec spec;
+        spec.capacitance = capacitance;
+        spec.ratedVoltage = 6.3;
+        // tau = R C = 2000 s  =>  I(V_rated) = V_rated C / tau.
+        spec.leakageCurrentAtRated = 6.3 * capacitance / 2000.0;
+        return spec;
+    };
+    // Supercapacitors (Table 1, bank 5): 0.15 uA at 5.5 V.
+    auto supercap = [](double capacitance) {
+        sim::CapacitorSpec spec;
+        spec.capacitance = capacitance;
+        spec.ratedVoltage = 5.5;
+        spec.leakageCurrentAtRated = microamps(0.15);
+        return spec;
+    };
+
+    cfg.lastLevel = ceramic(microfarads(770.0));
+    cfg.banks = {
+        {3, ceramic(microfarads(220.0))},
+        {3, ceramic(microfarads(440.0))},
+        {3, ceramic(microfarads(880.0))},
+        {3, ceramic(microfarads(880.0))},
+        {2, supercap(microfarads(5000.0))},
+    };
+
+    std::string error;
+    react_assert(cfg.validate(&error), "paper config invalid: %s",
+                 error.c_str());
+    return cfg;
+}
+
+} // namespace core
+} // namespace react

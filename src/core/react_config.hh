@@ -1,0 +1,97 @@
+/**
+ * @file
+ * REACT system configuration: thresholds, bank inventory, and the design
+ * constraints of S 3.3.5.
+ *
+ * Equation 1 of the paper gives the last-level-buffer voltage immediately
+ * after a parallel->series reclamation triggered at V_low; Equation 2
+ * bounds the per-capacitor size C_unit so that this transient never
+ * crosses the buffer-full threshold V_high (which would confuse the
+ * controller into adding capacitance on an almost-empty buffer, or exceed
+ * component ratings).  validate() checks every bank against these
+ * constraints, so misconfigured hardware is rejected at construction time
+ * rather than producing silently wrong dynamics.
+ */
+
+#ifndef REACT_CORE_REACT_CONFIG_HH
+#define REACT_CORE_REACT_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+#include "core/bank.hh"
+#include "sim/capacitor.hh"
+
+namespace react {
+namespace core {
+
+/** Full REACT hardware description. */
+struct ReactConfig
+{
+    /** Bank 0 of Table 1: the always-connected last-level buffer. */
+    sim::CapacitorSpec lastLevel{770e-6, 6.3, 2.4e-7};
+
+    /** Banks 1..5 of Table 1, in software connection order. */
+    std::vector<BankSpec> banks;
+
+    /** Buffer-full comparator threshold (adds capacitance above it). */
+    double vHigh = 3.5;
+    /** Near-empty comparator threshold (reclaims/boosts below it). */
+    double vLow = 1.9;
+    /** Overvoltage-protection clamp on the rail. */
+    double railClamp = 3.6;
+
+    /** Controller sampling rate in hertz (paper: 10 Hz, S 5.1). */
+    double pollRateHz = 10.0;
+    /** Fraction of backend compute stolen per poll-period by the
+     *  monitoring software at 10 Hz (paper: 1.8 %, S 5.1). */
+    double softwareOverheadAt10Hz = 0.018;
+    /** Quiescent hardware power per connected bank (paper: ~14 uW/bank,
+     *  68 uW total for 5 banks, S 5.1). */
+    double overheadPerBank = 14e-6;
+    /** Baseline hardware draw independent of bank count (comparators on
+     *  the last-level buffer). */
+    double overheadBase = 8e-6;
+
+    /** Series resistance of a bank-to-last-level discharge path (switch +
+     *  ideal-diode pass FET). */
+    double transferResistance = 1.0;
+    /** Forward drop of the active ideal diodes, volts. */
+    double diodeDrop = 0.01;
+
+    /** Total capacitance with every bank parallel (the "18 mF" of S 4). */
+    double maxCapacitance() const;
+
+    /** Minimum capacitance (last-level only; the "770 uF"). */
+    double minCapacitance() const;
+
+    /**
+     * Equation 1: last-level voltage right after switching a bank of
+     * N capacitors of size C_unit from parallel to series at V_low.
+     */
+    double reclamationSpikeVoltage(const BankSpec &bank) const;
+
+    /**
+     * Equation 2: the C_unit ceiling for a bank of N capacitors, or
+     * +infinity when the transition cannot reach V_high at all
+     * (N V_low <= V_high).
+     */
+    double unitCapacitanceLimit(int count) const;
+
+    /**
+     * Check thresholds and every bank against Equations 1-2 and basic
+     * sanity (ordering, ratings).
+     *
+     * @param error Filled with a description of the first violation.
+     * @return true when the configuration is buildable.
+     */
+    bool validate(std::string *error = nullptr) const;
+
+    /** The paper's Table-1 test implementation (770 uF - 18.03 mF). */
+    static ReactConfig paperConfig();
+};
+
+} // namespace core
+} // namespace react
+
+#endif // REACT_CORE_REACT_CONFIG_HH

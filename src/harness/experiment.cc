@@ -1,0 +1,121 @@
+#include "experiment.hh"
+
+#include "harness/paper_setup.hh"
+
+namespace react {
+namespace harness {
+
+double
+ExperimentResult::meanOnPeriod() const
+{
+    return powerCycles > 0 ? onTime / static_cast<double>(powerCycles)
+                           : 0.0;
+}
+
+double
+ExperimentResult::dutyCycle() const
+{
+    return totalTime > 0.0 ? onTime / totalTime : 0.0;
+}
+
+ExperimentResult
+runExperiment(buffer::EnergyBuffer &buffer, workload::Benchmark *benchmark,
+              const harvest::HarvesterFrontend &frontend,
+              const ExperimentConfig &config)
+{
+    buffer.reset();
+    if (benchmark)
+        benchmark->reset();
+
+    mcu::Device device(backendSpec());
+    sim::PowerGate gate(config.enableVoltage, config.brownoutVoltage);
+
+    ExperimentResult result;
+    result.bufferName = buffer.name();
+    result.benchmarkName = benchmark ? benchmark->name() : "(none)";
+    result.traceName = frontend.trace().name();
+
+    const double trace_duration = frontend.traceDuration();
+    const double work_scale = 1.0 - buffer.softwareOverheadFraction();
+
+    double t = 0.0;
+    double off_streak = 0.0;
+    double next_record = 0.0;
+
+    workload::BenchContext ctx;
+    ctx.device = &device;
+    ctx.buffer = &buffer;
+    ctx.workScale = work_scale;
+
+    while (true) {
+        t += config.dt;
+
+        // Power gate observes the rail left by the previous step.
+        if (gate.update(buffer.railVoltage())) {
+            ctx.now = t;
+            ctx.dt = config.dt;
+            if (gate.isOn()) {
+                if (result.latency < 0.0)
+                    result.latency = t;
+                device.setState(mcu::PowerState::Active);
+                buffer.notifyBackendPower(true);
+                if (benchmark)
+                    benchmark->onPowerUp(ctx);
+            } else {
+                if (benchmark)
+                    benchmark->onPowerDown(ctx);
+                device.setState(mcu::PowerState::Off);
+                buffer.notifyBackendPower(false);
+            }
+        }
+
+        const double input_power = frontend.power(t);
+        buffer.step(config.dt, input_power, device.current());
+
+        if (gate.isOn()) {
+            result.onTime += config.dt;
+            off_streak = 0.0;
+            if (benchmark) {
+                ctx.now = t;
+                ctx.dt = config.dt;
+                benchmark->tick(ctx);
+            } else {
+                device.setState(mcu::PowerState::Active);
+            }
+        } else {
+            off_streak += config.dt;
+        }
+
+        if (config.recordRail && t >= next_record) {
+            next_record += config.recordInterval;
+            result.rail.push_back({t, buffer.railVoltage(), gate.isOn(),
+                                   buffer.capacitanceLevel()});
+        }
+
+        if (config.stopAfterLatency && result.latency >= 0.0)
+            break;
+
+        if (t >= trace_duration) {
+            if (off_streak >= config.settleTime)
+                break;
+            if (t >= trace_duration + config.drainAllowance)
+                break;
+        }
+    }
+
+    result.totalTime = t;
+    result.powerCycles = device.powerCycles();
+    if (benchmark) {
+        result.workUnits = benchmark->workUnits();
+        result.packetsRx = benchmark->packetsReceived();
+        result.packetsTx = benchmark->packetsSent();
+        result.failedOps = benchmark->failedOperations();
+        result.missedEvents = benchmark->missedEvents();
+    }
+    result.ledger = buffer.ledger();
+    result.residualEnergy = buffer.storedEnergy();
+    return result;
+}
+
+} // namespace harness
+} // namespace react

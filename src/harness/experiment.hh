@@ -1,0 +1,118 @@
+/**
+ * @file
+ * End-to-end experiment runner: harvesting frontend -> buffer -> power
+ * gate -> MCU -> benchmark, the full loop of the paper's testbed (S 4).
+ *
+ * Following the paper's protocol (S 5), each run replays one power trace
+ * into one buffer while the backend executes one benchmark, then lets the
+ * system run on stored energy until the buffer drains.  The runner
+ * reports the paper's metrics: system latency (first enable, Table 4),
+ * work counts (Tables 2 and 5), on-time, power cycles, and the full
+ * energy ledger behind Fig. 7.
+ */
+
+#ifndef REACT_HARNESS_EXPERIMENT_HH
+#define REACT_HARNESS_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "buffers/energy_buffer.hh"
+#include "harvest/frontend.hh"
+#include "mcu/device.hh"
+#include "sim/energy_ledger.hh"
+#include "sim/power_gate.hh"
+#include "workload/benchmark.hh"
+
+namespace react {
+namespace harness {
+
+/** Runner options. */
+struct ExperimentConfig
+{
+    /** Integration timestep, seconds. */
+    double dt = 1e-3;
+    /** Maximum extra run time after the trace ends (run-until-drain
+     *  allowance). */
+    double drainAllowance = 900.0;
+    /** After the trace ends, stop once the backend has been continuously
+     *  off for this long (no input power remains to restart it). */
+    double settleTime = 20.0;
+    /** Power-gate enable threshold, volts. */
+    double enableVoltage = 3.3;
+    /** Power-gate brown-out threshold, volts. */
+    double brownoutVoltage = 1.8;
+    /** Record the rail voltage (for the figure benches). */
+    bool recordRail = false;
+    /** Sampling interval of the rail recording, seconds. */
+    double recordInterval = 0.5;
+    /** Stop as soon as the backend first enables (latency-only runs,
+     *  Table 4: charge time is software-invariant). */
+    bool stopAfterLatency = false;
+};
+
+/** One recorded rail sample. */
+struct RailSample
+{
+    double time = 0.0;
+    double voltage = 0.0;
+    bool backendOn = false;
+    int level = 0;
+};
+
+/** Outcome of one run. */
+struct ExperimentResult
+{
+    std::string bufferName;
+    std::string benchmarkName;
+    std::string traceName;
+
+    /** Time of first backend enable, seconds; < 0 when it never starts
+     *  (the paper's "-" entries in Table 4). */
+    double latency = -1.0;
+    /** Total time the backend was powered, seconds. */
+    double onTime = 0.0;
+    /** Total simulated time, seconds. */
+    double totalTime = 0.0;
+    /** Number of power cycles (off -> on transitions). */
+    uint64_t powerCycles = 0;
+    /** Mean uninterrupted on-period, seconds. */
+    double meanOnPeriod() const;
+    /** Fraction of total time the backend was powered. */
+    double dutyCycle() const;
+
+    /** Benchmark counters. */
+    uint64_t workUnits = 0;
+    uint64_t packetsRx = 0;
+    uint64_t packetsTx = 0;
+    uint64_t failedOps = 0;
+    uint64_t missedEvents = 0;
+
+    /** Buffer energy audit. */
+    sim::EnergyLedger ledger;
+    /** Energy still stored when the run ended, joules. */
+    double residualEnergy = 0.0;
+
+    /** Rail recording (when enabled). */
+    std::vector<RailSample> rail;
+};
+
+/**
+ * Run one experiment.  The buffer and benchmark are reset first.
+ *
+ * @param buffer Energy buffer under test.
+ * @param benchmark Workload; may be null, in which case the backend sits
+ *        in active mode whenever powered (the Fig. 1 motivation setup).
+ * @param frontend Power replay source.
+ * @param config Runner options.
+ */
+ExperimentResult runExperiment(buffer::EnergyBuffer &buffer,
+                               workload::Benchmark *benchmark,
+                               const harvest::HarvesterFrontend &frontend,
+                               const ExperimentConfig &config =
+                                   ExperimentConfig());
+
+} // namespace harness
+} // namespace react
+
+#endif // REACT_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,55 @@
+#include "figure_of_merit.hh"
+
+#include "util/logging.hh"
+
+namespace react {
+namespace harness {
+
+std::vector<double>
+normalizedMerit(const MeritMatrix &matrix, size_t reference_buffer)
+{
+    react_assert(reference_buffer < matrix.counts.size(),
+                 "reference buffer index out of range");
+    const auto &ref = matrix.counts[reference_buffer];
+    std::vector<double> scores(matrix.counts.size(), 0.0);
+    for (size_t b = 0; b < matrix.counts.size(); ++b) {
+        react_assert(matrix.counts[b].size() == ref.size(),
+                     "ragged merit matrix");
+        double sum = 0.0;
+        size_t used = 0;
+        for (size_t t = 0; t < ref.size(); ++t) {
+            if (ref[t] <= 0.0)
+                continue;
+            sum += matrix.counts[b][t] / ref[t];
+            ++used;
+        }
+        scores[b] = used > 0 ? sum / static_cast<double>(used) : 0.0;
+    }
+    return scores;
+}
+
+std::vector<double>
+averageMerit(const std::vector<std::vector<double>> &per_benchmark)
+{
+    react_assert(!per_benchmark.empty(), "no benchmarks to average");
+    std::vector<double> avg(per_benchmark.front().size(), 0.0);
+    for (const auto &scores : per_benchmark) {
+        react_assert(scores.size() == avg.size(), "ragged merit vectors");
+        for (size_t i = 0; i < scores.size(); ++i)
+            avg[i] += scores[i];
+    }
+    for (auto &v : avg)
+        v /= static_cast<double>(per_benchmark.size());
+    return avg;
+}
+
+double
+improvementOver(double normalized_score)
+{
+    if (normalized_score <= 0.0)
+        return 0.0;
+    return 1.0 / normalized_score - 1.0;
+}
+
+} // namespace harness
+} // namespace react

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure-of-merit aggregation for Fig. 7.
+ *
+ * The paper quantifies each buffer's aggregate performance with a
+ * benchmark-specific figure of merit (work units completed: encryptions,
+ * samples, transmissions, forwarded packets), normalized to REACT per
+ * power trace and averaged across traces.  This header provides that
+ * normalization plus the headline improvement ratios reported in S 5.5.
+ */
+
+#ifndef REACT_HARNESS_FIGURE_OF_MERIT_HH
+#define REACT_HARNESS_FIGURE_OF_MERIT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace react {
+namespace harness {
+
+/** Work counts for one benchmark: matrix[buffer][trace]. */
+struct MeritMatrix
+{
+    std::string benchmarkName;
+    std::vector<std::string> bufferNames;
+    std::vector<std::string> traceNames;
+    /** counts[buffer_index][trace_index]. */
+    std::vector<std::vector<double>> counts;
+};
+
+/**
+ * Normalize each buffer's counts to the reference buffer, per trace, and
+ * average across traces -- the bar height in Fig. 7.
+ *
+ * @param matrix Raw counts.
+ * @param reference_buffer Index of the normalization reference (REACT).
+ * @return One mean normalized score per buffer.  Traces where the
+ *         reference scored zero are skipped.
+ */
+std::vector<double> normalizedMerit(const MeritMatrix &matrix,
+                                    size_t reference_buffer);
+
+/**
+ * Average several per-buffer score vectors (one per benchmark) into the
+ * overall Fig. 7 aggregate.
+ */
+std::vector<double> averageMerit(
+    const std::vector<std::vector<double>> &per_benchmark);
+
+/**
+ * REACT's improvement over a buffer given normalized scores
+ * (reference / score - 1, e.g. 0.39 == "+39 %").
+ */
+double improvementOver(double normalized_score);
+
+} // namespace harness
+} // namespace react
+
+#endif // REACT_HARNESS_FIGURE_OF_MERIT_HH

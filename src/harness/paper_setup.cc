@@ -1,0 +1,121 @@
+#include "paper_setup.hh"
+
+#include "buffers/morphy_buffer.hh"
+#include "buffers/static_buffer.hh"
+#include "core/react_buffer.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+#include "workload/de_benchmark.hh"
+#include "workload/pf_benchmark.hh"
+#include "workload/rt_benchmark.hh"
+#include "workload/sc_benchmark.hh"
+
+namespace react {
+namespace harness {
+
+using units::microfarads;
+using units::millifarads;
+
+std::string
+bufferKindName(BufferKind kind)
+{
+    switch (kind) {
+      case BufferKind::Static770uF:
+        return "770uF";
+      case BufferKind::Static10mF:
+        return "10mF";
+      case BufferKind::Static17mF:
+        return "17mF";
+      case BufferKind::Morphy:
+        return "Morphy";
+      case BufferKind::React:
+        return "REACT";
+    }
+    return "?";
+}
+
+std::string
+benchmarkKindName(BenchmarkKind kind)
+{
+    switch (kind) {
+      case BenchmarkKind::DataEncryption:
+        return "DE";
+      case BenchmarkKind::SenseCompute:
+        return "SC";
+      case BenchmarkKind::RadioTransmit:
+        return "RT";
+      case BenchmarkKind::PacketForward:
+        return "PF";
+    }
+    return "?";
+}
+
+sim::CapacitorSpec
+staticBufferSpec(double capacitance)
+{
+    sim::CapacitorSpec spec;
+    spec.capacitance = capacitance;
+    spec.ratedVoltage = 6.3;
+    // Insulation-resistance leakage with tau = 2000 s (see DESIGN.md).
+    spec.leakageCurrentAtRated = 6.3 * capacitance / 2000.0;
+    return spec;
+}
+
+std::unique_ptr<buffer::EnergyBuffer>
+makeBuffer(BufferKind kind)
+{
+    switch (kind) {
+      case BufferKind::Static770uF:
+        return std::make_unique<buffer::StaticBuffer>(
+            staticBufferSpec(microfarads(770.0)));
+      case BufferKind::Static10mF:
+        return std::make_unique<buffer::StaticBuffer>(
+            staticBufferSpec(millifarads(10.0)));
+      case BufferKind::Static17mF:
+        return std::make_unique<buffer::StaticBuffer>(
+            staticBufferSpec(millifarads(17.0)), 3.6, "17mF");
+      case BufferKind::Morphy:
+        return std::make_unique<buffer::MorphyBuffer>();
+      case BufferKind::React:
+        return std::make_unique<core::ReactBuffer>(
+            core::ReactConfig::paperConfig());
+    }
+    react_panic("unknown buffer kind");
+}
+
+std::unique_ptr<workload::Benchmark>
+makeBenchmark(BenchmarkKind kind, double horizon, uint64_t seed)
+{
+    const workload::WorkloadParams params = workloadParams();
+    switch (kind) {
+      case BenchmarkKind::DataEncryption:
+        return std::make_unique<workload::DataEncryptionBenchmark>(params);
+      case BenchmarkKind::SenseCompute:
+        return std::make_unique<workload::SenseComputeBenchmark>(
+            params, horizon, seed);
+      case BenchmarkKind::RadioTransmit:
+        return std::make_unique<workload::RadioTransmitBenchmark>(params);
+      case BenchmarkKind::PacketForward:
+        return std::make_unique<workload::PacketForwardBenchmark>(
+            params, horizon, seed);
+    }
+    react_panic("unknown benchmark kind");
+}
+
+mcu::DeviceSpec
+backendSpec()
+{
+    mcu::DeviceSpec spec;
+    spec.activeCurrent = 1.5e-3;
+    spec.sleepCurrent = 300e-6;
+    return spec;
+}
+
+workload::WorkloadParams
+workloadParams()
+{
+    return workload::WorkloadParams();
+}
+
+} // namespace harness
+} // namespace react

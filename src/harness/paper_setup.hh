@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Factories for the paper's evaluation setup (S 4): the five energy
+ * buffers (770 uF / 10 mF / 17 mF static, Morphy, REACT), the four
+ * benchmarks, and the backend device spec.  Keeping every calibration
+ * constant here makes the reproduction's assumptions auditable in one
+ * place.
+ */
+
+#ifndef REACT_HARNESS_PAPER_SETUP_HH
+#define REACT_HARNESS_PAPER_SETUP_HH
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "buffers/energy_buffer.hh"
+#include "sim/capacitor.hh"
+#include "mcu/device.hh"
+#include "workload/benchmark.hh"
+
+namespace react {
+namespace harness {
+
+/** The five buffer designs of the evaluation, in the paper's column
+ *  order. */
+enum class BufferKind
+{
+    Static770uF,
+    Static10mF,
+    Static17mF,
+    Morphy,
+    React,
+};
+
+constexpr std::array<BufferKind, 5> kAllBuffers = {
+    BufferKind::Static770uF, BufferKind::Static10mF, BufferKind::Static17mF,
+    BufferKind::Morphy, BufferKind::React,
+};
+
+/** The four workloads of S 4.2. */
+enum class BenchmarkKind
+{
+    DataEncryption,
+    SenseCompute,
+    RadioTransmit,
+    PacketForward,
+};
+
+constexpr std::array<BenchmarkKind, 4> kAllBenchmarks = {
+    BenchmarkKind::DataEncryption, BenchmarkKind::SenseCompute,
+    BenchmarkKind::RadioTransmit, BenchmarkKind::PacketForward,
+};
+
+/** Display name for a buffer column. */
+std::string bufferKindName(BufferKind kind);
+
+/** Display name for a benchmark. */
+std::string benchmarkKindName(BenchmarkKind kind);
+
+/**
+ * Capacitor spec for a bulk ceramic/supercap static buffer with the same
+ * insulation-resistance leakage model used inside REACT's banks
+ * (tau = R C = 2000 s), so buffer comparisons isolate architecture rather
+ * than part quality.
+ */
+sim::CapacitorSpec staticBufferSpec(double capacitance);
+
+/** Build one of the five evaluation buffers. */
+std::unique_ptr<buffer::EnergyBuffer> makeBuffer(BufferKind kind);
+
+/**
+ * Build one of the four benchmarks.
+ *
+ * @param kind Which workload.
+ * @param horizon Scheduling horizon for external events, seconds.
+ * @param seed Seed for the workload's random streams.
+ */
+std::unique_ptr<workload::Benchmark> makeBenchmark(
+    BenchmarkKind kind, double horizon, uint64_t seed = 42);
+
+/** Backend device parameters (MSP430FR5994-class, 1.5 mA active). */
+mcu::DeviceSpec backendSpec();
+
+/** Shared workload parameters (peripheral currents, burst lengths). */
+workload::WorkloadParams workloadParams();
+
+} // namespace harness
+} // namespace react
+
+#endif // REACT_HARNESS_PAPER_SETUP_HH

@@ -1,0 +1,66 @@
+#include "converter.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace react {
+namespace harvest {
+
+double
+Converter::efficiency(double input_power) const
+{
+    if (input_power <= 0.0)
+        return 0.0;
+    return outputPower(input_power) / input_power;
+}
+
+double
+IdentityConverter::outputPower(double input_power) const
+{
+    return std::max(input_power, 0.0);
+}
+
+SigmoidEfficiencyConverter::SigmoidEfficiencyConverter(
+    double eta_floor, double eta_ceiling, double p_half, double slope,
+    double quiescent)
+    : etaFloor(eta_floor), etaCeiling(eta_ceiling), pHalf(p_half),
+      slope(slope), quiescent(quiescent)
+{
+    react_assert(eta_ceiling > eta_floor && eta_floor >= 0.0,
+                 "efficiency bounds must be ordered and non-negative");
+    react_assert(eta_ceiling <= 1.0, "efficiency cannot exceed 1");
+    react_assert(p_half > 0.0 && slope > 0.0,
+                 "sigmoid parameters must be positive");
+}
+
+double
+SigmoidEfficiencyConverter::outputPower(double input_power) const
+{
+    if (input_power <= 0.0)
+        return 0.0;
+    const double x = std::log10(input_power / pHalf);
+    const double sig = 1.0 / (1.0 + std::exp(-slope * x));
+    const double eta = etaFloor + (etaCeiling - etaFloor) * sig;
+    return std::max(input_power * eta - quiescent, 0.0);
+}
+
+RfRectifier::RfRectifier()
+    // P2110B: ~5 % at 10 uW RF input rising to ~55 % above a few mW.
+    : SigmoidEfficiencyConverter(0.02, 0.58, units::microwatts(300.0), 2.0,
+                                 units::microwatts(1.0))
+{
+}
+
+SolarBoostCharger::SolarBoostCharger()
+    // bq25570: boost efficiency climbs from ~40 % near cold-start input to
+    // >90 % above a milliwatt, with sub-microwatt quiescent draw.
+    : SigmoidEfficiencyConverter(0.30, 0.92, units::microwatts(100.0), 1.8,
+                                 units::microwatts(0.5))
+{
+}
+
+} // namespace harvest
+} // namespace react

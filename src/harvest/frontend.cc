@@ -1,0 +1,26 @@
+#include "frontend.hh"
+
+namespace react {
+namespace harvest {
+
+HarvesterFrontend::HarvesterFrontend(trace::PowerTrace trace,
+                                     std::unique_ptr<Converter> converter)
+    : powerTrace(std::move(trace)), conv(std::move(converter))
+{
+}
+
+double
+HarvesterFrontend::power(double t) const
+{
+    const double raw = powerTrace.power(t);
+    return conv ? conv->outputPower(raw) : raw;
+}
+
+double
+HarvesterFrontend::traceDuration() const
+{
+    return powerTrace.duration();
+}
+
+} // namespace harvest
+} // namespace react

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Ekho-style record-and-replay harvesting frontend.
+ *
+ * The paper makes its experiments repeatable by replaying recorded power
+ * traces through a programmable supply (S 4.3).  HarvesterFrontend is the
+ * simulator's equivalent: it binds a PowerTrace to an optional converter
+ * model and answers "how much power is entering the buffer at time t".
+ * The evaluation traces (Table 3) are recorded at the harvester *output*,
+ * so the main experiments use the identity converter; the converter models
+ * are exercised by the frontend ablation bench and by users composing raw
+ * irradiance/RF-field traces.
+ */
+
+#ifndef REACT_HARVEST_FRONTEND_HH
+#define REACT_HARVEST_FRONTEND_HH
+
+#include <memory>
+
+#include "harvest/converter.hh"
+#include "trace/power_trace.hh"
+
+namespace react {
+namespace harvest {
+
+/** Replay frontend: trace plus converter. */
+class HarvesterFrontend
+{
+  public:
+    /**
+     * @param trace Power trace to replay (copied).
+     * @param converter Conversion stage; identity when null.
+     */
+    explicit HarvesterFrontend(trace::PowerTrace trace,
+                               std::unique_ptr<Converter> converter =
+                                   nullptr);
+
+    /** Power delivered into the buffer at the given time, watts. */
+    double power(double t) const;
+
+    /** Duration of the underlying trace, seconds. */
+    double traceDuration() const;
+
+    /** Underlying trace. */
+    const trace::PowerTrace &trace() const { return powerTrace; }
+
+  private:
+    trace::PowerTrace powerTrace;
+    std::unique_ptr<Converter> conv;
+};
+
+} // namespace harvest
+} // namespace react
+
+#endif // REACT_HARVEST_FRONTEND_HH

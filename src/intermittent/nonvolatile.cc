@@ -1,0 +1,108 @@
+#include "nonvolatile.hh"
+
+namespace react {
+namespace intermittent {
+
+uint32_t
+NonVolatileStore::checksumOf(const std::vector<uint8_t> &data)
+{
+    // FNV-1a: cheap, adequate for torn-write detection.
+    uint32_t hash = 2166136261u;
+    for (uint8_t byte : data) {
+        hash ^= byte;
+        hash *= 16777619u;
+    }
+    return hash;
+}
+
+void
+NonVolatileStore::stage(const std::string &key, std::vector<uint8_t> data)
+{
+    staged[key] = std::move(data);
+}
+
+void
+NonVolatileStore::commit()
+{
+    for (auto &entry : staged) {
+        Record &record = records[entry.first];
+        const int target = record.active == 0 ? 1 : 0;
+        Slot &slot = record.slots[target];
+        slot.data = std::move(entry.second);
+        slot.checksum = checksumOf(slot.data);
+        slot.version = nextVersion++;
+        // The version/active flip is the atomic publish point.
+        record.active = target;
+    }
+    staged.clear();
+}
+
+void
+NonVolatileStore::failInFlightWrites()
+{
+    staged.clear();
+}
+
+bool
+NonVolatileStore::read(const std::string &key,
+                       std::vector<uint8_t> *out) const
+{
+    const auto it = records.find(key);
+    if (it == records.end() || it->second.active < 0)
+        return false;
+    const Slot &slot = it->second.slots[it->second.active];
+    if (checksumOf(slot.data) != slot.checksum) {
+        // Active slot corrupted: fall back to the previous version if
+        // it is intact (the double-buffer's whole purpose).
+        const Slot &other = it->second.slots[it->second.active ^ 1];
+        if (other.version > 0 && checksumOf(other.data) == other.checksum) {
+            if (out)
+                *out = other.data;
+            return true;
+        }
+        return false;
+    }
+    if (out)
+        *out = slot.data;
+    return true;
+}
+
+bool
+NonVolatileStore::contains(const std::string &key) const
+{
+    return read(key, nullptr);
+}
+
+size_t
+NonVolatileStore::size() const
+{
+    size_t n = 0;
+    for (const auto &entry : records)
+        n += entry.second.active >= 0 ? 1 : 0;
+    return n;
+}
+
+size_t
+NonVolatileStore::storageBytes() const
+{
+    size_t bytes = 0;
+    for (const auto &entry : records) {
+        for (const auto &slot : entry.second.slots)
+            bytes += slot.data.size();
+    }
+    return bytes;
+}
+
+void
+NonVolatileStore::corrupt(const std::string &key)
+{
+    auto it = records.find(key);
+    if (it == records.end() || it->second.active < 0)
+        return;
+    Slot &slot = it->second.slots[it->second.active];
+    if (!slot.data.empty())
+        slot.data[0] ^= 0xff;
+}
+
+} // namespace intermittent
+} // namespace react

@@ -1,0 +1,148 @@
+#include "task_runtime.hh"
+
+#include "util/logging.hh"
+
+namespace react {
+namespace intermittent {
+
+namespace {
+
+const char *kCurrentTaskKey = "__task";
+const char *kDoneMarker = "__done";
+
+std::vector<uint8_t>
+encodeString(const std::string &s)
+{
+    return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+std::string
+decodeString(const std::vector<uint8_t> &bytes)
+{
+    return std::string(bytes.begin(), bytes.end());
+}
+
+} // namespace
+
+TaskContext::TaskContext(const TaskRuntime &runtime)
+    : runtime(runtime)
+{
+}
+
+std::vector<uint8_t>
+TaskContext::readBytes(const std::string &name,
+                       std::vector<uint8_t> fallback) const
+{
+    // Read-own-writes within a task keeps task bodies natural while
+    // preserving idempotence (the buffer is discarded on failure).
+    const auto it = writes.find(name);
+    if (it != writes.end())
+        return it->second;
+    std::vector<uint8_t> out;
+    if (runtime.nv.read(name, &out))
+        return out;
+    return fallback;
+}
+
+uint64_t
+TaskContext::readU64(const std::string &name, uint64_t fallback) const
+{
+    const auto bytes = readBytes(name);
+    if (bytes.size() != 8)
+        return fallback;
+    uint64_t value = 0;
+    for (int i = 0; i < 8; ++i)
+        value |= static_cast<uint64_t>(bytes[static_cast<size_t>(i)])
+            << (8 * i);
+    return value;
+}
+
+void
+TaskContext::writeBytes(const std::string &name, std::vector<uint8_t> data)
+{
+    react_assert(name.rfind("__", 0) != 0,
+                 "variable names starting with __ are reserved");
+    writes[name] = std::move(data);
+}
+
+void
+TaskContext::writeU64(const std::string &name, uint64_t value)
+{
+    std::vector<uint8_t> bytes(8);
+    for (int i = 0; i < 8; ++i)
+        bytes[static_cast<size_t>(i)] =
+            static_cast<uint8_t>(value >> (8 * i));
+    writeBytes(name, std::move(bytes));
+}
+
+TaskRuntime::TaskRuntime(std::string entry)
+    : entry(std::move(entry))
+{
+    react_assert(!this->entry.empty(), "entry task name must be set");
+}
+
+void
+TaskRuntime::addTask(const std::string &name, TaskFn fn)
+{
+    react_assert(!name.empty(), "task name must be non-empty");
+    react_assert(tasks.emplace(name, std::move(fn)).second,
+                 "task '%s' registered twice", name.c_str());
+}
+
+std::string
+TaskRuntime::currentTask() const
+{
+    std::vector<uint8_t> bytes;
+    if (nv.read(kCurrentTaskKey, &bytes))
+        return decodeString(bytes);
+    return entry;
+}
+
+bool
+TaskRuntime::finished() const
+{
+    return currentTask() == kDoneMarker;
+}
+
+std::string
+TaskRuntime::execute(TaskContext &ctx)
+{
+    const std::string name = currentTask();
+    const auto it = tasks.find(name);
+    react_assert(it != tasks.end(), "unknown task '%s'", name.c_str());
+    const std::string next = it->second(ctx);
+    return next.empty() ? kDoneMarker : next;
+}
+
+bool
+TaskRuntime::step()
+{
+    if (finished())
+        return false;
+    TaskContext ctx(*this);
+    const std::string next = execute(ctx);
+    // Commit: buffered writes plus the control-flow edge, atomically.
+    for (auto &entry_kv : ctx.writes)
+        nv.stage(entry_kv.first, std::move(entry_kv.second));
+    nv.stage(kCurrentTaskKey, encodeString(next));
+    nv.commit();
+    ++committed;
+    return true;
+}
+
+void
+TaskRuntime::stepWithFailure()
+{
+    if (finished())
+        return;
+    TaskContext ctx(*this);
+    (void)execute(ctx);
+    // Power dies before the commit point: every buffered write and the
+    // successor edge evaporate; the task will re-run from its original
+    // inputs at next power-up.
+    nv.failInFlightWrites();
+    ++aborted;
+}
+
+} // namespace intermittent
+} // namespace react

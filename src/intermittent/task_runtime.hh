@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Task-based intermittent execution runtime (Alpaca-style, S 2 of the
+ * paper).
+ *
+ * Programs are decomposed into idempotent *tasks*.  A task reads
+ * task-shared variables, computes, writes results, and names its
+ * successor; the runtime buffers all writes and commits them -- together
+ * with the control-flow edge -- atomically at task exit.  A power
+ * failure mid-task therefore re-executes the task from its original
+ * inputs instead of exposing partial state: execution under arbitrary
+ * power failures produces exactly the same result as continuous
+ * execution (the property the test suite checks by fault injection).
+ *
+ * This is the software substrate the paper's intermittent platform
+ * assumes; the intermittent_logger example runs it on top of a REACT
+ * buffer through real simulated power cycles.
+ */
+
+#ifndef REACT_INTERMITTENT_TASK_RUNTIME_HH
+#define REACT_INTERMITTENT_TASK_RUNTIME_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "intermittent/nonvolatile.hh"
+
+namespace react {
+namespace intermittent {
+
+class TaskRuntime;
+
+/** View of task-shared state inside one task execution. */
+class TaskContext
+{
+  public:
+    /**
+     * Read a shared variable committed by earlier tasks.
+     *
+     * @param name Variable name.
+     * @param fallback Returned when the variable has never been written.
+     */
+    std::vector<uint8_t> readBytes(const std::string &name,
+                                   std::vector<uint8_t> fallback = {})
+        const;
+
+    /** Read a 64-bit unsigned shared variable. */
+    uint64_t readU64(const std::string &name, uint64_t fallback = 0) const;
+
+    /** Buffer a write; visible only after this task commits. */
+    void writeBytes(const std::string &name, std::vector<uint8_t> data);
+
+    /** Buffer a 64-bit unsigned write. */
+    void writeU64(const std::string &name, uint64_t value);
+
+  private:
+    friend class TaskRuntime;
+    explicit TaskContext(const TaskRuntime &runtime);
+    const TaskRuntime &runtime;
+    std::map<std::string, std::vector<uint8_t>> writes;
+};
+
+/** A task computes and names its successor ("" == program done). */
+using TaskFn = std::function<std::string(TaskContext &)>;
+
+/** Intermittent task executor over a non-volatile store. */
+class TaskRuntime
+{
+  public:
+    /**
+     * @param entry Name of the first task of the program.
+     */
+    explicit TaskRuntime(std::string entry);
+
+    /** Register a task. */
+    void addTask(const std::string &name, TaskFn fn);
+
+    /** Name of the task that will execute next (restored from FRAM). */
+    std::string currentTask() const;
+
+    /** Whether the program has reached completion. */
+    bool finished() const;
+
+    /**
+     * Execute the current task to completion and commit atomically.
+     * In a deployment a brown-out would abort the task before commit;
+     * callers simulating intermittent power decide per step whether the
+     * energy budget covers a full task (see stepWithFailure).
+     *
+     * @return false when the program is already finished.
+     */
+    bool step();
+
+    /**
+     * Execute the current task but inject a power failure before the
+     * commit point: all buffered writes and the control-flow edge are
+     * lost, exactly as when the rail collapses mid-task.
+     */
+    void stepWithFailure();
+
+    /** Total committed task executions. */
+    uint64_t tasksCommitted() const { return committed; }
+
+    /** Task executions lost to injected power failures. */
+    uint64_t tasksAborted() const { return aborted; }
+
+    /** The backing non-volatile store (for inspection / fault hooks). */
+    NonVolatileStore &store() { return nv; }
+    const NonVolatileStore &store() const { return nv; }
+
+  private:
+    friend class TaskContext;
+
+    /** Run the current task body; fills ctx.writes and the successor. */
+    std::string execute(TaskContext &ctx);
+
+    std::string entry;
+    std::map<std::string, TaskFn> tasks;
+    NonVolatileStore nv;
+    uint64_t committed = 0;
+    uint64_t aborted = 0;
+};
+
+} // namespace intermittent
+} // namespace react
+
+#endif // REACT_INTERMITTENT_TASK_RUNTIME_HH

@@ -1,0 +1,57 @@
+#include "device.hh"
+
+#include "util/logging.hh"
+
+namespace react {
+namespace mcu {
+
+Device::Device(const DeviceSpec &spec)
+    : deviceSpec(spec)
+{
+    react_assert(spec.activeCurrent > 0.0, "active current must be > 0");
+    react_assert(spec.sleepCurrent >= 0.0, "sleep current must be >= 0");
+}
+
+void
+Device::setState(PowerState state)
+{
+    if (powerState == PowerState::Off && state != PowerState::Off)
+        ++cycles;
+    if (state == PowerState::Off)
+        periphCurrent = 0.0;  // peripherals lose power with the MCU
+    powerState = state;
+}
+
+void
+Device::setPeripheralCurrent(double current)
+{
+    react_assert(current >= 0.0, "peripheral current must be >= 0");
+    periphCurrent = current;
+}
+
+double
+Device::current() const
+{
+    switch (powerState) {
+      case PowerState::Off:
+        return 0.0;
+      case PowerState::DeepSleep:
+        return deviceSpec.deepSleepCurrent + periphCurrent;
+      case PowerState::Sleep:
+        return deviceSpec.sleepCurrent + periphCurrent;
+      case PowerState::Active:
+        return deviceSpec.activeCurrent + periphCurrent;
+    }
+    return 0.0;
+}
+
+void
+Device::reset()
+{
+    powerState = PowerState::Off;
+    periphCurrent = 0.0;
+    cycles = 0;
+}
+
+} // namespace mcu
+} // namespace react

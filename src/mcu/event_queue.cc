@@ -1,0 +1,79 @@
+#include "event_queue.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace react {
+namespace mcu {
+
+EventQueue::EventQueue(std::vector<double> times)
+    : times(std::move(times))
+{
+    react_assert(std::is_sorted(this->times.begin(), this->times.end()),
+                 "event timestamps must be sorted");
+}
+
+EventQueue
+EventQueue::periodic(double period, double duration)
+{
+    react_assert(period > 0.0, "period must be positive");
+    std::vector<double> ts;
+    for (double t = period; t <= duration; t += period)
+        ts.push_back(t);
+    return EventQueue(std::move(ts));
+}
+
+EventQueue
+EventQueue::poisson(double mean_interarrival, double duration, Rng &rng)
+{
+    react_assert(mean_interarrival > 0.0,
+                 "mean inter-arrival must be positive");
+    std::vector<double> ts;
+    double t = rng.exponential(mean_interarrival);
+    while (t <= duration) {
+        ts.push_back(t);
+        t += rng.exponential(mean_interarrival);
+    }
+    return EventQueue(std::move(ts));
+}
+
+bool
+EventQueue::pending(double now) const
+{
+    return next < times.size() && times[next] <= now;
+}
+
+size_t
+EventQueue::consumeUpTo(double now)
+{
+    size_t consumed = 0;
+    while (pending(now)) {
+        ++next;
+        ++consumed;
+    }
+    return consumed;
+}
+
+bool
+EventQueue::consumeNext(double now, double *when)
+{
+    if (!pending(now))
+        return false;
+    if (when)
+        *when = times[next];
+    ++next;
+    return true;
+}
+
+double
+EventQueue::nextEventTime() const
+{
+    if (next >= times.size())
+        return std::numeric_limits<double>::infinity();
+    return times[next];
+}
+
+} // namespace mcu
+} // namespace react

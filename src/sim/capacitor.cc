@@ -1,0 +1,91 @@
+#include "capacitor.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace react {
+namespace sim {
+
+double
+CapacitorSpec::leakResistance() const
+{
+    if (leakageCurrentAtRated <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return ratedVoltage / leakageCurrentAtRated;
+}
+
+Capacitor::Capacitor(const CapacitorSpec &spec, double initial_voltage)
+    : partSpec(spec), v(initial_voltage)
+{
+    react_assert(spec.capacitance > 0.0, "capacitance must be positive");
+    react_assert(initial_voltage >= 0.0, "initial voltage must be >= 0");
+}
+
+void
+Capacitor::setVoltage(double voltage)
+{
+    react_assert(voltage >= 0.0, "capacitor voltage must be >= 0");
+    v = voltage;
+}
+
+double
+Capacitor::charge() const
+{
+    return partSpec.capacitance * v;
+}
+
+double
+Capacitor::energy() const
+{
+    return units::capEnergy(partSpec.capacitance, v);
+}
+
+void
+Capacitor::addCharge(double dq)
+{
+    v += dq / partSpec.capacitance;
+    if (v < 0.0)
+        v = 0.0;
+}
+
+void
+Capacitor::applyCurrent(double current, double dt)
+{
+    addCharge(current * dt);
+}
+
+double
+Capacitor::leak(double dt)
+{
+    const double r = partSpec.leakResistance();
+    if (!std::isfinite(r) || v <= 0.0)
+        return 0.0;
+    const double before = energy();
+    v *= std::exp(-dt / (r * partSpec.capacitance));
+    return before - energy();
+}
+
+double
+Capacitor::clip(double ceiling)
+{
+    const double limit = ceiling < 0.0 ? partSpec.ratedVoltage : ceiling;
+    if (v <= limit)
+        return 0.0;
+    const double before = energy();
+    v = limit;
+    return before - energy();
+}
+
+double
+Capacitor::energyAbove(double floor_voltage) const
+{
+    if (v <= floor_voltage)
+        return 0.0;
+    return units::capEnergyWindow(partSpec.capacitance, v, floor_voltage);
+}
+
+} // namespace sim
+} // namespace react

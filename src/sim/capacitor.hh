@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Ideal-capacitor-with-leakage model: the basic storage element behind every
+ * buffer architecture in this reproduction.
+ *
+ * The paper's capacitors are characterized by three datasheet values we
+ * model directly: capacitance, rated voltage, and leakage current at the
+ * rated voltage.  Leakage is modelled as an ohmic parallel resistance
+ * R_leak = V_rated / I_leak(V_rated), which matches the first-order
+ * behaviour of both the ceramic (28 uA @ 6.3 V) and supercapacitor
+ * (0.15 uA @ 5.5 V) parts in Table 1.
+ */
+
+#ifndef REACT_SIM_CAPACITOR_HH
+#define REACT_SIM_CAPACITOR_HH
+
+namespace react {
+namespace sim {
+
+/** Electrical parameters for a capacitor part (one datasheet row). */
+struct CapacitorSpec
+{
+    /** Capacitance in farads. */
+    double capacitance = 0.0;
+    /** Absolute maximum voltage; charge above this is clipped. */
+    double ratedVoltage = 6.3;
+    /** Leakage current at the rated voltage (amperes). */
+    double leakageCurrentAtRated = 0.0;
+
+    /** Equivalent parallel leakage resistance (ohms); infinite if no leak. */
+    double leakResistance() const;
+};
+
+/**
+ * A single capacitor: charge state plus the physics helpers every buffer
+ * needs (charge/energy accounting, exact leakage decay, current
+ * integration, overvoltage clipping).
+ */
+class Capacitor
+{
+  public:
+    Capacitor() = default;
+
+    /** Construct from a part spec at an initial voltage (default 0 V). */
+    explicit Capacitor(const CapacitorSpec &spec, double initial_voltage = 0);
+
+    /** Part parameters. */
+    const CapacitorSpec &spec() const { return partSpec; }
+
+    /** Capacitance in farads. */
+    double capacitance() const { return partSpec.capacitance; }
+
+    /** Terminal voltage in volts. */
+    double voltage() const { return v; }
+
+    /** Force the terminal voltage (used by reconfiguration logic). */
+    void setVoltage(double voltage);
+
+    /** Stored charge Q = C V in coulombs. */
+    double charge() const;
+
+    /** Stored energy E = 1/2 C V^2 in joules. */
+    double energy() const;
+
+    /**
+     * Add signed charge.  Voltage changes by dQ / C; no rails are enforced
+     * here (callers clip explicitly so the clipped energy can be accounted).
+     *
+     * @param dq Charge in coulombs (negative discharges).
+     */
+    void addCharge(double dq);
+
+    /**
+     * Integrate a constant current over dt: dV = I dt / C.
+     *
+     * @param current Signed current in amperes (positive charges).
+     * @param dt Timestep in seconds.
+     */
+    void applyCurrent(double current, double dt);
+
+    /**
+     * Exact exponential self-discharge through the leakage resistance over
+     * dt: V *= exp(-dt / (R_leak C)).
+     *
+     * @param dt Timestep in seconds.
+     * @return Energy lost to leakage in joules.
+     */
+    double leak(double dt);
+
+    /**
+     * Clamp voltage to the given ceiling (defaults to the rated voltage).
+     *
+     * @param ceiling Maximum voltage; values above are discarded as heat.
+     * @return Energy clipped in joules (0 when under the ceiling).
+     */
+    double clip(double ceiling = -1.0);
+
+    /**
+     * Energy released when discharging down to the given floor voltage;
+     * zero when already below it.
+     */
+    double energyAbove(double floor_voltage) const;
+
+  private:
+    CapacitorSpec partSpec;
+    double v = 0.0;
+};
+
+} // namespace sim
+} // namespace react
+
+#endif // REACT_SIM_CAPACITOR_HH

@@ -1,0 +1,80 @@
+#include "charge_transfer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace react {
+namespace sim {
+
+TransferResult
+transferCharge(Capacitor &source, Capacitor &sink, double resistance,
+               double diode_drop, double dt)
+{
+    react_assert(resistance > 0.0, "transfer resistance must be positive");
+    react_assert(diode_drop >= 0.0, "diode drop must be >= 0");
+
+    TransferResult result;
+    const double dv = source.voltage() - sink.voltage() - diode_drop;
+    if (dv <= 0.0 || dt <= 0.0)
+        return result;
+
+    const double c1 = source.capacitance();
+    const double c2 = sink.capacitance();
+    const double ceq = c1 * c2 / (c1 + c2);
+    const double tau = resistance * ceq;
+
+    // The excess voltage difference (above the diode drop) relaxes
+    // exponentially; the transferred charge is the integral of the current.
+    const double decay = std::exp(-dt / tau);
+    const double q = ceq * dv * (1.0 - decay);
+
+    const double e_before = source.energy() + sink.energy();
+    source.addCharge(-q);
+    sink.addCharge(q);
+    const double e_after = source.energy() + sink.energy();
+
+    result.charge = q;
+    result.diodeLoss = diode_drop * q;
+    result.resistiveLoss = e_before - e_after - result.diodeLoss;
+    // Numerical guard: the closed form keeps this non-negative, but clamp
+    // rounding noise so ledgers never accumulate negative loss.
+    result.resistiveLoss = std::max(result.resistiveLoss, 0.0);
+    return result;
+}
+
+TransferResult
+chargeFromPower(Capacitor &sink, double power, double dt, double diode_drop,
+                double v_floor)
+{
+    TransferResult result;
+    if (power <= 0.0 || dt <= 0.0)
+        return result;
+
+    const double v_eff = std::max(sink.voltage() + diode_drop, v_floor);
+    const double current = power / v_eff;
+    const double q = current * dt;
+
+    sink.addCharge(q);
+    result.charge = q;
+    result.diodeLoss = diode_drop * q;
+    return result;
+}
+
+double
+equalizeParallel(Capacitor &a, Capacitor &b)
+{
+    const double c1 = a.capacitance();
+    const double c2 = b.capacitance();
+    const double q_total = a.charge() + b.charge();
+    const double e_before = a.energy() + b.energy();
+    const double v_final = q_total / (c1 + c2);
+    a.setVoltage(v_final);
+    b.setVoltage(v_final);
+    const double e_after = a.energy() + b.energy();
+    return std::max(e_before - e_after, 0.0);
+}
+
+} // namespace sim
+} // namespace react

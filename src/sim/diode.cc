@@ -1,0 +1,52 @@
+#include "diode.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace react {
+namespace sim {
+
+double
+Diode::conductionPower(double current) const
+{
+    if (current <= 0.0)
+        return 0.0;
+    return forwardDrop(current) * current;
+}
+
+IdealDiode::IdealDiode(double on_resistance, double quiescent)
+    : rOn(on_resistance), quiescent(quiescent)
+{
+    react_assert(on_resistance >= 0.0, "on-resistance must be >= 0");
+    react_assert(quiescent >= 0.0, "quiescent power must be >= 0");
+}
+
+double
+IdealDiode::forwardDrop(double current) const
+{
+    if (current <= 0.0)
+        return 0.0;
+    return current * rOn;
+}
+
+SchottkyDiode::SchottkyDiode(double saturation_current, double ideality,
+                             double thermal_voltage)
+    : iSat(saturation_current), n(ideality), vt(thermal_voltage)
+{
+    react_assert(saturation_current > 0.0,
+                 "saturation current must be positive");
+    react_assert(ideality > 0.0 && thermal_voltage > 0.0,
+                 "diode parameters must be positive");
+}
+
+double
+SchottkyDiode::forwardDrop(double current) const
+{
+    if (current <= 0.0)
+        return 0.0;
+    return n * vt * std::log1p(current / iSat);
+}
+
+} // namespace sim
+} // namespace react

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Diode models for REACT's bank-isolation network.
+ *
+ * The paper contrasts two implementations (S 3.3.2): passive Schottky
+ * diodes, whose forward drop at milliamp currents wastes substantial power,
+ * and active "ideal diode" circuits (TI LM66100: a comparator plus a pass
+ * FET) which present a tiny series resistance and a microwatt-scale
+ * quiescent draw.  Both are modelled here so the diode-type ablation bench
+ * can reproduce the paper's 0.02 % dissipation claim.
+ */
+
+#ifndef REACT_SIM_DIODE_HH
+#define REACT_SIM_DIODE_HH
+
+namespace react {
+namespace sim {
+
+/** Common interface: forward voltage as a function of forward current. */
+class Diode
+{
+  public:
+    virtual ~Diode() = default;
+
+    /**
+     * Forward voltage drop when conducting the given current.
+     *
+     * @param current Forward current in amperes (>= 0).
+     * @return Drop in volts (0 when current is 0 for the ideal diode).
+     */
+    virtual double forwardDrop(double current) const = 0;
+
+    /** Always-on control power (comparator supply etc.), in watts. */
+    virtual double quiescentPower() const = 0;
+
+    /** Power dissipated while conducting the given current, in watts. */
+    double conductionPower(double current) const;
+};
+
+/**
+ * Active ideal diode (LM66100-like): pass FET with on-resistance plus a
+ * quiescent comparator draw.  Blocks reverse current exactly.
+ */
+class IdealDiode : public Diode
+{
+  public:
+    /**
+     * @param on_resistance Pass-FET resistance in ohms (LM66100: 79 mOhm).
+     * @param quiescent Control power in watts (LM66100: ~0.25 uA @ 3.3 V).
+     */
+    explicit IdealDiode(double on_resistance = 0.079,
+                        double quiescent = 0.8e-6);
+
+    double forwardDrop(double current) const override;
+    double quiescentPower() const override { return quiescent; }
+
+    /** Series on-resistance in ohms. */
+    double onResistance() const { return rOn; }
+
+  private:
+    double rOn;
+    double quiescent;
+};
+
+/**
+ * Passive Schottky diode modelled by the Shockley equation
+ * V_f = n V_T ln(1 + I / I_s), matched to a small-signal part
+ * (~0.3 V at 1 mA).
+ */
+class SchottkyDiode : public Diode
+{
+  public:
+    /**
+     * @param saturation_current Reverse saturation current in amperes.
+     * @param ideality Diode ideality factor n.
+     * @param thermal_voltage kT/q in volts (25.85 mV at 300 K).
+     */
+    explicit SchottkyDiode(double saturation_current = 5e-8,
+                           double ideality = 1.5,
+                           double thermal_voltage = 0.02585);
+
+    double forwardDrop(double current) const override;
+    double quiescentPower() const override { return 0.0; }
+
+  private:
+    double iSat;
+    double n;
+    double vt;
+};
+
+} // namespace sim
+} // namespace react
+
+#endif // REACT_SIM_DIODE_HH

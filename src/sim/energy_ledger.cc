@@ -1,0 +1,45 @@
+#include "energy_ledger.hh"
+
+namespace react {
+namespace sim {
+
+double
+EnergyLedger::totalLoss() const
+{
+    return clipped + leaked + switchLoss + diodeLoss + overhead;
+}
+
+double
+EnergyLedger::totalOut() const
+{
+    return delivered + totalLoss();
+}
+
+double
+EnergyLedger::efficiency() const
+{
+    return harvested > 0.0 ? delivered / harvested : 0.0;
+}
+
+EnergyLedger &
+EnergyLedger::operator+=(const EnergyLedger &other)
+{
+    harvested += other.harvested;
+    delivered += other.delivered;
+    clipped += other.clipped;
+    leaked += other.leaked;
+    switchLoss += other.switchLoss;
+    diodeLoss += other.diodeLoss;
+    overhead += other.overhead;
+    return *this;
+}
+
+EnergyLedger
+operator+(EnergyLedger lhs, const EnergyLedger &rhs)
+{
+    lhs += rhs;
+    return lhs;
+}
+
+} // namespace sim
+} // namespace react

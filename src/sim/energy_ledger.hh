@@ -1,0 +1,55 @@
+/**
+ * @file
+ * End-to-end energy accounting.
+ *
+ * The paper's evaluation is fundamentally an energy audit: where does each
+ * harvested joule go?  Every buffer implementation reports its flows
+ * through this ledger so the harness can verify conservation
+ * (harvested == delivered + clipped + leaked + switching + diode + overhead
+ *  + change in stored energy) and the efficiency benches can break waste
+ * down by cause.
+ */
+
+#ifndef REACT_SIM_ENERGY_LEDGER_HH
+#define REACT_SIM_ENERGY_LEDGER_HH
+
+namespace react {
+namespace sim {
+
+/** Cumulative energy flows, in joules. */
+struct EnergyLedger
+{
+    /** Energy accepted from the harvester at the buffer input. */
+    double harvested = 0.0;
+    /** Energy delivered to the computational backend. */
+    double delivered = 0.0;
+    /** Energy burned off to prevent overvoltage (full buffer). */
+    double clipped = 0.0;
+    /** Energy lost to capacitor self-discharge. */
+    double leaked = 0.0;
+    /** Energy dissipated by inter-capacitor current during switching. */
+    double switchLoss = 0.0;
+    /** Energy dissipated in isolation/input diodes. */
+    double diodeLoss = 0.0;
+    /** Energy consumed by the buffer's own hardware (comparators etc.). */
+    double overhead = 0.0;
+
+    /** Sum of all loss categories (everything but delivered). */
+    double totalLoss() const;
+
+    /** All energy that left the buffer, including useful delivery. */
+    double totalOut() const;
+
+    /** Fraction of harvested energy delivered to the backend. */
+    double efficiency() const;
+
+    /** Accumulate another ledger into this one. */
+    EnergyLedger &operator+=(const EnergyLedger &other);
+};
+
+EnergyLedger operator+(EnergyLedger lhs, const EnergyLedger &rhs);
+
+} // namespace sim
+} // namespace react
+
+#endif // REACT_SIM_ENERGY_LEDGER_HH

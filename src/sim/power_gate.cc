@@ -1,0 +1,45 @@
+#include "power_gate.hh"
+
+#include "util/logging.hh"
+
+namespace react {
+namespace sim {
+
+PowerGate::PowerGate(double enable_voltage, double brownout_voltage)
+    : vEnable(enable_voltage), vBrownout(brownout_voltage)
+{
+    react_assert(enable_voltage > brownout_voltage,
+                 "enable voltage must exceed brown-out voltage");
+    react_assert(brownout_voltage > 0.0, "brown-out voltage must be > 0");
+}
+
+bool
+PowerGate::update(double rail_voltage)
+{
+    if (!on && rail_voltage >= vEnable) {
+        on = true;
+        return true;
+    }
+    if (on && rail_voltage <= vBrownout) {
+        on = false;
+        return true;
+    }
+    return false;
+}
+
+void
+PowerGate::setEnableVoltage(double enable_voltage)
+{
+    react_assert(enable_voltage > vBrownout,
+                 "enable voltage must exceed brown-out voltage");
+    vEnable = enable_voltage;
+}
+
+void
+PowerGate::reset()
+{
+    on = false;
+}
+
+} // namespace sim
+} // namespace react

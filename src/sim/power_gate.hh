@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Hysteretic power gate between the energy buffer and the computational
+ * backend.
+ *
+ * Every platform in the paper's evaluation uses the same intermediate
+ * circuit: the MSP430 is enabled once the buffer charges to 3.3 V and
+ * disconnected when it falls to 1.8 V (S 4).  Dewdrop-style designs vary
+ * the enable voltage at run time, so the threshold is mutable.
+ */
+
+#ifndef REACT_SIM_POWER_GATE_HH
+#define REACT_SIM_POWER_GATE_HH
+
+namespace react {
+namespace sim {
+
+/** Voltage-supervisor power gate with enable/brown-out hysteresis. */
+class PowerGate
+{
+  public:
+    /**
+     * @param enable_voltage Rising threshold that turns the backend on.
+     * @param brownout_voltage Falling threshold that cuts power.
+     */
+    PowerGate(double enable_voltage = 3.3, double brownout_voltage = 1.8);
+
+    /**
+     * Observe the rail voltage and update the gate state.
+     *
+     * @param rail_voltage Buffer output voltage in volts.
+     * @return true when the state changed during this update.
+     */
+    bool update(double rail_voltage);
+
+    /** Whether the backend is currently powered. */
+    bool isOn() const { return on; }
+
+    /** Rising enable threshold in volts. */
+    double enableVoltage() const { return vEnable; }
+
+    /** Falling brown-out threshold in volts. */
+    double brownoutVoltage() const { return vBrownout; }
+
+    /**
+     * Retarget the enable threshold (Dewdrop-style adaptive wake-up).
+     * Must remain above the brown-out threshold.
+     */
+    void setEnableVoltage(double enable_voltage);
+
+    /** Reset to the powered-off state. */
+    void reset();
+
+  private:
+    double vEnable;
+    double vBrownout;
+    bool on = false;
+};
+
+} // namespace sim
+} // namespace react
+
+#endif // REACT_SIM_POWER_GATE_HH

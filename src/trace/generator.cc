@@ -1,0 +1,123 @@
+#include "generator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace react {
+namespace trace {
+
+double
+highFractionForCv(double target_cv, double amplitude_sigma)
+{
+    react_assert(target_cv > 0.0, "target CV must be positive");
+    // Lognormal squared-CV of episode amplitudes.
+    const double cv_x2 = std::exp(amplitude_sigma * amplitude_sigma) - 1.0;
+    const double f = (1.0 + cv_x2) / (1.0 + target_cv * target_cv);
+    return std::clamp(f, 0.01, 0.95);
+}
+
+namespace {
+
+/** One realization at a given HIGH-time fraction. */
+PowerTrace
+generateOnce(const VolatileSourceParams &params, double f, Rng rng)
+{
+    const double mean_low_duration =
+        params.meanHighDuration * (1.0 - f) / f;
+
+    const size_t n =
+        static_cast<size_t>(std::ceil(params.duration / params.sampleDt));
+    std::vector<double> samples(n, 0.0);
+
+    // Unit-scale HIGH amplitude; the final rescale fixes absolute level.
+    const double mu = -0.5 * params.amplitudeSigma * params.amplitudeSigma;
+
+    bool high = rng.chance(f);
+    double episode_left = high ? rng.exponential(params.meanHighDuration)
+                               : rng.exponential(mean_low_duration);
+    double high_amp = rng.lognormal(mu, params.amplitudeSigma);
+    double drift = 1.0;
+    double smoothed = 0.0;
+    const double alpha =
+        params.smoothingTau > 0.0
+            ? 1.0 - std::exp(-params.sampleDt / params.smoothingTau)
+            : 1.0;
+    // Random-walk drift step sized so total drift variance over the trace
+    // matches driftSigma.
+    const double drift_step =
+        params.driftSigma / std::sqrt(static_cast<double>(n));
+
+    for (size_t i = 0; i < n; ++i) {
+        episode_left -= params.sampleDt;
+        if (episode_left <= 0.0) {
+            high = !high;
+            if (high) {
+                episode_left = rng.exponential(params.meanHighDuration);
+                high_amp = rng.lognormal(mu, params.amplitudeSigma);
+            } else {
+                episode_left = rng.exponential(mean_low_duration);
+            }
+        }
+        double level = high ? high_amp : params.lowLevelFraction;
+        if (params.flickerSigma > 0.0) {
+            level *= std::max(0.0,
+                              1.0 + params.flickerSigma * rng.normal());
+        }
+        drift *= std::max(0.2, 1.0 + drift_step * rng.normal());
+        level *= drift;
+        smoothed += alpha * (level - smoothed);
+        samples[i] = std::max(smoothed, 0.0);
+    }
+
+    PowerTrace out(params.sampleDt, std::move(samples), params.name);
+    out.scaleToMeanPower(params.targetMeanPower);
+    return out;
+}
+
+} // namespace
+
+PowerTrace
+generateVolatileSource(const VolatileSourceParams &params, Rng &rng)
+{
+    react_assert(params.duration > 0.0, "duration must be positive");
+    react_assert(params.sampleDt > 0.0, "sample interval must be positive");
+    react_assert(params.targetMeanPower > 0.0,
+                 "mean power must be positive");
+
+    // The closed-form HIGH-time fraction ignores the nonzero LOW level,
+    // output smoothing, and flicker, all of which compress (or, for
+    // heavy-tailed realizations, inflate) the realized CV.  Calibrate by
+    // measurement: regenerate with an adjusted CV target until the
+    // realization lands near the requested one.  The loop is
+    // deterministic -- each iteration draws from an independent split of
+    // the caller's stream.
+    double cv_adj = params.targetCv;
+    PowerTrace current = generateOnce(
+        params, highFractionForCv(cv_adj, params.amplitudeSigma),
+        rng.split());
+    PowerTrace best = current;
+    double best_err = std::abs(best.stats().cv - params.targetCv);
+    for (int iter = 0; iter < 6 && best_err > 0.05 * params.targetCv;
+         ++iter) {
+        const double measured = current.stats().cv;
+        if (measured <= 0.0)
+            break;
+        cv_adj = std::clamp(cv_adj * params.targetCv / measured,
+                            0.15 * params.targetCv, 6.0 * params.targetCv);
+        current = generateOnce(
+            params, highFractionForCv(cv_adj, params.amplitudeSigma),
+            rng.split());
+        const double err =
+            std::abs(current.stats().cv - params.targetCv);
+        if (err < best_err) {
+            best = current;
+            best_err = err;
+        }
+    }
+    return best;
+}
+
+} // namespace trace
+} // namespace react

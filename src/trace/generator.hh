@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Synthetic harvested-power generators.
+ *
+ * The paper's RF and solar traces are not redistributable, but its
+ * evaluation depends on them only through published statistics: duration,
+ * mean power, and coefficient of variation (Table 3), plus the qualitative
+ * structure called out in S 2 -- power arrives in short high-power episodes
+ * separated by long lulls (82 % of energy above 10 mW while 77 % of time
+ * sits below 3 mW for the pedestrian solar trace).
+ *
+ * We reproduce that structure with a two-regime semi-Markov process: the
+ * source alternates between a HIGH regime (direct sun / strong RF
+ * illumination) and a LOW regime (shadow / obstruction), with
+ * exponentially distributed episode lengths and a fresh lognormal episode
+ * amplitude each time it enters HIGH.  For a process that spends fraction f
+ * of its time in HIGH with episode amplitudes of squared coefficient of
+ * variation cv_x^2 and a negligible LOW level, the overall CV obeys
+ *
+ *     CV^2 = (1 + cv_x^2) / f - 1
+ *
+ * so the HIGH-time fraction is solved directly from the target CV.  A
+ * single-pole smoothing filter models converter/output capacitance so
+ * regime edges are not instantaneous, and the finished trace is rescaled to
+ * the exact target mean.
+ */
+
+#ifndef REACT_TRACE_GENERATOR_HH
+#define REACT_TRACE_GENERATOR_HH
+
+#include <string>
+
+#include "trace/power_trace.hh"
+#include "util/rng.hh"
+
+namespace react {
+namespace trace {
+
+/** Parameters for the two-regime volatile-source model. */
+struct VolatileSourceParams
+{
+    /** Trace name for reports. */
+    std::string name;
+    /** Total duration in seconds. */
+    double duration = 300.0;
+    /** Sampling interval in seconds. */
+    double sampleDt = 0.01;
+    /** Target mean power in watts (trace is rescaled to hit it exactly). */
+    double targetMeanPower = 1e-3;
+    /** Target coefficient of variation (stddev / mean). */
+    double targetCv = 1.0;
+    /** Mean duration of a HIGH episode in seconds. */
+    double meanHighDuration = 2.0;
+    /** Lognormal sigma of per-episode HIGH amplitudes. */
+    double amplitudeSigma = 0.6;
+    /** LOW-regime power as a fraction of the mean HIGH amplitude. */
+    double lowLevelFraction = 0.05;
+    /** Relative sigma of fast within-regime flicker (multiplicative). */
+    double flickerSigma = 0.10;
+    /** Smoothing time constant in seconds (0 disables smoothing). */
+    double smoothingTau = 0.05;
+    /** Slow drift of the environment's overall level: relative sigma of a
+     *  random walk applied over the full trace (models time-of-day or
+     *  ambient-RF drift). */
+    double driftSigma = 0.15;
+};
+
+/**
+ * Generate a trace from the two-regime model.
+ *
+ * @param params Model parameters.
+ * @param rng Seeded random stream (consumed).
+ * @return Trace rescaled to exactly params.targetMeanPower.
+ */
+PowerTrace generateVolatileSource(const VolatileSourceParams &params,
+                                  Rng &rng);
+
+/**
+ * Derive the HIGH-time fraction needed to hit a target CV given the
+ * per-episode amplitude sigma (lognormal), from
+ * CV^2 = (1 + cv_x^2) / f - 1.
+ *
+ * @param target_cv Desired coefficient of variation (> 0).
+ * @param amplitude_sigma Lognormal sigma of episode amplitudes.
+ * @return Fraction of time in the HIGH regime, clamped to (0.01, 0.95).
+ */
+double highFractionForCv(double target_cv, double amplitude_sigma);
+
+} // namespace trace
+} // namespace react
+
+#endif // REACT_TRACE_GENERATOR_HH

@@ -1,0 +1,154 @@
+#include "power_trace.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/csv.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace react {
+namespace trace {
+
+PowerTrace::PowerTrace(double sample_dt, std::vector<double> samples,
+                       std::string name)
+    : label(std::move(name)), dt(sample_dt), samples(std::move(samples))
+{
+    react_assert(sample_dt > 0.0, "trace sample interval must be positive");
+    for (double p : this->samples)
+        react_assert(p >= 0.0, "trace power samples must be >= 0");
+}
+
+double
+PowerTrace::duration() const
+{
+    return dt * static_cast<double>(samples.size());
+}
+
+double
+PowerTrace::power(double t) const
+{
+    if (t < 0.0 || samples.empty())
+        return 0.0;
+    const size_t idx = static_cast<size_t>(t / dt);
+    if (idx >= samples.size())
+        return 0.0;
+    return samples[idx];
+}
+
+double
+PowerTrace::totalEnergy() const
+{
+    double e = 0.0;
+    for (double p : samples)
+        e += p * dt;
+    return e;
+}
+
+TraceStats
+PowerTrace::stats() const
+{
+    RunningStats rs;
+    for (double p : samples)
+        rs.add(p);
+    TraceStats out;
+    out.duration = duration();
+    out.meanPower = rs.mean();
+    out.cv = rs.cv();
+    out.totalEnergy = totalEnergy();
+    out.peakPower = rs.max();
+    return out;
+}
+
+double
+PowerTrace::energyFractionAbove(double threshold) const
+{
+    const double total = totalEnergy();
+    if (total <= 0.0)
+        return 0.0;
+    double above = 0.0;
+    for (double p : samples) {
+        if (p >= threshold)
+            above += p * dt;
+    }
+    return above / total;
+}
+
+double
+PowerTrace::timeFractionBelow(double threshold) const
+{
+    if (samples.empty())
+        return 0.0;
+    size_t below = 0;
+    for (double p : samples) {
+        if (p <= threshold)
+            ++below;
+    }
+    return static_cast<double>(below) / static_cast<double>(samples.size());
+}
+
+void
+PowerTrace::scale(double factor)
+{
+    react_assert(factor >= 0.0, "trace scale factor must be >= 0");
+    for (double &p : samples)
+        p *= factor;
+}
+
+void
+PowerTrace::scaleToMeanPower(double target_mean)
+{
+    RunningStats rs;
+    for (double p : samples)
+        rs.add(p);
+    const double mean = rs.mean();
+    react_assert(mean > 0.0, "cannot rescale an all-zero trace");
+    scale(target_mean / mean);
+}
+
+PowerTrace
+PowerTrace::resampled(double new_dt) const
+{
+    react_assert(new_dt > 0.0, "resample interval must be positive");
+    const size_t n = static_cast<size_t>(std::ceil(duration() / new_dt));
+    std::vector<double> out(n, 0.0);
+    for (size_t i = 0; i < n; ++i)
+        out[i] = power(static_cast<double>(i) * new_dt);
+    return PowerTrace(new_dt, std::move(out), label);
+}
+
+std::string
+PowerTrace::toCsv() const
+{
+    std::ostringstream out;
+    out << "time_s,power_w\n";
+    out.precision(9);
+    for (size_t i = 0; i < samples.size(); ++i)
+        out << static_cast<double>(i) * dt << ',' << samples[i] << '\n';
+    return out.str();
+}
+
+PowerTrace
+PowerTrace::fromCsv(const std::string &text, const std::string &name)
+{
+    const CsvTable table = parseCsv(text);
+    react_assert(table.rows.size() >= 2, "trace csv needs >= 2 rows");
+    int t_col = table.columnIndex("time_s");
+    int p_col = table.columnIndex("power_w");
+    if (t_col < 0 || p_col < 0) {
+        t_col = 0;
+        p_col = 1;
+    }
+    const double sample_dt =
+        table.rows[1][static_cast<size_t>(t_col)] -
+        table.rows[0][static_cast<size_t>(t_col)];
+    std::vector<double> samples;
+    samples.reserve(table.rows.size());
+    for (const auto &row : table.rows)
+        samples.push_back(row[static_cast<size_t>(p_col)]);
+    return PowerTrace(sample_dt, std::move(samples), name);
+}
+
+} // namespace trace
+} // namespace react

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Power-trace container and characterization.
+ *
+ * A PowerTrace is a fixed-rate, zero-order-hold sampling of harvested power
+ * versus time -- the digital equivalent of what the paper's Ekho-style
+ * frontend replays into the buffer.  The characterization helpers compute
+ * the statistics the paper reports: Table 3's mean power and coefficient of
+ * variation, and S 2.1.2's spike-energy decomposition (what fraction of
+ * total energy arrives above a power threshold, what fraction of time is
+ * spent below one).
+ */
+
+#ifndef REACT_TRACE_POWER_TRACE_HH
+#define REACT_TRACE_POWER_TRACE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace react {
+namespace trace {
+
+/** Summary statistics for a trace (the paper's Table 3 row). */
+struct TraceStats
+{
+    double duration = 0.0;      ///< seconds
+    double meanPower = 0.0;     ///< watts
+    double cv = 0.0;            ///< stddev / mean
+    double totalEnergy = 0.0;   ///< joules
+    double peakPower = 0.0;     ///< watts
+};
+
+/** Fixed-rate power-versus-time series with zero-order-hold lookup. */
+class PowerTrace
+{
+  public:
+    PowerTrace() = default;
+
+    /**
+     * @param sample_dt Sampling interval in seconds (> 0).
+     * @param samples Power samples in watts (each >= 0).
+     * @param name Human-readable label used in reports.
+     */
+    PowerTrace(double sample_dt, std::vector<double> samples,
+               std::string name = "");
+
+    /** Trace label. */
+    const std::string &name() const { return label; }
+
+    /** Sampling interval in seconds. */
+    double sampleDt() const { return dt; }
+
+    /** Number of samples. */
+    size_t size() const { return samples.size(); }
+
+    /** Total duration in seconds. */
+    double duration() const;
+
+    /** Raw sample access. */
+    const std::vector<double> &data() const { return samples; }
+
+    /**
+     * Power at the given time (zero-order hold); 0 outside the trace.
+     *
+     * @param t Time in seconds from the start of the trace.
+     */
+    double power(double t) const;
+
+    /** Total energy contained in the trace, in joules. */
+    double totalEnergy() const;
+
+    /** Table-3 style summary statistics. */
+    TraceStats stats() const;
+
+    /** Fraction of total energy delivered while power >= threshold. */
+    double energyFractionAbove(double threshold) const;
+
+    /** Fraction of time spent with power <= threshold. */
+    double timeFractionBelow(double threshold) const;
+
+    /** Multiply every sample by the given factor. */
+    void scale(double factor);
+
+    /** Rescale samples so the mean power equals the target. */
+    void scaleToMeanPower(double target_mean);
+
+    /**
+     * Resample to a different interval (zero-order hold).
+     *
+     * @param new_dt Target sampling interval in seconds.
+     */
+    PowerTrace resampled(double new_dt) const;
+
+    /** Serialize as two-column CSV (time_s, power_w). */
+    std::string toCsv() const;
+
+    /** Parse from two-column CSV (time_s, power_w); dt from row spacing. */
+    static PowerTrace fromCsv(const std::string &text,
+                              const std::string &name = "");
+
+  private:
+    std::string label;
+    double dt = 0.0;
+    std::vector<double> samples;
+};
+
+} // namespace trace
+} // namespace react
+
+#endif // REACT_TRACE_POWER_TRACE_HH

@@ -1,0 +1,143 @@
+#include "csv.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace react {
+
+namespace {
+
+/** Split a line on commas, trimming surrounding whitespace per field. */
+std::vector<std::string>
+splitFields(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::string field;
+    std::stringstream ss(line);
+    while (std::getline(ss, field, ',')) {
+        const auto first = field.find_first_not_of(" \t\r");
+        const auto last = field.find_last_not_of(" \t\r");
+        if (first == std::string::npos)
+            out.emplace_back();
+        else
+            out.push_back(field.substr(first, last - first + 1));
+    }
+    return out;
+}
+
+/** True when the field parses fully as a floating-point number. */
+bool
+isNumeric(const std::string &field, double &value)
+{
+    if (field.empty())
+        return false;
+    char *end = nullptr;
+    value = std::strtod(field.c_str(), &end);
+    return end != nullptr && *end == '\0';
+}
+
+} // namespace
+
+int
+CsvTable::columnIndex(const std::string &name) const
+{
+    for (size_t i = 0; i < header.size(); ++i) {
+        if (header[i] == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+CsvTable
+parseCsv(const std::string &text)
+{
+    CsvTable table;
+    std::stringstream ss(text);
+    std::string line;
+    bool first_data_line = true;
+    size_t line_no = 0;
+    while (std::getline(ss, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        auto fields = splitFields(line);
+        if (fields.empty())
+            continue;
+        if (first_data_line) {
+            first_data_line = false;
+            double ignored;
+            bool all_numeric = true;
+            for (const auto &f : fields) {
+                if (!isNumeric(f, ignored)) {
+                    all_numeric = false;
+                    break;
+                }
+            }
+            if (!all_numeric) {
+                table.header = fields;
+                continue;
+            }
+        }
+        std::vector<double> row;
+        row.reserve(fields.size());
+        for (const auto &f : fields) {
+            double v;
+            if (!isNumeric(f, v)) {
+                react_fatal("csv line %zu: field '%s' is not numeric",
+                            line_no, f.c_str());
+            }
+            row.push_back(v);
+        }
+        table.rows.push_back(std::move(row));
+    }
+    return table;
+}
+
+CsvTable
+readCsvFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        react_fatal("cannot open csv file '%s'", path.c_str());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return parseCsv(buf.str());
+}
+
+std::string
+writeCsv(const CsvTable &table)
+{
+    std::stringstream out;
+    if (!table.header.empty()) {
+        for (size_t i = 0; i < table.header.size(); ++i) {
+            if (i)
+                out << ',';
+            out << table.header[i];
+        }
+        out << '\n';
+    }
+    out.precision(12);
+    for (const auto &row : table.rows) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                out << ',';
+            out << row[i];
+        }
+        out << '\n';
+    }
+    return out.str();
+}
+
+void
+writeCsvFile(const std::string &path, const CsvTable &table)
+{
+    std::ofstream out(path);
+    if (!out)
+        react_fatal("cannot write csv file '%s'", path.c_str());
+    out << writeCsv(table);
+}
+
+} // namespace react

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Minimal CSV reading/writing for power traces and bench output.
+ *
+ * The format handled here is deliberately simple (no quoting, no embedded
+ * separators): numeric columns separated by commas, optional '#' comment
+ * lines, optional header row.  That is all the trace files need.
+ */
+
+#ifndef REACT_UTIL_CSV_HH
+#define REACT_UTIL_CSV_HH
+
+#include <string>
+#include <vector>
+
+namespace react {
+
+/** One parsed CSV table: optional header plus numeric rows. */
+struct CsvTable
+{
+    std::vector<std::string> header;
+    std::vector<std::vector<double>> rows;
+
+    /** Column index for the given header name, or -1 when absent. */
+    int columnIndex(const std::string &name) const;
+};
+
+/**
+ * Parse CSV text.  Lines starting with '#' are skipped; if the first
+ * non-comment line contains any non-numeric field it is treated as the
+ * header.
+ *
+ * @param text Full file contents.
+ * @return Parsed table; malformed numeric fields raise react_fatal.
+ */
+CsvTable parseCsv(const std::string &text);
+
+/** Read and parse a CSV file from disk; missing file raises react_fatal. */
+CsvTable readCsvFile(const std::string &path);
+
+/** Serialize a table back to CSV text. */
+std::string writeCsv(const CsvTable &table);
+
+/** Write a table to disk; I/O failure raises react_fatal. */
+void writeCsvFile(const std::string &path, const CsvTable &table);
+
+} // namespace react
+
+#endif // REACT_UTIL_CSV_HH

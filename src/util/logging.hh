@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Error-reporting helpers in the style of gem5's logging.hh.
+ *
+ * fatal()  -- the condition is the *user's* fault (bad configuration,
+ *             invalid arguments); prints a message and exits cleanly.
+ * panic()  -- the condition should never happen regardless of user input
+ *             (a simulator bug); prints a message and aborts.
+ * warn()   -- something is questionable but the simulation can continue.
+ * inform() -- neutral status output.
+ */
+
+#ifndef REACT_UTIL_LOGGING_HH
+#define REACT_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace react {
+
+/** Severity attached to a log record. */
+enum class LogLevel { Info, Warn, Fatal, Panic };
+
+namespace detail {
+
+/** Format, print, and (for fatal/panic) terminate. */
+[[noreturn]] void logFatal(const char *file, int line, const std::string &msg);
+[[noreturn]] void logPanic(const char *file, int line, const std::string &msg);
+void logWarn(const std::string &msg);
+void logInform(const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+} // namespace react
+
+/** Terminate with a user-facing error (bad configuration / arguments). */
+#define react_fatal(...) \
+    ::react::detail::logFatal(__FILE__, __LINE__, \
+                              ::react::detail::format(__VA_ARGS__))
+
+/** Terminate on an internal invariant violation (simulator bug). */
+#define react_panic(...) \
+    ::react::detail::logPanic(__FILE__, __LINE__, \
+                              ::react::detail::format(__VA_ARGS__))
+
+/** Panic when a required invariant does not hold. */
+#define react_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::react::detail::logPanic(__FILE__, __LINE__, \
+                ::react::detail::format("assertion '%s' failed: ", #cond) + \
+                ::react::detail::format(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+/** Non-fatal warning to stderr. */
+#define react_warn(...) \
+    ::react::detail::logWarn(::react::detail::format(__VA_ARGS__))
+
+/** Neutral status message to stdout. */
+#define react_inform(...) \
+    ::react::detail::logInform(::react::detail::format(__VA_ARGS__))
+
+#endif // REACT_UTIL_LOGGING_HH

@@ -1,0 +1,143 @@
+#include "rng.hh"
+
+#include <cmath>
+
+namespace react {
+
+namespace {
+
+/** splitmix64 step, used for seeding and stream splitting. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t x = seed;
+    for (auto &word : s)
+        word = splitmix64(x);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53-bit mantissa from the high bits.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+int
+Rng::uniformInt(int lo, int hi)
+{
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int>(next() % span);
+}
+
+double
+Rng::normal()
+{
+    if (haveCachedNormal) {
+        haveCachedNormal = false;
+        return cachedNormal;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    // Guard against log(0).
+    while (u1 <= 0.0)
+        u1 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cachedNormal = r * std::sin(theta);
+    haveCachedNormal = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::lognormal(double mu, double sigma)
+{
+    return std::exp(normal(mu, sigma));
+}
+
+double
+Rng::exponential(double mean)
+{
+    double u = uniform();
+    while (u <= 0.0)
+        u = uniform();
+    return -mean * std::log(u);
+}
+
+uint64_t
+Rng::poisson(double mean)
+{
+    if (mean <= 0.0)
+        return 0;
+    if (mean < 30.0) {
+        // Knuth's multiplicative method.
+        const double limit = std::exp(-mean);
+        double prod = uniform();
+        uint64_t n = 0;
+        while (prod > limit) {
+            ++n;
+            prod *= uniform();
+        }
+        return n;
+    }
+    // Normal approximation with continuity correction; adequate for the
+    // large-mean regime the trace generators occasionally hit.
+    const double x = normal(mean, std::sqrt(mean));
+    return x <= 0.0 ? 0 : static_cast<uint64_t>(x + 0.5);
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next());
+}
+
+} // namespace react

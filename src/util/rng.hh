@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for repeatable experiments.
+ *
+ * Energy-harvesting experiments are notoriously hard to repeat (the paper
+ * builds an Ekho-style replay frontend for exactly this reason), so every
+ * source of randomness in this reproduction flows through an explicitly
+ * seeded Rng.  The generator is xoshiro256** (Blackman & Vigna), which is
+ * small, fast, and has well-understood statistical quality; we implement it
+ * directly rather than rely on <random> engines so that streams are stable
+ * across standard-library versions.
+ */
+
+#ifndef REACT_UTIL_RNG_HH
+#define REACT_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace react {
+
+/**
+ * Seeded xoshiro256** generator with the distribution helpers the trace
+ * generators and workloads need (uniform, normal, lognormal, exponential,
+ * Poisson).
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed via splitmix64 state expansion. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit output. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int uniformInt(int lo, int hi);
+
+    /** Standard normal via Box-Muller (cached second deviate). */
+    double normal();
+
+    /** Normal with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /**
+     * Lognormal deviate parameterized by the *underlying* normal's mu and
+     * sigma; mean of the deviate is exp(mu + sigma^2/2).
+     */
+    double lognormal(double mu, double sigma);
+
+    /** Exponential deviate with the given mean (i.e., 1/rate). */
+    double exponential(double mean);
+
+    /** Poisson deviate with the given mean (Knuth for small, PTRS-lite
+     *  normal approximation for large means). */
+    uint64_t poisson(double mean);
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p);
+
+    /** Derive an independent child stream (for per-component seeding). */
+    Rng split();
+
+  private:
+    uint64_t s[4];
+    bool haveCachedNormal = false;
+    double cachedNormal = 0.0;
+};
+
+} // namespace react
+
+#endif // REACT_UTIL_RNG_HH

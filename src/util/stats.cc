@@ -1,0 +1,118 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.hh"
+
+namespace react {
+
+void
+RunningStats::add(double x)
+{
+    addWeighted(x, 1.0);
+}
+
+void
+RunningStats::addWeighted(double x, double weight)
+{
+    if (weight <= 0.0)
+        return;
+    if (!any) {
+        minAcc = maxAcc = x;
+        any = true;
+    } else {
+        minAcc = std::min(minAcc, x);
+        maxAcc = std::max(maxAcc, x);
+    }
+    // West's weighted incremental algorithm.
+    const double new_n = n + weight;
+    const double delta = x - meanAcc;
+    const double r = delta * weight / new_n;
+    meanAcc += r;
+    m2 += n * delta * r;
+    n = new_n;
+}
+
+double
+RunningStats::mean() const
+{
+    return n > 0.0 ? meanAcc : 0.0;
+}
+
+double
+RunningStats::variance() const
+{
+    return n > 0.0 ? m2 / n : 0.0;
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::cv() const
+{
+    const double m = mean();
+    return m != 0.0 ? stddev() / m : 0.0;
+}
+
+double
+RunningStats::min() const
+{
+    return any ? minAcc : 0.0;
+}
+
+double
+RunningStats::max() const
+{
+    return any ? maxAcc : 0.0;
+}
+
+void
+RunningStats::reset()
+{
+    *this = RunningStats();
+}
+
+Histogram::Histogram(double lo, double hi, int bins)
+    : lo(lo), hi(hi)
+{
+    react_assert(hi > lo, "histogram range must be non-empty");
+    react_assert(bins > 0, "histogram needs at least one bin");
+    counts.assign(static_cast<size_t>(bins), 0);
+}
+
+void
+Histogram::add(double x)
+{
+    const double frac = (x - lo) / (hi - lo);
+    int bin = static_cast<int>(frac * bins());
+    bin = std::clamp(bin, 0, bins() - 1);
+    ++counts[static_cast<size_t>(bin)];
+    ++totalCount;
+}
+
+double
+Histogram::binCenter(int bin) const
+{
+    const double width = (hi - lo) / bins();
+    return lo + width * (bin + 0.5);
+}
+
+double
+Histogram::fractionAbove(double x) const
+{
+    if (totalCount == 0)
+        return 0.0;
+    uint64_t above = 0;
+    for (int b = 0; b < bins(); ++b) {
+        if (binCenter(b) >= x)
+            above += counts[static_cast<size_t>(b)];
+    }
+    return static_cast<double>(above) / static_cast<double>(totalCount);
+}
+
+} // namespace react

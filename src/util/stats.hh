@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Streaming statistics used for trace characterization (Table 3) and for
+ * reporting measured-vs-paper quantities in the benches.
+ */
+
+#ifndef REACT_UTIL_STATS_HH
+#define REACT_UTIL_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace react {
+
+/**
+ * Welford-style running accumulator for mean / variance / extrema.  The
+ * coefficient of variation (stddev / mean) is what Table 3 of the paper
+ * reports as "Power CV".
+ */
+class RunningStats
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    /** Fold a weighted sample (weight acts like a repeat count). */
+    void addWeighted(double x, double weight);
+
+    /** Number of (weighted) samples seen. */
+    double count() const { return n; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /** Population variance; 0 when fewer than two samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Coefficient of variation (stddev / mean); 0 when mean is 0. */
+    double cv() const;
+
+    /** Smallest sample seen; 0 when empty. */
+    double min() const;
+
+    /** Largest sample seen; 0 when empty. */
+    double max() const;
+
+    /** Discard all state. */
+    void reset();
+
+  private:
+    double n = 0.0;
+    double meanAcc = 0.0;
+    double m2 = 0.0;
+    double minAcc = 0.0;
+    double maxAcc = 0.0;
+    bool any = false;
+};
+
+/**
+ * Fixed-width histogram over [lo, hi); samples outside the range clamp to
+ * the edge bins.  Used by trace characterization and ablation benches.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower edge of the first bin.
+     * @param hi Upper edge of the last bin (must exceed lo).
+     * @param bins Number of bins (must be positive).
+     */
+    Histogram(double lo, double hi, int bins);
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Count in the given bin. */
+    uint64_t binCount(int bin) const { return counts.at(bin); }
+
+    /** Total samples added. */
+    uint64_t total() const { return totalCount; }
+
+    /** Number of bins. */
+    int bins() const { return static_cast<int>(counts.size()); }
+
+    /** Center value of the given bin. */
+    double binCenter(int bin) const;
+
+    /** Fraction of samples at or above the given value. */
+    double fractionAbove(double x) const;
+
+  private:
+    double lo;
+    double hi;
+    std::vector<uint64_t> counts;
+    uint64_t totalCount = 0;
+};
+
+} // namespace react
+
+#endif // REACT_UTIL_STATS_HH

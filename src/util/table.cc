@@ -1,0 +1,115 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace react {
+
+namespace {
+const std::string kSeparatorSentinel = "\x01";
+} // namespace
+
+TextTable::TextTable(std::string title)
+    : title(std::move(title))
+{
+}
+
+void
+TextTable::setHeader(std::vector<std::string> cells)
+{
+    header = std::move(cells);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows.push_back({kSeparatorSentinel});
+}
+
+std::string
+TextTable::render() const
+{
+    // Compute per-column widths across header and all rows.
+    std::vector<size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (cells.size() == 1 && cells[0] == kSeparatorSentinel)
+            return;
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header);
+    for (const auto &row : rows)
+        grow(row);
+
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    if (total > 0)
+        total -= 2;
+
+    std::ostringstream out;
+    if (!title.empty())
+        out << title << '\n';
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            out << cells[i];
+            if (i + 1 < cells.size()) {
+                for (size_t pad = cells[i].size(); pad < widths[i] + 2; ++pad)
+                    out << ' ';
+            }
+        }
+        out << '\n';
+    };
+    if (!header.empty()) {
+        emit(header);
+        out << std::string(total, '-') << '\n';
+    }
+    for (const auto &row : rows) {
+        if (row.size() == 1 && row[0] == kSeparatorSentinel)
+            out << std::string(total, '-') << '\n';
+        else
+            emit(row);
+    }
+    return out.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::integer(long long v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", v);
+    return buf;
+}
+
+std::string
+TextTable::percent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+} // namespace react

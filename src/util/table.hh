@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Aligned text-table formatting for the bench binaries.
+ *
+ * Each bench reproduces one of the paper's tables or figures and prints it
+ * in the same row/column layout; TextTable keeps that output readable and
+ * diffable.
+ */
+
+#ifndef REACT_UTIL_TABLE_HH
+#define REACT_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace react {
+
+/** Simple column-aligned text table. */
+class TextTable
+{
+  public:
+    /** Optional title printed above the table. */
+    explicit TextTable(std::string title = "");
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append a data row (cells may be fewer than header columns). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Render with column alignment; trailing newline included. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** @name Cell formatting helpers */
+    /** @{ */
+    static std::string num(double v, int precision = 2);
+    static std::string integer(long long v);
+    static std::string percent(double fraction, int precision = 1);
+    /** @} */
+
+  private:
+    std::string title;
+    std::vector<std::string> header;
+    /** A row with the sentinel single cell "\x01" renders as a separator. */
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace react
+
+#endif // REACT_UTIL_TABLE_HH

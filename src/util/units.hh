@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Unit helpers and physical constants used throughout the REACT simulator.
+ *
+ * All quantities in the simulator are stored as doubles in base SI units:
+ * volts, amperes, farads, ohms, watts, joules, seconds.  These helpers exist
+ * so that configuration code reads like the paper ("770 uF", "1.5 mA",
+ * "68 uW") rather than as bare exponents.
+ */
+
+#ifndef REACT_UTIL_UNITS_HH
+#define REACT_UTIL_UNITS_HH
+
+namespace react {
+namespace units {
+
+/** @name Scaling prefixes
+ * Multiply a magnitude by the named SI prefix.
+ * @{
+ */
+constexpr double
+kilo(double x)
+{
+    return x * 1e3;
+}
+
+constexpr double
+milli(double x)
+{
+    return x * 1e-3;
+}
+
+constexpr double
+micro(double x)
+{
+    return x * 1e-6;
+}
+
+constexpr double
+nano(double x)
+{
+    return x * 1e-9;
+}
+/** @} */
+
+/** @name Capacitance */
+/** @{ */
+constexpr double
+farads(double x)
+{
+    return x;
+}
+
+constexpr double
+millifarads(double x)
+{
+    return milli(x);
+}
+
+constexpr double
+microfarads(double x)
+{
+    return micro(x);
+}
+/** @} */
+
+/** @name Electric potential */
+/** @{ */
+constexpr double
+volts(double x)
+{
+    return x;
+}
+
+constexpr double
+millivolts(double x)
+{
+    return milli(x);
+}
+/** @} */
+
+/** @name Current */
+/** @{ */
+constexpr double
+amps(double x)
+{
+    return x;
+}
+
+constexpr double
+milliamps(double x)
+{
+    return milli(x);
+}
+
+constexpr double
+microamps(double x)
+{
+    return micro(x);
+}
+/** @} */
+
+/** @name Power */
+/** @{ */
+constexpr double
+watts(double x)
+{
+    return x;
+}
+
+constexpr double
+milliwatts(double x)
+{
+    return milli(x);
+}
+
+constexpr double
+microwatts(double x)
+{
+    return micro(x);
+}
+/** @} */
+
+/** @name Energy */
+/** @{ */
+constexpr double
+joules(double x)
+{
+    return x;
+}
+
+constexpr double
+millijoules(double x)
+{
+    return milli(x);
+}
+
+constexpr double
+microjoules(double x)
+{
+    return micro(x);
+}
+/** @} */
+
+/** @name Resistance */
+/** @{ */
+constexpr double
+ohms(double x)
+{
+    return x;
+}
+
+constexpr double
+kiloohms(double x)
+{
+    return kilo(x);
+}
+
+constexpr double
+megaohms(double x)
+{
+    return x * 1e6;
+}
+/** @} */
+
+/** @name Time */
+/** @{ */
+constexpr double
+seconds(double x)
+{
+    return x;
+}
+
+constexpr double
+milliseconds(double x)
+{
+    return milli(x);
+}
+
+constexpr double
+microseconds(double x)
+{
+    return micro(x);
+}
+
+constexpr double
+minutes(double x)
+{
+    return x * 60.0;
+}
+
+constexpr double
+hours(double x)
+{
+    return x * 3600.0;
+}
+/** @} */
+
+/**
+ * Energy stored on an ideal capacitor at a given voltage: E = 1/2 C V^2.
+ *
+ * @param capacitance Capacitance in farads.
+ * @param voltage Terminal voltage in volts.
+ * @return Stored energy in joules.
+ */
+constexpr double
+capEnergy(double capacitance, double voltage)
+{
+    return 0.5 * capacitance * voltage * voltage;
+}
+
+/**
+ * Usable energy window on a capacitor discharged between two voltages.
+ *
+ * @param capacitance Capacitance in farads.
+ * @param v_high Starting voltage in volts.
+ * @param v_low Ending voltage in volts.
+ * @return Extractable energy in joules (may be negative if v_low > v_high).
+ */
+constexpr double
+capEnergyWindow(double capacitance, double v_high, double v_low)
+{
+    return capEnergy(capacitance, v_high) - capEnergy(capacitance, v_low);
+}
+
+} // namespace units
+} // namespace react
+
+#endif // REACT_UTIL_UNITS_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Software AES-128 (FIPS-197), the Data Encryption benchmark kernel.
+ *
+ * The paper's DE benchmark "continuously performs AES-128 encryptions in
+ * software" as a predictable compute load (S 4.2).  This is a
+ * straightforward table-free implementation (on-the-fly S-box lookups,
+ * xtime-based MixColumns) of the kind that fits an MSP430-class device;
+ * it is validated against the FIPS-197 and SP 800-38A known-answer
+ * vectors in the test suite.
+ */
+
+#ifndef REACT_WORKLOAD_AES128_HH
+#define REACT_WORKLOAD_AES128_HH
+
+#include <array>
+#include <cstdint>
+
+namespace react {
+namespace workload {
+
+/** AES-128 block cipher (encrypt-only, as the benchmark requires). */
+class Aes128
+{
+  public:
+    /** 16-byte block. */
+    using Block = std::array<uint8_t, 16>;
+    /** 16-byte key. */
+    using Key = std::array<uint8_t, 16>;
+
+    /** Expand the given cipher key. */
+    explicit Aes128(const Key &key);
+
+    /** Encrypt one block. */
+    Block encrypt(const Block &plaintext) const;
+
+    /** Number of 32-bit round-key words (44 for AES-128). */
+    static constexpr int kRoundKeyWords = 44;
+
+  private:
+    /** Round keys as bytes, 11 round keys of 16 bytes each. */
+    std::array<uint8_t, 176> roundKeys;
+};
+
+} // namespace workload
+} // namespace react
+
+#endif // REACT_WORKLOAD_AES128_HH

@@ -1,0 +1,28 @@
+#include "benchmark.hh"
+
+namespace react {
+namespace workload {
+
+void
+Benchmark::reset()
+{
+    work = rx = tx = failed = missed = 0;
+}
+
+int
+Benchmark::levelForEnergy(const buffer::EnergyBuffer &buffer, double energy,
+                          double margin)
+{
+    const int max_level = buffer.maxCapacitanceLevel();
+    if (max_level == 0)
+        return 0;  // static buffer: no control surface
+    const double target = energy * margin;
+    for (int level = 0; level <= max_level; ++level) {
+        if (buffer.usableEnergyAtLevel(level) >= target)
+            return level;
+    }
+    return max_level;
+}
+
+} // namespace workload
+} // namespace react

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Benchmark framework for the paper's four computational workloads
+ * (S 4.2): Data Encryption (DE), Sense and Compute (SC), Radio
+ * Transmission (RT), and Packet Forwarding (PF).
+ *
+ * Benchmarks are state machines ticked by the harness while the backend
+ * is powered.  Object state persists across power cycles (FRAM
+ * semantics); anything a benchmark considers volatile it discards in its
+ * onPowerDown handler -- e.g. an in-flight radio operation fails when the
+ * rail browns out mid-burst, which is exactly the "doomed-to-fail
+ * transmission" failure mode of S 5.4.
+ */
+
+#ifndef REACT_WORKLOAD_BENCHMARK_HH
+#define REACT_WORKLOAD_BENCHMARK_HH
+
+#include <cstdint>
+#include <string>
+
+#include "buffers/energy_buffer.hh"
+#include "mcu/device.hh"
+
+namespace react {
+namespace workload {
+
+/** Peripheral and task parameters shared by the benchmarks. */
+struct WorkloadParams
+{
+    /** @name Data Encryption */
+    /** @{ */
+    /** Wall-clock cost of one software AES-128 batch on the MCU. */
+    double encryptionDuration = 0.15;
+    /** @} */
+
+    /** @name Sense and Compute */
+    /** @{ */
+    /** Sensing deadline period (paper: every five seconds). */
+    double sensePeriod = 5.0;
+    /** Microphone sampling + filtering burst length. */
+    double sampleDuration = 0.10;
+    /** Microphone supply current while sampling (SPU0414HR5H-class). */
+    double micCurrent = 0.5e-3;
+    /** @} */
+
+    /** @name Radio (RT / PF) */
+    /** @{ */
+    /** Transmit burst length (atomic). */
+    double txDuration = 0.30;
+    /** Radio transmit current (ZL70251-class sub-GHz transceiver with
+     *  PA; one burst ~7.7 mJ -- beyond the 770 uF usable window, so a
+     *  small buffer completes it only when a harvest spike assists). */
+    double txCurrent = 8e-3;
+    /** Receive burst length (atomic). */
+    double rxDuration = 0.10;
+    /** Radio receive current (one burst ~1.8 mJ, inside the 770 uF
+     *  window). */
+    double rxCurrent = 5e-3;
+    /** Forwarding transmit burst length (PF relays one short frame per
+     *  burst, unlike RT's bulk uploads; ~3.6 mJ -- completable from a
+     *  full 770 uF buffer with harvest assist). */
+    double pfTxDuration = 0.08;
+    /** Wake-up receiver current while listening in deep sleep
+     *  (RFicient-class). */
+    double listenCurrent = 10e-6;
+    /** Mean packet inter-arrival for PF's Poisson process. */
+    double packetInterarrival = 12.0;
+    /** Payload bytes per radio frame. */
+    int payloadBytes = 24;
+    /** @} */
+
+    /** Safety margin applied to energy requirements when translating them
+     *  into capacitance levels (covers overhead draw and leakage during
+     *  the operation). */
+    double energyMargin = 1.2;
+
+    /** Nominal rail voltage used to pre-compute operation energies. */
+    double nominalRail = 2.7;
+};
+
+/** Per-tick context handed to a benchmark. */
+struct BenchContext
+{
+    /** Simulation time at the end of this tick, seconds. */
+    double now = 0.0;
+    /** Tick length, seconds. */
+    double dt = 0.0;
+    /** Backend device (power state and peripheral loads). */
+    mcu::Device *device = nullptr;
+    /** Energy buffer (capacitance-level control surface). */
+    buffer::EnergyBuffer *buffer = nullptr;
+    /** Compute-rate multiplier (1 - monitoring-software overhead). */
+    double workScale = 1.0;
+};
+
+/** Abstract workload. */
+class Benchmark
+{
+  public:
+    virtual ~Benchmark() = default;
+
+    /** Short name ("DE", "SC", "RT", "PF"). */
+    virtual std::string name() const = 0;
+
+    /** Called when the power gate enables the backend. */
+    virtual void onPowerUp(BenchContext &ctx) { (void)ctx; }
+
+    /** Called when the backend browns out. */
+    virtual void onPowerDown(BenchContext &ctx) { (void)ctx; }
+
+    /** Advance the workload by one tick (only called while powered). */
+    virtual void tick(BenchContext &ctx) = 0;
+
+    /** Primary figure of merit (encryptions, samples, transmissions...). */
+    uint64_t workUnits() const { return work; }
+
+    /** Packets successfully received (PF). */
+    uint64_t packetsReceived() const { return rx; }
+
+    /** Packets successfully retransmitted (PF). */
+    uint64_t packetsSent() const { return tx; }
+
+    /** Operations aborted by power loss. */
+    uint64_t failedOperations() const { return failed; }
+
+    /** Deadlines / arrivals missed while unpowered or energy-starved. */
+    uint64_t missedEvents() const { return missed; }
+
+    /** Clear all progress (fresh deployment). */
+    virtual void reset();
+
+  protected:
+    /**
+     * Smallest capacitance level whose buffer-full discharge window
+     * guarantees the given energy -- the level to request so that
+     * levelSatisfied() implies the operation can complete (S 3.4.1).
+     */
+    static int levelForEnergy(const buffer::EnergyBuffer &buffer,
+                              double energy, double margin);
+
+    uint64_t work = 0;
+    uint64_t rx = 0;
+    uint64_t tx = 0;
+    uint64_t failed = 0;
+    uint64_t missed = 0;
+};
+
+} // namespace workload
+} // namespace react
+
+#endif // REACT_WORKLOAD_BENCHMARK_HH

@@ -1,0 +1,53 @@
+#include "de_benchmark.hh"
+
+namespace react {
+namespace workload {
+
+namespace {
+
+Aes128::Key
+benchmarkKey()
+{
+    // Fixed key: the FIPS-197 example key.
+    return {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+            0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+}
+
+} // namespace
+
+DataEncryptionBenchmark::DataEncryptionBenchmark(
+    const WorkloadParams &params)
+    : params(params), aes(benchmarkKey())
+{
+    block.fill(0);
+}
+
+void
+DataEncryptionBenchmark::tick(BenchContext &ctx)
+{
+    ctx.device->setState(mcu::PowerState::Active);
+    progress += ctx.dt * ctx.workScale;
+    while (progress >= params.encryptionDuration) {
+        progress -= params.encryptionDuration;
+        block = aes.encrypt(block);
+        ++work;
+    }
+}
+
+void
+DataEncryptionBenchmark::onPowerDown(BenchContext &)
+{
+    // The in-flight batch is volatile state and is lost.
+    progress = 0.0;
+}
+
+void
+DataEncryptionBenchmark::reset()
+{
+    Benchmark::reset();
+    progress = 0.0;
+    block.fill(0);
+}
+
+} // namespace workload
+} // namespace react

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Data Encryption (DE): continuous software AES-128 (S 4.2).
+ *
+ * DE has no reactivity or persistence requirements and a flat,
+ * predictable power draw; the paper uses it to isolate REACT's software
+ * and power overhead (S 5.1).  The workload chains real AES-128
+ * encryptions: each completed batch feeds its ciphertext into the next
+ * plaintext, so the computation cannot be optimized away and the final
+ * digest doubles as an end-to-end correctness check.
+ */
+
+#ifndef REACT_WORKLOAD_DE_BENCHMARK_HH
+#define REACT_WORKLOAD_DE_BENCHMARK_HH
+
+#include "workload/aes128.hh"
+#include "workload/benchmark.hh"
+
+namespace react {
+namespace workload {
+
+/** Continuous AES-128 encryption workload. */
+class DataEncryptionBenchmark : public Benchmark
+{
+  public:
+    explicit DataEncryptionBenchmark(const WorkloadParams &params =
+                                         WorkloadParams());
+
+    std::string name() const override { return "DE"; }
+    void tick(BenchContext &ctx) override;
+    void onPowerDown(BenchContext &ctx) override;
+    void reset() override;
+
+    /** Running ciphertext (for end-to-end verification). */
+    const Aes128::Block &digest() const { return block; }
+
+  private:
+    WorkloadParams params;
+    Aes128 aes;
+    Aes128::Block block;
+    /** CPU-time progress toward the next completed encryption batch;
+     *  volatile -- lost on power failure. */
+    double progress = 0.0;
+};
+
+} // namespace workload
+} // namespace react
+
+#endif // REACT_WORKLOAD_DE_BENCHMARK_HH

@@ -1,0 +1,90 @@
+#include "filter.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace react {
+namespace workload {
+
+BiquadCoefficients
+BiquadCoefficients::lowpass(double cutoff_hz, double sample_rate_hz)
+{
+    react_assert(cutoff_hz > 0.0, "cutoff must be positive");
+    react_assert(sample_rate_hz > 2.0 * cutoff_hz,
+                 "sample rate must exceed the Nyquist bound");
+    // Bilinear-transform Butterworth section (Q = 1/sqrt(2)).
+    const double w0 = 2.0 * M_PI * cutoff_hz / sample_rate_hz;
+    const double cos_w0 = std::cos(w0);
+    const double sin_w0 = std::sin(w0);
+    const double q = 1.0 / std::sqrt(2.0);
+    const double alpha = sin_w0 / (2.0 * q);
+    const double a0 = 1.0 + alpha;
+
+    BiquadCoefficients c;
+    c.b0 = (1.0 - cos_w0) / 2.0 / a0;
+    c.b1 = (1.0 - cos_w0) / a0;
+    c.b2 = c.b0;
+    c.a1 = -2.0 * cos_w0 / a0;
+    c.a2 = (1.0 - alpha) / a0;
+    return c;
+}
+
+Biquad::Biquad(const BiquadCoefficients &coefficients)
+    : c(coefficients)
+{
+}
+
+double
+Biquad::process(double x)
+{
+    const double y = c.b0 * x + z1;
+    z1 = c.b1 * x - c.a1 * y + z2;
+    z2 = c.b2 * x - c.a2 * y;
+    return y;
+}
+
+void
+Biquad::reset()
+{
+    z1 = z2 = 0.0;
+}
+
+BiquadCascade::BiquadCascade(std::vector<BiquadCoefficients> sections)
+{
+    react_assert(!sections.empty(), "cascade needs at least one section");
+    stages.reserve(sections.size());
+    for (const auto &coeffs : sections)
+        stages.emplace_back(coeffs);
+}
+
+double
+BiquadCascade::process(double x)
+{
+    for (auto &stage : stages)
+        x = stage.process(x);
+    return x;
+}
+
+double
+BiquadCascade::processBuffer(std::vector<double> &samples)
+{
+    double sum_sq = 0.0;
+    for (double &s : samples) {
+        s = process(s);
+        sum_sq += s * s;
+    }
+    if (samples.empty())
+        return 0.0;
+    return std::sqrt(sum_sq / static_cast<double>(samples.size()));
+}
+
+void
+BiquadCascade::reset()
+{
+    for (auto &stage : stages)
+        stage.reset();
+}
+
+} // namespace workload
+} // namespace react

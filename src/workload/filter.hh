@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Digital filtering for the Sense-and-Compute benchmark.
+ *
+ * SC wakes every five seconds to "sample and digitally filter readings
+ * from a low-power microphone" (S 4.2).  We implement a standard biquad
+ * (direct form II transposed) section with Butterworth low-pass design,
+ * plus a cascade helper -- the kind of front-end filtering an acoustic
+ * event detector runs on an MSP430.
+ */
+
+#ifndef REACT_WORKLOAD_FILTER_HH
+#define REACT_WORKLOAD_FILTER_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace react {
+namespace workload {
+
+/** Normalized biquad coefficients (a0 == 1). */
+struct BiquadCoefficients
+{
+    double b0 = 1.0, b1 = 0.0, b2 = 0.0;
+    double a1 = 0.0, a2 = 0.0;
+
+    /**
+     * Second-order Butterworth low-pass section.
+     *
+     * @param cutoff_hz Cutoff frequency in hertz.
+     * @param sample_rate_hz Sample rate in hertz (> 2 * cutoff).
+     */
+    static BiquadCoefficients lowpass(double cutoff_hz,
+                                      double sample_rate_hz);
+};
+
+/** One biquad section, direct form II transposed. */
+class Biquad
+{
+  public:
+    explicit Biquad(const BiquadCoefficients &coefficients);
+
+    /** Filter one sample. */
+    double process(double x);
+
+    /** Clear delay state. */
+    void reset();
+
+  private:
+    BiquadCoefficients c;
+    double z1 = 0.0;
+    double z2 = 0.0;
+};
+
+/** Cascade of biquad sections (higher-order filters). */
+class BiquadCascade
+{
+  public:
+    explicit BiquadCascade(std::vector<BiquadCoefficients> sections);
+
+    /** Filter one sample through every section. */
+    double process(double x);
+
+    /** Filter a buffer in place; returns the RMS of the output (the
+     *  "acoustic energy" feature SC stores). */
+    double processBuffer(std::vector<double> &samples);
+
+    /** Clear all delay state. */
+    void reset();
+
+  private:
+    std::vector<Biquad> stages;
+};
+
+} // namespace workload
+} // namespace react
+
+#endif // REACT_WORKLOAD_FILTER_HH

@@ -1,0 +1,79 @@
+#include "packet.hh"
+
+#include <cstddef>
+
+namespace react {
+namespace workload {
+
+uint16_t
+crc16(const uint8_t *data, size_t length)
+{
+    uint16_t crc = 0xffff;
+    for (size_t i = 0; i < length; ++i) {
+        crc ^= static_cast<uint16_t>(data[i]) << 8;
+        for (int bit = 0; bit < 8; ++bit) {
+            if (crc & 0x8000)
+                crc = static_cast<uint16_t>((crc << 1) ^ 0x1021);
+            else
+                crc = static_cast<uint16_t>(crc << 1);
+        }
+    }
+    return crc;
+}
+
+std::vector<uint8_t>
+Packet::serialize() const
+{
+    std::vector<uint8_t> out;
+    out.reserve(payload.size() + 5);
+    out.push_back(static_cast<uint8_t>(sequence >> 8));
+    out.push_back(static_cast<uint8_t>(sequence & 0xff));
+    out.push_back(static_cast<uint8_t>(payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+    const uint16_t crc = crc16(out.data(), out.size());
+    out.push_back(static_cast<uint8_t>(crc >> 8));
+    out.push_back(static_cast<uint8_t>(crc & 0xff));
+    return out;
+}
+
+bool
+Packet::deserialize(const std::vector<uint8_t> &bytes, Packet *out)
+{
+    if (bytes.size() < 5)
+        return false;
+    const size_t body_len = bytes.size() - 2;
+    const uint16_t expected = crc16(bytes.data(), body_len);
+    const uint16_t actual = static_cast<uint16_t>(
+        (static_cast<uint16_t>(bytes[body_len]) << 8) | bytes[body_len + 1]);
+    if (expected != actual)
+        return false;
+    const size_t payload_len = bytes[2];
+    if (payload_len != body_len - 3)
+        return false;
+    if (out) {
+        out->sequence = static_cast<uint16_t>(
+            (static_cast<uint16_t>(bytes[0]) << 8) | bytes[1]);
+        out->payload.assign(bytes.begin() + 3,
+                            bytes.begin() + 3 +
+                                static_cast<long>(payload_len));
+    }
+    return true;
+}
+
+Packet
+Packet::make(uint16_t sequence, size_t payload_size)
+{
+    Packet p;
+    p.sequence = sequence;
+    p.payload.resize(payload_size);
+    // Deterministic pseudo-payload keyed by the sequence number.
+    uint8_t v = static_cast<uint8_t>(sequence * 31 + 7);
+    for (auto &byte : p.payload) {
+        byte = v;
+        v = static_cast<uint8_t>(v * 13 + 17);
+    }
+    return p;
+}
+
+} // namespace workload
+} // namespace react

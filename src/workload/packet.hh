@@ -1,0 +1,49 @@
+/**
+ * @file
+ * CRC-16 framing and the packet model for the radio benchmarks.
+ *
+ * RT transmits buffered data; PF receives, stores, and retransmits
+ * packets (S 4.2).  Frames carry a sequence number, payload, and a
+ * CRC-16/CCITT checksum that the receiver verifies -- giving the radio
+ * benchmarks real marshalling/validation work rather than empty delays.
+ */
+
+#ifndef REACT_WORKLOAD_PACKET_HH
+#define REACT_WORKLOAD_PACKET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace react {
+namespace workload {
+
+/** CRC-16/CCITT-FALSE over a byte buffer (init 0xFFFF, poly 0x1021). */
+uint16_t crc16(const uint8_t *data, size_t length);
+
+/** One radio frame. */
+struct Packet
+{
+    uint16_t sequence = 0;
+    std::vector<uint8_t> payload;
+
+    /** Serialize: [seq_hi, seq_lo, len, payload..., crc_hi, crc_lo]. */
+    std::vector<uint8_t> serialize() const;
+
+    /**
+     * Parse and verify a frame.
+     *
+     * @param bytes Raw frame.
+     * @param out Parsed packet on success.
+     * @return false when the frame is malformed or fails its CRC.
+     */
+    static bool deserialize(const std::vector<uint8_t> &bytes, Packet *out);
+
+    /** Build a packet with a deterministic pseudo-payload. */
+    static Packet make(uint16_t sequence, size_t payload_size);
+};
+
+} // namespace workload
+} // namespace react
+
+#endif // REACT_WORKLOAD_PACKET_HH

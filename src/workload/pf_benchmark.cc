@@ -1,0 +1,160 @@
+#include "pf_benchmark.hh"
+
+#include "util/logging.hh"
+
+namespace react {
+namespace workload {
+
+PacketForwardBenchmark::PacketForwardBenchmark(const WorkloadParams &params,
+                                               double horizon,
+                                               uint64_t seed)
+    : params(params), horizon(horizon), seed(seed),
+      arrivals(makeArrivals())
+{
+}
+
+mcu::EventQueue
+PacketForwardBenchmark::makeArrivals() const
+{
+    Rng rng(seed * 0x7f4a7c15u + 3);
+    return mcu::EventQueue::poisson(params.packetInterarrival, horizon,
+                                    rng);
+}
+
+void
+PacketForwardBenchmark::onPowerUp(BenchContext &ctx)
+{
+    if (!levelsComputed) {
+        const auto &spec = ctx.device->spec();
+        rxEnergy =
+            (spec.activeCurrent + params.rxCurrent) * params.nominalRail *
+            params.rxDuration;
+        txEnergy =
+            (spec.activeCurrent + params.txCurrent) * params.nominalRail *
+            params.pfTxDuration;
+        txLevel = levelForEnergy(*ctx.buffer, txEnergy,
+                                 params.energyMargin);
+        levelsComputed = true;
+    }
+}
+
+void
+PacketForwardBenchmark::tick(BenchContext &ctx)
+{
+    if (receiving >= 0.0) {
+        ctx.device->setState(mcu::PowerState::Active);
+        ctx.device->setPeripheralCurrent(params.rxCurrent);
+        receiving -= ctx.dt;
+        if (receiving < 0.0) {
+            // Frame received: verify its CRC and queue it in FRAM.
+            const Packet pkt = Packet::make(
+                nextSequence++, static_cast<size_t>(params.payloadBytes));
+            auto frame = pkt.serialize();
+            if (Packet::deserialize(frame, nullptr)) {
+                ++rx;
+                queue.push_back(std::move(frame));
+            } else {
+                ++failed;
+            }
+            ctx.device->setPeripheralCurrent(0.0);
+        }
+        return;
+    }
+
+    if (transmitting >= 0.0) {
+        ctx.device->setState(mcu::PowerState::Active);
+        ctx.device->setPeripheralCurrent(params.txCurrent);
+        transmitting -= ctx.dt;
+        if (transmitting < 0.0) {
+            react_assert(!queue.empty(), "transmit with empty queue");
+            queue.pop_front();
+            ++tx;
+            ++work;
+            ctx.device->setPeripheralCurrent(0.0);
+        }
+        return;
+    }
+
+    // Idle: deep sleep with the wake-up receiver listening.
+    ctx.device->setState(mcu::PowerState::DeepSleep);
+    ctx.device->setPeripheralCurrent(params.listenCurrent);
+
+    // Arrivals take priority over a pending retransmission: software
+    // disregards the transmit longevity requirement when a packet shows
+    // up and the cheaper receive is covered (S 5.4.1).
+    double when = 0.0;
+    while (arrivals.consumeNext(ctx.now, &when)) {
+        ++offered;
+        if (when <= ctx.now - ctx.dt) {
+            // Arrived while the device was off.
+            ++missed;
+            continue;
+        }
+        if (ctx.buffer->availableEnergy(1.8) >=
+                rxEnergy * params.energyMargin) {
+            receiving = params.rxDuration;
+            ctx.device->setState(mcu::PowerState::Active);
+            ctx.device->setPeripheralCurrent(params.rxCurrent);
+            return;
+        }
+        // Powered but energy-starved: the packet passes by.
+        ++missed;
+    }
+
+    if (!queue.empty()) {
+        // The paper's protocol: charge to the transmit task's minimum
+        // capacitance level before forwarding (S 5.4.1).  Static buffers
+        // self-check their rail with the ADC instead.
+        ctx.buffer->requestMinLevel(txLevel);
+        const bool is_static = ctx.buffer->maxCapacitanceLevel() == 0;
+        const bool ready =
+            is_static
+                ? ctx.buffer->availableEnergy(1.8) >= txEnergy
+                : ctx.buffer->levelSatisfied();
+        if (ready) {
+            transmitting = params.pfTxDuration;
+            ctx.device->setState(mcu::PowerState::Active);
+            ctx.device->setPeripheralCurrent(params.txCurrent);
+        }
+    } else {
+        ctx.buffer->requestMinLevel(0);
+    }
+}
+
+void
+PacketForwardBenchmark::onPowerDown(BenchContext &)
+{
+    if (receiving >= 0.0) {
+        // The frame in flight is lost.
+        ++failed;
+        ++failedRx;
+        receiving = -1.0;
+    }
+    if (transmitting >= 0.0) {
+        // The frame stays queued in FRAM and is retried later.
+        ++failed;
+        ++failedTx;
+        transmitting = -1.0;
+    }
+}
+
+void
+PacketForwardBenchmark::reset()
+{
+    Benchmark::reset();
+    arrivals = makeArrivals();
+    receiving = -1.0;
+    transmitting = -1.0;
+    rxEnergy = 0.0;
+    txEnergy = 0.0;
+    txLevel = 0;
+    levelsComputed = false;
+    nextSequence = 0;
+    offered = 0;
+    failedRx = 0;
+    failedTx = 0;
+    queue.clear();
+}
+
+} // namespace workload
+} // namespace react

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Packet Forwarding (PF): receive and retransmit unpredictable traffic
+ * (S 4.2, S 5.4.1).
+ *
+ * PF stresses both reactivity (a packet can only be received at the
+ * instant it arrives) and longevity (retransmission is atomic and
+ * expensive), and showcases energy fungibility: software maintains
+ * separate longevity requirements for the receive and transmit tasks and
+ * lets an incoming packet preempt the transmit-charging phase when
+ * enough energy is banked for the cheaper receive.  Received frames are
+ * CRC-verified and queued in FRAM until retransmission.
+ */
+
+#ifndef REACT_WORKLOAD_PF_BENCHMARK_HH
+#define REACT_WORKLOAD_PF_BENCHMARK_HH
+
+#include <deque>
+
+#include "mcu/event_queue.hh"
+#include "workload/benchmark.hh"
+#include "workload/packet.hh"
+
+namespace react {
+namespace workload {
+
+/** Receive-store-forward workload. */
+class PacketForwardBenchmark : public Benchmark
+{
+  public:
+    /**
+     * @param params Workload parameters.
+     * @param horizon Time span over which arrivals are scheduled.
+     * @param seed Seed for the Poisson arrival process.
+     */
+    PacketForwardBenchmark(const WorkloadParams &params, double horizon,
+                           uint64_t seed = 7);
+
+    std::string name() const override { return "PF"; }
+    void onPowerUp(BenchContext &ctx) override;
+    void tick(BenchContext &ctx) override;
+    void onPowerDown(BenchContext &ctx) override;
+    void reset() override;
+
+    /** Packets offered by the arrival process so far. */
+    uint64_t packetsOffered() const { return offered; }
+
+    /** Receive bursts aborted by power loss. */
+    uint64_t failedReceives() const { return failedRx; }
+
+    /** Transmit bursts aborted by power loss (frame retained). */
+    uint64_t failedTransmits() const { return failedTx; }
+
+    /** Packets currently queued for retransmission. */
+    size_t queueDepth() const { return queue.size(); }
+
+  private:
+    mcu::EventQueue makeArrivals() const;
+
+    WorkloadParams params;
+    double horizon;
+    uint64_t seed;
+    mcu::EventQueue arrivals;
+
+    /** Seconds left in the in-flight burst; < 0 when idle. */
+    double receiving = -1.0;
+    double transmitting = -1.0;
+    /** Energy of one receive burst (gates receive attempts). */
+    double rxEnergy = 0.0;
+    /** Energy of one transmit burst (gates early transmission). */
+    double txEnergy = 0.0;
+    int txLevel = 0;
+    bool levelsComputed = false;
+    uint16_t nextSequence = 0;
+    uint64_t offered = 0;
+    uint64_t failedRx = 0;
+    uint64_t failedTx = 0;
+    /** FRAM retransmission queue (serialized frames). */
+    std::deque<std::vector<uint8_t>> queue;
+};
+
+} // namespace workload
+} // namespace react
+
+#endif // REACT_WORKLOAD_PF_BENCHMARK_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Radio Transmission (RT): send buffered data to a base station (S 4.2).
+ *
+ * Transmissions are atomic and energy-intensive: a brown-out mid-burst
+ * wastes everything spent so far.  On a static buffer the workload simply
+ * transmits whenever powered -- the 770 uF buffer "wastes power on
+ * doomed-to-fail transmissions" because its usable window is smaller than
+ * one burst (S 5.4).  On an adaptive buffer (REACT / Morphy) the workload
+ * uses software-directed longevity: it computes the capacitance level
+ * whose guaranteed energy covers a burst, requests it, and deep-sleeps
+ * until the buffer reports the level reached.
+ */
+
+#ifndef REACT_WORKLOAD_RT_BENCHMARK_HH
+#define REACT_WORKLOAD_RT_BENCHMARK_HH
+
+#include "workload/benchmark.hh"
+#include "workload/packet.hh"
+
+namespace react {
+namespace workload {
+
+/** Buffered-data transmission workload. */
+class RadioTransmitBenchmark : public Benchmark
+{
+  public:
+    explicit RadioTransmitBenchmark(const WorkloadParams &params =
+                                        WorkloadParams());
+
+    std::string name() const override { return "RT"; }
+    void onPowerUp(BenchContext &ctx) override;
+    void tick(BenchContext &ctx) override;
+    void onPowerDown(BenchContext &ctx) override;
+    void reset() override;
+
+    /** Energy of one transmit burst at the nominal rail voltage. */
+    double burstEnergy(const mcu::DeviceSpec &device) const;
+
+  private:
+    WorkloadParams params;
+    /** Seconds left in the in-flight burst; < 0 means idle. */
+    double transmitting = -1.0;
+    /** Longevity level to request before each batch (computed once per
+     *  buffer at power-up). */
+    int requiredLevel = 0;
+    bool levelComputed = false;
+    /** Bursts still covered by the last satisfied longevity request. */
+    int burstsRemaining = 0;
+    uint16_t sequence = 0;
+};
+
+} // namespace workload
+} // namespace react
+
+#endif // REACT_WORKLOAD_RT_BENCHMARK_HH

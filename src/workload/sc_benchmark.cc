@@ -1,0 +1,94 @@
+#include "sc_benchmark.hh"
+
+#include <cmath>
+
+namespace react {
+namespace workload {
+
+namespace {
+
+/** 4th-order Butterworth low-pass at 1 kHz for an 8 kHz microphone. */
+std::vector<BiquadCoefficients>
+micFilterDesign()
+{
+    return {BiquadCoefficients::lowpass(1000.0, 8000.0),
+            BiquadCoefficients::lowpass(1000.0, 8000.0)};
+}
+
+} // namespace
+
+SenseComputeBenchmark::SenseComputeBenchmark(const WorkloadParams &params,
+                                             double horizon, uint64_t seed)
+    : params(params), horizon(horizon), seed(seed),
+      deadlines(mcu::EventQueue::periodic(params.sensePeriod, horizon)),
+      rng(seed), filter(micFilterDesign())
+{
+}
+
+void
+SenseComputeBenchmark::processSample()
+{
+    // Synthetic microphone buffer: tone plus noise, then the real filter.
+    const int n = 256;
+    std::vector<double> samples(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        const double t = static_cast<double>(i) / 8000.0;
+        samples[static_cast<size_t>(i)] =
+            0.4 * std::sin(2.0 * M_PI * 440.0 * t) + 0.1 * rng.normal();
+    }
+    filter.reset();
+    feature = filter.processBuffer(samples);
+    ++work;
+}
+
+void
+SenseComputeBenchmark::tick(BenchContext &ctx)
+{
+    if (sampling >= 0.0) {
+        // Acquisition burst in progress.
+        ctx.device->setState(mcu::PowerState::Active);
+        ctx.device->setPeripheralCurrent(params.micCurrent);
+        sampling -= ctx.dt * ctx.workScale;
+        if (sampling < 0.0) {
+            processSample();
+            ctx.device->setPeripheralCurrent(0.0);
+        }
+        return;
+    }
+
+    // Idle: deep sleep, waiting on the timekeeper.
+    ctx.device->setState(mcu::PowerState::Sleep);
+    double when = 0.0;
+    while (deadlines.consumeNext(ctx.now, &when)) {
+        if (when > ctx.now - ctx.dt) {
+            // Deadline fired this tick: start the burst.
+            sampling = params.sampleDuration;
+            break;
+        }
+        // Fired while the device was off: missed.
+        ++missed;
+    }
+}
+
+void
+SenseComputeBenchmark::onPowerDown(BenchContext &)
+{
+    if (sampling >= 0.0) {
+        // Burst aborted mid-flight.
+        ++failed;
+        sampling = -1.0;
+    }
+}
+
+void
+SenseComputeBenchmark::reset()
+{
+    Benchmark::reset();
+    deadlines = mcu::EventQueue::periodic(params.sensePeriod, horizon);
+    rng = Rng(seed);
+    sampling = -1.0;
+    feature = 0.0;
+}
+
+} // namespace workload
+} // namespace react

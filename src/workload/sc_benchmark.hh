@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Sense and Compute (SC): periodic microphone sampling (S 4.2).
+ *
+ * Every five seconds a deadline fires (from a remanence timekeeper that
+ * survives power loss); if the device is powered it wakes from deep
+ * sleep, samples the microphone for 100 ms, low-pass filters the buffer,
+ * and stores the RMS feature.  Deadlines that fire while the device is
+ * off -- or while a sample is already in flight -- are missed.  SC rewards
+ * reactivity: small enable energy keeps the system online to catch
+ * deadlines even under weak input power.
+ */
+
+#ifndef REACT_WORKLOAD_SC_BENCHMARK_HH
+#define REACT_WORKLOAD_SC_BENCHMARK_HH
+
+#include <vector>
+
+#include "mcu/event_queue.hh"
+#include "util/rng.hh"
+#include "workload/benchmark.hh"
+#include "workload/filter.hh"
+
+namespace react {
+namespace workload {
+
+/** Periodic sense-and-filter workload. */
+class SenseComputeBenchmark : public Benchmark
+{
+  public:
+    /**
+     * @param params Workload parameters.
+     * @param horizon Time span over which deadlines are scheduled,
+     *        seconds (trace duration plus drain allowance).
+     * @param seed Seed for the synthetic microphone signal.
+     */
+    SenseComputeBenchmark(const WorkloadParams &params, double horizon,
+                          uint64_t seed = 42);
+
+    std::string name() const override { return "SC"; }
+    void tick(BenchContext &ctx) override;
+    void onPowerDown(BenchContext &ctx) override;
+    void reset() override;
+
+    /** Most recent filtered RMS feature. */
+    double lastFeature() const { return feature; }
+
+  private:
+    /** Run the acquisition + filtering computation for one burst. */
+    void processSample();
+
+    WorkloadParams params;
+    double horizon;
+    uint64_t seed;
+    mcu::EventQueue deadlines;
+    Rng rng;
+    BiquadCascade filter;
+
+    /** Seconds left in the in-flight sampling burst; < 0 means idle. */
+    double sampling = -1.0;
+    double feature = 0.0;
+};
+
+} // namespace workload
+} // namespace react
+
+#endif // REACT_WORKLOAD_SC_BENCHMARK_HH

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Tests for the four benchmark state machines driven through a scripted
+ * context (continuous power, controlled buffers).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "buffers/static_buffer.hh"
+#include "core/react_buffer.hh"
+#include "harness/paper_setup.hh"
+#include "mcu/device.hh"
+#include "mcu/event_queue.hh"
+#include "workload/de_benchmark.hh"
+#include "workload/pf_benchmark.hh"
+#include "workload/rt_benchmark.hh"
+#include "workload/sc_benchmark.hh"
+
+namespace react {
+namespace workload {
+namespace {
+
+/** Minimal always-on scripted environment for benchmark logic. */
+struct Script
+{
+    mcu::Device device{harness::backendSpec()};
+    std::unique_ptr<buffer::EnergyBuffer> buffer;
+    double now = 0.0;
+    double dt = 1e-3;
+
+    explicit Script(std::unique_ptr<buffer::EnergyBuffer> buf =
+                        std::make_unique<buffer::StaticBuffer>(
+                            harness::staticBufferSpec(10e-3)))
+        : buffer(std::move(buf))
+    {
+        // Pre-charge and keep topped up externally as tests require.
+        device.setState(mcu::PowerState::Active);
+    }
+
+    BenchContext ctx()
+    {
+        BenchContext c;
+        c.now = now;
+        c.dt = dt;
+        c.device = &device;
+        c.buffer = buffer.get();
+        c.workScale = 1.0;
+        return c;
+    }
+
+    /** Advance `seconds` with the buffer held near-full. */
+    void runPowered(Benchmark &bench, double seconds)
+    {
+        const int steps = static_cast<int>(seconds / dt);
+        for (int i = 0; i < steps; ++i) {
+            now += dt;
+            buffer->step(dt, 20e-3, device.current());
+            auto c = ctx();
+            bench.tick(c);
+        }
+    }
+};
+
+TEST(EventQueue, PeriodicSchedule)
+{
+    auto q = mcu::EventQueue::periodic(5.0, 18.0);
+    EXPECT_EQ(q.totalEvents(), 3u);
+    EXPECT_FALSE(q.pending(4.9));
+    EXPECT_TRUE(q.pending(5.0));
+    EXPECT_EQ(q.consumeUpTo(10.0), 2u);
+    EXPECT_DOUBLE_EQ(q.nextEventTime(), 15.0);
+}
+
+TEST(EventQueue, PoissonStatistics)
+{
+    Rng rng(5);
+    auto q = mcu::EventQueue::poisson(10.0, 10000.0, rng);
+    // ~1000 arrivals expected.
+    EXPECT_NEAR(static_cast<double>(q.totalEvents()), 1000.0, 120.0);
+}
+
+TEST(DeBenchmark, CountsEncryptions)
+{
+    Script s;
+    DataEncryptionBenchmark de;
+    s.runPowered(de, 3.0);
+    // 0.15 s per encryption -> 20.
+    EXPECT_NEAR(static_cast<double>(de.workUnits()), 20.0, 1.0);
+    EXPECT_EQ(s.device.state(), mcu::PowerState::Active);
+}
+
+TEST(DeBenchmark, WorkScaleSlowsProgress)
+{
+    Script s;
+    DataEncryptionBenchmark de;
+    const int steps = 3000;
+    for (int i = 0; i < steps; ++i) {
+        s.now += s.dt;
+        auto c = s.ctx();
+        c.workScale = 0.5;
+        de.tick(c);
+    }
+    EXPECT_NEAR(static_cast<double>(de.workUnits()), 10.0, 1.0);
+}
+
+TEST(DeBenchmark, PowerLossDropsInFlightBatch)
+{
+    Script s;
+    DataEncryptionBenchmark de;
+    s.runPowered(de, 0.1);  // mid-batch
+    auto c = s.ctx();
+    de.onPowerDown(c);
+    s.runPowered(de, 0.1);
+    // Needs a full 0.15 s again after the loss: still zero.
+    EXPECT_EQ(de.workUnits(), 0u);
+}
+
+TEST(ScBenchmark, SamplesOnDeadlines)
+{
+    Script s;
+    SenseComputeBenchmark sc(harness::workloadParams(), 60.0);
+    s.runPowered(sc, 26.0);
+    // Deadlines at 5,10,15,20,25 -> 5 samples.
+    EXPECT_EQ(sc.workUnits(), 5u);
+    EXPECT_EQ(sc.missedEvents(), 0u);
+    EXPECT_GT(sc.lastFeature(), 0.0);
+}
+
+TEST(ScBenchmark, SleepsBetweenDeadlines)
+{
+    Script s;
+    SenseComputeBenchmark sc(harness::workloadParams(), 60.0);
+    s.runPowered(sc, 3.0);  // before the first deadline
+    EXPECT_EQ(s.device.state(), mcu::PowerState::Sleep);
+}
+
+TEST(ScBenchmark, StaleDeadlinesAreMissed)
+{
+    Script s;
+    SenseComputeBenchmark sc(harness::workloadParams(), 60.0);
+    // Simulate 12 s of off-time by jumping the clock.
+    s.now = 12.0;
+    s.runPowered(sc, 1.0);
+    // Deadlines at 5 and 10 fired while off.
+    EXPECT_EQ(sc.missedEvents(), 2u);
+}
+
+TEST(RtBenchmark, TransmitsBackToBackOnStaticBuffer)
+{
+    Script s;
+    RadioTransmitBenchmark rt;
+    auto c = s.ctx();
+    rt.onPowerUp(c);
+    s.runPowered(rt, 3.1);
+    // 0.30 s bursts back-to-back: ~10 transmissions.
+    EXPECT_NEAR(static_cast<double>(rt.packetsSent()), 10.0, 1.0);
+    EXPECT_EQ(rt.failedOperations(), 0u);
+}
+
+TEST(RtBenchmark, PowerLossFailsBurst)
+{
+    Script s;
+    RadioTransmitBenchmark rt;
+    auto c = s.ctx();
+    rt.onPowerUp(c);
+    s.runPowered(rt, 0.1);  // mid-burst
+    rt.onPowerDown(c);
+    EXPECT_EQ(rt.failedOperations(), 1u);
+    EXPECT_EQ(rt.packetsSent(), 0u);
+}
+
+TEST(RtBenchmark, WaitsForLongevityLevelOnReact)
+{
+    Script s(std::make_unique<core::ReactBuffer>());
+    s.buffer->notifyBackendPower(true);
+    RadioTransmitBenchmark rt;
+    auto c = s.ctx();
+    rt.onPowerUp(c);
+    // Buffer cold: level 0, so RT must sleep rather than transmit.
+    s.now += s.dt;
+    auto c2 = s.ctx();
+    rt.tick(c2);
+    EXPECT_EQ(s.device.state(), mcu::PowerState::DeepSleep);
+    EXPECT_EQ(rt.packetsSent(), 0u);
+    // With sustained surplus the level rises and bursts start flowing.
+    s.runPowered(rt, 120.0);
+    EXPECT_GT(rt.packetsSent(), 0u);
+}
+
+TEST(PfBenchmark, ForwardsArrivingPackets)
+{
+    Script s;
+    PacketForwardBenchmark pf(harness::workloadParams(), 600.0, 11);
+    auto c = s.ctx();
+    pf.onPowerUp(c);
+    s.runPowered(pf, 300.0);
+    EXPECT_GT(pf.packetsReceived(), 10u);
+    // Everything received eventually goes back out on a static buffer.
+    EXPECT_EQ(pf.packetsSent(), pf.packetsReceived());
+    EXPECT_EQ(pf.queueDepth(), 0u);
+}
+
+TEST(PfBenchmark, OfflineArrivalsAreMissed)
+{
+    Script s;
+    PacketForwardBenchmark pf(harness::workloadParams(), 600.0, 11);
+    auto c = s.ctx();
+    pf.onPowerUp(c);
+    s.now = 200.0;  // 200 s unpowered
+    s.runPowered(pf, 50.0);
+    EXPECT_GT(pf.missedEvents(), 5u);
+}
+
+TEST(PfBenchmark, PowerLossDuringReceiveLosesFrame)
+{
+    Script s;
+    PacketForwardBenchmark pf(harness::workloadParams(), 600.0, 11);
+    auto c = s.ctx();
+    pf.onPowerUp(c);
+    // Run until a receive burst is in flight.
+    bool receiving = false;
+    for (int i = 0; i < 400000 && !receiving; ++i) {
+        s.now += s.dt;
+        s.buffer->step(s.dt, 20e-3, s.device.current());
+        auto tc = s.ctx();
+        pf.tick(tc);
+        receiving = s.device.peripheralCurrent() ==
+            harness::workloadParams().rxCurrent;
+    }
+    ASSERT_TRUE(receiving);
+    const auto rx_before = pf.packetsReceived();
+    auto dc = s.ctx();
+    pf.onPowerDown(dc);
+    EXPECT_EQ(pf.packetsReceived(), rx_before);
+    EXPECT_GT(pf.failedOperations(), 0u);
+}
+
+} // namespace
+} // namespace workload
+} // namespace react

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the harvesting frontend: converter efficiency curves and the
+ * Ekho-style replay source.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harvest/converter.hh"
+#include "harvest/frontend.hh"
+#include "util/units.hh"
+
+namespace react {
+namespace harvest {
+namespace {
+
+using units::microwatts;
+using units::milliwatts;
+
+TEST(IdentityConverter, PassesThrough)
+{
+    IdentityConverter c;
+    EXPECT_DOUBLE_EQ(c.outputPower(1e-3), 1e-3);
+    EXPECT_DOUBLE_EQ(c.outputPower(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(c.efficiency(1e-3), 1.0);
+}
+
+TEST(RfRectifier, EfficiencyRisesWithPower)
+{
+    RfRectifier c;
+    const double lo = c.efficiency(microwatts(10.0));
+    const double mid = c.efficiency(microwatts(300.0));
+    const double hi = c.efficiency(milliwatts(10.0));
+    EXPECT_LT(lo, mid);
+    EXPECT_LT(mid, hi);
+    // Datasheet envelope: very poor at 10 uW, ~50-60 % at 10 mW.
+    EXPECT_LT(lo, 0.15);
+    EXPECT_GT(hi, 0.45);
+    EXPECT_LT(hi, 0.62);
+}
+
+TEST(SolarBoostCharger, HighEfficiencyAboveMilliwatt)
+{
+    SolarBoostCharger c;
+    EXPECT_GT(c.efficiency(milliwatts(5.0)), 0.80);
+    EXPECT_LT(c.efficiency(microwatts(5.0)), 0.55);
+}
+
+TEST(Converters, NeverExceedUnityOrGoNegative)
+{
+    RfRectifier rf;
+    SolarBoostCharger solar;
+    for (double p = 1e-7; p < 1.0; p *= 3.0) {
+        for (const Converter *c :
+             {static_cast<const Converter *>(&rf),
+              static_cast<const Converter *>(&solar)}) {
+            EXPECT_GE(c->outputPower(p), 0.0);
+            EXPECT_LE(c->efficiency(p), 1.0);
+        }
+    }
+}
+
+TEST(Converters, ZeroInputZeroOutput)
+{
+    RfRectifier rf;
+    EXPECT_DOUBLE_EQ(rf.outputPower(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(rf.efficiency(0.0), 0.0);
+}
+
+TEST(Frontend, ReplaysTraceThroughConverter)
+{
+    trace::PowerTrace t(1.0, {milliwatts(1.0), milliwatts(2.0)}, "t");
+    HarvesterFrontend identity(t);
+    EXPECT_DOUBLE_EQ(identity.power(0.5), milliwatts(1.0));
+    EXPECT_DOUBLE_EQ(identity.power(1.5), milliwatts(2.0));
+    EXPECT_DOUBLE_EQ(identity.power(5.0), 0.0);
+    EXPECT_DOUBLE_EQ(identity.traceDuration(), 2.0);
+
+    HarvesterFrontend converted(t, std::make_unique<SolarBoostCharger>());
+    EXPECT_LT(converted.power(0.5), identity.power(0.5));
+    EXPECT_GT(converted.power(0.5), 0.5 * identity.power(0.5));
+}
+
+} // namespace
+} // namespace harvest
+} // namespace react

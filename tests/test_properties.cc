@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Property-based sweeps (parameterized gtest) over the simulator's
+ * invariants: energy conservation for every buffer under randomized
+ * drive, the N^2 reclamation law across bank sizes, the Morphy
+ * charge-sharing loss law across array sizes, Equation 2 across the
+ * threshold space, and generator calibration across targets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include "buffers/capacitor_network.hh"
+#include "core/bank.hh"
+#include "core/react_buffer.hh"
+#include "harness/paper_setup.hh"
+#include "trace/generator.hh"
+#include "util/rng.hh"
+#include "util/units.hh"
+
+namespace react {
+namespace {
+
+// ---------------------------------------------------------------------
+// Energy conservation under randomized drive, for every buffer design.
+// ---------------------------------------------------------------------
+
+class ConservationTest
+    : public ::testing::TestWithParam<std::tuple<harness::BufferKind,
+                                                 uint64_t>>
+{
+};
+
+TEST_P(ConservationTest, RandomDriveBalances)
+{
+    const auto kind = std::get<0>(GetParam());
+    const uint64_t seed = std::get<1>(GetParam());
+    auto buf = harness::makeBuffer(kind);
+    Rng rng(seed);
+
+    bool on = false;
+    for (int segment = 0; segment < 40; ++segment) {
+        const double p = rng.chance(0.3) ? 0.0 : rng.uniform(0.0, 10e-3);
+        const double load = on ? rng.uniform(0.0, 4e-3) : 0.0;
+        const double seconds = rng.uniform(0.2, 3.0);
+        const int steps = static_cast<int>(seconds / 1e-3);
+        for (int i = 0; i < steps; ++i)
+            buf->step(1e-3, p, load);
+        if (!on && buf->railVoltage() >= 3.3) {
+            on = true;
+            buf->notifyBackendPower(true);
+        } else if (on && buf->railVoltage() <= 1.8) {
+            on = false;
+            buf->notifyBackendPower(false);
+        }
+        if (on && rng.chance(0.2))
+            buf->requestMinLevel(rng.uniformInt(0,
+                                                buf->maxCapacitanceLevel()));
+    }
+
+    const auto &l = buf->ledger();
+    const double balance =
+        l.harvested - l.delivered - l.totalLoss() - buf->storedEnergy();
+    EXPECT_NEAR(balance, 0.0, 1e-6 + 2e-3 * std::max(1e-3, l.harvested));
+    // No category may run negative.
+    EXPECT_GE(l.harvested, 0.0);
+    EXPECT_GE(l.delivered, 0.0);
+    EXPECT_GE(l.clipped, 0.0);
+    EXPECT_GE(l.leaked, 0.0);
+    EXPECT_GE(l.switchLoss, 0.0);
+    EXPECT_GE(l.diodeLoss, 0.0);
+    EXPECT_GE(l.overhead, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBuffersManySeeds, ConservationTest,
+    ::testing::Combine(
+        ::testing::Values(harness::BufferKind::Static770uF,
+                          harness::BufferKind::Static10mF,
+                          harness::BufferKind::Static17mF,
+                          harness::BufferKind::Morphy,
+                          harness::BufferKind::React),
+        ::testing::Values(1u, 2u, 3u, 4u)),
+    [](const auto &info) {
+        return harness::bufferKindName(std::get<0>(info.param)) + "_seed" +
+            std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// S 3.3.4: reclamation shrinks stranded energy by N^2, for any N.
+// ---------------------------------------------------------------------
+
+class ReclamationLawTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ReclamationLawTest, StrandedEnergyRatioIsNSquared)
+{
+    const int n = GetParam();
+    const double c_unit = 470e-6, v_low = 1.9;
+    core::BankSpec spec;
+    spec.count = n;
+    spec.unit.capacitance = c_unit;
+    spec.unit.ratedVoltage = 50.0;
+
+    core::CapacitorBank bank(spec);
+    bank.setState(core::BankState::Parallel);
+    bank.setUnitVoltage(v_low);
+    const double stranded_parallel = bank.storedEnergy();
+
+    bank.setState(core::BankState::Series);
+    bank.addChargeAtTerminal(bank.terminalCapacitance() *
+                             (v_low - bank.terminalVoltage()));
+    const double stranded_series = bank.storedEnergy();
+
+    EXPECT_NEAR(stranded_parallel / stranded_series,
+                static_cast<double>(n) * n, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(BankSizes, ReclamationLawTest,
+                         ::testing::Values(2, 3, 4, 5, 6, 8));
+
+// ---------------------------------------------------------------------
+// S 3.3.1: the k-parallel -> (k-1)-series + 1-parallel transition of a
+// fully-connected array dissipates 1 - (k^2 / (4 (k-1))) / k ... --
+// verified against direct charge algebra for each size.
+// ---------------------------------------------------------------------
+
+class MorphyLossLawTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MorphyLossLawTest, ParallelToSeriesSplitMatchesAlgebra)
+{
+    const int k = GetParam();
+    const double c = 1e-3, v = 2.0;
+    sim::CapacitorSpec unit;
+    unit.capacitance = c;
+    unit.ratedVoltage = 100.0;
+
+    buffer::CapacitorNetwork net(k, unit);
+    buffer::NetworkConfig all_parallel;
+    for (int i = 0; i < k; ++i)
+        all_parallel.branches.push_back({i});
+    net.reconfigure(all_parallel);
+    for (int i = 0; i < k; ++i)
+        net.setUnitVoltage(i, v);
+    const double e_old = net.storedEnergy();
+
+    buffer::NetworkConfig split;
+    split.branches.emplace_back();
+    for (int i = 0; i + 1 < k; ++i)
+        split.branches.back().push_back(i);
+    split.branches.push_back({k - 1});
+    const double loss = net.reconfigure(split);
+
+    // Closed form: chain of (k-1) caps at V each has C_br = C/(k-1),
+    // V_br = (k-1)V, Q_br = CV; the single cap has Q = CV.  Equalized
+    // voltage V_f = 2CV / (C/(k-1) + C); E_new = 1/2 (C/(k-1) + C) V_f^2.
+    const double c_br = c / (k - 1);
+    const double v_f = 2.0 * c * v / (c_br + c);
+    const double e_new = 0.5 * (c_br + c) * v_f * v_f;
+    EXPECT_NEAR(loss, e_old - e_new, 1e-12);
+    EXPECT_NEAR(net.storedEnergy(), e_new, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(ArraySizes, MorphyLossLawTest,
+                         ::testing::Values(2, 3, 4, 6, 8));
+
+// ---------------------------------------------------------------------
+// Equation 2 sweep: for random thresholds and bank shapes, a unit at
+// 99 % of the limit keeps the reclamation spike below V_high and a unit
+// at 101 % crosses it.
+// ---------------------------------------------------------------------
+
+class Equation2Test : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(Equation2Test, LimitIsTight)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()) * 1234567u + 1);
+    core::ReactConfig cfg = core::ReactConfig::paperConfig();
+    cfg.vLow = rng.uniform(1.8, 2.2);
+    cfg.vHigh = rng.uniform(3.2, 3.6);
+    cfg.railClamp = 3.6;
+    const int n = rng.uniformInt(2, 6);
+    const double limit = cfg.unitCapacitanceLimit(n);
+    if (!std::isfinite(limit))
+        GTEST_SKIP() << "unconstrained shape (N V_low <= V_high)";
+
+    core::BankSpec bank;
+    bank.count = n;
+    bank.unit.ratedVoltage = 50.0;
+
+    bank.unit.capacitance = 0.99 * limit;
+    EXPECT_LT(cfg.reclamationSpikeVoltage(bank), cfg.vHigh);
+
+    bank.unit.capacitance = 1.01 * limit;
+    EXPECT_GT(cfg.reclamationSpikeVoltage(bank), cfg.vHigh);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, Equation2Test,
+                         ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------
+// Generator calibration across targets: exact mean, plausible CV.
+// ---------------------------------------------------------------------
+
+class GeneratorSweepTest
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(GeneratorSweepTest, MeanExactCvClose)
+{
+    const double mean = std::get<0>(GetParam());
+    const double cv = std::get<1>(GetParam());
+    trace::VolatileSourceParams p;
+    p.duration = 1500.0;
+    p.targetMeanPower = mean;
+    p.targetCv = cv;
+    p.meanHighDuration = 3.0;
+    Rng rng(77);
+    const auto t = trace::generateVolatileSource(p, rng);
+    EXPECT_NEAR(t.stats().meanPower, mean, mean * 1e-9);
+    EXPECT_NEAR(t.stats().cv, cv, cv * 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Targets, GeneratorSweepTest,
+    ::testing::Combine(::testing::Values(0.2e-3, 1e-3, 5e-3),
+                       ::testing::Values(0.6, 1.0, 2.0)));
+
+// ---------------------------------------------------------------------
+// REACT expansion keeps the rail inside the operating band while the
+// backend is up, across input-power levels.
+// ---------------------------------------------------------------------
+
+class RailBandTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RailBandTest, RailStaysWithinBandOnceEnabled)
+{
+    const double power = GetParam();
+    core::ReactBuffer buf;
+    // Charge to enable.
+    while (buf.railVoltage() < 3.3)
+        buf.step(1e-3, 2e-3, 0.0);
+    buf.notifyBackendPower(true);
+    // Light load, heavy surplus: the expansion policy must never let the
+    // rail exceed the clamp or collapse below brown-out.
+    for (int i = 0; i < 120000; ++i) {
+        buf.step(1e-3, power, 0.2e-3);
+        ASSERT_LE(buf.railVoltage(), buf.config().railClamp + 1e-9);
+        ASSERT_GE(buf.railVoltage(), 1.8 - 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(InputPowers, RailBandTest,
+                         ::testing::Values(1e-3, 3e-3, 6e-3, 12e-3));
+
+} // namespace
+} // namespace react

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Unit tests for the electrical substrate: capacitor physics against
+ * closed forms, diode models, the exact charge-transfer integrator, the
+ * hysteretic power gate, and ledger arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/capacitor.hh"
+#include "sim/charge_transfer.hh"
+#include "sim/diode.hh"
+#include "sim/energy_ledger.hh"
+#include "sim/power_gate.hh"
+#include "util/units.hh"
+
+namespace react {
+namespace sim {
+namespace {
+
+CapacitorSpec
+spec(double c, double rated = 6.3, double leak = 0.0)
+{
+    CapacitorSpec s;
+    s.capacitance = c;
+    s.ratedVoltage = rated;
+    s.leakageCurrentAtRated = leak;
+    return s;
+}
+
+TEST(Capacitor, ChargeAndEnergy)
+{
+    Capacitor cap(spec(1e-3), 2.0);
+    EXPECT_DOUBLE_EQ(cap.charge(), 2e-3);
+    EXPECT_DOUBLE_EQ(cap.energy(), 2e-3);
+    cap.addCharge(1e-3);
+    EXPECT_DOUBLE_EQ(cap.voltage(), 3.0);
+}
+
+TEST(Capacitor, CurrentIntegration)
+{
+    Capacitor cap(spec(100e-6), 0.0);
+    // 1 mA for 1 s into 100 uF -> 10 V.
+    for (int i = 0; i < 1000; ++i)
+        cap.applyCurrent(1e-3, 1e-3);
+    EXPECT_NEAR(cap.voltage(), 10.0, 1e-9);
+}
+
+TEST(Capacitor, VoltageNeverNegative)
+{
+    Capacitor cap(spec(1e-3), 0.5);
+    cap.addCharge(-1.0);  // far more than stored
+    EXPECT_DOUBLE_EQ(cap.voltage(), 0.0);
+}
+
+TEST(Capacitor, LeakMatchesExponential)
+{
+    // R = 6.3 V / 63 uA = 100 kOhm, tau = R C = 0.1 s for 1 uF.
+    Capacitor cap(spec(1e-6, 6.3, 63e-6), 5.0);
+    const double tau = cap.spec().leakResistance() * cap.capacitance();
+    EXPECT_NEAR(tau, 0.1, 1e-12);
+    double leaked = 0.0;
+    for (int i = 0; i < 100; ++i)
+        leaked += cap.leak(1e-3);
+    EXPECT_NEAR(cap.voltage(), 5.0 * std::exp(-1.0), 1e-9);
+    // Leaked energy equals the stored-energy drop.
+    EXPECT_NEAR(leaked, units::capEnergy(1e-6, 5.0) - cap.energy(), 1e-15);
+}
+
+TEST(Capacitor, LeakIsTimestepInvariant)
+{
+    Capacitor coarse(spec(1e-6, 6.3, 63e-6), 5.0);
+    Capacitor fine(spec(1e-6, 6.3, 63e-6), 5.0);
+    coarse.leak(0.05);
+    for (int i = 0; i < 5000; ++i)
+        fine.leak(1e-5);
+    EXPECT_NEAR(coarse.voltage(), fine.voltage(), 1e-9);
+}
+
+TEST(Capacitor, NoLeakWhenUnspecified)
+{
+    Capacitor cap(spec(1e-3), 3.0);
+    EXPECT_DOUBLE_EQ(cap.leak(100.0), 0.0);
+    EXPECT_DOUBLE_EQ(cap.voltage(), 3.0);
+}
+
+TEST(Capacitor, ClipReturnsDiscardedEnergy)
+{
+    Capacitor cap(spec(1e-3, 6.3), 5.0);
+    const double clipped = cap.clip(3.6);
+    EXPECT_DOUBLE_EQ(cap.voltage(), 3.6);
+    EXPECT_NEAR(clipped, units::capEnergyWindow(1e-3, 5.0, 3.6), 1e-15);
+    EXPECT_DOUBLE_EQ(cap.clip(3.6), 0.0);
+}
+
+TEST(Capacitor, ClipDefaultsToRating)
+{
+    Capacitor cap(spec(1e-3, 4.0), 0.0);
+    cap.setVoltage(5.0);
+    cap.clip();
+    EXPECT_DOUBLE_EQ(cap.voltage(), 4.0);
+}
+
+TEST(Capacitor, EnergyAboveFloor)
+{
+    Capacitor cap(spec(2e-3), 3.0);
+    EXPECT_NEAR(cap.energyAbove(1.8), units::capEnergyWindow(2e-3, 3.0, 1.8),
+                1e-15);
+    EXPECT_DOUBLE_EQ(cap.energyAbove(3.5), 0.0);
+}
+
+TEST(IdealDiode, DropIsOhmic)
+{
+    IdealDiode d(0.079, 0.8e-6);
+    EXPECT_DOUBLE_EQ(d.forwardDrop(0.0), 0.0);
+    EXPECT_NEAR(d.forwardDrop(1e-3), 79e-6, 1e-12);
+    EXPECT_DOUBLE_EQ(d.quiescentPower(), 0.8e-6);
+}
+
+TEST(SchottkyDiode, DropNearDatasheet)
+{
+    SchottkyDiode d;
+    // Small-signal Schottky: ~0.3-0.4 V at 1 mA.
+    const double v = d.forwardDrop(1e-3);
+    EXPECT_GT(v, 0.25);
+    EXPECT_LT(v, 0.45);
+    // Monotone in current.
+    EXPECT_GT(d.forwardDrop(10e-3), v);
+}
+
+TEST(DiodeComparison, IdealOrdersOfMagnitudeMoreEfficient)
+{
+    // The paper: the LM66100 circuit dissipates ~0.02 % of a Schottky's
+    // conduction power at 1 mA.
+    IdealDiode ideal;
+    SchottkyDiode schottky;
+    const double ratio = ideal.conductionPower(1e-3) /
+        schottky.conductionPower(1e-3);
+    EXPECT_LT(ratio, 1e-3);
+}
+
+TEST(ChargeTransfer, ConservesChargeAndSettles)
+{
+    Capacitor a(spec(1e-3), 4.0);
+    Capacitor b(spec(1e-3), 1.0);
+    const double q_before = a.charge() + b.charge();
+    // Long dt: complete relaxation to equal voltages.
+    const auto res = transferCharge(a, b, 1.0, 0.0, 10.0);
+    EXPECT_NEAR(a.voltage(), 2.5, 1e-6);
+    EXPECT_NEAR(b.voltage(), 2.5, 1e-6);
+    EXPECT_NEAR(a.charge() + b.charge(), q_before, 1e-12);
+    // Energy dissipated = 1/2 Ceq dV^2 = 1/2 * 0.5mF * 9 = 2.25 mJ.
+    EXPECT_NEAR(res.resistiveLoss, 2.25e-3, 1e-6);
+}
+
+TEST(ChargeTransfer, ExactExponentialAtFiniteDt)
+{
+    const double r = 2.0, c = 1e-3;
+    Capacitor a(spec(c), 3.0);
+    Capacitor b(spec(c), 1.0);
+    const double tau = r * (c * c) / (2.0 * c);  // R * Ceq = 1 ms
+    const double dt = tau;  // one time constant
+    transferCharge(a, b, r, 0.0, dt);
+    const double dv_expected = 2.0 * std::exp(-1.0);
+    EXPECT_NEAR(a.voltage() - b.voltage(), dv_expected, 1e-9);
+}
+
+TEST(ChargeTransfer, TimestepInvariant)
+{
+    Capacitor a1(spec(1e-3), 3.5), b1(spec(770e-6), 1.9);
+    Capacitor a2(spec(1e-3), 3.5), b2(spec(770e-6), 1.9);
+    transferCharge(a1, b1, 1.0, 0.01, 0.01);
+    for (int i = 0; i < 100; ++i)
+        transferCharge(a2, b2, 1.0, 0.01, 1e-4);
+    EXPECT_NEAR(a1.voltage(), a2.voltage(), 1e-9);
+    EXPECT_NEAR(b1.voltage(), b2.voltage(), 1e-9);
+}
+
+TEST(ChargeTransfer, DiodeBlocksReverse)
+{
+    Capacitor lo(spec(1e-3), 1.0);
+    Capacitor hi(spec(1e-3), 3.0);
+    const auto res = transferCharge(lo, hi, 1.0, 0.0, 1.0);
+    EXPECT_DOUBLE_EQ(res.charge, 0.0);
+    EXPECT_DOUBLE_EQ(lo.voltage(), 1.0);
+}
+
+TEST(ChargeTransfer, DiodeDropLimitsSettling)
+{
+    Capacitor a(spec(1e-3), 3.0);
+    Capacitor b(spec(1e-3), 1.0);
+    const auto res = transferCharge(a, b, 1.0, 0.5, 100.0);
+    // Settles when the difference equals the drop.
+    EXPECT_NEAR(a.voltage() - b.voltage(), 0.5, 1e-6);
+    EXPECT_NEAR(res.diodeLoss, 0.5 * res.charge, 1e-12);
+}
+
+TEST(ChargeFromPower, DeliversExpectedCharge)
+{
+    Capacitor cap(spec(1e-3), 2.0);
+    const auto res = chargeFromPower(cap, 10e-3, 1e-3);
+    // I = P / V = 5 mA; dq = 5 uC -> dV = 5 mV.
+    EXPECT_NEAR(res.charge, 5e-6, 1e-12);
+    EXPECT_NEAR(cap.voltage(), 2.005, 1e-9);
+}
+
+TEST(ChargeFromPower, ColdStartCurrentBounded)
+{
+    Capacitor cap(spec(1e-3), 0.0);
+    const auto res = chargeFromPower(cap, 10e-3, 1e-3, 0.0, 0.2);
+    // I limited to P / 0.2 V = 50 mA.
+    EXPECT_NEAR(res.charge, 50e-6, 1e-12);
+}
+
+TEST(EqualizeParallel, PaperFigure5Numbers)
+{
+    // 3-series string (as one branch capacitor C/3 at 3V/4) paralleled
+    // with one capacitor at V/4 dissipates 25 % of stored energy.
+    const double c = 1e-3, v = 4.0;
+    Capacitor string(spec(c / 3.0), 3.0 * v / 4.0);
+    Capacitor single(spec(c), v / 4.0);
+    const double e_before = string.energy() + single.energy();
+    const double loss = equalizeParallel(string, single);
+    EXPECT_NEAR(string.voltage(), 3.0 * v / 8.0, 1e-9);
+    EXPECT_NEAR(loss / e_before, 0.25, 1e-9);
+}
+
+TEST(PowerGate, Hysteresis)
+{
+    PowerGate gate(3.3, 1.8);
+    EXPECT_FALSE(gate.isOn());
+    EXPECT_FALSE(gate.update(3.0));
+    EXPECT_TRUE(gate.update(3.3));
+    EXPECT_TRUE(gate.isOn());
+    // Stays on through the hysteresis band.
+    EXPECT_FALSE(gate.update(2.0));
+    EXPECT_TRUE(gate.isOn());
+    EXPECT_TRUE(gate.update(1.8));
+    EXPECT_FALSE(gate.isOn());
+    // Does not re-enable until the enable threshold.
+    EXPECT_FALSE(gate.update(2.5));
+    EXPECT_FALSE(gate.isOn());
+}
+
+TEST(PowerGate, AdjustableEnable)
+{
+    PowerGate gate(3.3, 1.8);
+    gate.setEnableVoltage(2.2);
+    EXPECT_TRUE(gate.update(2.2));
+}
+
+TEST(EnergyLedger, Arithmetic)
+{
+    EnergyLedger a;
+    a.harvested = 10.0;
+    a.delivered = 6.0;
+    a.clipped = 1.0;
+    a.leaked = 0.5;
+    a.switchLoss = 0.25;
+    a.diodeLoss = 0.15;
+    a.overhead = 0.1;
+    EXPECT_DOUBLE_EQ(a.totalLoss(), 2.0);
+    EXPECT_DOUBLE_EQ(a.totalOut(), 8.0);
+    EXPECT_DOUBLE_EQ(a.efficiency(), 0.6);
+
+    EnergyLedger b = a + a;
+    EXPECT_DOUBLE_EQ(b.harvested, 20.0);
+    EXPECT_DOUBLE_EQ(b.totalLoss(), 4.0);
+}
+
+} // namespace
+} // namespace sim
+} // namespace react

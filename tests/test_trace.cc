@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the power-trace layer: container semantics, characterization
+ * statistics, CSV round-trips, the volatile-source generator's CV
+ * calibration, and the Table-3 paper traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/generator.hh"
+#include "trace/paper_traces.hh"
+#include "trace/power_trace.hh"
+#include "util/units.hh"
+
+namespace react {
+namespace trace {
+namespace {
+
+TEST(PowerTrace, ZeroOrderHoldLookup)
+{
+    PowerTrace t(0.5, {1.0, 2.0, 3.0}, "x");
+    EXPECT_DOUBLE_EQ(t.duration(), 1.5);
+    EXPECT_DOUBLE_EQ(t.power(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(t.power(0.49), 1.0);
+    EXPECT_DOUBLE_EQ(t.power(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(t.power(1.49), 3.0);
+    EXPECT_DOUBLE_EQ(t.power(2.0), 0.0);
+    EXPECT_DOUBLE_EQ(t.power(-1.0), 0.0);
+}
+
+TEST(PowerTrace, EnergyAndStats)
+{
+    PowerTrace t(1.0, {2.0, 4.0});
+    EXPECT_DOUBLE_EQ(t.totalEnergy(), 6.0);
+    const TraceStats s = t.stats();
+    EXPECT_DOUBLE_EQ(s.meanPower, 3.0);
+    EXPECT_DOUBLE_EQ(s.peakPower, 4.0);
+    EXPECT_NEAR(s.cv, 1.0 / 3.0, 1e-12);
+}
+
+TEST(PowerTrace, SpikeDecomposition)
+{
+    // 9 samples at 1 plus one spike at 91: spike carries 91/100 energy.
+    std::vector<double> v(9, 1.0);
+    v.push_back(91.0);
+    PowerTrace t(1.0, v);
+    EXPECT_NEAR(t.energyFractionAbove(50.0), 0.91, 1e-12);
+    EXPECT_NEAR(t.timeFractionBelow(2.0), 0.9, 1e-12);
+}
+
+TEST(PowerTrace, ScaleToMean)
+{
+    PowerTrace t(1.0, {1.0, 3.0});
+    t.scaleToMeanPower(10.0);
+    EXPECT_NEAR(t.stats().meanPower, 10.0, 1e-12);
+    EXPECT_NEAR(t.power(1.0), 15.0, 1e-12);
+}
+
+TEST(PowerTrace, Resample)
+{
+    PowerTrace t(1.0, {1.0, 2.0});
+    const PowerTrace r = t.resampled(0.25);
+    EXPECT_EQ(r.size(), 8u);
+    EXPECT_DOUBLE_EQ(r.power(0.3), 1.0);
+    EXPECT_DOUBLE_EQ(r.power(1.3), 2.0);
+    EXPECT_NEAR(r.totalEnergy(), t.totalEnergy(), 1e-12);
+}
+
+TEST(PowerTrace, CsvRoundTrip)
+{
+    PowerTrace t(0.1, {0.5, 1.5, 2.5}, "rt");
+    const PowerTrace r = PowerTrace::fromCsv(t.toCsv(), "rt");
+    ASSERT_EQ(r.size(), 3u);
+    EXPECT_NEAR(r.sampleDt(), 0.1, 1e-9);
+    EXPECT_DOUBLE_EQ(r.data()[2], 2.5);
+}
+
+TEST(Generator, HighFractionFromCv)
+{
+    // No amplitude jitter: CV^2 = (1 - f) / f  =>  f = 1 / (1 + CV^2).
+    EXPECT_NEAR(highFractionForCv(1.0, 0.0), 0.5, 1e-9);
+    EXPECT_NEAR(highFractionForCv(3.0, 0.0), 0.1, 1e-9);
+    // Jitter raises the needed fraction... (more variance available).
+    EXPECT_GT(highFractionForCv(1.0, 0.8), 0.5);
+}
+
+TEST(Generator, HitsTargetMeanExactly)
+{
+    VolatileSourceParams p;
+    p.duration = 200.0;
+    p.targetMeanPower = 1e-3;
+    p.targetCv = 1.5;
+    Rng rng(5);
+    const PowerTrace t = generateVolatileSource(p, rng);
+    EXPECT_NEAR(t.stats().meanPower, 1e-3, 1e-12);
+    EXPECT_NEAR(t.duration(), 200.0, p.sampleDt + 1e-9);
+}
+
+TEST(Generator, CvLandsNearTarget)
+{
+    VolatileSourceParams p;
+    p.duration = 2000.0;
+    p.targetMeanPower = 1e-3;
+    p.targetCv = 1.6;
+    p.meanHighDuration = 2.0;
+    Rng rng(9);
+    const PowerTrace t = generateVolatileSource(p, rng);
+    // Generators are stochastic; accept a generous band.
+    EXPECT_NEAR(t.stats().cv, 1.6, 0.55);
+}
+
+TEST(Generator, Deterministic)
+{
+    VolatileSourceParams p;
+    p.duration = 50.0;
+    Rng r1(77), r2(77);
+    const PowerTrace a = generateVolatileSource(p, r1);
+    const PowerTrace b = generateVolatileSource(p, r2);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); i += 97)
+        EXPECT_DOUBLE_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(Generator, NonNegativePower)
+{
+    VolatileSourceParams p;
+    p.duration = 300.0;
+    p.flickerSigma = 0.5;
+    Rng rng(3);
+    const PowerTrace t = generateVolatileSource(p, rng);
+    for (double sample : t.data())
+        EXPECT_GE(sample, 0.0);
+}
+
+/** Parameterized check: every Table-3 trace matches its published spec. */
+class PaperTraceTest : public ::testing::TestWithParam<PaperTrace>
+{
+};
+
+TEST_P(PaperTraceTest, MatchesPublishedStatistics)
+{
+    const PaperTrace which = GetParam();
+    const PaperTraceSpec &spec = paperTraceSpec(which);
+    const PowerTrace t = makePaperTrace(which);
+    const TraceStats s = t.stats();
+
+    // Duration and mean power are construction targets: tight.
+    EXPECT_NEAR(s.duration, spec.duration, 0.1);
+    EXPECT_NEAR(s.meanPower, spec.meanPower, spec.meanPower * 1e-6);
+    // CV emerges from the regime structure: allow 35 % relative error
+    // (a single trace realization of a bursty process).
+    EXPECT_NEAR(s.cv, spec.cv, spec.cv * 0.35);
+    EXPECT_EQ(t.name(), spec.name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTraces, PaperTraceTest,
+    ::testing::Values(PaperTrace::RfCart, PaperTrace::RfObstruction,
+                      PaperTrace::RfMobile, PaperTrace::SolarCampus,
+                      PaperTrace::SolarCommute),
+    [](const ::testing::TestParamInfo<PaperTrace> &info) {
+        switch (info.param) {
+          case PaperTrace::RfCart: return "RfCart";
+          case PaperTrace::RfObstruction: return "RfObstruction";
+          case PaperTrace::RfMobile: return "RfMobile";
+          case PaperTrace::SolarCampus: return "SolarCampus";
+          case PaperTrace::SolarCommute: return "SolarCommute";
+        }
+        return "unknown";
+    });
+
+TEST(PaperTraces, PedestrianSolarStructure)
+{
+    const PowerTrace t = makePedestrianSolarTrace();
+    // S 2.1.2: most energy arrives in >=10 mW spikes while most time sits
+    // below 3 mW.  Accept the qualitative structure.
+    EXPECT_GT(t.energyFractionAbove(units::milliwatts(10.0)), 0.55);
+    EXPECT_GT(t.timeFractionBelow(units::milliwatts(3.0)), 0.6);
+}
+
+TEST(PaperTraces, NightTraceIsScarceAndSmooth)
+{
+    const PowerTrace t = makeNightSolarTrace();
+    EXPECT_NEAR(t.stats().meanPower, 0.25e-3, 1e-9);
+    EXPECT_LT(t.stats().cv, 1.0);
+}
+
+TEST(PaperTraces, SeedsChangeRealizationNotMean)
+{
+    const PowerTrace a = makePaperTrace(PaperTrace::RfCart, 1);
+    const PowerTrace b = makePaperTrace(PaperTrace::RfCart, 2);
+    EXPECT_NEAR(a.stats().meanPower, b.stats().meanPower, 1e-12);
+    // Different realizations.
+    bool differs = false;
+    for (size_t i = 0; i < a.size() && !differs; i += 101)
+        differs = a.data()[i] != b.data()[i];
+    EXPECT_TRUE(differs);
+}
+
+} // namespace
+} // namespace trace
+} // namespace react

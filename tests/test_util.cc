@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Unit tests for the utility layer: RNG determinism and distribution
+ * moments, running statistics, histograms, CSV round-trips, and table
+ * formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/csv.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+namespace react {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeMoments)
+{
+    Rng rng(11);
+    RunningStats stats;
+    for (int i = 0; i < 100000; ++i)
+        stats.add(rng.uniform(2.0, 6.0));
+    EXPECT_NEAR(stats.mean(), 4.0, 0.05);
+    EXPECT_GE(stats.min(), 2.0);
+    EXPECT_LT(stats.max(), 6.0);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(13);
+    RunningStats stats;
+    for (int i = 0; i < 200000; ++i)
+        stats.add(rng.normal(5.0, 2.0));
+    EXPECT_NEAR(stats.mean(), 5.0, 0.05);
+    EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMean)
+{
+    Rng rng(17);
+    const double mu = -0.5, sigma = 1.0;
+    RunningStats stats;
+    for (int i = 0; i < 300000; ++i)
+        stats.add(rng.lognormal(mu, sigma));
+    // E[X] = exp(mu + sigma^2 / 2) = exp(0) = 1.
+    EXPECT_NEAR(stats.mean(), 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(19);
+    RunningStats stats;
+    for (int i = 0; i < 200000; ++i)
+        stats.add(rng.exponential(3.0));
+    EXPECT_NEAR(stats.mean(), 3.0, 0.05);
+    EXPECT_NEAR(stats.cv(), 1.0, 0.03);
+}
+
+TEST(Rng, PoissonSmallMean)
+{
+    Rng rng(23);
+    RunningStats stats;
+    for (int i = 0; i < 100000; ++i)
+        stats.add(static_cast<double>(rng.poisson(2.5)));
+    EXPECT_NEAR(stats.mean(), 2.5, 0.05);
+    EXPECT_NEAR(stats.variance(), 2.5, 0.1);
+}
+
+TEST(Rng, PoissonLargeMean)
+{
+    Rng rng(29);
+    RunningStats stats;
+    for (int i = 0; i < 50000; ++i)
+        stats.add(static_cast<double>(rng.poisson(100.0)));
+    EXPECT_NEAR(stats.mean(), 100.0, 0.5);
+}
+
+TEST(Rng, SplitStreamsIndependent)
+{
+    Rng parent(31);
+    Rng child = parent.split();
+    RunningStats corr;
+    for (int i = 0; i < 1000; ++i) {
+        const double a = parent.uniform() - 0.5;
+        const double b = child.uniform() - 0.5;
+        corr.add(a * b);
+    }
+    EXPECT_NEAR(corr.mean(), 0.0, 0.01);
+}
+
+TEST(RunningStats, BasicMoments)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.cv(), 0.4);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, WeightedMatchesRepeated)
+{
+    RunningStats weighted, repeated;
+    weighted.addWeighted(3.0, 4.0);
+    weighted.addWeighted(7.0, 2.0);
+    for (int i = 0; i < 4; ++i)
+        repeated.add(3.0);
+    for (int i = 0; i < 2; ++i)
+        repeated.add(7.0);
+    EXPECT_NEAR(weighted.mean(), repeated.mean(), 1e-12);
+    EXPECT_NEAR(weighted.variance(), repeated.variance(), 1e-12);
+}
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.cv(), 0.0);
+}
+
+TEST(Histogram, BinningAndFractions)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(i + 0.5);
+    EXPECT_EQ(h.total(), 10u);
+    for (int b = 0; b < 10; ++b)
+        EXPECT_EQ(h.binCount(b), 1u);
+    EXPECT_NEAR(h.fractionAbove(5.0), 0.5, 1e-12);
+}
+
+TEST(Histogram, ClampsOutOfRange)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-5.0);
+    h.add(99.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(3), 1u);
+}
+
+TEST(Csv, RoundTripWithHeader)
+{
+    CsvTable table;
+    table.header = {"a", "b"};
+    table.rows = {{1.0, 2.5}, {3.0, -4.25}};
+    const CsvTable parsed = parseCsv(writeCsv(table));
+    ASSERT_EQ(parsed.header.size(), 2u);
+    EXPECT_EQ(parsed.columnIndex("b"), 1);
+    ASSERT_EQ(parsed.rows.size(), 2u);
+    EXPECT_DOUBLE_EQ(parsed.rows[1][1], -4.25);
+}
+
+TEST(Csv, SkipsComments)
+{
+    const CsvTable parsed = parseCsv("# comment\n1,2\n\n3,4\n");
+    ASSERT_EQ(parsed.rows.size(), 2u);
+    EXPECT_TRUE(parsed.header.empty());
+    EXPECT_DOUBLE_EQ(parsed.rows[1][0], 3.0);
+}
+
+TEST(Csv, FileRoundTrip)
+{
+    CsvTable table;
+    table.header = {"t", "p"};
+    table.rows = {{0.0, 1.5}, {0.1, 2.5}};
+    const std::string path = ::testing::TempDir() + "react_csv_test.csv";
+    writeCsvFile(path, table);
+    const CsvTable back = readCsvFile(path);
+    ASSERT_EQ(back.rows.size(), 2u);
+    EXPECT_DOUBLE_EQ(back.rows[1][1], 2.5);
+    EXPECT_EQ(back.columnIndex("p"), 1);
+    std::remove(path.c_str());
+}
+
+TEST(Csv, MissingColumnIsMinusOne)
+{
+    const CsvTable parsed = parseCsv("x,y\n1,2\n");
+    EXPECT_EQ(parsed.columnIndex("z"), -1);
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t("Title");
+    t.setHeader({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addSeparator();
+    t.addRow({"b", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("Title"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTable, Formatters)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::integer(42), "42");
+    EXPECT_EQ(TextTable::percent(0.256, 1), "25.6%");
+}
+
+TEST(Units, Helpers)
+{
+    using namespace units;
+    EXPECT_DOUBLE_EQ(microfarads(770.0), 770e-6);
+    EXPECT_DOUBLE_EQ(milliwatts(2.12), 2.12e-3);
+    EXPECT_DOUBLE_EQ(capEnergy(1e-3, 2.0), 2e-3);
+    EXPECT_DOUBLE_EQ(capEnergyWindow(1e-3, 3.0, 1.0), 4e-3);
+    EXPECT_DOUBLE_EQ(hours(2.0), 7200.0);
+}
+
+} // namespace
+} // namespace react

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the workload kernels: AES-128 against FIPS-197 / SP 800-38A
+ * known answers, biquad filter response, CRC-16 vectors, and packet
+ * framing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "workload/aes128.hh"
+#include "workload/filter.hh"
+#include "workload/packet.hh"
+
+namespace react {
+namespace workload {
+namespace {
+
+Aes128::Block
+blockFromHex(const std::string &hex)
+{
+    Aes128::Block b{};
+    for (size_t i = 0; i < 16; ++i) {
+        b[i] = static_cast<uint8_t>(
+            std::stoi(hex.substr(2 * i, 2), nullptr, 16));
+    }
+    return b;
+}
+
+TEST(Aes128, Fips197AppendixBVector)
+{
+    // FIPS-197 Appendix B: the canonical worked example.
+    Aes128 aes(blockFromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+    const auto ct = aes.encrypt(
+        blockFromHex("3243f6a8885a308d313198a2e0370734"));
+    EXPECT_EQ(ct, blockFromHex("3925841d02dc09fbdc118597196a0b32"));
+}
+
+TEST(Aes128, Fips197AppendixCVector)
+{
+    // FIPS-197 Appendix C.1: 000102...0f key, 00112233...ff plaintext.
+    Aes128 aes(blockFromHex("000102030405060708090a0b0c0d0e0f"));
+    const auto ct = aes.encrypt(
+        blockFromHex("00112233445566778899aabbccddeeff"));
+    EXPECT_EQ(ct, blockFromHex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+}
+
+TEST(Aes128, Sp80038aEcbVectors)
+{
+    // NIST SP 800-38A F.1.1 ECB-AES128 blocks 1 and 2.
+    Aes128 aes(blockFromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+    EXPECT_EQ(aes.encrypt(blockFromHex("6bc1bee22e409f96e93d7e117393172a")),
+              blockFromHex("3ad77bb40d7a3660a89ecaf32466ef97"));
+    EXPECT_EQ(aes.encrypt(blockFromHex("ae2d8a571e03ac9c9eb76fac45af8e51")),
+              blockFromHex("f5d3d58503b9699de785895a96fdbaaf"));
+}
+
+TEST(Aes128, DeterministicChaining)
+{
+    Aes128 aes(blockFromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+    Aes128::Block a{}, b{};
+    for (int i = 0; i < 100; ++i)
+        a = aes.encrypt(a);
+    for (int i = 0; i < 100; ++i)
+        b = aes.encrypt(b);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Biquad, DcGainIsUnityForLowpass)
+{
+    Biquad filter(BiquadCoefficients::lowpass(1000.0, 8000.0));
+    double y = 0.0;
+    for (int i = 0; i < 2000; ++i)
+        y = filter.process(1.0);
+    EXPECT_NEAR(y, 1.0, 1e-6);
+}
+
+TEST(Biquad, AttenuatesAboveCutoff)
+{
+    // 1 kHz cutoff at 8 kHz sampling; a 3.2 kHz tone should be strongly
+    // attenuated, a 100 Hz tone passed.
+    auto rms_response = [](double tone_hz) {
+        Biquad filter(BiquadCoefficients::lowpass(1000.0, 8000.0));
+        double sum_sq = 0.0;
+        int counted = 0;
+        for (int i = 0; i < 4000; ++i) {
+            const double x =
+                std::sin(2.0 * M_PI * tone_hz * i / 8000.0);
+            const double y = filter.process(x);
+            if (i >= 2000) {  // skip transient
+                sum_sq += y * y;
+                ++counted;
+            }
+        }
+        return std::sqrt(sum_sq / counted);
+    };
+    const double low = rms_response(100.0);
+    const double high = rms_response(3200.0);
+    EXPECT_NEAR(low, 1.0 / std::sqrt(2.0) /* RMS of sine */ , 0.03);
+    EXPECT_LT(high, 0.1 * low);
+}
+
+TEST(BiquadCascade, SteeperThanSingleSection)
+{
+    auto rms_through = [](int sections) {
+        std::vector<BiquadCoefficients> coeffs(
+            static_cast<size_t>(sections),
+            BiquadCoefficients::lowpass(1000.0, 8000.0));
+        BiquadCascade cascade(coeffs);
+        double sum_sq = 0.0;
+        int counted = 0;
+        for (int i = 0; i < 4000; ++i) {
+            const double x = std::sin(2.0 * M_PI * 2000.0 * i / 8000.0);
+            const double y = cascade.process(x);
+            if (i >= 2000) {
+                sum_sq += y * y;
+                ++counted;
+            }
+        }
+        return std::sqrt(sum_sq / counted);
+    };
+    EXPECT_LT(rms_through(2), 0.5 * rms_through(1));
+}
+
+TEST(BiquadCascade, BufferRmsFeature)
+{
+    BiquadCascade cascade({BiquadCoefficients::lowpass(1000.0, 8000.0)});
+    std::vector<double> dc(1000, 0.5);
+    const double feature = cascade.processBuffer(dc);
+    EXPECT_NEAR(feature, 0.5, 0.02);
+}
+
+TEST(Crc16, KnownVector)
+{
+    // CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+    const uint8_t msg[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+    EXPECT_EQ(crc16(msg, sizeof(msg)), 0x29b1);
+}
+
+TEST(Crc16, EmptyIsInit)
+{
+    EXPECT_EQ(crc16(nullptr, 0), 0xffff);
+}
+
+TEST(Packet, SerializeDeserializeRoundTrip)
+{
+    const Packet p = Packet::make(0x1234, 24);
+    const auto frame = p.serialize();
+    EXPECT_EQ(frame.size(), 24u + 5u);
+    Packet out;
+    ASSERT_TRUE(Packet::deserialize(frame, &out));
+    EXPECT_EQ(out.sequence, 0x1234);
+    EXPECT_EQ(out.payload, p.payload);
+}
+
+TEST(Packet, CorruptionDetected)
+{
+    auto frame = Packet::make(7, 16).serialize();
+    frame[6] ^= 0x01;  // flip one payload bit
+    EXPECT_FALSE(Packet::deserialize(frame, nullptr));
+}
+
+TEST(Packet, TruncationDetected)
+{
+    auto frame = Packet::make(7, 16).serialize();
+    frame.pop_back();
+    EXPECT_FALSE(Packet::deserialize(frame, nullptr));
+    EXPECT_FALSE(Packet::deserialize({}, nullptr));
+}
+
+TEST(Packet, LengthFieldValidated)
+{
+    auto frame = Packet::make(9, 8).serialize();
+    frame[2] = 5;  // lie about the payload length
+    EXPECT_FALSE(Packet::deserialize(frame, nullptr));
+}
+
+} // namespace
+} // namespace workload
+} // namespace react
