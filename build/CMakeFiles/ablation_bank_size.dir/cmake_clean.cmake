@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bank_size.dir/bench/ablation_bank_size.cc.o"
+  "CMakeFiles/ablation_bank_size.dir/bench/ablation_bank_size.cc.o.d"
+  "bench/ablation_bank_size"
+  "bench/ablation_bank_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bank_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dewdrop.dir/bench/ablation_dewdrop.cc.o"
+  "CMakeFiles/ablation_dewdrop.dir/bench/ablation_dewdrop.cc.o.d"
+  "bench/ablation_dewdrop"
+  "bench/ablation_dewdrop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dewdrop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_diodes.dir/bench/ablation_diodes.cc.o"
+  "CMakeFiles/ablation_diodes.dir/bench/ablation_diodes.cc.o.d"
+  "bench/ablation_diodes"
+  "bench/ablation_diodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_diodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_last_level.dir/bench/ablation_last_level.cc.o"
+  "CMakeFiles/ablation_last_level.dir/bench/ablation_last_level.cc.o.d"
+  "bench/ablation_last_level"
+  "bench/ablation_last_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_last_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_polling.dir/bench/ablation_polling.cc.o"
+  "CMakeFiles/ablation_polling.dir/bench/ablation_polling.cc.o.d"
+  "bench/ablation_polling"
+  "bench/ablation_polling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_polling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_static_tradeoff.dir/bench/fig1_static_tradeoff.cc.o"
+  "CMakeFiles/fig1_static_tradeoff.dir/bench/fig1_static_tradeoff.cc.o.d"
+  "bench/fig1_static_tradeoff"
+  "bench/fig1_static_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_static_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

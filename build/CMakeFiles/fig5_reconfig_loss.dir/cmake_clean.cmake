@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_reconfig_loss.dir/bench/fig5_reconfig_loss.cc.o"
+  "CMakeFiles/fig5_reconfig_loss.dir/bench/fig5_reconfig_loss.cc.o.d"
+  "bench/fig5_reconfig_loss"
+  "bench/fig5_reconfig_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_reconfig_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_characterization.dir/bench/fig6_characterization.cc.o"
+  "CMakeFiles/fig6_characterization.dir/bench/fig6_characterization.cc.o.d"
+  "bench/fig6_characterization"
+  "bench/fig6_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

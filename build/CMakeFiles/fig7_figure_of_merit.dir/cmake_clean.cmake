@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_figure_of_merit.dir/bench/fig7_figure_of_merit.cc.o"
+  "CMakeFiles/fig7_figure_of_merit.dir/bench/fig7_figure_of_merit.cc.o.d"
+  "bench/fig7_figure_of_merit"
+  "bench/fig7_figure_of_merit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_figure_of_merit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec2_volatility.dir/bench/sec2_volatility.cc.o"
+  "CMakeFiles/sec2_volatility.dir/bench/sec2_volatility.cc.o.d"
+  "bench/sec2_volatility"
+  "bench/sec2_volatility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec2_volatility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec51_overhead.dir/bench/sec51_overhead.cc.o"
+  "CMakeFiles/sec51_overhead.dir/bench/sec51_overhead.cc.o.d"
+  "bench/sec51_overhead"
+  "bench/sec51_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec51_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_performance.dir/bench/table2_performance.cc.o"
+  "CMakeFiles/table2_performance.dir/bench/table2_performance.cc.o.d"
+  "bench/table2_performance"
+  "bench/table2_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table3_traces.cc" "CMakeFiles/table3_traces.dir/bench/table3_traces.cc.o" "gcc" "CMakeFiles/table3_traces.dir/bench/table3_traces.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/react_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/harvest/CMakeFiles/react_harvest.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/react_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/react_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/react_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffers/CMakeFiles/react_buffers.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/react_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcu/CMakeFiles/react_mcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/react_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_traces.dir/bench/table3_traces.cc.o"
+  "CMakeFiles/table3_traces.dir/bench/table3_traces.cc.o.d"
+  "bench/table3_traces"
+  "bench/table3_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

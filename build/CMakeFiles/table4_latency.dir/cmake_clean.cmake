@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_latency.dir/bench/table4_latency.cc.o"
+  "CMakeFiles/table4_latency.dir/bench/table4_latency.cc.o.d"
+  "bench/table4_latency"
+  "bench/table4_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

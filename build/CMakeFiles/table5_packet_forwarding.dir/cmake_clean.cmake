@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_packet_forwarding.dir/bench/table5_packet_forwarding.cc.o"
+  "CMakeFiles/table5_packet_forwarding.dir/bench/table5_packet_forwarding.cc.o.d"
+  "bench/table5_packet_forwarding"
+  "bench/table5_packet_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_packet_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intermittent_logger.dir/intermittent_logger.cpp.o"
+  "CMakeFiles/intermittent_logger.dir/intermittent_logger.cpp.o.d"
+  "intermittent_logger"
+  "intermittent_logger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intermittent_logger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

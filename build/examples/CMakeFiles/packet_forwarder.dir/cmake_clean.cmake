@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_forwarder.dir/packet_forwarder.cpp.o"
+  "CMakeFiles/packet_forwarder.dir/packet_forwarder.cpp.o.d"
+  "packet_forwarder"
+  "packet_forwarder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_forwarder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radio_beacon.dir/radio_beacon.cpp.o"
+  "CMakeFiles/radio_beacon.dir/radio_beacon.cpp.o.d"
+  "radio_beacon"
+  "radio_beacon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radio_beacon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

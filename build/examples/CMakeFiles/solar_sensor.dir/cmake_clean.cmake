@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solar_sensor.dir/solar_sensor.cpp.o"
+  "CMakeFiles/solar_sensor.dir/solar_sensor.cpp.o.d"
+  "solar_sensor"
+  "solar_sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solar_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

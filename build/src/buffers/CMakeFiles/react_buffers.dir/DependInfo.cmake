@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/buffers/capacitor_network.cc" "src/buffers/CMakeFiles/react_buffers.dir/capacitor_network.cc.o" "gcc" "src/buffers/CMakeFiles/react_buffers.dir/capacitor_network.cc.o.d"
+  "/root/repo/src/buffers/dewdrop_policy.cc" "src/buffers/CMakeFiles/react_buffers.dir/dewdrop_policy.cc.o" "gcc" "src/buffers/CMakeFiles/react_buffers.dir/dewdrop_policy.cc.o.d"
+  "/root/repo/src/buffers/energy_buffer.cc" "src/buffers/CMakeFiles/react_buffers.dir/energy_buffer.cc.o" "gcc" "src/buffers/CMakeFiles/react_buffers.dir/energy_buffer.cc.o.d"
+  "/root/repo/src/buffers/morphy_buffer.cc" "src/buffers/CMakeFiles/react_buffers.dir/morphy_buffer.cc.o" "gcc" "src/buffers/CMakeFiles/react_buffers.dir/morphy_buffer.cc.o.d"
+  "/root/repo/src/buffers/multiplexed_buffer.cc" "src/buffers/CMakeFiles/react_buffers.dir/multiplexed_buffer.cc.o" "gcc" "src/buffers/CMakeFiles/react_buffers.dir/multiplexed_buffer.cc.o.d"
+  "/root/repo/src/buffers/static_buffer.cc" "src/buffers/CMakeFiles/react_buffers.dir/static_buffer.cc.o" "gcc" "src/buffers/CMakeFiles/react_buffers.dir/static_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/react_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/react_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

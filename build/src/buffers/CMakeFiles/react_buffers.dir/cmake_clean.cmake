@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/react_buffers.dir/capacitor_network.cc.o"
+  "CMakeFiles/react_buffers.dir/capacitor_network.cc.o.d"
+  "CMakeFiles/react_buffers.dir/dewdrop_policy.cc.o"
+  "CMakeFiles/react_buffers.dir/dewdrop_policy.cc.o.d"
+  "CMakeFiles/react_buffers.dir/energy_buffer.cc.o"
+  "CMakeFiles/react_buffers.dir/energy_buffer.cc.o.d"
+  "CMakeFiles/react_buffers.dir/morphy_buffer.cc.o"
+  "CMakeFiles/react_buffers.dir/morphy_buffer.cc.o.d"
+  "CMakeFiles/react_buffers.dir/multiplexed_buffer.cc.o"
+  "CMakeFiles/react_buffers.dir/multiplexed_buffer.cc.o.d"
+  "CMakeFiles/react_buffers.dir/static_buffer.cc.o"
+  "CMakeFiles/react_buffers.dir/static_buffer.cc.o.d"
+  "libreact_buffers.a"
+  "libreact_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/react_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libreact_buffers.a"
+)

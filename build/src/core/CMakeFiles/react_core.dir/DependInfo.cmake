@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bank.cc" "src/core/CMakeFiles/react_core.dir/bank.cc.o" "gcc" "src/core/CMakeFiles/react_core.dir/bank.cc.o.d"
+  "/root/repo/src/core/bank_policy.cc" "src/core/CMakeFiles/react_core.dir/bank_policy.cc.o" "gcc" "src/core/CMakeFiles/react_core.dir/bank_policy.cc.o.d"
+  "/root/repo/src/core/react_buffer.cc" "src/core/CMakeFiles/react_core.dir/react_buffer.cc.o" "gcc" "src/core/CMakeFiles/react_core.dir/react_buffer.cc.o.d"
+  "/root/repo/src/core/react_config.cc" "src/core/CMakeFiles/react_core.dir/react_config.cc.o" "gcc" "src/core/CMakeFiles/react_core.dir/react_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/react_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/react_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffers/CMakeFiles/react_buffers.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

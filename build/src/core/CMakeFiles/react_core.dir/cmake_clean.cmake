@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/react_core.dir/bank.cc.o"
+  "CMakeFiles/react_core.dir/bank.cc.o.d"
+  "CMakeFiles/react_core.dir/bank_policy.cc.o"
+  "CMakeFiles/react_core.dir/bank_policy.cc.o.d"
+  "CMakeFiles/react_core.dir/react_buffer.cc.o"
+  "CMakeFiles/react_core.dir/react_buffer.cc.o.d"
+  "CMakeFiles/react_core.dir/react_config.cc.o"
+  "CMakeFiles/react_core.dir/react_config.cc.o.d"
+  "libreact_core.a"
+  "libreact_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/react_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/react_harness.dir/experiment.cc.o"
+  "CMakeFiles/react_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/react_harness.dir/figure_of_merit.cc.o"
+  "CMakeFiles/react_harness.dir/figure_of_merit.cc.o.d"
+  "CMakeFiles/react_harness.dir/paper_setup.cc.o"
+  "CMakeFiles/react_harness.dir/paper_setup.cc.o.d"
+  "libreact_harness.a"
+  "libreact_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/react_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

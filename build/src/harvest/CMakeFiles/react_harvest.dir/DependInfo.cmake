@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harvest/converter.cc" "src/harvest/CMakeFiles/react_harvest.dir/converter.cc.o" "gcc" "src/harvest/CMakeFiles/react_harvest.dir/converter.cc.o.d"
+  "/root/repo/src/harvest/frontend.cc" "src/harvest/CMakeFiles/react_harvest.dir/frontend.cc.o" "gcc" "src/harvest/CMakeFiles/react_harvest.dir/frontend.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/react_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/react_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/react_harvest.dir/converter.cc.o"
+  "CMakeFiles/react_harvest.dir/converter.cc.o.d"
+  "CMakeFiles/react_harvest.dir/frontend.cc.o"
+  "CMakeFiles/react_harvest.dir/frontend.cc.o.d"
+  "libreact_harvest.a"
+  "libreact_harvest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/react_harvest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

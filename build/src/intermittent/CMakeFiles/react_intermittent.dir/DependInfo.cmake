@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/intermittent/nonvolatile.cc" "src/intermittent/CMakeFiles/react_intermittent.dir/nonvolatile.cc.o" "gcc" "src/intermittent/CMakeFiles/react_intermittent.dir/nonvolatile.cc.o.d"
+  "/root/repo/src/intermittent/task_runtime.cc" "src/intermittent/CMakeFiles/react_intermittent.dir/task_runtime.cc.o" "gcc" "src/intermittent/CMakeFiles/react_intermittent.dir/task_runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/react_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

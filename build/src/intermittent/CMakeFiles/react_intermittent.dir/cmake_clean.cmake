@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/react_intermittent.dir/nonvolatile.cc.o"
+  "CMakeFiles/react_intermittent.dir/nonvolatile.cc.o.d"
+  "CMakeFiles/react_intermittent.dir/task_runtime.cc.o"
+  "CMakeFiles/react_intermittent.dir/task_runtime.cc.o.d"
+  "libreact_intermittent.a"
+  "libreact_intermittent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/react_intermittent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/react_mcu.dir/device.cc.o"
+  "CMakeFiles/react_mcu.dir/device.cc.o.d"
+  "CMakeFiles/react_mcu.dir/event_queue.cc.o"
+  "CMakeFiles/react_mcu.dir/event_queue.cc.o.d"
+  "libreact_mcu.a"
+  "libreact_mcu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/react_mcu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

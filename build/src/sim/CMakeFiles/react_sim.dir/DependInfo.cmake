@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/capacitor.cc" "src/sim/CMakeFiles/react_sim.dir/capacitor.cc.o" "gcc" "src/sim/CMakeFiles/react_sim.dir/capacitor.cc.o.d"
+  "/root/repo/src/sim/charge_transfer.cc" "src/sim/CMakeFiles/react_sim.dir/charge_transfer.cc.o" "gcc" "src/sim/CMakeFiles/react_sim.dir/charge_transfer.cc.o.d"
+  "/root/repo/src/sim/diode.cc" "src/sim/CMakeFiles/react_sim.dir/diode.cc.o" "gcc" "src/sim/CMakeFiles/react_sim.dir/diode.cc.o.d"
+  "/root/repo/src/sim/energy_ledger.cc" "src/sim/CMakeFiles/react_sim.dir/energy_ledger.cc.o" "gcc" "src/sim/CMakeFiles/react_sim.dir/energy_ledger.cc.o.d"
+  "/root/repo/src/sim/power_gate.cc" "src/sim/CMakeFiles/react_sim.dir/power_gate.cc.o" "gcc" "src/sim/CMakeFiles/react_sim.dir/power_gate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/react_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

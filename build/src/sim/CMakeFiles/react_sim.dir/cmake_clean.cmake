@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/react_sim.dir/capacitor.cc.o"
+  "CMakeFiles/react_sim.dir/capacitor.cc.o.d"
+  "CMakeFiles/react_sim.dir/charge_transfer.cc.o"
+  "CMakeFiles/react_sim.dir/charge_transfer.cc.o.d"
+  "CMakeFiles/react_sim.dir/diode.cc.o"
+  "CMakeFiles/react_sim.dir/diode.cc.o.d"
+  "CMakeFiles/react_sim.dir/energy_ledger.cc.o"
+  "CMakeFiles/react_sim.dir/energy_ledger.cc.o.d"
+  "CMakeFiles/react_sim.dir/power_gate.cc.o"
+  "CMakeFiles/react_sim.dir/power_gate.cc.o.d"
+  "libreact_sim.a"
+  "libreact_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/react_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

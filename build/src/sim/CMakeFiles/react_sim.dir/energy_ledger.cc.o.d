@@ -1,0 +1,3 @@
+src/sim/CMakeFiles/react_sim.dir/energy_ledger.cc.o: \
+ /root/repo/src/sim/energy_ledger.cc /usr/include/stdc-predef.h \
+ /root/repo/src/sim/energy_ledger.hh

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/generator.cc" "src/trace/CMakeFiles/react_trace.dir/generator.cc.o" "gcc" "src/trace/CMakeFiles/react_trace.dir/generator.cc.o.d"
+  "/root/repo/src/trace/paper_traces.cc" "src/trace/CMakeFiles/react_trace.dir/paper_traces.cc.o" "gcc" "src/trace/CMakeFiles/react_trace.dir/paper_traces.cc.o.d"
+  "/root/repo/src/trace/power_trace.cc" "src/trace/CMakeFiles/react_trace.dir/power_trace.cc.o" "gcc" "src/trace/CMakeFiles/react_trace.dir/power_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/react_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

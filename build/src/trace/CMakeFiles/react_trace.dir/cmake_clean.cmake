@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/react_trace.dir/generator.cc.o"
+  "CMakeFiles/react_trace.dir/generator.cc.o.d"
+  "CMakeFiles/react_trace.dir/paper_traces.cc.o"
+  "CMakeFiles/react_trace.dir/paper_traces.cc.o.d"
+  "CMakeFiles/react_trace.dir/power_trace.cc.o"
+  "CMakeFiles/react_trace.dir/power_trace.cc.o.d"
+  "libreact_trace.a"
+  "libreact_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/react_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/react_util.dir/csv.cc.o"
+  "CMakeFiles/react_util.dir/csv.cc.o.d"
+  "CMakeFiles/react_util.dir/logging.cc.o"
+  "CMakeFiles/react_util.dir/logging.cc.o.d"
+  "CMakeFiles/react_util.dir/rng.cc.o"
+  "CMakeFiles/react_util.dir/rng.cc.o.d"
+  "CMakeFiles/react_util.dir/stats.cc.o"
+  "CMakeFiles/react_util.dir/stats.cc.o.d"
+  "CMakeFiles/react_util.dir/table.cc.o"
+  "CMakeFiles/react_util.dir/table.cc.o.d"
+  "libreact_util.a"
+  "libreact_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/react_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

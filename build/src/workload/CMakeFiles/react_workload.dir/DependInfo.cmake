@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/aes128.cc" "src/workload/CMakeFiles/react_workload.dir/aes128.cc.o" "gcc" "src/workload/CMakeFiles/react_workload.dir/aes128.cc.o.d"
+  "/root/repo/src/workload/benchmark.cc" "src/workload/CMakeFiles/react_workload.dir/benchmark.cc.o" "gcc" "src/workload/CMakeFiles/react_workload.dir/benchmark.cc.o.d"
+  "/root/repo/src/workload/de_benchmark.cc" "src/workload/CMakeFiles/react_workload.dir/de_benchmark.cc.o" "gcc" "src/workload/CMakeFiles/react_workload.dir/de_benchmark.cc.o.d"
+  "/root/repo/src/workload/filter.cc" "src/workload/CMakeFiles/react_workload.dir/filter.cc.o" "gcc" "src/workload/CMakeFiles/react_workload.dir/filter.cc.o.d"
+  "/root/repo/src/workload/packet.cc" "src/workload/CMakeFiles/react_workload.dir/packet.cc.o" "gcc" "src/workload/CMakeFiles/react_workload.dir/packet.cc.o.d"
+  "/root/repo/src/workload/pf_benchmark.cc" "src/workload/CMakeFiles/react_workload.dir/pf_benchmark.cc.o" "gcc" "src/workload/CMakeFiles/react_workload.dir/pf_benchmark.cc.o.d"
+  "/root/repo/src/workload/rt_benchmark.cc" "src/workload/CMakeFiles/react_workload.dir/rt_benchmark.cc.o" "gcc" "src/workload/CMakeFiles/react_workload.dir/rt_benchmark.cc.o.d"
+  "/root/repo/src/workload/sc_benchmark.cc" "src/workload/CMakeFiles/react_workload.dir/sc_benchmark.cc.o" "gcc" "src/workload/CMakeFiles/react_workload.dir/sc_benchmark.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/react_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/react_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffers/CMakeFiles/react_buffers.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcu/CMakeFiles/react_mcu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/react_workload.dir/aes128.cc.o"
+  "CMakeFiles/react_workload.dir/aes128.cc.o.d"
+  "CMakeFiles/react_workload.dir/benchmark.cc.o"
+  "CMakeFiles/react_workload.dir/benchmark.cc.o.d"
+  "CMakeFiles/react_workload.dir/de_benchmark.cc.o"
+  "CMakeFiles/react_workload.dir/de_benchmark.cc.o.d"
+  "CMakeFiles/react_workload.dir/filter.cc.o"
+  "CMakeFiles/react_workload.dir/filter.cc.o.d"
+  "CMakeFiles/react_workload.dir/packet.cc.o"
+  "CMakeFiles/react_workload.dir/packet.cc.o.d"
+  "CMakeFiles/react_workload.dir/pf_benchmark.cc.o"
+  "CMakeFiles/react_workload.dir/pf_benchmark.cc.o.d"
+  "CMakeFiles/react_workload.dir/rt_benchmark.cc.o"
+  "CMakeFiles/react_workload.dir/rt_benchmark.cc.o.d"
+  "CMakeFiles/react_workload.dir/sc_benchmark.cc.o"
+  "CMakeFiles/react_workload.dir/sc_benchmark.cc.o.d"
+  "libreact_workload.a"
+  "libreact_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/react_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_morphy_buffer.dir/test_morphy_buffer.cc.o"
+  "CMakeFiles/test_morphy_buffer.dir/test_morphy_buffer.cc.o.d"
+  "test_morphy_buffer"
+  "test_morphy_buffer.pdb"
+  "test_morphy_buffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_morphy_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

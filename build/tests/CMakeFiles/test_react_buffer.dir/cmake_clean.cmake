@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_react_buffer.dir/test_react_buffer.cc.o"
+  "CMakeFiles/test_react_buffer.dir/test_react_buffer.cc.o.d"
+  "test_react_buffer"
+  "test_react_buffer.pdb"
+  "test_react_buffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_react_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_static_multiplexed.dir/test_static_multiplexed.cc.o"
+  "CMakeFiles/test_static_multiplexed.dir/test_static_multiplexed.cc.o.d"
+  "test_static_multiplexed"
+  "test_static_multiplexed.pdb"
+  "test_static_multiplexed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_static_multiplexed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
