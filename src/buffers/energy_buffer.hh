@@ -19,6 +19,9 @@
 #include "sim/energy_ledger.hh"
 
 namespace react {
+namespace sim {
+class FaultInjector;
+}
 namespace buffer {
 
 /** Abstract energy buffer between harvester and backend. */
@@ -115,8 +118,22 @@ class EnergyBuffer
 
     /** @} */
 
+    /**
+     * Attach (or detach with nullptr) a hardware fault injector.  While
+     * attached, the buffer's step path routes switch actuations,
+     * comparator reads, and aging queries through it; implementations
+     * that harden against faults (REACT's watchdog) also report recovery
+     * events back.  Detached (the default) means ideal hardware, and the
+     * step path must be bit-identical to a build without this feature.
+     */
+    virtual void attachFaultInjector(sim::FaultInjector *injector)
+    {
+        faults = injector;
+    }
+
   protected:
     sim::EnergyLedger energyLedger;
+    sim::FaultInjector *faults = nullptr;
 };
 
 } // namespace buffer

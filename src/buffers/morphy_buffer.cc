@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/charge_transfer.hh"
+#include "sim/fault_injector.hh"
 #include "util/logging.hh"
 #include "util/units.hh"
 
@@ -130,11 +131,25 @@ MorphyBuffer::applyConfig(int index)
                  "morphy config index out of range");
     if (index == configIndex)
         return;
+    // The whole regrouping rides on one fabric command; a jammed fabric
+    // freezes Morphy at its present configuration (no watchdog here --
+    // graceful degradation is REACT's contribution, not Morphy's).
+    if (faults != nullptr && !faults->switchActuates("morphy.fabric"))
+        return;
+    if (faults != nullptr && faults->switchDelayed("morphy.fabric"))
+        return;  // sluggish fabric: the controller retries next poll
     configIndex = index;
     ++reconfigCount;
 
-    // Stage 1: branches of the new arrangement equalize among themselves.
-    double loss = network.reconfigure(configs[static_cast<size_t>(index)]);
+    // The dissipation is booked as the measured stored-energy drop, not
+    // the linear-model prediction: Capacitor::addCharge floors a unit at
+    // 0 V, so deeply discharged chains deviate from the branch model and
+    // only the physical delta keeps the ledger exactly conservative.
+    const double e_before = task.energy() + network.storedEnergy();
+
+    // Stage 1: branches of the new arrangement equalize among themselves
+    // (reconfigure's own measured loss is subsumed by the bracket here).
+    network.reconfigure(configs[static_cast<size_t>(index)]);
 
     // Stage 2: the (now internally equalized) network shares the output
     // node with the task capacitor; equalize them too.  The staging is
@@ -142,25 +157,21 @@ MorphyBuffer::applyConfig(int index)
     const double c_net = network.equivalentCapacitance();
     if (c_net > 0.0) {
         const double v_net = network.outputVoltage();
-        const double v_task = task.voltage();
         const double v_final =
             (task.charge() + c_net * v_net) / (task.capacitance() + c_net);
-        const double e_before = task.energy() +
-            units::capEnergy(c_net, v_net);
         network.addChargeAtOutput(c_net * (v_final - v_net));
         task.setVoltage(v_final);
-        const double e_after = task.energy() +
-            units::capEnergy(c_net, v_final);
-        loss += std::max(e_before - e_after, 0.0);
-        (void)v_task;
     }
-    energyLedger.switchLoss += loss;
+    energyLedger.switchLoss +=
+        e_before - (task.energy() + network.storedEnergy());
 }
 
 void
 MorphyBuffer::pollController()
 {
-    const double v = railVoltage();
+    double v = railVoltage();
+    if (faults != nullptr)
+        v = faults->comparatorRead("morphy.comparator", v);
     if (v >= params.vHigh && configIndex < maxCapacitanceLevel()) {
         applyConfig(configIndex + 1);
     } else if (v <= params.vLow && configIndex > 0) {
@@ -171,6 +182,21 @@ MorphyBuffer::pollController()
 void
 MorphyBuffer::step(double dt, double input_power, double load_current)
 {
+    // 0. Dielectric aging of the task capacitor (fault injection only;
+    //    updated at the poll cadence, which far oversamples hour-scale
+    //    fade).  The pooled units age behind the fabric's own dynamics
+    //    and are left at their nominal value.
+    if (faults != nullptr &&
+        faults->plan().capacitanceFadePerHour > 0.0) {
+        agingAccumulator += dt;
+        if (agingAccumulator >= 1.0 / params.pollRateHz) {
+            agingAccumulator = 0.0;
+            energyLedger.faultLoss += task.setCapacitance(
+                params.taskCap.capacitance *
+                faults->capacitanceFactor("morphy.taskcap"));
+        }
+    }
+
     // 1. Self-discharge everywhere.
     energyLedger.leaked += task.leak(dt) + network.leak(dt);
 
@@ -186,13 +212,14 @@ MorphyBuffer::step(double dt, double input_power, double load_current)
             const double v_common =
                 (task.charge() + c_net_node * v_net) /
                 (task.capacitance() + c_net_node);
-            const double e_before = task.energy() +
-                units::capEnergy(c_net_node, v_net);
+            // Measured, not modeled, for the same zero-floor reason as
+            // applyConfig: the redistribution must balance the ledger.
+            const double e_before =
+                task.energy() + network.storedEnergy();
             network.addChargeAtOutput(c_net_node * (v_common - v_net));
             task.setVoltage(v_common);
-            const double e_after = task.energy() +
-                units::capEnergy(c_net_node, v_common);
-            energyLedger.leaked += std::max(e_before - e_after, 0.0);
+            energyLedger.leaked +=
+                e_before - (task.energy() + network.storedEnergy());
         }
     }
 
@@ -241,6 +268,7 @@ MorphyBuffer::reset()
     configIndex = 0;
     requestedLevel = 0;
     pollAccumulator = 0.0;
+    agingAccumulator = 0.0;
     reconfigCount = 0;
     energyLedger = sim::EnergyLedger();
 }

@@ -94,6 +94,7 @@ class MorphyBuffer : public EnergyBuffer
     int configIndex = 0;
     int requestedLevel = 0;
     double pollAccumulator = 0.0;
+    double agingAccumulator = 0.0;
     uint64_t reconfigCount = 0;
 };
 

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "sim/charge_transfer.hh"
+#include "sim/fault_injector.hh"
 #include "util/logging.hh"
 
 namespace react {
@@ -27,7 +28,8 @@ StaticBuffer::StaticBuffer(const sim::CapacitorSpec &spec, double rail_clamp,
                            std::string display_name)
     : cap(spec), clamp(rail_clamp),
       label(display_name.empty() ? defaultName(spec.capacitance)
-                                 : std::move(display_name))
+                                 : std::move(display_name)),
+      baseCapacitance(spec.capacitance)
 {
     react_assert(rail_clamp > 0.0, "rail clamp must be positive");
     react_assert(rail_clamp <= spec.ratedVoltage,
@@ -37,6 +39,18 @@ StaticBuffer::StaticBuffer(const sim::CapacitorSpec &spec, double rail_clamp,
 void
 StaticBuffer::step(double dt, double input_power, double load_current)
 {
+    // 0. Dielectric aging (fault injection only; 10 Hz update cadence
+    //    vastly oversamples hour-scale fade).
+    if (faults != nullptr &&
+        faults->plan().capacitanceFadePerHour > 0.0) {
+        agingAccumulator += dt;
+        if (agingAccumulator >= 0.1) {
+            agingAccumulator = 0.0;
+            energyLedger.faultLoss += cap.setCapacitance(
+                baseCapacitance * faults->capacitanceFactor("static.cap"));
+        }
+    }
+
     // 1. Self-discharge.
     energyLedger.leaked += cap.leak(dt);
 
@@ -78,6 +92,7 @@ void
 StaticBuffer::reset()
 {
     cap.setVoltage(0.0);
+    agingAccumulator = 0.0;
     energyLedger = sim::EnergyLedger();
 }
 

@@ -49,6 +49,10 @@ class StaticBuffer : public EnergyBuffer
     sim::Capacitor cap;
     double clamp;
     std::string label;
+    /** Nominal capacitance, the baseline that fault-injected dielectric
+     *  aging derates from. */
+    double baseCapacitance;
+    double agingAccumulator = 0.0;
 };
 
 } // namespace buffer

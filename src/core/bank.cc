@@ -58,6 +58,15 @@ CapacitorBank::setUnitVoltage(double v)
 }
 
 double
+CapacitorBank::setUnitCapacitance(double capacitance)
+{
+    react_assert(capacitance > 0.0, "bank unit capacitance must be positive");
+    const double before = storedEnergy();
+    bankSpec.unit.capacitance = capacitance;
+    return before - storedEnergy();
+}
+
+double
 CapacitorBank::terminalVoltage() const
 {
     switch (bankState) {

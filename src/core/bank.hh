@@ -70,6 +70,16 @@ class CapacitorBank
     /** Force the per-capacitor voltage (tests / initialization). */
     void setUnitVoltage(double v);
 
+    /**
+     * Re-derate the per-capacitor capacitance (dielectric aging under
+     * fault injection).  Voltage is preserved, so charge and energy drop
+     * with the capacitance; the caller books the returned energy delta
+     * against the ledger's fault-loss category.
+     *
+     * @return Energy lost to the fade, joules (>= 0 when shrinking).
+     */
+    double setUnitCapacitance(double capacitance);
+
     /** Whether the bank participates in the power network. */
     bool connected() const { return bankState != BankState::Disconnected; }
 

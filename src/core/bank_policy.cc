@@ -47,5 +47,77 @@ BankPolicy::bankChangedByLower(int level) const
     return (level - 1) / 2;
 }
 
+int
+BankPolicy::healthyCount(uint32_t retired_mask) const
+{
+    int n = 0;
+    for (int i = 0; i < banks; ++i) {
+        if ((retired_mask & (1u << i)) == 0)
+            ++n;
+    }
+    return n;
+}
+
+int
+BankPolicy::nthHealthy(int rank, uint32_t retired_mask) const
+{
+    for (int i = 0; i < banks; ++i) {
+        if ((retired_mask & (1u << i)) != 0)
+            continue;
+        if (rank == 0)
+            return i;
+        --rank;
+    }
+    return -1;
+}
+
+int
+BankPolicy::maxLevel(uint32_t retired_mask) const
+{
+    return healthyCount(retired_mask) * 2;
+}
+
+BankState
+BankPolicy::stateForLevel(int bank_index, int level,
+                          uint32_t retired_mask) const
+{
+    react_assert(bank_index >= 0 && bank_index < banks,
+                 "bank index out of range");
+    react_assert(level >= 0 && level <= maxLevel(retired_mask),
+                 "level %d out of range", level);
+    if ((retired_mask & (1u << bank_index)) != 0)
+        return BankState::Disconnected;
+    int rank = 0;
+    for (int i = 0; i < bank_index; ++i) {
+        if ((retired_mask & (1u << i)) == 0)
+            ++rank;
+    }
+    const int sub = std::clamp(level - 2 * rank, 0, 2);
+    switch (sub) {
+      case 0:
+        return BankState::Disconnected;
+      case 1:
+        return BankState::Series;
+      default:
+        return BankState::Parallel;
+    }
+}
+
+int
+BankPolicy::bankChangedByRaise(int level, uint32_t retired_mask) const
+{
+    if (level >= maxLevel(retired_mask))
+        return -1;
+    return nthHealthy(level / 2, retired_mask);
+}
+
+int
+BankPolicy::bankChangedByLower(int level, uint32_t retired_mask) const
+{
+    if (level <= 0)
+        return -1;
+    return nthHealthy((level - 1) / 2, retired_mask);
+}
+
 } // namespace core
 } // namespace react

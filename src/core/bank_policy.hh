@@ -15,6 +15,8 @@
 #ifndef REACT_CORE_BANK_POLICY_HH
 #define REACT_CORE_BANK_POLICY_HH
 
+#include <cstdint>
+
 #include "core/bank.hh"
 
 namespace react {
@@ -49,7 +51,40 @@ class BankPolicy
      *  -1 when already at the bottom. */
     int bankChangedByLower(int level) const;
 
+    /**
+     * @name Degraded-mode overloads (watchdog bank retirement)
+     *
+     * `retired_mask` has bit i set when the watchdog has retired bank i.
+     * Retired banks are pinned Disconnected and the level ladder is
+     * rebuilt over the surviving banks in the original connection order:
+     * the k-th *healthy* bank owns the ladder slots previously owned by
+     * the k-th bank.  With mask 0 the overloads match the plain versions
+     * exactly.
+     * @{
+     */
+
+    /** Highest level over the surviving banks. */
+    int maxLevel(uint32_t retired_mask) const;
+
+    /** Arrangement of one bank at a level, honouring retirements. */
+    BankState stateForLevel(int bank_index, int level,
+                            uint32_t retired_mask) const;
+
+    /** Physical index of the bank changed by raising `level`; -1 at top. */
+    int bankChangedByRaise(int level, uint32_t retired_mask) const;
+
+    /** Physical index of the bank changed by lowering `level`; -1 at 0. */
+    int bankChangedByLower(int level, uint32_t retired_mask) const;
+
+    /** Number of surviving (non-retired) banks. */
+    int healthyCount(uint32_t retired_mask) const;
+
+    /** @} */
+
   private:
+    /** Physical index of the rank-th healthy bank; -1 when absent. */
+    int nthHealthy(int rank, uint32_t retired_mask) const;
+
     int banks;
 };
 

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "sim/charge_transfer.hh"
+#include "sim/fault_injector.hh"
+#include "util/crc32.hh"
 #include "util/logging.hh"
 #include "util/units.hh"
 
@@ -29,6 +31,21 @@ terminalView(const CapacitorBank &bank)
 
 } // namespace
 
+namespace {
+
+/** Floating-terminal threshold: below this a commanded-connected bank
+ *  reads as not-actually-in-the-network. */
+constexpr double kFloatingVoltage = 0.02;
+
+/** Stable per-bank component name, e.g. "react.bank2.switch". */
+std::string
+bankComponent(int index, const char *part)
+{
+    return "react.bank" + std::to_string(index) + "." + part;
+}
+
+} // namespace
+
 ReactBuffer::ReactBuffer(const ReactConfig &config)
     : cfg(config), policy(static_cast<int>(config.banks.size())),
       lastLevel(config.lastLevel)
@@ -36,9 +53,36 @@ ReactBuffer::ReactBuffer(const ReactConfig &config)
     std::string error;
     react_assert(cfg.validate(&error), "invalid REACT config: %s",
                  error.c_str());
+    react_assert(cfg.banks.size() <= 32,
+                 "retirement mask supports at most 32 banks");
     banks.reserve(cfg.banks.size());
     for (const auto &spec : cfg.banks)
         banks.emplace_back(spec);
+    watch.resize(banks.size());
+    for (int i = 0; i < bankCount(); ++i) {
+        switchNames.push_back(bankComponent(i, "switch"));
+        telemetryNames.push_back(bankComponent(i, "telemetry"));
+        inDiodeNames.push_back(bankComponent(i, "diode.in"));
+        outDiodeNames.push_back(bankComponent(i, "diode.out"));
+        bankCapNames.push_back(bankComponent(i, "cap"));
+    }
+}
+
+void
+ReactBuffer::attachFaultInjector(sim::FaultInjector *injector)
+{
+    faults = injector;
+    if (faults != nullptr)
+        persistFramRecord();
+}
+
+int
+ReactBuffer::retiredBankCount() const
+{
+    int n = 0;
+    for (int i = 0; i < bankCount(); ++i)
+        n += (retiredMask & (1u << i)) != 0 ? 1 : 0;
+    return n;
 }
 
 double
@@ -68,7 +112,7 @@ ReactBuffer::equivalentCapacitance() const
 void
 ReactBuffer::requestMinLevel(int min_level)
 {
-    requestedLevel = std::clamp(min_level, 0, policy.maxLevel());
+    requestedLevel = std::clamp(min_level, 0, policy.maxLevel(retiredMask));
 }
 
 bool
@@ -90,10 +134,10 @@ ReactBuffer::usableEnergyAtLevel(int query_level) const
 {
     // Conservative: the discharge window between the two comparator
     // thresholds at that level's capacitance (reclamation extracts more).
-    const int lv = std::clamp(query_level, 0, policy.maxLevel());
+    const int lv = std::clamp(query_level, 0, policy.maxLevel(retiredMask));
     double c = lastLevel.capacitance();
     for (int i = 0; i < bankCount(); ++i) {
-        const BankState s = policy.stateForLevel(i, lv);
+        const BankState s = policy.stateForLevel(i, lv, retiredMask);
         const BankSpec &spec = cfg.banks[static_cast<size_t>(i)];
         if (s == BankState::Series)
             c += spec.seriesCapacitance();
@@ -137,13 +181,26 @@ ReactBuffer::notifyBackendPower(bool on)
         // Power-up: restore the FRAM-recorded bank states.  The switches
         // reconnect banks at whatever charge they retained; isolation
         // diodes prevent any equalization current, so this is lossless.
+        // Under fault injection the record is CRC-checked first: a write
+        // torn by the preceding power loss resets to the safe default.
+        if (faults != nullptr)
+            restoreFramRecord();
         applyLevel();
         pollAccumulator = 0.0;
     } else {
         // Brown-out: normally-open switches release; banks float,
-        // retaining per-capacitor charge.
-        for (auto &bank : banks)
-            bank.setState(BankState::Disconnected);
+        // retaining per-capacitor charge.  A jammed switch cannot
+        // release and keeps its bank wired into the network.
+        for (int i = 0; i < bankCount(); ++i) {
+            if (faults != nullptr &&
+                faults->isSwitchStuck(switchNames[static_cast<size_t>(i)])) {
+                continue;
+            }
+            banks[static_cast<size_t>(i)].setState(BankState::Disconnected);
+        }
+        // The power loss may have interrupted an FRAM config write.
+        if (faults != nullptr && !framImage.empty())
+            faults->maybeCorruptOnPowerLoss("react.fram", &framImage);
     }
 }
 
@@ -163,25 +220,238 @@ void
 ReactBuffer::applyLevel()
 {
     for (int i = 0; i < bankCount(); ++i) {
-        auto &bank = banks[static_cast<size_t>(i)];
-        const BankState target = policy.stateForLevel(i, level);
-        if (bank.state() != target) {
-            bank.setState(target);
+        const BankState target = policy.stateForLevel(i, level, retiredMask);
+        actuateBank(i, target);
+    }
+}
+
+bool
+ReactBuffer::actuateBank(int index, BankState target)
+{
+    auto &bank = banks[static_cast<size_t>(index)];
+    if (bank.state() == target)
+        return true;
+    if (faults == nullptr) {
+        bank.setState(target);
+        ++transitionCount;
+        return true;
+    }
+
+    const size_t i = static_cast<size_t>(index);
+    const BankState from = bank.state();
+    const double v_before = bank.terminalVoltage();
+    const double n = static_cast<double>(bank.spec().count);
+
+    bool moved = false;
+    if (faults->switchActuates(switchNames[i])) {
+        if (faults->switchDelayed(switchNames[i])) {
+            // Sluggish mechanism: the transition lands one poll late.
+            // In flight, not a fault the read-back should punish.
+            watch[i].pending = true;
+            watch[i].pendingTarget = target;
+            return false;
+        }
+        bank.setState(target);
+        ++transitionCount;
+        moved = true;
+    }
+
+    // Read-back verification: lossless reconfiguration makes the
+    // post-actuation terminal predictable from the pre-actuation reading
+    // whenever the bank was already in the network (a bank reconnecting
+    // from Disconnected floats beforehand, so its retained charge -- and
+    // hence the expected terminal -- is unknown to the software).
+    double expected = -1.0;
+    if (target == BankState::Disconnected)
+        expected = 0.0;
+    else if (from == BankState::Parallel && target == BankState::Series)
+        expected = v_before * n;
+    else if (from == BankState::Series && target == BankState::Parallel)
+        expected = v_before / n;
+
+    const double observed =
+        faults->comparatorRead(telemetryNames[i], bank.terminalVoltage());
+    if (expected >= 0.0) {
+        if (std::abs(observed - expected) > cfg.watchdogTolerance)
+            ++watch[i].mismatch;
+        else if (moved)
+            watch[i].mismatch = 0;
+    } else if (!moved && observed < kFloatingVoltage) {
+        // Commanded into the network but the terminal still floats.
+        // Count only under harvest surplus: a healthy just-connected
+        // empty bank would be soaking up input and rising off zero.
+        if (lastLevel.voltage() >= cfg.vHigh - 0.1)
+            ++watch[i].floating;
+    } else if (moved) {
+        watch[i].floating = 0;
+    }
+    return moved;
+}
+
+void
+ReactBuffer::watchdogService()
+{
+    // 1. Land slow actuations drawn at the previous poll.
+    for (size_t i = 0; i < banks.size(); ++i) {
+        if (!watch[i].pending)
+            continue;
+        watch[i].pending = false;
+        if (banks[i].state() != watch[i].pendingTarget) {
+            banks[i].setState(watch[i].pendingTarget);
             ++transitionCount;
         }
     }
+
+    // 2. Retry divergent banks (read-back inside actuateBank feeds the
+    //    counters) and retire any past the thresholds.
+    bool retired_any = false;
+    for (int i = 0; i < bankCount(); ++i) {
+        if ((retiredMask & (1u << i)) != 0)
+            continue;
+        const BankState target =
+            policy.stateForLevel(i, level, retiredMask);
+        if (banks[static_cast<size_t>(i)].state() != target) {
+            actuateBank(i, target);
+        } else {
+            // Physical state agrees with the command: the counters only
+            // measure *persistent* divergence, so clear them (a transient
+            // telemetry misread must not linger toward retirement).
+            watch[static_cast<size_t>(i)].mismatch = 0;
+            watch[static_cast<size_t>(i)].floating = 0;
+        }
+        const BankWatch &w = watch[static_cast<size_t>(i)];
+        if (w.mismatch >= cfg.watchdogMismatchPolls ||
+            w.floating >= cfg.watchdogFloatingPolls) {
+            retireBank(i);
+            retired_any = true;
+        }
+    }
+    // Retirement remapped the ladder; re-command the survivors.
+    if (retired_any)
+        applyLevel();
+}
+
+void
+ReactBuffer::retireBank(int index)
+{
+    if ((retiredMask & (1u << index)) != 0)
+        return;
+    retiredMask |= 1u << index;
+
+    // Best effort: command the bank out of the network.  A switch jammed
+    // closed keeps the bank electrically present, but the software stops
+    // counting on it either way.
+    auto &bank = banks[static_cast<size_t>(index)];
+    if (!faults->isSwitchStuck(switchNames[static_cast<size_t>(index)]) &&
+        bank.state() != BankState::Disconnected) {
+        bank.setState(BankState::Disconnected);
+        ++transitionCount;
+    }
+
+    const int top = policy.maxLevel(retiredMask);
+    if (level > top)
+        level = top;
+    if (requestedLevel > top)
+        requestedLevel = top;
+
+    faults->recordEvent(sim::FaultEventKind::BankRetired,
+                        switchNames[static_cast<size_t>(index)],
+                        static_cast<double>(index));
+    persistFramRecord();
 }
 
 void
 ReactBuffer::pollController()
 {
-    const double v = lastLevel.voltage();
-    if (v >= cfg.vHigh && level < policy.maxLevel()) {
+    if (faults != nullptr)
+        watchdogService();
+
+    double v = lastLevel.voltage();
+    if (faults != nullptr)
+        v = faults->comparatorRead("react.comparator", v);
+
+    const int top = policy.maxLevel(retiredMask);
+    if (v >= cfg.vHigh && level < top) {
         ++level;
         applyLevel();
+        if (faults != nullptr)
+            persistFramRecord();
     } else if (v <= cfg.vLow && level > 0) {
         --level;
         applyLevel();
+        if (faults != nullptr)
+            persistFramRecord();
+    }
+}
+
+void
+ReactBuffer::persistFramRecord()
+{
+    // Layout: [version][level][retiredMask LE32][crc32 LE32] = 10 bytes.
+    framImage.assign(10, 0);
+    framImage[0] = 1;
+    framImage[1] = static_cast<uint8_t>(level);
+    for (int b = 0; b < 4; ++b)
+        framImage[static_cast<size_t>(2 + b)] =
+            static_cast<uint8_t>(retiredMask >> (8 * b));
+    const uint32_t crc = crc32(framImage.data(), 6);
+    for (int b = 0; b < 4; ++b)
+        framImage[static_cast<size_t>(6 + b)] =
+            static_cast<uint8_t>(crc >> (8 * b));
+}
+
+void
+ReactBuffer::restoreFramRecord()
+{
+    bool valid = framImage.size() == 10 && framImage[0] == 1;
+    if (valid) {
+        uint32_t stored = 0;
+        for (int b = 0; b < 4; ++b)
+            stored |= static_cast<uint32_t>(framImage[static_cast<size_t>(
+                          6 + b)])
+                << (8 * b);
+        valid = stored == crc32(framImage.data(), 6);
+    }
+    if (valid) {
+        uint32_t mask = 0;
+        for (int b = 0; b < 4; ++b)
+            mask |= static_cast<uint32_t>(
+                        framImage[static_cast<size_t>(2 + b)])
+                << (8 * b);
+        const int lv = framImage[1];
+        const uint32_t mask_limit = bankCount() >= 32
+            ? 0xffffffffu
+            : (1u << bankCount()) - 1u;
+        valid = (mask & ~mask_limit) == 0 && lv <= policy.maxLevel(mask);
+        if (valid) {
+            retiredMask = mask;
+            level = lv;
+            return;
+        }
+    }
+    // Torn or nonsensical record: fall back to the safe default.  Level
+    // 0 re-grows from the last-level buffer exactly like a cold start;
+    // forgetting retirements only costs the watchdog a re-detection.
+    level = 0;
+    retiredMask = 0;
+    if (requestedLevel > policy.maxLevel(retiredMask))
+        requestedLevel = policy.maxLevel(retiredMask);
+    ++framRecoveryCount;
+    faults->recordEvent(sim::FaultEventKind::FramRecovery, "react.fram");
+    persistFramRecord();
+}
+
+void
+ReactBuffer::applyAging()
+{
+    energyLedger.faultLoss += lastLevel.setCapacitance(
+        cfg.lastLevel.capacitance *
+        faults->capacitanceFactor("react.lastlevel.cap"));
+    for (int i = 0; i < bankCount(); ++i) {
+        auto &bank = banks[static_cast<size_t>(i)];
+        energyLedger.faultLoss += bank.setUnitCapacitance(
+            cfg.banks[static_cast<size_t>(i)].unit.capacitance *
+            faults->capacitanceFactor(bankCapNames[static_cast<size_t>(i)]));
     }
 }
 
@@ -192,21 +462,45 @@ ReactBuffer::routeInput(double input_power, double dt)
         return;
 
     // Current from the harvester flows through the input ideal diodes to
-    // the lowest-voltage connected element (S 3.2.1).
-    int target = -1;  // -1 == last-level buffer
+    // the lowest-voltage connected element (S 3.2.1).  Under fault
+    // injection a diode failed open removes its path from the race (that
+    // element can no longer charge); one failed short merely loses its
+    // forward drop.
+    int target = -1;      // -1 == last-level buffer, -2 == no path at all
+    double drop = cfg.diodeDrop;
     double v_min = lastLevel.voltage();
+    if (faults != nullptr) {
+        const sim::DiodeFault f = faults->diodeFault("react.lastlevel.diode.in");
+        if (f == sim::DiodeFault::Open)
+            target = -2;
+        else if (f == sim::DiodeFault::Short)
+            drop = 0.0;
+    }
     for (int i = 0; i < bankCount(); ++i) {
         const auto &bank = banks[static_cast<size_t>(i)];
-        if (bank.connected() && bank.terminalVoltage() < v_min) {
+        if (!bank.connected())
+            continue;
+        sim::DiodeFault f = sim::DiodeFault::None;
+        if (faults != nullptr)
+            f = faults->diodeFault(inDiodeNames[static_cast<size_t>(i)]);
+        if (f == sim::DiodeFault::Open)
+            continue;
+        if (bank.terminalVoltage() < v_min || target == -2) {
             v_min = bank.terminalVoltage();
             target = i;
+            drop = f == sim::DiodeFault::Short ? 0.0 : cfg.diodeDrop;
         }
     }
 
+    if (target == -2) {
+        // Every input path failed open: the harvested power never enters
+        // the buffer (it is dissipated at the stalled harvester).
+        return;
+    }
     if (target < 0) {
         const double e_before = lastLevel.energy();
         const auto res = sim::chargeFromPower(lastLevel, input_power, dt,
-                                              cfg.diodeDrop);
+                                              drop);
         energyLedger.harvested += lastLevel.energy() - e_before +
             res.diodeLoss;
         energyLedger.diodeLoss += res.diodeLoss;
@@ -215,7 +509,7 @@ ReactBuffer::routeInput(double input_power, double dt)
         sim::Capacitor view = terminalView(bank);
         const double e_before = view.energy();
         const auto res = sim::chargeFromPower(view, input_power, dt,
-                                              cfg.diodeDrop);
+                                              drop);
         bank.addChargeAtTerminal(res.charge);
         energyLedger.harvested += view.energy() - e_before + res.diodeLoss;
         energyLedger.diodeLoss += res.diodeLoss;
@@ -229,17 +523,41 @@ ReactBuffer::replenishLastLevel(double dt)
     // above the rail sources current into the last-level buffer.  Exact
     // two-capacitor relaxation keeps this stable even during the
     // reclamation voltage spike (terminal boosted to N * V_low).
-    for (auto &bank : banks) {
+    for (int i = 0; i < bankCount(); ++i) {
+        auto &bank = banks[static_cast<size_t>(i)];
         if (!bank.connected())
             continue;
-        if (bank.terminalVoltage() <=
-                lastLevel.voltage() + cfg.diodeDrop) {
-            continue;
+
+        double drop = cfg.diodeDrop;
+        double resistance = cfg.transferResistance;
+        if (faults != nullptr) {
+            const sim::DiodeFault f =
+                faults->diodeFault(outDiodeNames[static_cast<size_t>(i)]);
+            resistance *=
+                faults->esrMultiplier(switchNames[static_cast<size_t>(i)]);
+            if (f == sim::DiodeFault::Open)
+                continue;  // the bank can no longer feed the rail
+            if (f == sim::DiodeFault::Short) {
+                drop = 0.0;
+                // A shorted isolation diode also conducts backwards: a
+                // rail above the bank terminal bleeds into the bank.
+                // The resistive dissipation is fault-attributed.
+                if (lastLevel.voltage() > bank.terminalVoltage()) {
+                    sim::Capacitor view = terminalView(bank);
+                    const auto back = sim::transferCharge(
+                        lastLevel, view, resistance, 0.0, dt);
+                    bank.addChargeAtTerminal(back.charge);
+                    energyLedger.faultLoss += back.resistiveLoss;
+                    continue;
+                }
+            }
         }
+
+        if (bank.terminalVoltage() <= lastLevel.voltage() + drop)
+            continue;
         sim::Capacitor view = terminalView(bank);
-        const auto res = sim::transferCharge(view, lastLevel,
-                                             cfg.transferResistance,
-                                             cfg.diodeDrop, dt);
+        const auto res = sim::transferCharge(view, lastLevel, resistance,
+                                             drop, dt);
         bank.addChargeAtTerminal(-res.charge);
         energyLedger.switchLoss += res.resistiveLoss;
         energyLedger.diodeLoss += res.diodeLoss;
@@ -249,6 +567,19 @@ ReactBuffer::replenishLastLevel(double dt)
 void
 ReactBuffer::step(double dt, double input_power, double load_current)
 {
+    // 0. Hardware aging (fault injection only): re-derate capacitances
+    //    at the controller's poll cadence -- far finer than the hours
+    //    over which fade acts, far cheaper than every millisecond step.
+    if (faults != nullptr &&
+        faults->plan().capacitanceFadePerHour > 0.0) {
+        agingAccumulator += dt;
+        const double aging_period = 1.0 / cfg.pollRateHz;
+        if (agingAccumulator >= aging_period) {
+            agingAccumulator = 0.0;
+            applyAging();
+        }
+    }
+
     // 1. Self-discharge (banks leak even while disconnected).
     double leaked = lastLevel.leak(dt);
     for (auto &bank : banks)
@@ -313,7 +644,14 @@ ReactBuffer::reset()
     requestedLevel = 0;
     backendOn = false;
     pollAccumulator = 0.0;
+    agingAccumulator = 0.0;
     transitionCount = 0;
+    retiredMask = 0;
+    framRecoveryCount = 0;
+    std::fill(watch.begin(), watch.end(), BankWatch());
+    framImage.clear();
+    if (faults != nullptr)
+        persistFramRecord();
     energyLedger = sim::EnergyLedger();
 }
 

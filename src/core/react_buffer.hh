@@ -21,6 +21,17 @@
  * When the MCU loses power the normally-open switches release: all banks
  * physically disconnect, retaining charge, and reconnect from FRAM state
  * at the next power-up.
+ *
+ * Fault hardening (only active while a sim::FaultInjector is attached):
+ * every commanded switch actuation is verified by reading the bank
+ * terminal back against the lossless-reconfiguration prediction, and a
+ * bank whose telemetry keeps disagreeing -- or that keeps floating when
+ * commanded into the network under harvest surplus -- is *retired*: the
+ * level ladder is rebuilt over the surviving banks, degrading in the
+ * limit to last-level-only operation (static 770 uF equivalent).  The
+ * controller level and retirement mask are persisted in a CRC-protected
+ * FRAM record; a record torn by a power-loss write is detected at boot
+ * and replaced with the safe default (level 0, nothing retired).
  */
 
 #ifndef REACT_CORE_REACT_BUFFER_HH
@@ -55,7 +66,10 @@ class ReactBuffer : public buffer::EnergyBuffer
     void reset() override;
 
     int capacitanceLevel() const override { return level; }
-    int maxCapacitanceLevel() const override { return policy.maxLevel(); }
+    int maxCapacitanceLevel() const override
+    {
+        return policy.maxLevel(retiredMask);
+    }
     double availableEnergy(double floor_voltage) const override;
     void requestMinLevel(int min_level) override;
     bool levelSatisfied() const override;
@@ -80,9 +94,48 @@ class ReactBuffer : public buffer::EnergyBuffer
     /** Cumulative count of bank state transitions. */
     uint64_t transitions() const { return transitionCount; }
 
+    /** Attach the fault injector and seed the FRAM config record. */
+    void attachFaultInjector(sim::FaultInjector *injector) override;
+
+    /** Watchdog retirement mask: bit i set when bank i was retired. */
+    uint32_t retiredBankMask() const { return retiredMask; }
+
+    /** Number of banks the watchdog has retired. */
+    int retiredBankCount() const;
+
+    /** Times a corrupt FRAM record was replaced with the safe default. */
+    int framRecoveries() const { return framRecoveryCount; }
+
   private:
+    /** Watchdog bookkeeping for one bank's switch. */
+    struct BankWatch
+    {
+        /** Consecutive failed actuation read-backs. */
+        int mismatch = 0;
+        /** Consecutive floating reads while commanded connected. */
+        int floating = 0;
+        /** A slow actuation is in flight, landing at the next poll. */
+        bool pending = false;
+        BankState pendingTarget = BankState::Disconnected;
+    };
+
     /** Reapply the logical (FRAM) bank states to the physical switches. */
     void applyLevel();
+
+    /**
+     * Command one bank's switch toward `target`, drawing stuck/slow
+     * faults and verifying the actuation by terminal read-back.
+     *
+     * @return true when the bank physically reached `target`.
+     */
+    bool actuateBank(int index, BankState target);
+
+    /** Per-poll watchdog pass: land slow actuations, retry and verify
+     *  divergent banks, retire banks past the thresholds. */
+    void watchdogService();
+
+    /** Retire a bank: pin it out of the ladder and persist the mask. */
+    void retireBank(int index);
 
     /** One controller poll: read comparators, step the level. */
     void pollController();
@@ -92,6 +145,16 @@ class ReactBuffer : public buffer::EnergyBuffer
 
     /** Drain banks above the rail into the last-level buffer. */
     void replenishLastLevel(double dt);
+
+    /** Apply capacitance fade to the last level and every bank. */
+    void applyAging();
+
+    /** Serialize {level, retiredMask} + CRC into the FRAM image. */
+    void persistFramRecord();
+
+    /** Decode the FRAM image; on CRC failure fall back to the safe
+     *  default (level 0, no retirements) and log the recovery. */
+    void restoreFramRecord();
 
     ReactConfig cfg;
     BankPolicy policy;
@@ -103,7 +166,21 @@ class ReactBuffer : public buffer::EnergyBuffer
     int requestedLevel = 0;
     bool backendOn = false;
     double pollAccumulator = 0.0;
+    double agingAccumulator = 0.0;
     uint64_t transitionCount = 0;
+
+    /** @name Fault-hardening state (inert without an injector). @{ */
+    uint32_t retiredMask = 0;
+    int framRecoveryCount = 0;
+    std::vector<BankWatch> watch;
+    std::vector<uint8_t> framImage;
+    /** Cached component names (stable injector stream identities). */
+    std::vector<std::string> switchNames;
+    std::vector<std::string> telemetryNames;
+    std::vector<std::string> inDiodeNames;
+    std::vector<std::string> outDiodeNames;
+    std::vector<std::string> bankCapNames;
+    /** @} */
 };
 
 } // namespace core

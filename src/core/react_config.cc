@@ -68,6 +68,12 @@ ReactConfig::validate(std::string *error) const
         return fail("last-level capacitance must be positive");
     if (pollRateHz <= 0.0)
         return fail("poll rate must be positive");
+    if (watchdogMismatchPolls < 1)
+        return fail("watchdog mismatch threshold must be >= 1 poll");
+    if (watchdogFloatingPolls < 1)
+        return fail("watchdog floating threshold must be >= 1 poll");
+    if (watchdogTolerance <= 0.0)
+        return fail("watchdog tolerance must be positive");
 
     for (size_t i = 0; i < banks.size(); ++i) {
         const BankSpec &bank = banks[i];

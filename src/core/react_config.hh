@@ -59,6 +59,27 @@ struct ReactConfig
     /** Forward drop of the active ideal diodes, volts. */
     double diodeDrop = 0.01;
 
+    /**
+     * @name Watchdog thresholds (fault-hardened management software)
+     *
+     * After every commanded switch actuation the software reads the bank
+     * terminal back and compares it to the lossless-reconfiguration
+     * prediction; a bank that keeps disagreeing is retired from the
+     * level ladder.  Only exercised when a fault injector is attached.
+     * @{
+     */
+
+    /** Consecutive failed actuation read-backs before retirement. */
+    int watchdogMismatchPolls = 3;
+    /** Consecutive polls a commanded-connected bank may read floating
+     *  (terminal < 0.02 V) while harvest surplus holds the rail near
+     *  V_high before retirement (catches switches stuck open). */
+    int watchdogFloatingPolls = 50;
+    /** Allowed |expected - observed| terminal deviation, volts. */
+    double watchdogTolerance = 0.05;
+
+    /** @} */
+
     /** Total capacitance with every bank parallel (the "18 mF" of S 4). */
     double maxCapacitance() const;
 

@@ -1,6 +1,10 @@
 #include "experiment.hh"
 
+#include <cmath>
+#include <memory>
+
 #include "harness/paper_setup.hh"
+#include "util/logging.hh"
 
 namespace react {
 namespace harness {
@@ -18,6 +22,14 @@ ExperimentResult::dutyCycle() const
     return totalTime > 0.0 ? onTime / totalTime : 0.0;
 }
 
+uint64_t
+ExperimentResult::workLostVersus(const ExperimentResult &fault_free) const
+{
+    return fault_free.workUnits > workUnits
+        ? fault_free.workUnits - workUnits
+        : 0;
+}
+
 ExperimentResult
 runExperiment(buffer::EnergyBuffer &buffer, workload::Benchmark *benchmark,
               const harvest::HarvesterFrontend &frontend,
@@ -29,6 +41,18 @@ runExperiment(buffer::EnergyBuffer &buffer, workload::Benchmark *benchmark,
 
     mcu::Device device(backendSpec());
     sim::PowerGate gate(config.enableVoltage, config.brownoutVoltage);
+
+    // Fault injection is strictly opt-in: with the all-zero default plan
+    // no injector exists and every code path below is bit-identical to
+    // the fault-free build.
+    std::unique_ptr<sim::FaultInjector> injector;
+    if (config.faultPlan.enabled()) {
+        injector = std::make_unique<sim::FaultInjector>(config.faultPlan,
+                                                        config.faultSeed);
+        buffer.attachFaultInjector(injector.get());
+        gate.attachFaultInjector(injector.get());
+    }
+    const double stored_start = buffer.storedEnergy();
 
     ExperimentResult result;
     result.bufferName = buffer.name();
@@ -69,7 +93,11 @@ runExperiment(buffer::EnergyBuffer &buffer, workload::Benchmark *benchmark,
             }
         }
 
-        const double input_power = frontend.power(t);
+        double input_power = frontend.power(t);
+        if (injector) {
+            injector->advance(config.dt);
+            input_power = injector->filterHarvest(input_power);
+        }
         buffer.step(config.dt, input_power, device.current());
 
         if (gate.isOn()) {
@@ -114,6 +142,40 @@ runExperiment(buffer::EnergyBuffer &buffer, workload::Benchmark *benchmark,
     }
     result.ledger = buffer.ledger();
     result.residualEnergy = buffer.storedEnergy();
+
+    // Per-run conservation audit: everything harvested must be accounted
+    // for by delivery, booked losses, or the change in stored energy.
+    result.conservationError =
+        result.ledger.conservationError(result.residualEnergy -
+                                        stored_start);
+    const double tolerance =
+        1e-9 * std::max(1.0, result.ledger.harvested);
+    if (std::abs(result.conservationError) > tolerance) {
+        if (config.strictConservation) {
+            react_panic("energy ledger violated conservation: error %.3e J "
+                        "(harvested %.3e J, tolerance %.3e J)",
+                        result.conservationError, result.ledger.harvested,
+                        tolerance);
+        }
+        react_warn("energy ledger conservation error %.3e J exceeds "
+                   "tolerance %.3e J (%s / %s / %s)",
+                   result.conservationError, tolerance,
+                   result.bufferName.c_str(),
+                   result.benchmarkName.c_str(),
+                   result.traceName.c_str());
+    }
+
+    if (injector) {
+        result.faultEvents = injector->faultCount();
+        result.recoveryEvents = injector->recoveryCount();
+        result.banksRetired = static_cast<int>(
+            injector->eventCount(sim::FaultEventKind::BankRetired));
+        result.framRecoveries = static_cast<int>(
+            injector->eventCount(sim::FaultEventKind::FramRecovery));
+        result.faultLog = injector->events();
+        buffer.attachFaultInjector(nullptr);
+        gate.attachFaultInjector(nullptr);
+    }
     return result;
 }
 

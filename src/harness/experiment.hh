@@ -21,6 +21,7 @@
 #include "harvest/frontend.hh"
 #include "mcu/device.hh"
 #include "sim/energy_ledger.hh"
+#include "sim/fault_injector.hh"
 #include "sim/power_gate.hh"
 #include "workload/benchmark.hh"
 
@@ -49,6 +50,22 @@ struct ExperimentConfig
     /** Stop as soon as the backend first enables (latency-only runs,
      *  Table 4: charge time is software-invariant). */
     bool stopAfterLatency = false;
+
+    /**
+     * Hardware fault schedule.  The default all-zero plan leaves the run
+     * bit-identical to a build without fault injection (no injector is
+     * even constructed).  When any rate is non-zero, one seeded injector
+     * is attached to the buffer and the power gate for the whole run.
+     */
+    sim::FaultPlan faultPlan;
+    /** Master seed for the fault injector's component streams. */
+    uint64_t faultSeed = 0x5eedull;
+    /**
+     * Escalate an energy-conservation violation (|error| beyond 1e-9 J
+     * per joule harvested) from a warning to a panic.  Tests enable
+     * this; interactive benches keep the warning so a sweep finishes.
+     */
+    bool strictConservation = false;
 };
 
 /** One recorded rail sample. */
@@ -92,6 +109,28 @@ struct ExperimentResult
     sim::EnergyLedger ledger;
     /** Energy still stored when the run ended, joules. */
     double residualEnergy = 0.0;
+    /** Ledger conservation error for the whole run, joules (signed). */
+    double conservationError = 0.0;
+
+    /** @name Fault-injection outcome (zero without a fault plan). @{ */
+    /** Injected hardware faults over the run. */
+    uint64_t faultEvents = 0;
+    /** Recovery actions the hardened management software took. */
+    uint64_t recoveryEvents = 0;
+    /** Banks the REACT watchdog retired. */
+    int banksRetired = 0;
+    /** Corrupt FRAM config records replaced with the safe default. */
+    int framRecoveries = 0;
+    /** Chronological fault/recovery log (capped inside the injector). */
+    std::vector<sim::FaultEvent> faultLog;
+    /** @} */
+
+    /**
+     * Work lost to hardware faults versus a reference run of the same
+     * setup without them (clamped at zero: noise can make a faulted run
+     * marginally luckier).
+     */
+    uint64_t workLostVersus(const ExperimentResult &fault_free) const;
 
     /** Rail recording (when enabled). */
     std::vector<RailSample> rail;

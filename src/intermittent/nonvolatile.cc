@@ -1,5 +1,7 @@
 #include "nonvolatile.hh"
 
+#include "sim/fault_injector.hh"
+
 namespace react {
 namespace intermittent {
 
@@ -40,6 +42,21 @@ NonVolatileStore::commit()
 void
 NonVolatileStore::failInFlightWrites()
 {
+    if (faults != nullptr) {
+        // The power loss may have caught a staged record mid-write: the
+        // torn bytes land in the slot the commit was writing -- always
+        // the inactive one -- and the tear stops before the checksum and
+        // version update, so the slot keeps stale metadata and can never
+        // be mistaken for a committed value.
+        for (auto &entry : staged) {
+            std::vector<uint8_t> partial = entry.second;
+            if (!faults->maybeCorruptOnPowerLoss("nvstore", &partial))
+                continue;
+            Record &record = records[entry.first];
+            const int target = record.active == 0 ? 1 : 0;
+            record.slots[target].data = std::move(partial);
+        }
+    }
     staged.clear();
 }
 

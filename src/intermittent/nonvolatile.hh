@@ -25,6 +25,9 @@
 #include <vector>
 
 namespace react {
+namespace sim {
+class FaultInjector;
+}
 namespace intermittent {
 
 /** Double-buffered, checksummed non-volatile key-value store. */
@@ -32,6 +35,19 @@ class NonVolatileStore
 {
   public:
     NonVolatileStore() = default;
+
+    /**
+     * Attach (or detach with nullptr) a hardware fault injector.  While
+     * attached, failInFlightWrites() models the physical tear: a power
+     * loss that lands mid-write leaves corrupted bytes in the slot being
+     * written.  Because commits are double-buffered, the tear only ever
+     * hits the *inactive* slot -- committed data stays readable, which
+     * is exactly the crash-consistency property the tests verify.
+     */
+    void attachFaultInjector(sim::FaultInjector *injector)
+    {
+        faults = injector;
+    }
 
     /**
      * Stage a write.  The data does not become visible to read() until
@@ -90,6 +106,7 @@ class NonVolatileStore
     std::map<std::string, Record> records;
     std::map<std::string, std::vector<uint8_t>> staged;
     uint64_t nextVersion = 1;
+    sim::FaultInjector *faults = nullptr;
 };
 
 } // namespace intermittent

@@ -136,10 +136,15 @@ TaskRuntime::stepWithFailure()
     if (finished())
         return;
     TaskContext ctx(*this);
-    (void)execute(ctx);
-    // Power dies before the commit point: every buffered write and the
-    // successor edge evaporate; the task will re-run from its original
-    // inputs at next power-up.
+    const std::string next = execute(ctx);
+    // Power dies inside the commit's write-out, before the atomic
+    // publish: the buffered writes and the successor edge are in flight
+    // (an attached fault injector may tear them into the inactive FRAM
+    // slots) but never become visible; the task will re-run from its
+    // original inputs at next power-up.
+    for (auto &entry_kv : ctx.writes)
+        nv.stage(entry_kv.first, std::move(entry_kv.second));
+    nv.stage(kCurrentTaskKey, encodeString(next));
     nv.failInFlightWrites();
     ++aborted;
 }

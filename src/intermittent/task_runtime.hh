@@ -111,6 +111,12 @@ class TaskRuntime
     NonVolatileStore &store() { return nv; }
     const NonVolatileStore &store() const { return nv; }
 
+    /** Route the store's power-loss writes through a fault injector. */
+    void attachFaultInjector(sim::FaultInjector *injector)
+    {
+        nv.attachFaultInjector(injector);
+    }
+
   private:
     friend class TaskContext;
 

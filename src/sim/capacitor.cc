@@ -32,6 +32,15 @@ Capacitor::setVoltage(double voltage)
 }
 
 double
+Capacitor::setCapacitance(double capacitance)
+{
+    react_assert(capacitance > 0.0, "capacitance must be positive");
+    const double before = energy();
+    partSpec.capacitance = capacitance;
+    return before - energy();
+}
+
+double
 Capacitor::charge() const
 {
     return partSpec.capacitance * v;

@@ -56,6 +56,17 @@ class Capacitor
     /** Force the terminal voltage (used by reconfiguration logic). */
     void setVoltage(double voltage);
 
+    /**
+     * Rescale the part capacitance at constant terminal voltage
+     * (dielectric aging / fault-injected capacitance fade).  The charge
+     * difference vanishes into the degraded dielectric; the caller books
+     * the stored-energy delta (E = 1/2 dC V^2) to the fault ledger.
+     *
+     * @param capacitance New capacitance in farads (> 0).
+     * @return Stored energy lost (positive when capacitance shrank).
+     */
+    double setCapacitance(double capacitance);
+
     /** Stored charge Q = C V in coulombs. */
     double charge() const;
 

@@ -6,7 +6,7 @@ namespace sim {
 double
 EnergyLedger::totalLoss() const
 {
-    return clipped + leaked + switchLoss + diodeLoss + overhead;
+    return clipped + leaked + switchLoss + diodeLoss + overhead + faultLoss;
 }
 
 double
@@ -21,6 +21,12 @@ EnergyLedger::efficiency() const
     return harvested > 0.0 ? delivered / harvested : 0.0;
 }
 
+double
+EnergyLedger::conservationError(double stored_delta) const
+{
+    return harvested - delivered - totalLoss() - stored_delta;
+}
+
 EnergyLedger &
 EnergyLedger::operator+=(const EnergyLedger &other)
 {
@@ -31,6 +37,7 @@ EnergyLedger::operator+=(const EnergyLedger &other)
     switchLoss += other.switchLoss;
     diodeLoss += other.diodeLoss;
     overhead += other.overhead;
+    faultLoss += other.faultLoss;
     return *this;
 }
 

@@ -33,6 +33,9 @@ struct EnergyLedger
     double diodeLoss = 0.0;
     /** Energy consumed by the buffer's own hardware (comparators etc.). */
     double overhead = 0.0;
+    /** Energy destroyed by injected hardware faults (capacitance fade,
+     *  shorted-diode backfeed dissipation).  Zero in fault-free runs. */
+    double faultLoss = 0.0;
 
     /** Sum of all loss categories (everything but delivered). */
     double totalLoss() const;
@@ -42,6 +45,18 @@ struct EnergyLedger
 
     /** Fraction of harvested energy delivered to the backend. */
     double efficiency() const;
+
+    /**
+     * Conservation audit: harvested energy must equal delivered energy
+     * plus all losses plus the change in stored energy.  The residual is
+     * the simulator's bookkeeping error and must stay at floating-point
+     * noise (the harness enforces |error| < 1e-9 J per joule harvested).
+     *
+     * @param stored_delta Stored energy now minus stored energy at the
+     *        start of the accounting period, joules.
+     * @return Signed conservation error in joules (0 == perfect books).
+     */
+    double conservationError(double stored_delta) const;
 
     /** Accumulate another ledger into this one. */
     EnergyLedger &operator+=(const EnergyLedger &other);

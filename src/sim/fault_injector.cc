@@ -1,0 +1,345 @@
+#include "fault_injector.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace react {
+namespace sim {
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/** Cap on the retained event log; counters stay exact past it. */
+constexpr size_t kMaxLoggedEvents = 20000;
+
+/** FNV-1a over the component name: the child-stream tag. */
+uint64_t
+fnv1a64(const std::string &name)
+{
+    uint64_t hash = 14695981039346656037ull;
+    for (char ch : name) {
+        hash ^= static_cast<uint8_t>(ch);
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+} // namespace
+
+bool
+FaultPlan::enabled() const
+{
+    return switchStuckProbability > 0.0 || switchSlowProbability > 0.0 ||
+        comparatorDriftVoltsPerSqrtHour > 0.0 ||
+        comparatorMisreadsPerHour > 0.0 || capacitanceFadePerHour > 0.0 ||
+        esrRisePerHour > 0.0 || diodeFailuresPerHour > 0.0 ||
+        harvesterDropoutsPerHour > 0.0 || framCorruptionPerPowerLoss > 0.0;
+}
+
+FaultPlan
+FaultPlan::stress(double severity)
+{
+    react_assert(severity >= 0.0, "fault severity must be >= 0");
+    FaultPlan plan;
+    plan.switchStuckProbability = std::min(0.01 * severity, 1.0);
+    plan.switchSlowProbability = std::min(0.02 * severity, 1.0);
+    plan.comparatorDriftVoltsPerSqrtHour = 0.05 * severity;
+    plan.comparatorMisreadsPerHour = 30.0 * severity;
+    plan.comparatorMisreadMagnitude = 1.0;
+    plan.capacitanceFadePerHour = 0.02 * severity;
+    plan.esrRisePerHour = 0.5 * severity;
+    plan.diodeFailuresPerHour = 0.05 * severity;
+    plan.diodeShortFraction = 0.5;
+    plan.harvesterDropoutsPerHour = 20.0 * severity;
+    plan.harvesterDropoutMeanSeconds = 4.0;
+    plan.framCorruptionPerPowerLoss = std::min(0.05 * severity, 1.0);
+    return plan;
+}
+
+const char *
+faultEventKindName(FaultEventKind kind)
+{
+    switch (kind) {
+      case FaultEventKind::SwitchStuck:
+        return "switch-stuck";
+      case FaultEventKind::SwitchSlow:
+        return "switch-slow";
+      case FaultEventKind::ComparatorMisread:
+        return "comparator-misread";
+      case FaultEventKind::DiodeOpen:
+        return "diode-open";
+      case FaultEventKind::DiodeShort:
+        return "diode-short";
+      case FaultEventKind::HarvesterDropoutBegin:
+        return "dropout-begin";
+      case FaultEventKind::HarvesterDropoutEnd:
+        return "dropout-end";
+      case FaultEventKind::FramCorruption:
+        return "fram-corruption";
+      case FaultEventKind::BankRetired:
+        return "bank-retired";
+      case FaultEventKind::FramRecovery:
+        return "fram-recovery";
+    }
+    return "?";
+}
+
+bool
+isRecoveryEvent(FaultEventKind kind)
+{
+    return kind == FaultEventKind::BankRetired ||
+        kind == FaultEventKind::FramRecovery;
+}
+
+FaultInjector::FaultInjector(const FaultPlan &plan, uint64_t seed)
+    : faultPlan(plan), master(seed)
+{
+}
+
+FaultInjector::Component &
+FaultInjector::component(const std::string &name)
+{
+    auto it = components.find(name);
+    if (it != components.end())
+        return it->second;
+
+    Component comp;
+    comp.rng = master.child(fnv1a64(name));
+    comp.driftUpdatedAt = t;
+    comp.nextMisreadAt = faultPlan.comparatorMisreadsPerHour > 0.0
+        ? t + comp.rng.exponential(3600.0 /
+                                   faultPlan.comparatorMisreadsPerHour)
+        : kInfinity;
+    // Aging rates vary part-to-part; jitter keeps components from fading
+    // in lockstep while remaining a pure function of (seed, name).
+    comp.agingJitter = comp.rng.uniform(0.7, 1.3);
+    if (faultPlan.diodeFailuresPerHour > 0.0) {
+        comp.diodeFailsAt =
+            t + comp.rng.exponential(3600.0 / faultPlan.diodeFailuresPerHour);
+        comp.diodeMode = comp.rng.chance(faultPlan.diodeShortFraction)
+            ? DiodeFault::Short
+            : DiodeFault::Open;
+    } else {
+        comp.diodeFailsAt = kInfinity;
+    }
+    return components.emplace(name, std::move(comp)).first->second;
+}
+
+const FaultInjector::Component *
+FaultInjector::findComponent(const std::string &name) const
+{
+    const auto it = components.find(name);
+    return it == components.end() ? nullptr : &it->second;
+}
+
+void
+FaultInjector::advance(double dt)
+{
+    react_assert(dt >= 0.0, "cannot advance the fault clock backwards");
+    t += dt;
+
+    if (faultPlan.harvesterDropoutsPerHour <= 0.0)
+        return;
+    Rng &rng = component("harvester").rng;
+    if (!dropoutScheduleInit) {
+        dropoutScheduleInit = true;
+        nextDropoutEdge =
+            t + rng.exponential(3600.0 / faultPlan.harvesterDropoutsPerHour);
+    }
+    while (t >= nextDropoutEdge) {
+        if (!dropoutActive) {
+            dropoutActive = true;
+            recordEvent(FaultEventKind::HarvesterDropoutBegin, "harvester");
+            nextDropoutEdge +=
+                rng.exponential(faultPlan.harvesterDropoutMeanSeconds);
+        } else {
+            dropoutActive = false;
+            recordEvent(FaultEventKind::HarvesterDropoutEnd, "harvester");
+            nextDropoutEdge += rng.exponential(
+                3600.0 / faultPlan.harvesterDropoutsPerHour);
+        }
+    }
+}
+
+bool
+FaultInjector::switchActuates(const std::string &name)
+{
+    if (faultPlan.switchStuckProbability <= 0.0)
+        return true;
+    Component &comp = component(name);
+    if (comp.stuck)
+        return false;
+    if (comp.rng.chance(faultPlan.switchStuckProbability)) {
+        comp.stuck = true;
+        recordEvent(FaultEventKind::SwitchStuck, name);
+        return false;
+    }
+    return true;
+}
+
+bool
+FaultInjector::isSwitchStuck(const std::string &name) const
+{
+    const Component *comp = findComponent(name);
+    return comp != nullptr && comp->stuck;
+}
+
+bool
+FaultInjector::switchDelayed(const std::string &name)
+{
+    if (faultPlan.switchSlowProbability <= 0.0)
+        return false;
+    Component &comp = component(name);
+    if (comp.rng.chance(faultPlan.switchSlowProbability)) {
+        recordEvent(FaultEventKind::SwitchSlow, name);
+        return true;
+    }
+    return false;
+}
+
+double
+FaultInjector::comparatorRead(const std::string &name, double actual)
+{
+    if (faultPlan.comparatorDriftVoltsPerSqrtHour <= 0.0 &&
+        faultPlan.comparatorMisreadsPerHour <= 0.0) {
+        return actual;
+    }
+    Component &comp = component(name);
+    double observed = actual;
+
+    if (faultPlan.comparatorDriftVoltsPerSqrtHour > 0.0) {
+        // Random-walk offset: increments are independent over disjoint
+        // intervals, so accumulating lazily at read time is equivalent
+        // to stepping the walk continuously.
+        const double elapsed = t - comp.driftUpdatedAt;
+        if (elapsed > 0.0) {
+            comp.driftOffset += comp.rng.normal(
+                0.0, faultPlan.comparatorDriftVoltsPerSqrtHour *
+                    std::sqrt(elapsed / 3600.0));
+            comp.driftUpdatedAt = t;
+        }
+        observed += comp.driftOffset;
+    }
+
+    if (faultPlan.comparatorMisreadsPerHour > 0.0) {
+        bool fired = false;
+        while (t >= comp.nextMisreadAt) {
+            fired = true;
+            comp.nextMisreadAt += comp.rng.exponential(
+                3600.0 / faultPlan.comparatorMisreadsPerHour);
+        }
+        if (fired) {
+            const double error =
+                comp.rng.uniform(-faultPlan.comparatorMisreadMagnitude,
+                                 faultPlan.comparatorMisreadMagnitude);
+            recordEvent(FaultEventKind::ComparatorMisread, name, error);
+            observed += error;
+        }
+    }
+    return std::max(observed, 0.0);
+}
+
+double
+FaultInjector::capacitanceFactor(const std::string &name)
+{
+    if (faultPlan.capacitanceFadePerHour <= 0.0)
+        return 1.0;
+    Component &comp = component(name);
+    const double rate = faultPlan.capacitanceFadePerHour * comp.agingJitter;
+    return std::exp(-rate * t / 3600.0);
+}
+
+double
+FaultInjector::esrMultiplier(const std::string &name)
+{
+    if (faultPlan.esrRisePerHour <= 0.0)
+        return 1.0;
+    Component &comp = component(name);
+    return 1.0 + faultPlan.esrRisePerHour * comp.agingJitter * t / 3600.0;
+}
+
+DiodeFault
+FaultInjector::diodeFault(const std::string &name)
+{
+    if (faultPlan.diodeFailuresPerHour <= 0.0)
+        return DiodeFault::None;
+    Component &comp = component(name);
+    if (t < comp.diodeFailsAt)
+        return DiodeFault::None;
+    if (!comp.diodeReported) {
+        comp.diodeReported = true;
+        recordEvent(comp.diodeMode == DiodeFault::Short
+                        ? FaultEventKind::DiodeShort
+                        : FaultEventKind::DiodeOpen,
+                    name);
+    }
+    return comp.diodeMode;
+}
+
+double
+FaultInjector::filterHarvest(double input_power) const
+{
+    return dropoutActive ? 0.0 : input_power;
+}
+
+bool
+FaultInjector::maybeCorruptOnPowerLoss(const std::string &name,
+                                       std::vector<uint8_t> *bytes)
+{
+    if (faultPlan.framCorruptionPerPowerLoss <= 0.0)
+        return false;
+    Component &comp = component(name);
+    if (!comp.rng.chance(faultPlan.framCorruptionPerPowerLoss))
+        return false;
+    double where = -1.0;
+    if (bytes != nullptr && !bytes->empty()) {
+        const int index = comp.rng.uniformInt(
+            0, static_cast<int>(bytes->size()) - 1);
+        const int bit = comp.rng.uniformInt(0, 7);
+        (*bytes)[static_cast<size_t>(index)] ^=
+            static_cast<uint8_t>(1u << bit);
+        where = static_cast<double>(index);
+    }
+    recordEvent(FaultEventKind::FramCorruption, name, where);
+    return true;
+}
+
+void
+FaultInjector::recordEvent(FaultEventKind kind, const std::string &name,
+                           double magnitude)
+{
+    ++kindCounts[static_cast<size_t>(kind)];
+    if (eventLog.size() < kMaxLoggedEvents)
+        eventLog.push_back({t, kind, name, magnitude});
+}
+
+uint64_t
+FaultInjector::eventCount(FaultEventKind kind) const
+{
+    return kindCounts[static_cast<size_t>(kind)];
+}
+
+uint64_t
+FaultInjector::faultCount() const
+{
+    uint64_t n = 0;
+    for (size_t k = 0; k < 10; ++k) {
+        if (!isRecoveryEvent(static_cast<FaultEventKind>(k)))
+            n += kindCounts[k];
+    }
+    return n;
+}
+
+uint64_t
+FaultInjector::recoveryCount() const
+{
+    return eventCount(FaultEventKind::BankRetired) +
+        eventCount(FaultEventKind::FramRecovery);
+}
+
+} // namespace sim
+} // namespace react

@@ -1,5 +1,6 @@
 #include "power_gate.hh"
 
+#include "sim/fault_injector.hh"
 #include "util/logging.hh"
 
 namespace react {
@@ -16,6 +17,9 @@ PowerGate::PowerGate(double enable_voltage, double brownout_voltage)
 bool
 PowerGate::update(double rail_voltage)
 {
+    if (faults != nullptr)
+        rail_voltage = faults->comparatorRead("powergate.supervisor",
+                                              rail_voltage);
     if (!on && rail_voltage >= vEnable) {
         on = true;
         return true;

@@ -15,6 +15,8 @@
 namespace react {
 namespace sim {
 
+class FaultInjector;
+
 /** Voltage-supervisor power gate with enable/brown-out hysteresis. */
 class PowerGate
 {
@@ -51,10 +53,18 @@ class PowerGate
     /** Reset to the powered-off state. */
     void reset();
 
+    /**
+     * Attach (or detach with nullptr) a fault injector: the supervisor
+     * comparator then observes the rail through the injector's offset
+     * drift and misread model.
+     */
+    void attachFaultInjector(FaultInjector *injector) { faults = injector; }
+
   private:
     double vEnable;
     double vBrownout;
     bool on = false;
+    FaultInjector *faults = nullptr;
 };
 
 } // namespace sim

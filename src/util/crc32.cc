@@ -1,0 +1,37 @@
+#include "crc32.hh"
+
+namespace react {
+
+namespace {
+
+/** Build the reflected CRC-32 table once, at first use. */
+const uint32_t *
+crcTable()
+{
+    static uint32_t table[256];
+    static bool built = false;
+    if (!built) {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int bit = 0; bit < 8; ++bit)
+                c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            table[i] = c;
+        }
+        built = true;
+    }
+    return table;
+}
+
+} // namespace
+
+uint32_t
+crc32(const uint8_t *data, size_t size)
+{
+    const uint32_t *table = crcTable();
+    uint32_t crc = 0xffffffffu;
+    for (size_t i = 0; i < size; ++i)
+        crc = table[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+} // namespace react

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+ *
+ * Used to protect small FRAM records (e.g. REACT's persisted bank
+ * topology) against the torn writes a power failure can leave behind.
+ * Unlike the FNV hash in the non-volatile store, CRC-32 guarantees
+ * detection of any single burst error up to 32 bits -- the failure mode
+ * of an interrupted FRAM row write -- which is why real intermittent
+ * runtimes use it for their commit markers.
+ */
+
+#ifndef REACT_UTIL_CRC32_HH
+#define REACT_UTIL_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace react {
+
+/** CRC-32 of a byte range (initial value 0, standard final inversion). */
+uint32_t crc32(const uint8_t *data, size_t size);
+
+} // namespace react
+
+#endif // REACT_UTIL_CRC32_HH

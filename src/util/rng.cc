@@ -140,4 +140,15 @@ Rng::split()
     return Rng(next());
 }
 
+Rng
+Rng::child(uint64_t tag) const
+{
+    // Mix the tag through splitmix64 twice before folding in the parent
+    // state so that adjacent tags (0, 1, 2...) land in unrelated streams.
+    uint64_t x = tag;
+    uint64_t mixed = splitmix64(x);
+    mixed ^= splitmix64(x);
+    return Rng(mixed ^ s[0] ^ rotl(s[2], 23));
+}
+
 } // namespace react

@@ -66,6 +66,18 @@ class Rng
     /** Derive an independent child stream (for per-component seeding). */
     Rng split();
 
+    /**
+     * Derive an independent child stream keyed by a caller-chosen tag,
+     * *without* consuming state from this generator.  Unlike split(),
+     * child() is a pure function of (seed, tag): every component that
+     * derives its stream as `master.child(hash(name))` gets the same
+     * schedule regardless of how many other streams were created first
+     * or in what order.  The fault injector relies on this for
+     * reproducible per-component fault schedules (see
+     * sim/fault_injector.hh for the tag convention).
+     */
+    Rng child(uint64_t tag) const;
+
   private:
     uint64_t s[4];
     bool haveCachedNormal = false;

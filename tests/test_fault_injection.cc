@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Tests for the deterministic hardware fault injector and the hardened
+ * management software it exercises: per-component stream derivation,
+ * schedule determinism, torn-FRAM crash consistency, the REACT watchdog's
+ * bank retirement, and safe-default recovery from corrupt config records.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/react_buffer.hh"
+#include "intermittent/nonvolatile.hh"
+#include "sim/fault_injector.hh"
+#include "util/rng.hh"
+
+namespace react {
+namespace {
+
+using core::ReactBuffer;
+using sim::FaultEventKind;
+using sim::FaultInjector;
+using sim::FaultPlan;
+
+// ---------------------------------------------------------------------
+// Seeding: child streams are pure functions of (master seed, tag).
+// ---------------------------------------------------------------------
+
+TEST(FaultSeeding, ChildStreamsAreReproducible)
+{
+    Rng a(42);
+    Rng b(42);
+    Rng child_a = a.child(7);
+    // Consuming draws from the master or other children must not shift
+    // an already-derived (or later-derived) child stream.
+    a.uniform(0.0, 1.0);
+    Rng unrelated = a.child(99);
+    unrelated.uniform(0.0, 1.0);
+    Rng child_b = b.child(7);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(child_a.next(), child_b.next());
+}
+
+TEST(FaultSeeding, ComponentStreamsAreOrderIndependent)
+{
+    // Component streams are keyed by name, so the order in which
+    // components first touch the injector must not change any stream.
+    FaultPlan plan;
+    plan.comparatorMisreadsPerHour = 1000.0;
+    plan.comparatorDriftVoltsPerSqrtHour = 0.1;
+
+    FaultInjector first(plan, 123);
+    FaultInjector second(plan, 123);
+
+    // Warm them up in opposite component order.
+    first.comparatorRead("alpha", 2.0);
+    first.comparatorRead("beta", 2.0);
+    second.comparatorRead("beta", 2.0);
+    second.comparatorRead("alpha", 2.0);
+
+    for (int i = 0; i < 2000; ++i) {
+        first.advance(1e-3);
+        second.advance(1e-3);
+        EXPECT_DOUBLE_EQ(first.comparatorRead("alpha", 2.5),
+                         second.comparatorRead("alpha", 2.5));
+        EXPECT_DOUBLE_EQ(first.comparatorRead("beta", 2.5),
+                         second.comparatorRead("beta", 2.5));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Determinism: the same plan and seed replay the same fault schedule.
+// ---------------------------------------------------------------------
+
+TEST(FaultInjector, SamePlanAndSeedReplayIdentically)
+{
+    const FaultPlan plan = FaultPlan::stress(2.0);
+    FaultInjector a(plan, 0xabcdef);
+    FaultInjector b(plan, 0xabcdef);
+
+    double sum_a = 0.0;
+    double sum_b = 0.0;
+    for (int i = 0; i < 200000; ++i) {
+        a.advance(1e-3);
+        b.advance(1e-3);
+        sum_a += a.filterHarvest(1e-3);
+        sum_b += b.filterHarvest(1e-3);
+        sum_a += a.comparatorRead("comp", 2.0);
+        sum_b += b.comparatorRead("comp", 2.0);
+    }
+    EXPECT_DOUBLE_EQ(sum_a, sum_b);
+    EXPECT_EQ(a.faultCount(), b.faultCount());
+    EXPECT_EQ(a.events().size(), b.events().size());
+    for (size_t i = 0; i < a.events().size(); ++i) {
+        EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+        EXPECT_DOUBLE_EQ(a.events()[i].time, b.events()[i].time);
+    }
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge)
+{
+    FaultPlan plan;
+    plan.harvesterDropoutsPerHour = 500.0;
+    FaultInjector a(plan, 1);
+    FaultInjector b(plan, 2);
+    double first_a = -1.0;
+    double first_b = -1.0;
+    for (int i = 0; i < 3600000 && (first_a < 0.0 || first_b < 0.0);
+         ++i) {
+        a.advance(1e-3);
+        b.advance(1e-3);
+        if (first_a < 0.0 && a.inHarvesterDropout())
+            first_a = a.now();
+        if (first_b < 0.0 && b.inHarvesterDropout())
+            first_b = b.now();
+    }
+    ASSERT_GE(first_a, 0.0);
+    ASSERT_GE(first_b, 0.0);
+    EXPECT_NE(first_a, first_b);
+}
+
+TEST(FaultInjector, DropoutsZeroHarvestAndAreBalanced)
+{
+    FaultPlan plan;
+    plan.harvesterDropoutsPerHour = 200.0;
+    plan.harvesterDropoutMeanSeconds = 2.0;
+    FaultInjector inj(plan, 7);
+    for (int i = 0; i < 3600000; ++i) {
+        inj.advance(1e-3);
+        if (inj.inHarvesterDropout())
+            EXPECT_EQ(inj.filterHarvest(5e-3), 0.0);
+        else
+            EXPECT_EQ(inj.filterHarvest(5e-3), 5e-3);
+    }
+    const uint64_t begins =
+        inj.eventCount(FaultEventKind::HarvesterDropoutBegin);
+    const uint64_t ends =
+        inj.eventCount(FaultEventKind::HarvesterDropoutEnd);
+    EXPECT_GT(begins, 0u);
+    // Every dropout that began either ended or is still in progress.
+    EXPECT_GE(begins, ends);
+    EXPECT_LE(begins - ends, 1u);
+}
+
+TEST(FaultInjector, ZeroPlanIsTransparent)
+{
+    // An attached all-zero injector must behave as if absent: reads pass
+    // through, switches never jam, harvest is untouched.
+    FaultInjector inj(FaultPlan::none(), 99);
+    for (int i = 0; i < 1000; ++i) {
+        inj.advance(1e-3);
+        EXPECT_EQ(inj.comparatorRead("c", 1.23), 1.23);
+        EXPECT_TRUE(inj.switchActuates("s"));
+        EXPECT_EQ(inj.filterHarvest(2e-3), 2e-3);
+        EXPECT_EQ(inj.capacitanceFactor("cap"), 1.0);
+        EXPECT_EQ(inj.esrMultiplier("sw"), 1.0);
+    }
+    EXPECT_EQ(inj.faultCount(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Torn FRAM writes must never break crash consistency: the committed
+// double-buffer slot stays readable, only the in-flight slot is hit.
+// ---------------------------------------------------------------------
+
+TEST(FaultInjector, TornWriteLeavesCommittedDataReadable)
+{
+    FaultPlan plan;
+    plan.framCorruptionPerPowerLoss = 1.0;
+    FaultInjector inj(plan, 5);
+
+    intermittent::NonVolatileStore nv;
+    nv.attachFaultInjector(&inj);
+
+    const std::vector<uint8_t> committed = {1, 2, 3, 4};
+    nv.stage("key", committed);
+    nv.commit();
+
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        nv.stage("key", std::vector<uint8_t>(64, 0xee));
+        nv.failInFlightWrites();  // tear guaranteed by the plan
+        std::vector<uint8_t> out;
+        ASSERT_TRUE(nv.read("key", &out));
+        EXPECT_EQ(out, committed);
+    }
+    EXPECT_GT(inj.eventCount(FaultEventKind::FramCorruption), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Watchdog: a jammed bank switch is detected from terminal-voltage
+// telemetry and the bank is retired; the buffer keeps operating on the
+// remaining banks (ultimately last-level-only).
+// ---------------------------------------------------------------------
+
+TEST(Watchdog, RetiresStuckBanksAndKeepsOperating)
+{
+    FaultPlan plan;
+    plan.switchStuckProbability = 1.0;  // every commanded transition jams
+    FaultInjector inj(plan, 11);
+
+    ReactBuffer buf;
+    buf.attachFaultInjector(&inj);
+
+    // Generous harvest drives the controller up the ladder; every bank
+    // connection attempt jams and must be retired within a few polls.
+    // The management software runs on the backend MCU, so emulate the
+    // power gate (on at 3.3 V, brown-out at 1.8 V).
+    bool on = false;
+    for (int i = 0; i < 400000; ++i) {
+        inj.advance(1e-3);
+        buf.step(1e-3, 20e-3, on ? 1e-3 : 0.0);
+        if (!on && buf.railVoltage() >= 3.3) {
+            on = true;
+            buf.notifyBackendPower(true);
+        } else if (on && buf.railVoltage() <= 1.8) {
+            on = false;
+            buf.notifyBackendPower(false);
+        }
+    }
+
+    EXPECT_EQ(buf.retiredBankCount(), buf.bankCount());
+    EXPECT_EQ(buf.maxCapacitanceLevel(), 0);
+    EXPECT_EQ(static_cast<int>(
+                  inj.eventCount(FaultEventKind::BankRetired)),
+              buf.bankCount());
+
+    // Last-level-only operation: the rail still regulates inside the
+    // paper's comparator band and the backend can draw from it.
+    EXPECT_GE(buf.railVoltage(), buf.config().vLow);
+    EXPECT_LE(buf.railVoltage(), buf.config().railClamp + 1e-9);
+    const double before = buf.storedEnergy();
+    buf.step(1e-3, 0.0, 1e-3);
+    EXPECT_LT(buf.storedEnergy(), before);
+}
+
+TEST(Watchdog, HealthyBuffersNeverRetireUnderMisreads)
+{
+    // Transient comparator misreads alone must not accumulate into a
+    // retirement: the counters reset whenever telemetry matches the
+    // commanded state again.
+    FaultPlan plan;
+    plan.comparatorMisreadsPerHour = 3000.0;
+    plan.comparatorMisreadMagnitude = 1.5;
+    FaultInjector inj(plan, 13);
+
+    ReactBuffer buf;
+    buf.attachFaultInjector(&inj);
+    bool on = false;
+    for (int i = 0; i < 600000; ++i) {
+        inj.advance(1e-3);
+        buf.step(1e-3, 15e-3, on && i % 2 == 0 ? 1e-3 : 0.0);
+        if (!on && buf.railVoltage() >= 3.3) {
+            on = true;
+            buf.notifyBackendPower(true);
+        } else if (on && buf.railVoltage() <= 1.8) {
+            on = false;
+            buf.notifyBackendPower(false);
+        }
+    }
+    EXPECT_GT(buf.capacitanceLevel(), 0);  // the controller did run
+    EXPECT_EQ(buf.retiredBankCount(), 0);
+}
+
+// ---------------------------------------------------------------------
+// FRAM config record: a corrupt record is detected by CRC and replaced
+// with the safe default instead of being trusted.
+// ---------------------------------------------------------------------
+
+TEST(FramRecovery, CorruptRecordFallsBackToSafeDefault)
+{
+    FaultPlan plan;
+    plan.framCorruptionPerPowerLoss = 1.0;
+    FaultInjector inj(plan, 17);
+
+    ReactBuffer buf;
+    buf.attachFaultInjector(&inj);
+
+    // Charge until the backend window opens, then let the controller
+    // climb the ladder (it polls only while the backend is powered).
+    bool on = false;
+    for (int i = 0; i < 300000; ++i) {
+        inj.advance(1e-3);
+        buf.step(1e-3, 20e-3, 0.0);
+        if (!on && buf.railVoltage() >= 3.3) {
+            on = true;
+            buf.notifyBackendPower(true);
+        }
+    }
+    ASSERT_TRUE(on);
+    ASSERT_GT(buf.capacitanceLevel(), 0);
+
+    // Power loss tears the persisted record; the next boot must detect
+    // the corruption and restart from the safe default level 0.
+    buf.notifyBackendPower(false);
+    buf.notifyBackendPower(true);
+    EXPECT_EQ(buf.capacitanceLevel(), 0);
+    EXPECT_EQ(buf.framRecoveries(), 1);
+    EXPECT_GE(static_cast<int>(
+                  inj.eventCount(FaultEventKind::FramRecovery)),
+              1);
+
+    // The buffer keeps working after recovery: it can climb again
+    // (the backend is on, so the controller resumes polling).
+    for (int i = 0; i < 200000; ++i) {
+        inj.advance(1e-3);
+        buf.step(1e-3, 20e-3, 0.0);
+    }
+    EXPECT_GT(buf.capacitanceLevel(), 0);
+}
+
+} // namespace
+} // namespace react

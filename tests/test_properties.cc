@@ -16,10 +16,14 @@
 #include "buffers/capacitor_network.hh"
 #include "core/bank.hh"
 #include "core/react_buffer.hh"
+#include "harness/experiment.hh"
 #include "harness/paper_setup.hh"
+#include "intermittent/task_runtime.hh"
+#include "sim/fault_injector.hh"
 #include "trace/generator.hh"
 #include "util/rng.hh"
 #include "util/units.hh"
+#include "workload/aes128.hh"
 
 namespace react {
 namespace {
@@ -263,6 +267,131 @@ TEST_P(RailBandTest, RailStaysWithinBandOnceEnabled)
 
 INSTANTIATE_TEST_SUITE_P(InputPowers, RailBandTest,
                          ::testing::Values(1e-3, 3e-3, 6e-3, 12e-3));
+
+// ---------------------------------------------------------------------
+// Intermittent correctness under power failures AND hardware faults:
+// with an injector tearing every power-loss FRAM write, a task program
+// still produces the continuous-execution result bit-for-bit.
+// ---------------------------------------------------------------------
+
+namespace {
+
+intermittent::TaskRuntime
+makeChainedAesProgram(int blocks)
+{
+    intermittent::TaskRuntime rt("start");
+    rt.addTask("start", [](intermittent::TaskContext &ctx) {
+        ctx.writeBytes("block", std::vector<uint8_t>(16, 0));
+        ctx.writeU64("i", 0);
+        return "encrypt";
+    });
+    rt.addTask("encrypt", [blocks](intermittent::TaskContext &ctx) {
+        static const workload::Aes128 aes(
+            {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7,
+             0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c});
+        const auto bytes = ctx.readBytes("block");
+        workload::Aes128::Block block{};
+        std::copy(bytes.begin(), bytes.end(), block.begin());
+        block = aes.encrypt(block);
+        ctx.writeBytes("block", std::vector<uint8_t>(block.begin(),
+                                                     block.end()));
+        const uint64_t i = ctx.readU64("i") + 1;
+        ctx.writeU64("i", i);
+        return i >= static_cast<uint64_t>(blocks) ? std::string()
+                                                  : std::string("encrypt");
+    });
+    return rt;
+}
+
+} // namespace
+
+class HardwareFaultScheduleTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(HardwareFaultScheduleTest, OutputMatchesContinuousExecution)
+{
+    const int blocks = 25;
+
+    intermittent::TaskRuntime reference = makeChainedAesProgram(blocks);
+    while (reference.step()) {
+    }
+    std::vector<uint8_t> expected;
+    ASSERT_TRUE(reference.store().read("block", &expected));
+
+    // Victim: random power failures, and every failure's in-flight FRAM
+    // write is torn by the hardware fault injector.
+    sim::FaultPlan plan;
+    plan.framCorruptionPerPowerLoss = 1.0;
+    sim::FaultInjector injector(plan, GetParam());
+
+    intermittent::TaskRuntime victim = makeChainedAesProgram(blocks);
+    victim.attachFaultInjector(&injector);
+    Rng rng(GetParam());
+    int guard = 0;
+    while (!victim.finished() && guard++ < 10000) {
+        if (rng.chance(0.4))
+            victim.stepWithFailure();
+        else
+            victim.step();
+    }
+    ASSERT_TRUE(victim.finished());
+    EXPECT_GT(victim.tasksAborted(), 0u);
+    EXPECT_GT(injector.eventCount(sim::FaultEventKind::FramCorruption),
+              0u);
+
+    std::vector<uint8_t> actual;
+    ASSERT_TRUE(victim.store().read("block", &actual));
+    EXPECT_EQ(actual, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(TornWriteSchedules, HardwareFaultScheduleTest,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+// ---------------------------------------------------------------------
+// Energy conservation survives hardware fault injection: a full
+// experiment under the stress plan must balance its ledger to within
+// 1e-9 J per joule harvested (strict mode panics otherwise).
+// ---------------------------------------------------------------------
+
+class FaultedConservationTest
+    : public ::testing::TestWithParam<harness::BufferKind>
+{
+};
+
+TEST_P(FaultedConservationTest, LedgerBalancesUnderStressPlan)
+{
+    auto buf = harness::makeBuffer(GetParam());
+    trace::VolatileSourceParams params;
+    params.name = "faulted-conservation";
+    params.duration = 120.0;
+    params.targetMeanPower = 3e-3;
+    Rng trace_rng(99);
+    const auto power = trace::generateVolatileSource(params, trace_rng);
+    harvest::HarvesterFrontend frontend(power);
+    auto benchmark = harness::makeBenchmark(
+        harness::BenchmarkKind::SenseCompute, power.duration() + 60.0);
+
+    harness::ExperimentConfig cfg;
+    cfg.faultPlan = sim::FaultPlan::stress(3.0);
+    cfg.strictConservation = true;  // a violation panics -> test fails
+    cfg.drainAllowance = 60.0;
+    const auto r = harness::runExperiment(*buf, benchmark.get(), frontend,
+                                          cfg);
+    EXPECT_LE(std::abs(r.conservationError),
+              1e-9 * std::max(1.0, r.ledger.harvested));
+    EXPECT_GT(r.faultEvents, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBuffers, FaultedConservationTest,
+    ::testing::Values(harness::BufferKind::Static770uF,
+                      harness::BufferKind::Static17mF,
+                      harness::BufferKind::Morphy,
+                      harness::BufferKind::React),
+    [](const auto &info) {
+        return harness::bufferKindName(info.param);
+    });
 
 } // namespace
 } // namespace react
