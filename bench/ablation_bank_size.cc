@@ -33,19 +33,19 @@ main()
     for (int n = 1; n <= 8; ++n) {
         core::BankSpec spec;
         spec.count = n;
-        spec.unit.capacitance = 470e-6;
-        spec.unit.ratedVoltage = 50.0;
+        spec.unit.capacitance = units::Farads(470e-6);
+        spec.unit.ratedVoltage = units::Volts(50.0);
         core::CapacitorBank bank(spec);
         bank.setState(core::BankState::Parallel);
         bank.setUnitVoltage(cfg.vLow);
-        const double before = bank.storedEnergy();
+        const units::Joules before = bank.storedEnergy();
         bank.setState(core::BankState::Series);
         bank.addChargeAtTerminal(bank.terminalCapacitance() *
                                  (cfg.vLow - bank.terminalVoltage()));
-        const double after = bank.storedEnergy();
+        const units::Joules after = bank.storedEnergy();
         reclaim.addRow({TextTable::integer(n),
-                        TextTable::num(before * 1e6, 1),
-                        TextTable::num(after * 1e6, 1),
+                        TextTable::num(before.raw() * 1e6, 1),
+                        TextTable::num(after.raw() * 1e6, 1),
                         TextTable::num(before / after, 1) + "x"});
     }
     reclaim.print();
@@ -54,10 +54,10 @@ main()
                      "compliance (V_low 1.9, V_high 3.5, C_last 770 uF)");
     limits.setHeader({"N", "C_unit limit (uF)"});
     for (int n = 2; n <= 6; ++n) {
-        const double limit = cfg.unitCapacitanceLimit(n);
+        const units::Farads limit = cfg.unitCapacitanceLimit(n);
         limits.addRow({TextTable::integer(n),
-                       std::isfinite(limit)
-                           ? TextTable::num(limit * 1e6, 0)
+                       units::isfinite(limit)
+                           ? TextTable::num(limit.raw() * 1e6, 0)
                            : "unconstrained"});
     }
     limits.print();
@@ -68,11 +68,11 @@ main()
                       "< V_high?"});
     int idx = 1;
     for (const auto &bank : cfg.banks) {
-        const double v = cfg.reclamationSpikeVoltage(bank);
+        const units::Volts v = cfg.reclamationSpikeVoltage(bank);
         spikes.addRow({TextTable::integer(idx), TextTable::integer(
                            bank.count),
-                       TextTable::num(bank.unit.capacitance * 1e6, 0),
-                       TextTable::num(v, 2),
+                       TextTable::num(bank.unit.capacitance.raw() * 1e6, 0),
+                       TextTable::num(v.raw(), 2),
                        v < cfg.vHigh ? "yes" : "NO"});
         ++idx;
     }

@@ -26,14 +26,15 @@ main()
     const auto wl = harness::workloadParams();
     const auto dev = harness::backendSpec();
     // One SC burst: active + microphone for the sampling window.
-    const double burst =
+    const units::Joules burst{
         (dev.activeCurrent + wl.micCurrent) * wl.nominalRail *
-        wl.sampleDuration;
+        wl.sampleDuration};
 
-    buffer::DewdropPolicy dewdrop(10e-3);
-    const double v_adaptive = dewdrop.enableVoltageFor(burst);
+    buffer::DewdropPolicy dewdrop(units::Farads(10e-3));
+    const units::Volts v_adaptive = dewdrop.enableVoltageFor(burst);
     std::printf("SC burst energy: %.2f mJ -> Dewdrop enable voltage "
-                "%.2f V (vs 3.3 V fixed)\n\n", burst * 1e3, v_adaptive);
+                "%.2f V (vs 3.3 V fixed)\n\n", burst.raw() * 1e3,
+                v_adaptive.raw());
 
     TextTable table("SC under RF Mobile, 10 mF buffer");
     table.setHeader({"configuration", "latency(s)", "samples", "missed",
@@ -42,10 +43,11 @@ main()
     struct Case { const char *name; double enable; };
     const Case cases[] = {
         {"fixed 3.3V enable", 3.3},
-        {"Dewdrop enable", v_adaptive},
+        {"Dewdrop enable", v_adaptive.raw()},
     };
     for (const auto &c : cases) {
-        buffer::StaticBuffer buf(harness::staticBufferSpec(10e-3));
+        buffer::StaticBuffer buf(
+            harness::staticBufferSpec(units::Farads(10e-3)));
         auto sc = harness::makeBenchmark(
             harness::BenchmarkKind::SenseCompute,
             power.duration() + bench::kDrainAllowance);

@@ -28,12 +28,14 @@ main()
     device.setHeader({"current", "Schottky drop", "ideal drop",
                       "power ratio"});
     for (const double i : {0.1e-3, 1e-3, 5e-3, 20e-3}) {
+        const units::Amps amps{i};
         device.addRow({TextTable::num(i * 1e3, 1) + "mA",
-                       TextTable::num(schottky.forwardDrop(i), 3) + "V",
-                       TextTable::num(ideal.forwardDrop(i) * 1e3, 3) +
-                           "mV",
-                       TextTable::num(ideal.conductionPower(i) /
-                                          schottky.conductionPower(i) *
+                       TextTable::num(schottky.forwardDrop(amps).raw(), 3) +
+                           "V",
+                       TextTable::num(ideal.forwardDrop(amps).raw() * 1e3,
+                                      3) + "mV",
+                       TextTable::num(ideal.conductionPower(amps) /
+                                          schottky.conductionPower(amps) *
                                           100.0, 3) + "%"});
     }
     device.print();
@@ -46,8 +48,9 @@ main()
     for (const bool use_schottky : {false, true}) {
         core::ReactConfig cfg = core::ReactConfig::paperConfig();
         // Model the diode as its drop at the trace's typical ~1 mA.
-        cfg.diodeDrop = use_schottky ? schottky.forwardDrop(1e-3)
-                                     : ideal.forwardDrop(1e-3) + 0.01;
+        cfg.diodeDrop = use_schottky
+            ? schottky.forwardDrop(units::Amps(1e-3))
+            : ideal.forwardDrop(units::Amps(1e-3)) + units::Volts(0.01);
         core::ReactBuffer buf(cfg);
         const auto &power =
             bench::evaluationTrace(trace::PaperTrace::RfCart);
@@ -59,7 +62,7 @@ main()
         system.addRow({use_schottky ? "Schottky" : "ideal (LM66100)",
                        TextTable::integer(
                            static_cast<long long>(r.workUnits)),
-                       TextTable::num(r.ledger.diodeLoss * 1e3, 1),
+                       TextTable::num(r.ledger.diodeLoss.raw() * 1e3, 1),
                        TextTable::percent(r.ledger.efficiency())});
     }
     system.print();

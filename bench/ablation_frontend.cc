@@ -32,8 +32,9 @@ main()
     for (const double p :
          {1e-6, 10e-6, 100e-6, 300e-6, 1e-3, 3e-3, 10e-3, 50e-3}) {
         curve.addRow({TextTable::num(p * 1e3, 3) + "mW",
-                      TextTable::percent(rf.efficiency(p)),
-                      TextTable::percent(solar.efficiency(p))});
+                      TextTable::percent(rf.efficiency(units::Watts(p))),
+                      TextTable::percent(
+                          solar.efficiency(units::Watts(p)))});
     }
     curve.print();
 
@@ -61,7 +62,8 @@ main()
             raw.duration() + bench::kDrainAllowance);
         harvest::HarvesterFrontend frontend(raw, std::move(c.conv));
         const auto r = harness::runExperiment(*buf, de.get(), frontend);
-        e2e.addRow({c.name, TextTable::num(r.ledger.delivered * 1e3, 1),
+        e2e.addRow({c.name,
+                    TextTable::num(r.ledger.delivered.raw() * 1e3, 1),
                     TextTable::integer(
                         static_cast<long long>(r.workUnits))});
     }

@@ -25,9 +25,11 @@ main()
                      "efficiency"});
 
     for (const double c_last : {220e-6, 470e-6, 770e-6, 1.5e-3, 3e-3}) {
+        const units::Farads c{c_last};
         core::ReactConfig cfg = core::ReactConfig::paperConfig();
-        cfg.lastLevel.capacitance = c_last;
-        cfg.lastLevel.leakageCurrentAtRated = 6.3 * c_last / 2000.0;
+        cfg.lastLevel.capacitance = c;
+        cfg.lastLevel.leakageCurrentAtRated =
+            units::Volts(6.3) * c / units::Seconds(2000.0);
         std::string error;
         if (!cfg.validate(&error)) {
             table.addRow({TextTable::num(c_last * 1e6, 0) + "uF",

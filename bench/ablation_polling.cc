@@ -24,7 +24,7 @@ main()
 
     for (const double hz : {1.0, 2.0, 5.0, 10.0, 20.0, 50.0}) {
         core::ReactConfig cfg = core::ReactConfig::paperConfig();
-        cfg.pollRateHz = hz;
+        cfg.pollRateHz = units::Hertz(hz);
         core::ReactBuffer buf(cfg);
         const auto &power =
             bench::evaluationTrace(trace::PaperTrace::SolarCampus);
@@ -37,7 +37,7 @@ main()
                       TextTable::percent(buf.softwareOverheadFraction()),
                       TextTable::integer(
                           static_cast<long long>(r.workUnits)),
-                      TextTable::num(r.ledger.clipped * 1e3, 1),
+                      TextTable::num(r.ledger.clipped.raw() * 1e3, 1),
                       TextTable::percent(r.ledger.efficiency())});
     }
     table.print();

@@ -28,8 +28,8 @@ main()
     for (const double v_high : {3.3, 3.4, 3.5}) {
         for (const double v_low : {1.85, 1.9, 2.0, 2.2}) {
             core::ReactConfig cfg = core::ReactConfig::paperConfig();
-            cfg.vHigh = v_high;
-            cfg.vLow = v_low;
+            cfg.vHigh = units::Volts(v_high);
+            cfg.vLow = units::Volts(v_low);
             std::string error;
             if (!cfg.validate(&error)) {
                 table.addRow({TextTable::num(v_high, 2),
@@ -50,7 +50,7 @@ main()
                           TextTable::num(v_low, 2),
                           TextTable::integer(
                               static_cast<long long>(r.workUnits)),
-                          TextTable::num(r.ledger.clipped * 1e3, 1),
+                          TextTable::num(r.ledger.clipped.raw() * 1e3, 1),
                           TextTable::percent(r.ledger.efficiency()),
                           v_high == 3.5 && v_low == 1.9 ? "(paper)"
                                                         : ""});

@@ -55,7 +55,7 @@ main()
                 baseline.emplace(kind, r);
             harshest[kind] = r;
 
-            const double efficiency = r.ledger.harvested > 0.0
+            const double efficiency = r.ledger.harvested > units::Joules(0.0)
                 ? r.ledger.delivered / r.ledger.harvested
                 : 0.0;
             std::printf("%.1f,%s,%llu,%llu,%llu,%d,%d,%.4f,%.3e\n",

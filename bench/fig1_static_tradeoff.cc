@@ -38,12 +38,15 @@ main()
     table.setHeader({"buffer", "first-enable(s)", "mean on-period(s)",
                      "on-time", "cycles", "clipped/harvested"});
 
-    struct Row { double cap; const char *name; };
-    const Row rows[] = {{1e-3, "1mF"}, {10e-3, "10mF"},
-                        {100e-3, "100mF"}, {300e-3, "300mF"}};
+    struct Row { units::Farads cap; const char *name; };
+    const Row rows[] = {{units::Farads(1e-3), "1mF"},
+                        {units::Farads(10e-3), "10mF"},
+                        {units::Farads(100e-3), "100mF"},
+                        {units::Farads(300e-3), "300mF"}};
     double latency_1mf = 0.0, latency_300mf = -1.0;
     for (const auto &row : rows) {
-        buffer::StaticBuffer buf(harness::staticBufferSpec(row.cap), 3.6,
+        buffer::StaticBuffer buf(harness::staticBufferSpec(row.cap),
+                                 units::Volts(3.6),
                                  row.name);
         // The Fig. 1 system draws a constant 1.5 mA while on: run with
         // the DE workload (continuous active mode).
@@ -59,13 +62,13 @@ main()
                       TextTable::integer(
                           static_cast<long long>(r.powerCycles)),
                       TextTable::percent(
-                          r.ledger.harvested > 0
+                          r.ledger.harvested > units::Joules(0)
                               ? r.ledger.clipped / r.ledger.harvested
                               : 0.0,
                           0)});
-        if (row.cap == 1e-3)
+        if (row.cap == units::Farads(1e-3))
             latency_1mf = r.latency;
-        if (row.cap == 300e-3)
+        if (row.cap == units::Farads(300e-3))
             latency_300mf = r.latency;
     }
     table.print();

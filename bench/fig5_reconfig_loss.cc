@@ -20,8 +20,8 @@ react::sim::CapacitorSpec
 unitSpec()
 {
     react::sim::CapacitorSpec s;
-    s.capacitance = 1e-3;
-    s.ratedVoltage = 100.0;
+    s.capacitance = react::units::Farads(1e-3);
+    s.ratedVoltage = react::units::Volts(100.0);
     return s;
 }
 
@@ -45,11 +45,11 @@ main()
         series4.branches = {{0, 1, 2, 3}};
         net.reconfigure(series4);
         for (int i = 0; i < 4; ++i)
-            net.setUnitVoltage(i, 1.0);
-        const double e_old = net.storedEnergy();
+            net.setUnitVoltage(i, units::Volts(1.0));
+        const units::Joules e_old = net.storedEnergy();
         buffer::NetworkConfig split;
         split.branches = {{0, 1, 2}, {3}};
-        const double loss = net.reconfigure(split);
+        const units::Joules loss = net.reconfigure(split);
         std::printf("4-cap series -> 3s+1p: %.2f%% of stored energy "
                     "dissipated (paper: 25%%)\n",
                     loss / e_old * 100.0);
@@ -63,11 +63,11 @@ main()
             par8.branches.push_back({i});
         net.reconfigure(par8);
         for (int i = 0; i < 8; ++i)
-            net.setUnitVoltage(i, 1.0);
-        const double e_old = net.storedEnergy();
+            net.setUnitVoltage(i, units::Volts(1.0));
+        const units::Joules e_old = net.storedEnergy();
         buffer::NetworkConfig split;
         split.branches = {{0, 1, 2, 3, 4, 5, 6}, {7}};
-        const double loss = net.reconfigure(split);
+        const units::Joules loss = net.reconfigure(split);
         std::printf("8-cap parallel -> 7s+1p: %.2f%% dissipated "
                     "(paper: 56.25%%)\n\n", loss / e_old * 100.0);
     }
@@ -83,14 +83,14 @@ main()
             par.branches.push_back({i});
         net.reconfigure(par);
         for (int i = 0; i < k; ++i)
-            net.setUnitVoltage(i, 1.0);
-        const double e_old = net.storedEnergy();
+            net.setUnitVoltage(i, units::Volts(1.0));
+        const units::Joules e_old = net.storedEnergy();
         buffer::NetworkConfig split;
         split.branches.emplace_back();
         for (int i = 0; i + 1 < k; ++i)
             split.branches.back().push_back(i);
         split.branches.push_back({k - 1});
-        const double loss = net.reconfigure(split);
+        const units::Joules loss = net.reconfigure(split);
         sweep.addRow({TextTable::integer(k),
                       TextTable::percent(loss / e_old, 2)});
     }
@@ -103,12 +103,12 @@ main()
     spec.unit = unitSpec();
     core::CapacitorBank bank(spec);
     bank.setState(core::BankState::Parallel);
-    bank.setUnitVoltage(1.0);
-    const double e_before = bank.storedEnergy();
+    bank.setUnitVoltage(units::Volts(1.0));
+    const units::Joules e_before = bank.storedEnergy();
     bank.setState(core::BankState::Series);
-    const double e_mid = bank.storedEnergy();
+    const units::Joules e_mid = bank.storedEnergy();
     bank.setState(core::BankState::Parallel);
-    const double e_after = bank.storedEnergy();
+    const units::Joules e_after = bank.storedEnergy();
     std::printf("\nREACT isolated bank (8 caps): parallel -> series -> "
                 "parallel energy change = %.3g%% (paper: lossless)\n",
                 (e_after - e_before) / e_before * 100.0 +

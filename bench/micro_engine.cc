@@ -23,9 +23,11 @@ using namespace react;
 void
 BM_StaticBufferStep(benchmark::State &state)
 {
-    buffer::StaticBuffer buf(harness::staticBufferSpec(10e-3));
+    buffer::StaticBuffer buf(
+        harness::staticBufferSpec(units::Farads(10e-3)));
     for (auto _ : state) {
-        buf.step(1e-3, 2e-3, 1e-3);
+        buf.step(units::Seconds(1e-3), units::Watts(2e-3),
+                 units::Amps(1e-3));
         benchmark::DoNotOptimize(buf.railVoltage());
     }
 }
@@ -36,10 +38,12 @@ BM_ReactBufferStep(benchmark::State &state)
 {
     core::ReactBuffer buf;
     for (int i = 0; i < 5000; ++i)
-        buf.step(1e-3, 3e-3, 0.0);
+        buf.step(units::Seconds(1e-3), units::Watts(3e-3),
+                 units::Amps(0.0));
     buf.notifyBackendPower(true);
     for (auto _ : state) {
-        buf.step(1e-3, 3e-3, 1e-3);
+        buf.step(units::Seconds(1e-3), units::Watts(3e-3),
+                 units::Amps(1e-3));
         benchmark::DoNotOptimize(buf.railVoltage());
     }
 }
@@ -50,9 +54,11 @@ BM_MorphyBufferStep(benchmark::State &state)
 {
     buffer::MorphyBuffer buf;
     for (int i = 0; i < 5000; ++i)
-        buf.step(1e-3, 3e-3, 0.0);
+        buf.step(units::Seconds(1e-3), units::Watts(3e-3),
+                 units::Amps(0.0));
     for (auto _ : state) {
-        buf.step(1e-3, 3e-3, 1e-3);
+        buf.step(units::Seconds(1e-3), units::Watts(3e-3),
+                 units::Amps(1e-3));
         benchmark::DoNotOptimize(buf.railVoltage());
     }
 }
@@ -62,16 +68,18 @@ void
 BM_ChargeTransfer(benchmark::State &state)
 {
     sim::CapacitorSpec spec;
-    spec.capacitance = 1e-3;
-    spec.ratedVoltage = 6.3;
-    sim::Capacitor a(spec, 3.5), b(spec, 1.9);
+    spec.capacitance = units::Farads(1e-3);
+    spec.ratedVoltage = units::Volts(6.3);
+    sim::Capacitor a(spec, units::Volts(3.5)), b(spec, units::Volts(1.9));
     for (auto _ : state) {
-        auto r = sim::transferCharge(a, b, 1.0, 0.01, 1e-3);
+        auto r = sim::transferCharge(a, b, units::Ohms(1.0),
+                                     units::Volts(0.01),
+                                     units::Seconds(1e-3));
         benchmark::DoNotOptimize(r.charge);
         // Keep the pair from settling so the kernel stays on the hot
         // path.
-        a.setVoltage(3.5);
-        b.setVoltage(1.9);
+        a.setVoltage(units::Volts(3.5));
+        b.setVoltage(units::Volts(1.9));
     }
 }
 BENCHMARK(BM_ChargeTransfer);

@@ -42,12 +42,13 @@ main()
 
     TextTable table("night-time duty cycle by buffer size");
     table.setHeader({"buffer", "first-enable(s)", "duty", "paper duty"});
-    struct Row { double cap; const char *name; const char *paper; };
-    const Row rows[] = {{1e-3, "1mF", "5.7%"},
-                        {10e-3, "10mF", "3.3%"},
-                        {300e-3, "300mF", "never starts"}};
+    struct Row { units::Farads cap; const char *name; const char *paper; };
+    const Row rows[] = {{units::Farads(1e-3), "1mF", "5.7%"},
+                        {units::Farads(10e-3), "10mF", "3.3%"},
+                        {units::Farads(300e-3), "300mF", "never starts"}};
     for (const auto &row : rows) {
-        buffer::StaticBuffer buf(harness::staticBufferSpec(row.cap), 3.6,
+        buffer::StaticBuffer buf(harness::staticBufferSpec(row.cap),
+                                 units::Volts(3.6),
                                  row.name);
         auto de = harness::makeBenchmark(
             harness::BenchmarkKind::DataEncryption,

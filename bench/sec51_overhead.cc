@@ -49,7 +49,7 @@ main()
                 (1.0 - rate_react / rate_base) * 100.0);
 
     // Hardware draw: the overhead ledger divided by powered time.
-    const double hw_power = with.ledger.overhead / with.onTime;
+    const double hw_power = with.ledger.overhead.raw() / with.onTime;
     std::printf("hardware draw: %.1f uW while fully expanded "
                 "(paper: ~68 uW total, ~14 uW/bank)\n", hw_power * 1e6);
 
@@ -62,15 +62,18 @@ main()
         core::ReactBuffer buf(cfg);
         // Charge, enable, and saturate the controller.
         for (int i = 0; i < 5000; ++i)
-            buf.step(1e-3, 5e-3, 0.0);
+            buf.step(units::Seconds(1e-3), units::Watts(5e-3),
+                     units::Amps(0.0));
         buf.notifyBackendPower(true);
         for (int i = 0; i < 120000; ++i)
-            buf.step(1e-3, 5e-3, 0.2e-3);
+            buf.step(units::Seconds(1e-3), units::Watts(5e-3),
+                     units::Amps(0.2e-3));
         // Steady-state overhead power over the last interval.
-        const double before = buf.ledger().overhead;
+        const units::Joules before = buf.ledger().overhead;
         for (int i = 0; i < 10000; ++i)
-            buf.step(1e-3, 5e-3, 0.2e-3);
-        const double draw = (buf.ledger().overhead - before) / 10.0;
+            buf.step(units::Seconds(1e-3), units::Watts(5e-3),
+                     units::Amps(0.2e-3));
+        const double draw = (buf.ledger().overhead - before).raw() / 10.0;
         table.addRow({TextTable::integer(banks),
                       TextTable::num(draw * 1e6, 1)});
     }

@@ -73,7 +73,7 @@ main()
     // Intermittent run: weak RF power into REACT, real gate, real
     // brown-outs.
     core::ReactBuffer buffer;
-    sim::PowerGate gate(3.3, 1.8);
+    sim::PowerGate gate(units::Volts(3.3), units::Volts(1.8));
     auto power = trace::makePaperTrace(trace::PaperTrace::RfMobile);
     auto logger = makeLogger(records);
 
@@ -97,7 +97,8 @@ main()
             }
         }
         const double load = gate.isOn() ? 1.5e-3 : 0.0;
-        buffer.step(dt, power.power(t), load);
+        buffer.step(units::Seconds(dt), units::Watts(power.power(t)),
+                    units::Amps(load));
         if (gate.isOn()) {
             if (task_progress < 0.0)
                 task_progress = 0.0;

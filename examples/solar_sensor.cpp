@@ -31,7 +31,7 @@ main()
     std::printf("pedestrian solar trace: %.0f s, mean %.2f mW, "
                 "%.0f%% of energy above 10 mW\n\n",
                 stats.duration, stats.meanPower * 1e3,
-                power.energyFractionAbove(units::milliwatts(10.0)) *
+                power.energyFractionAbove(units::milliwatts(10.0).raw()) *
                     100.0);
 
     TextTable table("Solar sensor: buffer design comparison (SC workload)");

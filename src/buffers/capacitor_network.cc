@@ -9,10 +9,10 @@
 namespace react {
 namespace buffer {
 
-double
-NetworkConfig::equivalentCapacitance(double unit_capacitance) const
+Farads
+NetworkConfig::equivalentCapacitance(Farads unit_capacitance) const
 {
-    double total = 0.0;
+    Farads total{0.0};
     for (const auto &branch : branches) {
         if (!branch.empty())
             total += unit_capacitance / static_cast<double>(branch.size());
@@ -29,63 +29,63 @@ CapacitorNetwork::CapacitorNetwork(int unit_count,
         units.emplace_back(unit_spec);
 }
 
-double
+Volts
 CapacitorNetwork::unitVoltage(int index) const
 {
     return units.at(static_cast<size_t>(index)).voltage();
 }
 
 void
-CapacitorNetwork::setUnitVoltage(int index, double voltage)
+CapacitorNetwork::setUnitVoltage(int index, Volts voltage)
 {
     units.at(static_cast<size_t>(index)).setVoltage(voltage);
 }
 
-double
+Volts
 CapacitorNetwork::branchVoltage(const std::vector<int> &branch) const
 {
-    double v = 0.0;
+    Volts v{0.0};
     for (int idx : branch)
         v += units.at(static_cast<size_t>(idx)).voltage();
     return v;
 }
 
-double
+Farads
 CapacitorNetwork::branchCapacitance(const std::vector<int> &branch) const
 {
     react_assert(!branch.empty(), "empty branch");
     return units[0].capacitance() / static_cast<double>(branch.size());
 }
 
-double
+Farads
 CapacitorNetwork::equivalentCapacitance() const
 {
     return current.equivalentCapacitance(units[0].capacitance());
 }
 
-double
+Volts
 CapacitorNetwork::outputVoltage() const
 {
     // Between reconfigurations the connected branches stay equalized, so
     // any branch's terminal voltage is the node voltage.
     if (current.branches.empty())
-        return 0.0;
+        return Volts(0.0);
     return branchVoltage(current.branches.front());
 }
 
-double
+Joules
 CapacitorNetwork::storedEnergy() const
 {
-    double e = 0.0;
+    Joules e{0.0};
     for (const auto &unit : units)
         e += unit.energy();
     return e;
 }
 
-double
+Joules
 CapacitorNetwork::connectedEnergy() const
 {
-    double e = 0.0;
+    Joules e{0.0};
     for (const auto &branch : current.branches) {
         for (int idx : branch)
             e += units[static_cast<size_t>(idx)].energy();
@@ -93,36 +93,36 @@ CapacitorNetwork::connectedEnergy() const
     return e;
 }
 
-double
+Joules
 CapacitorNetwork::equalizeConnected()
 {
     if (current.branches.empty())
-        return 0.0;
+        return Joules(0.0);
 
     // Parallel equalization: the common terminal voltage conserves total
     // branch charge, V_f = sum(Q_br) / sum(C_br).
-    double q_total = 0.0;
-    double c_total = 0.0;
+    Coulombs q_total{0.0};
+    Farads c_total{0.0};
     for (const auto &branch : current.branches) {
-        const double c_br = branchCapacitance(branch);
+        const Farads c_br = branchCapacitance(branch);
         q_total += c_br * branchVoltage(branch);
         c_total += c_br;
     }
-    const double v_final = std::max(q_total / c_total, 0.0);
+    const Volts v_final = std::max(q_total / c_total, Volts(0.0));
 
-    double e_before = connectedEnergy();
+    const Joules e_before = connectedEnergy();
     for (const auto &branch : current.branches) {
-        const double c_br = branchCapacitance(branch);
-        const double dq = c_br * (v_final - branchVoltage(branch));
+        const Farads c_br = branchCapacitance(branch);
+        const Coulombs dq = c_br * (v_final - branchVoltage(branch));
         // Series chains carry the same charge through every member.
         for (int idx : branch)
             units[static_cast<size_t>(idx)].addCharge(dq);
     }
-    double e_after = connectedEnergy();
-    return std::max(e_before - e_after, 0.0);
+    const Joules e_after = connectedEnergy();
+    return std::max(e_before - e_after, Joules(0.0));
 }
 
-double
+Joules
 CapacitorNetwork::reconfigure(const NetworkConfig &next)
 {
     // Validate: indices in range, no duplicates.
@@ -142,23 +142,23 @@ CapacitorNetwork::reconfigure(const NetworkConfig &next)
 }
 
 void
-CapacitorNetwork::addChargeAtOutput(double dq)
+CapacitorNetwork::addChargeAtOutput(Coulombs dq)
 {
     if (current.branches.empty())
         return;
-    const double c_eq = equivalentCapacitance();
-    const double dv = dq / c_eq;
+    const Farads c_eq = equivalentCapacitance();
+    const Volts dv = dq / c_eq;
     for (const auto &branch : current.branches) {
-        const double dq_br = branchCapacitance(branch) * dv;
+        const Coulombs dq_br = branchCapacitance(branch) * dv;
         for (int idx : branch)
             units[static_cast<size_t>(idx)].addCharge(dq_br);
     }
 }
 
-double
-CapacitorNetwork::leak(double dt)
+Joules
+CapacitorNetwork::leak(Seconds dt)
 {
-    double lost = 0.0;
+    Joules lost{0.0};
     for (auto &unit : units)
         lost += unit.leak(dt);
     // Leakage perturbs series-chain balance only within a chain (all units
@@ -168,13 +168,13 @@ CapacitorNetwork::leak(double dt)
     return lost;
 }
 
-double
-CapacitorNetwork::clipOutput(double ceiling)
+Joules
+CapacitorNetwork::clipOutput(Volts ceiling)
 {
-    double clipped = 0.0;
-    const double v_out = outputVoltage();
+    Joules clipped{0.0};
+    const Volts v_out = outputVoltage();
     if (!current.branches.empty() && v_out > ceiling) {
-        const double e_before = connectedEnergy();
+        const Joules e_before = connectedEnergy();
         addChargeAtOutput(equivalentCapacitance() * (ceiling - v_out));
         clipped += e_before - connectedEnergy();
     }

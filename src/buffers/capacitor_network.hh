@@ -24,9 +24,16 @@
 #include <vector>
 
 #include "sim/capacitor.hh"
+#include "util/units.hh"
 
 namespace react {
 namespace buffer {
+
+using units::Coulombs;
+using units::Farads;
+using units::Joules;
+using units::Seconds;
+using units::Volts;
 
 /** One network arrangement: parallel branches of series unit indices. */
 struct NetworkConfig
@@ -36,7 +43,7 @@ struct NetworkConfig
     std::vector<std::vector<int>> branches;
 
     /** Equivalent capacitance of the arrangement for the given unit size. */
-    double equivalentCapacitance(double unit_capacitance) const;
+    Farads equivalentCapacitance(Farads unit_capacitance) const;
 };
 
 /** Pool of unit capacitors under software-defined arrangement. */
@@ -53,66 +60,66 @@ class CapacitorNetwork
     int unitCount() const { return static_cast<int>(units.size()); }
 
     /** Voltage of one unit capacitor. */
-    double unitVoltage(int index) const;
+    Volts unitVoltage(int index) const;
 
     /** Directly set one unit's voltage (testing / initialization). */
-    void setUnitVoltage(int index, double voltage);
+    void setUnitVoltage(int index, Volts voltage);
 
     /** Present arrangement. */
     const NetworkConfig &config() const { return current; }
 
     /** Equivalent capacitance of the connected arrangement (0 if none). */
-    double equivalentCapacitance() const;
+    Farads equivalentCapacitance() const;
 
     /** Output-node voltage (terminal voltage of the connected branches;
      *  0 when nothing is connected). */
-    double outputVoltage() const;
+    Volts outputVoltage() const;
 
     /** Total energy stored on all units (connected or not). */
-    double storedEnergy() const;
+    Joules storedEnergy() const;
 
     /** Energy stored on connected units only. */
-    double connectedEnergy() const;
+    Joules connectedEnergy() const;
 
     /**
      * Rearrange the network.  Branches at differing terminal voltages
      * equalize through the interconnect, dissipating energy.
      *
      * @param next New arrangement (indices must be valid and unique).
-     * @return Energy dissipated by charge sharing, joules (>= 0).
+     * @return Energy dissipated by charge sharing (>= 0).
      */
-    double reconfigure(const NetworkConfig &next);
+    Joules reconfigure(const NetworkConfig &next);
 
     /**
      * Add signed charge at the output node, distributed across connected
      * branches so all terminal voltages move together (parallel physics).
      * No-op when nothing is connected.
      *
-     * @param dq Charge in coulombs (negative discharges).
+     * @param dq Charge (negative discharges).
      */
-    void addChargeAtOutput(double dq);
+    void addChargeAtOutput(Coulombs dq);
 
     /** Apply self-discharge to every unit; returns energy leaked. */
-    double leak(double dt);
+    Joules leak(Seconds dt);
 
     /**
      * Clamp the output node to the given ceiling; the excess is burned.
      * Disconnected units clamp to their own rated voltage.
      *
-     * @return Energy clipped, joules.
+     * @return Energy clipped.
      */
-    double clipOutput(double ceiling);
+    Joules clipOutput(Volts ceiling);
 
   private:
     /** Terminal voltage of one branch (sum of member unit voltages). */
-    double branchVoltage(const std::vector<int> &branch) const;
+    Volts branchVoltage(const std::vector<int> &branch) const;
 
     /** Series capacitance of one branch. */
-    double branchCapacitance(const std::vector<int> &branch) const;
+    Farads branchCapacitance(const std::vector<int> &branch) const;
 
     /** Equalize all connected branches to a common terminal voltage;
      *  returns the energy dissipated. */
-    double equalizeConnected();
+    Joules equalizeConnected();
 
     std::vector<sim::Capacitor> units;
     NetworkConfig current;

@@ -9,36 +9,41 @@
 namespace react {
 namespace buffer {
 
-DewdropPolicy::DewdropPolicy(double capacitance, double brownout_voltage,
-                             double max_voltage, double margin)
-    : capacitance(capacitance), vMin(brownout_voltage), vMax(max_voltage),
-      margin(margin)
+using units::Farads;
+using units::Joules;
+using units::Volts;
+using units::VoltsSquared;
+
+DewdropPolicy::DewdropPolicy(Farads cap, Volts brownout_voltage,
+                             Volts max_voltage, double safety_margin)
+    : capacitance(cap), vMin(brownout_voltage), vMax(max_voltage),
+      margin(safety_margin)
 {
-    react_assert(capacitance > 0.0, "capacitance must be positive");
+    react_assert(cap > Farads(0), "capacitance must be positive");
     react_assert(max_voltage > brownout_voltage,
                  "max voltage must exceed brown-out");
-    react_assert(margin >= 1.0, "margin must be >= 1");
+    react_assert(safety_margin >= 1.0, "margin must be >= 1");
 }
 
-double
-DewdropPolicy::enableVoltageFor(double task_energy) const
+Volts
+DewdropPolicy::enableVoltageFor(Joules task_energy) const
 {
-    react_assert(task_energy >= 0.0, "task energy must be >= 0");
-    const double v = std::sqrt(vMin * vMin +
-                               2.0 * task_energy * margin / capacitance);
+    react_assert(task_energy >= Joules(0), "task energy must be >= 0");
+    const Volts v = units::sqrt(vMin * vMin +
+                                2.0 * task_energy * margin / capacitance);
     // A sliver above brown-out is required even for free tasks so the
     // supervisor has hysteresis to work with.
-    return std::clamp(v, vMin + 0.1, vMax);
+    return std::clamp(v, vMin + Volts(0.1), vMax);
 }
 
-double
+Joules
 DewdropPolicy::maxTaskEnergy() const
 {
     return units::capEnergyWindow(capacitance, vMax, vMin) / margin;
 }
 
 bool
-DewdropPolicy::feasible(double task_energy) const
+DewdropPolicy::feasible(Joules task_energy) const
 {
     return task_energy * margin <=
         units::capEnergyWindow(capacitance, vMax, vMin);

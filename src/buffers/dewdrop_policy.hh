@@ -14,6 +14,8 @@
 #ifndef REACT_BUFFERS_DEWDROP_POLICY_HH
 #define REACT_BUFFERS_DEWDROP_POLICY_HH
 
+#include "util/units.hh"
+
 namespace react {
 namespace buffer {
 
@@ -22,7 +24,7 @@ class DewdropPolicy
 {
   public:
     /**
-     * @param capacitance Buffer capacitance in farads.
+     * @param capacitance Buffer capacitance.
      * @param brownout_voltage Minimum operating voltage.
      * @param max_voltage Highest permissible enable voltage (rail clamp
      *        or capacitor rating).
@@ -30,31 +32,33 @@ class DewdropPolicy
      *        losses and estimation error (Dewdrop adapts this online; we
      *        use a fixed factor).
      */
-    DewdropPolicy(double capacitance, double brownout_voltage = 1.8,
-                  double max_voltage = 3.6, double margin = 1.3);
+    DewdropPolicy(units::Farads capacitance,
+                  units::Volts brownout_voltage = units::Volts(1.8),
+                  units::Volts max_voltage = units::Volts(3.6),
+                  double margin = 1.3);
 
     /**
      * Enable voltage that banks enough charge for a task of the given
      * energy: V = sqrt(V_min^2 + 2 E margin / C), clamped to the legal
      * range.
      *
-     * @param task_energy Energy of the next task burst, joules.
+     * @param task_energy Energy of the next task burst.
      */
-    double enableVoltageFor(double task_energy) const;
+    units::Volts enableVoltageFor(units::Joules task_energy) const;
 
     /**
      * Largest task energy startable at all with this capacitor (the
      * window between max voltage and brown-out, de-rated by the margin).
      */
-    double maxTaskEnergy() const;
+    units::Joules maxTaskEnergy() const;
 
     /** Whether a task of the given energy can complete at all. */
-    bool feasible(double task_energy) const;
+    bool feasible(units::Joules task_energy) const;
 
   private:
-    double capacitance;
-    double vMin;
-    double vMax;
+    units::Farads capacitance;
+    units::Volts vMin;
+    units::Volts vMax;
     double margin;
 };
 

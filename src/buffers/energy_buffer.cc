@@ -7,12 +7,12 @@
 namespace react {
 namespace buffer {
 
-double
-EnergyBuffer::availableEnergy(double floor_voltage) const
+Joules
+EnergyBuffer::availableEnergy(Volts floor_voltage) const
 {
-    const double v = railVoltage();
+    const Volts v = railVoltage();
     if (v <= floor_voltage)
-        return 0.0;
+        return Joules(0.0);
     return units::capEnergyWindow(equivalentCapacitance(), v,
                                   floor_voltage);
 }

@@ -17,12 +17,20 @@
 #include <string>
 
 #include "sim/energy_ledger.hh"
+#include "util/units.hh"
 
 namespace react {
 namespace sim {
 class FaultInjector;
 }
 namespace buffer {
+
+using units::Amps;
+using units::Farads;
+using units::Joules;
+using units::Seconds;
+using units::Volts;
+using units::Watts;
 
 /** Abstract energy buffer between harvester and backend. */
 class EnergyBuffer
@@ -36,29 +44,29 @@ class EnergyBuffer
     /**
      * Advance the buffer by one timestep.
      *
-     * @param dt Timestep in seconds.
-     * @param input_power Power entering the buffer from the harvester, W.
-     * @param load_current Current drawn by the backend from the rail, A
+     * @param dt Timestep.
+     * @param input_power Power entering the buffer from the harvester.
+     * @param load_current Current drawn by the backend from the rail
      *        (0 when the power gate is open).
      */
-    virtual void step(double dt, double input_power,
-                      double load_current) = 0;
+    virtual void step(Seconds dt, Watts input_power,
+                      Amps load_current) = 0;
 
-    /** Voltage presented to the power gate / backend, volts. */
-    virtual double railVoltage() const = 0;
+    /** Voltage presented to the power gate / backend. */
+    virtual Volts railVoltage() const = 0;
 
-    /** Total energy stored across all capacitors, joules. */
-    virtual double storedEnergy() const = 0;
+    /** Total energy stored across all capacitors. */
+    virtual Joules storedEnergy() const = 0;
 
-    /** Present equivalent capacitance seen at the rail, farads. */
-    virtual double equivalentCapacitance() const = 0;
+    /** Present equivalent capacitance seen at the rail. */
+    virtual Farads equivalentCapacitance() const = 0;
 
     /**
      * Energy extractable right now before the rail falls to the given
      * floor voltage (an ADC-style self-check the workloads use to gate
      * short atomic operations).
      */
-    virtual double availableEnergy(double floor_voltage) const;
+    virtual Joules availableEnergy(Volts floor_voltage) const;
 
     /** Cumulative energy accounting since the last reset. */
     const sim::EnergyLedger &ledger() const { return energyLedger; }
@@ -96,10 +104,10 @@ class EnergyBuffer
      * Usable energy guaranteed once the given level is reached, i.e. the
      * discharge window the backend can count on for an atomic operation.
      */
-    virtual double usableEnergyAtLevel(int level) const
+    virtual Joules usableEnergyAtLevel(int level) const
     {
         (void)level;
-        return 0.0;
+        return Joules(0.0);
     }
 
     /**

@@ -50,29 +50,29 @@ buildLadder(int unit_count)
 
 } // namespace
 
-MorphyBuffer::MorphyBuffer(const MorphyParams &params)
-    : params(params), task(params.taskCap),
-      network(params.unitCount, params.unitCap),
-      configs(buildLadder(params.unitCount))
+MorphyBuffer::MorphyBuffer(const MorphyParams &morphy_params)
+    : params(morphy_params), task(morphy_params.taskCap),
+      network(morphy_params.unitCount, morphy_params.unitCap),
+      configs(buildLadder(morphy_params.unitCount))
 {
     react_assert(params.vHigh > params.vLow, "thresholds must be ordered");
     react_assert(params.railClamp >= params.vHigh,
                  "clamp must sit at or above the overvoltage threshold");
 }
 
-double
+Volts
 MorphyBuffer::railVoltage() const
 {
     return task.voltage();
 }
 
-double
+Joules
 MorphyBuffer::storedEnergy() const
 {
     return task.energy() + network.storedEnergy();
 }
 
-double
+Farads
 MorphyBuffer::equivalentCapacitance() const
 {
     return task.capacitance() + network.equivalentCapacitance();
@@ -101,26 +101,26 @@ MorphyBuffer::levelSatisfied() const
         railVoltage() >= params.vHigh;
 }
 
-double
+Joules
 MorphyBuffer::usableEnergyAtLevel(int level) const
 {
     const int idx = std::clamp(level, 0, maxCapacitanceLevel());
-    const double c = task.capacitance() +
+    const Farads c = task.capacitance() +
         configs[static_cast<size_t>(idx)]
             .equivalentCapacitance(params.unitCap.capacitance);
     return units::capEnergyWindow(c, params.vHigh, params.vLow);
 }
 
 void
-MorphyBuffer::addRailCharge(double dq)
+MorphyBuffer::addRailCharge(Coulombs dq)
 {
     // Between reconfigurations the connected network tracks the task cap,
     // so charge splits proportionally to capacitance.
-    const double c_net = network.equivalentCapacitance();
-    const double c_total = task.capacitance() + c_net;
-    const double dv = dq / c_total;
+    const Farads c_net = network.equivalentCapacitance();
+    const Farads c_total = task.capacitance() + c_net;
+    const Volts dv = dq / c_total;
     task.addCharge(task.capacitance() * dv);
-    if (c_net > 0.0)
+    if (c_net > Farads(0.0))
         network.addChargeAtOutput(c_net * dv);
 }
 
@@ -145,7 +145,7 @@ MorphyBuffer::applyConfig(int index)
     // the linear-model prediction: Capacitor::addCharge floors a unit at
     // 0 V, so deeply discharged chains deviate from the branch model and
     // only the physical delta keeps the ledger exactly conservative.
-    const double e_before = task.energy() + network.storedEnergy();
+    const Joules e_before = task.energy() + network.storedEnergy();
 
     // Stage 1: branches of the new arrangement equalize among themselves
     // (reconfigure's own measured loss is subsumed by the bracket here).
@@ -154,10 +154,10 @@ MorphyBuffer::applyConfig(int index)
     // Stage 2: the (now internally equalized) network shares the output
     // node with the task capacitor; equalize them too.  The staging is
     // energy-equivalent to a single simultaneous equalization.
-    const double c_net = network.equivalentCapacitance();
-    if (c_net > 0.0) {
-        const double v_net = network.outputVoltage();
-        const double v_final =
+    const Farads c_net = network.equivalentCapacitance();
+    if (c_net > Farads(0.0)) {
+        const Volts v_net = network.outputVoltage();
+        const Volts v_final =
             (task.charge() + c_net * v_net) / (task.capacitance() + c_net);
         network.addChargeAtOutput(c_net * (v_final - v_net));
         task.setVoltage(v_final);
@@ -169,7 +169,7 @@ MorphyBuffer::applyConfig(int index)
 void
 MorphyBuffer::pollController()
 {
-    double v = railVoltage();
+    Volts v = railVoltage();
     if (faults != nullptr)
         v = faults->comparatorRead("morphy.comparator", v);
     if (v >= params.vHigh && configIndex < maxCapacitanceLevel()) {
@@ -180,7 +180,7 @@ MorphyBuffer::pollController()
 }
 
 void
-MorphyBuffer::step(double dt, double input_power, double load_current)
+MorphyBuffer::step(Seconds dt, Watts input_power, Amps load_current)
 {
     // 0. Dielectric aging of the task capacitor (fault injection only;
     //    updated at the poll cadence, which far oversamples hour-scale
@@ -190,7 +190,7 @@ MorphyBuffer::step(double dt, double input_power, double load_current)
         faults->plan().capacitanceFadePerHour > 0.0) {
         agingAccumulator += dt;
         if (agingAccumulator >= 1.0 / params.pollRateHz) {
-            agingAccumulator = 0.0;
+            agingAccumulator = Seconds(0.0);
             energyLedger.faultLoss += task.setCapacitance(
                 params.taskCap.capacitance *
                 faults->capacitanceFactor("morphy.taskcap"));
@@ -204,17 +204,17 @@ MorphyBuffer::step(double dt, double input_power, double load_current)
     // capacitor each step; physically they share the output node, so a
     // standing balancing current keeps them equalized.  Restore the
     // invariant and charge the (tiny) redistribution loss to leakage.
-    const double c_net_node = network.equivalentCapacitance();
-    if (c_net_node > 0.0) {
-        const double v_net = network.outputVoltage();
-        const double v_task = task.voltage();
+    const Farads c_net_node = network.equivalentCapacitance();
+    if (c_net_node > Farads(0.0)) {
+        const Volts v_net = network.outputVoltage();
+        const Volts v_task = task.voltage();
         if (v_net != v_task) {
-            const double v_common =
+            const Volts v_common =
                 (task.charge() + c_net_node * v_net) /
                 (task.capacitance() + c_net_node);
             // Measured, not modeled, for the same zero-floor reason as
             // applyConfig: the redistribution must balance the ledger.
-            const double e_before =
+            const Joules e_before =
                 task.energy() + network.storedEnergy();
             network.addChargeAtOutput(c_net_node * (v_common - v_net));
             task.setVoltage(v_common);
@@ -224,16 +224,16 @@ MorphyBuffer::step(double dt, double input_power, double load_current)
     }
 
     // 2. Harvested input lands on the common rail node.
-    if (input_power > 0.0) {
-        const double v_eff = std::max(railVoltage(), 0.2);
-        const double e_before = storedEnergy();
+    if (input_power > Watts(0.0)) {
+        const Volts v_eff = std::max(railVoltage(), Volts(0.2));
+        const Joules e_before = storedEnergy();
         addRailCharge(input_power / v_eff * dt);
         energyLedger.harvested += storedEnergy() - e_before;
     }
 
     // 3. Backend load.
-    if (load_current > 0.0) {
-        const double e_before = storedEnergy();
+    if (load_current > Amps(0.0)) {
+        const Joules e_before = storedEnergy();
         addRailCharge(-load_current * dt);
         energyLedger.delivered += e_before - storedEnergy();
     }
@@ -241,8 +241,8 @@ MorphyBuffer::step(double dt, double input_power, double load_current)
     // 4. Overvoltage protection on the rail; disconnected units clamp to
     //    their rating inside the network.
     if (railVoltage() > params.railClamp) {
-        const double e_before = storedEnergy();
-        const double c_total = equivalentCapacitance();
+        const Joules e_before = storedEnergy();
+        const Farads c_total = equivalentCapacitance();
         addRailCharge(c_total * (params.railClamp - railVoltage()));
         energyLedger.clipped += e_before - storedEnergy();
     }
@@ -251,7 +251,7 @@ MorphyBuffer::step(double dt, double input_power, double load_current)
     // 5. Battery-powered controller polls at its fixed rate regardless of
     //    the backend's power state.
     pollAccumulator += dt;
-    const double poll_period = 1.0 / params.pollRateHz;
+    const Seconds poll_period = 1.0 / params.pollRateHz;
     while (pollAccumulator >= poll_period) {
         pollAccumulator -= poll_period;
         pollController();
@@ -261,14 +261,14 @@ MorphyBuffer::step(double dt, double input_power, double load_current)
 void
 MorphyBuffer::reset()
 {
-    task.setVoltage(0.0);
+    task.setVoltage(Volts(0.0));
     for (int i = 0; i < network.unitCount(); ++i)
-        network.setUnitVoltage(i, 0.0);
+        network.setUnitVoltage(i, Volts(0.0));
     network.reconfigure(NetworkConfig{});
     configIndex = 0;
     requestedLevel = 0;
-    pollAccumulator = 0.0;
-    agingAccumulator = 0.0;
+    pollAccumulator = Seconds(0.0);
+    agingAccumulator = Seconds(0.0);
     reconfigCount = 0;
     energyLedger = sim::EnergyLedger();
 }

@@ -31,25 +31,27 @@
 namespace react {
 namespace buffer {
 
+using units::Hertz;
+
 /** Parameters for the Morphy reproduction. */
 struct MorphyParams
 {
     /** Always-connected smoothing capacitor across the rail. */
-    sim::CapacitorSpec taskCap{250e-6, 6.3, 0.0};
+    sim::CapacitorSpec taskCap{Farads(250e-6), Volts(6.3), Amps(0.0)};
     /** Unit capacitor of the reconfigurable pool (paper: 2 mF
      *  electrolytics, ~25.2 uA leakage at 6.3 V). */
-    sim::CapacitorSpec unitCap{2e-3, 6.3, 6.3e-6};
+    sim::CapacitorSpec unitCap{Farads(2e-3), Volts(6.3), Amps(6.3e-6)};
     /** Number of reconfigurable units. */
     int unitCount = 7;
     /** Overvoltage threshold: step the ladder up at/above this rail
      *  voltage. */
-    double vHigh = 3.5;
+    Volts vHigh{3.5};
     /** Undervoltage threshold: step the ladder down at/below it. */
-    double vLow = 1.9;
+    Volts vLow{1.9};
     /** Overvoltage-protection clamp on the rail. */
-    double railClamp = 3.6;
-    /** Controller sampling rate in hertz (battery powered: always on). */
-    double pollRateHz = 10.0;
+    Volts railClamp{3.6};
+    /** Controller sampling rate (battery powered: always on). */
+    Hertz pollRateHz{10.0};
 };
 
 /** The Morphy buffer: task capacitor + switched network + controller. */
@@ -59,17 +61,17 @@ class MorphyBuffer : public EnergyBuffer
     explicit MorphyBuffer(const MorphyParams &params = MorphyParams());
 
     std::string name() const override { return "Morphy"; }
-    void step(double dt, double input_power, double load_current) override;
-    double railVoltage() const override;
-    double storedEnergy() const override;
-    double equivalentCapacitance() const override;
+    void step(Seconds dt, Watts input_power, Amps load_current) override;
+    Volts railVoltage() const override;
+    Joules storedEnergy() const override;
+    Farads equivalentCapacitance() const override;
     void reset() override;
 
     int capacitanceLevel() const override { return configIndex; }
     int maxCapacitanceLevel() const override;
     void requestMinLevel(int level) override;
     bool levelSatisfied() const override;
-    double usableEnergyAtLevel(int level) const override;
+    Joules usableEnergyAtLevel(int level) const override;
 
     /** The configuration ladder (exposed for tests and benches). */
     const std::vector<NetworkConfig> &ladder() const { return configs; }
@@ -79,7 +81,7 @@ class MorphyBuffer : public EnergyBuffer
 
   private:
     /** Redistribute a signed rail charge across task cap and network. */
-    void addRailCharge(double dq);
+    void addRailCharge(Coulombs dq);
 
     /** One controller decision at the poll rate. */
     void pollController();
@@ -93,8 +95,8 @@ class MorphyBuffer : public EnergyBuffer
     std::vector<NetworkConfig> configs;
     int configIndex = 0;
     int requestedLevel = 0;
-    double pollAccumulator = 0.0;
-    double agingAccumulator = 0.0;
+    Seconds pollAccumulator{0.0};
+    Seconds agingAccumulator{0.0};
     uint64_t reconfigCount = 0;
 };
 

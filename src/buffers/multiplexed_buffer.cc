@@ -9,8 +9,10 @@
 namespace react {
 namespace buffer {
 
+using units::Coulombs;
+
 MultiplexedBuffer::MultiplexedBuffer(
-    const std::vector<sim::CapacitorSpec> &capacitors, double rail_clamp)
+    const std::vector<sim::CapacitorSpec> &capacitors, Volts rail_clamp)
     : clamp(rail_clamp)
 {
     react_assert(!capacitors.empty(), "need at least one capacitor");
@@ -19,22 +21,22 @@ MultiplexedBuffer::MultiplexedBuffer(
         caps.emplace_back(spec);
 }
 
-double
+Volts
 MultiplexedBuffer::railVoltage() const
 {
     return caps[static_cast<size_t>(active)].voltage();
 }
 
-double
+Joules
 MultiplexedBuffer::storedEnergy() const
 {
-    double e = 0.0;
+    Joules e{0.0};
     for (const auto &cap : caps)
         e += cap.energy();
     return e;
 }
 
-double
+Farads
 MultiplexedBuffer::equivalentCapacitance() const
 {
     return caps[static_cast<size_t>(active)].capacitance();
@@ -63,12 +65,12 @@ MultiplexedBuffer::levelSatisfied() const
         clamp * 0.95;
 }
 
-double
+Joules
 MultiplexedBuffer::usableEnergyAtLevel(int level) const
 {
     const int idx = std::clamp(level, 0, maxCapacitanceLevel());
     return units::capEnergyWindow(
-        caps[static_cast<size_t>(idx)].capacitance(), clamp, 1.8);
+        caps[static_cast<size_t>(idx)].capacitance(), clamp, Volts(1.8));
 }
 
 void
@@ -79,14 +81,14 @@ MultiplexedBuffer::selectActive(int index)
     active = index;
 }
 
-double
+Volts
 MultiplexedBuffer::capVoltage(int index) const
 {
     return caps.at(static_cast<size_t>(index)).voltage();
 }
 
 void
-MultiplexedBuffer::step(double dt, double input_power, double load_current)
+MultiplexedBuffer::step(Seconds dt, Watts input_power, Amps load_current)
 {
     // 1. Self-discharge.
     for (auto &cap : caps)
@@ -94,8 +96,8 @@ MultiplexedBuffer::step(double dt, double input_power, double load_current)
 
     // 2. Harvested input charges the active capacitor until full, then
     //    spills down the priority list.
-    if (input_power > 0.0) {
-        double remaining_dt = dt;
+    if (input_power > Watts(0.0)) {
+        Seconds remaining_dt = dt;
         // Order: active first, then the others by priority.
         std::vector<int> order;
         order.push_back(active);
@@ -104,41 +106,41 @@ MultiplexedBuffer::step(double dt, double input_power, double load_current)
                 order.push_back(i);
         }
         for (int idx : order) {
-            if (remaining_dt <= 0.0)
+            if (remaining_dt <= Seconds(0.0))
                 break;
             auto &cap = caps[static_cast<size_t>(idx)];
             if (cap.voltage() >= clamp)
                 continue;
-            const double e_before = cap.energy();
+            const Joules e_before = cap.energy();
             sim::chargeFromPower(cap, input_power, remaining_dt);
             // If this capacitor hit the clamp mid-step, pass the excess
             // time slice to the next one.
             if (cap.voltage() > clamp) {
-                const double v_over = cap.voltage();
-                const double q_excess =
+                const Volts v_over = cap.voltage();
+                const Coulombs q_excess =
                     cap.capacitance() * (v_over - clamp);
-                const double v_eff = std::max(clamp, 0.2);
+                const Volts v_eff = std::max(clamp, Volts(0.2));
                 const double used_fraction = 1.0 -
                     q_excess * v_eff / (input_power * remaining_dt);
                 cap.setVoltage(clamp);
                 remaining_dt *= std::clamp(1.0 - used_fraction, 0.0, 1.0);
             } else {
-                remaining_dt = 0.0;
+                remaining_dt = Seconds(0.0);
             }
             energyLedger.harvested += cap.energy() - e_before;
         }
         // Every capacitor full: the remainder burns off.
-        if (remaining_dt > 0.0) {
-            const double wasted = input_power * remaining_dt;
+        if (remaining_dt > Seconds(0.0)) {
+            const Joules wasted = input_power * remaining_dt;
             energyLedger.harvested += wasted;
             energyLedger.clipped += wasted;
         }
     }
 
     // 3. Load draws from the active capacitor only.
-    if (load_current > 0.0) {
+    if (load_current > Amps(0.0)) {
         auto &cap = caps[static_cast<size_t>(active)];
-        const double e_before = cap.energy();
+        const Joules e_before = cap.energy();
         cap.applyCurrent(-load_current, dt);
         energyLedger.delivered += e_before - cap.energy();
     }
@@ -152,7 +154,7 @@ void
 MultiplexedBuffer::reset()
 {
     for (auto &cap : caps)
-        cap.setVoltage(0.0);
+        cap.setVoltage(Volts(0.0));
     active = 0;
     requestedLevel = 0;
     energyLedger = sim::EnergyLedger();

@@ -36,13 +36,13 @@ class MultiplexedBuffer : public EnergyBuffer
      */
     explicit MultiplexedBuffer(const std::vector<sim::CapacitorSpec>
                                    &capacitors,
-                               double rail_clamp = 3.6);
+                               Volts rail_clamp = Volts(3.6));
 
     std::string name() const override { return "Capybara"; }
-    void step(double dt, double input_power, double load_current) override;
-    double railVoltage() const override;
-    double storedEnergy() const override;
-    double equivalentCapacitance() const override;
+    void step(Seconds dt, Watts input_power, Amps load_current) override;
+    Volts railVoltage() const override;
+    Joules storedEnergy() const override;
+    Farads equivalentCapacitance() const override;
     void reset() override;
 
     /** Capacitance "modes" map onto capacitor indices. */
@@ -50,17 +50,17 @@ class MultiplexedBuffer : public EnergyBuffer
     int maxCapacitanceLevel() const override;
     void requestMinLevel(int level) override;
     bool levelSatisfied() const override;
-    double usableEnergyAtLevel(int level) const override;
+    Joules usableEnergyAtLevel(int level) const override;
 
     /** Select the capacitor powering the rail (Capybara mode switch). */
     void selectActive(int index);
 
     /** Voltage of an individual capacitor. */
-    double capVoltage(int index) const;
+    Volts capVoltage(int index) const;
 
   private:
     std::vector<sim::Capacitor> caps;
-    double clamp;
+    Volts clamp;
     int active = 0;
     int requestedLevel = 0;
 };

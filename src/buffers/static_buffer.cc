@@ -12,40 +12,40 @@ namespace buffer {
 namespace {
 
 std::string
-defaultName(double capacitance)
+defaultName(Farads capacitance)
 {
     char buf[32];
-    if (capacitance >= 1e-3)
-        std::snprintf(buf, sizeof(buf), "%.0fmF", capacitance * 1e3);
+    if (capacitance >= Farads(1e-3))
+        std::snprintf(buf, sizeof(buf), "%.0fmF", capacitance.raw() * 1e3);
     else
-        std::snprintf(buf, sizeof(buf), "%.0fuF", capacitance * 1e6);
+        std::snprintf(buf, sizeof(buf), "%.0fuF", capacitance.raw() * 1e6);
     return buf;
 }
 
 } // namespace
 
-StaticBuffer::StaticBuffer(const sim::CapacitorSpec &spec, double rail_clamp,
+StaticBuffer::StaticBuffer(const sim::CapacitorSpec &spec, Volts rail_clamp,
                            std::string display_name)
     : cap(spec), clamp(rail_clamp),
       label(display_name.empty() ? defaultName(spec.capacitance)
                                  : std::move(display_name)),
       baseCapacitance(spec.capacitance)
 {
-    react_assert(rail_clamp > 0.0, "rail clamp must be positive");
+    react_assert(rail_clamp > Volts(0), "rail clamp must be positive");
     react_assert(rail_clamp <= spec.ratedVoltage,
                  "rail clamp cannot exceed the capacitor rating");
 }
 
 void
-StaticBuffer::step(double dt, double input_power, double load_current)
+StaticBuffer::step(Seconds dt, Watts input_power, Amps load_current)
 {
     // 0. Dielectric aging (fault injection only; 10 Hz update cadence
     //    vastly oversamples hour-scale fade).
     if (faults != nullptr &&
         faults->plan().capacitanceFadePerHour > 0.0) {
         agingAccumulator += dt;
-        if (agingAccumulator >= 0.1) {
-            agingAccumulator = 0.0;
+        if (agingAccumulator >= Seconds(0.1)) {
+            agingAccumulator = Seconds(0.0);
             energyLedger.faultLoss += cap.setCapacitance(
                 baseCapacitance * faults->capacitanceFactor("static.cap"));
         }
@@ -55,13 +55,13 @@ StaticBuffer::step(double dt, double input_power, double load_current)
     energyLedger.leaked += cap.leak(dt);
 
     // 2. Harvested input (direct connection, no input diode).
-    const double e_before_in = cap.energy();
+    const Joules e_before_in = cap.energy();
     sim::chargeFromPower(cap, input_power, dt);
     energyLedger.harvested += cap.energy() - e_before_in;
 
     // 3. Backend load.
-    if (load_current > 0.0) {
-        const double e_before_load = cap.energy();
+    if (load_current > Amps(0)) {
+        const Joules e_before_load = cap.energy();
         cap.applyCurrent(-load_current, dt);
         energyLedger.delivered += e_before_load - cap.energy();
     }
@@ -70,19 +70,19 @@ StaticBuffer::step(double dt, double input_power, double load_current)
     energyLedger.clipped += cap.clip(clamp);
 }
 
-double
+Volts
 StaticBuffer::railVoltage() const
 {
     return cap.voltage();
 }
 
-double
+Joules
 StaticBuffer::storedEnergy() const
 {
     return cap.energy();
 }
 
-double
+Farads
 StaticBuffer::equivalentCapacitance() const
 {
     return cap.capacitance();
@@ -91,8 +91,8 @@ StaticBuffer::equivalentCapacitance() const
 void
 StaticBuffer::reset()
 {
-    cap.setVoltage(0.0);
-    agingAccumulator = 0.0;
+    cap.setVoltage(Volts(0.0));
+    agingAccumulator = Seconds(0.0);
     energyLedger = sim::EnergyLedger();
 }
 

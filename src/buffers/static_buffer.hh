@@ -27,32 +27,32 @@ class StaticBuffer : public EnergyBuffer
   public:
     /**
      * @param spec Capacitor part parameters.
-     * @param rail_clamp Overvoltage-protection clamp, volts; harvested
-     *        energy beyond it is discarded as heat (the paper's 3.6 V).
+     * @param rail_clamp Overvoltage-protection clamp; harvested energy
+     *        beyond it is discarded as heat (the paper's 3.6 V).
      * @param display_name Report label; derived from capacitance if empty.
      */
     explicit StaticBuffer(const sim::CapacitorSpec &spec,
-                          double rail_clamp = 3.6,
+                          Volts rail_clamp = Volts(3.6),
                           std::string display_name = "");
 
     std::string name() const override { return label; }
-    void step(double dt, double input_power, double load_current) override;
-    double railVoltage() const override;
-    double storedEnergy() const override;
-    double equivalentCapacitance() const override;
+    void step(Seconds dt, Watts input_power, Amps load_current) override;
+    Volts railVoltage() const override;
+    Joules storedEnergy() const override;
+    Farads equivalentCapacitance() const override;
     void reset() override;
 
-    /** Overvoltage clamp in volts. */
-    double railClamp() const { return clamp; }
+    /** Overvoltage clamp. */
+    Volts railClamp() const { return clamp; }
 
   private:
     sim::Capacitor cap;
-    double clamp;
+    Volts clamp;
     std::string label;
     /** Nominal capacitance, the baseline that fault-injected dielectric
      *  aging derates from. */
-    double baseCapacitance;
-    double agingAccumulator = 0.0;
+    Farads baseCapacitance;
+    Seconds agingAccumulator{0.0};
 };
 
 } // namespace buffer

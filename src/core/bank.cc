@@ -9,6 +9,8 @@
 namespace react {
 namespace core {
 
+using units::Ohms;
+
 const char *
 bankStateName(BankState state)
 {
@@ -23,20 +25,20 @@ bankStateName(BankState state)
     return "?";
 }
 
-double
+Farads
 BankSpec::seriesCapacitance() const
 {
     return unit.capacitance / static_cast<double>(count);
 }
 
-double
+Farads
 BankSpec::parallelCapacitance() const
 {
     return unit.capacitance * static_cast<double>(count);
 }
 
-double
-BankSpec::energyAtUnitVoltage(double v_unit) const
+Joules
+BankSpec::energyAtUnitVoltage(Volts v_unit) const
 {
     return static_cast<double>(count) *
         units::capEnergy(unit.capacitance, v_unit);
@@ -46,55 +48,56 @@ CapacitorBank::CapacitorBank(const BankSpec &spec)
     : bankSpec(spec)
 {
     react_assert(spec.count >= 1, "bank needs at least one capacitor");
-    react_assert(spec.unit.capacitance > 0.0,
+    react_assert(spec.unit.capacitance > Farads(0),
                  "bank unit capacitance must be positive");
 }
 
 void
-CapacitorBank::setUnitVoltage(double v)
+CapacitorBank::setUnitVoltage(Volts v)
 {
-    react_assert(v >= 0.0, "unit voltage must be >= 0");
+    react_assert(v >= Volts(0), "unit voltage must be >= 0");
     vUnit = v;
 }
 
-double
-CapacitorBank::setUnitCapacitance(double capacitance)
+Joules
+CapacitorBank::setUnitCapacitance(Farads capacitance)
 {
-    react_assert(capacitance > 0.0, "bank unit capacitance must be positive");
-    const double before = storedEnergy();
+    react_assert(capacitance > Farads(0),
+                 "bank unit capacitance must be positive");
+    const Joules before = storedEnergy();
     bankSpec.unit.capacitance = capacitance;
     return before - storedEnergy();
 }
 
-double
+Volts
 CapacitorBank::terminalVoltage() const
 {
     switch (bankState) {
       case BankState::Disconnected:
-        return 0.0;
+        return Volts(0.0);
       case BankState::Series:
         return vUnit * static_cast<double>(bankSpec.count);
       case BankState::Parallel:
         return vUnit;
     }
-    return 0.0;
+    return Volts(0.0);
 }
 
-double
+Farads
 CapacitorBank::terminalCapacitance() const
 {
     switch (bankState) {
       case BankState::Disconnected:
-        return 0.0;
+        return Farads(0.0);
       case BankState::Series:
         return bankSpec.seriesCapacitance();
       case BankState::Parallel:
         return bankSpec.parallelCapacitance();
     }
-    return 0.0;
+    return Farads(0.0);
 }
 
-double
+Joules
 CapacitorBank::storedEnergy() const
 {
     return bankSpec.energyAtUnitVoltage(vUnit);
@@ -109,7 +112,7 @@ CapacitorBank::setState(BankState state)
 }
 
 void
-CapacitorBank::addChargeAtTerminal(double dq)
+CapacitorBank::addChargeAtTerminal(Coulombs dq)
 {
     react_assert(connected(), "cannot move charge on a disconnected bank");
     const double n = static_cast<double>(bankSpec.count);
@@ -119,27 +122,27 @@ CapacitorBank::addChargeAtTerminal(double dq)
     } else {
         vUnit += dq / (n * bankSpec.unit.capacitance);
     }
-    if (vUnit < 0.0)
-        vUnit = 0.0;
+    if (vUnit < Volts(0))
+        vUnit = Volts(0);
 }
 
-double
-CapacitorBank::leak(double dt)
+Joules
+CapacitorBank::leak(Seconds dt)
 {
-    const double r = bankSpec.unit.leakResistance();
-    if (!std::isfinite(r) || vUnit <= 0.0)
-        return 0.0;
-    const double before = storedEnergy();
+    const Ohms r = bankSpec.unit.leakResistance();
+    if (!units::isfinite(r) || vUnit <= Volts(0))
+        return Joules(0);
+    const Joules before = storedEnergy();
     vUnit *= std::exp(-dt / (r * bankSpec.unit.capacitance));
     return before - storedEnergy();
 }
 
-double
+Joules
 CapacitorBank::clipToRating()
 {
     if (vUnit <= bankSpec.unit.ratedVoltage)
-        return 0.0;
-    const double before = storedEnergy();
+        return Joules(0);
+    const Joules before = storedEnergy();
     vUnit = bankSpec.unit.ratedVoltage;
     return before - storedEnergy();
 }

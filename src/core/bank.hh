@@ -22,6 +22,12 @@
 namespace react {
 namespace core {
 
+using units::Coulombs;
+using units::Farads;
+using units::Joules;
+using units::Seconds;
+using units::Volts;
+
 /** Electrical arrangement of a bank's capacitors. */
 enum class BankState
 {
@@ -45,11 +51,11 @@ struct BankSpec
     sim::CapacitorSpec unit;
 
     /** Capacitance in the series arrangement. */
-    double seriesCapacitance() const;
+    Farads seriesCapacitance() const;
     /** Capacitance in the parallel arrangement. */
-    double parallelCapacitance() const;
+    Farads parallelCapacitance() const;
     /** Total energy capacity at a given per-capacitor voltage. */
-    double energyAtUnitVoltage(double v_unit) const;
+    Joules energyAtUnitVoltage(Volts v_unit) const;
 };
 
 /** Run-time state of one bank. */
@@ -65,10 +71,10 @@ class CapacitorBank
     BankState state() const { return bankState; }
 
     /** Per-capacitor voltage (identical across members by symmetry). */
-    double unitVoltage() const { return vUnit; }
+    Volts unitVoltage() const { return vUnit; }
 
     /** Force the per-capacitor voltage (tests / initialization). */
-    void setUnitVoltage(double v);
+    void setUnitVoltage(Volts v);
 
     /**
      * Re-derate the per-capacitor capacitance (dielectric aging under
@@ -76,9 +82,9 @@ class CapacitorBank
      * with the capacitance; the caller books the returned energy delta
      * against the ledger's fault-loss category.
      *
-     * @return Energy lost to the fade, joules (>= 0 when shrinking).
+     * @return Energy lost to the fade (>= 0 when shrinking).
      */
-    double setUnitCapacitance(double capacitance);
+    Joules setUnitCapacitance(Farads capacitance);
 
     /** Whether the bank participates in the power network. */
     bool connected() const { return bankState != BankState::Disconnected; }
@@ -87,13 +93,13 @@ class CapacitorBank
      * Terminal voltage as seen from the common rail; 0 when disconnected
      * (the terminal floats).
      */
-    double terminalVoltage() const;
+    Volts terminalVoltage() const;
 
     /** Capacitance presented at the terminals; 0 when disconnected. */
-    double terminalCapacitance() const;
+    Farads terminalCapacitance() const;
 
     /** Total stored energy (retained even while disconnected). */
-    double storedEnergy() const;
+    Joules storedEnergy() const;
 
     /**
      * Rewire the bank.  Per-capacitor charge is conserved -- the operation
@@ -106,22 +112,22 @@ class CapacitorBank
      * charge through every member (v_unit += dq / C_unit); parallel banks
      * split it evenly (v_unit += dq / (N C_unit)).  Must be connected.
      */
-    void addChargeAtTerminal(double dq);
+    void addChargeAtTerminal(Coulombs dq);
 
     /** Exact exponential self-discharge; returns energy leaked. */
-    double leak(double dt);
+    Joules leak(Seconds dt);
 
     /**
      * Clamp the per-capacitor voltage to the part rating.
      *
-     * @return Energy clipped, joules.
+     * @return Energy clipped.
      */
-    double clipToRating();
+    Joules clipToRating();
 
   private:
     BankSpec bankSpec;
     BankState bankState = BankState::Disconnected;
-    double vUnit = 0.0;
+    Volts vUnit{0.0};
 };
 
 } // namespace core

@@ -24,8 +24,8 @@ terminalView(const CapacitorBank &bank)
 {
     sim::CapacitorSpec spec;
     spec.capacitance = bank.terminalCapacitance();
-    spec.ratedVoltage = 1e9;  // ratings are enforced by the bank itself
-    spec.leakageCurrentAtRated = 0.0;
+    spec.ratedVoltage = Volts(1e9);  // ratings are enforced by the bank
+    spec.leakageCurrentAtRated = Amps(0.0);
     return sim::Capacitor(spec, bank.terminalVoltage());
 }
 
@@ -35,7 +35,7 @@ namespace {
 
 /** Floating-terminal threshold: below this a commanded-connected bank
  *  reads as not-actually-in-the-network. */
-constexpr double kFloatingVoltage = 0.02;
+constexpr Volts kFloatingVoltage{0.02};
 
 /** Stable per-bank component name, e.g. "react.bank2.switch". */
 std::string
@@ -85,25 +85,25 @@ ReactBuffer::retiredBankCount() const
     return n;
 }
 
-double
+Volts
 ReactBuffer::railVoltage() const
 {
     return lastLevel.voltage();
 }
 
-double
+Joules
 ReactBuffer::storedEnergy() const
 {
-    double e = lastLevel.energy();
+    Joules e = lastLevel.energy();
     for (const auto &bank : banks)
         e += bank.storedEnergy();
     return e;
 }
 
-double
+Farads
 ReactBuffer::equivalentCapacitance() const
 {
-    double c = lastLevel.capacitance();
+    Farads c = lastLevel.capacitance();
     for (const auto &bank : banks)
         c += bank.terminalCapacitance();
     return c;
@@ -129,13 +129,13 @@ ReactBuffer::levelSatisfied() const
     return level >= requestedLevel && lastLevel.voltage() >= cfg.vHigh;
 }
 
-double
+Joules
 ReactBuffer::usableEnergyAtLevel(int query_level) const
 {
     // Conservative: the discharge window between the two comparator
     // thresholds at that level's capacitance (reclamation extracts more).
     const int lv = std::clamp(query_level, 0, policy.maxLevel(retiredMask));
-    double c = lastLevel.capacitance();
+    Farads c = lastLevel.capacitance();
     for (int i = 0; i < bankCount(); ++i) {
         const BankState s = policy.stateForLevel(i, lv, retiredMask);
         const BankSpec &spec = cfg.banks[static_cast<size_t>(i)];
@@ -147,14 +147,14 @@ ReactBuffer::usableEnergyAtLevel(int query_level) const
     return units::capEnergyWindow(c, cfg.vHigh, cfg.vLow);
 }
 
-double
-ReactBuffer::availableEnergy(double floor_voltage) const
+Joules
+ReactBuffer::availableEnergy(Volts floor_voltage) const
 {
     // Last-level window plus every connected bank's discharge window
     // down to the same rail floor (banks feed the rail through their
     // output diodes).  Conservative: ignores the extra charge the
     // parallel->series reclamation would recover below the floor.
-    double e = 0.0;
+    Joules e{0.0};
     if (lastLevel.voltage() > floor_voltage) {
         e += units::capEnergyWindow(lastLevel.capacitance(),
                                     lastLevel.voltage(), floor_voltage);
@@ -162,7 +162,7 @@ ReactBuffer::availableEnergy(double floor_voltage) const
     for (const auto &bank : banks) {
         if (!bank.connected())
             continue;
-        const double v_t = bank.terminalVoltage();
+        const Volts v_t = bank.terminalVoltage();
         if (v_t > floor_voltage) {
             e += units::capEnergyWindow(bank.terminalCapacitance(), v_t,
                                         floor_voltage);
@@ -186,7 +186,7 @@ ReactBuffer::notifyBackendPower(bool on)
         if (faults != nullptr)
             restoreFramRecord();
         applyLevel();
-        pollAccumulator = 0.0;
+        pollAccumulator = Seconds(0.0);
     } else {
         // Brown-out: normally-open switches release; banks float,
         // retaining per-capacitor charge.  A jammed switch cannot
@@ -207,7 +207,7 @@ ReactBuffer::notifyBackendPower(bool on)
 double
 ReactBuffer::softwareOverheadFraction() const
 {
-    return cfg.softwareOverheadAt10Hz * (cfg.pollRateHz / 10.0);
+    return cfg.softwareOverheadAt10Hz * (cfg.pollRateHz / Hertz(10.0));
 }
 
 const CapacitorBank &
@@ -239,7 +239,7 @@ ReactBuffer::actuateBank(int index, BankState target)
 
     const size_t i = static_cast<size_t>(index);
     const BankState from = bank.state();
-    const double v_before = bank.terminalVoltage();
+    const Volts v_before = bank.terminalVoltage();
     const double n = static_cast<double>(bank.spec().count);
 
     bool moved = false;
@@ -261,18 +261,18 @@ ReactBuffer::actuateBank(int index, BankState target)
     // whenever the bank was already in the network (a bank reconnecting
     // from Disconnected floats beforehand, so its retained charge -- and
     // hence the expected terminal -- is unknown to the software).
-    double expected = -1.0;
+    Volts expected{-1.0};
     if (target == BankState::Disconnected)
-        expected = 0.0;
+        expected = Volts(0.0);
     else if (from == BankState::Parallel && target == BankState::Series)
         expected = v_before * n;
     else if (from == BankState::Series && target == BankState::Parallel)
         expected = v_before / n;
 
-    const double observed =
+    const Volts observed =
         faults->comparatorRead(telemetryNames[i], bank.terminalVoltage());
-    if (expected >= 0.0) {
-        if (std::abs(observed - expected) > cfg.watchdogTolerance)
+    if (expected >= Volts(0.0)) {
+        if (units::abs(observed - expected) > cfg.watchdogTolerance)
             ++watch[i].mismatch;
         else if (moved)
             watch[i].mismatch = 0;
@@ -280,7 +280,7 @@ ReactBuffer::actuateBank(int index, BankState target)
         // Commanded into the network but the terminal still floats.
         // Count only under harvest surplus: a healthy just-connected
         // empty bank would be soaking up input and rising off zero.
-        if (lastLevel.voltage() >= cfg.vHigh - 0.1)
+        if (lastLevel.voltage() >= cfg.vHigh - Volts(0.1))
             ++watch[i].floating;
     } else if (moved) {
         watch[i].floating = 0;
@@ -366,7 +366,7 @@ ReactBuffer::pollController()
     if (faults != nullptr)
         watchdogService();
 
-    double v = lastLevel.voltage();
+    Volts v = lastLevel.voltage();
     if (faults != nullptr)
         v = faults->comparatorRead("react.comparator", v);
 
@@ -456,9 +456,9 @@ ReactBuffer::applyAging()
 }
 
 void
-ReactBuffer::routeInput(double input_power, double dt)
+ReactBuffer::routeInput(Watts input_power, Seconds dt)
 {
-    if (input_power <= 0.0)
+    if (input_power <= Watts(0.0))
         return;
 
     // Current from the harvester flows through the input ideal diodes to
@@ -467,14 +467,14 @@ ReactBuffer::routeInput(double input_power, double dt)
     // element can no longer charge); one failed short merely loses its
     // forward drop.
     int target = -1;      // -1 == last-level buffer, -2 == no path at all
-    double drop = cfg.diodeDrop;
-    double v_min = lastLevel.voltage();
+    Volts drop = cfg.diodeDrop;
+    Volts v_min = lastLevel.voltage();
     if (faults != nullptr) {
         const sim::DiodeFault f = faults->diodeFault("react.lastlevel.diode.in");
         if (f == sim::DiodeFault::Open)
             target = -2;
         else if (f == sim::DiodeFault::Short)
-            drop = 0.0;
+            drop = Volts(0.0);
     }
     for (int i = 0; i < bankCount(); ++i) {
         const auto &bank = banks[static_cast<size_t>(i)];
@@ -488,7 +488,7 @@ ReactBuffer::routeInput(double input_power, double dt)
         if (bank.terminalVoltage() < v_min || target == -2) {
             v_min = bank.terminalVoltage();
             target = i;
-            drop = f == sim::DiodeFault::Short ? 0.0 : cfg.diodeDrop;
+            drop = f == sim::DiodeFault::Short ? Volts(0.0) : cfg.diodeDrop;
         }
     }
 
@@ -498,7 +498,7 @@ ReactBuffer::routeInput(double input_power, double dt)
         return;
     }
     if (target < 0) {
-        const double e_before = lastLevel.energy();
+        const Joules e_before = lastLevel.energy();
         const auto res = sim::chargeFromPower(lastLevel, input_power, dt,
                                               drop);
         energyLedger.harvested += lastLevel.energy() - e_before +
@@ -507,7 +507,7 @@ ReactBuffer::routeInput(double input_power, double dt)
     } else {
         auto &bank = banks[static_cast<size_t>(target)];
         sim::Capacitor view = terminalView(bank);
-        const double e_before = view.energy();
+        const Joules e_before = view.energy();
         const auto res = sim::chargeFromPower(view, input_power, dt,
                                               drop);
         bank.addChargeAtTerminal(res.charge);
@@ -517,7 +517,7 @@ ReactBuffer::routeInput(double input_power, double dt)
 }
 
 void
-ReactBuffer::replenishLastLevel(double dt)
+ReactBuffer::replenishLastLevel(Seconds dt)
 {
     // Output isolation diodes: every connected bank whose terminal sits
     // above the rail sources current into the last-level buffer.  Exact
@@ -528,8 +528,8 @@ ReactBuffer::replenishLastLevel(double dt)
         if (!bank.connected())
             continue;
 
-        double drop = cfg.diodeDrop;
-        double resistance = cfg.transferResistance;
+        Volts drop = cfg.diodeDrop;
+        Ohms resistance = cfg.transferResistance;
         if (faults != nullptr) {
             const sim::DiodeFault f =
                 faults->diodeFault(outDiodeNames[static_cast<size_t>(i)]);
@@ -538,14 +538,14 @@ ReactBuffer::replenishLastLevel(double dt)
             if (f == sim::DiodeFault::Open)
                 continue;  // the bank can no longer feed the rail
             if (f == sim::DiodeFault::Short) {
-                drop = 0.0;
+                drop = Volts(0.0);
                 // A shorted isolation diode also conducts backwards: a
                 // rail above the bank terminal bleeds into the bank.
                 // The resistive dissipation is fault-attributed.
                 if (lastLevel.voltage() > bank.terminalVoltage()) {
                     sim::Capacitor view = terminalView(bank);
                     const auto back = sim::transferCharge(
-                        lastLevel, view, resistance, 0.0, dt);
+                        lastLevel, view, resistance, Volts(0.0), dt);
                     bank.addChargeAtTerminal(back.charge);
                     energyLedger.faultLoss += back.resistiveLoss;
                     continue;
@@ -565,7 +565,7 @@ ReactBuffer::replenishLastLevel(double dt)
 }
 
 void
-ReactBuffer::step(double dt, double input_power, double load_current)
+ReactBuffer::step(Seconds dt, Watts input_power, Amps load_current)
 {
     // 0. Hardware aging (fault injection only): re-derate capacitances
     //    at the controller's poll cadence -- far finer than the hours
@@ -573,15 +573,15 @@ ReactBuffer::step(double dt, double input_power, double load_current)
     if (faults != nullptr &&
         faults->plan().capacitanceFadePerHour > 0.0) {
         agingAccumulator += dt;
-        const double aging_period = 1.0 / cfg.pollRateHz;
+        const Seconds aging_period = 1.0 / cfg.pollRateHz;
         if (agingAccumulator >= aging_period) {
-            agingAccumulator = 0.0;
+            agingAccumulator = Seconds(0.0);
             applyAging();
         }
     }
 
     // 1. Self-discharge (banks leak even while disconnected).
-    double leaked = lastLevel.leak(dt);
+    Joules leaked = lastLevel.leak(dt);
     for (auto &bank : banks)
         leaked += bank.leak(dt);
     energyLedger.leaked += leaked;
@@ -596,18 +596,18 @@ ReactBuffer::step(double dt, double input_power, double load_current)
     int connected = 0;
     for (const auto &bank : banks)
         connected += bank.connected() ? 1 : 0;
-    const double overhead_power =
+    const Watts overhead_power =
         backendOn ? cfg.overheadBase + cfg.overheadPerBank * connected
-                  : 0.0;
-    const double v_rail = std::max(lastLevel.voltage(), 0.5);
-    const double overhead_current = overhead_power / v_rail;
-    const double total_current = load_current + overhead_current;
-    if (total_current > 0.0 && lastLevel.voltage() > 0.0) {
-        const double e_before = lastLevel.energy();
+                  : Watts(0.0);
+    const Volts v_rail = std::max(lastLevel.voltage(), Volts(0.5));
+    const Amps overhead_current = overhead_power / v_rail;
+    const Amps total_current = load_current + overhead_current;
+    if (total_current > Amps(0.0) && lastLevel.voltage() > Volts(0.0)) {
+        const Joules e_before = lastLevel.energy();
         lastLevel.applyCurrent(-total_current, dt);
-        const double removed = e_before - lastLevel.energy();
+        const Joules removed = e_before - lastLevel.energy();
         const double load_share =
-            total_current > 0.0 ? load_current / total_current : 0.0;
+            total_current > Amps(0.0) ? load_current / total_current : 0.0;
         energyLedger.delivered += removed * load_share;
         energyLedger.overhead += removed * (1.0 - load_share);
     }
@@ -624,7 +624,7 @@ ReactBuffer::step(double dt, double input_power, double load_current)
     // 6. Management software: polls only while the backend MCU is alive.
     if (backendOn) {
         pollAccumulator += dt;
-        const double poll_period = 1.0 / cfg.pollRateHz;
+        const Seconds poll_period = 1.0 / cfg.pollRateHz;
         while (pollAccumulator >= poll_period) {
             pollAccumulator -= poll_period;
             pollController();
@@ -635,16 +635,16 @@ ReactBuffer::step(double dt, double input_power, double load_current)
 void
 ReactBuffer::reset()
 {
-    lastLevel.setVoltage(0.0);
+    lastLevel.setVoltage(Volts(0.0));
     for (auto &bank : banks) {
-        bank.setUnitVoltage(0.0);
+        bank.setUnitVoltage(Volts(0.0));
         bank.setState(BankState::Disconnected);
     }
     level = 0;
     requestedLevel = 0;
     backendOn = false;
-    pollAccumulator = 0.0;
-    agingAccumulator = 0.0;
+    pollAccumulator = Seconds(0.0);
+    agingAccumulator = Seconds(0.0);
     transitionCount = 0;
     retiredMask = 0;
     framRecoveryCount = 0;

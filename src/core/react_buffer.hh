@@ -50,6 +50,8 @@
 namespace react {
 namespace core {
 
+using units::Amps;
+
 /** REACT: reconfigurable, energy-adaptive capacitor banks. */
 class ReactBuffer : public buffer::EnergyBuffer
 {
@@ -59,10 +61,10 @@ class ReactBuffer : public buffer::EnergyBuffer
                              ReactConfig::paperConfig());
 
     std::string name() const override { return "REACT"; }
-    void step(double dt, double input_power, double load_current) override;
-    double railVoltage() const override;
-    double storedEnergy() const override;
-    double equivalentCapacitance() const override;
+    void step(Seconds dt, Watts input_power, Amps load_current) override;
+    Volts railVoltage() const override;
+    Joules storedEnergy() const override;
+    Farads equivalentCapacitance() const override;
     void reset() override;
 
     int capacitanceLevel() const override { return level; }
@@ -70,10 +72,10 @@ class ReactBuffer : public buffer::EnergyBuffer
     {
         return policy.maxLevel(retiredMask);
     }
-    double availableEnergy(double floor_voltage) const override;
+    Joules availableEnergy(Volts floor_voltage) const override;
     void requestMinLevel(int min_level) override;
     bool levelSatisfied() const override;
-    double usableEnergyAtLevel(int query_level) const override;
+    Joules usableEnergyAtLevel(int query_level) const override;
     void notifyBackendPower(bool on) override;
 
     /** Compute-time fraction stolen by the 10 Hz monitoring software. */
@@ -83,7 +85,7 @@ class ReactBuffer : public buffer::EnergyBuffer
     const ReactConfig &config() const { return cfg; }
 
     /** Voltage on the last-level buffer (== rail). */
-    double lastLevelVoltage() const { return lastLevel.voltage(); }
+    Volts lastLevelVoltage() const { return lastLevel.voltage(); }
 
     /** Run-time state of one bank. */
     const CapacitorBank &bank(int index) const;
@@ -141,10 +143,10 @@ class ReactBuffer : public buffer::EnergyBuffer
     void pollController();
 
     /** Route harvested input to the lowest-voltage connected element. */
-    void routeInput(double input_power, double dt);
+    void routeInput(Watts input_power, Seconds dt);
 
     /** Drain banks above the rail into the last-level buffer. */
-    void replenishLastLevel(double dt);
+    void replenishLastLevel(Seconds dt);
 
     /** Apply capacitance fade to the last level and every bank. */
     void applyAging();
@@ -165,8 +167,8 @@ class ReactBuffer : public buffer::EnergyBuffer
     int level = 0;
     int requestedLevel = 0;
     bool backendOn = false;
-    double pollAccumulator = 0.0;
-    double agingAccumulator = 0.0;
+    Seconds pollAccumulator{0.0};
+    Seconds agingAccumulator{0.0};
     uint64_t transitionCount = 0;
 
     /** @name Fault-hardening state (inert without an injector). @{ */

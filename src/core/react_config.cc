@@ -11,42 +11,45 @@ namespace core {
 
 using units::microfarads;
 using units::microamps;
+using units::Amps;
+using units::Coulombs;
+using units::Seconds;
 
-double
+Farads
 ReactConfig::maxCapacitance() const
 {
-    double total = lastLevel.capacitance;
+    Farads total = lastLevel.capacitance;
     for (const auto &bank : banks)
         total += bank.parallelCapacitance();
     return total;
 }
 
-double
+Farads
 ReactConfig::minCapacitance() const
 {
     return lastLevel.capacitance;
 }
 
-double
+Volts
 ReactConfig::reclamationSpikeVoltage(const BankSpec &bank) const
 {
     // Equation 1: charge sharing between the series-configured bank
     // (C_unit / N at N V_low) and the last-level buffer (C_last at V_low).
     const double n = static_cast<double>(bank.count);
-    const double c_ser = bank.unit.capacitance / n;
-    const double c_last = lastLevel.capacitance;
+    const Farads c_ser = bank.unit.capacitance / n;
+    const Farads c_last = lastLevel.capacitance;
     return ((n * vLow) * c_ser + vLow * c_last) / (c_last + c_ser);
 }
 
-double
+Farads
 ReactConfig::unitCapacitanceLimit(int count) const
 {
     const double n = static_cast<double>(count);
-    const double denom = n * vLow - vHigh;
-    if (denom <= 0.0) {
+    const Volts denom = n * vLow - vHigh;
+    if (denom <= Volts(0)) {
         // The boosted voltage N * V_low cannot even reach V_high, so no
         // unit size violates the constraint.
-        return std::numeric_limits<double>::infinity();
+        return Farads(std::numeric_limits<double>::infinity());
     }
     return n * lastLevel.capacitance * (vHigh - vLow) / denom;
 }
@@ -64,35 +67,35 @@ ReactConfig::validate(std::string *error) const
         return fail("vLow must be below vHigh");
     if (!(vHigh <= railClamp))
         return fail("vHigh must not exceed the rail clamp");
-    if (lastLevel.capacitance <= 0.0)
+    if (lastLevel.capacitance <= Farads(0))
         return fail("last-level capacitance must be positive");
-    if (pollRateHz <= 0.0)
+    if (pollRateHz <= Hertz(0))
         return fail("poll rate must be positive");
     if (watchdogMismatchPolls < 1)
         return fail("watchdog mismatch threshold must be >= 1 poll");
     if (watchdogFloatingPolls < 1)
         return fail("watchdog floating threshold must be >= 1 poll");
-    if (watchdogTolerance <= 0.0)
+    if (watchdogTolerance <= Volts(0))
         return fail("watchdog tolerance must be positive");
 
     for (size_t i = 0; i < banks.size(); ++i) {
         const BankSpec &bank = banks[i];
         if (bank.count < 1)
             return fail(detail::format("bank %zu has no capacitors", i));
-        if (bank.unit.capacitance <= 0.0) {
+        if (bank.unit.capacitance <= Farads(0)) {
             return fail(detail::format(
                 "bank %zu unit capacitance must be positive", i));
         }
         // Equation 2: keep the reclamation spike below V_high.
-        const double limit = unitCapacitanceLimit(bank.count);
+        const Farads limit = unitCapacitanceLimit(bank.count);
         if (bank.unit.capacitance >= limit) {
             return fail(detail::format(
                 "bank %zu violates Eq. 2: C_unit %.0f uF >= limit %.0f uF",
-                i, bank.unit.capacitance * 1e6, limit * 1e6));
+                i, bank.unit.capacitance.raw() * 1e6, limit.raw() * 1e6));
         }
         // The series terminal voltage N * V_low must respect per-part
         // ratings while the spike drains into the last-level buffer.
-        const double boosted = static_cast<double>(bank.count) * vLow;
+        const Volts boosted = static_cast<double>(bank.count) * vLow;
         if (boosted > bank.unit.ratedVoltage *
                 static_cast<double>(bank.count)) {
             return fail(detail::format(
@@ -113,19 +116,20 @@ ReactConfig::paperConfig()
     // (see DESIGN.md: datasheet worst-case microamp figures would swamp
     // every buffer equally and contradict the paper's multi-minute storage
     // horizons).
-    auto ceramic = [](double capacitance) {
+    auto ceramic = [](Farads capacitance) {
         sim::CapacitorSpec spec;
         spec.capacitance = capacitance;
-        spec.ratedVoltage = 6.3;
+        spec.ratedVoltage = Volts(6.3);
         // tau = R C = 2000 s  =>  I(V_rated) = V_rated C / tau.
-        spec.leakageCurrentAtRated = 6.3 * capacitance / 2000.0;
+        spec.leakageCurrentAtRated =
+            Volts(6.3) * capacitance / Seconds(2000.0);
         return spec;
     };
     // Supercapacitors (Table 1, bank 5): 0.15 uA at 5.5 V.
-    auto supercap = [](double capacitance) {
+    auto supercap = [](Farads capacitance) {
         sim::CapacitorSpec spec;
         spec.capacitance = capacitance;
-        spec.ratedVoltage = 5.5;
+        spec.ratedVoltage = Volts(5.5);
         spec.leakageCurrentAtRated = microamps(0.15);
         return spec;
     };

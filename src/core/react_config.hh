@@ -25,39 +25,43 @@
 namespace react {
 namespace core {
 
+using units::Hertz;
+using units::Ohms;
+using units::Watts;
+
 /** Full REACT hardware description. */
 struct ReactConfig
 {
     /** Bank 0 of Table 1: the always-connected last-level buffer. */
-    sim::CapacitorSpec lastLevel{770e-6, 6.3, 2.4e-7};
+    sim::CapacitorSpec lastLevel{Farads(770e-6), Volts(6.3), units::Amps(2.4e-7)};
 
     /** Banks 1..5 of Table 1, in software connection order. */
     std::vector<BankSpec> banks;
 
     /** Buffer-full comparator threshold (adds capacitance above it). */
-    double vHigh = 3.5;
+    Volts vHigh{3.5};
     /** Near-empty comparator threshold (reclaims/boosts below it). */
-    double vLow = 1.9;
+    Volts vLow{1.9};
     /** Overvoltage-protection clamp on the rail. */
-    double railClamp = 3.6;
+    Volts railClamp{3.6};
 
-    /** Controller sampling rate in hertz (paper: 10 Hz, S 5.1). */
-    double pollRateHz = 10.0;
+    /** Controller sampling rate (paper: 10 Hz, S 5.1). */
+    Hertz pollRateHz{10.0};
     /** Fraction of backend compute stolen per poll-period by the
      *  monitoring software at 10 Hz (paper: 1.8 %, S 5.1). */
     double softwareOverheadAt10Hz = 0.018;
     /** Quiescent hardware power per connected bank (paper: ~14 uW/bank,
      *  68 uW total for 5 banks, S 5.1). */
-    double overheadPerBank = 14e-6;
+    Watts overheadPerBank{14e-6};
     /** Baseline hardware draw independent of bank count (comparators on
      *  the last-level buffer). */
-    double overheadBase = 8e-6;
+    Watts overheadBase{8e-6};
 
     /** Series resistance of a bank-to-last-level discharge path (switch +
      *  ideal-diode pass FET). */
-    double transferResistance = 1.0;
-    /** Forward drop of the active ideal diodes, volts. */
-    double diodeDrop = 0.01;
+    Ohms transferResistance{1.0};
+    /** Forward drop of the active ideal diodes. */
+    Volts diodeDrop{0.01};
 
     /**
      * @name Watchdog thresholds (fault-hardened management software)
@@ -75,29 +79,29 @@ struct ReactConfig
      *  (terminal < 0.02 V) while harvest surplus holds the rail near
      *  V_high before retirement (catches switches stuck open). */
     int watchdogFloatingPolls = 50;
-    /** Allowed |expected - observed| terminal deviation, volts. */
-    double watchdogTolerance = 0.05;
+    /** Allowed |expected - observed| terminal deviation. */
+    Volts watchdogTolerance{0.05};
 
     /** @} */
 
     /** Total capacitance with every bank parallel (the "18 mF" of S 4). */
-    double maxCapacitance() const;
+    Farads maxCapacitance() const;
 
     /** Minimum capacitance (last-level only; the "770 uF"). */
-    double minCapacitance() const;
+    Farads minCapacitance() const;
 
     /**
      * Equation 1: last-level voltage right after switching a bank of
      * N capacitors of size C_unit from parallel to series at V_low.
      */
-    double reclamationSpikeVoltage(const BankSpec &bank) const;
+    Volts reclamationSpikeVoltage(const BankSpec &bank) const;
 
     /**
      * Equation 2: the C_unit ceiling for a bank of N capacitors, or
      * +infinity when the transition cannot reach V_high at all
      * (N V_low <= V_high).
      */
-    double unitCapacitanceLimit(int count) const;
+    Farads unitCapacitanceLimit(int count) const;
 
     /**
      * Check thresholds and every bank against Equations 1-2 and basic

@@ -40,7 +40,8 @@ runExperiment(buffer::EnergyBuffer &buffer, workload::Benchmark *benchmark,
         benchmark->reset();
 
     mcu::Device device(backendSpec());
-    sim::PowerGate gate(config.enableVoltage, config.brownoutVoltage);
+    sim::PowerGate gate(units::Volts(config.enableVoltage),
+                        units::Volts(config.brownoutVoltage));
 
     // Fault injection is strictly opt-in: with the all-zero default plan
     // no injector exists and every code path below is bit-identical to
@@ -52,14 +53,14 @@ runExperiment(buffer::EnergyBuffer &buffer, workload::Benchmark *benchmark,
         buffer.attachFaultInjector(injector.get());
         gate.attachFaultInjector(injector.get());
     }
-    const double stored_start = buffer.storedEnergy();
+    const double stored_start = buffer.storedEnergy().raw();
 
     ExperimentResult result;
     result.bufferName = buffer.name();
     result.benchmarkName = benchmark ? benchmark->name() : "(none)";
     result.traceName = frontend.trace().name();
 
-    const double trace_duration = frontend.traceDuration();
+    const double trace_duration = frontend.traceDuration().raw();
     const double work_scale = 1.0 - buffer.softwareOverheadFraction();
 
     double t = 0.0;
@@ -93,12 +94,13 @@ runExperiment(buffer::EnergyBuffer &buffer, workload::Benchmark *benchmark,
             }
         }
 
-        double input_power = frontend.power(t);
+        units::Watts input_power = frontend.power(units::Seconds(t));
         if (injector) {
-            injector->advance(config.dt);
+            injector->advance(units::Seconds(config.dt));
             input_power = injector->filterHarvest(input_power);
         }
-        buffer.step(config.dt, input_power, device.current());
+        buffer.step(units::Seconds(config.dt), input_power,
+                    units::Amps(device.current()));
 
         if (gate.isOn()) {
             result.onTime += config.dt;
@@ -116,7 +118,7 @@ runExperiment(buffer::EnergyBuffer &buffer, workload::Benchmark *benchmark,
 
         if (config.recordRail && t >= next_record) {
             next_record += config.recordInterval;
-            result.rail.push_back({t, buffer.railVoltage(), gate.isOn(),
+            result.rail.push_back({t, buffer.railVoltage().raw(), gate.isOn(),
                                    buffer.capacitanceLevel()});
         }
 
@@ -141,21 +143,23 @@ runExperiment(buffer::EnergyBuffer &buffer, workload::Benchmark *benchmark,
         result.missedEvents = benchmark->missedEvents();
     }
     result.ledger = buffer.ledger();
-    result.residualEnergy = buffer.storedEnergy();
+    result.residualEnergy = buffer.storedEnergy().raw();
 
     // Per-run conservation audit: everything harvested must be accounted
     // for by delivery, booked losses, or the change in stored energy.
     result.conservationError =
-        result.ledger.conservationError(result.residualEnergy -
-                                        stored_start);
+        result.ledger
+            .conservationError(units::Joules(result.residualEnergy -
+                                             stored_start))
+            .raw();
     const double tolerance =
-        1e-9 * std::max(1.0, result.ledger.harvested);
+        1e-9 * std::max(1.0, result.ledger.harvested.raw());
     if (std::abs(result.conservationError) > tolerance) {
         if (config.strictConservation) {
             react_panic("energy ledger violated conservation: error %.3e J "
                         "(harvested %.3e J, tolerance %.3e J)",
-                        result.conservationError, result.ledger.harvested,
-                        tolerance);
+                        result.conservationError,
+                        result.ledger.harvested.raw(), tolerance);
         }
         react_warn("energy ledger conservation error %.3e J exceeds "
                    "tolerance %.3e J (%s / %s / %s)",

@@ -51,13 +51,14 @@ benchmarkKindName(BenchmarkKind kind)
 }
 
 sim::CapacitorSpec
-staticBufferSpec(double capacitance)
+staticBufferSpec(units::Farads capacitance)
 {
     sim::CapacitorSpec spec;
     spec.capacitance = capacitance;
-    spec.ratedVoltage = 6.3;
+    spec.ratedVoltage = units::Volts(6.3);
     // Insulation-resistance leakage with tau = 2000 s (see DESIGN.md).
-    spec.leakageCurrentAtRated = 6.3 * capacitance / 2000.0;
+    spec.leakageCurrentAtRated =
+        units::Volts(6.3) * capacitance / units::Seconds(2000.0);
     return spec;
 }
 
@@ -73,7 +74,7 @@ makeBuffer(BufferKind kind)
             staticBufferSpec(millifarads(10.0)));
       case BufferKind::Static17mF:
         return std::make_unique<buffer::StaticBuffer>(
-            staticBufferSpec(millifarads(17.0)), 3.6, "17mF");
+            staticBufferSpec(millifarads(17.0)), units::Volts(3.6), "17mF");
       case BufferKind::Morphy:
         return std::make_unique<buffer::MorphyBuffer>();
       case BufferKind::React:

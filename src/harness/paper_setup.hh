@@ -16,6 +16,7 @@
 
 #include "buffers/energy_buffer.hh"
 #include "sim/capacitor.hh"
+#include "util/units.hh"
 #include "mcu/device.hh"
 #include "workload/benchmark.hh"
 
@@ -64,7 +65,7 @@ std::string benchmarkKindName(BenchmarkKind kind);
  * (tau = R C = 2000 s), so buffer comparisons isolate architecture rather
  * than part quality.
  */
-sim::CapacitorSpec staticBufferSpec(double capacitance);
+sim::CapacitorSpec staticBufferSpec(units::Farads capacitance);
 
 /** Build one of the five evaluation buffers. */
 std::unique_ptr<buffer::EnergyBuffer> makeBuffer(BufferKind kind);

@@ -10,41 +10,41 @@ namespace react {
 namespace harvest {
 
 double
-Converter::efficiency(double input_power) const
+Converter::efficiency(Watts input_power) const
 {
-    if (input_power <= 0.0)
+    if (input_power <= Watts(0.0))
         return 0.0;
     return outputPower(input_power) / input_power;
 }
 
-double
-IdentityConverter::outputPower(double input_power) const
+Watts
+IdentityConverter::outputPower(Watts input_power) const
 {
-    return std::max(input_power, 0.0);
+    return std::max(input_power, Watts(0.0));
 }
 
 SigmoidEfficiencyConverter::SigmoidEfficiencyConverter(
-    double eta_floor, double eta_ceiling, double p_half, double slope,
-    double quiescent)
+    double eta_floor, double eta_ceiling, Watts p_half, double slope_param,
+    Watts quiescent_power)
     : etaFloor(eta_floor), etaCeiling(eta_ceiling), pHalf(p_half),
-      slope(slope), quiescent(quiescent)
+      slope(slope_param), quiescent(quiescent_power)
 {
     react_assert(eta_ceiling > eta_floor && eta_floor >= 0.0,
                  "efficiency bounds must be ordered and non-negative");
     react_assert(eta_ceiling <= 1.0, "efficiency cannot exceed 1");
-    react_assert(p_half > 0.0 && slope > 0.0,
+    react_assert(p_half > Watts(0.0) && slope > 0.0,
                  "sigmoid parameters must be positive");
 }
 
-double
-SigmoidEfficiencyConverter::outputPower(double input_power) const
+Watts
+SigmoidEfficiencyConverter::outputPower(Watts input_power) const
 {
-    if (input_power <= 0.0)
-        return 0.0;
+    if (input_power <= Watts(0.0))
+        return Watts(0.0);
     const double x = std::log10(input_power / pHalf);
     const double sig = 1.0 / (1.0 + std::exp(-slope * x));
     const double eta = etaFloor + (etaCeiling - etaFloor) * sig;
-    return std::max(input_power * eta - quiescent, 0.0);
+    return std::max(input_power * eta - quiescent, Watts(0.0));
 }
 
 RfRectifier::RfRectifier()

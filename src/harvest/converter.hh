@@ -16,8 +16,12 @@
 #ifndef REACT_HARVEST_CONVERTER_HH
 #define REACT_HARVEST_CONVERTER_HH
 
+#include "util/units.hh"
+
 namespace react {
 namespace harvest {
+
+using units::Watts;
 
 /** Input-power -> buffer-power conversion stage. */
 class Converter
@@ -28,20 +32,20 @@ class Converter
     /**
      * Power delivered to the buffer for the given environmental input.
      *
-     * @param input_power Power available from the ambient source, watts.
-     * @return Power into the buffer, watts (>= 0).
+     * @param input_power Power available from the ambient source.
+     * @return Power into the buffer (>= 0).
      */
-    virtual double outputPower(double input_power) const = 0;
+    virtual Watts outputPower(Watts input_power) const = 0;
 
     /** Conversion efficiency at the given input power. */
-    double efficiency(double input_power) const;
+    double efficiency(Watts input_power) const;
 };
 
 /** Pass-through stage: the trace already represents at-buffer power. */
 class IdentityConverter : public Converter
 {
   public:
-    double outputPower(double input_power) const override;
+    Watts outputPower(Watts input_power) const override;
 };
 
 /**
@@ -54,22 +58,22 @@ class SigmoidEfficiencyConverter : public Converter
     /**
      * @param eta_floor Efficiency as input power approaches zero.
      * @param eta_ceiling Efficiency at high input power.
-     * @param p_half Input power (watts) at the sigmoid midpoint.
+     * @param p_half Input power at the sigmoid midpoint.
      * @param slope Sigmoid steepness per decade of input power.
-     * @param quiescent Control power (watts) subtracted post-conversion.
+     * @param quiescent Control power subtracted post-conversion.
      */
     SigmoidEfficiencyConverter(double eta_floor, double eta_ceiling,
-                               double p_half, double slope,
-                               double quiescent);
+                               Watts p_half, double slope,
+                               Watts quiescent);
 
-    double outputPower(double input_power) const override;
+    Watts outputPower(Watts input_power) const override;
 
   private:
     double etaFloor;
     double etaCeiling;
-    double pHalf;
+    Watts pHalf;
     double slope;
-    double quiescent;
+    Watts quiescent;
 };
 
 /** Powercast P2110B-like RF-to-DC rectifier. */

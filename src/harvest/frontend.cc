@@ -9,17 +9,19 @@ HarvesterFrontend::HarvesterFrontend(trace::PowerTrace trace,
 {
 }
 
-double
-HarvesterFrontend::power(double t) const
+Watts
+HarvesterFrontend::power(Seconds t) const
 {
-    const double raw = powerTrace.power(t);
+    // The trace layer stays in raw doubles (file I/O boundary); wrap its
+    // sample into the typed domain here.
+    const Watts raw{powerTrace.power(t.raw())};
     return conv ? conv->outputPower(raw) : raw;
 }
 
-double
+Seconds
 HarvesterFrontend::traceDuration() const
 {
-    return powerTrace.duration();
+    return Seconds(powerTrace.duration());
 }
 
 } // namespace harvest

@@ -19,9 +19,12 @@
 
 #include "harvest/converter.hh"
 #include "trace/power_trace.hh"
+#include "util/units.hh"
 
 namespace react {
 namespace harvest {
+
+using units::Seconds;
 
 /** Replay frontend: trace plus converter. */
 class HarvesterFrontend
@@ -35,11 +38,11 @@ class HarvesterFrontend
                                std::unique_ptr<Converter> converter =
                                    nullptr);
 
-    /** Power delivered into the buffer at the given time, watts. */
-    double power(double t) const;
+    /** Power delivered into the buffer at the given time. */
+    Watts power(Seconds t) const;
 
-    /** Duration of the underlying trace, seconds. */
-    double traceDuration() const;
+    /** Duration of the underlying trace. */
+    Seconds traceDuration() const;
 
     /** Underlying trace. */
     const trace::PowerTrace &trace() const { return powerTrace; }

@@ -24,8 +24,8 @@ decodeString(const std::vector<uint8_t> &bytes)
 
 } // namespace
 
-TaskContext::TaskContext(const TaskRuntime &runtime)
-    : runtime(runtime)
+TaskContext::TaskContext(const TaskRuntime &owning_runtime)
+    : runtime(owning_runtime)
 {
 }
 
@@ -75,8 +75,8 @@ TaskContext::writeU64(const std::string &name, uint64_t value)
     writeBytes(name, std::move(bytes));
 }
 
-TaskRuntime::TaskRuntime(std::string entry)
-    : entry(std::move(entry))
+TaskRuntime::TaskRuntime(std::string entry_task)
+    : entry(std::move(entry_task))
 {
     react_assert(!this->entry.empty(), "entry task name must be set");
 }

@@ -8,8 +8,8 @@
 namespace react {
 namespace mcu {
 
-EventQueue::EventQueue(std::vector<double> times)
-    : times(std::move(times))
+EventQueue::EventQueue(std::vector<double> event_times)
+    : times(std::move(event_times))
 {
     react_assert(std::is_sorted(this->times.begin(), this->times.end()),
                  "event timestamps must be sorted");

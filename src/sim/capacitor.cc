@@ -9,90 +9,92 @@
 namespace react {
 namespace sim {
 
-double
+Ohms
 CapacitorSpec::leakResistance() const
 {
-    if (leakageCurrentAtRated <= 0.0)
-        return std::numeric_limits<double>::infinity();
+    if (leakageCurrentAtRated <= Amps(0))
+        return Ohms(std::numeric_limits<double>::infinity());
     return ratedVoltage / leakageCurrentAtRated;
 }
 
-Capacitor::Capacitor(const CapacitorSpec &spec, double initial_voltage)
+Capacitor::Capacitor(const CapacitorSpec &spec, Volts initial_voltage)
     : partSpec(spec), v(initial_voltage)
 {
-    react_assert(spec.capacitance > 0.0, "capacitance must be positive");
-    react_assert(initial_voltage >= 0.0, "initial voltage must be >= 0");
+    react_assert(spec.capacitance > Farads(0),
+                 "capacitance must be positive");
+    react_assert(initial_voltage >= Volts(0),
+                 "initial voltage must be >= 0");
 }
 
 void
-Capacitor::setVoltage(double voltage)
+Capacitor::setVoltage(Volts voltage)
 {
-    react_assert(voltage >= 0.0, "capacitor voltage must be >= 0");
+    react_assert(voltage >= Volts(0), "capacitor voltage must be >= 0");
     v = voltage;
 }
 
-double
-Capacitor::setCapacitance(double capacitance)
+Joules
+Capacitor::setCapacitance(Farads capacitance)
 {
-    react_assert(capacitance > 0.0, "capacitance must be positive");
-    const double before = energy();
+    react_assert(capacitance > Farads(0), "capacitance must be positive");
+    const Joules before = energy();
     partSpec.capacitance = capacitance;
     return before - energy();
 }
 
-double
+Coulombs
 Capacitor::charge() const
 {
     return partSpec.capacitance * v;
 }
 
-double
+Joules
 Capacitor::energy() const
 {
     return units::capEnergy(partSpec.capacitance, v);
 }
 
 void
-Capacitor::addCharge(double dq)
+Capacitor::addCharge(Coulombs dq)
 {
     v += dq / partSpec.capacitance;
-    if (v < 0.0)
-        v = 0.0;
+    if (v < Volts(0))
+        v = Volts(0);
 }
 
 void
-Capacitor::applyCurrent(double current, double dt)
+Capacitor::applyCurrent(Amps current, Seconds dt)
 {
     addCharge(current * dt);
 }
 
-double
-Capacitor::leak(double dt)
+Joules
+Capacitor::leak(Seconds dt)
 {
-    const double r = partSpec.leakResistance();
-    if (!std::isfinite(r) || v <= 0.0)
-        return 0.0;
-    const double before = energy();
+    const Ohms r = partSpec.leakResistance();
+    if (!units::isfinite(r) || v <= Volts(0))
+        return Joules(0);
+    const Joules before = energy();
     v *= std::exp(-dt / (r * partSpec.capacitance));
     return before - energy();
 }
 
-double
-Capacitor::clip(double ceiling)
+Joules
+Capacitor::clip(Volts ceiling)
 {
-    const double limit = ceiling < 0.0 ? partSpec.ratedVoltage : ceiling;
+    const Volts limit = ceiling < Volts(0) ? partSpec.ratedVoltage : ceiling;
     if (v <= limit)
-        return 0.0;
-    const double before = energy();
+        return Joules(0);
+    const Joules before = energy();
     v = limit;
     return before - energy();
 }
 
-double
-Capacitor::energyAbove(double floor_voltage) const
+Joules
+Capacitor::energyAbove(Volts floor_voltage) const
 {
     if (v <= floor_voltage)
-        return 0.0;
+        return Joules(0);
     return units::capEnergyWindow(partSpec.capacitance, v, floor_voltage);
 }
 

@@ -14,21 +14,32 @@
 #ifndef REACT_SIM_CAPACITOR_HH
 #define REACT_SIM_CAPACITOR_HH
 
+#include "util/units.hh"
+
 namespace react {
 namespace sim {
+
+using units::Amps;
+using units::Coulombs;
+using units::Farads;
+using units::Joules;
+using units::Ohms;
+using units::Seconds;
+using units::Volts;
+using units::Watts;
 
 /** Electrical parameters for a capacitor part (one datasheet row). */
 struct CapacitorSpec
 {
-    /** Capacitance in farads. */
-    double capacitance = 0.0;
+    /** Capacitance. */
+    Farads capacitance{0.0};
     /** Absolute maximum voltage; charge above this is clipped. */
-    double ratedVoltage = 6.3;
-    /** Leakage current at the rated voltage (amperes). */
-    double leakageCurrentAtRated = 0.0;
+    Volts ratedVoltage{6.3};
+    /** Leakage current at the rated voltage. */
+    Amps leakageCurrentAtRated{0.0};
 
-    /** Equivalent parallel leakage resistance (ohms); infinite if no leak. */
-    double leakResistance() const;
+    /** Equivalent parallel leakage resistance; infinite if no leak. */
+    Ohms leakResistance() const;
 };
 
 /**
@@ -42,19 +53,20 @@ class Capacitor
     Capacitor() = default;
 
     /** Construct from a part spec at an initial voltage (default 0 V). */
-    explicit Capacitor(const CapacitorSpec &spec, double initial_voltage = 0);
+    explicit Capacitor(const CapacitorSpec &spec,
+                       Volts initial_voltage = Volts(0));
 
     /** Part parameters. */
     const CapacitorSpec &spec() const { return partSpec; }
 
-    /** Capacitance in farads. */
-    double capacitance() const { return partSpec.capacitance; }
+    /** Capacitance. */
+    Farads capacitance() const { return partSpec.capacitance; }
 
-    /** Terminal voltage in volts. */
-    double voltage() const { return v; }
+    /** Terminal voltage. */
+    Volts voltage() const { return v; }
 
     /** Force the terminal voltage (used by reconfiguration logic). */
-    void setVoltage(double voltage);
+    void setVoltage(Volts voltage);
 
     /**
      * Rescale the part capacitance at constant terminal voltage
@@ -62,59 +74,59 @@ class Capacitor
      * difference vanishes into the degraded dielectric; the caller books
      * the stored-energy delta (E = 1/2 dC V^2) to the fault ledger.
      *
-     * @param capacitance New capacitance in farads (> 0).
+     * @param capacitance New capacitance (> 0).
      * @return Stored energy lost (positive when capacitance shrank).
      */
-    double setCapacitance(double capacitance);
+    Joules setCapacitance(Farads capacitance);
 
-    /** Stored charge Q = C V in coulombs. */
-    double charge() const;
+    /** Stored charge Q = C V. */
+    Coulombs charge() const;
 
-    /** Stored energy E = 1/2 C V^2 in joules. */
-    double energy() const;
+    /** Stored energy E = 1/2 C V^2. */
+    Joules energy() const;
 
     /**
      * Add signed charge.  Voltage changes by dQ / C; no rails are enforced
      * here (callers clip explicitly so the clipped energy can be accounted).
      *
-     * @param dq Charge in coulombs (negative discharges).
+     * @param dq Charge (negative discharges).
      */
-    void addCharge(double dq);
+    void addCharge(Coulombs dq);
 
     /**
      * Integrate a constant current over dt: dV = I dt / C.
      *
-     * @param current Signed current in amperes (positive charges).
-     * @param dt Timestep in seconds.
+     * @param current Signed current (positive charges).
+     * @param dt Timestep.
      */
-    void applyCurrent(double current, double dt);
+    void applyCurrent(Amps current, Seconds dt);
 
     /**
      * Exact exponential self-discharge through the leakage resistance over
      * dt: V *= exp(-dt / (R_leak C)).
      *
-     * @param dt Timestep in seconds.
-     * @return Energy lost to leakage in joules.
+     * @param dt Timestep.
+     * @return Energy lost to leakage.
      */
-    double leak(double dt);
+    Joules leak(Seconds dt);
 
     /**
      * Clamp voltage to the given ceiling (defaults to the rated voltage).
      *
      * @param ceiling Maximum voltage; values above are discarded as heat.
-     * @return Energy clipped in joules (0 when under the ceiling).
+     * @return Energy clipped (0 when under the ceiling).
      */
-    double clip(double ceiling = -1.0);
+    Joules clip(Volts ceiling = Volts(-1.0));
 
     /**
      * Energy released when discharging down to the given floor voltage;
      * zero when already below it.
      */
-    double energyAbove(double floor_voltage) const;
+    Joules energyAbove(Volts floor_voltage) const;
 
   private:
     CapacitorSpec partSpec;
-    double v = 0.0;
+    Volts v{0.0};
 };
 
 } // namespace sim

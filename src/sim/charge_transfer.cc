@@ -9,52 +9,53 @@ namespace react {
 namespace sim {
 
 TransferResult
-transferCharge(Capacitor &source, Capacitor &sink, double resistance,
-               double diode_drop, double dt)
+transferCharge(Capacitor &source, Capacitor &sink, Ohms resistance,
+               Volts diode_drop, Seconds dt)
 {
-    react_assert(resistance > 0.0, "transfer resistance must be positive");
-    react_assert(diode_drop >= 0.0, "diode drop must be >= 0");
+    react_assert(resistance > Ohms(0),
+                 "transfer resistance must be positive");
+    react_assert(diode_drop >= Volts(0), "diode drop must be >= 0");
 
     TransferResult result;
-    const double dv = source.voltage() - sink.voltage() - diode_drop;
-    if (dv <= 0.0 || dt <= 0.0)
+    const Volts dv = source.voltage() - sink.voltage() - diode_drop;
+    if (dv <= Volts(0) || dt <= Seconds(0))
         return result;
 
-    const double c1 = source.capacitance();
-    const double c2 = sink.capacitance();
-    const double ceq = c1 * c2 / (c1 + c2);
-    const double tau = resistance * ceq;
+    const Farads c1 = source.capacitance();
+    const Farads c2 = sink.capacitance();
+    const Farads ceq = c1 * c2 / (c1 + c2);
+    const Seconds tau = resistance * ceq;
 
     // The excess voltage difference (above the diode drop) relaxes
     // exponentially; the transferred charge is the integral of the current.
     const double decay = std::exp(-dt / tau);
-    const double q = ceq * dv * (1.0 - decay);
+    const Coulombs q = ceq * dv * (1.0 - decay);
 
-    const double e_before = source.energy() + sink.energy();
+    const Joules e_before = source.energy() + sink.energy();
     source.addCharge(-q);
     sink.addCharge(q);
-    const double e_after = source.energy() + sink.energy();
+    const Joules e_after = source.energy() + sink.energy();
 
     result.charge = q;
     result.diodeLoss = diode_drop * q;
     result.resistiveLoss = e_before - e_after - result.diodeLoss;
     // Numerical guard: the closed form keeps this non-negative, but clamp
     // rounding noise so ledgers never accumulate negative loss.
-    result.resistiveLoss = std::max(result.resistiveLoss, 0.0);
+    result.resistiveLoss = std::max(result.resistiveLoss, Joules(0.0));
     return result;
 }
 
 TransferResult
-chargeFromPower(Capacitor &sink, double power, double dt, double diode_drop,
-                double v_floor)
+chargeFromPower(Capacitor &sink, Watts power, Seconds dt, Volts diode_drop,
+                Volts v_floor)
 {
     TransferResult result;
-    if (power <= 0.0 || dt <= 0.0)
+    if (power <= Watts(0) || dt <= Seconds(0))
         return result;
 
-    const double v_eff = std::max(sink.voltage() + diode_drop, v_floor);
-    const double current = power / v_eff;
-    const double q = current * dt;
+    const Volts v_eff = std::max(sink.voltage() + diode_drop, v_floor);
+    const Amps current = power / v_eff;
+    const Coulombs q = current * dt;
 
     sink.addCharge(q);
     result.charge = q;
@@ -62,18 +63,18 @@ chargeFromPower(Capacitor &sink, double power, double dt, double diode_drop,
     return result;
 }
 
-double
+Joules
 equalizeParallel(Capacitor &a, Capacitor &b)
 {
-    const double c1 = a.capacitance();
-    const double c2 = b.capacitance();
-    const double q_total = a.charge() + b.charge();
-    const double e_before = a.energy() + b.energy();
-    const double v_final = q_total / (c1 + c2);
+    const Farads c1 = a.capacitance();
+    const Farads c2 = b.capacitance();
+    const Coulombs q_total = a.charge() + b.charge();
+    const Joules e_before = a.energy() + b.energy();
+    const Volts v_final = q_total / (c1 + c2);
     a.setVoltage(v_final);
     b.setVoltage(v_final);
-    const double e_after = a.energy() + b.energy();
-    return std::max(e_before - e_after, 0.0);
+    const Joules e_after = a.energy() + b.energy();
+    return std::max(e_before - e_after, Joules(0.0));
 }
 
 } // namespace sim

@@ -25,15 +25,15 @@ namespace sim {
 /** Outcome of one charge-transfer step. */
 struct TransferResult
 {
-    /** Charge moved from source to sink in coulombs (>= 0). */
-    double charge = 0.0;
-    /** Energy dissipated in the series resistance in joules. */
-    double resistiveLoss = 0.0;
-    /** Energy dissipated in the diode drop in joules. */
-    double diodeLoss = 0.0;
+    /** Charge moved from source to sink (>= 0). */
+    Coulombs charge{0.0};
+    /** Energy dissipated in the series resistance. */
+    Joules resistiveLoss{0.0};
+    /** Energy dissipated in the diode drop. */
+    Joules diodeLoss{0.0};
 
     /** Total energy lost during the transfer. */
-    double totalLoss() const { return resistiveLoss + diodeLoss; }
+    Joules totalLoss() const { return resistiveLoss + diodeLoss; }
 };
 
 /**
@@ -44,14 +44,14 @@ struct TransferResult
  *
  * @param source Higher-potential capacitor (discharges).
  * @param sink Lower-potential capacitor (charges).
- * @param resistance Series resistance in ohms (> 0).
- * @param diode_drop Fixed forward drop in volts (>= 0).
- * @param dt Timestep in seconds.
+ * @param resistance Series resistance (> 0).
+ * @param diode_drop Fixed forward drop (>= 0).
+ * @param dt Timestep.
  * @return Charge moved and the losses incurred.
  */
 TransferResult transferCharge(Capacitor &source, Capacitor &sink,
-                              double resistance, double diode_drop,
-                              double dt);
+                              Ohms resistance, Volts diode_drop,
+                              Seconds dt);
 
 /**
  * Charge a capacitor from a constant-power source (the harvester frontend)
@@ -60,17 +60,17 @@ TransferResult transferCharge(Capacitor &source, Capacitor &sink,
  * physical.
  *
  * @param sink Capacitor being charged.
- * @param power Source power in watts.
- * @param dt Timestep in seconds.
- * @param diode_drop Input diode drop in volts.
+ * @param power Source power.
+ * @param dt Timestep.
+ * @param diode_drop Input diode drop.
  * @param v_floor Minimum effective conversion voltage (bounds current).
- * @return Energy deposited on the capacitor (joules) in TransferResult
- *         semantics: 'charge' is coulombs delivered, 'diodeLoss' the diode
+ * @return Energy deposited on the capacitor in TransferResult semantics:
+ *         'charge' is the charge delivered, 'diodeLoss' the diode
  *         dissipation; resistiveLoss is always 0.
  */
-TransferResult chargeFromPower(Capacitor &sink, double power, double dt,
-                               double diode_drop = 0.0,
-                               double v_floor = 0.2);
+TransferResult chargeFromPower(Capacitor &sink, Watts power, Seconds dt,
+                               Volts diode_drop = Volts(0.0),
+                               Volts v_floor = Volts(0.2));
 
 /**
  * Instantaneously connect two capacitors in parallel and equalize them
@@ -80,9 +80,9 @@ TransferResult chargeFromPower(Capacitor &sink, double power, double dt,
  *
  * @param a First capacitor.
  * @param b Second capacitor.
- * @return Energy dissipated in joules (>= 0).
+ * @return Energy dissipated (>= 0).
  */
-double equalizeParallel(Capacitor &a, Capacitor &b);
+Joules equalizeParallel(Capacitor &a, Capacitor &b);
 
 } // namespace sim
 } // namespace react

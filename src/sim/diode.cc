@@ -7,44 +7,44 @@
 namespace react {
 namespace sim {
 
-double
-Diode::conductionPower(double current) const
+Watts
+Diode::conductionPower(Amps current) const
 {
-    if (current <= 0.0)
-        return 0.0;
+    if (current <= Amps(0))
+        return Watts(0.0);
     return forwardDrop(current) * current;
 }
 
-IdealDiode::IdealDiode(double on_resistance, double quiescent)
-    : rOn(on_resistance), quiescent(quiescent)
+IdealDiode::IdealDiode(Ohms on_resistance, Watts quiescent_power)
+    : rOn(on_resistance), quiescent(quiescent_power)
 {
-    react_assert(on_resistance >= 0.0, "on-resistance must be >= 0");
-    react_assert(quiescent >= 0.0, "quiescent power must be >= 0");
+    react_assert(on_resistance >= Ohms(0), "on-resistance must be >= 0");
+    react_assert(quiescent >= Watts(0), "quiescent power must be >= 0");
 }
 
-double
-IdealDiode::forwardDrop(double current) const
+Volts
+IdealDiode::forwardDrop(Amps current) const
 {
-    if (current <= 0.0)
-        return 0.0;
+    if (current <= Amps(0))
+        return Volts(0.0);
     return current * rOn;
 }
 
-SchottkyDiode::SchottkyDiode(double saturation_current, double ideality,
-                             double thermal_voltage)
+SchottkyDiode::SchottkyDiode(Amps saturation_current, double ideality,
+                             Volts thermal_voltage)
     : iSat(saturation_current), n(ideality), vt(thermal_voltage)
 {
-    react_assert(saturation_current > 0.0,
+    react_assert(saturation_current > Amps(0),
                  "saturation current must be positive");
-    react_assert(ideality > 0.0 && thermal_voltage > 0.0,
+    react_assert(ideality > 0.0 && thermal_voltage > Volts(0),
                  "diode parameters must be positive");
 }
 
-double
-SchottkyDiode::forwardDrop(double current) const
+Volts
+SchottkyDiode::forwardDrop(Amps current) const
 {
-    if (current <= 0.0)
-        return 0.0;
+    if (current <= Amps(0))
+        return Volts(0.0);
     return n * vt * std::log1p(current / iSat);
 }
 

@@ -13,8 +13,15 @@
 #ifndef REACT_SIM_DIODE_HH
 #define REACT_SIM_DIODE_HH
 
+#include "util/units.hh"
+
 namespace react {
 namespace sim {
+
+using units::Amps;
+using units::Ohms;
+using units::Volts;
+using units::Watts;
 
 /** Common interface: forward voltage as a function of forward current. */
 class Diode
@@ -25,16 +32,16 @@ class Diode
     /**
      * Forward voltage drop when conducting the given current.
      *
-     * @param current Forward current in amperes (>= 0).
-     * @return Drop in volts (0 when current is 0 for the ideal diode).
+     * @param current Forward current (>= 0).
+     * @return Drop (0 when current is 0 for the ideal diode).
      */
-    virtual double forwardDrop(double current) const = 0;
+    virtual Volts forwardDrop(Amps current) const = 0;
 
-    /** Always-on control power (comparator supply etc.), in watts. */
-    virtual double quiescentPower() const = 0;
+    /** Always-on control power (comparator supply etc.). */
+    virtual Watts quiescentPower() const = 0;
 
-    /** Power dissipated while conducting the given current, in watts. */
-    double conductionPower(double current) const;
+    /** Power dissipated while conducting the given current. */
+    Watts conductionPower(Amps current) const;
 };
 
 /**
@@ -45,21 +52,21 @@ class IdealDiode : public Diode
 {
   public:
     /**
-     * @param on_resistance Pass-FET resistance in ohms (LM66100: 79 mOhm).
-     * @param quiescent Control power in watts (LM66100: ~0.25 uA @ 3.3 V).
+     * @param on_resistance Pass-FET resistance (LM66100: 79 mOhm).
+     * @param quiescent Control power (LM66100: ~0.25 uA @ 3.3 V).
      */
-    explicit IdealDiode(double on_resistance = 0.079,
-                        double quiescent = 0.8e-6);
+    explicit IdealDiode(Ohms on_resistance = Ohms(0.079),
+                        Watts quiescent = Watts(0.8e-6));
 
-    double forwardDrop(double current) const override;
-    double quiescentPower() const override { return quiescent; }
+    Volts forwardDrop(Amps current) const override;
+    Watts quiescentPower() const override { return quiescent; }
 
-    /** Series on-resistance in ohms. */
-    double onResistance() const { return rOn; }
+    /** Series on-resistance. */
+    Ohms onResistance() const { return rOn; }
 
   private:
-    double rOn;
-    double quiescent;
+    Ohms rOn;
+    Watts quiescent;
 };
 
 /**
@@ -71,21 +78,21 @@ class SchottkyDiode : public Diode
 {
   public:
     /**
-     * @param saturation_current Reverse saturation current in amperes.
-     * @param ideality Diode ideality factor n.
-     * @param thermal_voltage kT/q in volts (25.85 mV at 300 K).
+     * @param saturation_current Reverse saturation current.
+     * @param ideality Diode ideality factor n (dimensionless).
+     * @param thermal_voltage kT/q (25.85 mV at 300 K).
      */
-    explicit SchottkyDiode(double saturation_current = 5e-8,
+    explicit SchottkyDiode(Amps saturation_current = Amps(5e-8),
                            double ideality = 1.5,
-                           double thermal_voltage = 0.02585);
+                           Volts thermal_voltage = Volts(0.02585));
 
-    double forwardDrop(double current) const override;
-    double quiescentPower() const override { return 0.0; }
+    Volts forwardDrop(Amps current) const override;
+    Watts quiescentPower() const override { return Watts(0.0); }
 
   private:
-    double iSat;
+    Amps iSat;
     double n;
-    double vt;
+    Volts vt;
 };
 
 } // namespace sim

@@ -3,13 +3,13 @@
 namespace react {
 namespace sim {
 
-double
+Joules
 EnergyLedger::totalLoss() const
 {
     return clipped + leaked + switchLoss + diodeLoss + overhead + faultLoss;
 }
 
-double
+Joules
 EnergyLedger::totalOut() const
 {
     return delivered + totalLoss();
@@ -18,11 +18,11 @@ EnergyLedger::totalOut() const
 double
 EnergyLedger::efficiency() const
 {
-    return harvested > 0.0 ? delivered / harvested : 0.0;
+    return harvested > Joules(0) ? delivered / harvested : 0.0;
 }
 
-double
-EnergyLedger::conservationError(double stored_delta) const
+Joules
+EnergyLedger::conservationError(Joules stored_delta) const
 {
     return harvested - delivered - totalLoss() - stored_delta;
 }

@@ -13,35 +13,39 @@
 #ifndef REACT_SIM_ENERGY_LEDGER_HH
 #define REACT_SIM_ENERGY_LEDGER_HH
 
+#include "util/units.hh"
+
 namespace react {
 namespace sim {
 
-/** Cumulative energy flows, in joules. */
+using units::Joules;
+
+/** Cumulative energy flows. */
 struct EnergyLedger
 {
     /** Energy accepted from the harvester at the buffer input. */
-    double harvested = 0.0;
+    Joules harvested{0.0};
     /** Energy delivered to the computational backend. */
-    double delivered = 0.0;
+    Joules delivered{0.0};
     /** Energy burned off to prevent overvoltage (full buffer). */
-    double clipped = 0.0;
+    Joules clipped{0.0};
     /** Energy lost to capacitor self-discharge. */
-    double leaked = 0.0;
+    Joules leaked{0.0};
     /** Energy dissipated by inter-capacitor current during switching. */
-    double switchLoss = 0.0;
+    Joules switchLoss{0.0};
     /** Energy dissipated in isolation/input diodes. */
-    double diodeLoss = 0.0;
+    Joules diodeLoss{0.0};
     /** Energy consumed by the buffer's own hardware (comparators etc.). */
-    double overhead = 0.0;
+    Joules overhead{0.0};
     /** Energy destroyed by injected hardware faults (capacitance fade,
      *  shorted-diode backfeed dissipation).  Zero in fault-free runs. */
-    double faultLoss = 0.0;
+    Joules faultLoss{0.0};
 
     /** Sum of all loss categories (everything but delivered). */
-    double totalLoss() const;
+    Joules totalLoss() const;
 
     /** All energy that left the buffer, including useful delivery. */
-    double totalOut() const;
+    Joules totalOut() const;
 
     /** Fraction of harvested energy delivered to the backend. */
     double efficiency() const;
@@ -53,10 +57,10 @@ struct EnergyLedger
      * noise (the harness enforces |error| < 1e-9 J per joule harvested).
      *
      * @param stored_delta Stored energy now minus stored energy at the
-     *        start of the accounting period, joules.
-     * @return Signed conservation error in joules (0 == perfect books).
+     *        start of the accounting period.
+     * @return Signed conservation error (0 == perfect books).
      */
-    double conservationError(double stored_delta) const;
+    Joules conservationError(Joules stored_delta) const;
 
     /** Accumulate another ledger into this one. */
     EnergyLedger &operator+=(const EnergyLedger &other);

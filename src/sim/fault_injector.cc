@@ -55,7 +55,7 @@ FaultPlan::stress(double severity)
     plan.diodeFailuresPerHour = 0.05 * severity;
     plan.diodeShortFraction = 0.5;
     plan.harvesterDropoutsPerHour = 20.0 * severity;
-    plan.harvesterDropoutMeanSeconds = 4.0;
+    plan.harvesterDropoutMeanSeconds = Seconds(4.0);
     plan.framCorruptionPerPowerLoss = std::min(0.05 * severity, 1.0);
     return plan;
 }
@@ -137,10 +137,11 @@ FaultInjector::findComponent(const std::string &name) const
 }
 
 void
-FaultInjector::advance(double dt)
+FaultInjector::advance(Seconds dt)
 {
-    react_assert(dt >= 0.0, "cannot advance the fault clock backwards");
-    t += dt;
+    react_assert(dt >= Seconds(0),
+                 "cannot advance the fault clock backwards");
+    t += dt.raw();
 
     if (faultPlan.harvesterDropoutsPerHour <= 0.0)
         return;
@@ -155,7 +156,7 @@ FaultInjector::advance(double dt)
             dropoutActive = true;
             recordEvent(FaultEventKind::HarvesterDropoutBegin, "harvester");
             nextDropoutEdge +=
-                rng.exponential(faultPlan.harvesterDropoutMeanSeconds);
+                rng.exponential(faultPlan.harvesterDropoutMeanSeconds.raw());
         } else {
             dropoutActive = false;
             recordEvent(FaultEventKind::HarvesterDropoutEnd, "harvester");
@@ -201,15 +202,15 @@ FaultInjector::switchDelayed(const std::string &name)
     return false;
 }
 
-double
-FaultInjector::comparatorRead(const std::string &name, double actual)
+Volts
+FaultInjector::comparatorRead(const std::string &name, Volts actual)
 {
     if (faultPlan.comparatorDriftVoltsPerSqrtHour <= 0.0 &&
         faultPlan.comparatorMisreadsPerHour <= 0.0) {
         return actual;
     }
     Component &comp = component(name);
-    double observed = actual;
+    double observed = actual.raw();
 
     if (faultPlan.comparatorDriftVoltsPerSqrtHour > 0.0) {
         // Random-walk offset: increments are independent over disjoint
@@ -240,7 +241,7 @@ FaultInjector::comparatorRead(const std::string &name, double actual)
             observed += error;
         }
     }
-    return std::max(observed, 0.0);
+    return Volts(std::max(observed, 0.0));
 }
 
 double
@@ -280,10 +281,10 @@ FaultInjector::diodeFault(const std::string &name)
     return comp.diodeMode;
 }
 
-double
-FaultInjector::filterHarvest(double input_power) const
+Watts
+FaultInjector::filterHarvest(Watts input_power) const
 {
-    return dropoutActive ? 0.0 : input_power;
+    return dropoutActive ? Watts(0.0) : input_power;
 }
 
 bool
@@ -314,7 +315,7 @@ FaultInjector::recordEvent(FaultEventKind kind, const std::string &name,
 {
     ++kindCounts[static_cast<size_t>(kind)];
     if (eventLog.size() < kMaxLoggedEvents)
-        eventLog.push_back({t, kind, name, magnitude});
+        eventLog.push_back({Seconds(t), kind, name, magnitude});
 }
 
 uint64_t

@@ -46,9 +46,14 @@
 #include <vector>
 
 #include "util/rng.hh"
+#include "util/units.hh"
 
 namespace react {
 namespace sim {
+
+using units::Seconds;
+using units::Volts;
+using units::Watts;
 
 /** Failure state of one isolation/input diode. */
 enum class DiodeFault
@@ -89,8 +94,8 @@ struct FaultPlan
 
     /** Harvester trace dropouts per hour (Poisson). */
     double harvesterDropoutsPerHour = 0.0;
-    /** Mean dropout duration, seconds (exponential). */
-    double harvesterDropoutMeanSeconds = 5.0;
+    /** Mean dropout duration (exponential). */
+    Seconds harvesterDropoutMeanSeconds{5.0};
 
     /** P[a power-loss write tears the FRAM record being written]. */
     double framCorruptionPerPowerLoss = 0.0;
@@ -136,8 +141,8 @@ bool isRecoveryEvent(FaultEventKind kind);
 /** One fault or recovery occurrence. */
 struct FaultEvent
 {
-    /** Injector time, seconds. */
-    double time = 0.0;
+    /** Injector time. */
+    Seconds time{0.0};
     FaultEventKind kind = FaultEventKind::SwitchStuck;
     /** Component name ("react.bank2.switch", "harvester", ...). */
     std::string component;
@@ -157,11 +162,11 @@ class FaultInjector
 
     const FaultPlan &plan() const { return faultPlan; }
 
-    /** Injector clock, seconds. */
-    double now() const { return t; }
+    /** Injector clock. */
+    Seconds now() const { return Seconds(t); }
 
     /** Advance the clock; steps the harvester-dropout schedule. */
-    void advance(double dt);
+    void advance(Seconds dt);
 
     /**
      * Draw the outcome of one commanded switch actuation.  A stuck draw
@@ -184,7 +189,7 @@ class FaultInjector
      * when the component's Poisson misread schedule fired since the
      * previous read.  Returns the (non-negative) observed voltage.
      */
-    double comparatorRead(const std::string &component, double actual);
+    Volts comparatorRead(const std::string &component, Volts actual);
 
     /** Multiplicative capacitance derating at the current time (<= 1). */
     double capacitanceFactor(const std::string &component);
@@ -196,7 +201,7 @@ class FaultInjector
     DiodeFault diodeFault(const std::string &component);
 
     /** Gate harvester power through the dropout schedule. */
-    double filterHarvest(double input_power) const;
+    Watts filterHarvest(Watts input_power) const;
 
     /** Whether a harvester dropout is in progress. */
     bool inHarvesterDropout() const { return dropoutActive; }

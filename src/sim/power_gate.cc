@@ -6,16 +6,17 @@
 namespace react {
 namespace sim {
 
-PowerGate::PowerGate(double enable_voltage, double brownout_voltage)
+PowerGate::PowerGate(Volts enable_voltage, Volts brownout_voltage)
     : vEnable(enable_voltage), vBrownout(brownout_voltage)
 {
     react_assert(enable_voltage > brownout_voltage,
                  "enable voltage must exceed brown-out voltage");
-    react_assert(brownout_voltage > 0.0, "brown-out voltage must be > 0");
+    react_assert(brownout_voltage > Volts(0),
+                 "brown-out voltage must be > 0");
 }
 
 bool
-PowerGate::update(double rail_voltage)
+PowerGate::update(Volts rail_voltage)
 {
     if (faults != nullptr)
         rail_voltage = faults->comparatorRead("powergate.supervisor",
@@ -32,7 +33,7 @@ PowerGate::update(double rail_voltage)
 }
 
 void
-PowerGate::setEnableVoltage(double enable_voltage)
+PowerGate::setEnableVoltage(Volts enable_voltage)
 {
     react_assert(enable_voltage > vBrownout,
                  "enable voltage must exceed brown-out voltage");

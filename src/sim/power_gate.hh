@@ -12,8 +12,12 @@
 #ifndef REACT_SIM_POWER_GATE_HH
 #define REACT_SIM_POWER_GATE_HH
 
+#include "util/units.hh"
+
 namespace react {
 namespace sim {
+
+using units::Volts;
 
 class FaultInjector;
 
@@ -25,30 +29,31 @@ class PowerGate
      * @param enable_voltage Rising threshold that turns the backend on.
      * @param brownout_voltage Falling threshold that cuts power.
      */
-    PowerGate(double enable_voltage = 3.3, double brownout_voltage = 1.8);
+    PowerGate(Volts enable_voltage = Volts(3.3),
+              Volts brownout_voltage = Volts(1.8));
 
     /**
      * Observe the rail voltage and update the gate state.
      *
-     * @param rail_voltage Buffer output voltage in volts.
+     * @param rail_voltage Buffer output voltage.
      * @return true when the state changed during this update.
      */
-    bool update(double rail_voltage);
+    bool update(Volts rail_voltage);
 
     /** Whether the backend is currently powered. */
     bool isOn() const { return on; }
 
-    /** Rising enable threshold in volts. */
-    double enableVoltage() const { return vEnable; }
+    /** Rising enable threshold. */
+    Volts enableVoltage() const { return vEnable; }
 
-    /** Falling brown-out threshold in volts. */
-    double brownoutVoltage() const { return vBrownout; }
+    /** Falling brown-out threshold. */
+    Volts brownoutVoltage() const { return vBrownout; }
 
     /**
      * Retarget the enable threshold (Dewdrop-style adaptive wake-up).
      * Must remain above the brown-out threshold.
      */
-    void setEnableVoltage(double enable_voltage);
+    void setEnableVoltage(Volts enable_voltage);
 
     /** Reset to the powered-off state. */
     void reset();
@@ -61,8 +66,8 @@ class PowerGate
     void attachFaultInjector(FaultInjector *injector) { faults = injector; }
 
   private:
-    double vEnable;
-    double vBrownout;
+    Volts vEnable;
+    Volts vBrownout;
     bool on = false;
     FaultInjector *faults = nullptr;
 };

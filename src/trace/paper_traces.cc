@@ -12,11 +12,11 @@ namespace {
 using units::milliwatts;
 
 const PaperTraceSpec kSpecs[] = {
-    {"RF Cart", 313.0, milliwatts(2.12), 1.03},
-    {"RF Obs.", 313.0, milliwatts(0.227), 0.61},
-    {"RF Mob.", 318.0, milliwatts(0.5), 1.66},
-    {"Sol. Camp.", 3609.0, milliwatts(5.18), 2.07},
-    {"Sol. Comm.", 6030.0, milliwatts(0.148), 3.33},
+    {"RF Cart", 313.0, milliwatts(2.12).raw(), 1.03},
+    {"RF Obs.", 313.0, milliwatts(0.227).raw(), 0.61},
+    {"RF Mob.", 318.0, milliwatts(0.5).raw(), 1.66},
+    {"Sol. Camp.", 3609.0, milliwatts(5.18).raw(), 2.07},
+    {"Sol. Comm.", 6030.0, milliwatts(0.148).raw(), 3.33},
 };
 
 /** Per-trace generator parameters; regime time scales reflect the physical
@@ -107,7 +107,7 @@ makePedestrianSolarTrace(uint64_t seed, double duration)
     p.name = "Solar Pedestrian";
     p.duration = duration;
     p.sampleDt = 0.05;
-    p.targetMeanPower = milliwatts(2.8);
+    p.targetMeanPower = milliwatts(2.8).raw();
     // Rare direct-sun spikes over a shaded baseline give the S 2.1.2
     // structure (most energy above 10 mW, most time below 3 mW).
     p.targetCv = 2.9;
@@ -126,7 +126,7 @@ makeNightSolarTrace(uint64_t seed)
     p.name = "Solar Night";
     p.duration = 1800.0;
     p.sampleDt = 0.05;
-    p.targetMeanPower = milliwatts(0.25);
+    p.targetMeanPower = milliwatts(0.25).raw();
     p.targetCv = 0.5;
     p.meanHighDuration = 40.0;
     p.amplitudeSigma = 0.3;

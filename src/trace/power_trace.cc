@@ -11,9 +11,9 @@
 namespace react {
 namespace trace {
 
-PowerTrace::PowerTrace(double sample_dt, std::vector<double> samples,
+PowerTrace::PowerTrace(double sample_dt, std::vector<double> sample_values,
                        std::string name)
-    : label(std::move(name)), dt(sample_dt), samples(std::move(samples))
+    : label(std::move(name)), dt(sample_dt), samples(std::move(sample_values))
 {
     react_assert(sample_dt > 0.0, "trace sample interval must be positive");
     for (double p : this->samples)

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Compile-time dimensional analysis for the REACT energy circuit.
+ *
+ * Every physical quantity in the simulator used to be a bare `double`,
+ * so a swapped `(capacitance, voltage)` argument pair or a
+ * charge-vs-energy mixup compiled silently and corrupted results that
+ * the energy-conservation audit could only catch at runtime, per-run.
+ * `Quantity<Dim>` makes those errors unrepresentable at compile time.
+ *
+ * ## Encoding
+ *
+ * A dimension is a triple of integer exponents over the electrical
+ * basis {volt, ampere, second}:
+ *
+ *     Dim<V, A, S>  ==  volt^V * ampere^A * second^S
+ *
+ * Every unit the circuit algebra needs (S 3.3, Eqs. 1-2) is expressible
+ * in this basis:
+ *
+ *     Volts    = Dim< 1, 0, 0>
+ *     Amps     = Dim< 0, 1, 0>
+ *     Seconds  = Dim< 0, 0, 1>
+ *     Coulombs = Dim< 0, 1, 1>   (Q = I t)
+ *     Farads   = Dim<-1, 1, 1>   (C = Q / V)
+ *     Watts    = Dim< 1, 1, 0>   (P = V I)
+ *     Joules   = Dim< 1, 1, 1>   (E = P t)
+ *     Ohms     = Dim< 1,-1, 0>   (R = V / I)
+ *     Hertz    = Dim< 0, 0,-1>
+ *
+ * Multiplication and division add/subtract exponents, so the circuit
+ * identities type-check by construction: `Farads * Volts -> Coulombs`,
+ * `Joules / Seconds -> Watts`, `Volts / Ohms -> Amps`.  A product whose
+ * exponents all cancel collapses to plain `double`, so ratios
+ * (`v / v_rated`, `dt / tau`) feed `std::exp`/`std::log` naturally.
+ *
+ * ## Rules
+ *
+ *  - Construction from `double` is explicit; `+`/`-`/comparisons only
+ *    combine identical dimensions.  `Volts + Joules` does not compile.
+ *  - `.raw()` is the one escape hatch back to `double`, reserved for
+ *    representation boundaries: CSV/stat/report output, interop with
+ *    not-yet-migrated layers.  See DESIGN.md "Dimensional safety".
+ *  - The wrapper is representation-transparent: a single `double`
+ *    member, every operator a one-line inline forward, so codegen and
+ *    results are bit-identical to the bare-double formulation.
+ */
+
+#ifndef REACT_UTIL_QUANTITY_HH
+#define REACT_UTIL_QUANTITY_HH
+
+#include <cmath>
+#include <type_traits>
+
+namespace react {
+namespace units {
+
+/** Dimension tag: volt^V * ampere^A * second^S. */
+template <int V, int A, int S>
+struct Dim final
+{
+    static constexpr int volt = V;
+    static constexpr int ampere = A;
+    static constexpr int second = S;
+};
+
+/** @name Named dimension tags @{ */
+using VoltDim = Dim<1, 0, 0>;
+using AmpDim = Dim<0, 1, 0>;
+using SecondDim = Dim<0, 0, 1>;
+using CoulombDim = Dim<0, 1, 1>;
+using FaradDim = Dim<-1, 1, 1>;
+using WattDim = Dim<1, 1, 0>;
+using JouleDim = Dim<1, 1, 1>;
+using OhmDim = Dim<1, -1, 0>;
+using HertzDim = Dim<0, 0, -1>;
+using VoltSquaredDim = Dim<2, 0, 0>;
+/** @} */
+
+/**
+ * A `double` magnitude tagged with a compile-time dimension.  Zero
+ * overhead: same size, alignment, and codegen as the raw `double`.
+ */
+template <class D>
+class Quantity;
+
+template <int V, int A, int S>
+class Quantity<Dim<V, A, S>>
+{
+  public:
+    using Dimension = Dim<V, A, S>;
+
+    /** Zero-valued quantity. */
+    constexpr Quantity() = default;
+
+    /** Tag a raw magnitude (explicit: no silent double -> Quantity). */
+    constexpr explicit Quantity(double raw) : value(raw) {}
+
+    /** The untyped magnitude -- the escape hatch for report/CSV/interop
+     *  boundaries only; circuit algebra should stay typed. */
+    constexpr double raw() const { return value; }
+
+    /** @name Same-dimension arithmetic @{ */
+    constexpr Quantity operator+(Quantity other) const
+    {
+        return Quantity(value + other.value);
+    }
+    constexpr Quantity operator-(Quantity other) const
+    {
+        return Quantity(value - other.value);
+    }
+    constexpr Quantity operator-() const { return Quantity(-value); }
+    constexpr Quantity operator+() const { return *this; }
+    constexpr Quantity &operator+=(Quantity other)
+    {
+        value += other.value;
+        return *this;
+    }
+    constexpr Quantity &operator-=(Quantity other)
+    {
+        value -= other.value;
+        return *this;
+    }
+    /** @} */
+
+    /** @name Dimensionless scaling @{ */
+    constexpr Quantity &operator*=(double factor)
+    {
+        value *= factor;
+        return *this;
+    }
+    constexpr Quantity &operator/=(double divisor)
+    {
+        value /= divisor;
+        return *this;
+    }
+    /** @} */
+
+    /** @name Same-dimension comparisons @{ */
+    constexpr bool operator==(Quantity other) const
+    {
+        return value == other.value;
+    }
+    constexpr bool operator!=(Quantity other) const
+    {
+        return value != other.value;
+    }
+    constexpr bool operator<(Quantity other) const
+    {
+        return value < other.value;
+    }
+    constexpr bool operator<=(Quantity other) const
+    {
+        return value <= other.value;
+    }
+    constexpr bool operator>(Quantity other) const
+    {
+        return value > other.value;
+    }
+    constexpr bool operator>=(Quantity other) const
+    {
+        return value >= other.value;
+    }
+    /** @} */
+
+  private:
+    double value = 0.0;
+};
+
+/** @name Dimension algebra: * and / add/subtract exponents.
+ *
+ * A result whose exponents all cancel collapses to plain `double` so
+ * ratios flow into `std::exp` / `std::log` without ceremony.
+ * @{
+ */
+template <int V1, int A1, int S1, int V2, int A2, int S2>
+constexpr auto
+operator*(Quantity<Dim<V1, A1, S1>> lhs, Quantity<Dim<V2, A2, S2>> rhs)
+{
+    if constexpr (V1 + V2 == 0 && A1 + A2 == 0 && S1 + S2 == 0)
+        return lhs.raw() * rhs.raw();
+    else
+        return Quantity<Dim<V1 + V2, A1 + A2, S1 + S2>>(lhs.raw() *
+                                                        rhs.raw());
+}
+
+template <int V1, int A1, int S1, int V2, int A2, int S2>
+constexpr auto
+operator/(Quantity<Dim<V1, A1, S1>> lhs, Quantity<Dim<V2, A2, S2>> rhs)
+{
+    if constexpr (V1 - V2 == 0 && A1 - A2 == 0 && S1 - S2 == 0)
+        return lhs.raw() / rhs.raw();
+    else
+        return Quantity<Dim<V1 - V2, A1 - A2, S1 - S2>>(lhs.raw() /
+                                                        rhs.raw());
+}
+
+template <int V, int A, int S>
+constexpr Quantity<Dim<V, A, S>>
+operator*(double factor, Quantity<Dim<V, A, S>> q)
+{
+    return Quantity<Dim<V, A, S>>(factor * q.raw());
+}
+
+template <int V, int A, int S>
+constexpr Quantity<Dim<V, A, S>>
+operator*(Quantity<Dim<V, A, S>> q, double factor)
+{
+    return Quantity<Dim<V, A, S>>(q.raw() * factor);
+}
+
+template <int V, int A, int S>
+constexpr Quantity<Dim<V, A, S>>
+operator/(Quantity<Dim<V, A, S>> q, double divisor)
+{
+    return Quantity<Dim<V, A, S>>(q.raw() / divisor);
+}
+
+template <int V, int A, int S>
+constexpr Quantity<Dim<-V, -A, -S>>
+operator/(double numerator, Quantity<Dim<V, A, S>> q)
+{
+    return Quantity<Dim<-V, -A, -S>>(numerator / q.raw());
+}
+/** @} */
+
+/** @name Typed quantity aliases (the public vocabulary) @{ */
+using Volts = Quantity<VoltDim>;
+using Amps = Quantity<AmpDim>;
+using Seconds = Quantity<SecondDim>;
+using Coulombs = Quantity<CoulombDim>;
+using Farads = Quantity<FaradDim>;
+using Watts = Quantity<WattDim>;
+using Joules = Quantity<JouleDim>;
+using Ohms = Quantity<OhmDim>;
+using Hertz = Quantity<HertzDim>;
+using VoltsSquared = Quantity<VoltSquaredDim>;
+/** @} */
+
+/** Dimension-halving square root (exponents must all be even), e.g.
+ *  `sqrt(VoltsSquared) -> Volts` for Dewdrop's enable-voltage planner. */
+template <int V, int A, int S>
+inline Quantity<Dim<V / 2, A / 2, S / 2>>
+sqrt(Quantity<Dim<V, A, S>> q)
+{
+    static_assert(V % 2 == 0 && A % 2 == 0 && S % 2 == 0,
+                  "sqrt argument dimension must have even exponents");
+    return Quantity<Dim<V / 2, A / 2, S / 2>>(std::sqrt(q.raw()));
+}
+
+/** Magnitude of a signed quantity (ledger audits, watchdog tolerances). */
+template <int V, int A, int S>
+constexpr Quantity<Dim<V, A, S>>
+abs(Quantity<Dim<V, A, S>> q)
+{
+    return q.raw() < 0.0 ? -q : q;
+}
+
+/** Whether the magnitude is finite (leak resistance may be infinite). */
+template <int V, int A, int S>
+inline bool
+isfinite(Quantity<Dim<V, A, S>> q)
+{
+    return std::isfinite(q.raw());
+}
+
+/* The whole point: the typed layer is representation-transparent. */
+static_assert(sizeof(Quantity<VoltDim>) == sizeof(double),
+              "Quantity must be a zero-overhead double wrapper");
+static_assert(alignof(Quantity<VoltDim>) == alignof(double),
+              "Quantity must not change alignment");
+static_assert(std::is_trivially_copyable_v<Quantity<JouleDim>>,
+              "Quantity must stay trivially copyable");
+static_assert(std::is_standard_layout_v<Quantity<FaradDim>>,
+              "Quantity must stay standard layout");
+static_assert(!std::is_convertible_v<double, Quantity<VoltDim>>,
+              "double -> Quantity must require an explicit tag");
+static_assert(!std::is_convertible_v<Quantity<VoltDim>, double>,
+              "Quantity -> double must go through .raw()");
+
+} // namespace units
+} // namespace react
+
+#endif // REACT_UTIL_QUANTITY_HH

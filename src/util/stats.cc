@@ -77,8 +77,8 @@ RunningStats::reset()
     *this = RunningStats();
 }
 
-Histogram::Histogram(double lo, double hi, int bins)
-    : lo(lo), hi(hi)
+Histogram::Histogram(double lo_edge, double hi_edge, int bins)
+    : lo(lo_edge), hi(hi_edge)
 {
     react_assert(hi > lo, "histogram range must be non-empty");
     react_assert(bins > 0, "histogram needs at least one bin");

@@ -10,8 +10,8 @@ namespace {
 const std::string kSeparatorSentinel = "\x01";
 } // namespace
 
-TextTable::TextTable(std::string title)
-    : title(std::move(title))
+TextTable::TextTable(std::string table_title)
+    : title(std::move(table_title))
 {
 }
 

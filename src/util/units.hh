@@ -2,14 +2,19 @@
  * @file
  * Unit helpers and physical constants used throughout the REACT simulator.
  *
- * All quantities in the simulator are stored as doubles in base SI units:
- * volts, amperes, farads, ohms, watts, joules, seconds.  These helpers exist
- * so that configuration code reads like the paper ("770 uF", "1.5 mA",
- * "68 uW") rather than as bare exponents.
+ * All quantities in the simulator are stored in base SI units -- volts,
+ * amperes, farads, ohms, watts, joules, seconds -- as dimension-tagged
+ * `Quantity` values (see quantity.hh).  These helpers exist so that
+ * configuration code reads like the paper ("770 uF", "1.5 mA", "68 uW")
+ * rather than as bare exponents, and so the resulting values carry their
+ * dimension: `microfarads(770)` is a `Farads`, and handing it to a
+ * parameter expecting `Volts` fails to compile.
  */
 
 #ifndef REACT_UTIL_UNITS_HH
 #define REACT_UTIL_UNITS_HH
+
+#include "util/quantity.hh"
 
 namespace react {
 namespace units {
@@ -45,166 +50,190 @@ nano(double x)
 
 /** @name Capacitance */
 /** @{ */
-constexpr double
+constexpr Farads
 farads(double x)
 {
-    return x;
+    return Farads(x);
 }
 
-constexpr double
+constexpr Farads
 millifarads(double x)
 {
-    return milli(x);
+    return Farads(milli(x));
 }
 
-constexpr double
+constexpr Farads
 microfarads(double x)
 {
-    return micro(x);
+    return Farads(micro(x));
 }
 /** @} */
 
 /** @name Electric potential */
 /** @{ */
-constexpr double
+constexpr Volts
 volts(double x)
 {
-    return x;
+    return Volts(x);
 }
 
-constexpr double
+constexpr Volts
 millivolts(double x)
 {
-    return milli(x);
+    return Volts(milli(x));
 }
 /** @} */
 
 /** @name Current */
 /** @{ */
-constexpr double
+constexpr Amps
 amps(double x)
 {
-    return x;
+    return Amps(x);
 }
 
-constexpr double
+constexpr Amps
 milliamps(double x)
 {
-    return milli(x);
+    return Amps(milli(x));
 }
 
-constexpr double
+constexpr Amps
 microamps(double x)
 {
-    return micro(x);
+    return Amps(micro(x));
 }
 /** @} */
 
 /** @name Power */
 /** @{ */
-constexpr double
+constexpr Watts
 watts(double x)
 {
-    return x;
+    return Watts(x);
 }
 
-constexpr double
+constexpr Watts
 milliwatts(double x)
 {
-    return milli(x);
+    return Watts(milli(x));
 }
 
-constexpr double
+constexpr Watts
 microwatts(double x)
 {
-    return micro(x);
+    return Watts(micro(x));
 }
 /** @} */
 
 /** @name Energy */
 /** @{ */
-constexpr double
+constexpr Joules
 joules(double x)
 {
-    return x;
+    return Joules(x);
 }
 
-constexpr double
+constexpr Joules
 millijoules(double x)
 {
-    return milli(x);
+    return Joules(milli(x));
 }
 
-constexpr double
+constexpr Joules
 microjoules(double x)
 {
-    return micro(x);
+    return Joules(micro(x));
+}
+/** @} */
+
+/** @name Charge */
+/** @{ */
+constexpr Coulombs
+coulombs(double x)
+{
+    return Coulombs(x);
+}
+
+constexpr Coulombs
+microcoulombs(double x)
+{
+    return Coulombs(micro(x));
 }
 /** @} */
 
 /** @name Resistance */
 /** @{ */
-constexpr double
+constexpr Ohms
 ohms(double x)
 {
-    return x;
+    return Ohms(x);
 }
 
-constexpr double
+constexpr Ohms
 kiloohms(double x)
 {
-    return kilo(x);
+    return Ohms(kilo(x));
 }
 
-constexpr double
+constexpr Ohms
 megaohms(double x)
 {
-    return x * 1e6;
+    return Ohms(x * 1e6);
 }
 /** @} */
 
 /** @name Time */
 /** @{ */
-constexpr double
+constexpr Seconds
 seconds(double x)
 {
-    return x;
+    return Seconds(x);
 }
 
-constexpr double
+constexpr Seconds
 milliseconds(double x)
 {
-    return milli(x);
+    return Seconds(milli(x));
 }
 
-constexpr double
+constexpr Seconds
 microseconds(double x)
 {
-    return micro(x);
+    return Seconds(micro(x));
 }
 
-constexpr double
+constexpr Seconds
 minutes(double x)
 {
-    return x * 60.0;
+    return Seconds(x * 60.0);
 }
 
-constexpr double
+constexpr Seconds
 hours(double x)
 {
-    return x * 3600.0;
+    return Seconds(x * 3600.0);
+}
+/** @} */
+
+/** @name Frequency */
+/** @{ */
+constexpr Hertz
+hertz(double x)
+{
+    return Hertz(x);
 }
 /** @} */
 
 /**
  * Energy stored on an ideal capacitor at a given voltage: E = 1/2 C V^2.
  *
- * @param capacitance Capacitance in farads.
- * @param voltage Terminal voltage in volts.
- * @return Stored energy in joules.
+ * @param capacitance Capacitance.
+ * @param voltage Terminal voltage.
+ * @return Stored energy.
  */
-constexpr double
-capEnergy(double capacitance, double voltage)
+constexpr Joules
+capEnergy(Farads capacitance, Volts voltage)
 {
     return 0.5 * capacitance * voltage * voltage;
 }
@@ -212,13 +241,19 @@ capEnergy(double capacitance, double voltage)
 /**
  * Usable energy window on a capacitor discharged between two voltages.
  *
- * @param capacitance Capacitance in farads.
- * @param v_high Starting voltage in volts.
- * @param v_low Ending voltage in volts.
- * @return Extractable energy in joules (may be negative if v_low > v_high).
+ * Signed-window contract: the result is the energy released moving from
+ * @p v_high to @p v_low, so it is *negative* when `v_low > v_high` --
+ * i.e. the energy that must be *supplied* to charge the capacitor up to
+ * `v_low`.  Callers wanting only an extractable amount must order the
+ * arguments (or clamp), as `Capacitor::energyAbove` does.
+ *
+ * @param capacitance Capacitance.
+ * @param v_high Starting voltage.
+ * @param v_low Ending voltage.
+ * @return Extractable energy; negative when `v_low > v_high`.
  */
-constexpr double
-capEnergyWindow(double capacitance, double v_high, double v_low)
+constexpr Joules
+capEnergyWindow(Farads capacitance, Volts v_high, Volts v_low)
 {
     return capEnergy(capacitance, v_high) - capEnergy(capacitance, v_low);
 }

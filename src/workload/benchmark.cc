@@ -18,7 +18,7 @@ Benchmark::levelForEnergy(const buffer::EnergyBuffer &buffer, double energy,
         return 0;  // static buffer: no control surface
     const double target = energy * margin;
     for (int level = 0; level <= max_level; ++level) {
-        if (buffer.usableEnergyAtLevel(level) >= target)
+        if (buffer.usableEnergyAtLevel(level).raw() >= target)
             return level;
     }
     return max_level;

@@ -16,8 +16,8 @@ benchmarkKey()
 } // namespace
 
 DataEncryptionBenchmark::DataEncryptionBenchmark(
-    const WorkloadParams &params)
-    : params(params), aes(benchmarkKey())
+    const WorkloadParams &workload_params)
+    : params(workload_params), aes(benchmarkKey())
 {
     block.fill(0);
 }

@@ -5,10 +5,10 @@
 namespace react {
 namespace workload {
 
-PacketForwardBenchmark::PacketForwardBenchmark(const WorkloadParams &params,
-                                               double horizon,
-                                               uint64_t seed)
-    : params(params), horizon(horizon), seed(seed),
+PacketForwardBenchmark::PacketForwardBenchmark(
+    const WorkloadParams &workload_params, double sim_horizon,
+    uint64_t rng_seed)
+    : params(workload_params), horizon(sim_horizon), seed(rng_seed),
       arrivals(makeArrivals())
 {
 }
@@ -90,7 +90,7 @@ PacketForwardBenchmark::tick(BenchContext &ctx)
             ++missed;
             continue;
         }
-        if (ctx.buffer->availableEnergy(1.8) >=
+        if (ctx.buffer->availableEnergy(units::Volts(1.8)).raw() >=
                 rxEnergy * params.energyMargin) {
             receiving = params.rxDuration;
             ctx.device->setState(mcu::PowerState::Active);
@@ -109,7 +109,7 @@ PacketForwardBenchmark::tick(BenchContext &ctx)
         const bool is_static = ctx.buffer->maxCapacitanceLevel() == 0;
         const bool ready =
             is_static
-                ? ctx.buffer->availableEnergy(1.8) >= txEnergy
+                ? ctx.buffer->availableEnergy(units::Volts(1.8)).raw() >= txEnergy
                 : ctx.buffer->levelSatisfied();
         if (ready) {
             transmitting = params.pfTxDuration;

@@ -7,8 +7,9 @@
 namespace react {
 namespace workload {
 
-RadioTransmitBenchmark::RadioTransmitBenchmark(const WorkloadParams &params)
-    : params(params)
+RadioTransmitBenchmark::RadioTransmitBenchmark(
+    const WorkloadParams &workload_params)
+    : params(workload_params)
 {
 }
 
@@ -66,7 +67,7 @@ RadioTransmitBenchmark::tick(BenchContext &ctx)
                 const double burst = burstEnergy(ctx.device->spec()) *
                     params.energyMargin;
                 const double banked = ctx.buffer->usableEnergyAtLevel(
-                    ctx.buffer->capacitanceLevel());
+                    ctx.buffer->capacitanceLevel()).raw();
                 burstsRemaining = std::max(
                     1, static_cast<int>(banked / burst));
             } else {

@@ -17,9 +17,10 @@ micFilterDesign()
 
 } // namespace
 
-SenseComputeBenchmark::SenseComputeBenchmark(const WorkloadParams &params,
-                                             double horizon, uint64_t seed)
-    : params(params), horizon(horizon), seed(seed),
+SenseComputeBenchmark::SenseComputeBenchmark(
+    const WorkloadParams &workload_params, double sim_horizon,
+    uint64_t rng_seed)
+    : params(workload_params), horizon(sim_horizon), seed(rng_seed),
       deadlines(mcu::EventQueue::periodic(params.sensePeriod, horizon)),
       rng(seed), filter(micFilterDesign())
 {

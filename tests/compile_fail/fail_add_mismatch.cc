@@ -1,0 +1,17 @@
+/**
+ * @file
+ * MUST NOT COMPILE.  Addition only combines identical dimensions; a
+ * voltage plus an energy is meaningless and must be rejected at compile
+ * time, not discovered by the runtime conservation audit.
+ */
+
+#include "util/quantity.hh"
+
+int
+main()
+{
+    using react::units::Joules;
+    using react::units::Volts;
+    auto nonsense = Volts(3.3) + Joules(1.0);  // no such operator+
+    return static_cast<int>(nonsense.raw());
+}

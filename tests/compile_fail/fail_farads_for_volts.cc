@@ -1,0 +1,19 @@
+/**
+ * @file
+ * MUST NOT COMPILE.  The original bare-double `capEnergy(c, v)` accepted
+ * swapped arguments silently -- exactly the bug class the Quantity types
+ * exist to rule out.  A Farads value where Volts is expected (and vice
+ * versa) must be a type error.
+ */
+
+#include "util/units.hh"
+
+int
+main()
+{
+    using react::units::Farads;
+    using react::units::Volts;
+    // Arguments transposed: capacitance passed as voltage.
+    auto e = react::units::capEnergy(Volts(3.6), Farads(770e-6));
+    return static_cast<int>(e.raw());
+}

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * MUST NOT COMPILE.  Construction from `double` is explicit: a bare
+ * magnitude carries no unit, so it must be tagged at the point it enters
+ * the typed domain (`Volts(3.3)`), never converted silently.
+ */
+
+#include "util/quantity.hh"
+
+static react::units::Volts
+threshold()
+{
+    return 3.3;  // implicit double -> Volts must be rejected
+}
+
+int
+main()
+{
+    return static_cast<int>(threshold().raw());
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * MUST COMPILE (and run as a ctest entry).  Positive counterpart of the
+ * compile-fail cases: the dimension algebra proves the S 3.3
+ * two-capacitor relaxation identities at compile time.
+ *
+ * When a charged capacitor C1 at V1 connects to C2 at V2, charge
+ * redistributes to
+ *
+ *     V_f  = (C1 V1 + C2 V2) / (C1 + C2)                      (charge
+ *     Q    = conserved: (C1 + C2) V_f == C1 V1 + C2 V2)        sharing)
+ *     E_loss = (1/2) (C1 C2 / (C1 + C2)) (V1 - V2)^2           (always
+ *                                                              positive)
+ *
+ * independent of the interconnect resistance.  Every intermediate below
+ * carries its dimension in the type, and the numeric checks evaluate in
+ * a constant expression -- the values use power-of-two-exact magnitudes
+ * so `==` is legitimate.
+ */
+
+#include <type_traits>
+
+#include "util/quantity.hh"
+
+namespace {
+
+using react::units::Amps;
+using react::units::Coulombs;
+using react::units::Farads;
+using react::units::Hertz;
+using react::units::Joules;
+using react::units::Ohms;
+using react::units::Seconds;
+using react::units::Volts;
+using react::units::Watts;
+
+/* --- Dimension algebra of the circuit identities. --------------------- */
+
+// Q = C V
+static_assert(
+    std::is_same_v<decltype(Farads{} * Volts{}), Coulombs>);
+// E = (1/2) C V^2 (scalar factor does not change the dimension)
+static_assert(
+    std::is_same_v<decltype(0.5 * (Farads{} * Volts{} * Volts{})), Joules>);
+// tau = R C
+static_assert(std::is_same_v<decltype(Ohms{} * Farads{}), Seconds>);
+// I = P / V and Q = I t
+static_assert(std::is_same_v<decltype(Watts{} / Volts{}), Amps>);
+static_assert(std::is_same_v<decltype(Amps{} * Seconds{}), Coulombs>);
+// P = E / t and its inverse
+static_assert(std::is_same_v<decltype(Joules{} / Seconds{}), Watts>);
+static_assert(std::is_same_v<decltype(1.0 / Seconds{}), Hertz>);
+// Fully-cancelled exponents collapse to double: ratios need no .raw().
+static_assert(std::is_same_v<decltype(Joules{} / Joules{}), double>);
+static_assert(std::is_same_v<decltype(Volts{} / Volts{}), double>);
+
+/* --- S 3.3 two-capacitor relaxation, evaluated constexpr. -------------- */
+
+// C1 = 1 F at 4 V meets C2 = 3 F at 0 V (exact binary magnitudes).
+constexpr Farads c1{1.0};
+constexpr Farads c2{3.0};
+constexpr Volts v1{4.0};
+constexpr Volts v2{0.0};
+
+constexpr Volts v_f = (c1 * v1 + c2 * v2) / (c1 + c2);
+static_assert(v_f == Volts(1.0), "charge-sharing final voltage");
+
+// Charge is conserved across the relaxation...
+constexpr Coulombs q_before = c1 * v1 + c2 * v2;
+constexpr Coulombs q_after = (c1 + c2) * v_f;
+static_assert(q_before == q_after, "charge conservation");
+static_assert(q_after == Coulombs(4.0));
+
+// ...while energy is not: the interconnect dissipates E_loss.
+constexpr Joules e_before = 0.5 * (c1 * (v1 * v1)) + 0.5 * (c2 * (v2 * v2));
+constexpr Joules e_after = 0.5 * ((c1 + c2) * (v_f * v_f));
+constexpr Joules e_loss =
+    0.5 * ((c1 * c2) / (c1 + c2) * ((v1 - v2) * (v1 - v2)));
+static_assert(e_before == Joules(8.0));
+static_assert(e_after == Joules(2.0));
+static_assert(e_before - e_after == e_loss, "relaxation loss identity");
+static_assert(e_loss > Joules(0.0), "relaxation always dissipates");
+
+// The loss is independent of interconnect resistance; R only sets the
+// settling timescale tau = R C_series.
+constexpr Seconds tau = Ohms(2.0) * ((c1 * c2) / (c1 + c2));
+static_assert(tau == Seconds(1.5));
+
+} // namespace
+
+int
+main()
+{
+    return 0;
+}

@@ -17,65 +17,72 @@ namespace react {
 namespace core {
 namespace {
 
+using units::Amps;
+using units::Coulombs;
+using units::Farads;
+using units::Joules;
+using units::Seconds;
+using units::Volts;
+
 BankSpec
-makeSpec(int n, double c_unit)
+makeSpec(int n, Farads c_unit)
 {
     BankSpec spec;
     spec.count = n;
     spec.unit.capacitance = c_unit;
-    spec.unit.ratedVoltage = 6.3;
+    spec.unit.ratedVoltage = Volts(6.3);
     return spec;
 }
 
 TEST(BankSpec, CapacitanceArithmetic)
 {
-    const BankSpec spec = makeSpec(3, 220e-6);
-    EXPECT_NEAR(spec.seriesCapacitance(), 220e-6 / 3.0, 1e-12);
-    EXPECT_NEAR(spec.parallelCapacitance(), 660e-6, 1e-12);
+    const BankSpec spec = makeSpec(3, Farads(220e-6));
+    EXPECT_NEAR(spec.seriesCapacitance().raw(), 220e-6 / 3.0, 1e-12);
+    EXPECT_NEAR(spec.parallelCapacitance().raw(), 660e-6, 1e-12);
 }
 
 TEST(Bank, TerminalAbstractionByState)
 {
-    CapacitorBank bank(makeSpec(3, 220e-6));
-    bank.setUnitVoltage(1.5);
+    CapacitorBank bank(makeSpec(3, Farads(220e-6)));
+    bank.setUnitVoltage(Volts(1.5));
 
     EXPECT_EQ(bank.state(), BankState::Disconnected);
-    EXPECT_DOUBLE_EQ(bank.terminalVoltage(), 0.0);
-    EXPECT_DOUBLE_EQ(bank.terminalCapacitance(), 0.0);
+    EXPECT_DOUBLE_EQ(bank.terminalVoltage().raw(), 0.0);
+    EXPECT_DOUBLE_EQ(bank.terminalCapacitance().raw(), 0.0);
 
     bank.setState(BankState::Series);
-    EXPECT_NEAR(bank.terminalVoltage(), 4.5, 1e-12);
-    EXPECT_NEAR(bank.terminalCapacitance(), 220e-6 / 3.0, 1e-15);
+    EXPECT_NEAR(bank.terminalVoltage().raw(), 4.5, 1e-12);
+    EXPECT_NEAR(bank.terminalCapacitance().raw(), 220e-6 / 3.0, 1e-15);
 
     bank.setState(BankState::Parallel);
-    EXPECT_NEAR(bank.terminalVoltage(), 1.5, 1e-12);
-    EXPECT_NEAR(bank.terminalCapacitance(), 660e-6, 1e-12);
+    EXPECT_NEAR(bank.terminalVoltage().raw(), 1.5, 1e-12);
+    EXPECT_NEAR(bank.terminalCapacitance().raw(), 660e-6, 1e-12);
 }
 
 TEST(Bank, ReconfigurationConservesEnergy)
 {
     // S 3.3.3-3.3.4: series<->parallel transitions conserve stored energy
     // exactly (per-capacitor charge untouched).
-    CapacitorBank bank(makeSpec(4, 100e-6));
-    bank.setUnitVoltage(2.0);
+    CapacitorBank bank(makeSpec(4, Farads(100e-6)));
+    bank.setUnitVoltage(Volts(2.0));
     bank.setState(BankState::Parallel);
-    const double e = bank.storedEnergy();
+    const Joules e = bank.storedEnergy();
     bank.setState(BankState::Series);
-    EXPECT_DOUBLE_EQ(bank.storedEnergy(), e);
+    EXPECT_DOUBLE_EQ(bank.storedEnergy().raw(), e.raw());
     bank.setState(BankState::Disconnected);
-    EXPECT_DOUBLE_EQ(bank.storedEnergy(), e);
+    EXPECT_DOUBLE_EQ(bank.storedEnergy().raw(), e.raw());
     bank.setState(BankState::Parallel);
-    EXPECT_DOUBLE_EQ(bank.storedEnergy(), e);
+    EXPECT_DOUBLE_EQ(bank.storedEnergy().raw(), e.raw());
 }
 
 TEST(Bank, ReclamationBoostsVoltageByN)
 {
     // A parallel bank drained to V_low presents N * V_low in series.
-    CapacitorBank bank(makeSpec(3, 880e-6));
+    CapacitorBank bank(makeSpec(3, Farads(880e-6)));
     bank.setState(BankState::Parallel);
-    bank.setUnitVoltage(1.9);
+    bank.setUnitVoltage(Volts(1.9));
     bank.setState(BankState::Series);
-    EXPECT_NEAR(bank.terminalVoltage(), 5.7, 1e-12);
+    EXPECT_NEAR(bank.terminalVoltage().raw(), 5.7, 1e-12);
 }
 
 TEST(Bank, StrandedEnergyShrinksByNSquared)
@@ -84,18 +91,19 @@ TEST(Bank, StrandedEnergyShrinksByNSquared)
     // E = C_unit V_low^2 / (2 N) versus N C_unit V_low^2 / 2 without
     // reclamation -- an N^2 reduction.
     const int n = 3;
-    const double c = 880e-6, v_low = 1.9;
+    const Farads c{880e-6};
+    const Volts v_low{1.9};
     CapacitorBank bank(makeSpec(n, c));
     bank.setState(BankState::Parallel);
     bank.setUnitVoltage(v_low);
-    const double stranded_without = bank.storedEnergy();
+    const Joules stranded_without = bank.storedEnergy();
 
     bank.setState(BankState::Series);
     // Drain the terminal down to v_low.
-    const double dq = bank.terminalCapacitance() *
+    const Coulombs dq = bank.terminalCapacitance() *
         (v_low - bank.terminalVoltage());
     bank.addChargeAtTerminal(dq);
-    const double stranded_with = bank.storedEnergy();
+    const Joules stranded_with = bank.storedEnergy();
 
     EXPECT_NEAR(stranded_without / stranded_with,
                 static_cast<double>(n * n), 1e-9);
@@ -103,37 +111,37 @@ TEST(Bank, StrandedEnergyShrinksByNSquared)
 
 TEST(Bank, SeriesChargePassesThroughEveryUnit)
 {
-    CapacitorBank bank(makeSpec(2, 100e-6));
+    CapacitorBank bank(makeSpec(2, Farads(100e-6)));
     bank.setState(BankState::Series);
-    bank.addChargeAtTerminal(100e-6 * 1.0);  // 100 uC
+    bank.addChargeAtTerminal(Coulombs(100e-6 * 1.0));  // 100 uC
     // Each unit gains 1 V; terminal 2 V; C_eff = 50 uF.
-    EXPECT_NEAR(bank.unitVoltage(), 1.0, 1e-12);
-    EXPECT_NEAR(bank.terminalVoltage(), 2.0, 1e-12);
+    EXPECT_NEAR(bank.unitVoltage().raw(), 1.0, 1e-12);
+    EXPECT_NEAR(bank.terminalVoltage().raw(), 2.0, 1e-12);
 }
 
 TEST(Bank, ParallelChargeSplits)
 {
-    CapacitorBank bank(makeSpec(2, 100e-6));
+    CapacitorBank bank(makeSpec(2, Farads(100e-6)));
     bank.setState(BankState::Parallel);
-    bank.addChargeAtTerminal(100e-6 * 1.0);
-    EXPECT_NEAR(bank.unitVoltage(), 0.5, 1e-12);
-    EXPECT_NEAR(bank.terminalVoltage(), 0.5, 1e-12);
+    bank.addChargeAtTerminal(Coulombs(100e-6 * 1.0));
+    EXPECT_NEAR(bank.unitVoltage().raw(), 0.5, 1e-12);
+    EXPECT_NEAR(bank.terminalVoltage().raw(), 0.5, 1e-12);
 }
 
 TEST(Bank, LeakAndClip)
 {
-    BankSpec spec = makeSpec(2, 100e-6);
-    spec.unit.leakageCurrentAtRated = 6.3e-6;  // 1 MOhm
+    BankSpec spec = makeSpec(2, Farads(100e-6));
+    spec.unit.leakageCurrentAtRated = Amps(6.3e-6);  // 1 MOhm
     CapacitorBank bank(spec);
-    bank.setUnitVoltage(3.0);
-    const double lost = bank.leak(5.0);
-    EXPECT_GT(lost, 0.0);
-    EXPECT_LT(bank.unitVoltage(), 3.0);
+    bank.setUnitVoltage(Volts(3.0));
+    const Joules lost = bank.leak(Seconds(5.0));
+    EXPECT_GT(lost.raw(), 0.0);
+    EXPECT_LT(bank.unitVoltage().raw(), 3.0);
 
-    bank.setUnitVoltage(7.0);
-    const double clipped = bank.clipToRating();
-    EXPECT_NEAR(bank.unitVoltage(), 6.3, 1e-12);
-    EXPECT_GT(clipped, 0.0);
+    bank.setUnitVoltage(Volts(7.0));
+    const Joules clipped = bank.clipToRating();
+    EXPECT_NEAR(bank.unitVoltage().raw(), 6.3, 1e-12);
+    EXPECT_GT(clipped.raw(), 0.0);
 }
 
 TEST(BankPolicy, LevelMapping)
@@ -167,9 +175,9 @@ TEST(BankPolicy, RaiseLowerTargets)
 TEST(ReactConfig, PaperTable1Inventory)
 {
     const ReactConfig cfg = ReactConfig::paperConfig();
-    EXPECT_NEAR(cfg.minCapacitance(), 770e-6, 1e-9);
+    EXPECT_NEAR(cfg.minCapacitance().raw(), 770e-6, 1e-9);
     // 770u + 660u + 1320u + 2640u + 2640u + 10000u = 18.03 mF.
-    EXPECT_NEAR(cfg.maxCapacitance(), 18.03e-3, 1e-6);
+    EXPECT_NEAR(cfg.maxCapacitance().raw(), 18.03e-3, 1e-6);
     EXPECT_EQ(cfg.banks.size(), 5u);
     EXPECT_TRUE(cfg.validate());
 }
@@ -178,12 +186,12 @@ TEST(ReactConfig, Equation1SpikeVoltage)
 {
     const ReactConfig cfg = ReactConfig::paperConfig();
     for (const auto &bank : cfg.banks) {
-        const double v_new = cfg.reclamationSpikeVoltage(bank);
+        const Volts v_new = cfg.reclamationSpikeVoltage(bank);
         // Charge conservation sanity: between V_low and N V_low...
-        EXPECT_GT(v_new, cfg.vLow);
-        EXPECT_LT(v_new, bank.count * cfg.vLow + 1e-9);
+        EXPECT_GT(v_new.raw(), cfg.vLow.raw());
+        EXPECT_LT(v_new.raw(), bank.count * cfg.vLow.raw() + 1e-9);
         // ...and below the buffer-full threshold (the Eq. 2 guarantee).
-        EXPECT_LT(v_new, cfg.vHigh);
+        EXPECT_LT(v_new.raw(), cfg.vHigh.raw());
     }
 }
 
@@ -192,17 +200,17 @@ TEST(ReactConfig, Equation2Limit)
     ReactConfig cfg = ReactConfig::paperConfig();
     // N = 3, C_last = 770 uF, V_high = 3.5, V_low = 1.9:
     // limit = 3 * 770u * 1.6 / (5.7 - 3.5) = 1680 uF.
-    EXPECT_NEAR(cfg.unitCapacitanceLimit(3), 1680e-6, 1e-8);
+    EXPECT_NEAR(cfg.unitCapacitanceLimit(3).raw(), 1680e-6, 1e-8);
     // N V_low <= V_high -> unconstrained.
-    cfg.vLow = 1.0;
-    cfg.vHigh = 3.5;
-    EXPECT_TRUE(std::isinf(cfg.unitCapacitanceLimit(3)));
+    cfg.vLow = Volts(1.0);
+    cfg.vHigh = Volts(3.5);
+    EXPECT_TRUE(std::isinf(cfg.unitCapacitanceLimit(3).raw()));
 }
 
 TEST(ReactConfig, ValidateRejectsOversizedUnits)
 {
     ReactConfig cfg = ReactConfig::paperConfig();
-    cfg.banks[0].unit.capacitance = 5e-3;  // >> 1680 uF limit at N=3
+    cfg.banks[0].unit.capacitance = Farads(5e-3);  // >> 1680 uF limit, N=3
     std::string error;
     EXPECT_FALSE(cfg.validate(&error));
     EXPECT_NE(error.find("Eq. 2"), std::string::npos);
@@ -211,11 +219,11 @@ TEST(ReactConfig, ValidateRejectsOversizedUnits)
 TEST(ReactConfig, ValidateRejectsBadThresholds)
 {
     ReactConfig cfg = ReactConfig::paperConfig();
-    cfg.vLow = 3.6;
+    cfg.vLow = Volts(3.6);
     EXPECT_FALSE(cfg.validate());
 
     cfg = ReactConfig::paperConfig();
-    cfg.vHigh = 3.7;  // above the 3.6 V clamp
+    cfg.vHigh = Volts(3.7);  // above the 3.6 V clamp
     EXPECT_FALSE(cfg.validate());
 }
 

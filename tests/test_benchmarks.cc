@@ -32,7 +32,7 @@ struct Script
 
     explicit Script(std::unique_ptr<buffer::EnergyBuffer> buf =
                         std::make_unique<buffer::StaticBuffer>(
-                            harness::staticBufferSpec(10e-3)))
+                            harness::staticBufferSpec(units::Farads(10e-3))))
         : buffer(std::move(buf))
     {
         // Pre-charge and keep topped up externally as tests require.
@@ -56,7 +56,8 @@ struct Script
         const int steps = static_cast<int>(seconds / dt);
         for (int i = 0; i < steps; ++i) {
             now += dt;
-            buffer->step(dt, 20e-3, device.current());
+            buffer->step(units::Seconds(dt), units::Watts(20e-3),
+                         units::Amps(device.current()));
             auto c = ctx();
             bench.tick(c);
         }
@@ -223,7 +224,8 @@ TEST(PfBenchmark, PowerLossDuringReceiveLosesFrame)
     bool receiving = false;
     for (int i = 0; i < 400000 && !receiving; ++i) {
         s.now += s.dt;
-        s.buffer->step(s.dt, 20e-3, s.device.current());
+        s.buffer->step(units::Seconds(s.dt), units::Watts(20e-3),
+                       units::Amps(s.device.current()));
         auto tc = s.ctx();
         pf.tick(tc);
         receiving = s.device.peripheralCurrent() ==

@@ -24,11 +24,11 @@ using units::milliwatts;
 
 /** Constant-power trace helper. */
 PowerTrace
-constantTrace(double power, double duration, const std::string &name)
+constantTrace(units::Watts power, double duration, const std::string &name)
 {
     const double dt = 0.1;
     std::vector<double> samples(
-        static_cast<size_t>(duration / dt), power);
+        static_cast<size_t>(duration / dt), power.raw());
     return PowerTrace(dt, std::move(samples), name);
 }
 
@@ -96,9 +96,11 @@ TEST(Experiment, LedgerConservationEndToEnd)
         auto de = makeBenchmark(BenchmarkKind::DataEncryption, 1000.0);
         const auto result = runExperiment(*buf, de.get(), frontend);
         const auto &l = result.ledger;
-        const double balance = l.harvested - l.delivered - l.totalLoss() -
+        const double balance = (l.harvested - l.delivered - l.totalLoss())
+                                   .raw() -
             result.residualEnergy;
-        EXPECT_NEAR(balance, 0.0, 1e-3 * std::max(1e-3, l.harvested))
+        EXPECT_NEAR(balance, 0.0,
+                    1e-3 * std::max(1e-3, l.harvested.raw()))
             << bufferKindName(kind);
     }
 }
@@ -181,7 +183,7 @@ TEST(Experiment, FullRunIsDeterministic)
     EXPECT_EQ(a.packetsRx, b.packetsRx);
     EXPECT_EQ(a.powerCycles, b.powerCycles);
     EXPECT_DOUBLE_EQ(a.latency, b.latency);
-    EXPECT_DOUBLE_EQ(a.ledger.harvested, b.ledger.harvested);
+    EXPECT_DOUBLE_EQ(a.ledger.harvested.raw(), b.ledger.harvested.raw());
 }
 
 TEST(Experiment, TimestepRefinementConverges)
@@ -203,19 +205,20 @@ TEST(Experiment, TimestepRefinementConverges)
     EXPECT_NEAR(static_cast<double>(coarse.workUnits),
                 static_cast<double>(fine.workUnits),
                 0.05 * static_cast<double>(fine.workUnits) + 2.0);
-    EXPECT_NEAR(coarse.ledger.harvested, fine.ledger.harvested,
-                0.05 * fine.ledger.harvested);
+    EXPECT_NEAR(coarse.ledger.harvested.raw(), fine.ledger.harvested.raw(),
+                0.05 * fine.ledger.harvested.raw());
 }
 
 TEST(Experiment, ZeroPowerTraceNeverStarts)
 {
     auto buf = makeBuffer(BufferKind::Static770uF);
-    harvest::HarvesterFrontend frontend(constantTrace(0.0, 30.0, "dark"));
+    harvest::HarvesterFrontend frontend(
+        constantTrace(units::Watts(0.0), 30.0, "dark"));
     auto de = makeBenchmark(BenchmarkKind::DataEncryption, 100.0);
     const auto result = runExperiment(*buf, de.get(), frontend);
     EXPECT_LT(result.latency, 0.0);
     EXPECT_EQ(result.workUnits, 0u);
-    EXPECT_DOUBLE_EQ(result.ledger.harvested, 0.0);
+    EXPECT_DOUBLE_EQ(result.ledger.harvested.raw(), 0.0);
 }
 
 TEST(Experiment, SurvivesPowerStorm)
@@ -235,9 +238,9 @@ TEST(Experiment, SurvivesPowerStorm)
         auto pf = makeBenchmark(BenchmarkKind::PacketForward, 1000.0);
         const auto r = runExperiment(*buf, pf.get(), frontend);
         const auto &l = r.ledger;
-        EXPECT_NEAR(l.harvested - l.delivered - l.totalLoss() -
+        EXPECT_NEAR((l.harvested - l.delivered - l.totalLoss()).raw() -
                         r.residualEnergy,
-                    0.0, 2e-3 * std::max(1e-3, l.harvested))
+                    0.0, 2e-3 * std::max(1e-3, l.harvested.raw()))
             << bufferKindName(kind);
         EXPECT_GE(r.latency, 0.0) << bufferKindName(kind);
     }

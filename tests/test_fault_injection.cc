@@ -15,6 +15,7 @@
 #include "intermittent/nonvolatile.hh"
 #include "sim/fault_injector.hh"
 #include "util/rng.hh"
+#include "util/units.hh"
 
 namespace react {
 namespace {
@@ -23,6 +24,10 @@ using core::ReactBuffer;
 using sim::FaultEventKind;
 using sim::FaultInjector;
 using sim::FaultPlan;
+using units::Amps;
+using units::Seconds;
+using units::Volts;
+using units::Watts;
 
 // ---------------------------------------------------------------------
 // Seeding: child streams are pure functions of (master seed, tag).
@@ -55,18 +60,18 @@ TEST(FaultSeeding, ComponentStreamsAreOrderIndependent)
     FaultInjector second(plan, 123);
 
     // Warm them up in opposite component order.
-    first.comparatorRead("alpha", 2.0);
-    first.comparatorRead("beta", 2.0);
-    second.comparatorRead("beta", 2.0);
-    second.comparatorRead("alpha", 2.0);
+    first.comparatorRead("alpha", Volts(2.0));
+    first.comparatorRead("beta", Volts(2.0));
+    second.comparatorRead("beta", Volts(2.0));
+    second.comparatorRead("alpha", Volts(2.0));
 
     for (int i = 0; i < 2000; ++i) {
-        first.advance(1e-3);
-        second.advance(1e-3);
-        EXPECT_DOUBLE_EQ(first.comparatorRead("alpha", 2.5),
-                         second.comparatorRead("alpha", 2.5));
-        EXPECT_DOUBLE_EQ(first.comparatorRead("beta", 2.5),
-                         second.comparatorRead("beta", 2.5));
+        first.advance(Seconds(1e-3));
+        second.advance(Seconds(1e-3));
+        EXPECT_DOUBLE_EQ(first.comparatorRead("alpha", Volts(2.5)).raw(),
+                         second.comparatorRead("alpha", Volts(2.5)).raw());
+        EXPECT_DOUBLE_EQ(first.comparatorRead("beta", Volts(2.5)).raw(),
+                         second.comparatorRead("beta", Volts(2.5)).raw());
     }
 }
 
@@ -83,19 +88,19 @@ TEST(FaultInjector, SamePlanAndSeedReplayIdentically)
     double sum_a = 0.0;
     double sum_b = 0.0;
     for (int i = 0; i < 200000; ++i) {
-        a.advance(1e-3);
-        b.advance(1e-3);
-        sum_a += a.filterHarvest(1e-3);
-        sum_b += b.filterHarvest(1e-3);
-        sum_a += a.comparatorRead("comp", 2.0);
-        sum_b += b.comparatorRead("comp", 2.0);
+        a.advance(Seconds(1e-3));
+        b.advance(Seconds(1e-3));
+        sum_a += a.filterHarvest(Watts(1e-3)).raw();
+        sum_b += b.filterHarvest(Watts(1e-3)).raw();
+        sum_a += a.comparatorRead("comp", Volts(2.0)).raw();
+        sum_b += b.comparatorRead("comp", Volts(2.0)).raw();
     }
     EXPECT_DOUBLE_EQ(sum_a, sum_b);
     EXPECT_EQ(a.faultCount(), b.faultCount());
     EXPECT_EQ(a.events().size(), b.events().size());
     for (size_t i = 0; i < a.events().size(); ++i) {
         EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
-        EXPECT_DOUBLE_EQ(a.events()[i].time, b.events()[i].time);
+        EXPECT_DOUBLE_EQ(a.events()[i].time.raw(), b.events()[i].time.raw());
     }
 }
 
@@ -109,12 +114,12 @@ TEST(FaultInjector, DifferentSeedsDiverge)
     double first_b = -1.0;
     for (int i = 0; i < 3600000 && (first_a < 0.0 || first_b < 0.0);
          ++i) {
-        a.advance(1e-3);
-        b.advance(1e-3);
+        a.advance(Seconds(1e-3));
+        b.advance(Seconds(1e-3));
         if (first_a < 0.0 && a.inHarvesterDropout())
-            first_a = a.now();
+            first_a = a.now().raw();
         if (first_b < 0.0 && b.inHarvesterDropout())
-            first_b = b.now();
+            first_b = b.now().raw();
     }
     ASSERT_GE(first_a, 0.0);
     ASSERT_GE(first_b, 0.0);
@@ -125,14 +130,14 @@ TEST(FaultInjector, DropoutsZeroHarvestAndAreBalanced)
 {
     FaultPlan plan;
     plan.harvesterDropoutsPerHour = 200.0;
-    plan.harvesterDropoutMeanSeconds = 2.0;
+    plan.harvesterDropoutMeanSeconds = Seconds(2.0);
     FaultInjector inj(plan, 7);
     for (int i = 0; i < 3600000; ++i) {
-        inj.advance(1e-3);
+        inj.advance(Seconds(1e-3));
         if (inj.inHarvesterDropout())
-            EXPECT_EQ(inj.filterHarvest(5e-3), 0.0);
+            EXPECT_EQ(inj.filterHarvest(Watts(5e-3)).raw(), 0.0);
         else
-            EXPECT_EQ(inj.filterHarvest(5e-3), 5e-3);
+            EXPECT_EQ(inj.filterHarvest(Watts(5e-3)).raw(), 5e-3);
     }
     const uint64_t begins =
         inj.eventCount(FaultEventKind::HarvesterDropoutBegin);
@@ -150,10 +155,10 @@ TEST(FaultInjector, ZeroPlanIsTransparent)
     // through, switches never jam, harvest is untouched.
     FaultInjector inj(FaultPlan::none(), 99);
     for (int i = 0; i < 1000; ++i) {
-        inj.advance(1e-3);
-        EXPECT_EQ(inj.comparatorRead("c", 1.23), 1.23);
+        inj.advance(Seconds(1e-3));
+        EXPECT_EQ(inj.comparatorRead("c", Volts(1.23)).raw(), 1.23);
         EXPECT_TRUE(inj.switchActuates("s"));
-        EXPECT_EQ(inj.filterHarvest(2e-3), 2e-3);
+        EXPECT_EQ(inj.filterHarvest(Watts(2e-3)).raw(), 2e-3);
         EXPECT_EQ(inj.capacitanceFactor("cap"), 1.0);
         EXPECT_EQ(inj.esrMultiplier("sw"), 1.0);
     }
@@ -209,12 +214,12 @@ TEST(Watchdog, RetiresStuckBanksAndKeepsOperating)
     // power gate (on at 3.3 V, brown-out at 1.8 V).
     bool on = false;
     for (int i = 0; i < 400000; ++i) {
-        inj.advance(1e-3);
-        buf.step(1e-3, 20e-3, on ? 1e-3 : 0.0);
-        if (!on && buf.railVoltage() >= 3.3) {
+        inj.advance(Seconds(1e-3));
+        buf.step(Seconds(1e-3), Watts(20e-3), Amps(on ? 1e-3 : 0.0));
+        if (!on && buf.railVoltage() >= Volts(3.3)) {
             on = true;
             buf.notifyBackendPower(true);
-        } else if (on && buf.railVoltage() <= 1.8) {
+        } else if (on && buf.railVoltage() <= Volts(1.8)) {
             on = false;
             buf.notifyBackendPower(false);
         }
@@ -228,11 +233,11 @@ TEST(Watchdog, RetiresStuckBanksAndKeepsOperating)
 
     // Last-level-only operation: the rail still regulates inside the
     // paper's comparator band and the backend can draw from it.
-    EXPECT_GE(buf.railVoltage(), buf.config().vLow);
-    EXPECT_LE(buf.railVoltage(), buf.config().railClamp + 1e-9);
-    const double before = buf.storedEnergy();
-    buf.step(1e-3, 0.0, 1e-3);
-    EXPECT_LT(buf.storedEnergy(), before);
+    EXPECT_GE(buf.railVoltage().raw(), buf.config().vLow.raw());
+    EXPECT_LE(buf.railVoltage().raw(), buf.config().railClamp.raw() + 1e-9);
+    const units::Joules before = buf.storedEnergy();
+    buf.step(Seconds(1e-3), Watts(0.0), Amps(1e-3));
+    EXPECT_LT(buf.storedEnergy().raw(), before.raw());
 }
 
 TEST(Watchdog, HealthyBuffersNeverRetireUnderMisreads)
@@ -249,12 +254,13 @@ TEST(Watchdog, HealthyBuffersNeverRetireUnderMisreads)
     buf.attachFaultInjector(&inj);
     bool on = false;
     for (int i = 0; i < 600000; ++i) {
-        inj.advance(1e-3);
-        buf.step(1e-3, 15e-3, on && i % 2 == 0 ? 1e-3 : 0.0);
-        if (!on && buf.railVoltage() >= 3.3) {
+        inj.advance(Seconds(1e-3));
+        buf.step(Seconds(1e-3), Watts(15e-3),
+                 Amps(on && i % 2 == 0 ? 1e-3 : 0.0));
+        if (!on && buf.railVoltage() >= Volts(3.3)) {
             on = true;
             buf.notifyBackendPower(true);
-        } else if (on && buf.railVoltage() <= 1.8) {
+        } else if (on && buf.railVoltage() <= Volts(1.8)) {
             on = false;
             buf.notifyBackendPower(false);
         }
@@ -281,9 +287,9 @@ TEST(FramRecovery, CorruptRecordFallsBackToSafeDefault)
     // climb the ladder (it polls only while the backend is powered).
     bool on = false;
     for (int i = 0; i < 300000; ++i) {
-        inj.advance(1e-3);
-        buf.step(1e-3, 20e-3, 0.0);
-        if (!on && buf.railVoltage() >= 3.3) {
+        inj.advance(Seconds(1e-3));
+        buf.step(Seconds(1e-3), Watts(20e-3), Amps(0.0));
+        if (!on && buf.railVoltage() >= Volts(3.3)) {
             on = true;
             buf.notifyBackendPower(true);
         }
@@ -304,8 +310,8 @@ TEST(FramRecovery, CorruptRecordFallsBackToSafeDefault)
     // The buffer keeps working after recovery: it can climb again
     // (the backend is on, so the controller resumes polling).
     for (int i = 0; i < 200000; ++i) {
-        inj.advance(1e-3);
-        buf.step(1e-3, 20e-3, 0.0);
+        inj.advance(Seconds(1e-3));
+        buf.step(Seconds(1e-3), Watts(20e-3), Amps(0.0));
     }
     EXPECT_GT(buf.capacitanceLevel(), 0);
 }

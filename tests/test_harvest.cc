@@ -18,13 +18,15 @@ namespace {
 
 using units::microwatts;
 using units::milliwatts;
+using units::Seconds;
+using units::Watts;
 
 TEST(IdentityConverter, PassesThrough)
 {
     IdentityConverter c;
-    EXPECT_DOUBLE_EQ(c.outputPower(1e-3), 1e-3);
-    EXPECT_DOUBLE_EQ(c.outputPower(-1.0), 0.0);
-    EXPECT_DOUBLE_EQ(c.efficiency(1e-3), 1.0);
+    EXPECT_DOUBLE_EQ(c.outputPower(Watts(1e-3)).raw(), 1e-3);
+    EXPECT_DOUBLE_EQ(c.outputPower(Watts(-1.0)).raw(), 0.0);
+    EXPECT_DOUBLE_EQ(c.efficiency(Watts(1e-3)), 1.0);
 }
 
 TEST(RfRectifier, EfficiencyRisesWithPower)
@@ -56,8 +58,8 @@ TEST(Converters, NeverExceedUnityOrGoNegative)
         for (const Converter *c :
              {static_cast<const Converter *>(&rf),
               static_cast<const Converter *>(&solar)}) {
-            EXPECT_GE(c->outputPower(p), 0.0);
-            EXPECT_LE(c->efficiency(p), 1.0);
+            EXPECT_GE(c->outputPower(Watts(p)).raw(), 0.0);
+            EXPECT_LE(c->efficiency(Watts(p)), 1.0);
         }
     }
 }
@@ -65,22 +67,27 @@ TEST(Converters, NeverExceedUnityOrGoNegative)
 TEST(Converters, ZeroInputZeroOutput)
 {
     RfRectifier rf;
-    EXPECT_DOUBLE_EQ(rf.outputPower(0.0), 0.0);
-    EXPECT_DOUBLE_EQ(rf.efficiency(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(rf.outputPower(Watts(0.0)).raw(), 0.0);
+    EXPECT_DOUBLE_EQ(rf.efficiency(Watts(0.0)), 0.0);
 }
 
 TEST(Frontend, ReplaysTraceThroughConverter)
 {
-    trace::PowerTrace t(1.0, {milliwatts(1.0), milliwatts(2.0)}, "t");
+    trace::PowerTrace t(
+        1.0, {milliwatts(1.0).raw(), milliwatts(2.0).raw()}, "t");
     HarvesterFrontend identity(t);
-    EXPECT_DOUBLE_EQ(identity.power(0.5), milliwatts(1.0));
-    EXPECT_DOUBLE_EQ(identity.power(1.5), milliwatts(2.0));
-    EXPECT_DOUBLE_EQ(identity.power(5.0), 0.0);
-    EXPECT_DOUBLE_EQ(identity.traceDuration(), 2.0);
+    EXPECT_DOUBLE_EQ(identity.power(Seconds(0.5)).raw(),
+                     milliwatts(1.0).raw());
+    EXPECT_DOUBLE_EQ(identity.power(Seconds(1.5)).raw(),
+                     milliwatts(2.0).raw());
+    EXPECT_DOUBLE_EQ(identity.power(Seconds(5.0)).raw(), 0.0);
+    EXPECT_DOUBLE_EQ(identity.traceDuration().raw(), 2.0);
 
     HarvesterFrontend converted(t, std::make_unique<SolarBoostCharger>());
-    EXPECT_LT(converted.power(0.5), identity.power(0.5));
-    EXPECT_GT(converted.power(0.5), 0.5 * identity.power(0.5));
+    EXPECT_LT(converted.power(Seconds(0.5)).raw(),
+              identity.power(Seconds(0.5)).raw());
+    EXPECT_GT(converted.power(Seconds(0.5)).raw(),
+              0.5 * identity.power(Seconds(0.5)).raw());
 }
 
 } // namespace

@@ -17,13 +17,20 @@ namespace react {
 namespace buffer {
 namespace {
 
+using units::Amps;
+using units::Farads;
+using units::Joules;
+using units::Seconds;
+using units::Volts;
+using units::Watts;
+
 void
 run(MorphyBuffer &buf, double seconds, double power, double load,
     double dt = 1e-3)
 {
     const int steps = static_cast<int>(seconds / dt);
     for (int i = 0; i < steps; ++i)
-        buf.step(dt, power, load);
+        buf.step(Seconds(dt), Watts(power), Amps(load));
 }
 
 void
@@ -31,9 +38,11 @@ expectConservation(const MorphyBuffer &buf)
 {
     const auto &l = buf.ledger();
     const double balance =
-        l.harvested - l.delivered - l.totalLoss() - buf.storedEnergy();
+        (l.harvested - l.delivered - l.totalLoss() - buf.storedEnergy())
+            .raw();
     EXPECT_NEAR(balance, 0.0,
-                1e-6 + 1e-3 * std::max(l.harvested, buf.storedEnergy()));
+                1e-6 + 1e-3 * std::max(l.harvested.raw(),
+                                       buf.storedEnergy().raw()));
 }
 
 TEST(MorphyBuffer, LadderSpansPaperRange)
@@ -41,15 +50,16 @@ TEST(MorphyBuffer, LadderSpansPaperRange)
     MorphyBuffer buf;
     ASSERT_EQ(buf.ladder().size(), 11u);
     // Minimum: task capacitor alone (~250 uF).
-    EXPECT_NEAR(buf.equivalentCapacitance(), 250e-6, 1e-9);
+    EXPECT_NEAR(buf.equivalentCapacitance().raw(), 250e-6, 1e-9);
     // Maximum: 7 x 2 mF parallel + task.
-    const double c_max = buf.ladder().back().equivalentCapacitance(2e-3) +
+    const double c_max =
+        buf.ladder().back().equivalentCapacitance(Farads(2e-3)).raw() +
         250e-6;
     EXPECT_NEAR(c_max, 14.25e-3, 1e-6);
     // Monotone ascending capacitance.
     double prev = 0.0;
     for (const auto &cfg : buf.ladder()) {
-        const double c = cfg.equivalentCapacitance(2e-3);
+        const double c = cfg.equivalentCapacitance(Farads(2e-3)).raw();
         EXPECT_GE(c, prev);
         prev = c;
     }
@@ -61,8 +71,8 @@ TEST(MorphyBuffer, ChargesTaskCapacitorFirst)
     // enable voltage in ~1.4 s (before any ladder expansion).
     MorphyBuffer buf;
     double t = 0.0;
-    while (buf.railVoltage() < 3.3 && t < 10.0) {
-        buf.step(1e-3, 1e-3, 0.0);
+    while (buf.railVoltage() < Volts(3.3) && t < 10.0) {
+        buf.step(Seconds(1e-3), Watts(1e-3), Amps(0.0));
         t += 1e-3;
     }
     EXPECT_NEAR(t, 1.4, 0.5);
@@ -85,7 +95,7 @@ TEST(MorphyBuffer, SwitchingDissipatesEnergy)
     run(buf, 120.0, 4e-3, 0.1e-3);
     // Drain to force downward (reclaiming) steps too.
     run(buf, 60.0, 0.0, 1.5e-3);
-    EXPECT_GT(buf.ledger().switchLoss, 0.0);
+    EXPECT_GT(buf.ledger().switchLoss.raw(), 0.0);
     // Loss should be a visible fraction of harvested energy -- this is
     // what the Fig. 7 comparison hinges on.
     EXPECT_GT(buf.ledger().switchLoss / buf.ledger().harvested, 0.005);
@@ -121,7 +131,8 @@ TEST(MorphyBuffer, LongevitySurface)
     run(buf, 180.0, 5e-3, 0.1e-3);
     EXPECT_TRUE(buf.levelSatisfied());
     // Usable-energy estimates grow with the ladder.
-    EXPECT_LT(buf.usableEnergyAtLevel(0), buf.usableEnergyAtLevel(10));
+    EXPECT_LT(buf.usableEnergyAtLevel(0).raw(),
+              buf.usableEnergyAtLevel(10).raw());
 }
 
 TEST(MorphyBuffer, ClipsWhenFullyExpanded)
@@ -130,8 +141,8 @@ TEST(MorphyBuffer, ClipsWhenFullyExpanded)
     // Huge input for a long time: ladder tops out, then clips.
     run(buf, 400.0, 20e-3, 0.0);
     EXPECT_EQ(buf.capacitanceLevel(), buf.maxCapacitanceLevel());
-    EXPECT_GT(buf.ledger().clipped, 0.0);
-    EXPECT_LE(buf.railVoltage(), 3.6 + 1e-9);
+    EXPECT_GT(buf.ledger().clipped.raw(), 0.0);
+    EXPECT_LE(buf.railVoltage().raw(), 3.6 + 1e-9);
 }
 
 TEST(MorphyBuffer, NetworkTracksTaskCapUnderLeakage)
@@ -148,16 +159,17 @@ TEST(MorphyBuffer, NetworkTracksTaskCapUnderLeakage)
     run(buf, 300.0, 0.0, 0.0);
     // The rail and the connected network output must agree.
     // (railVoltage() is the task capacitor.)
-    const double v_rail = buf.railVoltage();
+    const Volts v_rail = buf.railVoltage();
     // Feed a pulse and confirm the full equivalent capacitance absorbs
     // it (the signature of a still-attached network).
-    const double c_eq = buf.equivalentCapacitance();
-    const double e_before = buf.storedEnergy();
-    buf.step(1e-3, 0.0, -0.0);  // no-op step
-    buf.step(1.0, 1e-3, 0.0);   // 1 mJ in one coarse step
-    const double dv = buf.railVoltage() - v_rail;
-    const double de = buf.storedEnergy() - e_before;
-    EXPECT_NEAR(de, c_eq * v_rail * dv, 0.2 * de + 1e-9);
+    const Farads c_eq = buf.equivalentCapacitance();
+    const Joules e_before = buf.storedEnergy();
+    buf.step(Seconds(1e-3), Watts(0.0), Amps(-0.0));  // no-op step
+    buf.step(Seconds(1.0), Watts(1e-3), Amps(0.0));   // 1 mJ, one step
+    const Volts dv = buf.railVoltage() - v_rail;
+    const Joules de = buf.storedEnergy() - e_before;
+    EXPECT_NEAR(de.raw(), (c_eq * v_rail * dv).raw(),
+                0.2 * de.raw() + 1e-9);
 }
 
 TEST(MorphyBuffer, HarvestsFullTraceEnergyWhenNotFull)
@@ -170,10 +182,10 @@ TEST(MorphyBuffer, HarvestsFullTraceEnergyWhenNotFull)
     for (int i = 0; i < 60000; ++i) {
         const double p = rng.uniform(0.0, 2e-3);
         fed += p * 1e-3;
-        buf.step(1e-3, p, 0.2e-3);
+        buf.step(Seconds(1e-3), Watts(p), Amps(0.2e-3));
     }
     // v_floor current limiting at cold start loses a little; >= 95 %.
-    EXPECT_GT(buf.ledger().harvested, 0.95 * fed);
+    EXPECT_GT(buf.ledger().harvested.raw(), 0.95 * fed);
 }
 
 TEST(MorphyBuffer, ResetRestoresColdStart)
@@ -181,8 +193,8 @@ TEST(MorphyBuffer, ResetRestoresColdStart)
     MorphyBuffer buf;
     run(buf, 60.0, 4e-3, 0.1e-3);
     buf.reset();
-    EXPECT_DOUBLE_EQ(buf.railVoltage(), 0.0);
-    EXPECT_DOUBLE_EQ(buf.storedEnergy(), 0.0);
+    EXPECT_DOUBLE_EQ(buf.railVoltage().raw(), 0.0);
+    EXPECT_DOUBLE_EQ(buf.storedEnergy().raw(), 0.0);
     EXPECT_EQ(buf.capacitanceLevel(), 0);
     EXPECT_EQ(buf.reconfigurations(), 0u);
 }

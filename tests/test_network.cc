@@ -15,12 +15,19 @@ namespace react {
 namespace buffer {
 namespace {
 
+using units::Amps;
+using units::Coulombs;
+using units::Farads;
+using units::Joules;
+using units::Seconds;
+using units::Volts;
+
 sim::CapacitorSpec
-unitSpec(double c = 1e-3)
+unitSpec(Farads c = Farads(1e-3))
 {
     sim::CapacitorSpec s;
     s.capacitance = c;
-    s.ratedVoltage = 100.0;  // keep ratings out of the algebra here
+    s.ratedVoltage = Volts(100.0);  // keep ratings out of the algebra here
     return s;
 }
 
@@ -45,51 +52,53 @@ parallelConfig(int n)
 
 TEST(NetworkConfig, EquivalentCapacitance)
 {
-    EXPECT_NEAR(chainConfig(4).equivalentCapacitance(1e-3), 0.25e-3, 1e-12);
-    EXPECT_NEAR(parallelConfig(4).equivalentCapacitance(1e-3), 4e-3,
-                1e-12);
+    EXPECT_NEAR(chainConfig(4).equivalentCapacitance(Farads(1e-3)).raw(),
+                0.25e-3, 1e-12);
+    EXPECT_NEAR(parallelConfig(4).equivalentCapacitance(Farads(1e-3)).raw(),
+                4e-3, 1e-12);
     NetworkConfig mixed;
     mixed.branches = {{0, 1, 2}, {3}};  // C/3 + C = 4C/3
-    EXPECT_NEAR(mixed.equivalentCapacitance(1e-3), 4.0e-3 / 3.0, 1e-12);
+    EXPECT_NEAR(mixed.equivalentCapacitance(Farads(1e-3)).raw(),
+                4.0e-3 / 3.0, 1e-12);
 }
 
 TEST(Network, ChargeAtOutputSplitsByBranch)
 {
     CapacitorNetwork net(4, unitSpec());
     net.reconfigure(parallelConfig(4));
-    net.addChargeAtOutput(4e-3);  // 4 mC into 4 mF -> 1 V everywhere
-    EXPECT_NEAR(net.outputVoltage(), 1.0, 1e-12);
+    net.addChargeAtOutput(Coulombs(4e-3));  // 4 mC into 4 mF -> 1 V
+    EXPECT_NEAR(net.outputVoltage().raw(), 1.0, 1e-12);
     for (int i = 0; i < 4; ++i)
-        EXPECT_NEAR(net.unitVoltage(i), 1.0, 1e-12);
+        EXPECT_NEAR(net.unitVoltage(i).raw(), 1.0, 1e-12);
 }
 
 TEST(Network, SeriesChainSharesCurrent)
 {
     CapacitorNetwork net(3, unitSpec());
     net.reconfigure(chainConfig(3));
-    net.addChargeAtOutput(1e-3);  // 1 mC through the chain
+    net.addChargeAtOutput(Coulombs(1e-3));  // 1 mC through the chain
     // Every member gains 1 mC -> 1 V each; terminal = 3 V.
     for (int i = 0; i < 3; ++i)
-        EXPECT_NEAR(net.unitVoltage(i), 1.0, 1e-12);
-    EXPECT_NEAR(net.outputVoltage(), 3.0, 1e-12);
+        EXPECT_NEAR(net.unitVoltage(i).raw(), 1.0, 1e-12);
+    EXPECT_NEAR(net.outputVoltage().raw(), 3.0, 1e-12);
 }
 
 TEST(Network, PaperFourCapacitorTransitionLoses25Percent)
 {
     // Fig. 5: 4 caps in series charged to V, then one cap moves to
     // parallel with the remaining 3-series chain.  E_new / E_old = 0.75.
-    const double v = 4.0;
+    const Volts v{4.0};
     CapacitorNetwork net(4, unitSpec());
     net.reconfigure(chainConfig(4));
     for (int i = 0; i < 4; ++i)
         net.setUnitVoltage(i, v / 4.0);
 
-    const double e_old = net.storedEnergy();
+    const Joules e_old = net.storedEnergy();
     NetworkConfig next;
     next.branches = {{0, 1, 2}, {3}};
-    const double loss = net.reconfigure(next);
+    const Joules loss = net.reconfigure(next);
 
-    EXPECT_NEAR(net.outputVoltage(), 3.0 * v / 8.0, 1e-9);
+    EXPECT_NEAR(net.outputVoltage().raw(), 3.0 * v.raw() / 8.0, 1e-9);
     EXPECT_NEAR(loss / e_old, 0.25, 1e-9);
     EXPECT_NEAR(net.storedEnergy() / e_old, 0.75, 1e-9);
 }
@@ -97,20 +106,20 @@ TEST(Network, PaperFourCapacitorTransitionLoses25Percent)
 TEST(Network, PaperEightCapacitorTransitionLoses5625Percent)
 {
     // S 3.3.1: 8-parallel at V -> 7-series + 1-parallel wastes 56.25 %.
-    const double v = 2.0;
+    const Volts v{2.0};
     CapacitorNetwork net(8, unitSpec());
     net.reconfigure(parallelConfig(8));
     for (int i = 0; i < 8; ++i)
         net.setUnitVoltage(i, v);
 
-    const double e_old = net.storedEnergy();
+    const Joules e_old = net.storedEnergy();
     NetworkConfig next;
     next.branches = {{0, 1, 2, 3, 4, 5, 6}, {7}};
-    const double loss = net.reconfigure(next);
+    const Joules loss = net.reconfigure(next);
 
     EXPECT_NEAR(loss / e_old, 0.5625, 1e-9);
     // Final output voltage: 7V/4 (charge conservation).
-    EXPECT_NEAR(net.outputVoltage(), 7.0 * v / 4.0, 1e-9);
+    EXPECT_NEAR(net.outputVoltage().raw(), 7.0 * v.raw() / 4.0, 1e-9);
 }
 
 TEST(Network, EqualVoltageReconfigurationIsLossless)
@@ -118,13 +127,13 @@ TEST(Network, EqualVoltageReconfigurationIsLossless)
     CapacitorNetwork net(4, unitSpec());
     net.reconfigure(parallelConfig(4));
     for (int i = 0; i < 4; ++i)
-        net.setUnitVoltage(i, 2.0);
+        net.setUnitVoltage(i, Volts(2.0));
     // 4-parallel -> 2-parallel: surviving branches agree at 2 V.
-    const double loss = net.reconfigure(parallelConfig(2));
-    EXPECT_NEAR(loss, 0.0, 1e-15);
-    EXPECT_NEAR(net.outputVoltage(), 2.0, 1e-12);
+    const Joules loss = net.reconfigure(parallelConfig(2));
+    EXPECT_NEAR(loss.raw(), 0.0, 1e-15);
+    EXPECT_NEAR(net.outputVoltage().raw(), 2.0, 1e-12);
     // Disconnected units keep their charge.
-    EXPECT_NEAR(net.unitVoltage(3), 2.0, 1e-12);
+    EXPECT_NEAR(net.unitVoltage(3).raw(), 2.0, 1e-12);
 }
 
 TEST(Network, ChargeConservedAcrossReconfiguration)
@@ -132,10 +141,10 @@ TEST(Network, ChargeConservedAcrossReconfiguration)
     CapacitorNetwork net(5, unitSpec());
     net.reconfigure(parallelConfig(5));
     for (int i = 0; i < 5; ++i)
-        net.setUnitVoltage(i, 0.5 * (i + 1));
-    double q_before = 0.0;
+        net.setUnitVoltage(i, Volts(0.5 * (i + 1)));
+    Coulombs q_before{0.0};
     for (int i = 0; i < 5; ++i)
-        q_before += 1e-3 * net.unitVoltage(i);
+        q_before += Farads(1e-3) * net.unitVoltage(i);
 
     NetworkConfig next;
     next.branches = {{0, 1}, {2}, {3}, {4}};
@@ -144,48 +153,48 @@ TEST(Network, ChargeConservedAcrossReconfiguration)
     // In the new arrangement the series pair counts charge once, so
     // compare total branch charge at the output node instead: the
     // equalization conserves sum(C_br * V_br).
-    const double q_after = next.equivalentCapacitance(1e-3) *
+    const Coulombs q_after = next.equivalentCapacitance(Farads(1e-3)) *
         net.outputVoltage();
     // Branch charges before equalization: pair (C/2 at v0+v1) + singles.
     const double q_pair = 0.5e-3 * (0.5 + 1.0);
     const double q_rest = 1e-3 * (1.5 + 2.0 + 2.5);
-    EXPECT_NEAR(q_after, q_pair + q_rest, 1e-12);
+    EXPECT_NEAR(q_after.raw(), q_pair + q_rest, 1e-12);
 }
 
 TEST(Network, DisconnectedEverythingHasZeroOutput)
 {
     CapacitorNetwork net(3, unitSpec());
-    EXPECT_DOUBLE_EQ(net.outputVoltage(), 0.0);
-    EXPECT_DOUBLE_EQ(net.equivalentCapacitance(), 0.0);
-    net.addChargeAtOutput(1.0);  // no-op
-    EXPECT_DOUBLE_EQ(net.storedEnergy(), 0.0);
+    EXPECT_DOUBLE_EQ(net.outputVoltage().raw(), 0.0);
+    EXPECT_DOUBLE_EQ(net.equivalentCapacitance().raw(), 0.0);
+    net.addChargeAtOutput(Coulombs(1.0));  // no-op
+    EXPECT_DOUBLE_EQ(net.storedEnergy().raw(), 0.0);
 }
 
 TEST(Network, LeakDrainsAllUnits)
 {
     sim::CapacitorSpec leaky = unitSpec();
-    leaky.ratedVoltage = 6.3;
-    leaky.leakageCurrentAtRated = 6.3e-6;  // R = 1 MOhm
+    leaky.ratedVoltage = Volts(6.3);
+    leaky.leakageCurrentAtRated = Amps(6.3e-6);  // R = 1 MOhm
     CapacitorNetwork net(2, leaky);
-    net.setUnitVoltage(0, 3.0);
-    net.setUnitVoltage(1, 2.0);
-    const double e_before = net.storedEnergy();
-    const double lost = net.leak(10.0);
-    EXPECT_GT(lost, 0.0);
-    EXPECT_NEAR(net.storedEnergy(), e_before - lost, 1e-15);
-    EXPECT_LT(net.unitVoltage(0), 3.0);
-    EXPECT_LT(net.unitVoltage(1), 2.0);
+    net.setUnitVoltage(0, Volts(3.0));
+    net.setUnitVoltage(1, Volts(2.0));
+    const Joules e_before = net.storedEnergy();
+    const Joules lost = net.leak(Seconds(10.0));
+    EXPECT_GT(lost.raw(), 0.0);
+    EXPECT_NEAR(net.storedEnergy().raw(), (e_before - lost).raw(), 1e-15);
+    EXPECT_LT(net.unitVoltage(0).raw(), 3.0);
+    EXPECT_LT(net.unitVoltage(1).raw(), 2.0);
 }
 
 TEST(Network, ClipOutputBurnsExcess)
 {
     CapacitorNetwork net(2, unitSpec());
     net.reconfigure(parallelConfig(2));
-    net.setUnitVoltage(0, 5.0);
-    net.setUnitVoltage(1, 5.0);
-    const double clipped = net.clipOutput(3.6);
-    EXPECT_GT(clipped, 0.0);
-    EXPECT_NEAR(net.outputVoltage(), 3.6, 1e-9);
+    net.setUnitVoltage(0, Volts(5.0));
+    net.setUnitVoltage(1, Volts(5.0));
+    const Joules clipped = net.clipOutput(Volts(3.6));
+    EXPECT_GT(clipped.raw(), 0.0);
+    EXPECT_NEAR(net.outputVoltage().raw(), 3.6, 1e-9);
 }
 
 } // namespace

@@ -28,6 +28,14 @@
 namespace react {
 namespace {
 
+using units::Amps;
+using units::Coulombs;
+using units::Farads;
+using units::Joules;
+using units::Seconds;
+using units::Volts;
+using units::Watts;
+
 // ---------------------------------------------------------------------
 // Energy conservation under randomized drive, for every buffer design.
 // ---------------------------------------------------------------------
@@ -52,11 +60,11 @@ TEST_P(ConservationTest, RandomDriveBalances)
         const double seconds = rng.uniform(0.2, 3.0);
         const int steps = static_cast<int>(seconds / 1e-3);
         for (int i = 0; i < steps; ++i)
-            buf->step(1e-3, p, load);
-        if (!on && buf->railVoltage() >= 3.3) {
+            buf->step(Seconds(1e-3), Watts(p), Amps(load));
+        if (!on && buf->railVoltage() >= Volts(3.3)) {
             on = true;
             buf->notifyBackendPower(true);
-        } else if (on && buf->railVoltage() <= 1.8) {
+        } else if (on && buf->railVoltage() <= Volts(1.8)) {
             on = false;
             buf->notifyBackendPower(false);
         }
@@ -67,16 +75,18 @@ TEST_P(ConservationTest, RandomDriveBalances)
 
     const auto &l = buf->ledger();
     const double balance =
-        l.harvested - l.delivered - l.totalLoss() - buf->storedEnergy();
-    EXPECT_NEAR(balance, 0.0, 1e-6 + 2e-3 * std::max(1e-3, l.harvested));
+        (l.harvested - l.delivered - l.totalLoss() - buf->storedEnergy())
+            .raw();
+    EXPECT_NEAR(balance, 0.0,
+                1e-6 + 2e-3 * std::max(1e-3, l.harvested.raw()));
     // No category may run negative.
-    EXPECT_GE(l.harvested, 0.0);
-    EXPECT_GE(l.delivered, 0.0);
-    EXPECT_GE(l.clipped, 0.0);
-    EXPECT_GE(l.leaked, 0.0);
-    EXPECT_GE(l.switchLoss, 0.0);
-    EXPECT_GE(l.diodeLoss, 0.0);
-    EXPECT_GE(l.overhead, 0.0);
+    EXPECT_GE(l.harvested.raw(), 0.0);
+    EXPECT_GE(l.delivered.raw(), 0.0);
+    EXPECT_GE(l.clipped.raw(), 0.0);
+    EXPECT_GE(l.leaked.raw(), 0.0);
+    EXPECT_GE(l.switchLoss.raw(), 0.0);
+    EXPECT_GE(l.diodeLoss.raw(), 0.0);
+    EXPECT_GE(l.overhead.raw(), 0.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -104,21 +114,22 @@ class ReclamationLawTest : public ::testing::TestWithParam<int>
 TEST_P(ReclamationLawTest, StrandedEnergyRatioIsNSquared)
 {
     const int n = GetParam();
-    const double c_unit = 470e-6, v_low = 1.9;
+    const Farads c_unit{470e-6};
+    const Volts v_low{1.9};
     core::BankSpec spec;
     spec.count = n;
     spec.unit.capacitance = c_unit;
-    spec.unit.ratedVoltage = 50.0;
+    spec.unit.ratedVoltage = Volts(50.0);
 
     core::CapacitorBank bank(spec);
     bank.setState(core::BankState::Parallel);
     bank.setUnitVoltage(v_low);
-    const double stranded_parallel = bank.storedEnergy();
+    const Joules stranded_parallel = bank.storedEnergy();
 
     bank.setState(core::BankState::Series);
     bank.addChargeAtTerminal(bank.terminalCapacitance() *
                              (v_low - bank.terminalVoltage()));
-    const double stranded_series = bank.storedEnergy();
+    const Joules stranded_series = bank.storedEnergy();
 
     EXPECT_NEAR(stranded_parallel / stranded_series,
                 static_cast<double>(n) * n, 1e-6);
@@ -140,10 +151,11 @@ class MorphyLossLawTest : public ::testing::TestWithParam<int>
 TEST_P(MorphyLossLawTest, ParallelToSeriesSplitMatchesAlgebra)
 {
     const int k = GetParam();
-    const double c = 1e-3, v = 2.0;
+    const Farads c{1e-3};
+    const Volts v{2.0};
     sim::CapacitorSpec unit;
     unit.capacitance = c;
-    unit.ratedVoltage = 100.0;
+    unit.ratedVoltage = Volts(100.0);
 
     buffer::CapacitorNetwork net(k, unit);
     buffer::NetworkConfig all_parallel;
@@ -152,23 +164,23 @@ TEST_P(MorphyLossLawTest, ParallelToSeriesSplitMatchesAlgebra)
     net.reconfigure(all_parallel);
     for (int i = 0; i < k; ++i)
         net.setUnitVoltage(i, v);
-    const double e_old = net.storedEnergy();
+    const Joules e_old = net.storedEnergy();
 
     buffer::NetworkConfig split;
     split.branches.emplace_back();
     for (int i = 0; i + 1 < k; ++i)
         split.branches.back().push_back(i);
     split.branches.push_back({k - 1});
-    const double loss = net.reconfigure(split);
+    const Joules loss = net.reconfigure(split);
 
     // Closed form: chain of (k-1) caps at V each has C_br = C/(k-1),
     // V_br = (k-1)V, Q_br = CV; the single cap has Q = CV.  Equalized
     // voltage V_f = 2CV / (C/(k-1) + C); E_new = 1/2 (C/(k-1) + C) V_f^2.
-    const double c_br = c / (k - 1);
-    const double v_f = 2.0 * c * v / (c_br + c);
-    const double e_new = 0.5 * (c_br + c) * v_f * v_f;
-    EXPECT_NEAR(loss, e_old - e_new, 1e-12);
-    EXPECT_NEAR(net.storedEnergy(), e_new, 1e-12);
+    const Farads c_br = c / (k - 1);
+    const Volts v_f = 2.0 * c * v / (c_br + c);
+    const Joules e_new = 0.5 * (c_br + c) * v_f * v_f;
+    EXPECT_NEAR(loss.raw(), (e_old - e_new).raw(), 1e-12);
+    EXPECT_NEAR(net.storedEnergy().raw(), e_new.raw(), 1e-12);
 }
 
 INSTANTIATE_TEST_SUITE_P(ArraySizes, MorphyLossLawTest,
@@ -188,23 +200,23 @@ TEST_P(Equation2Test, LimitIsTight)
 {
     Rng rng(static_cast<uint64_t>(GetParam()) * 1234567u + 1);
     core::ReactConfig cfg = core::ReactConfig::paperConfig();
-    cfg.vLow = rng.uniform(1.8, 2.2);
-    cfg.vHigh = rng.uniform(3.2, 3.6);
-    cfg.railClamp = 3.6;
+    cfg.vLow = Volts(rng.uniform(1.8, 2.2));
+    cfg.vHigh = Volts(rng.uniform(3.2, 3.6));
+    cfg.railClamp = Volts(3.6);
     const int n = rng.uniformInt(2, 6);
-    const double limit = cfg.unitCapacitanceLimit(n);
-    if (!std::isfinite(limit))
+    const Farads limit = cfg.unitCapacitanceLimit(n);
+    if (!std::isfinite(limit.raw()))
         GTEST_SKIP() << "unconstrained shape (N V_low <= V_high)";
 
     core::BankSpec bank;
     bank.count = n;
-    bank.unit.ratedVoltage = 50.0;
+    bank.unit.ratedVoltage = Volts(50.0);
 
     bank.unit.capacitance = 0.99 * limit;
-    EXPECT_LT(cfg.reclamationSpikeVoltage(bank), cfg.vHigh);
+    EXPECT_LT(cfg.reclamationSpikeVoltage(bank).raw(), cfg.vHigh.raw());
 
     bank.unit.capacitance = 1.01 * limit;
-    EXPECT_GT(cfg.reclamationSpikeVoltage(bank), cfg.vHigh);
+    EXPECT_GT(cfg.reclamationSpikeVoltage(bank).raw(), cfg.vHigh.raw());
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomShapes, Equation2Test,
@@ -253,15 +265,16 @@ TEST_P(RailBandTest, RailStaysWithinBandOnceEnabled)
     const double power = GetParam();
     core::ReactBuffer buf;
     // Charge to enable.
-    while (buf.railVoltage() < 3.3)
-        buf.step(1e-3, 2e-3, 0.0);
+    while (buf.railVoltage() < Volts(3.3))
+        buf.step(Seconds(1e-3), Watts(2e-3), Amps(0.0));
     buf.notifyBackendPower(true);
     // Light load, heavy surplus: the expansion policy must never let the
     // rail exceed the clamp or collapse below brown-out.
     for (int i = 0; i < 120000; ++i) {
-        buf.step(1e-3, power, 0.2e-3);
-        ASSERT_LE(buf.railVoltage(), buf.config().railClamp + 1e-9);
-        ASSERT_GE(buf.railVoltage(), 1.8 - 1e-9);
+        buf.step(Seconds(1e-3), Watts(power), Amps(0.2e-3));
+        ASSERT_LE(buf.railVoltage().raw(),
+                  buf.config().railClamp.raw() + 1e-9);
+        ASSERT_GE(buf.railVoltage().raw(), 1.8 - 1e-9);
     }
 }
 
@@ -379,7 +392,7 @@ TEST_P(FaultedConservationTest, LedgerBalancesUnderStressPlan)
     const auto r = harness::runExperiment(*buf, benchmark.get(), frontend,
                                           cfg);
     EXPECT_LE(std::abs(r.conservationError),
-              1e-9 * std::max(1.0, r.ledger.harvested));
+              1e-9 * std::max(1.0, r.ledger.harvested.raw()));
     EXPECT_GT(r.faultEvents, 0u);
 }
 

@@ -17,6 +17,14 @@ namespace react {
 namespace core {
 namespace {
 
+using units::Amps;
+using units::Farads;
+using units::Hertz;
+using units::Joules;
+using units::Seconds;
+using units::Volts;
+using units::Watts;
+
 /** Drive the buffer with constant input power / load for a duration. */
 void
 run(ReactBuffer &buf, double seconds, double power, double load_current,
@@ -24,7 +32,7 @@ run(ReactBuffer &buf, double seconds, double power, double load_current,
 {
     const int steps = static_cast<int>(seconds / dt);
     for (int i = 0; i < steps; ++i)
-        buf.step(dt, power, load_current);
+        buf.step(Seconds(dt), Watts(power), Amps(load_current));
 }
 
 /** Ledger conservation: harvested == delivered + losses + stored delta. */
@@ -33,9 +41,11 @@ expectConservation(const ReactBuffer &buf)
 {
     const auto &l = buf.ledger();
     const double balance =
-        l.harvested - l.delivered - l.totalLoss() - buf.storedEnergy();
+        (l.harvested - l.delivered - l.totalLoss() - buf.storedEnergy())
+            .raw();
     EXPECT_NEAR(balance, 0.0,
-                1e-6 + 1e-3 * std::max(l.harvested, buf.storedEnergy()));
+                1e-6 + 1e-3 * std::max(l.harvested.raw(),
+                                       buf.storedEnergy().raw()));
 }
 
 TEST(ReactBuffer, ColdStartChargesOnlyLastLevel)
@@ -43,12 +53,12 @@ TEST(ReactBuffer, ColdStartChargesOnlyLastLevel)
     ReactBuffer buf;
     run(buf, 5.0, 2e-3, 0.0);
     // The rail rises while every bank stays empty and disconnected.
-    EXPECT_GT(buf.railVoltage(), 3.0);
+    EXPECT_GT(buf.railVoltage().raw(), 3.0);
     for (int i = 0; i < buf.bankCount(); ++i) {
         EXPECT_EQ(buf.bank(i).state(), BankState::Disconnected);
-        EXPECT_DOUBLE_EQ(buf.bank(i).unitVoltage(), 0.0);
+        EXPECT_DOUBLE_EQ(buf.bank(i).unitVoltage().raw(), 0.0);
     }
-    EXPECT_NEAR(buf.equivalentCapacitance(), 770e-6, 1e-9);
+    EXPECT_NEAR(buf.equivalentCapacitance().raw(), 770e-6, 1e-9);
     expectConservation(buf);
 }
 
@@ -59,8 +69,8 @@ TEST(ReactBuffer, ChargesFasterThanEquivalentStaticCapacity)
     ReactBuffer buf;
     double t = 0.0;
     const double dt = 1e-3, p = 1e-3;
-    while (buf.railVoltage() < 3.3 && t < 100.0) {
-        buf.step(dt, p, 0.0);
+    while (buf.railVoltage() < Volts(3.3) && t < 100.0) {
+        buf.step(Seconds(dt), Watts(p), Amps(0.0));
         t += dt;
     }
     // Ideal 770 uF at 1 mW: E = 4.19 mJ -> ~4.2 s.
@@ -75,8 +85,9 @@ TEST(ReactBuffer, NoExpansionWhileBackendOff)
     // the clamp and the level stays 0.
     run(buf, 20.0, 5e-3, 0.0);
     EXPECT_EQ(buf.capacitanceLevel(), 0);
-    EXPECT_NEAR(buf.railVoltage(), buf.config().railClamp, 1e-6);
-    EXPECT_GT(buf.ledger().clipped, 0.0);
+    EXPECT_NEAR(buf.railVoltage().raw(), buf.config().railClamp.raw(),
+                1e-6);
+    EXPECT_GT(buf.ledger().clipped.raw(), 0.0);
 }
 
 TEST(ReactBuffer, ExpandsUnderSurplusWhenPowered)
@@ -88,11 +99,12 @@ TEST(ReactBuffer, ExpandsUnderSurplusWhenPowered)
     // level up and capture energy in the banks.
     run(buf, 60.0, 5e-3, 0.1e-3);
     EXPECT_GT(buf.capacitanceLevel(), 2);
-    EXPECT_GT(buf.storedEnergy(), units::capEnergy(770e-6, 3.6));
+    EXPECT_GT(buf.storedEnergy().raw(),
+              units::capEnergy(Farads(770e-6), Volts(3.6)).raw());
     // Rail must stay inside the operating band the whole time (sampled
     // at the end here; the characterization bench checks continuously).
-    EXPECT_GE(buf.railVoltage(), 1.8);
-    EXPECT_LE(buf.railVoltage(), buf.config().railClamp + 1e-9);
+    EXPECT_GE(buf.railVoltage().raw(), 1.8);
+    EXPECT_LE(buf.railVoltage().raw(), buf.config().railClamp.raw() + 1e-9);
     expectConservation(buf);
 }
 
@@ -106,7 +118,7 @@ TEST(ReactBuffer, CapturesMoreEnergyThanStaticSmallBuffer)
     run(buf, 40.0, 2.5e-3, 0.1e-3);
     const auto &l = buf.ledger();
     EXPECT_LT(l.clipped / l.harvested, 0.30);
-    EXPECT_GT(buf.storedEnergy(), 0.4 * l.harvested);
+    EXPECT_GT(buf.storedEnergy().raw(), 0.4 * l.harvested.raw());
 }
 
 TEST(ReactBuffer, ReclaimsChargeUnderDeficit)
@@ -136,8 +148,8 @@ TEST(ReactBuffer, ReclamationExtendsOperationVersusNoBanks)
 
     double survive = 0.0;
     const double dt = 1e-3;
-    while (buf.railVoltage() > 1.8 && survive < 300.0) {
-        buf.step(dt, 0.0, 1.5e-3);
+    while (buf.railVoltage() > Volts(1.8) && survive < 300.0) {
+        buf.step(Seconds(dt), Watts(0.0), Amps(1.5e-3));
         survive += dt;
     }
     // 770 uF alone from 3.6 to 1.8 V at ~1.5 mA lasts well under 2 s.
@@ -151,13 +163,13 @@ TEST(ReactBuffer, BanksDisconnectOnBrownout)
     buf.notifyBackendPower(true);
     run(buf, 60.0, 5e-3, 0.1e-3);
     ASSERT_GT(buf.capacitanceLevel(), 1);
-    const double bank0_v = buf.bank(0).unitVoltage();
+    const Volts bank0_v = buf.bank(0).unitVoltage();
 
     buf.notifyBackendPower(false);
     for (int i = 0; i < buf.bankCount(); ++i)
         EXPECT_EQ(buf.bank(i).state(), BankState::Disconnected);
     // Charge retained through the off period (modulo leakage).
-    EXPECT_NEAR(buf.bank(0).unitVoltage(), bank0_v, 1e-3);
+    EXPECT_NEAR(buf.bank(0).unitVoltage().raw(), bank0_v.raw(), 1e-3);
 
     // Power back up: FRAM state reconnects the banks.
     buf.notifyBackendPower(true);
@@ -170,16 +182,19 @@ TEST(ReactBuffer, BanksDisconnectOnBrownout)
 TEST(ReactBuffer, UsableEnergyMonotoneInLevel)
 {
     ReactBuffer buf;
-    double prev = buf.usableEnergyAtLevel(0);
-    EXPECT_GT(prev, 0.0);
+    Joules prev = buf.usableEnergyAtLevel(0);
+    EXPECT_GT(prev.raw(), 0.0);
     for (int level = 1; level <= buf.maxCapacitanceLevel(); ++level) {
-        const double e = buf.usableEnergyAtLevel(level);
-        EXPECT_GE(e, prev);
+        const Joules e = buf.usableEnergyAtLevel(level);
+        EXPECT_GE(e.raw(), prev.raw());
         prev = e;
     }
     // Max level spans the full 18 mF window between thresholds.
-    EXPECT_NEAR(buf.usableEnergyAtLevel(buf.maxCapacitanceLevel()),
-                units::capEnergyWindow(18.03e-3, 3.5, 1.9), 1e-4);
+    EXPECT_NEAR(buf.usableEnergyAtLevel(buf.maxCapacitanceLevel()).raw(),
+                units::capEnergyWindow(Farads(18.03e-3), Volts(3.5),
+                                       Volts(1.9))
+                    .raw(),
+                1e-4);
 }
 
 TEST(ReactBuffer, LongevityRequestSemantics)
@@ -205,7 +220,7 @@ TEST(ReactBuffer, SoftwareOverheadScalesWithPollRate)
     ReactConfig cfg = ReactConfig::paperConfig();
     ReactBuffer at10(cfg);
     EXPECT_NEAR(at10.softwareOverheadFraction(), 0.018, 1e-12);
-    cfg.pollRateHz = 5.0;
+    cfg.pollRateHz = Hertz(5.0);
     ReactBuffer at5(cfg);
     EXPECT_NEAR(at5.softwareOverheadFraction(), 0.009, 1e-12);
 }
@@ -216,9 +231,10 @@ TEST(ReactBuffer, OverheadDrawAccrues)
     run(buf, 5.0, 2e-3, 0.0);
     buf.notifyBackendPower(true);
     run(buf, 30.0, 2e-3, 0.5e-3);
-    EXPECT_GT(buf.ledger().overhead, 0.0);
+    EXPECT_GT(buf.ledger().overhead.raw(), 0.0);
     // Overhead is microwatt-scale: far below delivered energy.
-    EXPECT_LT(buf.ledger().overhead, 0.05 * buf.ledger().delivered);
+    EXPECT_LT(buf.ledger().overhead.raw(),
+              0.05 * buf.ledger().delivered.raw());
 }
 
 TEST(ReactBuffer, ResetRestoresColdStart)
@@ -228,10 +244,10 @@ TEST(ReactBuffer, ResetRestoresColdStart)
     buf.notifyBackendPower(true);
     run(buf, 30.0, 5e-3, 0.1e-3);
     buf.reset();
-    EXPECT_DOUBLE_EQ(buf.railVoltage(), 0.0);
-    EXPECT_DOUBLE_EQ(buf.storedEnergy(), 0.0);
+    EXPECT_DOUBLE_EQ(buf.railVoltage().raw(), 0.0);
+    EXPECT_DOUBLE_EQ(buf.storedEnergy().raw(), 0.0);
     EXPECT_EQ(buf.capacitanceLevel(), 0);
-    EXPECT_DOUBLE_EQ(buf.ledger().harvested, 0.0);
+    EXPECT_DOUBLE_EQ(buf.ledger().harvested.raw(), 0.0);
 }
 
 TEST(ReactBuffer, LedgerConservationUnderMixedDrive)
@@ -245,13 +261,13 @@ TEST(ReactBuffer, LedgerConservationUnderMixedDrive)
         const double p = rng.uniform(0.0, 8e-3);
         const double load = on ? rng.uniform(0.0, 3e-3) : 0.0;
         for (int i = 0; i < 1000; ++i)
-            buf.step(1e-3, p, load);
+            buf.step(Seconds(1e-3), Watts(p), Amps(load));
         t += 1.0;
         // Emulate gate transitions.
-        if (!on && buf.railVoltage() >= 3.3) {
+        if (!on && buf.railVoltage() >= Volts(3.3)) {
             on = true;
             buf.notifyBackendPower(true);
-        } else if (on && buf.railVoltage() <= 1.8) {
+        } else if (on && buf.railVoltage() <= Volts(1.8)) {
             on = false;
             buf.notifyBackendPower(false);
         }

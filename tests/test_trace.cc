@@ -176,8 +176,8 @@ TEST(PaperTraces, PedestrianSolarStructure)
     const PowerTrace t = makePedestrianSolarTrace();
     // S 2.1.2: most energy arrives in >=10 mW spikes while most time sits
     // below 3 mW.  Accept the qualitative structure.
-    EXPECT_GT(t.energyFractionAbove(units::milliwatts(10.0)), 0.55);
-    EXPECT_GT(t.timeFractionBelow(units::milliwatts(3.0)), 0.6);
+    EXPECT_GT(t.energyFractionAbove(units::milliwatts(10.0).raw()), 0.55);
+    EXPECT_GT(t.timeFractionBelow(units::milliwatts(3.0).raw()), 0.6);
 }
 
 TEST(PaperTraces, NightTraceIsScarceAndSmooth)

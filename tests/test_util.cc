@@ -236,11 +236,30 @@ TEST(TextTable, Formatters)
 TEST(Units, Helpers)
 {
     using namespace units;
-    EXPECT_DOUBLE_EQ(microfarads(770.0), 770e-6);
-    EXPECT_DOUBLE_EQ(milliwatts(2.12), 2.12e-3);
-    EXPECT_DOUBLE_EQ(capEnergy(1e-3, 2.0), 2e-3);
-    EXPECT_DOUBLE_EQ(capEnergyWindow(1e-3, 3.0, 1.0), 4e-3);
-    EXPECT_DOUBLE_EQ(hours(2.0), 7200.0);
+    EXPECT_DOUBLE_EQ(microfarads(770.0).raw(), 770e-6);
+    EXPECT_DOUBLE_EQ(milliwatts(2.12).raw(), 2.12e-3);
+    EXPECT_DOUBLE_EQ(capEnergy(Farads(1e-3), Volts(2.0)).raw(), 2e-3);
+    EXPECT_DOUBLE_EQ(
+        capEnergyWindow(Farads(1e-3), Volts(3.0), Volts(1.0)).raw(), 4e-3);
+    EXPECT_DOUBLE_EQ(hours(2.0).raw(), 7200.0);
+}
+
+TEST(Units, CapEnergyWindowSignedContract)
+{
+    using namespace units;
+    // The window is signed: moving *up* in voltage (v_low > v_high)
+    // yields the negative of the discharge window -- the energy that
+    // must be supplied, not extracted.  Callers wanting an extractable
+    // amount must order (or clamp) the arguments themselves.
+    const Joules discharge =
+        capEnergyWindow(Farads(1e-3), Volts(3.0), Volts(1.0));
+    const Joules charge =
+        capEnergyWindow(Farads(1e-3), Volts(1.0), Volts(3.0));
+    EXPECT_DOUBLE_EQ(charge.raw(), -discharge.raw());
+    EXPECT_LT(charge.raw(), 0.0);
+    // Degenerate window: no voltage swing, no energy either way.
+    EXPECT_DOUBLE_EQ(
+        capEnergyWindow(Farads(1e-3), Volts(2.0), Volts(2.0)).raw(), 0.0);
 }
 
 } // namespace

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Dimensional-safety linter for the REACT energy circuit.
+
+Rejects bare-``double`` function parameters with physical-quantity names
+in the public headers of the typed domain (src/sim, src/buffers,
+src/core, src/harvest).  Inside that domain every voltage, current,
+power, energy, charge, capacitance, resistance, and time value must be a
+``react::units::Quantity`` (Volts, Amps, Watts, Joules, Coulombs,
+Farads, Ohms, Seconds, Hertz); a ``double`` parameter whose name says
+"voltage" is exactly the latent unit bug the Quantity types exist to
+rule out.
+
+Dimensionless parameters (efficiencies, margins, fractions, factors,
+probabilities, composite rates the unit system does not model) stay
+``double`` and are not flagged: the check keys on the *name tokens* of
+each parameter, not on the mere presence of ``double``.
+
+Exit status 0 when clean, 1 with a ``file:line`` report otherwise.
+Run directly or via ``cmake --build build --target lint``.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Directories whose public headers form the typed domain.
+TYPED_DIRS = ("src/sim", "src/buffers", "src/core", "src/harvest")
+
+# Identifier tokens that name a physical quantity.  A parameter whose
+# snake_case / camelCase tokenisation contains any of these must be a
+# Quantity, never a bare double.
+PHYSICAL_TOKENS = {
+    "volt", "volts", "voltage",
+    "amp", "amps", "ampere", "amperes", "current",
+    "watt", "watts", "power",
+    "energy", "joule", "joules",
+    "charge", "coulomb", "coulombs",
+    "capacitance", "farad", "farads",
+    "resistance", "resistor", "ohm", "ohms", "esr",
+    "second", "seconds", "duration", "dt", "tau", "time",
+    "freq", "frequency", "hz", "hertz",
+}
+
+# Grandfathered violations, as "path/from/repo/root.hh:name" entries.
+# The migration burned this down to empty; keep it empty.  If you are
+# about to add an entry, wrap the parameter in a Quantity instead.
+ALLOWLIST: set = set()
+
+
+def strip_comments(text: str) -> str:
+    """Blank out comments and string literals, preserving newlines."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i)
+            j = n if j < 0 else j + 2
+            out.append("".join(ch if ch == "\n" else " "
+                               for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote, j = c, i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(" " * (j - i))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def tokens(identifier: str):
+    """Split snake_case / camelCase into lowercase word tokens."""
+    parts = re.findall(r"[A-Z]+(?![a-z])|[A-Z][a-z]*|[a-z]+|\d+",
+                       identifier)
+    return [p.lower() for p in parts]
+
+
+PARAM_RE = re.compile(
+    r"\bdouble\b\s*(?:const\b\s*)?[&*]?\s*([A-Za-z_]\w*)")
+
+
+def check_header(path: pathlib.Path, root: pathlib.Path):
+    """Yield (line, name) for each physical bare-double parameter."""
+    text = strip_comments(path.read_text())
+    # Parenthesis depth at every character: parameters live at depth >= 1,
+    # member and local declarations at depth 0.
+    depth, depths = 0, []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+            depths.append(depth)
+            continue
+        if ch == ")":
+            depths.append(depth)
+            depth = max(0, depth - 1)
+            continue
+        depths.append(depth)
+    rel = path.relative_to(root).as_posix()
+    for m in PARAM_RE.finditer(text):
+        if depths[m.start()] < 1:
+            continue  # member / local, not a parameter
+        name = m.group(1)
+        if not PHYSICAL_TOKENS.intersection(tokens(name)):
+            continue
+        if f"{rel}:{name}" in ALLOWLIST:
+            continue
+        line = text.count("\n", 0, m.start()) + 1
+        yield line, name
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent,
+                        help="repository root (default: ../ from this file)")
+    args = parser.parse_args()
+    root = args.root.resolve()
+
+    headers = []
+    for d in TYPED_DIRS:
+        headers.extend(sorted((root / d).glob("*.hh")))
+    if not headers:
+        print(f"lint_units: no headers found under {root}", file=sys.stderr)
+        return 1
+
+    violations = 0
+    for header in headers:
+        for line, name in check_header(header, root):
+            rel = header.relative_to(root).as_posix()
+            print(f"{rel}:{line}: bare-double physical parameter "
+                  f"'{name}' -- use a react::units Quantity "
+                  f"(Volts/Amps/Watts/Joules/Farads/Ohms/Seconds/...)",
+                  file=sys.stderr)
+            violations += 1
+    if violations:
+        print(f"lint_units: {violations} violation(s) in "
+              f"{len(headers)} headers", file=sys.stderr)
+        return 1
+    print(f"lint_units: OK ({len(headers)} headers clean, "
+          f"allowlist size {len(ALLOWLIST)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
