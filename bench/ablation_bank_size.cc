@@ -30,23 +30,38 @@ main()
                       "470 uF units drained to V_low = 1.9 V");
     reclaim.setHeader({"N", "stranded w/o reclaim (uJ)",
                        "with reclaim (uJ)", "reduction"});
+    struct ReclaimCell
+    {
+        units::Joules before{0.0};
+        units::Joules after{0.0};
+    };
+    std::array<ReclaimCell, 8> cells;
+    harness::ParallelRunner runner;
     for (int n = 1; n <= 8; ++n) {
-        core::BankSpec spec;
-        spec.count = n;
-        spec.unit.capacitance = units::Farads(470e-6);
-        spec.unit.ratedVoltage = units::Volts(50.0);
-        core::CapacitorBank bank(spec);
-        bank.setState(core::BankState::Parallel);
-        bank.setUnitVoltage(cfg.vLow);
-        const units::Joules before = bank.storedEnergy();
-        bank.setState(core::BankState::Series);
-        bank.addChargeAtTerminal(bank.terminalCapacitance() *
-                                 (cfg.vLow - bank.terminalVoltage()));
-        const units::Joules after = bank.storedEnergy();
+        ReclaimCell *slot = &cells[static_cast<size_t>(n - 1)];
+        runner.submit("ablation_bank_size:N=" + std::to_string(n),
+                      [=, &cfg]() {
+            core::BankSpec spec;
+            spec.count = n;
+            spec.unit.capacitance = units::Farads(470e-6);
+            spec.unit.ratedVoltage = units::Volts(50.0);
+            core::CapacitorBank bank(spec);
+            bank.setState(core::BankState::Parallel);
+            bank.setUnitVoltage(cfg.vLow);
+            slot->before = bank.storedEnergy();
+            bank.setState(core::BankState::Series);
+            bank.addChargeAtTerminal(bank.terminalCapacitance() *
+                                     (cfg.vLow - bank.terminalVoltage()));
+            slot->after = bank.storedEnergy();
+        });
+    }
+    runner.run();
+    for (int n = 1; n <= 8; ++n) {
+        const auto &c = cells[static_cast<size_t>(n - 1)];
         reclaim.addRow({TextTable::integer(n),
-                        TextTable::num(before.raw() * 1e6, 1),
-                        TextTable::num(after.raw() * 1e6, 1),
-                        TextTable::num(before / after, 1) + "x"});
+                        TextTable::num(c.before.raw() * 1e6, 1),
+                        TextTable::num(c.after.raw() * 1e6, 1),
+                        TextTable::num(c.before / c.after, 1) + "x"});
     }
     reclaim.print();
 

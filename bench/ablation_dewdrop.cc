@@ -45,29 +45,42 @@ main()
         {"fixed 3.3V enable", 3.3},
         {"Dewdrop enable", v_adaptive.raw()},
     };
-    for (const auto &c : cases) {
-        buffer::StaticBuffer buf(
-            harness::staticBufferSpec(units::Farads(10e-3)));
-        auto sc = harness::makeBenchmark(
-            harness::BenchmarkKind::SenseCompute,
-            power.duration() + bench::kDrainAllowance);
-        harvest::HarvesterFrontend frontend(power);
-        harness::ExperimentConfig cfg;
-        cfg.enableVoltage = c.enable;
-        const auto r = harness::runExperiment(buf, sc.get(), frontend,
-                                              cfg);
-        table.addRow({c.name, bench::latencyCell(r.latency),
-                      TextTable::integer(
-                          static_cast<long long>(r.workUnits)),
-                      TextTable::integer(
-                          static_cast<long long>(r.missedEvents)),
-                      TextTable::percent(r.dutyCycle(), 0)});
+    std::array<harness::ExperimentResult, 3> results;
+    harness::ParallelRunner runner;
+    for (size_t i = 0; i < 2; ++i) {
+        const Case c = cases[i];
+        harness::ExperimentResult *slot = &results[i];
+        const std::string key = std::string("ablation_dewdrop:") + c.name;
+        runner.submit(key, [=, &power]() {
+            buffer::StaticBuffer buf(
+                harness::staticBufferSpec(units::Farads(10e-3)));
+            auto sc = harness::makeBenchmark(
+                harness::BenchmarkKind::SenseCompute,
+                power.duration() + bench::kDrainAllowance,
+                harness::cellSeed(bench::kEvaluationSeed, key));
+            harvest::HarvesterFrontend frontend(power);
+            harness::ExperimentConfig cfg;
+            cfg.enableVoltage = c.enable;
+            *slot = harness::runExperiment(buf, sc.get(), frontend, cfg);
+        });
     }
-    {
-        const auto r = bench::runCell(harness::BufferKind::React,
-                                      harness::BenchmarkKind::SenseCompute,
-                                      trace::PaperTrace::RfMobile);
-        table.addRow({"REACT", bench::latencyCell(r.latency),
+    // The REACT comparison row is the standard evaluation cell.
+    runner.submit(
+        bench::gridCellKey(harness::BenchmarkKind::SenseCompute,
+                           trace::PaperTrace::RfMobile,
+                           harness::BufferKind::React),
+        [&results]() {
+            results[2] = bench::runCell(
+                harness::BufferKind::React,
+                harness::BenchmarkKind::SenseCompute,
+                trace::PaperTrace::RfMobile);
+        });
+    runner.run();
+
+    for (size_t i = 0; i < 3; ++i) {
+        const auto &r = results[i];
+        table.addRow({i < 2 ? cases[i].name : "REACT",
+                      bench::latencyCell(r.latency),
                       TextTable::integer(
                           static_cast<long long>(r.workUnits)),
                       TextTable::integer(

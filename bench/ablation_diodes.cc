@@ -45,21 +45,38 @@ main()
     TextTable system("end-to-end: REACT on DE under RF Cart");
     system.setHeader({"diode model", "encryptions", "diode loss(mJ)",
                       "efficiency"});
-    for (const bool use_schottky : {false, true}) {
-        core::ReactConfig cfg = core::ReactConfig::paperConfig();
-        // Model the diode as its drop at the trace's typical ~1 mA.
-        cfg.diodeDrop = use_schottky
-            ? schottky.forwardDrop(units::Amps(1e-3))
-            : ideal.forwardDrop(units::Amps(1e-3)) + units::Volts(0.01);
-        core::ReactBuffer buf(cfg);
-        const auto &power =
-            bench::evaluationTrace(trace::PaperTrace::RfCart);
-        auto de = harness::makeBenchmark(
-            harness::BenchmarkKind::DataEncryption,
-            power.duration() + bench::kDrainAllowance);
-        harvest::HarvesterFrontend frontend(power);
-        const auto r = harness::runExperiment(buf, de.get(), frontend);
-        system.addRow({use_schottky ? "Schottky" : "ideal (LM66100)",
+    std::array<harness::ExperimentResult, 2> results;
+    harness::ParallelRunner runner;
+    for (size_t i = 0; i < 2; ++i) {
+        const bool use_schottky = i == 1;
+        harness::ExperimentResult *slot = &results[i];
+        const std::string key = std::string("ablation_diodes:") +
+            (use_schottky ? "schottky" : "ideal");
+        runner.submit(key, [=]() {
+            sim::IdealDiode cell_ideal;
+            sim::SchottkyDiode cell_schottky;
+            core::ReactConfig cfg = core::ReactConfig::paperConfig();
+            // Model the diode as its drop at the trace's typical ~1 mA.
+            cfg.diodeDrop = use_schottky
+                ? cell_schottky.forwardDrop(units::Amps(1e-3))
+                : cell_ideal.forwardDrop(units::Amps(1e-3)) +
+                    units::Volts(0.01);
+            core::ReactBuffer buf(cfg);
+            const auto &power =
+                bench::evaluationTrace(trace::PaperTrace::RfCart);
+            auto de = harness::makeBenchmark(
+                harness::BenchmarkKind::DataEncryption,
+                power.duration() + bench::kDrainAllowance,
+                harness::cellSeed(bench::kEvaluationSeed, key));
+            harvest::HarvesterFrontend frontend(power);
+            *slot = harness::runExperiment(buf, de.get(), frontend);
+        });
+    }
+    runner.run();
+
+    for (size_t i = 0; i < 2; ++i) {
+        const auto &r = results[i];
+        system.addRow({i == 1 ? "Schottky" : "ideal (LM66100)",
                        TextTable::integer(
                            static_cast<long long>(r.workUnits)),
                        TextTable::num(r.ledger.diodeLoss.raw() * 1e3, 1),

@@ -55,14 +55,27 @@ main()
                 std::make_unique<harvest::RfRectifier>()};
     cases[2] = {"solar charger",
                 std::make_unique<harvest::SolarBoostCharger>()};
-    for (auto &c : cases) {
-        auto buf = harness::makeBuffer(harness::BufferKind::Static10mF);
-        auto de = harness::makeBenchmark(
-            harness::BenchmarkKind::DataEncryption,
-            raw.duration() + bench::kDrainAllowance);
-        harvest::HarvesterFrontend frontend(raw, std::move(c.conv));
-        const auto r = harness::runExperiment(*buf, de.get(), frontend);
-        e2e.addRow({c.name,
+    std::array<harness::ExperimentResult, 3> results;
+    harness::ParallelRunner runner;
+    for (size_t i = 0; i < 3; ++i) {
+        Case *c = &cases[i];
+        harness::ExperimentResult *slot = &results[i];
+        const std::string key =
+            std::string("ablation_frontend:") + c->name;
+        runner.submit(key, [=, &raw]() {
+            auto buf = harness::makeBuffer(harness::BufferKind::Static10mF);
+            auto de = harness::makeBenchmark(
+                harness::BenchmarkKind::DataEncryption,
+                raw.duration() + bench::kDrainAllowance,
+                harness::cellSeed(bench::kEvaluationSeed, key));
+            harvest::HarvesterFrontend frontend(raw, std::move(c->conv));
+            *slot = harness::runExperiment(*buf, de.get(), frontend);
+        });
+    }
+    runner.run();
+    for (size_t i = 0; i < 3; ++i) {
+        const auto &r = results[i];
+        e2e.addRow({cases[i].name,
                     TextTable::num(r.ledger.delivered.raw() * 1e3, 1),
                     TextTable::integer(
                         static_cast<long long>(r.workUnits))});

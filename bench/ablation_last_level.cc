@@ -24,27 +24,48 @@ main()
     table.setHeader({"C_last", "latency(s)", "samples", "missed",
                      "efficiency"});
 
-    for (const double c_last : {220e-6, 470e-6, 770e-6, 1.5e-3, 3e-3}) {
-        const units::Farads c{c_last};
-        core::ReactConfig cfg = core::ReactConfig::paperConfig();
-        cfg.lastLevel.capacitance = c;
-        cfg.lastLevel.leakageCurrentAtRated =
-            units::Volts(6.3) * c / units::Seconds(2000.0);
-        std::string error;
-        if (!cfg.validate(&error)) {
-            table.addRow({TextTable::num(c_last * 1e6, 0) + "uF",
-                          "invalid: " + error});
+    const double sizes[] = {220e-6, 470e-6, 770e-6, 1.5e-3, 3e-3};
+    struct Cell
+    {
+        harness::ExperimentResult result;
+        std::string error;  ///< Non-empty when the config is invalid.
+    };
+    std::array<Cell, 5> cells;
+    harness::ParallelRunner runner;
+    for (size_t i = 0; i < 5; ++i) {
+        const double c_last = sizes[i];
+        Cell *slot = &cells[i];
+        const std::string key = "ablation_last_level:" +
+            TextTable::num(c_last * 1e6, 0) + "uF";
+        runner.submit(key, [=]() {
+            const units::Farads c{c_last};
+            core::ReactConfig cfg = core::ReactConfig::paperConfig();
+            cfg.lastLevel.capacitance = c;
+            cfg.lastLevel.leakageCurrentAtRated =
+                units::Volts(6.3) * c / units::Seconds(2000.0);
+            if (!cfg.validate(&slot->error))
+                return;
+            core::ReactBuffer buf(cfg);
+            const auto &power =
+                bench::evaluationTrace(trace::PaperTrace::RfMobile);
+            auto sc = harness::makeBenchmark(
+                harness::BenchmarkKind::SenseCompute,
+                power.duration() + bench::kDrainAllowance,
+                harness::cellSeed(bench::kEvaluationSeed, key));
+            harvest::HarvesterFrontend frontend(power);
+            slot->result = harness::runExperiment(buf, sc.get(), frontend);
+        });
+    }
+    runner.run();
+
+    for (size_t i = 0; i < 5; ++i) {
+        const std::string name = TextTable::num(sizes[i] * 1e6, 0) + "uF";
+        if (!cells[i].error.empty()) {
+            table.addRow({name, "invalid: " + cells[i].error});
             continue;
         }
-        core::ReactBuffer buf(cfg);
-        const auto &power =
-            bench::evaluationTrace(trace::PaperTrace::RfMobile);
-        auto sc = harness::makeBenchmark(
-            harness::BenchmarkKind::SenseCompute,
-            power.duration() + bench::kDrainAllowance);
-        harvest::HarvesterFrontend frontend(power);
-        const auto r = harness::runExperiment(buf, sc.get(), frontend);
-        table.addRow({TextTable::num(c_last * 1e6, 0) + "uF",
+        const auto &r = cells[i].result;
+        table.addRow({name,
                       bench::latencyCell(r.latency),
                       TextTable::integer(
                           static_cast<long long>(r.workUnits)),

@@ -22,19 +22,40 @@ main()
     table.setHeader({"poll rate", "sw overhead", "encryptions",
                      "clipped(mJ)", "efficiency"});
 
-    for (const double hz : {1.0, 2.0, 5.0, 10.0, 20.0, 50.0}) {
-        core::ReactConfig cfg = core::ReactConfig::paperConfig();
-        cfg.pollRateHz = units::Hertz(hz);
-        core::ReactBuffer buf(cfg);
-        const auto &power =
-            bench::evaluationTrace(trace::PaperTrace::SolarCampus);
-        auto de = harness::makeBenchmark(
-            harness::BenchmarkKind::DataEncryption,
-            power.duration() + bench::kDrainAllowance);
-        harvest::HarvesterFrontend frontend(power);
-        const auto r = harness::runExperiment(buf, de.get(), frontend);
-        table.addRow({TextTable::num(hz, 0) + "Hz",
-                      TextTable::percent(buf.softwareOverheadFraction()),
+    const double rates[] = {1.0, 2.0, 5.0, 10.0, 20.0, 50.0};
+    struct Cell
+    {
+        harness::ExperimentResult result;
+        double swOverhead = 0.0;
+    };
+    std::array<Cell, 6> cells;
+    harness::ParallelRunner runner;
+    for (size_t i = 0; i < 6; ++i) {
+        const double hz = rates[i];
+        Cell *slot = &cells[i];
+        const std::string key =
+            "ablation_polling:" + TextTable::num(hz, 0) + "Hz";
+        runner.submit(key, [=]() {
+            core::ReactConfig cfg = core::ReactConfig::paperConfig();
+            cfg.pollRateHz = units::Hertz(hz);
+            core::ReactBuffer buf(cfg);
+            const auto &power =
+                bench::evaluationTrace(trace::PaperTrace::SolarCampus);
+            auto de = harness::makeBenchmark(
+                harness::BenchmarkKind::DataEncryption,
+                power.duration() + bench::kDrainAllowance,
+                harness::cellSeed(bench::kEvaluationSeed, key));
+            harvest::HarvesterFrontend frontend(power);
+            slot->result = harness::runExperiment(buf, de.get(), frontend);
+            slot->swOverhead = buf.softwareOverheadFraction();
+        });
+    }
+    runner.run();
+
+    for (size_t i = 0; i < 6; ++i) {
+        const auto &r = cells[i].result;
+        table.addRow({TextTable::num(rates[i], 0) + "Hz",
+                      TextTable::percent(cells[i].swOverhead),
                       TextTable::integer(
                           static_cast<long long>(r.workUnits)),
                       TextTable::num(r.ledger.clipped.raw() * 1e3, 1),

@@ -25,27 +25,57 @@ main()
     table.setHeader({"V_high", "V_low", "samples", "clipped(mJ)",
                      "efficiency", "note"});
 
-    for (const double v_high : {3.3, 3.4, 3.5}) {
-        for (const double v_low : {1.85, 1.9, 2.0, 2.2}) {
-            core::ReactConfig cfg = core::ReactConfig::paperConfig();
-            cfg.vHigh = units::Volts(v_high);
-            cfg.vLow = units::Volts(v_low);
-            std::string error;
-            if (!cfg.validate(&error)) {
+    const double highs[] = {3.3, 3.4, 3.5};
+    const double lows[] = {1.85, 1.9, 2.0, 2.2};
+    struct Cell
+    {
+        harness::ExperimentResult result;
+        bool valid = false;
+    };
+    std::array<Cell, 12> cells;
+    harness::ParallelRunner runner;
+    for (size_t h = 0; h < 3; ++h) {
+        for (size_t l = 0; l < 4; ++l) {
+            const double v_high = highs[h];
+            const double v_low = lows[l];
+            Cell *slot = &cells[h * 4 + l];
+            const std::string key = "ablation_thresholds:" +
+                TextTable::num(v_high, 2) + "/" + TextTable::num(v_low, 2);
+            runner.submit(key, [=]() {
+                core::ReactConfig cfg = core::ReactConfig::paperConfig();
+                cfg.vHigh = units::Volts(v_high);
+                cfg.vLow = units::Volts(v_low);
+                std::string error;
+                if (!cfg.validate(&error))
+                    return;
+                core::ReactBuffer buf(cfg);
+                const auto &power =
+                    bench::evaluationTrace(trace::PaperTrace::RfMobile);
+                auto sc = harness::makeBenchmark(
+                    harness::BenchmarkKind::SenseCompute,
+                    power.duration() + bench::kDrainAllowance,
+                    harness::cellSeed(bench::kEvaluationSeed, key));
+                harvest::HarvesterFrontend frontend(power);
+                slot->result = harness::runExperiment(buf, sc.get(),
+                                                      frontend);
+                slot->valid = true;
+            });
+        }
+    }
+    runner.run();
+
+    for (size_t h = 0; h < 3; ++h) {
+        for (size_t l = 0; l < 4; ++l) {
+            const double v_high = highs[h];
+            const double v_low = lows[l];
+            const Cell &cell = cells[h * 4 + l];
+            if (!cell.valid) {
                 table.addRow({TextTable::num(v_high, 2),
                               TextTable::num(v_low, 2), "-", "-", "-",
                               "invalid (Eq. 2)"});
                 continue;
             }
-            core::ReactBuffer buf(cfg);
-            const auto &power =
-                bench::evaluationTrace(trace::PaperTrace::RfMobile);
-            auto sc = harness::makeBenchmark(
-                harness::BenchmarkKind::SenseCompute,
-                power.duration() + bench::kDrainAllowance);
-            harvest::HarvesterFrontend frontend(power);
-            const auto r = harness::runExperiment(buf, sc.get(),
-                                                  frontend);
+            const auto &r = cell.result;
             table.addRow({TextTable::num(v_high, 2),
                           TextTable::num(v_low, 2),
                           TextTable::integer(

@@ -1,22 +1,37 @@
 /**
  * @file
  * Shared helpers for the reproduction benches: run one
- * buffer x benchmark x trace cell, format paper-vs-measured rows, and
- * cache the five evaluation traces.
+ * buffer x benchmark x trace cell, fan whole evaluation grids across the
+ * parallel runner, format paper-vs-measured rows, cache the five
+ * evaluation traces, and emit deterministic CSV artifacts for the golden
+ * regression suite.
+ *
+ * Determinism contract: every cell's randomness is seeded from its
+ * *stable identity* (gridCellKey()), never from thread identity or
+ * execution order, so a bench produces bit-identical numbers at any
+ * REACT_THREADS setting -- and the same evaluation cell reproduces the
+ * same numbers in every bench that contains it (Table 2's DE row equals
+ * Fig. 7's DE input, the fault sweep's severity-0 row equals the
+ * fault-free cell, ...).
  */
 
 #ifndef REACT_BENCH_COMMON_HH
 #define REACT_BENCH_COMMON_HH
 
+#include <array>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.hh"
 #include "harness/paper_setup.hh"
+#include "harness/parallel_runner.hh"
 #include "trace/paper_traces.hh"
+#include "util/json.hh"
 #include "util/table.hh"
 
 namespace react {
@@ -25,18 +40,51 @@ namespace bench {
 /** Drain allowance used by the table benches (run-until-drain, S 5). */
 constexpr double kDrainAllowance = 900.0;
 
-/** Lazily built, shared copies of the five Table-3 traces. */
+/** Base seed of the evaluation; cell streams derive from it via
+ *  harness::cellSeed. */
+constexpr uint64_t kEvaluationSeed = 42;
+
+/** Lazily built, shared copies of the five Table-3 traces.  Thread-safe:
+ *  the builds run under a lock, so concurrent cells may block on first
+ *  access but always observe a fully built trace.  Parallel benches call
+ *  prewarmEvaluationTraces() first so no cell pays the build. */
 inline const trace::PowerTrace &
 evaluationTrace(trace::PaperTrace which)
 {
+    static std::mutex lock;
     static std::map<trace::PaperTrace, trace::PowerTrace> cache;
+    const std::lock_guard<std::mutex> guard(lock);
     auto it = cache.find(which);
     if (it == cache.end())
         it = cache.emplace(which, trace::makePaperTrace(which)).first;
     return it->second;
 }
 
-/** Run one cell of the evaluation grid. */
+/** Build all five evaluation traces up front (serially, deterministic
+ *  order) so parallel cells only ever read the cache. */
+inline void
+prewarmEvaluationTraces()
+{
+    for (const auto which : trace::kAllPaperTraces)
+        evaluationTrace(which);
+}
+
+/**
+ * Stable identity of one evaluation-grid cell, e.g. "DE:RF Cart:REACT".
+ * Deliberately excludes the figure that runs the cell: the same cell
+ * must produce the same numbers wherever it appears.
+ */
+inline std::string
+gridCellKey(harness::BenchmarkKind bench_kind, trace::PaperTrace trace_kind,
+            harness::BufferKind buffer_kind)
+{
+    return harness::benchmarkKindName(bench_kind) + ":" +
+        trace::paperTraceName(trace_kind) + ":" +
+        harness::bufferKindName(buffer_kind);
+}
+
+/** Run one cell of the evaluation grid; the workload seed derives from
+ *  the cell's stable identity. */
 inline harness::ExperimentResult
 runCell(harness::BufferKind buffer_kind, harness::BenchmarkKind bench_kind,
         trace::PaperTrace trace_kind,
@@ -46,10 +94,43 @@ runCell(harness::BufferKind buffer_kind, harness::BenchmarkKind bench_kind,
     auto buffer = harness::makeBuffer(buffer_kind);
     const auto &power = evaluationTrace(trace_kind);
     auto benchmark = harness::makeBenchmark(
-        bench_kind, power.duration() + kDrainAllowance);
+        bench_kind, power.duration() + kDrainAllowance,
+        harness::cellSeed(kEvaluationSeed,
+                          gridCellKey(bench_kind, trace_kind, buffer_kind)));
     harvest::HarvesterFrontend frontend(power);
     return harness::runExperiment(*buffer, benchmark.get(), frontend,
                                   config);
+}
+
+/** Results of one benchmark's 5 x 5 evaluation grid, indexed
+ *  [trace][buffer] in kAllPaperTraces x kAllBuffers order. */
+using GridResults =
+    std::array<std::array<harness::ExperimentResult, 5>, 5>;
+
+/**
+ * Submit one benchmark's full trace x buffer grid to the runner; every
+ * cell writes its own slot of @p out.  Call runner.run() (once, after
+ * all grids are submitted) before reading @p out.
+ */
+inline void
+submitGrid(harness::ParallelRunner &runner, harness::BenchmarkKind bench_kind,
+           GridResults &out,
+           const harness::ExperimentConfig &config =
+               harness::ExperimentConfig())
+{
+    for (size_t t = 0; t < trace::kAllPaperTraces.size(); ++t) {
+        for (size_t b = 0; b < harness::kAllBuffers.size(); ++b) {
+            const auto trace_kind = trace::kAllPaperTraces[t];
+            const auto buffer_kind = harness::kAllBuffers[b];
+            harness::ExperimentResult *slot = &out[t][b];
+            runner.submit(
+                gridCellKey(bench_kind, trace_kind, buffer_kind),
+                [=]() {
+                    *slot = runCell(buffer_kind, bench_kind, trace_kind,
+                                    config);
+                });
+        }
+    }
 }
 
 /** "-" for never-started latency cells, otherwise fixed precision. */
@@ -69,6 +150,57 @@ printPreamble(const char *what, const char *paper_ref)
     std::printf("reproduces: %s\n", paper_ref);
     std::printf("(synthetic traces calibrated to Table 3; compare shapes "
                 "and orderings, not absolute values)\n\n");
+}
+
+/**
+ * Optional machine-readable CSV artifact, enabled by `--csv <path>` on
+ * the bench command line.  The golden regression suite diffs these
+ * byte-for-byte, so values are written with csvNum() (%.17g,
+ * bit-faithful) and content must not depend on thread count or timing.
+ */
+struct CsvArtifact
+{
+    std::string path;  ///< Empty when --csv was not given.
+    std::string text;
+
+    explicit operator bool() const { return !path.empty(); }
+
+    /** Append one line (newline added). No-op when disabled. */
+    void line(const std::string &l)
+    {
+        if (!path.empty()) {
+            text += l;
+            text += '\n';
+        }
+    }
+
+    /** Write the collected artifact. No-op when disabled. */
+    void write() const
+    {
+        if (!path.empty())
+            writeTextFile(path, text);
+    }
+};
+
+/** Parse `--csv <path>` from a bench command line. */
+inline CsvArtifact
+csvFromArgs(int argc, char **argv)
+{
+    CsvArtifact csv;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0)
+            csv.path = argv[i + 1];
+    }
+    return csv;
+}
+
+/** Bit-faithful double formatting for CSV artifacts. */
+inline std::string
+csvNum(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
 }
 
 } // namespace bench

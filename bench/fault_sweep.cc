@@ -39,38 +39,53 @@ main()
                 "banks_retired,fram_recoveries,efficiency,"
                 "conservation_error\n");
 
-    // Per-buffer fault-free reference for the work-lost column, and the
-    // highest-severity results for the acceptance summary.
-    std::map<harness::BufferKind, harness::ExperimentResult> baseline;
-    std::map<harness::BufferKind, harness::ExperimentResult> harshest;
+    // All 15 (severity x buffer) cells fan across the runner.  The
+    // workload seed comes from the *fault-free* cell identity, so the
+    // severity-0 row reproduces the standard SC / Solar Campus cell
+    // bit-identically (the fault schedule is seeded separately inside
+    // FaultPlan::stress).
+    bench::prewarmEvaluationTraces();
+    harness::ParallelRunner runner;
+    harness::ExperimentResult results[5][3];
+    for (size_t s = 0; s < 5; ++s) {
+        for (size_t k = 0; k < 3; ++k) {
+            const double severity = severities[s];
+            const auto kind = kinds[k];
+            harness::ExperimentResult *slot = &results[s][k];
+            char label[96];
+            std::snprintf(label, sizeof(label), "fault@%.1f:%s", severity,
+                          harness::bufferKindName(kind).c_str());
+            runner.submit(label, [=]() {
+                harness::ExperimentConfig cfg;
+                cfg.faultPlan = sim::FaultPlan::stress(severity);
+                *slot = bench::runCell(
+                    kind, harness::BenchmarkKind::SenseCompute,
+                    trace::PaperTrace::SolarCampus, cfg);
+            });
+        }
+    }
+    runner.run();
 
-    for (const double severity : severities) {
-        for (const auto kind : kinds) {
-            harness::ExperimentConfig cfg;
-            cfg.faultPlan = sim::FaultPlan::stress(severity);
-            const auto r = bench::runCell(
-                kind, harness::BenchmarkKind::SenseCompute,
-                trace::PaperTrace::SolarCampus, cfg);
-            if (severity == 0.0)
-                baseline.emplace(kind, r);
-            harshest[kind] = r;
-
+    for (size_t s = 0; s < 5; ++s) {
+        for (size_t k = 0; k < 3; ++k) {
+            const auto &r = results[s][k];
+            const auto &base = results[0][k];
             const double efficiency = r.ledger.harvested > units::Joules(0.0)
                 ? r.ledger.delivered / r.ledger.harvested
                 : 0.0;
             std::printf("%.1f,%s,%llu,%llu,%llu,%d,%d,%.4f,%.3e\n",
-                        severity, r.bufferName.c_str(),
+                        severities[s], r.bufferName.c_str(),
                         static_cast<unsigned long long>(r.workUnits),
                         static_cast<unsigned long long>(
-                            r.workLostVersus(baseline.at(kind))),
+                            r.workLostVersus(base)),
                         static_cast<unsigned long long>(r.faultEvents),
                         r.banksRetired, r.framRecoveries, efficiency,
                         r.conservationError);
         }
     }
 
-    const auto &react_h = harshest.at(harness::BufferKind::React);
-    const auto &static_h = harshest.at(harness::BufferKind::Static17mF);
+    const auto &react_h = results[4][0];
+    const auto &static_h = results[4][2];
     std::printf("\nacceptance: at severity %.1f REACT retired %d bank(s) "
                 "and completed %llu work units; Static 17mF completed "
                 "%llu.\n",

@@ -27,8 +27,31 @@ unitSpec()
 
 } // namespace
 
+/** Loss fraction of the k-parallel -> (k-1)-series + 1-parallel
+ *  transition of a unified network at 1 V per unit. */
+double
+parallelToSplitLoss(int k)
+{
+    using namespace react;
+    buffer::CapacitorNetwork net(k, unitSpec());
+    buffer::NetworkConfig par;
+    for (int i = 0; i < k; ++i)
+        par.branches.push_back({i});
+    net.reconfigure(par);
+    for (int i = 0; i < k; ++i)
+        net.setUnitVoltage(i, units::Volts(1.0));
+    const units::Joules e_old = net.storedEnergy();
+    buffer::NetworkConfig split;
+    split.branches.emplace_back();
+    for (int i = 0; i + 1 < k; ++i)
+        split.branches.back().push_back(i);
+    split.branches.push_back({k - 1});
+    const units::Joules loss = net.reconfigure(split);
+    return loss / e_old;
+}
+
 int
-main()
+main(int argc, char **argv)
 {
     using namespace react;
     bench::printPreamble(
@@ -36,6 +59,8 @@ main()
         "isolated banks",
         "Fig. 5 + S 3.3.1 (charge-sharing dissipation) + S 3.3.3 "
         "(lossless bank reconfiguration)");
+    auto csv = bench::csvFromArgs(argc, argv);
+    csv.line("case,loss_fraction");
 
     // Paper example 1: 4 caps, full series at V -> one cap pulled into
     // parallel with the remaining chain.
@@ -50,6 +75,7 @@ main()
         buffer::NetworkConfig split;
         split.branches = {{0, 1, 2}, {3}};
         const units::Joules loss = net.reconfigure(split);
+        csv.line("series4_to_3s1p," + bench::csvNum(loss / e_old));
         std::printf("4-cap series -> 3s+1p: %.2f%% of stored energy "
                     "dissipated (paper: 25%%)\n",
                     loss / e_old * 100.0);
@@ -68,31 +94,32 @@ main()
         buffer::NetworkConfig split;
         split.branches = {{0, 1, 2, 3, 4, 5, 6}, {7}};
         const units::Joules loss = net.reconfigure(split);
+        csv.line("parallel8_to_7s1p," + bench::csvNum(loss / e_old));
         std::printf("8-cap parallel -> 7s+1p: %.2f%% dissipated "
                     "(paper: 56.25%%)\n\n", loss / e_old * 100.0);
     }
 
     // Sweep: loss fraction of the k-parallel -> (k-1)s+1p transition.
+    // Seven tiny analytic cells -- trivial work, but they exercise the
+    // runner's determinism contract in a bench with no RNG at all.
+    harness::ParallelRunner runner;
+    std::array<double, 7> sweep_loss{};
+    for (int k = 2; k <= 8; ++k) {
+        double *slot = &sweep_loss[static_cast<size_t>(k - 2)];
+        runner.submit("fig5:k=" + std::to_string(k),
+                      [slot, k]() { *slot = parallelToSplitLoss(k); });
+    }
+    runner.run();
+
     TextTable sweep("unified-network loss by array size "
                     "(k-parallel -> (k-1)-series + 1-parallel)");
     sweep.setHeader({"k", "loss"});
     for (int k = 2; k <= 8; ++k) {
-        buffer::CapacitorNetwork net(k, unitSpec());
-        buffer::NetworkConfig par;
-        for (int i = 0; i < k; ++i)
-            par.branches.push_back({i});
-        net.reconfigure(par);
-        for (int i = 0; i < k; ++i)
-            net.setUnitVoltage(i, units::Volts(1.0));
-        const units::Joules e_old = net.storedEnergy();
-        buffer::NetworkConfig split;
-        split.branches.emplace_back();
-        for (int i = 0; i + 1 < k; ++i)
-            split.branches.back().push_back(i);
-        split.branches.push_back({k - 1});
-        const units::Joules loss = net.reconfigure(split);
+        const double loss = sweep_loss[static_cast<size_t>(k - 2)];
+        csv.line("k" + std::to_string(k) + "_parallel_split," +
+                 bench::csvNum(loss));
         sweep.addRow({TextTable::integer(k),
-                      TextTable::percent(loss / e_old, 2)});
+                      TextTable::percent(loss, 2)});
     }
     sweep.print();
 
@@ -113,5 +140,8 @@ main()
                 "parallel energy change = %.3g%% (paper: lossless)\n",
                 (e_after - e_before) / e_before * 100.0 +
                     (e_mid - e_before) / e_before * 0.0);
+    csv.line("react_bank_roundtrip_delta," +
+             bench::csvNum((e_after - e_before) / e_before));
+    csv.write();
     return 0;
 }

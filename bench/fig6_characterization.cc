@@ -35,12 +35,22 @@ main()
         harness::BufferKind::Static770uF, harness::BufferKind::Static10mF,
         harness::BufferKind::Morphy, harness::BufferKind::React};
 
-    std::vector<harness::ExperimentResult> results;
-    for (const auto kind : kinds) {
-        results.push_back(bench::runCell(
-            kind, harness::BenchmarkKind::SenseCompute,
-            trace::PaperTrace::RfMobile, cfg));
+    bench::prewarmEvaluationTraces();
+    harness::ParallelRunner runner;
+    std::vector<harness::ExperimentResult> results(4);
+    for (size_t k = 0; k < 4; ++k) {
+        const auto kind = kinds[k];
+        harness::ExperimentResult *slot = &results[k];
+        runner.submit(
+            bench::gridCellKey(harness::BenchmarkKind::SenseCompute,
+                               trace::PaperTrace::RfMobile, kind),
+            [=]() {
+                *slot = bench::runCell(
+                    kind, harness::BenchmarkKind::SenseCompute,
+                    trace::PaperTrace::RfMobile, cfg);
+            });
     }
+    runner.run();
 
     // Align the series on the longest run and print side by side.
     std::printf("time_s,V_770uF,V_10mF,V_Morphy,V_REACT,REACT_level\n");

@@ -28,25 +28,37 @@ main()
         harness::BenchmarkKind::PacketForward,
     };
 
+    // The full 100-cell evaluation (4 benchmarks x 5 traces x 5 buffers)
+    // in one runner batch; cells shared with Tables 2/5 reproduce those
+    // tables' numbers exactly (identity-derived seeds).
+    bench::prewarmEvaluationTraces();
+    harness::ParallelRunner runner;
+    std::array<bench::GridResults, 4> results;
+    for (size_t b = 0; b < 4; ++b)
+        bench::submitGrid(runner, benchmarks[b], results[b]);
+    runner.run();
+
     std::vector<std::vector<double>> per_benchmark;
     TextTable table;
     table.setHeader({"Benchmark", "770uF", "10mF", "17mF", "Morphy",
                      "REACT"});
 
-    for (const auto bench_kind : benchmarks) {
+    for (size_t bench_idx = 0; bench_idx < 4; ++bench_idx) {
+        const auto bench_kind = benchmarks[bench_idx];
         harness::MeritMatrix matrix;
         matrix.benchmarkName = harness::benchmarkKindName(bench_kind);
         for (const auto buffer_kind : harness::kAllBuffers)
             matrix.bufferNames.push_back(
                 harness::bufferKindName(buffer_kind));
         matrix.counts.assign(5, std::vector<double>());
+        size_t trace_row = 0;
         for (const auto trace_kind : trace::kAllPaperTraces) {
             matrix.traceNames.push_back(
                 trace::paperTraceName(trace_kind));
             size_t col = 0;
             for (const auto buffer_kind : harness::kAllBuffers) {
-                const auto r = bench::runCell(buffer_kind, bench_kind,
-                                              trace_kind);
+                (void)buffer_kind;
+                const auto &r = results[bench_idx][trace_row][col];
                 // PF's figure of merit is forwarded packets.
                 const double merit =
                     bench_kind == harness::BenchmarkKind::PacketForward
@@ -55,6 +67,7 @@ main()
                 matrix.counts[col].push_back(merit);
                 ++col;
             }
+            ++trace_row;
         }
         const auto scores = harness::normalizedMerit(matrix, 4);
         per_benchmark.push_back(scores);

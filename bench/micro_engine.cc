@@ -4,7 +4,20 @@
  * integration step per buffer architecture, the exact charge-transfer
  * kernel, AES-128, and trace generation.  These bound the wall-clock
  * cost of the table benches (hundreds of millions of steps).
+ *
+ * The binary also audits the steady-state engine path for heap
+ * allocations before running the benchmarks: global operator new/delete
+ * are replaced with counting shims, each buffer architecture is stepped
+ * through a warmed-up regime, and any allocation on that path fails the
+ * process.  The per-step benchmarks additionally report an
+ * `allocs_per_iter` counter so a regression is visible in the numbers,
+ * not just the exit code.
  */
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
 
 #include <benchmark/benchmark.h>
 
@@ -16,20 +29,164 @@
 #include "trace/generator.hh"
 #include "workload/aes128.hh"
 
+// ---------------------------------------------------------------------------
+// Counting allocator shims.  Relaxed ordering suffices: the audit reads the
+// counter on the same thread that allocates, and the benchmarks only need a
+// statistically meaningful count.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::atomic<uint64_t> g_allocCount{0};
+
+uint64_t
+allocCount()
+{
+    return g_allocCount.load(std::memory_order_relaxed);
+}
+
+} // namespace
+
+// GCC pairs the replacement delete below against the *default* operator
+// new and warns about free(); the pairing is correct here because the
+// replacement new above allocates with malloc.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void *
+operator new(size_t size)
+{
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](size_t size)
+{
+    return ::operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, size_t) noexcept
+{
+    std::free(p);
+}
+
+#pragma GCC diagnostic pop
+
 namespace {
 
 using namespace react;
+
+// ---------------------------------------------------------------------------
+// Steady-state zero-allocation audit.
+//
+// Warm each architecture past its transient (bank bring-up, ladder climb),
+// then count heap allocations over a window of steps.  The engine contract
+// -- established by preallocating the CapacitorNetwork topology scratch --
+// is *zero* on this path; any count is a regression and fails the binary
+// before the benchmarks run.
+// ---------------------------------------------------------------------------
+
+template <typename Buffer>
+uint64_t
+auditSteps(Buffer &buf, int steps)
+{
+    const uint64_t before = allocCount();
+    for (int i = 0; i < steps; ++i) {
+        buf.step(units::Seconds(1e-3), units::Watts(3e-3),
+                 units::Amps(1e-3));
+        benchmark::DoNotOptimize(buf.railVoltage());
+    }
+    return allocCount() - before;
+}
+
+int
+runAllocationAudit()
+{
+    constexpr int kWarmupSteps = 20000;
+    constexpr int kAuditSteps = 100000;
+    int failures = 0;
+
+    auto report = [&](const char *name, uint64_t allocs) {
+        std::printf("alloc-audit: %-18s %8llu allocations / %d steps %s\n",
+                    name, static_cast<unsigned long long>(allocs),
+                    kAuditSteps, allocs == 0 ? "[ok]" : "[FAIL]");
+        if (allocs != 0)
+            ++failures;
+    };
+
+    {
+        buffer::StaticBuffer buf(
+            harness::staticBufferSpec(units::Farads(10e-3)));
+        auditSteps(buf, kWarmupSteps);
+        report("StaticBuffer", auditSteps(buf, kAuditSteps));
+    }
+    {
+        core::ReactBuffer buf;
+        // Charge with the backend off, then run powered so the bank
+        // scheduler exercises its normal rotate/adapt cadence.
+        auditSteps(buf, kWarmupSteps);
+        buf.notifyBackendPower(true);
+        auditSteps(buf, kWarmupSteps);
+        report("ReactBuffer", auditSteps(buf, kAuditSteps));
+    }
+    {
+        buffer::MorphyBuffer buf;
+        // The warmup climbs the configuration ladder; the audit window
+        // still crosses reconfigurations (threshold hunting), which the
+        // shared-ladder storage keeps allocation-free.
+        auditSteps(buf, kWarmupSteps);
+        report("MorphyBuffer", auditSteps(buf, kAuditSteps));
+    }
+
+    if (failures != 0) {
+        std::fprintf(stderr,
+                     "alloc-audit: %d architecture(s) allocate on the "
+                     "steady-state step path\n",
+                     failures);
+    }
+    return failures;
+}
+
+// ---------------------------------------------------------------------------
+// Microbenchmarks.
+// ---------------------------------------------------------------------------
 
 void
 BM_StaticBufferStep(benchmark::State &state)
 {
     buffer::StaticBuffer buf(
         harness::staticBufferSpec(units::Farads(10e-3)));
+    const uint64_t before = allocCount();
     for (auto _ : state) {
         buf.step(units::Seconds(1e-3), units::Watts(2e-3),
                  units::Amps(1e-3));
         benchmark::DoNotOptimize(buf.railVoltage());
     }
+    state.counters["allocs_per_iter"] = benchmark::Counter(
+        static_cast<double>(allocCount() - before),
+        benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_StaticBufferStep);
 
@@ -41,11 +198,15 @@ BM_ReactBufferStep(benchmark::State &state)
         buf.step(units::Seconds(1e-3), units::Watts(3e-3),
                  units::Amps(0.0));
     buf.notifyBackendPower(true);
+    const uint64_t before = allocCount();
     for (auto _ : state) {
         buf.step(units::Seconds(1e-3), units::Watts(3e-3),
                  units::Amps(1e-3));
         benchmark::DoNotOptimize(buf.railVoltage());
     }
+    state.counters["allocs_per_iter"] = benchmark::Counter(
+        static_cast<double>(allocCount() - before),
+        benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_ReactBufferStep);
 
@@ -56,11 +217,15 @@ BM_MorphyBufferStep(benchmark::State &state)
     for (int i = 0; i < 5000; ++i)
         buf.step(units::Seconds(1e-3), units::Watts(3e-3),
                  units::Amps(0.0));
+    const uint64_t before = allocCount();
     for (auto _ : state) {
         buf.step(units::Seconds(1e-3), units::Watts(3e-3),
                  units::Amps(1e-3));
         benchmark::DoNotOptimize(buf.railVoltage());
     }
+    state.counters["allocs_per_iter"] = benchmark::Counter(
+        static_cast<double>(allocCount() - before),
+        benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_MorphyBufferStep);
 
@@ -116,4 +281,16 @@ BENCHMARK(BM_TraceGeneration)->Arg(60)->Arg(300);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    const int audit_failures = runAllocationAudit();
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    return audit_failures == 0 ? 0 : 1;
+}

@@ -46,20 +46,31 @@ main()
     const Row rows[] = {{units::Farads(1e-3), "1mF", "5.7%"},
                         {units::Farads(10e-3), "10mF", "3.3%"},
                         {units::Farads(300e-3), "300mF", "never starts"}};
-    for (const auto &row : rows) {
-        buffer::StaticBuffer buf(harness::staticBufferSpec(row.cap),
-                                 units::Volts(3.6),
-                                 row.name);
-        auto de = harness::makeBenchmark(
-            harness::BenchmarkKind::DataEncryption,
-            night.duration() + cfg.drainAllowance);
-        harvest::HarvesterFrontend frontend(night);
-        const auto r = harness::runExperiment(buf, de.get(), frontend,
-                                              cfg);
-        table.addRow({row.name, bench::latencyCell(r.latency, 1),
+    std::array<harness::ExperimentResult, 3> results;
+    harness::ParallelRunner runner;
+    for (size_t i = 0; i < 3; ++i) {
+        const Row row = rows[i];
+        harness::ExperimentResult *slot = &results[i];
+        const std::string key = std::string("sec2:night:") + row.name;
+        runner.submit(key, [=, &night]() {
+            buffer::StaticBuffer buf(harness::staticBufferSpec(row.cap),
+                                     units::Volts(3.6),
+                                     row.name);
+            auto de = harness::makeBenchmark(
+                harness::BenchmarkKind::DataEncryption,
+                night.duration() + cfg.drainAllowance,
+                harness::cellSeed(bench::kEvaluationSeed, key));
+            harvest::HarvesterFrontend frontend(night);
+            *slot = harness::runExperiment(buf, de.get(), frontend, cfg);
+        });
+    }
+    runner.run();
+    for (size_t i = 0; i < 3; ++i) {
+        const auto &r = results[i];
+        table.addRow({rows[i].name, bench::latencyCell(r.latency, 1),
                       r.latency < 0 ? "never starts"
                                     : TextTable::percent(r.dutyCycle(), 1),
-                      row.paper});
+                      rows[i].paper});
     }
     table.print();
     std::printf("\npaper shape: under scarcity, smaller is better; the "

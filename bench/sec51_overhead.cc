@@ -25,19 +25,28 @@ main()
         static_cast<size_t>(duration / 0.1), 20e-3);
     trace::PowerTrace strong(0.1, samples, "continuous 20mW");
 
-    // DE on a static buffer: no monitoring software.
-    auto static_buf = harness::makeBuffer(harness::BufferKind::Static770uF);
-    auto de1 = harness::makeBenchmark(
-        harness::BenchmarkKind::DataEncryption, duration + 60.0);
-    harvest::HarvesterFrontend f1(strong);
-    const auto base = harness::runExperiment(*static_buf, de1.get(), f1);
-
-    // DE on REACT: polling at 10 Hz steals compute.
-    auto react_buf = harness::makeBuffer(harness::BufferKind::React);
-    auto de2 = harness::makeBenchmark(
-        harness::BenchmarkKind::DataEncryption, duration + 60.0);
-    harvest::HarvesterFrontend f2(strong);
-    const auto with = harness::runExperiment(*react_buf, de2.get(), f2);
+    // Two independent cells: DE on a static buffer (no monitoring
+    // software) versus DE on REACT (10 Hz polling steals compute).
+    harness::ParallelRunner runner;
+    harness::ExperimentResult base, with;
+    const harness::BufferKind overhead_kinds[2] = {
+        harness::BufferKind::Static770uF, harness::BufferKind::React};
+    harness::ExperimentResult *overhead_slots[2] = {&base, &with};
+    for (size_t i = 0; i < 2; ++i) {
+        const auto kind = overhead_kinds[i];
+        harness::ExperimentResult *slot = overhead_slots[i];
+        const std::string key =
+            "sec51:overhead:" + harness::bufferKindName(kind);
+        runner.submit(key, [=, &strong]() {
+            auto buf = harness::makeBuffer(kind);
+            auto de = harness::makeBenchmark(
+                harness::BenchmarkKind::DataEncryption, duration + 60.0,
+                harness::cellSeed(bench::kEvaluationSeed, key));
+            harvest::HarvesterFrontend frontend(strong);
+            *slot = harness::runExperiment(*buf, de.get(), frontend);
+        });
+    }
+    runner.run();
 
     const double rate_base =
         static_cast<double>(base.workUnits) / base.onTime;
@@ -56,26 +65,34 @@ main()
     // Per-bank scaling: run with progressively fewer banks.
     TextTable table("hardware draw vs bank count");
     table.setHeader({"banks", "draw(uW)"});
+    std::array<double, 6> draws{};
     for (int banks = 0; banks <= 5; ++banks) {
-        core::ReactConfig cfg = core::ReactConfig::paperConfig();
-        cfg.banks.resize(static_cast<size_t>(banks));
-        core::ReactBuffer buf(cfg);
-        // Charge, enable, and saturate the controller.
-        for (int i = 0; i < 5000; ++i)
-            buf.step(units::Seconds(1e-3), units::Watts(5e-3),
-                     units::Amps(0.0));
-        buf.notifyBackendPower(true);
-        for (int i = 0; i < 120000; ++i)
-            buf.step(units::Seconds(1e-3), units::Watts(5e-3),
-                     units::Amps(0.2e-3));
-        // Steady-state overhead power over the last interval.
-        const units::Joules before = buf.ledger().overhead;
-        for (int i = 0; i < 10000; ++i)
-            buf.step(units::Seconds(1e-3), units::Watts(5e-3),
-                     units::Amps(0.2e-3));
-        const double draw = (buf.ledger().overhead - before).raw() / 10.0;
+        double *slot = &draws[static_cast<size_t>(banks)];
+        runner.submit("sec51:banks=" + std::to_string(banks), [=]() {
+            core::ReactConfig cfg = core::ReactConfig::paperConfig();
+            cfg.banks.resize(static_cast<size_t>(banks));
+            core::ReactBuffer buf(cfg);
+            // Charge, enable, and saturate the controller.
+            for (int i = 0; i < 5000; ++i)
+                buf.step(units::Seconds(1e-3), units::Watts(5e-3),
+                         units::Amps(0.0));
+            buf.notifyBackendPower(true);
+            for (int i = 0; i < 120000; ++i)
+                buf.step(units::Seconds(1e-3), units::Watts(5e-3),
+                         units::Amps(0.2e-3));
+            // Steady-state overhead power over the last interval.
+            const units::Joules before = buf.ledger().overhead;
+            for (int i = 0; i < 10000; ++i)
+                buf.step(units::Seconds(1e-3), units::Watts(5e-3),
+                         units::Amps(0.2e-3));
+            *slot = (buf.ledger().overhead - before).raw() / 10.0;
+        });
+    }
+    runner.run();
+    for (int banks = 0; banks <= 5; ++banks) {
         table.addRow({TextTable::integer(banks),
-                      TextTable::num(draw * 1e6, 1)});
+                      TextTable::num(draws[static_cast<size_t>(banks)] *
+                                     1e6, 1)});
     }
     table.print();
     return 0;

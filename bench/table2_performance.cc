@@ -50,14 +50,27 @@ const char *kBenchNames[3] = {"Data Encrypt", "Sense and Compute",
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace react;
     bench::printPreamble(
         "Table 2: benchmark performance (work units completed)",
         "Table 2 (DE encryptions / SC samples / RT transmissions, "
         "trace + run-until-drain)");
+    auto csv = bench::csvFromArgs(argc, argv);
 
+    // Fan all 75 cells across the runner; each grid cell writes only its
+    // own slot, so the results -- and the golden CSV below -- are
+    // bit-identical at every thread count.
+    bench::prewarmEvaluationTraces();
+    harness::ParallelRunner runner;
+    std::array<bench::GridResults, 3> results;
+    for (int b = 0; b < 3; ++b)
+        bench::submitGrid(runner, kBenchmarks[b],
+                          results[static_cast<size_t>(b)]);
+    runner.run();
+
+    csv.line("benchmark,trace,buffer,work_units");
     for (int b = 0; b < 3; ++b) {
         TextTable table(kBenchNames[b]);
         table.setHeader({"Trace", "770uF", "10mF", "17mF", "Morphy",
@@ -70,8 +83,12 @@ main()
             std::vector<std::string> paper = {"  (paper)"};
             int col = 0;
             for (const auto buffer_kind : harness::kAllBuffers) {
-                const auto r = bench::runCell(buffer_kind, kBenchmarks[b],
-                                              trace_kind);
+                const auto &r = results[static_cast<size_t>(b)]
+                    [static_cast<size_t>(row)][static_cast<size_t>(col)];
+                csv.line(harness::benchmarkKindName(kBenchmarks[b]) + "," +
+                         trace::paperTraceName(trace_kind) + "," +
+                         harness::bufferKindName(buffer_kind) + "," +
+                         std::to_string(r.workUnits));
                 measured.push_back(TextTable::integer(
                     static_cast<long long>(r.workUnits)));
                 paper.push_back(TextTable::integer(
@@ -98,5 +115,6 @@ main()
         table.print();
         std::printf("\n");
     }
+    csv.write();
     return 0;
 }

@@ -32,6 +32,30 @@ main()
     harness::ExperimentConfig cfg;
     cfg.stopAfterLatency = true;
 
+    // Latency cells run no workload (no RNG stream); they are still
+    // independent, so fan them across the runner.
+    bench::prewarmEvaluationTraces();
+    harness::ParallelRunner runner;
+    bench::GridResults results;
+    for (size_t t = 0; t < trace::kAllPaperTraces.size(); ++t) {
+        for (size_t b = 0; b < harness::kAllBuffers.size(); ++b) {
+            const auto trace_kind = trace::kAllPaperTraces[t];
+            const auto buffer_kind = harness::kAllBuffers[b];
+            harness::ExperimentResult *slot = &results[t][b];
+            runner.submit(
+                "table4:" + trace::paperTraceName(trace_kind) + ":" +
+                    harness::bufferKindName(buffer_kind),
+                [=]() {
+                    auto buffer = harness::makeBuffer(buffer_kind);
+                    harvest::HarvesterFrontend frontend(
+                        bench::evaluationTrace(trace_kind));
+                    *slot = harness::runExperiment(*buffer, nullptr,
+                                                   frontend, cfg);
+                });
+        }
+    }
+    runner.run();
+
     TextTable table;
     table.setHeader({"Trace", "770uF", "10mF", "17mF", "Morphy", "REACT"});
 
@@ -46,11 +70,9 @@ main()
         std::vector<std::string> paper_row = {"  (paper)"};
         int col_idx = 0;
         for (const auto buffer_kind : harness::kAllBuffers) {
-            auto buffer = harness::makeBuffer(buffer_kind);
-            harvest::HarvesterFrontend frontend(
-                bench::evaluationTrace(trace_kind));
-            const auto r =
-                harness::runExperiment(*buffer, nullptr, frontend, cfg);
+            (void)buffer_kind;
+            const auto &r = results[static_cast<size_t>(row_idx)]
+                [static_cast<size_t>(col_idx)];
             measured_row.push_back(bench::latencyCell(r.latency));
             paper_row.push_back(bench::latencyCell(
                 paper[row_idx][col_idx]));

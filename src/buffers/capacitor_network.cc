@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
 
 #include "util/logging.hh"
 
@@ -27,6 +26,30 @@ CapacitorNetwork::CapacitorNetwork(int unit_count,
     units.reserve(static_cast<size_t>(unit_count));
     for (int i = 0; i < unit_count; ++i)
         units.emplace_back(unit_spec);
+    connectedFlags.assign(units.size(), 0);
+}
+
+CapacitorNetwork::CapacitorNetwork(const CapacitorNetwork &other)
+    : units(other.units), ownedConfig(other.ownedConfig),
+      connectedFlags(other.connectedFlags)
+{
+    // A source that owned its config must not leave the copy aliasing the
+    // source's storage; a source borrowing a shared ladder entry may.
+    currentCfg = other.currentCfg == &other.ownedConfig ? &ownedConfig
+                                                        : other.currentCfg;
+}
+
+CapacitorNetwork &
+CapacitorNetwork::operator=(const CapacitorNetwork &other)
+{
+    if (this == &other)
+        return *this;
+    units = other.units;
+    ownedConfig = other.ownedConfig;
+    connectedFlags = other.connectedFlags;
+    currentCfg = other.currentCfg == &other.ownedConfig ? &ownedConfig
+                                                        : other.currentCfg;
+    return *this;
 }
 
 Volts
@@ -60,7 +83,7 @@ CapacitorNetwork::branchCapacitance(const std::vector<int> &branch) const
 Farads
 CapacitorNetwork::equivalentCapacitance() const
 {
-    return current.equivalentCapacitance(units[0].capacitance());
+    return currentCfg->equivalentCapacitance(units[0].capacitance());
 }
 
 Volts
@@ -68,9 +91,9 @@ CapacitorNetwork::outputVoltage() const
 {
     // Between reconfigurations the connected branches stay equalized, so
     // any branch's terminal voltage is the node voltage.
-    if (current.branches.empty())
+    if (currentCfg->branches.empty())
         return Volts(0.0);
-    return branchVoltage(current.branches.front());
+    return branchVoltage(currentCfg->branches.front());
 }
 
 Joules
@@ -86,7 +109,7 @@ Joules
 CapacitorNetwork::connectedEnergy() const
 {
     Joules e{0.0};
-    for (const auto &branch : current.branches) {
+    for (const auto &branch : currentCfg->branches) {
         for (int idx : branch)
             e += units[static_cast<size_t>(idx)].energy();
     }
@@ -96,14 +119,14 @@ CapacitorNetwork::connectedEnergy() const
 Joules
 CapacitorNetwork::equalizeConnected()
 {
-    if (current.branches.empty())
+    if (currentCfg->branches.empty())
         return Joules(0.0);
 
     // Parallel equalization: the common terminal voltage conserves total
     // branch charge, V_f = sum(Q_br) / sum(C_br).
     Coulombs q_total{0.0};
     Farads c_total{0.0};
-    for (const auto &branch : current.branches) {
+    for (const auto &branch : currentCfg->branches) {
         const Farads c_br = branchCapacitance(branch);
         q_total += c_br * branchVoltage(branch);
         c_total += c_br;
@@ -111,7 +134,7 @@ CapacitorNetwork::equalizeConnected()
     const Volts v_final = std::max(q_total / c_total, Volts(0.0));
 
     const Joules e_before = connectedEnergy();
-    for (const auto &branch : current.branches) {
+    for (const auto &branch : currentCfg->branches) {
         const Farads c_br = branchCapacitance(branch);
         const Coulombs dq = c_br * (v_final - branchVoltage(branch));
         // Series chains carry the same charge through every member.
@@ -122,33 +145,53 @@ CapacitorNetwork::equalizeConnected()
     return std::max(e_before - e_after, Joules(0.0));
 }
 
-Joules
-CapacitorNetwork::reconfigure(const NetworkConfig &next)
+void
+CapacitorNetwork::adoptConfig(const NetworkConfig &next)
 {
-    // Validate: indices in range, no duplicates.
-    std::set<int> seen;
+    // Validate (indices in range, no duplicates) while rebuilding the
+    // connected-unit flags in place; the flags double as the "seen" set so
+    // reconfiguration needs no temporary container.
+    std::fill(connectedFlags.begin(), connectedFlags.end(),
+              static_cast<uint8_t>(0));
     for (const auto &branch : next.branches) {
         react_assert(!branch.empty(), "network config has an empty branch");
         for (int idx : branch) {
             react_assert(idx >= 0 && idx < unitCount(),
                          "network config index %d out of range", idx);
-            react_assert(seen.insert(idx).second,
+            uint8_t &flag = connectedFlags[static_cast<size_t>(idx)];
+            react_assert(flag == 0,
                          "unit %d appears twice in network config", idx);
+            flag = 1;
         }
     }
+}
 
-    current = next;
+Joules
+CapacitorNetwork::reconfigure(const NetworkConfig &next)
+{
+    adoptConfig(next);
+    ownedConfig = next;
+    currentCfg = &ownedConfig;
+    return equalizeConnected();
+}
+
+Joules
+CapacitorNetwork::reconfigureShared(const NetworkConfig *next)
+{
+    react_assert(next != nullptr, "shared network config must not be null");
+    adoptConfig(*next);
+    currentCfg = next;
     return equalizeConnected();
 }
 
 void
 CapacitorNetwork::addChargeAtOutput(Coulombs dq)
 {
-    if (current.branches.empty())
+    if (currentCfg->branches.empty())
         return;
     const Farads c_eq = equivalentCapacitance();
     const Volts dv = dq / c_eq;
-    for (const auto &branch : current.branches) {
+    for (const auto &branch : currentCfg->branches) {
         const Coulombs dq_br = branchCapacitance(branch) * dv;
         for (int idx : branch)
             units[static_cast<size_t>(idx)].addCharge(dq_br);
@@ -173,17 +216,15 @@ CapacitorNetwork::clipOutput(Volts ceiling)
 {
     Joules clipped{0.0};
     const Volts v_out = outputVoltage();
-    if (!current.branches.empty() && v_out > ceiling) {
+    if (!currentCfg->branches.empty() && v_out > ceiling) {
         const Joules e_before = connectedEnergy();
         addChargeAtOutput(equivalentCapacitance() * (ceiling - v_out));
         clipped += e_before - connectedEnergy();
     }
-    // Disconnected units are bounded only by their rating.
-    std::set<int> connected;
-    for (const auto &branch : current.branches)
-        connected.insert(branch.begin(), branch.end());
+    // Disconnected units are bounded only by their rating; the flags are
+    // maintained by adoptConfig() so this pass allocates nothing per step.
     for (int i = 0; i < unitCount(); ++i) {
-        if (!connected.count(i))
+        if (!connectedFlags[static_cast<size_t>(i)])
             clipped += units[static_cast<size_t>(i)].clip();
     }
     return clipped;

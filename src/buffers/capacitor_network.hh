@@ -21,6 +21,7 @@
 #ifndef REACT_BUFFERS_CAPACITOR_NETWORK_HH
 #define REACT_BUFFERS_CAPACITOR_NETWORK_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "sim/capacitor.hh"
@@ -66,7 +67,7 @@ class CapacitorNetwork
     void setUnitVoltage(int index, Volts voltage);
 
     /** Present arrangement. */
-    const NetworkConfig &config() const { return current; }
+    const NetworkConfig &config() const { return *currentCfg; }
 
     /** Equivalent capacitance of the connected arrangement (0 if none). */
     Farads equivalentCapacitance() const;
@@ -89,6 +90,17 @@ class CapacitorNetwork
      * @return Energy dissipated by charge sharing (>= 0).
      */
     Joules reconfigure(const NetworkConfig &next);
+
+    /**
+     * Rearrange to a caller-owned arrangement *without copying it*: the
+     * controller's pre-built configuration ladder stays resident and the
+     * step/poll hot path performs zero heap allocations.  The pointee
+     * must outlive the network (or its next reconfiguration).
+     *
+     * @param next Stable pre-validated-lifetime arrangement.
+     * @return Energy dissipated by charge sharing (>= 0).
+     */
+    Joules reconfigureShared(const NetworkConfig *next);
 
     /**
      * Add signed charge at the output node, distributed across connected
@@ -121,8 +133,28 @@ class CapacitorNetwork
      *  returns the energy dissipated. */
     Joules equalizeConnected();
 
+    /** Validate an arrangement and rebuild connectedFlags from it. */
+    void adoptConfig(const NetworkConfig &next);
+
     std::vector<sim::Capacitor> units;
-    NetworkConfig current;
+
+    /**
+     * Present arrangement.  Either owned (copied by reconfigure()) or
+     * borrowed from the caller (reconfigureShared(), used by the Morphy
+     * ladder so reconfiguration allocates nothing).  The copy operations
+     * below re-point a copied owned config at the copy's own storage.
+     */
+    NetworkConfig ownedConfig;
+    const NetworkConfig *currentCfg = &ownedConfig;
+
+    /** Per-unit connected flag, maintained by adoptConfig(); lets the
+     *  per-step clip pass skip the old std::set rebuild (the engine's
+     *  last per-step heap allocation). */
+    std::vector<uint8_t> connectedFlags;
+
+  public:
+    CapacitorNetwork(const CapacitorNetwork &other);
+    CapacitorNetwork &operator=(const CapacitorNetwork &other);
 };
 
 } // namespace buffer

@@ -149,7 +149,10 @@ MorphyBuffer::applyConfig(int index)
 
     // Stage 1: branches of the new arrangement equalize among themselves
     // (reconfigure's own measured loss is subsumed by the bracket here).
-    network.reconfigure(configs[static_cast<size_t>(index)]);
+    // The ladder is immutable for the buffer's lifetime, so the network
+    // borrows the entry instead of copying it -- keeping ladder
+    // transitions free of heap allocation on the fixed-timestep path.
+    network.reconfigureShared(&configs[static_cast<size_t>(index)]);
 
     // Stage 2: the (now internally equalized) network shares the output
     // node with the task capacitor; equalize them too.  The staging is
@@ -264,7 +267,7 @@ MorphyBuffer::reset()
     task.setVoltage(Volts(0.0));
     for (int i = 0; i < network.unitCount(); ++i)
         network.setUnitVoltage(i, Volts(0.0));
-    network.reconfigure(NetworkConfig{});
+    network.reconfigureShared(&configs[0]);  // ladder entry 0 is empty
     configIndex = 0;
     requestedLevel = 0;
     pollAccumulator = Seconds(0.0);

@@ -74,6 +74,7 @@ runExperiment(buffer::EnergyBuffer &buffer, workload::Benchmark *benchmark,
 
     while (true) {
         t += config.dt;
+        ++result.steps;
 
         // Power gate observes the rail left by the previous step.
         if (gate.update(buffer.railVoltage())) {

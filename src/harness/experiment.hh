@@ -91,6 +91,8 @@ struct ExperimentResult
     double onTime = 0.0;
     /** Total simulated time, seconds. */
     double totalTime = 0.0;
+    /** Fixed-timestep engine iterations executed (totalTime / dt). */
+    uint64_t steps = 0;
     /** Number of power cycles (off -> on transitions). */
     uint64_t powerCycles = 0;
     /** Mean uninterrupted on-period, seconds. */

@@ -1,0 +1,193 @@
+#include "parallel_runner.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/logging.hh"
+
+namespace react {
+namespace harness {
+
+namespace {
+
+/** splitmix64 finalizer: full-avalanche 64-bit mix. */
+uint64_t
+mix64(uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+uint64_t
+cellSeed(uint64_t base_seed, std::string_view cell_key)
+{
+    // FNV-1a over the key bytes...
+    uint64_t h = 1469598103934665603ull;
+    for (const char c : cell_key) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    // ...then avalanche the base seed in.  Two mix rounds so that keys
+    // differing in one late byte and bases differing in one bit both
+    // flip about half the output.
+    return mix64(h + mix64(base_seed + 0x9e3779b97f4a7c15ull));
+}
+
+struct ParallelRunner::WorkerQueue
+{
+    std::mutex lock;
+    std::deque<size_t> indices;
+};
+
+ParallelRunner::ParallelRunner(int threads)
+    : nThreads(threads > 0 ? threads : defaultThreadCount())
+{
+}
+
+int
+ParallelRunner::defaultThreadCount()
+{
+    if (const char *env = std::getenv("REACT_THREADS")) {
+        const long n = std::strtol(env, nullptr, 10);
+        if (n > 0)
+            return static_cast<int>(n);
+        react_warn("ignoring REACT_THREADS='%s' (want a positive integer)",
+                   env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+size_t
+ParallelRunner::submit(std::string label, std::function<void()> fn)
+{
+    tasks.push_back(Task{std::move(label), std::move(fn)});
+    return tasks.size() - 1;
+}
+
+long
+ParallelRunner::nextTask(int worker_index)
+{
+    auto &queues_ref = *queues;
+    // Own deque first, front-out: preserves the deterministic deal order
+    // for the common un-stolen case.
+    {
+        auto &q = queues_ref[static_cast<size_t>(worker_index)];
+        std::lock_guard<std::mutex> g(q.lock);
+        if (!q.indices.empty()) {
+            const size_t idx = q.indices.front();
+            q.indices.pop_front();
+            return static_cast<long>(idx);
+        }
+    }
+    // Steal from the back of the other workers' deques (back-out keeps
+    // the victim's front cache-warm for the victim).
+    const int n = static_cast<int>(queues_ref.size());
+    for (int offset = 1; offset < n; ++offset) {
+        auto &victim =
+            queues_ref[static_cast<size_t>((worker_index + offset) % n)];
+        std::lock_guard<std::mutex> g(victim.lock);
+        if (!victim.indices.empty()) {
+            const size_t idx = victim.indices.back();
+            victim.indices.pop_back();
+            return static_cast<long>(idx);
+        }
+    }
+    return -1;
+}
+
+void
+ParallelRunner::workerLoop(int worker_index)
+{
+    for (;;) {
+        const long idx = nextTask(worker_index);
+        if (idx < 0)
+            return;
+        auto &task = tasks[static_cast<size_t>(idx)];
+        const auto t0 = std::chrono::steady_clock::now();
+        task.fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        cellTimings[static_cast<size_t>(idx)].seconds =
+            std::chrono::duration<double>(t1 - t0).count();
+    }
+}
+
+void
+ParallelRunner::run()
+{
+    cellTimings.clear();
+    cellTimings.reserve(tasks.size());
+    for (const auto &task : tasks)
+        cellTimings.push_back(CellTiming{task.label, 0.0});
+
+    const auto t0 = std::chrono::steady_clock::now();
+
+    if (nThreads <= 1 || tasks.size() <= 1) {
+        // Serial reference path: submission order, no pool machinery.
+        for (size_t i = 0; i < tasks.size(); ++i) {
+            const auto c0 = std::chrono::steady_clock::now();
+            tasks[i].fn();
+            const auto c1 = std::chrono::steady_clock::now();
+            cellTimings[i].seconds =
+                std::chrono::duration<double>(c1 - c0).count();
+        }
+    } else {
+        // Deterministic round-robin deal onto per-worker deques.  The
+        // deal (and hence which cell lands where when nothing is
+        // stolen) depends only on submission order and thread count --
+        // and cell *results* depend on neither, which the determinism
+        // suite enforces.
+        const int n = std::min<int>(nThreads,
+                                    static_cast<int>(tasks.size()));
+        std::vector<WorkerQueue> worker_queues(
+            static_cast<size_t>(n));
+        for (size_t i = 0; i < tasks.size(); ++i) {
+            worker_queues[i % static_cast<size_t>(n)].indices.push_back(i);
+        }
+        queues = &worker_queues;
+
+        std::exception_ptr first_error;
+        std::mutex error_lock;
+        std::vector<std::thread> workers;
+        workers.reserve(static_cast<size_t>(n));
+        for (int w = 0; w < n; ++w) {
+            workers.emplace_back([this, w, &first_error, &error_lock] {
+                try {
+                    workerLoop(w);
+                } catch (...) {
+                    std::lock_guard<std::mutex> g(error_lock);
+                    if (!first_error)
+                        first_error = std::current_exception();
+                }
+            });
+        }
+        for (auto &worker : workers)
+            worker.join();
+        queues = nullptr;
+        if (first_error)
+            std::rethrow_exception(first_error);
+    }
+
+    const auto t1 = std::chrono::steady_clock::now();
+    lastWallSeconds = std::chrono::duration<double>(t1 - t0).count();
+    tasks.clear();
+}
+
+double
+ParallelRunner::busySeconds() const
+{
+    double total = 0.0;
+    for (const auto &timing : cellTimings)
+        total += timing.seconds;
+    return total;
+}
+
+} // namespace harness
+} // namespace react

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Deterministic parallel experiment engine.
+ *
+ * The paper evaluation is an embarrassingly parallel grid of independent
+ * (buffer config x trace x seed) simulation *cells*, but reproducibility
+ * demands that parallelism never leak into the physics: a sweep run on
+ * one thread and on sixteen must produce bit-identical results.  The
+ * runner enforces the two rules that make that true:
+ *
+ *  1. Every cell is a self-contained closure writing to its own result
+ *     slot.  Cells share nothing mutable; the runner only schedules.
+ *  2. Randomness is seeded from the *cell key* (a stable string naming
+ *     the cell, see cellSeed()), never from thread identity, scheduling
+ *     order, time, or any other execution accident.
+ *
+ * Scheduling is work-stealing: cells are dealt round-robin onto per-
+ * worker deques at submission time (a deterministic assignment), each
+ * worker drains its own deque from the front and steals from the back of
+ * its neighbours' when empty, so one long cell cannot strand the sweep
+ * behind an idle core.  With one thread the runner degrades to an inline
+ * serial loop in submission order -- the reference execution that the
+ * determinism suite compares against.
+ */
+
+#ifndef REACT_HARNESS_PARALLEL_RUNNER_HH
+#define REACT_HARNESS_PARALLEL_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace react {
+namespace harness {
+
+/**
+ * Derive a deterministic RNG seed from a stable cell identity.
+ *
+ * The key should name the cell the way a person would ("table2:DE:RF
+ * Cart:REACT"), so the same cell gets the same stream in every sweep,
+ * any thread count, any submission order -- and two different cells get
+ * statistically unrelated streams.  FNV-1a over the key, avalanched
+ * together with the caller's base seed via splitmix64 finalizers.
+ */
+uint64_t cellSeed(uint64_t base_seed, std::string_view cell_key);
+
+/** Wall-clock accounting for one executed cell. */
+struct CellTiming
+{
+    /** Display label the cell was submitted under. */
+    std::string label;
+    /** Wall seconds the cell's closure ran for. */
+    double seconds = 0.0;
+};
+
+/** Work-stealing scheduler for independent simulation cells. */
+class ParallelRunner
+{
+  public:
+    /**
+     * @param threads Worker count; 0 picks defaultThreadCount().  One
+     *        worker executes inline (no thread is spawned).
+     */
+    explicit ParallelRunner(int threads = 0);
+
+    /**
+     * Thread count used when the constructor is given 0: the REACT_THREADS
+     * environment variable when set to a positive integer, otherwise
+     * std::thread::hardware_concurrency (at least 1).
+     */
+    static int defaultThreadCount();
+
+    /** Number of workers this runner executes with. */
+    int threadCount() const { return nThreads; }
+
+    /**
+     * Submit one cell.  The closure must be independent of every other
+     * submitted cell (no shared mutable state) and deterministic given
+     * its captures; it typically writes into a caller-owned result slot.
+     *
+     * @param label Display/timing label (stable, human-readable).
+     * @param fn Cell body.
+     * @return Submission index (also the index into timings()).
+     */
+    size_t submit(std::string label, std::function<void()> fn);
+
+    /**
+     * Execute every submitted cell and block until all complete.  The
+     * first exception thrown by a cell is rethrown here after the pool
+     * drains.  The runner may be reused: cells submitted after run()
+     * form a new batch.
+     */
+    void run();
+
+    /** Wall seconds of the last run() (scheduling included). */
+    double wallSeconds() const { return lastWallSeconds; }
+
+    /** Per-cell wall timings of the last run(), in submission order. */
+    const std::vector<CellTiming> &timings() const { return cellTimings; }
+
+    /** Sum of per-cell wall seconds of the last run() (the serial-
+     *  equivalent work content). */
+    double busySeconds() const;
+
+  private:
+    struct Task
+    {
+        std::string label;
+        std::function<void()> fn;
+    };
+
+    /** Worker loop: drain own deque, then steal. */
+    void workerLoop(int worker_index);
+
+    /** Pop the next task index for this worker; -1 when the batch is
+     *  exhausted. */
+    long nextTask(int worker_index);
+
+    int nThreads = 1;
+    std::vector<Task> tasks;
+    std::vector<CellTiming> cellTimings;
+    double lastWallSeconds = 0.0;
+
+    /** Per-worker task-index deques (guarded by one mutex each); rebuilt
+     *  by run() from the round-robin deal. */
+    struct WorkerQueue;
+    std::vector<WorkerQueue> *queues = nullptr;  // set during run() only
+};
+
+} // namespace harness
+} // namespace react
+
+#endif // REACT_HARNESS_PARALLEL_RUNNER_HH

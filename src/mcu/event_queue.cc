@@ -13,6 +13,26 @@ EventQueue::EventQueue(std::vector<double> event_times)
 {
     react_assert(std::is_sorted(this->times.begin(), this->times.end()),
                  "event timestamps must be sorted");
+    ids.resize(times.size());
+    for (size_t i = 0; i < ids.size(); ++i)
+        ids[i] = nextId++;
+}
+
+uint64_t
+EventQueue::push(double when)
+{
+    // Insert after every pending event with the same timestamp so equal-
+    // time delivery is FIFO in scheduling order.  An event timestamped in
+    // the consumed past lands at the front of the pending region and
+    // fires next.
+    const auto pos = std::upper_bound(
+        times.begin() + static_cast<std::ptrdiff_t>(next), times.end(),
+        when);
+    const auto index = pos - times.begin();
+    const uint64_t id = nextId++;
+    times.insert(pos, when);
+    ids.insert(ids.begin() + index, id);
+    return id;
 }
 
 EventQueue
@@ -57,12 +77,14 @@ EventQueue::consumeUpTo(double now)
 }
 
 bool
-EventQueue::consumeNext(double now, double *when)
+EventQueue::consumeNext(double now, double *when, uint64_t *id)
 {
     if (!pending(now))
         return false;
     if (when)
         *when = times[next];
+    if (id)
+        *id = ids[next];
     ++next;
     return true;
 }

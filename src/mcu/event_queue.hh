@@ -15,6 +15,7 @@
 #define REACT_MCU_EVENT_QUEUE_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "util/rng.hh"
@@ -40,6 +41,21 @@ class EventQueue
     static EventQueue poisson(double mean_interarrival, double duration,
                               Rng &rng);
 
+    /**
+     * Schedule one more event at runtime (e.g. a retransmission or a
+     * fault-injected spurious wakeup).  The event lands *after* every
+     * already-scheduled event with the same timestamp: delivery among
+     * same-timestamp events is FIFO in scheduling order, so replaying
+     * the same push sequence always yields the same delivery order.
+     *
+     * Only the unconsumed region is reordered; an event pushed with a
+     * timestamp in the consumed past becomes the next pending event.
+     *
+     * @param when Event timestamp in seconds.
+     * @return The event's delivery id (see consumeNext()).
+     */
+    uint64_t push(double when);
+
     /** Total number of events scheduled. */
     size_t totalEvents() const { return times.size(); }
 
@@ -57,13 +73,16 @@ class EventQueue
     size_t consumeUpTo(double now);
 
     /**
-     * Consume the next event if it has fired by `now`.
+     * Consume the next event if it has fired by `now`.  Events with the
+     * same timestamp are consumed in scheduling (FIFO) order.
      *
      * @param now Current time in seconds.
      * @param when Filled with the event timestamp when one is consumed.
+     * @param id Optionally filled with the event's delivery id
+     *        (construction order, then push() order).
      * @return true when an event was consumed.
      */
-    bool consumeNext(double now, double *when);
+    bool consumeNext(double now, double *when, uint64_t *id = nullptr);
 
     /** Timestamp of the next unconsumed event; +inf when exhausted. */
     double nextEventTime() const;
@@ -73,7 +92,12 @@ class EventQueue
 
   private:
     std::vector<double> times;
+    /** Delivery id per event, parallel to times.  Ids record scheduling
+     *  order, making the FIFO tie-break among equal timestamps
+     *  observable (and testable). */
+    std::vector<uint64_t> ids;
     size_t next = 0;
+    uint64_t nextId = 0;
 };
 
 } // namespace mcu

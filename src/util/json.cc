@@ -1,0 +1,178 @@
+#include "json.hh"
+
+#include <cstdio>
+
+#include "logging.hh"
+
+namespace react {
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::indent()
+{
+    out.append(2 * hasElement.size(), ' ');
+}
+
+void
+JsonWriter::beforeElement()
+{
+    if (pendingKey) {
+        // Value attaches to the key already on the line.
+        pendingKey = false;
+        return;
+    }
+    if (!hasElement.empty()) {
+        if (hasElement.back())
+            out += ',';
+        out += '\n';
+        hasElement.back() = true;
+        indent();
+    }
+}
+
+void
+JsonWriter::beginObject()
+{
+    beforeElement();
+    out += '{';
+    hasElement.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    react_assert(!hasElement.empty(), "endObject without beginObject");
+    const bool had = hasElement.back();
+    hasElement.pop_back();
+    if (had) {
+        out += '\n';
+        indent();
+    }
+    out += '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    beforeElement();
+    out += '[';
+    hasElement.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    react_assert(!hasElement.empty(), "endArray without beginArray");
+    const bool had = hasElement.back();
+    hasElement.pop_back();
+    if (had) {
+        out += '\n';
+        indent();
+    }
+    out += ']';
+}
+
+void
+JsonWriter::key(std::string_view name)
+{
+    react_assert(!pendingKey, "two keys in a row");
+    beforeElement();
+    out += '"';
+    out += jsonEscape(name);
+    out += "\": ";
+    pendingKey = true;
+}
+
+void
+JsonWriter::value(std::string_view s)
+{
+    beforeElement();
+    out += '"';
+    out += jsonEscape(s);
+    out += '"';
+}
+
+void
+JsonWriter::value(double d)
+{
+    beforeElement();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out += buf;
+}
+
+void
+JsonWriter::value(uint64_t u)
+{
+    beforeElement();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(u));
+    out += buf;
+}
+
+void
+JsonWriter::value(int64_t i)
+{
+    beforeElement();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(i));
+    out += buf;
+}
+
+void
+JsonWriter::value(bool b)
+{
+    beforeElement();
+    out += b ? "true" : "false";
+}
+
+void
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        react_fatal("cannot open '%s' for writing", path.c_str());
+    const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    const int rc = std::fclose(f);
+    if (written != text.size() || rc != 0)
+        react_fatal("short write to '%s'", path.c_str());
+}
+
+} // namespace react

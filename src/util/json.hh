@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Minimal JSON emission for machine-readable bench artifacts
+ * (BENCH_parallel.json).  Write-only by design: the repository consumes
+ * these files from CI tooling, never parses them back.
+ *
+ * Doubles are printed with %.17g so a reader recovers the exact bits --
+ * the same bit-faithfulness contract as the golden CSV fixtures.
+ */
+
+#ifndef REACT_UTIL_JSON_HH
+#define REACT_UTIL_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace react {
+
+/**
+ * Streaming JSON writer with automatic comma/indent bookkeeping.
+ *
+ *     JsonWriter w;
+ *     w.beginObject();
+ *     w.field("threads", 8);
+ *     w.key("figures"); w.beginArray();
+ *     ... w.endArray();
+ *     w.endObject();
+ *     writeFile(path, w.str());
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter() = default;
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit an object key; must be followed by a value or container. */
+    void key(std::string_view name);
+
+    /** Scalar values (standalone or after key()). */
+    void value(std::string_view s);
+    void value(const char *s) { value(std::string_view(s)); }
+    void value(double d);
+    void value(uint64_t u);
+    void value(int64_t i);
+    void value(int i) { value(static_cast<int64_t>(i)); }
+    void value(bool b);
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void field(std::string_view name, T v)
+    {
+        key(name);
+        value(v);
+    }
+
+    /** Finished document text (call after the root container closes). */
+    const std::string &str() const { return out; }
+
+  private:
+    /** Comma/newline/indent before a new element at the current depth. */
+    void beforeElement();
+
+    void indent();
+
+    std::string out;
+    /** One entry per open container: whether it already has an element. */
+    std::vector<bool> hasElement;
+    /** A key was just written; the next value attaches to it inline. */
+    bool pendingKey = false;
+};
+
+/** JSON string escaping (quotes, backslash, control characters). */
+std::string jsonEscape(std::string_view s);
+
+/** Write a whole file; I/O failure raises react_fatal. */
+void writeTextFile(const std::string &path, const std::string &text);
+
+} // namespace react
+
+#endif // REACT_UTIL_JSON_HH

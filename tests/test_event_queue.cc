@@ -1,0 +1,157 @@
+/**
+ * @file
+ * EventQueue delivery-order tests, focused on the same-timestamp FIFO
+ * tie-break: events scheduled at an identical timestamp must be delivered
+ * in scheduling order (construction order first, then push() order), and
+ * that must hold under interleaved push/consume traffic.  The PF
+ * benchmark's retransmission path relies on this for replayable runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mcu/event_queue.hh"
+#include "util/rng.hh"
+
+namespace react {
+namespace mcu {
+namespace {
+
+/** Drain everything fired by `now`, returning delivery ids in order. */
+std::vector<uint64_t>
+drainIds(EventQueue &q, double now)
+{
+    std::vector<uint64_t> order;
+    double when = 0.0;
+    uint64_t id = 0;
+    while (q.consumeNext(now, &when, &id))
+        order.push_back(id);
+    return order;
+}
+
+TEST(EventQueueFifo, ConstructionOrderIsDeliveryOrder)
+{
+    // Three events share t=5; ids follow the constructor vector.
+    EventQueue q({2.0, 5.0, 5.0, 5.0, 9.0});
+    const auto order = drainIds(q, 10.0);
+    EXPECT_EQ(order, (std::vector<uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueFifo, PushAfterEqualTimestamps)
+{
+    EventQueue q({5.0, 5.0});
+    // A third t=5 event scheduled later must deliver after the first two.
+    const uint64_t late = q.push(5.0);
+    EXPECT_EQ(late, 2u);
+    EXPECT_EQ(q.totalEvents(), 3u);
+    EXPECT_EQ(drainIds(q, 5.0), (std::vector<uint64_t>{0, 1, 2}));
+}
+
+TEST(EventQueueFifo, PushKeepsTimeOrderAcrossTimestamps)
+{
+    EventQueue q({1.0, 3.0});
+    q.push(2.0); // id 2, between the two originals
+    double when = 0.0;
+    uint64_t id = 0;
+    ASSERT_TRUE(q.consumeNext(10.0, &when, &id));
+    EXPECT_DOUBLE_EQ(when, 1.0);
+    EXPECT_EQ(id, 0u);
+    ASSERT_TRUE(q.consumeNext(10.0, &when, &id));
+    EXPECT_DOUBLE_EQ(when, 2.0);
+    EXPECT_EQ(id, 2u);
+    ASSERT_TRUE(q.consumeNext(10.0, &when, &id));
+    EXPECT_DOUBLE_EQ(when, 3.0);
+    EXPECT_EQ(id, 1u);
+    EXPECT_FALSE(q.consumeNext(10.0, &when, &id));
+}
+
+TEST(EventQueueFifo, InterleavedPushAndPop)
+{
+    // Consume part of the schedule, push more equal-timestamp events,
+    // consume again: delivery stays FIFO within each timestamp and the
+    // already-consumed region is never disturbed.
+    EventQueue q({1.0, 2.0, 2.0, 4.0});
+    double when = 0.0;
+    uint64_t id = 0;
+
+    ASSERT_TRUE(q.consumeNext(1.0, &when, &id)); // t=1, id 0
+    EXPECT_EQ(id, 0u);
+
+    q.push(2.0); // id 4: third in the t=2 group
+    q.push(4.0); // id 5: second in the t=4 group
+
+    ASSERT_TRUE(q.consumeNext(2.0, &when, &id));
+    EXPECT_EQ(id, 1u);
+    q.push(2.0); // id 6: t=2 group grows *while being drained*
+    ASSERT_TRUE(q.consumeNext(2.0, &when, &id));
+    EXPECT_EQ(id, 2u);
+    ASSERT_TRUE(q.consumeNext(2.0, &when, &id));
+    EXPECT_EQ(id, 4u);
+    ASSERT_TRUE(q.consumeNext(2.0, &when, &id));
+    EXPECT_EQ(id, 6u);
+    EXPECT_FALSE(q.pending(3.9));
+
+    EXPECT_EQ(drainIds(q, 4.0), (std::vector<uint64_t>{3, 5}));
+    EXPECT_EQ(q.consumedEvents(), q.totalEvents());
+}
+
+TEST(EventQueueFifo, PastTimestampFiresNext)
+{
+    EventQueue q({1.0, 6.0});
+    ASSERT_EQ(q.consumeUpTo(2.0), 1u); // t=1 consumed; "now" is 2.
+    // A retransmission scheduled for t=1.5 -- already in the past --
+    // becomes the next pending event rather than resurrecting history.
+    const uint64_t id = q.push(1.5);
+    EXPECT_EQ(id, 2u);
+    double when = 0.0;
+    uint64_t got = 0;
+    ASSERT_TRUE(q.consumeNext(2.0, &when, &got));
+    EXPECT_DOUBLE_EQ(when, 1.5);
+    EXPECT_EQ(got, 2u);
+    EXPECT_DOUBLE_EQ(q.nextEventTime(), 6.0);
+}
+
+TEST(EventQueueFifo, PushSequenceIsReplayable)
+{
+    // Two queues fed the identical schedule+push sequence deliver the
+    // identical (when, id) stream -- the replayability contract.
+    const auto script = [](EventQueue &q) {
+        std::vector<std::pair<double, uint64_t>> log;
+        double when = 0.0;
+        uint64_t id = 0;
+        q.consumeNext(3.0, &when, &id);
+        log.emplace_back(when, id);
+        q.push(3.0);
+        q.push(7.0);
+        while (q.consumeNext(8.0, &when, &id))
+            log.emplace_back(when, id);
+        return log;
+    };
+    EventQueue a({3.0, 3.0, 7.0});
+    EventQueue b({3.0, 3.0, 7.0});
+    EXPECT_EQ(script(a), script(b));
+}
+
+TEST(EventQueueFifo, ResetReplaysOriginalIds)
+{
+    EventQueue q({2.0, 2.0});
+    q.push(2.0);
+    const auto first = drainIds(q, 2.0);
+    q.reset();
+    EXPECT_EQ(drainIds(q, 2.0), first);
+}
+
+TEST(EventQueueFifo, ConsumeNextWithoutIdPointer)
+{
+    // The id out-param is optional; existing callers pass nullptr.
+    EventQueue q = EventQueue::periodic(5.0, 18.0);
+    double when = 0.0;
+    ASSERT_TRUE(q.consumeNext(5.0, &when));
+    EXPECT_DOUBLE_EQ(when, 5.0);
+    EXPECT_FALSE(q.consumeNext(5.0, &when));
+}
+
+} // namespace
+} // namespace mcu
+} // namespace react

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * ParallelRunner scheduler tests plus the determinism property the whole
+ * evaluation pipeline depends on: the same sweep run on 1, 2, and 8
+ * worker threads must produce bit-identical experiment results -- work
+ * counts, timing, AND the energy-ledger audit totals -- because cell RNG
+ * streams are derived from stable cell identities, never from thread
+ * identity or scheduling order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/parallel_runner.hh"
+#include "harness/paper_setup.hh"
+#include "trace/power_trace.hh"
+
+namespace react {
+namespace harness {
+namespace {
+
+TEST(CellSeed, StableAcrossCalls)
+{
+    EXPECT_EQ(cellSeed(42, "DE:RF Cart:REACT"),
+              cellSeed(42, "DE:RF Cart:REACT"));
+}
+
+TEST(CellSeed, SensitiveToKeyAndBase)
+{
+    const uint64_t s = cellSeed(42, "DE:RF Cart:REACT");
+    EXPECT_NE(s, cellSeed(42, "DE:RF Cart:Morphy"));
+    EXPECT_NE(s, cellSeed(42, "DE:RF Cart:REACT "));
+    EXPECT_NE(s, cellSeed(43, "DE:RF Cart:REACT"));
+    EXPECT_NE(cellSeed(42, ""), 0u);
+}
+
+TEST(ParallelRunner, ExecutesEveryCellExactlyOnce)
+{
+    ParallelRunner runner(4);
+    constexpr int kCells = 100;
+    std::vector<std::atomic<int>> hits(kCells);
+    for (int i = 0; i < kCells; ++i) {
+        const size_t index =
+            runner.submit("cell", [&hits, i]() { hits[i].fetch_add(1); });
+        EXPECT_EQ(index, static_cast<size_t>(i));
+    }
+    runner.run();
+    for (int i = 0; i < kCells; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "cell " << i;
+}
+
+TEST(ParallelRunner, TimingsFollowSubmissionOrder)
+{
+    ParallelRunner runner(2);
+    int unused = 0;
+    runner.submit("alpha", [&]() { unused += 1; });
+    runner.submit("beta", [&]() { unused += 1; });
+    runner.run();
+    ASSERT_EQ(runner.timings().size(), 2u);
+    EXPECT_EQ(runner.timings()[0].label, "alpha");
+    EXPECT_EQ(runner.timings()[1].label, "beta");
+    EXPECT_GE(runner.timings()[0].seconds, 0.0);
+    EXPECT_GE(runner.wallSeconds(), 0.0);
+    EXPECT_GE(runner.busySeconds(), 0.0);
+}
+
+TEST(ParallelRunner, ReusableAcrossBatches)
+{
+    ParallelRunner runner(2);
+    int first = 0;
+    runner.submit("first", [&]() { first = 1; });
+    runner.run();
+    EXPECT_EQ(first, 1);
+
+    int second = 0;
+    runner.submit("second", [&]() { second = 2; });
+    runner.run();
+    EXPECT_EQ(second, 2);
+    // timings() describes only the latest batch.
+    ASSERT_EQ(runner.timings().size(), 1u);
+    EXPECT_EQ(runner.timings()[0].label, "second");
+}
+
+TEST(ParallelRunner, SingleThreadRunsInline)
+{
+    ParallelRunner runner(1);
+    EXPECT_EQ(runner.threadCount(), 1);
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        runner.submit("cell", [&order, i]() { order.push_back(i); });
+    runner.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelRunner, CellExceptionPropagates)
+{
+    ParallelRunner runner(2);
+    runner.submit("ok", []() {});
+    runner.submit("boom",
+                  []() { throw std::runtime_error("cell failure"); });
+    EXPECT_THROW(runner.run(), std::runtime_error);
+}
+
+TEST(ParallelRunner, EnvOverridesDefaultThreadCount)
+{
+    ASSERT_EQ(setenv("REACT_THREADS", "3", 1), 0);
+    EXPECT_EQ(ParallelRunner::defaultThreadCount(), 3);
+    ASSERT_EQ(setenv("REACT_THREADS", "garbage", 1), 0);
+    EXPECT_GE(ParallelRunner::defaultThreadCount(), 1);
+    ASSERT_EQ(unsetenv("REACT_THREADS"), 0);
+    EXPECT_GE(ParallelRunner::defaultThreadCount(), 1);
+    ParallelRunner defaulted(0);
+    EXPECT_GE(defaulted.threadCount(), 1);
+}
+
+/** Constant-power trace for fast deterministic cells. */
+trace::PowerTrace
+constantTrace(double watts, double duration)
+{
+    const double dt = 0.1;
+    std::vector<double> samples(
+        static_cast<size_t>(duration / dt), watts);
+    return trace::PowerTrace(dt, std::move(samples), "const");
+}
+
+/** Run a small buffer x benchmark grid at the given thread count. */
+std::vector<ExperimentResult>
+runDeterminismGrid(int threads)
+{
+    const BufferKind buffers[3] = {BufferKind::Static770uF,
+                                   BufferKind::Morphy, BufferKind::React};
+    const BenchmarkKind benchmarks[2] = {BenchmarkKind::DataEncryption,
+                                         BenchmarkKind::PacketForward};
+    constexpr double kTraceSeconds = 40.0;
+
+    ParallelRunner runner(threads);
+    std::vector<ExperimentResult> results(6);
+    for (int b = 0; b < 2; ++b) {
+        for (int u = 0; u < 3; ++u) {
+            ExperimentResult *slot = &results[b * 3 + u];
+            const auto bench_kind = benchmarks[b];
+            const auto buffer_kind = buffers[u];
+            const std::string key = benchmarkKindName(bench_kind) + ":" +
+                                    bufferKindName(buffer_kind);
+            runner.submit(key, [=]() {
+                auto buffer = makeBuffer(buffer_kind);
+                auto bench = makeBenchmark(bench_kind, kTraceSeconds,
+                                           cellSeed(42, key));
+                harvest::HarvesterFrontend frontend(
+                    constantTrace(2e-3, kTraceSeconds));
+                ExperimentConfig cfg;
+                cfg.strictConservation = true;
+                *slot = runExperiment(*buffer, bench.get(), frontend, cfg);
+            });
+        }
+    }
+    runner.run();
+    return results;
+}
+
+/** Bitwise equality of every number a result reports, ledger included. */
+void
+expectIdentical(const ExperimentResult &a, const ExperimentResult &b,
+                const char *what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(a.workUnits, b.workUnits);
+    EXPECT_EQ(a.packetsRx, b.packetsRx);
+    EXPECT_EQ(a.packetsTx, b.packetsTx);
+    EXPECT_EQ(a.missedEvents, b.missedEvents);
+    EXPECT_EQ(a.failedOps, b.failedOps);
+    EXPECT_EQ(a.steps, b.steps);
+    EXPECT_EQ(a.powerCycles, b.powerCycles);
+    // Doubles compared with == on purpose: the contract is bit-identity,
+    // not approximation.
+    EXPECT_TRUE(a.latency == b.latency);
+    EXPECT_TRUE(a.onTime == b.onTime);
+    EXPECT_TRUE(a.totalTime == b.totalTime);
+    EXPECT_TRUE(a.residualEnergy == b.residualEnergy);
+    // Energy-ledger audit totals.
+    EXPECT_TRUE(a.ledger.harvested.raw() == b.ledger.harvested.raw());
+    EXPECT_TRUE(a.ledger.delivered.raw() == b.ledger.delivered.raw());
+    EXPECT_TRUE(a.ledger.clipped.raw() == b.ledger.clipped.raw());
+    EXPECT_TRUE(a.ledger.leaked.raw() == b.ledger.leaked.raw());
+    EXPECT_TRUE(a.ledger.switchLoss.raw() == b.ledger.switchLoss.raw());
+    EXPECT_TRUE(a.conservationError == b.conservationError);
+}
+
+TEST(ParallelRunner, BitIdenticalAcrossOneTwoEightThreads)
+{
+    const auto serial = runDeterminismGrid(1);
+    const auto two = runDeterminismGrid(2);
+    const auto eight = runDeterminismGrid(8);
+    ASSERT_EQ(serial.size(), two.size());
+    ASSERT_EQ(serial.size(), eight.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        expectIdentical(serial[i], two[i], "1 vs 2 threads");
+        expectIdentical(serial[i], eight[i], "1 vs 8 threads");
+    }
+    // The grid did real work (the comparison is not vacuous).
+    uint64_t total_work = 0;
+    for (const auto &r : serial)
+        total_work += r.workUnits + r.packetsRx + r.packetsTx;
+    EXPECT_GT(total_work, 0u);
+}
+
+} // namespace
+} // namespace harness
+} // namespace react
