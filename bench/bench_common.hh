@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/checkpoint.hh"
 #include "harness/experiment.hh"
 #include "harness/paper_setup.hh"
 #include "harness/parallel_runner.hh"
@@ -84,22 +85,27 @@ gridCellKey(harness::BenchmarkKind bench_kind, trace::PaperTrace trace_kind,
 }
 
 /** Run one cell of the evaluation grid; the workload seed derives from
- *  the cell's stable identity. */
+ *  the cell's stable identity.  With REACT_CHECKPOINT_DIR set the cell
+ *  checkpoints/resumes against a snapshot named after that identity, so
+ *  an interrupted sweep continues per-cell instead of restarting. */
 inline harness::ExperimentResult
 runCell(harness::BufferKind buffer_kind, harness::BenchmarkKind bench_kind,
         trace::PaperTrace trace_kind,
         const harness::ExperimentConfig &config =
             harness::ExperimentConfig())
 {
+    const std::string cell_key =
+        gridCellKey(bench_kind, trace_kind, buffer_kind);
     auto buffer = harness::makeBuffer(buffer_kind);
     const auto &power = evaluationTrace(trace_kind);
     auto benchmark = harness::makeBenchmark(
         bench_kind, power.duration() + kDrainAllowance,
-        harness::cellSeed(kEvaluationSeed,
-                          gridCellKey(bench_kind, trace_kind, buffer_kind)));
+        harness::cellSeed(kEvaluationSeed, cell_key));
     harvest::HarvesterFrontend frontend(power);
+    harness::ExperimentConfig cell_config = config;
+    harness::applyCheckpointEnv(&cell_config, cell_key);
     return harness::runExperiment(*buffer, benchmark.get(), frontend,
-                                  config);
+                                  cell_config);
 }
 
 /** Results of one benchmark's 5 x 5 evaluation grid, indexed

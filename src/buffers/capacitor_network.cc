@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "snapshot/snapshot.hh"
 #include "util/logging.hh"
 
 namespace react {
@@ -182,6 +183,33 @@ CapacitorNetwork::reconfigureShared(const NetworkConfig *next)
     adoptConfig(*next);
     currentCfg = next;
     return equalizeConnected();
+}
+
+void
+CapacitorNetwork::restoreArrangementShared(const NetworkConfig *next)
+{
+    react_assert(next != nullptr, "shared network config must not be null");
+    adoptConfig(*next);
+    currentCfg = next;
+}
+
+void
+CapacitorNetwork::save(snapshot::SnapshotWriter &w) const
+{
+    w.u32(static_cast<uint32_t>(units.size()));
+    for (const auto &unit : units)
+        unit.save(w);
+}
+
+void
+CapacitorNetwork::restore(snapshot::SnapshotReader &r)
+{
+    const uint32_t count = r.u32();
+    if (count != units.size())
+        throw snapshot::SnapshotError(
+            "capacitor-network snapshot unit count mismatch");
+    for (auto &unit : units)
+        unit.restore(r);
 }
 
 void

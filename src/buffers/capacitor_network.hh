@@ -28,6 +28,10 @@
 #include "util/units.hh"
 
 namespace react {
+namespace snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}
 namespace buffer {
 
 using units::Coulombs;
@@ -121,6 +125,21 @@ class CapacitorNetwork
      * @return Energy clipped.
      */
     Joules clipOutput(Volts ceiling);
+
+    /**
+     * Adopt a caller-owned arrangement *without* equalizing the branches.
+     * Snapshot restore only: reconfigureShared() models physical charge
+     * sharing, which would corrupt unit voltages that were already
+     * captured in the equalized state.  Same lifetime contract as
+     * reconfigureShared().
+     */
+    void restoreArrangementShared(const NetworkConfig *next);
+
+    /** Serialize per-unit capacitor state (capacitance + voltage).  The
+     *  arrangement is *not* serialized -- the owner restores it via
+     *  restoreArrangementShared() from its own config ladder. */
+    void save(snapshot::SnapshotWriter &w) const;
+    void restore(snapshot::SnapshotReader &r);
 
   private:
     /** Terminal voltage of one branch (sum of member unit voltages). */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "snapshot/snapshot.hh"
 #include "util/units.hh"
 
 namespace react {
@@ -15,6 +16,18 @@ EnergyBuffer::availableEnergy(Volts floor_voltage) const
         return Joules(0.0);
     return units::capEnergyWindow(equivalentCapacitance(), v,
                                   floor_voltage);
+}
+
+void
+EnergyBuffer::save(snapshot::SnapshotWriter &w) const
+{
+    energyLedger.save(w);
+}
+
+void
+EnergyBuffer::restore(snapshot::SnapshotReader &r)
+{
+    energyLedger.restore(r);
 }
 
 } // namespace buffer

@@ -23,6 +23,10 @@ namespace react {
 namespace sim {
 class FaultInjector;
 }
+namespace snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}
 namespace buffer {
 
 using units::Amps;
@@ -138,6 +142,18 @@ class EnergyBuffer
     {
         faults = injector;
     }
+
+    /**
+     * Serialize the buffer's complete mutable state (charge, control
+     * state machines, counters, and the energy ledger).  Construction
+     * parameters (specs, clamps, ladders) are not serialized: restore()
+     * assumes an identically-constructed buffer, and the injector
+     * attachment is re-established by the owner.  Overrides must call
+     * the base implementation first so the ledger occupies a fixed
+     * position in the layout.
+     */
+    virtual void save(snapshot::SnapshotWriter &w) const;
+    virtual void restore(snapshot::SnapshotReader &r);
 
   protected:
     sim::EnergyLedger energyLedger;

@@ -4,6 +4,7 @@
 
 #include "sim/charge_transfer.hh"
 #include "sim/fault_injector.hh"
+#include "snapshot/snapshot.hh"
 #include "util/logging.hh"
 #include "util/units.hh"
 
@@ -274,6 +275,40 @@ MorphyBuffer::reset()
     agingAccumulator = Seconds(0.0);
     reconfigCount = 0;
     energyLedger = sim::EnergyLedger();
+}
+
+void
+MorphyBuffer::save(snapshot::SnapshotWriter &w) const
+{
+    EnergyBuffer::save(w);
+    task.save(w);
+    network.save(w);
+    w.u32(static_cast<uint32_t>(configIndex));
+    w.u32(static_cast<uint32_t>(requestedLevel));
+    w.f64(pollAccumulator.raw());
+    w.f64(agingAccumulator.raw());
+    w.u64(reconfigCount);
+}
+
+void
+MorphyBuffer::restore(snapshot::SnapshotReader &r)
+{
+    EnergyBuffer::restore(r);
+    task.restore(r);
+    network.restore(r);
+    const uint32_t index = r.u32();
+    if (index >= configs.size())
+        throw snapshot::SnapshotError(
+            "morphy snapshot ladder index out of range");
+    configIndex = static_cast<int>(index);
+    // Re-adopt the ladder arrangement without equalizing: the unit
+    // voltages above already capture the equalized post-reconfiguration
+    // state, and a modeled charge-share here would burn phantom energy.
+    network.restoreArrangementShared(&configs[index]);
+    requestedLevel = static_cast<int>(r.u32());
+    pollAccumulator = Seconds(r.f64());
+    agingAccumulator = Seconds(r.f64());
+    reconfigCount = r.u64();
 }
 
 } // namespace buffer

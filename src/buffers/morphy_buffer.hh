@@ -79,6 +79,9 @@ class MorphyBuffer : public EnergyBuffer
     /** Cumulative count of ladder transitions taken. */
     uint64_t reconfigurations() const { return reconfigCount; }
 
+    void save(snapshot::SnapshotWriter &w) const override;
+    void restore(snapshot::SnapshotReader &r) override;
+
   private:
     /** Redistribute a signed rail charge across task cap and network. */
     void addRailCharge(Coulombs dq);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/charge_transfer.hh"
+#include "snapshot/snapshot.hh"
 #include "util/logging.hh"
 #include "util/units.hh"
 
@@ -158,6 +159,31 @@ MultiplexedBuffer::reset()
     active = 0;
     requestedLevel = 0;
     energyLedger = sim::EnergyLedger();
+}
+
+void
+MultiplexedBuffer::save(snapshot::SnapshotWriter &w) const
+{
+    EnergyBuffer::save(w);
+    w.u32(static_cast<uint32_t>(caps.size()));
+    for (const auto &cap : caps)
+        cap.save(w);
+    w.u32(static_cast<uint32_t>(active));
+    w.u32(static_cast<uint32_t>(requestedLevel));
+}
+
+void
+MultiplexedBuffer::restore(snapshot::SnapshotReader &r)
+{
+    EnergyBuffer::restore(r);
+    const uint32_t count = r.u32();
+    if (count != caps.size())
+        throw snapshot::SnapshotError(
+            "multiplexed-buffer snapshot capacitor count mismatch");
+    for (auto &cap : caps)
+        cap.restore(r);
+    active = static_cast<int>(r.u32());
+    requestedLevel = static_cast<int>(r.u32());
 }
 
 } // namespace buffer

@@ -58,6 +58,9 @@ class MultiplexedBuffer : public EnergyBuffer
     /** Voltage of an individual capacitor. */
     Volts capVoltage(int index) const;
 
+    void save(snapshot::SnapshotWriter &w) const override;
+    void restore(snapshot::SnapshotReader &r) override;
+
   private:
     std::vector<sim::Capacitor> caps;
     Volts clamp;

@@ -4,6 +4,7 @@
 
 #include "sim/charge_transfer.hh"
 #include "sim/fault_injector.hh"
+#include "snapshot/snapshot.hh"
 #include "util/logging.hh"
 
 namespace react {
@@ -94,6 +95,22 @@ StaticBuffer::reset()
     cap.setVoltage(Volts(0.0));
     agingAccumulator = Seconds(0.0);
     energyLedger = sim::EnergyLedger();
+}
+
+void
+StaticBuffer::save(snapshot::SnapshotWriter &w) const
+{
+    EnergyBuffer::save(w);
+    cap.save(w);
+    w.f64(agingAccumulator.raw());
+}
+
+void
+StaticBuffer::restore(snapshot::SnapshotReader &r)
+{
+    EnergyBuffer::restore(r);
+    cap.restore(r);
+    agingAccumulator = Seconds(r.f64());
 }
 
 } // namespace buffer

@@ -45,6 +45,9 @@ class StaticBuffer : public EnergyBuffer
     /** Overvoltage clamp. */
     Volts railClamp() const { return clamp; }
 
+    void save(snapshot::SnapshotWriter &w) const override;
+    void restore(snapshot::SnapshotReader &r) override;
+
   private:
     sim::Capacitor cap;
     Volts clamp;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "snapshot/snapshot.hh"
 #include "util/logging.hh"
 #include "util/units.hh"
 
@@ -145,6 +146,22 @@ CapacitorBank::clipToRating()
     const Joules before = storedEnergy();
     vUnit = bankSpec.unit.ratedVoltage;
     return before - storedEnergy();
+}
+
+void
+CapacitorBank::save(snapshot::SnapshotWriter &w) const
+{
+    w.u8(static_cast<uint8_t>(bankState));
+    w.f64(vUnit.raw());
+    w.f64(bankSpec.unit.capacitance.raw());
+}
+
+void
+CapacitorBank::restore(snapshot::SnapshotReader &r)
+{
+    bankState = static_cast<BankState>(r.u8());
+    vUnit = Volts(r.f64());
+    bankSpec.unit.capacitance = Farads(r.f64());
 }
 
 } // namespace core

@@ -20,6 +20,10 @@
 #include "sim/capacitor.hh"
 
 namespace react {
+namespace snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}
 namespace core {
 
 using units::Coulombs;
@@ -123,6 +127,11 @@ class CapacitorBank
      * @return Energy clipped.
      */
     Joules clipToRating();
+
+    /** Serialize arrangement, per-capacitor voltage, and the unit
+     *  capacitance (mutable under dielectric-aging injection). */
+    void save(snapshot::SnapshotWriter &w) const;
+    void restore(snapshot::SnapshotReader &r);
 
   private:
     BankSpec bankSpec;

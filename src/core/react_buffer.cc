@@ -5,6 +5,7 @@
 
 #include "sim/charge_transfer.hh"
 #include "sim/fault_injector.hh"
+#include "snapshot/snapshot.hh"
 #include "util/crc32.hh"
 #include "util/logging.hh"
 #include "util/units.hh"
@@ -653,6 +654,61 @@ ReactBuffer::reset()
     if (faults != nullptr)
         persistFramRecord();
     energyLedger = sim::EnergyLedger();
+}
+
+void
+ReactBuffer::save(snapshot::SnapshotWriter &w) const
+{
+    EnergyBuffer::save(w);
+    lastLevel.save(w);
+    w.u32(static_cast<uint32_t>(banks.size()));
+    for (const auto &bank : banks)
+        bank.save(w);
+    w.u32(static_cast<uint32_t>(level));
+    w.u32(static_cast<uint32_t>(requestedLevel));
+    w.b(backendOn);
+    w.f64(pollAccumulator.raw());
+    w.f64(agingAccumulator.raw());
+    w.u64(transitionCount);
+    w.u32(retiredMask);
+    w.u32(static_cast<uint32_t>(framRecoveryCount));
+    for (const BankWatch &bw : watch) {
+        w.u32(static_cast<uint32_t>(bw.mismatch));
+        w.u32(static_cast<uint32_t>(bw.floating));
+        w.b(bw.pending);
+        w.u8(static_cast<uint8_t>(bw.pendingTarget));
+    }
+    // The raw image, not its decoded fields: a torn record must survive
+    // the checkpoint verbatim so boot-time CRC recovery replays the same.
+    w.bytes(framImage);
+}
+
+void
+ReactBuffer::restore(snapshot::SnapshotReader &r)
+{
+    EnergyBuffer::restore(r);
+    lastLevel.restore(r);
+    const uint32_t count = r.u32();
+    if (count != banks.size())
+        throw snapshot::SnapshotError(
+            "react-buffer snapshot bank count mismatch");
+    for (auto &bank : banks)
+        bank.restore(r);
+    level = static_cast<int>(r.u32());
+    requestedLevel = static_cast<int>(r.u32());
+    backendOn = r.b();
+    pollAccumulator = Seconds(r.f64());
+    agingAccumulator = Seconds(r.f64());
+    transitionCount = r.u64();
+    retiredMask = r.u32();
+    framRecoveryCount = static_cast<int>(r.u32());
+    for (BankWatch &bw : watch) {
+        bw.mismatch = static_cast<int>(r.u32());
+        bw.floating = static_cast<int>(r.u32());
+        bw.pending = r.b();
+        bw.pendingTarget = static_cast<BankState>(r.u8());
+    }
+    framImage = r.bytes();
 }
 
 } // namespace core

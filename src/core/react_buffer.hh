@@ -108,6 +108,9 @@ class ReactBuffer : public buffer::EnergyBuffer
     /** Times a corrupt FRAM record was replaced with the safe default. */
     int framRecoveries() const { return framRecoveryCount; }
 
+    void save(snapshot::SnapshotWriter &w) const override;
+    void restore(snapshot::SnapshotReader &r) override;
+
   private:
     /** Watchdog bookkeeping for one bank's switch. */
     struct BankWatch

@@ -1,0 +1,51 @@
+#include "checkpoint.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace react {
+namespace harness {
+
+std::string
+checkpointFileName(std::string_view cell_key)
+{
+    std::string name;
+    name.reserve(cell_key.size() + 5);
+    for (const char c : cell_key) {
+        const bool safe = (c >= 'A' && c <= 'Z') ||
+            (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+            c == '.' || c == '_' || c == '-';
+        name.push_back(safe ? c : '_');
+    }
+    name += ".snap";
+    return name;
+}
+
+bool
+applyCheckpointEnv(ExperimentConfig *config, std::string_view cell_key)
+{
+    const char *dir = std::getenv("REACT_CHECKPOINT_DIR");
+    if (dir == nullptr || dir[0] == '\0')
+        return false;
+
+    config->checkpointPath =
+        std::string(dir) + "/" + checkpointFileName(cell_key);
+    config->resume = true;
+    config->checkpointEverySteps = kDefaultCheckpointInterval;
+    if (const char *env = std::getenv("REACT_CHECKPOINT_INTERVAL")) {
+        char *end = nullptr;
+        const unsigned long long steps = std::strtoull(env, &end, 10);
+        if (end != env && *end == '\0' && steps > 0) {
+            config->checkpointEverySteps = steps;
+        } else {
+            react_warn("ignoring REACT_CHECKPOINT_INTERVAL='%s' (want a "
+                       "positive integer)",
+                       env);
+        }
+    }
+    return true;
+}
+
+} // namespace harness
+} // namespace react

@@ -2,8 +2,11 @@
 
 #include <cmath>
 #include <memory>
+#include <utility>
 
 #include "harness/paper_setup.hh"
+#include "snapshot/snapshot.hh"
+#include "util/crc32.hh"
 #include "util/logging.hh"
 
 namespace react {
@@ -30,6 +33,102 @@ ExperimentResult::workLostVersus(const ExperimentResult &fault_free) const
         : 0;
 }
 
+namespace {
+
+/** Serialize a complete result (the payload of a "finished" snapshot:
+ *  resuming a completed cell returns this instead of re-running). */
+void
+saveResult(snapshot::SnapshotWriter &w, const ExperimentResult &res)
+{
+    w.str(res.bufferName);
+    w.str(res.benchmarkName);
+    w.str(res.traceName);
+    w.f64(res.latency);
+    w.f64(res.onTime);
+    w.f64(res.totalTime);
+    w.u64(res.steps);
+    w.u64(res.powerCycles);
+    w.u64(res.workUnits);
+    w.u64(res.packetsRx);
+    w.u64(res.packetsTx);
+    w.u64(res.failedOps);
+    w.u64(res.missedEvents);
+    res.ledger.save(w);
+    w.f64(res.residualEnergy);
+    w.f64(res.conservationError);
+    w.u64(res.faultEvents);
+    w.u64(res.recoveryEvents);
+    w.u32(static_cast<uint32_t>(res.banksRetired));
+    w.u32(static_cast<uint32_t>(res.framRecoveries));
+    w.u32(static_cast<uint32_t>(res.faultLog.size()));
+    for (const auto &ev : res.faultLog) {
+        w.f64(ev.time.raw());
+        w.u8(static_cast<uint8_t>(ev.kind));
+        w.str(ev.component);
+        w.f64(ev.magnitude);
+    }
+    w.u32(static_cast<uint32_t>(res.rail.size()));
+    for (const auto &s : res.rail) {
+        w.f64(s.time);
+        w.f64(s.voltage);
+        w.b(s.backendOn);
+        w.u32(static_cast<uint32_t>(s.level));
+    }
+    w.b(res.halted);
+    w.u32(res.stateDigest);
+}
+
+void
+restoreResult(snapshot::SnapshotReader &r, ExperimentResult *res)
+{
+    res->bufferName = r.str();
+    res->benchmarkName = r.str();
+    res->traceName = r.str();
+    res->latency = r.f64();
+    res->onTime = r.f64();
+    res->totalTime = r.f64();
+    res->steps = r.u64();
+    res->powerCycles = r.u64();
+    res->workUnits = r.u64();
+    res->packetsRx = r.u64();
+    res->packetsTx = r.u64();
+    res->failedOps = r.u64();
+    res->missedEvents = r.u64();
+    res->ledger.restore(r);
+    res->residualEnergy = r.f64();
+    res->conservationError = r.f64();
+    res->faultEvents = r.u64();
+    res->recoveryEvents = r.u64();
+    res->banksRetired = static_cast<int>(r.u32());
+    res->framRecoveries = static_cast<int>(r.u32());
+    res->faultLog.clear();
+    const uint32_t events = r.u32();
+    res->faultLog.reserve(events);
+    for (uint32_t i = 0; i < events; ++i) {
+        sim::FaultEvent ev;
+        ev.time = units::Seconds(r.f64());
+        ev.kind = static_cast<sim::FaultEventKind>(r.u8());
+        ev.component = r.str();
+        ev.magnitude = r.f64();
+        res->faultLog.push_back(std::move(ev));
+    }
+    res->rail.clear();
+    const uint32_t samples = r.u32();
+    res->rail.reserve(samples);
+    for (uint32_t i = 0; i < samples; ++i) {
+        RailSample s;
+        s.time = r.f64();
+        s.voltage = r.f64();
+        s.backendOn = r.b();
+        s.level = static_cast<int>(r.u32());
+        res->rail.push_back(s);
+    }
+    res->halted = r.b();
+    res->stateDigest = r.u32();
+}
+
+} // namespace
+
 ExperimentResult
 runExperiment(buffer::EnergyBuffer &buffer, workload::Benchmark *benchmark,
               const harvest::HarvesterFrontend &frontend,
@@ -53,7 +152,7 @@ runExperiment(buffer::EnergyBuffer &buffer, workload::Benchmark *benchmark,
         buffer.attachFaultInjector(injector.get());
         gate.attachFaultInjector(injector.get());
     }
-    const double stored_start = buffer.storedEnergy().raw();
+    double stored_start = buffer.storedEnergy().raw();
 
     ExperimentResult result;
     result.bufferName = buffer.name();
@@ -66,6 +165,180 @@ runExperiment(buffer::EnergyBuffer &buffer, workload::Benchmark *benchmark,
     double t = 0.0;
     double off_streak = 0.0;
     double next_record = 0.0;
+
+    const auto detach_injector = [&]() {
+        if (injector) {
+            buffer.attachFaultInjector(nullptr);
+            gate.attachFaultInjector(nullptr);
+        }
+    };
+
+    // Snapshot layout.  The meta section pins the experiment identity so
+    // a stale checkpoint from a different cell is rejected (and degrades
+    // to a cold start) instead of silently resuming the wrong run.
+    const auto write_checkpoint = [&](bool finished) {
+        snapshot::SnapshotWriter w;
+        w.beginSection("meta");
+        w.str(result.bufferName);
+        w.str(result.benchmarkName);
+        w.str(result.traceName);
+        w.f64(config.dt);
+        w.u64(config.faultSeed);
+        w.b(injector != nullptr);
+        w.b(finished);
+        w.endSection();
+        if (finished) {
+            w.beginSection("result");
+            saveResult(w, result);
+            w.endSection();
+        } else {
+            w.beginSection("experiment");
+            w.f64(t);
+            w.f64(off_streak);
+            w.f64(next_record);
+            w.f64(stored_start);
+            w.u64(result.steps);
+            w.f64(result.latency);
+            w.f64(result.onTime);
+            w.u32(static_cast<uint32_t>(result.rail.size()));
+            for (const auto &s : result.rail) {
+                w.f64(s.time);
+                w.f64(s.voltage);
+                w.b(s.backendOn);
+                w.u32(static_cast<uint32_t>(s.level));
+            }
+            w.endSection();
+            w.beginSection("gate");
+            gate.save(w);
+            w.endSection();
+            w.beginSection("device");
+            device.save(w);
+            w.endSection();
+            w.beginSection("buffer");
+            buffer.save(w);
+            w.endSection();
+            if (benchmark) {
+                w.beginSection("benchmark");
+                benchmark->save(w);
+                w.endSection();
+            }
+            if (injector) {
+                w.beginSection("injector");
+                injector->save(w);
+                w.endSection();
+            }
+        }
+        std::string err;
+        if (!snapshot::saveSnapshotFile(config.checkpointPath, w.finish(),
+                                        &err))
+            react_warn("checkpoint write failed: %s", err.c_str());
+    };
+
+    if (!config.checkpointPath.empty() && config.resume) {
+        snapshot::SnapshotLoad load =
+            snapshot::loadSnapshotFile(config.checkpointPath);
+        result.snapshotFallback = load.usedFallback;
+        result.snapshotDiagnostic = load.diagnostic;
+        if (load.ok) {
+            try {
+                snapshot::SnapshotReader r(std::move(load.image));
+                r.beginSection("meta");
+                const std::string buf_name = r.str();
+                const std::string bench_name = r.str();
+                const std::string trace_name = r.str();
+                const double dt = r.f64();
+                const uint64_t seed = r.u64();
+                const bool had_injector = r.b();
+                const bool finished = r.b();
+                r.endSection();
+                if (buf_name != result.bufferName ||
+                    bench_name != result.benchmarkName ||
+                    trace_name != result.traceName || dt != config.dt ||
+                    seed != config.faultSeed ||
+                    had_injector != (injector != nullptr))
+                    throw snapshot::SnapshotError(
+                        "checkpoint belongs to a different experiment (" +
+                        buf_name + " / " + bench_name + " / " +
+                        trace_name + ")");
+                if (finished) {
+                    r.beginSection("result");
+                    restoreResult(r, &result);
+                    r.endSection();
+                    result.resumed = true;
+                    detach_injector();
+                    return result;
+                }
+                r.beginSection("experiment");
+                t = r.f64();
+                off_streak = r.f64();
+                next_record = r.f64();
+                stored_start = r.f64();
+                result.steps = r.u64();
+                result.latency = r.f64();
+                result.onTime = r.f64();
+                result.rail.clear();
+                const uint32_t samples = r.u32();
+                result.rail.reserve(samples);
+                for (uint32_t i = 0; i < samples; ++i) {
+                    RailSample s;
+                    s.time = r.f64();
+                    s.voltage = r.f64();
+                    s.backendOn = r.b();
+                    s.level = static_cast<int>(r.u32());
+                    result.rail.push_back(s);
+                }
+                r.endSection();
+                r.beginSection("gate");
+                gate.restore(r);
+                r.endSection();
+                r.beginSection("device");
+                device.restore(r);
+                r.endSection();
+                r.beginSection("buffer");
+                buffer.restore(r);
+                r.endSection();
+                if (benchmark) {
+                    r.beginSection("benchmark");
+                    benchmark->restore(r);
+                    r.endSection();
+                }
+                if (injector) {
+                    r.beginSection("injector");
+                    injector->restore(r);
+                    r.endSection();
+                }
+                result.resumed = true;
+            } catch (const snapshot::SnapshotError &e) {
+                // A structurally mismatched snapshot may have touched
+                // some components before the throw: rebuild everything
+                // so the cold start is a true cold start.
+                react_warn("checkpoint rejected (%s); cold-starting",
+                           e.what());
+                result.snapshotDiagnostic +=
+                    std::string("; rejected: ") + e.what();
+                result.resumed = false;
+                buffer.reset();
+                if (benchmark)
+                    benchmark->reset();
+                device.reset();
+                gate.reset();
+                if (injector) {
+                    injector = std::make_unique<sim::FaultInjector>(
+                        config.faultPlan, config.faultSeed);
+                    buffer.attachFaultInjector(injector.get());
+                    gate.attachFaultInjector(injector.get());
+                }
+                stored_start = buffer.storedEnergy().raw();
+                t = 0.0;
+                off_streak = 0.0;
+                next_record = 0.0;
+                result.steps = 0;
+                result.latency = -1.0;
+                result.onTime = 0.0;
+                result.rail.clear();
+            }
+        }
+    }
 
     workload::BenchContext ctx;
     ctx.device = &device;
@@ -132,6 +405,19 @@ runExperiment(buffer::EnergyBuffer &buffer, workload::Benchmark *benchmark,
             if (t >= trace_duration + config.drainAllowance)
                 break;
         }
+
+        // The simulated crash stops before the checkpoint below: a real
+        // power failure does not get to flush its final state either.
+        if (config.haltAfterSteps > 0 &&
+            result.steps >= config.haltAfterSteps) {
+            result.halted = true;
+            break;
+        }
+
+        if (!config.checkpointPath.empty() &&
+            config.checkpointEverySteps > 0 &&
+            result.steps % config.checkpointEverySteps == 0)
+            write_checkpoint(false);
     }
 
     result.totalTime = t;
@@ -148,6 +434,8 @@ runExperiment(buffer::EnergyBuffer &buffer, workload::Benchmark *benchmark,
 
     // Per-run conservation audit: everything harvested must be accounted
     // for by delivery, booked losses, or the change in stored energy.
+    // (Also valid for a halted partial run: the ledger balances at every
+    // step, not just at the end.)
     result.conservationError =
         result.ledger
             .conservationError(units::Joules(result.residualEnergy -
@@ -178,9 +466,34 @@ runExperiment(buffer::EnergyBuffer &buffer, workload::Benchmark *benchmark,
         result.framRecoveries = static_cast<int>(
             injector->eventCount(sim::FaultEventKind::FramRecovery));
         result.faultLog = injector->events();
-        buffer.attachFaultInjector(nullptr);
-        gate.attachFaultInjector(nullptr);
     }
+
+    // Fingerprint the complete final state.  Two runs finished from
+    // different checkpoints (or none) are bit-identical iff this digest
+    // and the explicit counters match; the event queue cursors inside
+    // the benchmark make delivery ids part of the fingerprint.
+    {
+        snapshot::SnapshotWriter dw;
+        dw.beginSection("digest");
+        gate.save(dw);
+        device.save(dw);
+        buffer.save(dw);
+        if (benchmark)
+            benchmark->save(dw);
+        if (injector)
+            injector->save(dw);
+        dw.endSection();
+        const std::vector<uint8_t> image = dw.finish();
+        result.stateDigest = crc32(image.data(), image.size());
+    }
+
+    // A completed cell leaves a "finished" snapshot behind so resuming
+    // it again is instant; a simulated crash leaves whatever periodic
+    // checkpoint was last flushed, exactly like a real power failure.
+    if (!config.checkpointPath.empty() && !result.halted)
+        write_checkpoint(true);
+
+    detach_injector();
     return result;
 }
 

@@ -66,6 +66,33 @@ struct ExperimentConfig
      * this; interactive benches keep the warning so a sweep finishes.
      */
     bool strictConservation = false;
+
+    /**
+     * @name Checkpoint / restore (crash resilience for long runs)
+     *
+     * With a non-empty checkpointPath the runner periodically writes a
+     * versioned, CRC-guarded snapshot of the complete simulation state
+     * (atomically: see snapshot::saveSnapshotFile), and a "finished"
+     * snapshot carrying the final result once the run completes.  With
+     * resume set, the runner first tries to load that file: a finished
+     * snapshot returns the stored result immediately, a mid-run one
+     * resumes the loop bit-identically, and a damaged one falls back to
+     * the previous snapshot or a cold start -- never undefined behaviour.
+     * @{
+     */
+    /** Snapshot file path; empty disables checkpointing entirely. */
+    std::string checkpointPath;
+    /** Steps between periodic checkpoints (0 = only the finished one). */
+    uint64_t checkpointEverySteps = 0;
+    /** Try to resume from checkpointPath before cold-starting. */
+    bool resume = false;
+    /**
+     * Simulated crash for the crash-consistency fuzzer: stop abruptly
+     * after this many steps (0 = never) *without* writing a checkpoint
+     * at the kill step, exactly as a power failure would.
+     */
+    uint64_t haltAfterSteps = 0;
+    /** @} */
 };
 
 /** One recorded rail sample. */
@@ -136,6 +163,27 @@ struct ExperimentResult
 
     /** Rail recording (when enabled). */
     std::vector<RailSample> rail;
+
+    /** @name Checkpoint / restore outcome. @{ */
+    /** The run stopped at haltAfterSteps (result is partial). */
+    bool halted = false;
+    /** The run resumed from (or returned directly out of) a snapshot. */
+    bool resumed = false;
+    /** The primary snapshot was damaged and `.prev` (or a cold start)
+     *  was used instead. */
+    bool snapshotFallback = false;
+    /** Human-readable account of the snapshot load (empty when no
+     *  resume was attempted). */
+    std::string snapshotDiagnostic;
+    /**
+     * CRC-32 over the serialized final state of every component (gate,
+     * device, buffer, benchmark including event-queue delivery ids, and
+     * fault injector).  Two runs are bit-identical iff their digests --
+     * and the explicit counters above -- match; the crash fuzzer uses
+     * this to prove checkpoint/restore transparency.
+     */
+    uint32_t stateDigest = 0;
+    /** @} */
 };
 
 /**

@@ -1,5 +1,6 @@
 #include "parallel_runner.hh"
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <deque>
@@ -21,6 +22,43 @@ mix64(uint64_t z)
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
     return z ^ (z >> 31);
+}
+
+/**
+ * Crash-recovery test hook: REACT_CRASH_AFTER_CELLS=N hard-kills the
+ * process (std::_Exit(3), no destructors, no flushing -- as close to a
+ * power failure as a simulation gets) once N cells have completed.  The
+ * golden-resume suite uses this to interrupt a checkpointed sweep and
+ * prove the rerun reproduces the uninterrupted artifact byte-exactly.
+ */
+long
+crashAfterCells()
+{
+    static const long n = [] {
+        const char *env = std::getenv("REACT_CRASH_AFTER_CELLS");
+        if (env == nullptr)
+            return -1L;
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 0)
+            return v;
+        react_warn("ignoring REACT_CRASH_AFTER_CELLS='%s' (want a "
+                   "non-negative integer)",
+                   env);
+        return -1L;
+    }();
+    return n;
+}
+
+std::atomic<long> completedCells{0};
+
+void
+noteCellCompleted()
+{
+    const long limit = crashAfterCells();
+    if (limit < 0)
+        return;
+    if (completedCells.fetch_add(1, std::memory_order_relaxed) + 1 >= limit)
+        std::_Exit(3);
 }
 
 } // namespace
@@ -116,6 +154,7 @@ ParallelRunner::workerLoop(int worker_index)
         const auto t1 = std::chrono::steady_clock::now();
         cellTimings[static_cast<size_t>(idx)].seconds =
             std::chrono::duration<double>(t1 - t0).count();
+        noteCellCompleted();
     }
 }
 
@@ -137,6 +176,7 @@ ParallelRunner::run()
             const auto c1 = std::chrono::steady_clock::now();
             cellTimings[i].seconds =
                 std::chrono::duration<double>(c1 - c0).count();
+            noteCellCompleted();
         }
     } else {
         // Deterministic round-robin deal onto per-worker deques.  The

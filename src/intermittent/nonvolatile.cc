@@ -1,6 +1,8 @@
 #include "nonvolatile.hh"
 
 #include "sim/fault_injector.hh"
+#include "snapshot/snapshot.hh"
+#include "util/crc32.hh"
 
 namespace react {
 namespace intermittent {
@@ -8,13 +10,10 @@ namespace intermittent {
 uint32_t
 NonVolatileStore::checksumOf(const std::vector<uint8_t> &data)
 {
-    // FNV-1a: cheap, adequate for torn-write detection.
-    uint32_t hash = 2166136261u;
-    for (uint8_t byte : data) {
-        hash ^= byte;
-        hash *= 16777619u;
-    }
-    return hash;
+    // CRC-32, shared with the FRAM config record and the snapshot
+    // format: guaranteed detection of any burst error up to 32 bits,
+    // the signature a torn FRAM row write leaves.
+    return crc32(data.data(), data.size());
 }
 
 void
@@ -108,6 +107,51 @@ NonVolatileStore::storageBytes() const
             bytes += slot.data.size();
     }
     return bytes;
+}
+
+void
+NonVolatileStore::save(snapshot::SnapshotWriter &w) const
+{
+    w.u64(nextVersion);
+    w.u32(static_cast<uint32_t>(records.size()));
+    for (const auto &entry : records) {
+        w.str(entry.first);
+        w.i64(entry.second.active);
+        for (const auto &slot : entry.second.slots) {
+            w.bytes(slot.data);
+            w.u32(slot.checksum);
+            w.u64(slot.version);
+        }
+    }
+    w.u32(static_cast<uint32_t>(staged.size()));
+    for (const auto &entry : staged) {
+        w.str(entry.first);
+        w.bytes(entry.second);
+    }
+}
+
+void
+NonVolatileStore::restore(snapshot::SnapshotReader &r)
+{
+    records.clear();
+    staged.clear();
+    nextVersion = r.u64();
+    const uint32_t record_count = r.u32();
+    for (uint32_t i = 0; i < record_count; ++i) {
+        const std::string key = r.str();
+        Record &record = records[key];
+        record.active = static_cast<int>(r.i64());
+        for (auto &slot : record.slots) {
+            slot.data = r.bytes();
+            slot.checksum = r.u32();
+            slot.version = r.u64();
+        }
+    }
+    const uint32_t staged_count = r.u32();
+    for (uint32_t i = 0; i < staged_count; ++i) {
+        const std::string key = r.str();
+        staged[key] = r.bytes();
+    }
 }
 
 void

@@ -28,6 +28,10 @@ namespace react {
 namespace sim {
 class FaultInjector;
 }
+namespace snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}
 namespace intermittent {
 
 /** Double-buffered, checksummed non-volatile key-value store. */
@@ -85,6 +89,12 @@ class NonVolatileStore
 
     /** Corrupt a committed record (fault-injection hook for tests). */
     void corrupt(const std::string &key);
+
+    /** Serialize the full store (records, staged writes, version
+     *  counter); the fault-injector attachment is not part of the state
+     *  and must be re-established by the owner after restore(). */
+    void save(snapshot::SnapshotWriter &w) const;
+    void restore(snapshot::SnapshotReader &r);
 
   private:
     struct Slot

@@ -1,5 +1,6 @@
 #include "task_runtime.hh"
 
+#include "snapshot/snapshot.hh"
 #include "util/logging.hh"
 
 namespace react {
@@ -147,6 +148,24 @@ TaskRuntime::stepWithFailure()
     nv.stage(kCurrentTaskKey, encodeString(next));
     nv.failInFlightWrites();
     ++aborted;
+}
+
+void
+TaskRuntime::save(snapshot::SnapshotWriter &w) const
+{
+    w.str(entry);
+    w.u64(committed);
+    w.u64(aborted);
+    nv.save(w);
+}
+
+void
+TaskRuntime::restore(snapshot::SnapshotReader &r)
+{
+    entry = r.str();
+    committed = r.u64();
+    aborted = r.u64();
+    nv.restore(r);
 }
 
 } // namespace intermittent

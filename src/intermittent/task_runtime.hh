@@ -117,6 +117,12 @@ class TaskRuntime
         nv.attachFaultInjector(injector);
     }
 
+    /** Serialize runtime progress: the backing store plus the commit /
+     *  abort counters.  Registered task code is a program, not state --
+     *  the owner re-registers tasks after constructing the runtime. */
+    void save(snapshot::SnapshotWriter &w) const;
+    void restore(snapshot::SnapshotReader &r);
+
   private:
     friend class TaskContext;
 

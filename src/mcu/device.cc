@@ -1,5 +1,6 @@
 #include "device.hh"
 
+#include "snapshot/snapshot.hh"
 #include "util/logging.hh"
 
 namespace react {
@@ -51,6 +52,22 @@ Device::reset()
     powerState = PowerState::Off;
     periphCurrent = 0.0;
     cycles = 0;
+}
+
+void
+Device::save(snapshot::SnapshotWriter &w) const
+{
+    w.u8(static_cast<uint8_t>(powerState));
+    w.f64(periphCurrent);
+    w.u64(cycles);
+}
+
+void
+Device::restore(snapshot::SnapshotReader &r)
+{
+    powerState = static_cast<PowerState>(r.u8());
+    periphCurrent = r.f64();
+    cycles = r.u64();
 }
 
 } // namespace mcu

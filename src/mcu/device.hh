@@ -16,6 +16,10 @@
 #include <cstdint>
 
 namespace react {
+namespace snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}
 namespace mcu {
 
 /** MCU operating mode. */
@@ -77,6 +81,11 @@ class Device
 
     /** Return to the unpowered state, clearing counters. */
     void reset();
+
+    /** Serialize the mutable state (mode, peripheral load, cycle count);
+     *  the spec is construction-fixed. */
+    void save(snapshot::SnapshotWriter &w) const;
+    void restore(snapshot::SnapshotReader &r);
 
   private:
     DeviceSpec deviceSpec;

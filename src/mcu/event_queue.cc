@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "snapshot/snapshot.hh"
 #include "util/logging.hh"
 
 namespace react {
@@ -95,6 +96,32 @@ EventQueue::nextEventTime() const
     if (next >= times.size())
         return std::numeric_limits<double>::infinity();
     return times[next];
+}
+
+void
+EventQueue::save(snapshot::SnapshotWriter &w) const
+{
+    w.u64(times.size());
+    for (double when : times)
+        w.f64(when);
+    for (uint64_t id : ids)
+        w.u64(id);
+    w.u64(next);
+    w.u64(nextId);
+}
+
+void
+EventQueue::restore(snapshot::SnapshotReader &r)
+{
+    const uint64_t count = r.u64();
+    times.resize(count);
+    for (auto &when : times)
+        when = r.f64();
+    ids.resize(count);
+    for (auto &id : ids)
+        id = r.u64();
+    next = r.u64();
+    nextId = r.u64();
 }
 
 } // namespace mcu

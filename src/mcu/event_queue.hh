@@ -21,6 +21,10 @@
 #include "util/rng.hh"
 
 namespace react {
+namespace snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}
 namespace mcu {
 
 /** Pre-scheduled, time-ordered external events. */
@@ -89,6 +93,12 @@ class EventQueue
 
     /** Rewind to the beginning. */
     void reset() { next = 0; }
+
+    /** Serialize the full schedule (timestamps, delivery ids, cursor,
+     *  next id) so runtime push() insertions and the FIFO tie-break
+     *  replay identically after restore. */
+    void save(snapshot::SnapshotWriter &w) const;
+    void restore(snapshot::SnapshotReader &r);
 
   private:
     std::vector<double> times;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "snapshot/snapshot.hh"
 #include "util/logging.hh"
 #include "util/units.hh"
 
@@ -96,6 +97,20 @@ Capacitor::energyAbove(Volts floor_voltage) const
     if (v <= floor_voltage)
         return Joules(0);
     return units::capEnergyWindow(partSpec.capacitance, v, floor_voltage);
+}
+
+void
+Capacitor::save(snapshot::SnapshotWriter &w) const
+{
+    w.f64(partSpec.capacitance.raw());
+    w.f64(v.raw());
+}
+
+void
+Capacitor::restore(snapshot::SnapshotReader &r)
+{
+    partSpec.capacitance = Farads(r.f64());
+    v = Volts(r.f64());
 }
 
 } // namespace sim

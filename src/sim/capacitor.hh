@@ -17,6 +17,10 @@
 #include "util/units.hh"
 
 namespace react {
+namespace snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}
 namespace sim {
 
 using units::Amps;
@@ -123,6 +127,12 @@ class Capacitor
      * zero when already below it.
      */
     Joules energyAbove(Volts floor_voltage) const;
+
+    /** Serialize the mutable state: capacitance (aging derates it at
+     *  run time) and terminal voltage.  The rest of the spec is fixed
+     *  at construction. */
+    void save(snapshot::SnapshotWriter &w) const;
+    void restore(snapshot::SnapshotReader &r);
 
   private:
     CapacitorSpec partSpec;

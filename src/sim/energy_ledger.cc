@@ -1,5 +1,7 @@
 #include "energy_ledger.hh"
 
+#include "snapshot/snapshot.hh"
+
 namespace react {
 namespace sim {
 
@@ -46,6 +48,32 @@ operator+(EnergyLedger lhs, const EnergyLedger &rhs)
 {
     lhs += rhs;
     return lhs;
+}
+
+void
+EnergyLedger::save(snapshot::SnapshotWriter &w) const
+{
+    w.f64(harvested.raw());
+    w.f64(delivered.raw());
+    w.f64(clipped.raw());
+    w.f64(leaked.raw());
+    w.f64(switchLoss.raw());
+    w.f64(diodeLoss.raw());
+    w.f64(overhead.raw());
+    w.f64(faultLoss.raw());
+}
+
+void
+EnergyLedger::restore(snapshot::SnapshotReader &r)
+{
+    harvested = Joules(r.f64());
+    delivered = Joules(r.f64());
+    clipped = Joules(r.f64());
+    leaked = Joules(r.f64());
+    switchLoss = Joules(r.f64());
+    diodeLoss = Joules(r.f64());
+    overhead = Joules(r.f64());
+    faultLoss = Joules(r.f64());
 }
 
 } // namespace sim

@@ -16,6 +16,10 @@
 #include "util/units.hh"
 
 namespace react {
+namespace snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}
 namespace sim {
 
 using units::Joules;
@@ -64,6 +68,10 @@ struct EnergyLedger
 
     /** Accumulate another ledger into this one. */
     EnergyLedger &operator+=(const EnergyLedger &other);
+
+    /** Serialize every flow, bit-exact. */
+    void save(snapshot::SnapshotWriter &w) const;
+    void restore(snapshot::SnapshotReader &r);
 };
 
 EnergyLedger operator+(EnergyLedger lhs, const EnergyLedger &rhs);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "snapshot/snapshot.hh"
 #include "util/logging.hh"
 
 namespace react {
@@ -340,6 +341,83 @@ FaultInjector::recoveryCount() const
 {
     return eventCount(FaultEventKind::BankRetired) +
         eventCount(FaultEventKind::FramRecovery);
+}
+
+void
+FaultInjector::save(snapshot::SnapshotWriter &w) const
+{
+    w.f64(t);
+    snapshot::saveRng(w, master);
+    w.b(dropoutActive);
+    w.f64(nextDropoutEdge);
+    w.b(dropoutScheduleInit);
+
+    // std::map iterates in key order: deterministic layout.
+    w.u32(static_cast<uint32_t>(components.size()));
+    for (const auto &entry : components) {
+        w.str(entry.first);
+        const Component &comp = entry.second;
+        snapshot::saveRng(w, comp.rng);
+        w.b(comp.stuck);
+        w.f64(comp.driftOffset);
+        w.f64(comp.driftUpdatedAt);
+        w.f64(comp.nextMisreadAt);
+        w.f64(comp.agingJitter);
+        w.f64(comp.diodeFailsAt);
+        w.u8(static_cast<uint8_t>(comp.diodeMode));
+        w.b(comp.diodeReported);
+    }
+
+    w.u32(static_cast<uint32_t>(eventLog.size()));
+    for (const FaultEvent &event : eventLog) {
+        w.f64(event.time.raw());
+        w.u8(static_cast<uint8_t>(event.kind));
+        w.str(event.component);
+        w.f64(event.magnitude);
+    }
+    for (uint64_t count : kindCounts)
+        w.u64(count);
+}
+
+void
+FaultInjector::restore(snapshot::SnapshotReader &r)
+{
+    t = r.f64();
+    snapshot::restoreRng(r, &master);
+    dropoutActive = r.b();
+    nextDropoutEdge = r.f64();
+    dropoutScheduleInit = r.b();
+
+    components.clear();
+    const uint32_t component_count = r.u32();
+    for (uint32_t i = 0; i < component_count; ++i) {
+        const std::string name = r.str();
+        Component comp;
+        snapshot::restoreRng(r, &comp.rng);
+        comp.stuck = r.b();
+        comp.driftOffset = r.f64();
+        comp.driftUpdatedAt = r.f64();
+        comp.nextMisreadAt = r.f64();
+        comp.agingJitter = r.f64();
+        comp.diodeFailsAt = r.f64();
+        comp.diodeMode = static_cast<DiodeFault>(r.u8());
+        comp.diodeReported = r.b();
+        components.emplace(name, std::move(comp));
+    }
+
+    eventLog.clear();
+    const uint32_t event_count = r.u32();
+    eventLog.reserve(event_count);
+    for (uint32_t i = 0; i < event_count; ++i) {
+        FaultEvent event;
+        event.time = Seconds(r.f64());
+        event.kind = static_cast<FaultEventKind>(r.u8());
+        event.component = r.str();
+        event.magnitude = r.f64();
+        eventLog.push_back(std::move(event));
+    }
+    for (uint64_t &count : kindCounts)
+        count = r.u64();
 }
 
 } // namespace sim

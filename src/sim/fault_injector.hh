@@ -49,6 +49,10 @@
 #include "util/units.hh"
 
 namespace react {
+namespace snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}
 namespace sim {
 
 using units::Seconds;
@@ -231,6 +235,19 @@ class FaultInjector
 
     /** Total recovery actions (bank retirements, FRAM resets). */
     uint64_t recoveryCount() const;
+
+    /**
+     * Serialize the complete injector state: clock, master stream, the
+     * dropout machine, every lazily-created component (including its
+     * full RNG stream state -- there is no hidden static or
+     * thread-local state anywhere in the injector), the event log, and
+     * the exact per-kind counters.  After restore(), every subsequent
+     * draw matches the uninterrupted sequence bit-for-bit.  The plan is
+     * construction state and must match (validated by the caller's
+     * snapshot layout, not here).
+     */
+    void save(snapshot::SnapshotWriter &w) const;
+    void restore(snapshot::SnapshotReader &r);
 
   private:
     /** Lazily created per-component fault state. */

@@ -1,6 +1,7 @@
 #include "power_gate.hh"
 
 #include "sim/fault_injector.hh"
+#include "snapshot/snapshot.hh"
 #include "util/logging.hh"
 
 namespace react {
@@ -44,6 +45,20 @@ void
 PowerGate::reset()
 {
     on = false;
+}
+
+void
+PowerGate::save(snapshot::SnapshotWriter &w) const
+{
+    w.f64(vEnable.raw());
+    w.b(on);
+}
+
+void
+PowerGate::restore(snapshot::SnapshotReader &r)
+{
+    vEnable = Volts(r.f64());
+    on = r.b();
 }
 
 } // namespace sim

@@ -15,6 +15,10 @@
 #include "util/units.hh"
 
 namespace react {
+namespace snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}
 namespace sim {
 
 using units::Volts;
@@ -64,6 +68,12 @@ class PowerGate
      * drift and misread model.
      */
     void attachFaultInjector(FaultInjector *injector) { faults = injector; }
+
+    /** Serialize the mutable state (enable threshold, gate latch); the
+     *  brown-out threshold is construction-fixed and the injector
+     *  attachment is re-established by the owner. */
+    void save(snapshot::SnapshotWriter &w) const;
+    void restore(snapshot::SnapshotReader &r);
 
   private:
     Volts vEnable;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <sstream>
 
 #include "util/csv.hh"
@@ -10,6 +11,81 @@
 
 namespace react {
 namespace trace {
+
+namespace {
+
+/** Prefix a diagnostic with its source ("path: msg" / "path:line: msg"). */
+[[noreturn]] void
+traceFail(const std::string &source, size_t line, const std::string &msg)
+{
+    std::string where = source;
+    if (line > 0)
+        where += ":" + std::to_string(line);
+    throw TraceError(where + ": " + msg);
+}
+
+/**
+ * Validate a parsed table as a power capture and build the trace:
+ * >= 2 rows, every row wide enough, timestamps strictly increasing on a
+ * uniform grid (dt from the first two rows, 0.1 % relative tolerance --
+ * loggers quantize timestamps), power finite and non-negative.
+ */
+PowerTrace
+traceFromTable(const CsvTable &table, const std::string &source,
+               const std::string &name)
+{
+    if (table.rows.size() < 2)
+        traceFail(source, 0,
+                  "a trace needs at least 2 data rows (got " +
+                      std::to_string(table.rows.size()) + ")");
+    int t_col = table.columnIndex("time_s");
+    int p_col = table.columnIndex("power_w");
+    if (t_col < 0 || p_col < 0) {
+        t_col = 0;
+        p_col = 1;
+    }
+    const size_t width =
+        static_cast<size_t>(std::max(t_col, p_col)) + 1;
+    auto row_line = [&](size_t i) {
+        return i < table.rowLines.size() ? table.rowLines[i] : 0;
+    };
+    for (size_t i = 0; i < table.rows.size(); ++i) {
+        if (table.rows[i].size() < width)
+            traceFail(source, row_line(i),
+                      "row has " + std::to_string(table.rows[i].size()) +
+                          " column(s), need " + std::to_string(width));
+    }
+
+    const double t0 = table.rows[0][static_cast<size_t>(t_col)];
+    const double sample_dt =
+        table.rows[1][static_cast<size_t>(t_col)] - t0;
+    if (!(sample_dt > 0.0) || !std::isfinite(sample_dt))
+        traceFail(source, row_line(1),
+                  "timestamps must be strictly increasing (dt = " +
+                      std::to_string(sample_dt) + ")");
+
+    std::vector<double> samples;
+    samples.reserve(table.rows.size());
+    for (size_t i = 0; i < table.rows.size(); ++i) {
+        const double t = table.rows[i][static_cast<size_t>(t_col)];
+        const double expected = t0 + static_cast<double>(i) * sample_dt;
+        if (!std::isfinite(t) ||
+            std::abs(t - expected) > 1e-3 * sample_dt)
+            traceFail(source, row_line(i),
+                      "timestamp " + std::to_string(t) +
+                          " breaks the uniform grid (expected " +
+                          std::to_string(expected) + ")");
+        const double p = table.rows[i][static_cast<size_t>(p_col)];
+        if (!std::isfinite(p) || p < 0.0)
+            traceFail(source, row_line(i),
+                      "power sample " + std::to_string(p) +
+                          " must be finite and >= 0");
+        samples.push_back(p);
+    }
+    return PowerTrace(sample_dt, std::move(samples), name);
+}
+
+} // namespace
 
 PowerTrace::PowerTrace(double sample_dt, std::vector<double> sample_values,
                        std::string name)
@@ -132,22 +208,26 @@ PowerTrace::toCsv() const
 PowerTrace
 PowerTrace::fromCsv(const std::string &text, const std::string &name)
 {
-    const CsvTable table = parseCsv(text);
-    react_assert(table.rows.size() >= 2, "trace csv needs >= 2 rows");
-    int t_col = table.columnIndex("time_s");
-    int p_col = table.columnIndex("power_w");
-    if (t_col < 0 || p_col < 0) {
-        t_col = 0;
-        p_col = 1;
-    }
-    const double sample_dt =
-        table.rows[1][static_cast<size_t>(t_col)] -
-        table.rows[0][static_cast<size_t>(t_col)];
-    std::vector<double> samples;
-    samples.reserve(table.rows.size());
-    for (const auto &row : table.rows)
-        samples.push_back(row[static_cast<size_t>(p_col)]);
-    return PowerTrace(sample_dt, std::move(samples), name);
+    CsvTable table;
+    std::string error;
+    if (!tryParseCsv(text, &table, &error))
+        traceFail("<csv>", 0, error);
+    return traceFromTable(table, "<csv>", name);
+}
+
+PowerTrace
+PowerTrace::fromCsvFile(const std::string &path, const std::string &name)
+{
+    std::ifstream in(path);
+    if (!in)
+        traceFail(path, 0, "cannot open trace file");
+    std::stringstream buf;
+    buf << in.rdbuf();
+    CsvTable table;
+    std::string error;
+    if (!tryParseCsv(buf.str(), &table, &error))
+        traceFail(path, 0, error);
+    return traceFromTable(table, path, name.empty() ? path : name);
 }
 
 } // namespace trace

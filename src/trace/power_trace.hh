@@ -15,11 +15,27 @@
 #define REACT_TRACE_POWER_TRACE_HH
 
 #include <cstddef>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace react {
 namespace trace {
+
+/**
+ * Raised when a trace file is malformed: unreadable, truncated,
+ * non-numeric, non-monotonic or non-uniform timestamps, or negative
+ * power.  what() carries file and line context ("path:line: message")
+ * so a bad row in a thousand-line capture is findable directly.
+ */
+class TraceError : public std::runtime_error
+{
+  public:
+    explicit TraceError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {
+    }
+};
 
 /** Summary statistics for a trace (the paper's Table 3 row). */
 struct TraceStats
@@ -95,9 +111,27 @@ class PowerTrace
     /** Serialize as two-column CSV (time_s, power_w). */
     std::string toCsv() const;
 
-    /** Parse from two-column CSV (time_s, power_w); dt from row spacing. */
+    /**
+     * Parse from two-column CSV (time_s, power_w); dt from row spacing.
+     * Validates the same invariants as fromCsvFile().
+     * @throws TraceError on malformed input.
+     */
     static PowerTrace fromCsv(const std::string &text,
                               const std::string &name = "");
+
+    /**
+     * Load and validate a trace capture from disk.  Rejected with a
+     * TraceError carrying "path:line" context: unreadable or empty
+     * files, fewer than two data rows, non-numeric fields, timestamps
+     * that are not strictly increasing on a uniform grid, non-finite or
+     * negative power samples, and rows missing a column.
+     *
+     * @param path CSV file with time_s/power_w columns (or two unnamed
+     *        columns in that order).
+     * @param name Trace label; defaults to the path.
+     */
+    static PowerTrace fromCsvFile(const std::string &path,
+                                  const std::string &name = "");
 
   private:
     std::string label;

@@ -1,25 +1,41 @@
 #include "crc32.hh"
 
+#include <array>
+
 namespace react {
 
 namespace {
 
-/** Build the reflected CRC-32 table once, at first use. */
-const uint32_t *
-crcTable()
+std::array<uint32_t, 256>
+buildTable()
 {
-    static uint32_t table[256];
-    static bool built = false;
-    if (!built) {
-        for (uint32_t i = 0; i < 256; ++i) {
-            uint32_t c = i;
-            for (int bit = 0; bit < 8; ++bit)
-                c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-            table[i] = c;
-        }
-        built = true;
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
     }
     return table;
+}
+
+/** The reflected CRC-32 table, built once (thread-safe magic static:
+ *  snapshot writers and FRAM models CRC concurrently under the parallel
+ *  runner). */
+const std::array<uint32_t, 256> &
+crcTable()
+{
+    static const std::array<uint32_t, 256> table = buildTable();
+    return table;
+}
+
+uint32_t
+fold(uint32_t state, const uint8_t *data, size_t size)
+{
+    const auto &table = crcTable();
+    for (size_t i = 0; i < size; ++i)
+        state = table[(state ^ data[i]) & 0xffu] ^ (state >> 8);
+    return state;
 }
 
 } // namespace
@@ -27,11 +43,13 @@ crcTable()
 uint32_t
 crc32(const uint8_t *data, size_t size)
 {
-    const uint32_t *table = crcTable();
-    uint32_t crc = 0xffffffffu;
-    for (size_t i = 0; i < size; ++i)
-        crc = table[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
-    return crc ^ 0xffffffffu;
+    return fold(0xffffffffu, data, size) ^ 0xffffffffu;
+}
+
+void
+Crc32::update(const uint8_t *data, size_t size)
+{
+    state = fold(state, data, size);
 }
 
 } // namespace react

@@ -2,12 +2,17 @@
  * @file
  * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
  *
- * Used to protect small FRAM records (e.g. REACT's persisted bank
- * topology) against the torn writes a power failure can leave behind.
- * Unlike the FNV hash in the non-volatile store, CRC-32 guarantees
- * detection of any single burst error up to 32 bits -- the failure mode
- * of an interrupted FRAM row write -- which is why real intermittent
- * runtimes use it for their commit markers.
+ * Used to protect small persisted records against the torn writes a
+ * power failure can leave behind: REACT's FRAM bank-topology record, the
+ * non-volatile store's double-buffered slots, and every section of a
+ * simulator snapshot (snapshot/snapshot.hh).  Unlike an FNV hash,
+ * CRC-32 guarantees detection of any single burst error up to 32 bits
+ * -- the failure mode of an interrupted FRAM row write -- which is why
+ * real intermittent runtimes use it for their commit markers.
+ *
+ * One table serves both the one-shot function and the incremental
+ * class; the table is built by a thread-safe magic-static initializer
+ * (parallel sweeps compute CRCs concurrently).
  */
 
 #ifndef REACT_UTIL_CRC32_HH
@@ -20,6 +25,26 @@ namespace react {
 
 /** CRC-32 of a byte range (initial value 0, standard final inversion). */
 uint32_t crc32(const uint8_t *data, size_t size);
+
+/** Incremental CRC-32 over a stream of byte ranges; same result as a
+ *  one-shot crc32() over the concatenation. */
+class Crc32
+{
+  public:
+    Crc32() = default;
+
+    /** Fold in the next byte range. */
+    void update(const uint8_t *data, size_t size);
+
+    /** CRC of everything folded in so far (does not consume state). */
+    uint32_t value() const { return state ^ 0xffffffffu; }
+
+    /** Restart for a fresh message. */
+    void reset() { state = 0xffffffffu; }
+
+  private:
+    uint32_t state = 0xffffffffu;
+};
 
 } // namespace react
 

@@ -51,8 +51,8 @@ CsvTable::columnIndex(const std::string &name) const
     return -1;
 }
 
-CsvTable
-parseCsv(const std::string &text)
+bool
+tryParseCsv(const std::string &text, CsvTable *out, std::string *error)
 {
     CsvTable table;
     std::stringstream ss(text);
@@ -86,13 +86,27 @@ parseCsv(const std::string &text)
         for (const auto &f : fields) {
             double v;
             if (!isNumeric(f, v)) {
-                react_fatal("csv line %zu: field '%s' is not numeric",
-                            line_no, f.c_str());
+                if (error != nullptr)
+                    *error = "line " + std::to_string(line_no) +
+                        ": field '" + f + "' is not numeric";
+                return false;
             }
             row.push_back(v);
         }
         table.rows.push_back(std::move(row));
+        table.rowLines.push_back(line_no);
     }
+    *out = std::move(table);
+    return true;
+}
+
+CsvTable
+parseCsv(const std::string &text)
+{
+    CsvTable table;
+    std::string error;
+    if (!tryParseCsv(text, &table, &error))
+        react_fatal("csv %s", error.c_str());
     return table;
 }
 

@@ -20,18 +20,30 @@ struct CsvTable
 {
     std::vector<std::string> header;
     std::vector<std::vector<double>> rows;
+    /** 1-based source line number of each data row (for diagnostics that
+     *  point at the offending line of the original file). */
+    std::vector<size_t> rowLines;
 
     /** Column index for the given header name, or -1 when absent. */
     int columnIndex(const std::string &name) const;
 };
 
 /**
- * Parse CSV text.  Lines starting with '#' are skipped; if the first
- * non-comment line contains any non-numeric field it is treated as the
- * header.
+ * Parse CSV text without aborting on damage.  Lines starting with '#'
+ * are skipped; if the first non-comment line contains any non-numeric
+ * field it is treated as the header.
  *
  * @param text Full file contents.
- * @return Parsed table; malformed numeric fields raise react_fatal.
+ * @param out Parsed table (valid only when the call returns true).
+ * @param error Filled with "line N: ..." on failure (may be null).
+ * @return true when every data field parsed as a number.
+ */
+bool tryParseCsv(const std::string &text, CsvTable *out,
+                 std::string *error);
+
+/**
+ * Parse CSV text.  Same grammar as tryParseCsv(); malformed numeric
+ * fields raise react_fatal (use tryParseCsv to recover instead).
  */
 CsvTable parseCsv(const std::string &text);
 

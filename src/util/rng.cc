@@ -140,6 +140,26 @@ Rng::split()
     return Rng(next());
 }
 
+RngState
+Rng::state() const
+{
+    RngState out;
+    for (int i = 0; i < 4; ++i)
+        out.s[i] = s[i];
+    out.haveCachedNormal = haveCachedNormal;
+    out.cachedNormal = cachedNormal;
+    return out;
+}
+
+void
+Rng::setState(const RngState &new_state)
+{
+    for (int i = 0; i < 4; ++i)
+        s[i] = new_state.s[i];
+    haveCachedNormal = new_state.haveCachedNormal;
+    cachedNormal = new_state.cachedNormal;
+}
+
 Rng
 Rng::child(uint64_t tag) const
 {

@@ -19,6 +19,20 @@
 namespace react {
 
 /**
+ * Complete generator state: the xoshiro256** words plus the Box-Muller
+ * cache.  Capturing all three fields is what makes save -> restore ->
+ * draw bit-identical to an uninterrupted draw sequence -- forgetting the
+ * cached normal would desynchronize every stream that ever drew an odd
+ * number of normal deviates.
+ */
+struct RngState
+{
+    uint64_t s[4] = {};
+    bool haveCachedNormal = false;
+    double cachedNormal = 0.0;
+};
+
+/**
  * Seeded xoshiro256** generator with the distribution helpers the trace
  * generators and workloads need (uniform, normal, lognormal, exponential,
  * Poisson).
@@ -77,6 +91,12 @@ class Rng
      * sim/fault_injector.hh for the tag convention).
      */
     Rng child(uint64_t tag) const;
+
+    /** Full generator state (for snapshots; no hidden state exists). */
+    RngState state() const;
+
+    /** Restore a previously captured state bit-exactly. */
+    void setState(const RngState &state);
 
   private:
     uint64_t s[4];

@@ -1,5 +1,7 @@
 #include "benchmark.hh"
 
+#include "snapshot/snapshot.hh"
+
 namespace react {
 namespace workload {
 
@@ -7,6 +9,26 @@ void
 Benchmark::reset()
 {
     work = rx = tx = failed = missed = 0;
+}
+
+void
+Benchmark::save(snapshot::SnapshotWriter &w) const
+{
+    w.u64(work);
+    w.u64(rx);
+    w.u64(tx);
+    w.u64(failed);
+    w.u64(missed);
+}
+
+void
+Benchmark::restore(snapshot::SnapshotReader &r)
+{
+    work = r.u64();
+    rx = r.u64();
+    tx = r.u64();
+    failed = r.u64();
+    missed = r.u64();
 }
 
 int

@@ -22,6 +22,10 @@
 #include "mcu/device.hh"
 
 namespace react {
+namespace snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}
 namespace workload {
 
 /** Peripheral and task parameters shared by the benchmarks. */
@@ -128,6 +132,17 @@ class Benchmark
 
     /** Clear all progress (fresh deployment). */
     virtual void reset();
+
+    /**
+     * Serialize the workload's complete mutable state -- counters,
+     * in-flight operation progress, event-queue cursors, RNG streams,
+     * and queued data -- so a restored run replays bit-identically.
+     * Construction parameters are not serialized (restore() assumes an
+     * identically-constructed benchmark).  Overrides call the base
+     * implementation first.
+     */
+    virtual void save(snapshot::SnapshotWriter &w) const;
+    virtual void restore(snapshot::SnapshotReader &r);
 
   protected:
     /**

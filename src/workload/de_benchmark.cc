@@ -1,5 +1,7 @@
 #include "de_benchmark.hh"
 
+#include "snapshot/snapshot.hh"
+
 namespace react {
 namespace workload {
 
@@ -47,6 +49,24 @@ DataEncryptionBenchmark::reset()
     Benchmark::reset();
     progress = 0.0;
     block.fill(0);
+}
+
+void
+DataEncryptionBenchmark::save(snapshot::SnapshotWriter &w) const
+{
+    Benchmark::save(w);
+    for (uint8_t byte : block)
+        w.u8(byte);
+    w.f64(progress);
+}
+
+void
+DataEncryptionBenchmark::restore(snapshot::SnapshotReader &r)
+{
+    Benchmark::restore(r);
+    for (uint8_t &byte : block)
+        byte = r.u8();
+    progress = r.f64();
 }
 
 } // namespace workload

@@ -34,6 +34,9 @@ class DataEncryptionBenchmark : public Benchmark
     /** Running ciphertext (for end-to-end verification). */
     const Aes128::Block &digest() const { return block; }
 
+    void save(snapshot::SnapshotWriter &w) const override;
+    void restore(snapshot::SnapshotReader &r) override;
+
   private:
     WorkloadParams params;
     Aes128 aes;

@@ -1,5 +1,6 @@
 #include "pf_benchmark.hh"
 
+#include "snapshot/snapshot.hh"
 #include "util/logging.hh"
 
 namespace react {
@@ -154,6 +155,47 @@ PacketForwardBenchmark::reset()
     failedRx = 0;
     failedTx = 0;
     queue.clear();
+}
+
+void
+PacketForwardBenchmark::save(snapshot::SnapshotWriter &w) const
+{
+    Benchmark::save(w);
+    arrivals.save(w);
+    w.f64(receiving);
+    w.f64(transmitting);
+    w.f64(rxEnergy);
+    w.f64(txEnergy);
+    w.u32(static_cast<uint32_t>(txLevel));
+    w.b(levelsComputed);
+    w.u32(nextSequence);
+    w.u64(offered);
+    w.u64(failedRx);
+    w.u64(failedTx);
+    w.u32(static_cast<uint32_t>(queue.size()));
+    for (const auto &frame : queue)
+        w.bytes(frame);
+}
+
+void
+PacketForwardBenchmark::restore(snapshot::SnapshotReader &r)
+{
+    Benchmark::restore(r);
+    arrivals.restore(r);
+    receiving = r.f64();
+    transmitting = r.f64();
+    rxEnergy = r.f64();
+    txEnergy = r.f64();
+    txLevel = static_cast<int>(r.u32());
+    levelsComputed = r.b();
+    nextSequence = static_cast<uint16_t>(r.u32());
+    offered = r.u64();
+    failedRx = r.u64();
+    failedTx = r.u64();
+    queue.clear();
+    const uint32_t depth = r.u32();
+    for (uint32_t i = 0; i < depth; ++i)
+        queue.push_back(r.bytes());
 }
 
 } // namespace workload

@@ -54,6 +54,9 @@ class PacketForwardBenchmark : public Benchmark
     /** Packets currently queued for retransmission. */
     size_t queueDepth() const { return queue.size(); }
 
+    void save(snapshot::SnapshotWriter &w) const override;
+    void restore(snapshot::SnapshotReader &r) override;
+
   private:
     mcu::EventQueue makeArrivals() const;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "snapshot/snapshot.hh"
 #include "util/logging.hh"
 
 namespace react {
@@ -107,6 +108,28 @@ RadioTransmitBenchmark::reset()
     levelComputed = false;
     burstsRemaining = 0;
     sequence = 0;
+}
+
+void
+RadioTransmitBenchmark::save(snapshot::SnapshotWriter &w) const
+{
+    Benchmark::save(w);
+    w.f64(transmitting);
+    w.u32(static_cast<uint32_t>(requiredLevel));
+    w.b(levelComputed);
+    w.u32(static_cast<uint32_t>(burstsRemaining));
+    w.u32(sequence);
+}
+
+void
+RadioTransmitBenchmark::restore(snapshot::SnapshotReader &r)
+{
+    Benchmark::restore(r);
+    transmitting = r.f64();
+    requiredLevel = static_cast<int>(r.u32());
+    levelComputed = r.b();
+    burstsRemaining = static_cast<int>(r.u32());
+    sequence = static_cast<uint16_t>(r.u32());
 }
 
 } // namespace workload

@@ -37,6 +37,9 @@ class RadioTransmitBenchmark : public Benchmark
     /** Energy of one transmit burst at the nominal rail voltage. */
     double burstEnergy(const mcu::DeviceSpec &device) const;
 
+    void save(snapshot::SnapshotWriter &w) const override;
+    void restore(snapshot::SnapshotReader &r) override;
+
   private:
     WorkloadParams params;
     /** Seconds left in the in-flight burst; < 0 means idle. */

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "snapshot/snapshot.hh"
+
 namespace react {
 namespace workload {
 
@@ -89,6 +91,28 @@ SenseComputeBenchmark::reset()
     rng = Rng(seed);
     sampling = -1.0;
     feature = 0.0;
+}
+
+void
+SenseComputeBenchmark::save(snapshot::SnapshotWriter &w) const
+{
+    Benchmark::save(w);
+    deadlines.save(w);
+    snapshot::saveRng(w, rng);
+    w.f64(sampling);
+    w.f64(feature);
+    // The biquad filter is reset at the start of every processSample()
+    // burst, so its taps carry no state across ticks -- not serialized.
+}
+
+void
+SenseComputeBenchmark::restore(snapshot::SnapshotReader &r)
+{
+    Benchmark::restore(r);
+    deadlines.restore(r);
+    snapshot::restoreRng(r, &rng);
+    sampling = r.f64();
+    feature = r.f64();
 }
 
 } // namespace workload

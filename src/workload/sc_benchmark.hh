@@ -45,6 +45,9 @@ class SenseComputeBenchmark : public Benchmark
     /** Most recent filtered RMS feature. */
     double lastFeature() const { return feature; }
 
+    void save(snapshot::SnapshotWriter &w) const override;
+    void restore(snapshot::SnapshotReader &r) override;
+
   private:
     /** Run the acquisition + filtering computation for one burst. */
     void processSample();

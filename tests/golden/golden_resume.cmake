@@ -1,0 +1,62 @@
+# Crash-resume golden check, run as a ctest entry:
+#
+#   cmake -DBENCH=<bench binary> -DOUT=<scratch csv> -DGOLDEN=<fixture>
+#         -DCKPT_DIR=<scratch dir> -P golden_resume.cmake
+#
+# Runs the bench with per-cell checkpointing enabled and a forced hard
+# crash (std::_Exit, no cleanup) after a few completed cells, then runs
+# it again -- resuming every finished cell from its snapshot -- and
+# requires the final CSV to be byte-identical to the committed golden
+# fixture.  This is the end-to-end crash-consistency property: a sweep
+# interrupted by power failure finishes with exactly the numbers an
+# uninterrupted sweep produces.
+if(NOT BENCH OR NOT OUT OR NOT GOLDEN OR NOT CKPT_DIR)
+    message(FATAL_ERROR
+        "golden_resume.cmake needs -DBENCH, -DOUT, -DGOLDEN, -DCKPT_DIR")
+endif()
+
+file(REMOVE_RECURSE ${CKPT_DIR})
+file(MAKE_DIRECTORY ${CKPT_DIR})
+set(ENV{REACT_CHECKPOINT_DIR} ${CKPT_DIR})
+set(ENV{REACT_CRASH_AFTER_CELLS} 5)
+
+execute_process(
+    COMMAND ${BENCH} --csv ${OUT}
+    RESULT_VARIABLE crash_rc
+    OUTPUT_VARIABLE crash_out
+    ERROR_VARIABLE crash_out)
+if(NOT crash_rc EQUAL 3)
+    message(FATAL_ERROR
+        "expected the crashed run to exit with 3 "
+        "(REACT_CRASH_AFTER_CELLS), got ${crash_rc}:\n${crash_out}")
+endif()
+
+# The crash must have left per-cell snapshots behind to resume from.
+file(GLOB snapshots ${CKPT_DIR}/*.snap)
+list(LENGTH snapshots snapshot_count)
+if(snapshot_count EQUAL 0)
+    message(FATAL_ERROR "crashed run left no snapshots in ${CKPT_DIR}")
+endif()
+
+unset(ENV{REACT_CRASH_AFTER_CELLS})
+execute_process(
+    COMMAND ${BENCH} --csv ${OUT}
+    RESULT_VARIABLE resume_rc
+    OUTPUT_VARIABLE resume_out
+    ERROR_VARIABLE resume_out)
+if(NOT resume_rc EQUAL 0)
+    message(FATAL_ERROR
+        "resumed run exited with ${resume_rc}:\n${resume_out}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+    RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+    execute_process(COMMAND diff -u ${GOLDEN} ${OUT}
+                    OUTPUT_VARIABLE diff_text ERROR_QUIET)
+    message(FATAL_ERROR
+        "resumed run is not byte-identical to ${GOLDEN}\n${diff_text}")
+endif()
+
+file(REMOVE_RECURSE ${CKPT_DIR})

@@ -14,6 +14,7 @@
 #include "core/react_buffer.hh"
 #include "intermittent/nonvolatile.hh"
 #include "sim/fault_injector.hh"
+#include "snapshot/snapshot.hh"
 #include "util/rng.hh"
 #include "util/units.hh"
 
@@ -314,6 +315,70 @@ TEST(FramRecovery, CorruptRecordFallsBackToSafeDefault)
         buf.step(Seconds(1e-3), Watts(20e-3), Amps(0.0));
     }
     EXPECT_GT(buf.capacitanceLevel(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Snapshot round-trip: a restored injector replays the uninterrupted
+// fault schedule bit-for-bit (the property experiment checkpoints rely
+// on -- a resumed run must see the exact same faults it would have).
+// ---------------------------------------------------------------------
+
+TEST(FaultSnapshot, RestoredInjectorReplaysTheExactSchedule)
+{
+    FaultPlan plan;
+    plan.comparatorMisreadsPerHour = 2000.0;
+    plan.comparatorDriftVoltsPerSqrtHour = 0.05;
+    plan.switchStuckProbability = 0.01;
+    plan.switchSlowProbability = 0.05;
+    plan.harvesterDropoutsPerHour = 400.0;
+    plan.framCorruptionPerPowerLoss = 0.5;
+
+    FaultInjector live(plan, 97);
+    // Warm up: let every component lazily create its stream, including
+    // one that has already jammed by the time we snapshot.
+    Rng stim(5);
+    for (int i = 0; i < 5000; ++i) {
+        live.advance(Seconds(1e-3));
+        (void)live.comparatorRead("cmp", Volts(stim.uniform(1.0, 3.0)));
+        if (i % 50 == 0)
+            (void)live.switchActuates("sw");
+    }
+
+    snapshot::SnapshotWriter w;
+    w.beginSection("inj");
+    live.save(w);
+    w.endSection();
+    const std::vector<uint8_t> image = w.finish();
+
+    // Restore into an injector built with a different seed: every word
+    // of stream state must come from the snapshot, not the constructor.
+    FaultInjector restored(plan, 1);
+    snapshot::SnapshotReader r(image);
+    r.beginSection("inj");
+    restored.restore(r);
+    r.endSection();
+
+    EXPECT_DOUBLE_EQ(restored.now().raw(), live.now().raw());
+    EXPECT_EQ(restored.faultCount(), live.faultCount());
+    for (int i = 0; i < 20000; ++i) {
+        live.advance(Seconds(1e-3));
+        restored.advance(Seconds(1e-3));
+        const Volts v(stim.uniform(1.0, 3.0));
+        EXPECT_DOUBLE_EQ(restored.comparatorRead("cmp", v).raw(),
+                         live.comparatorRead("cmp", v).raw());
+        EXPECT_EQ(restored.filterHarvest(Watts(1e-3)).raw(),
+                  live.filterHarvest(Watts(1e-3)).raw());
+        if (i % 100 == 0) {
+            EXPECT_EQ(restored.switchActuates("sw"),
+                      live.switchActuates("sw"));
+            std::vector<uint8_t> a{1, 2, 3, 4}, b{1, 2, 3, 4};
+            EXPECT_EQ(restored.maybeCorruptOnPowerLoss("fram", &a),
+                      live.maybeCorruptOnPowerLoss("fram", &b));
+            EXPECT_EQ(a, b);
+        }
+    }
+    EXPECT_EQ(restored.faultCount(), live.faultCount());
+    EXPECT_EQ(restored.recoveryCount(), live.recoveryCount());
 }
 
 } // namespace

@@ -77,6 +77,100 @@ TEST(PowerTrace, CsvRoundTrip)
     EXPECT_DOUBLE_EQ(r.data()[2], 2.5);
 }
 
+/** Committed corrupt capture files (tests/fixtures). */
+std::string
+fixture(const char *file)
+{
+    return std::string(REACT_FIXTURE_DIR) + "/" + file;
+}
+
+/** Load a fixture expecting a TraceError; return its message. */
+std::string
+loadFailure(const char *file)
+{
+    try {
+        (void)PowerTrace::fromCsvFile(fixture(file));
+    } catch (const TraceError &e) {
+        return e.what();
+    }
+    ADD_FAILURE() << file << " should have been rejected";
+    return "";
+}
+
+TEST(TraceLoader, LoadsWellFormedFile)
+{
+    const PowerTrace t = PowerTrace::fromCsvFile(fixture("trace_ok.csv"));
+    ASSERT_EQ(t.size(), 5u);
+    EXPECT_NEAR(t.sampleDt(), 0.01, 1e-12);
+    EXPECT_DOUBLE_EQ(t.data()[1], 0.002);
+    // Default label is the path, so errors elsewhere stay attributable.
+    EXPECT_NE(t.name().find("trace_ok.csv"), std::string::npos);
+}
+
+TEST(TraceLoader, MissingFileNamesThePath)
+{
+    const std::string msg = [&] {
+        try {
+            (void)PowerTrace::fromCsvFile(fixture("no_such_trace.csv"));
+        } catch (const TraceError &e) {
+            return std::string(e.what());
+        }
+        return std::string();
+    }();
+    EXPECT_NE(msg.find("no_such_trace.csv"), std::string::npos);
+    EXPECT_NE(msg.find("cannot open"), std::string::npos);
+}
+
+TEST(TraceLoader, RejectsTruncatedCapture)
+{
+    const std::string msg = loadFailure("trace_truncated.csv");
+    EXPECT_NE(msg.find("at least 2 data rows"), std::string::npos);
+}
+
+TEST(TraceLoader, RejectsNonMonotonicTimestampsWithLineContext)
+{
+    const std::string msg = loadFailure("trace_nonmonotonic.csv");
+    // The backwards timestamp sits on line 4 of the fixture.
+    EXPECT_NE(msg.find("trace_nonmonotonic.csv:4"), std::string::npos);
+    EXPECT_NE(msg.find("uniform grid"), std::string::npos);
+}
+
+TEST(TraceLoader, RejectsNonUniformSpacing)
+{
+    const std::string msg = loadFailure("trace_nonuniform.csv");
+    EXPECT_NE(msg.find("trace_nonuniform.csv:5"), std::string::npos);
+}
+
+TEST(TraceLoader, RejectsNonNumericField)
+{
+    const std::string msg = loadFailure("trace_badfield.csv");
+    EXPECT_NE(msg.find("line 3"), std::string::npos);
+    EXPECT_NE(msg.find("bogus"), std::string::npos);
+}
+
+TEST(TraceLoader, RejectsNegativePower)
+{
+    const std::string msg = loadFailure("trace_negative_power.csv");
+    EXPECT_NE(msg.find("trace_negative_power.csv:3"), std::string::npos);
+    EXPECT_NE(msg.find(">= 0"), std::string::npos);
+}
+
+TEST(TraceLoader, RejectsRowMissingAColumn)
+{
+    const std::string msg = loadFailure("trace_short_row.csv");
+    EXPECT_NE(msg.find("trace_short_row.csv:3"), std::string::npos);
+    EXPECT_NE(msg.find("column"), std::string::npos);
+}
+
+TEST(TraceLoader, InlineCsvValidatesToo)
+{
+    EXPECT_THROW((void)PowerTrace::fromCsv("time_s,power_w\n0,1\n"),
+                 TraceError);
+    EXPECT_THROW(
+        (void)PowerTrace::fromCsv("0,1\n0.5,1\n0.5,2\n2,1\n", "dup"),
+        TraceError);
+}
+
 TEST(Generator, HighFractionFromCv)
 {
     // No amplitude jitter: CV^2 = (1 - f) / f  =>  f = 1 / (1 + CV^2).

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "util/crc32.hh"
 #include "util/csv.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
@@ -260,6 +261,44 @@ TEST(Units, CapEnergyWindowSignedContract)
     // Degenerate window: no voltage swing, no energy either way.
     EXPECT_DOUBLE_EQ(
         capEnergyWindow(Farads(1e-3), Volts(2.0), Volts(2.0)).raw(), 0.0);
+}
+
+TEST(Crc32, MatchesTheIeeeCheckVector)
+{
+    // The canonical IEEE 802.3 check value: crc32("123456789").
+    const uint8_t msg[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+    EXPECT_EQ(crc32(msg, sizeof(msg)), 0xCBF43926u);
+    EXPECT_EQ(crc32(nullptr, 0), 0x00000000u);
+}
+
+TEST(Crc32, IncrementalEqualsOneShot)
+{
+    const uint8_t msg[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+    Crc32 inc;
+    for (size_t split = 0; split <= sizeof(msg); ++split) {
+        inc.reset();
+        inc.update(msg, split);
+        inc.update(msg + split, sizeof(msg) - split);
+        EXPECT_EQ(inc.value(), 0xCBF43926u) << "split at " << split;
+    }
+    // value() must not consume state: calling it twice is idempotent.
+    EXPECT_EQ(inc.value(), inc.value());
+}
+
+TEST(Csv, TryParseReportsLineAndFieldWithoutAborting)
+{
+    CsvTable table;
+    std::string error;
+    EXPECT_TRUE(tryParseCsv("t,p\n0,1\n0.5,2\n", &table, &error));
+    ASSERT_EQ(table.rows.size(), 2u);
+    // Line numbers of each data row survive for later diagnostics.
+    ASSERT_EQ(table.rowLines.size(), 2u);
+    EXPECT_EQ(table.rowLines[0], 2u);
+    EXPECT_EQ(table.rowLines[1], 3u);
+
+    EXPECT_FALSE(tryParseCsv("t,p\n0,oops\n", &table, &error));
+    EXPECT_NE(error.find("line 2"), std::string::npos);
+    EXPECT_NE(error.find("oops"), std::string::npos);
 }
 
 } // namespace
