@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Hot-loop throughput benchmark and CI perf-regression artifact.
+ *
+ * Two measurements, both single-threaded so the numbers isolate per-step
+ * engine cost from the parallel runner's scaling (BENCH_parallel.json
+ * covers that axis):
+ *
+ *  1. Raw per-architecture step loops: each buffer is warmed past its
+ *     transient and then stepped in a time-boxed tight loop, reporting
+ *     steps/sec for StaticBuffer, ReactBuffer, and MorphyBuffer.
+ *  2. The Table-2 Data-Encryption workload row (5 traces x 5 buffers,
+ *     trace + run-until-drain): the end-to-end experiment loop the CI
+ *     budget actually buys, reporting aggregate steps/sec.
+ *
+ * The run also reports the transcendental-cache hit rates from
+ * sim::hotloop and (when REACT_FAST_PATH engages) the fraction of steps
+ * advanced by the quiescent closed-form fast path.  Everything lands in
+ * BENCH_hotloop.json; tools/check_hotloop_regression.py diffs it against
+ * the checked-in baseline and fails CI on a >10% steps/sec regression.
+ *
+ * Usage: hot_loop [--json <path>] [--quick]
+ */
+
+#include <chrono>
+#include <cstring>
+#include <string>
+
+#include "bench_common.hh"
+#include "buffers/morphy_buffer.hh"
+#include "buffers/static_buffer.hh"
+#include "core/react_buffer.hh"
+#include "sim/hotloop_stats.hh"
+
+namespace {
+
+using namespace react;
+
+double
+nowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+struct LoopResult
+{
+    uint64_t steps = 0;
+    double wallSeconds = 0.0;
+
+    double stepsPerSec() const
+    {
+        return wallSeconds > 0.0
+            ? static_cast<double>(steps) / wallSeconds
+            : 0.0;
+    }
+};
+
+/** Time-boxed tight step loop: run chunks until the budget elapses. */
+template <typename Buffer>
+LoopResult
+measureStepLoop(Buffer &buf, double budget_seconds)
+{
+    constexpr int kChunk = 50000;
+    // Warm past the architecture's transient (bank bring-up, ladder
+    // climb) so the measured regime is the steady state the table
+    // benches spend their time in.
+    for (int i = 0; i < 20000; ++i) {
+        buf.step(units::Seconds(1e-3), units::Watts(3e-3),
+                 units::Amps(1e-3));
+    }
+
+    LoopResult out;
+    const double start = nowSeconds();
+    double elapsed = 0.0;
+    do {
+        for (int i = 0; i < kChunk; ++i) {
+            buf.step(units::Seconds(1e-3), units::Watts(3e-3),
+                     units::Amps(1e-3));
+        }
+        out.steps += kChunk;
+        elapsed = nowSeconds() - start;
+    } while (elapsed < budget_seconds);
+    out.wallSeconds = elapsed;
+    return out;
+}
+
+/** One Table-2 DE row: 5 traces x 5 buffers, sequential on this thread. */
+LoopResult
+measureTable2De(const harness::ExperimentConfig &config,
+                uint64_t *fast_steps)
+{
+    LoopResult out;
+    const double start = nowSeconds();
+    for (const auto trace_kind : trace::kAllPaperTraces) {
+        for (const auto buffer_kind : harness::kAllBuffers) {
+            const auto r = bench::runCell(
+                buffer_kind, harness::BenchmarkKind::DataEncryption,
+                trace_kind, config);
+            out.steps += r.steps;
+            if (fast_steps != nullptr)
+                *fast_steps += r.fastSteps;
+        }
+    }
+    out.wallSeconds = nowSeconds() - start;
+    return out;
+}
+
+void
+emitCacheStats(JsonWriter &w)
+{
+    const auto &c = sim::hotloop::counters();
+    w.key("cache");
+    w.beginObject();
+    w.field("leak_hits", c.leakCacheHits);
+    w.field("leak_misses", c.leakCacheMisses);
+    w.field("leak_hit_rate",
+            sim::hotloop::hitRate(c.leakCacheHits, c.leakCacheMisses));
+    w.field("transfer_hits", c.transferCacheHits);
+    w.field("transfer_misses", c.transferCacheMisses);
+    w.field("transfer_hit_rate",
+            sim::hotloop::hitRate(c.transferCacheHits,
+                                  c.transferCacheMisses));
+    w.field("schottky_hits", c.schottkyCacheHits);
+    w.field("schottky_misses", c.schottkyCacheMisses);
+    w.field("schottky_hit_rate",
+            sim::hotloop::hitRate(c.schottkyCacheHits,
+                                  c.schottkyCacheMisses));
+    w.endObject();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace react;
+
+    std::string json_path = "BENCH_hotloop.json";
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+        else if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+    }
+    const double budget = quick ? 0.1 : 0.5;
+
+    bench::printPreamble(
+        "Hot loop: single-threaded engine step throughput",
+        "engine benchmark (not a paper figure); CI perf-regression gate");
+
+    bench::prewarmEvaluationTraces();
+    sim::hotloop::resetCounters();
+
+    // --- Raw per-architecture step loops -------------------------------
+    struct MicroRow
+    {
+        const char *name;
+        LoopResult result;
+    };
+    MicroRow micro[3];
+
+    {
+        buffer::StaticBuffer buf(
+            harness::staticBufferSpec(units::Farads(10e-3)));
+        micro[0] = {"static_10mF", measureStepLoop(buf, budget)};
+    }
+    {
+        core::ReactBuffer buf;
+        buf.notifyBackendPower(true);
+        micro[1] = {"react", measureStepLoop(buf, budget)};
+    }
+    {
+        buffer::MorphyBuffer buf;
+        micro[2] = {"morphy", measureStepLoop(buf, budget)};
+    }
+
+    // --- Table-2 DE workload row (exact mode) --------------------------
+    // Pinned to Off so the regression gate's number cannot be perturbed
+    // by a REACT_FAST_PATH value leaking in from the environment.
+    harness::ExperimentConfig config;
+    config.fastPath = harness::FastPath::Off;
+    const LoopResult table2 =
+        quick ? LoopResult{} : measureTable2De(config, nullptr);
+
+    // --- Same row with the quiescent fast path engaged -----------------
+    // The opt-in mode's headline number: run-until-drain tails and
+    // trace outages collapse to closed-form decay.
+    harness::ExperimentConfig fast_config;
+    fast_config.fastPath = harness::FastPath::On;
+    uint64_t fast_steps = 0;
+    const LoopResult table2_fast =
+        quick ? LoopResult{} : measureTable2De(fast_config, &fast_steps);
+
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema", 1);
+    w.key("micro");
+    w.beginArray();
+    for (const auto &row : micro) {
+        w.beginObject();
+        w.field("name", row.name);
+        w.field("steps", row.result.steps);
+        w.field("wall_s", row.result.wallSeconds);
+        w.field("steps_per_sec", row.result.stepsPerSec());
+        w.endObject();
+    }
+    w.endArray();
+    w.key("table2_de");
+    w.beginObject();
+    w.field("cells", quick ? 0 : 25);
+    w.field("steps", table2.steps);
+    w.field("wall_s", table2.wallSeconds);
+    w.field("steps_per_sec", table2.stepsPerSec());
+    w.endObject();
+    w.key("table2_de_fastpath");
+    w.beginObject();
+    w.field("cells", quick ? 0 : 25);
+    w.field("steps", table2_fast.steps);
+    w.field("wall_s", table2_fast.wallSeconds);
+    w.field("steps_per_sec", table2_fast.stepsPerSec());
+    w.endObject();
+    emitCacheStats(w);
+    w.key("fast_path");
+    w.beginObject();
+    w.field("steps", fast_steps);
+    w.field("coverage",
+            table2_fast.steps > 0
+                ? static_cast<double>(fast_steps) /
+                    static_cast<double>(table2_fast.steps)
+                : 0.0);
+    w.endObject();
+    w.endObject();
+    writeTextFile(json_path, w.str() + "\n");
+
+    for (const auto &row : micro) {
+        std::printf("%-14s %12.3g steps/s  (%llu steps / %.2f s)\n",
+                    row.name, row.result.stepsPerSec(),
+                    static_cast<unsigned long long>(row.result.steps),
+                    row.result.wallSeconds);
+    }
+    if (!quick) {
+        std::printf("%-14s %12.3g steps/s  (%llu steps / %.2f s, "
+                    "25 cells)\n",
+                    "table2_de", table2.stepsPerSec(),
+                    static_cast<unsigned long long>(table2.steps),
+                    table2.wallSeconds);
+        std::printf("%-14s %12.3g steps/s  (%llu steps / %.2f s, "
+                    "25 cells)\n",
+                    "table2_de+fp", table2_fast.stepsPerSec(),
+                    static_cast<unsigned long long>(table2_fast.steps),
+                    table2_fast.wallSeconds);
+        std::printf("fast-path coverage: %.1f%%\n",
+                    table2_fast.steps > 0
+                        ? 100.0 * static_cast<double>(fast_steps) /
+                            static_cast<double>(table2_fast.steps)
+                        : 0.0);
+    }
+    const auto &c = sim::hotloop::counters();
+    std::printf("cache hit rates: leak %.3f, transfer %.3f, "
+                "schottky %.3f\n",
+                sim::hotloop::hitRate(c.leakCacheHits, c.leakCacheMisses),
+                sim::hotloop::hitRate(c.transferCacheHits,
+                                      c.transferCacheMisses),
+                sim::hotloop::hitRate(c.schottkyCacheHits,
+                                      c.schottkyCacheMisses));
+    std::printf("artifact: %s\n", json_path.c_str());
+    return 0;
+}

@@ -160,6 +160,23 @@ runAllocationAudit()
         report("MorphyBuffer", auditSteps(buf, kAuditSteps));
     }
 
+    // Reconfiguration-phase audit: no warmup at all.  The window starts
+    // at the very first step and spans the bring-up transient -- REACT's
+    // bank actuations and FRAM persists with the backend already on,
+    // Morphy's cold ladder climb with its adoptConfig() recompilations.
+    // The flattened network state, the transfer caches, and the FRAM
+    // image are all sized at construction, so even the first step after
+    // every reconfiguration must be allocation-free.
+    {
+        core::ReactBuffer buf;
+        buf.notifyBackendPower(true);
+        report("ReactBuffer cold", auditSteps(buf, kAuditSteps));
+    }
+    {
+        buffer::MorphyBuffer buf;
+        report("MorphyBuffer cold", auditSteps(buf, kAuditSteps));
+    }
+
     if (failures != 0) {
         std::fprintf(stderr,
                      "alloc-audit: %d architecture(s) allocate on the "

@@ -27,6 +27,7 @@ react_add_bench(ablation_dewdrop)
 react_add_bench(fault_sweep)
 react_add_bench(parallel_sweep)
 react_add_bench(crash_fuzz)
+react_add_bench(hot_loop)
 
 # Google-benchmark microbenchmarks (simulator hot loop, AES kernel).
 add_executable(micro_engine ${CMAKE_SOURCE_DIR}/bench/micro_engine.cc)

@@ -28,16 +28,30 @@ CapacitorNetwork::CapacitorNetwork(int unit_count,
     for (int i = 0; i < unit_count; ++i)
         units.emplace_back(unit_spec);
     connectedFlags.assign(units.size(), 0);
+    // Worst case every unit is connected (uniqueness is asserted), so
+    // reserving to the pool size makes every later recompilation
+    // allocation-free.
+    flatUnits.reserve(units.size());
+    branchOffsets.reserve(units.size() + 1);
+    branchSizes.reserve(units.size());
+    branchOffsets.push_back(0);
 }
 
 CapacitorNetwork::CapacitorNetwork(const CapacitorNetwork &other)
     : units(other.units), ownedConfig(other.ownedConfig),
-      connectedFlags(other.connectedFlags)
+      connectedFlags(other.connectedFlags), flatUnits(other.flatUnits),
+      branchOffsets(other.branchOffsets), branchSizes(other.branchSizes),
+      cachedEqCap(other.cachedEqCap), cachedEqCapKey(other.cachedEqCapKey)
 {
     // A source that owned its config must not leave the copy aliasing the
     // source's storage; a source borrowing a shared ladder entry may.
     currentCfg = other.currentCfg == &other.ownedConfig ? &ownedConfig
                                                         : other.currentCfg;
+    // Vector copies size capacity to fit; restore the full-pool reserve
+    // so the copy keeps the allocation-free recompilation guarantee.
+    flatUnits.reserve(units.size());
+    branchOffsets.reserve(units.size() + 1);
+    branchSizes.reserve(units.size());
 }
 
 CapacitorNetwork &
@@ -48,8 +62,16 @@ CapacitorNetwork::operator=(const CapacitorNetwork &other)
     units = other.units;
     ownedConfig = other.ownedConfig;
     connectedFlags = other.connectedFlags;
+    flatUnits = other.flatUnits;
+    branchOffsets = other.branchOffsets;
+    branchSizes = other.branchSizes;
+    cachedEqCap = other.cachedEqCap;
+    cachedEqCapKey = other.cachedEqCapKey;
     currentCfg = other.currentCfg == &other.ownedConfig ? &ownedConfig
                                                         : other.currentCfg;
+    flatUnits.reserve(units.size());
+    branchOffsets.reserve(units.size() + 1);
+    branchSizes.reserve(units.size());
     return *this;
 }
 
@@ -65,82 +87,33 @@ CapacitorNetwork::setUnitVoltage(int index, Volts voltage)
     units.at(static_cast<size_t>(index)).setVoltage(voltage);
 }
 
-Volts
-CapacitorNetwork::branchVoltage(const std::vector<int> &branch) const
-{
-    Volts v{0.0};
-    for (int idx : branch)
-        v += units.at(static_cast<size_t>(idx)).voltage();
-    return v;
-}
-
-Farads
-CapacitorNetwork::branchCapacitance(const std::vector<int> &branch) const
-{
-    react_assert(!branch.empty(), "empty branch");
-    return units[0].capacitance() / static_cast<double>(branch.size());
-}
-
-Farads
-CapacitorNetwork::equivalentCapacitance() const
-{
-    return currentCfg->equivalentCapacitance(units[0].capacitance());
-}
-
-Volts
-CapacitorNetwork::outputVoltage() const
-{
-    // Between reconfigurations the connected branches stay equalized, so
-    // any branch's terminal voltage is the node voltage.
-    if (currentCfg->branches.empty())
-        return Volts(0.0);
-    return branchVoltage(currentCfg->branches.front());
-}
-
-Joules
-CapacitorNetwork::storedEnergy() const
-{
-    Joules e{0.0};
-    for (const auto &unit : units)
-        e += unit.energy();
-    return e;
-}
-
-Joules
-CapacitorNetwork::connectedEnergy() const
-{
-    Joules e{0.0};
-    for (const auto &branch : currentCfg->branches) {
-        for (int idx : branch)
-            e += units[static_cast<size_t>(idx)].energy();
-    }
-    return e;
-}
-
 Joules
 CapacitorNetwork::equalizeConnected()
 {
-    if (currentCfg->branches.empty())
+    if (branchSizes.empty())
         return Joules(0.0);
 
     // Parallel equalization: the common terminal voltage conserves total
     // branch charge, V_f = sum(Q_br) / sum(C_br).
+    const Farads unit_cap = units[0].capacitance();
     Coulombs q_total{0.0};
     Farads c_total{0.0};
-    for (const auto &branch : currentCfg->branches) {
-        const Farads c_br = branchCapacitance(branch);
-        q_total += c_br * branchVoltage(branch);
+    for (std::size_t b = 0; b < branchSizes.size(); ++b) {
+        const Farads c_br = unit_cap / branchSizes[b];
+        q_total += c_br * flatBranchVoltage(b);
         c_total += c_br;
     }
     const Volts v_final = std::max(q_total / c_total, Volts(0.0));
 
     const Joules e_before = connectedEnergy();
-    for (const auto &branch : currentCfg->branches) {
-        const Farads c_br = branchCapacitance(branch);
-        const Coulombs dq = c_br * (v_final - branchVoltage(branch));
+    for (std::size_t b = 0; b < branchSizes.size(); ++b) {
+        const Farads c_br = unit_cap / branchSizes[b];
+        const Coulombs dq = c_br * (v_final - flatBranchVoltage(b));
         // Series chains carry the same charge through every member.
-        for (int idx : branch)
-            units[static_cast<size_t>(idx)].addCharge(dq);
+        const int32_t end = branchOffsets[b + 1];
+        for (int32_t k = branchOffsets[b]; k < end; ++k)
+            units[static_cast<size_t>(flatUnits[static_cast<size_t>(k)])]
+                .addCharge(dq);
     }
     const Joules e_after = connectedEnergy();
     return std::max(e_before - e_after, Joules(0.0));
@@ -151,9 +124,15 @@ CapacitorNetwork::adoptConfig(const NetworkConfig &next)
 {
     // Validate (indices in range, no duplicates) while rebuilding the
     // connected-unit flags in place; the flags double as the "seen" set so
-    // reconfiguration needs no temporary container.
+    // reconfiguration needs no temporary container.  The same pass
+    // compiles the flattened step state; clear() keeps the construction
+    // -time capacity, so no allocation happens here either.
     std::fill(connectedFlags.begin(), connectedFlags.end(),
               static_cast<uint8_t>(0));
+    flatUnits.clear();
+    branchOffsets.clear();
+    branchSizes.clear();
+    branchOffsets.push_back(0);
     for (const auto &branch : next.branches) {
         react_assert(!branch.empty(), "network config has an empty branch");
         for (int idx : branch) {
@@ -163,8 +142,12 @@ CapacitorNetwork::adoptConfig(const NetworkConfig &next)
             react_assert(flag == 0,
                          "unit %d appears twice in network config", idx);
             flag = 1;
+            flatUnits.push_back(static_cast<int32_t>(idx));
         }
+        branchOffsets.push_back(static_cast<int32_t>(flatUnits.size()));
+        branchSizes.push_back(static_cast<double>(branch.size()));
     }
+    cachedEqCapKey = Farads(-1.0);
 }
 
 Joules
@@ -212,50 +195,13 @@ CapacitorNetwork::restore(snapshot::SnapshotReader &r)
         unit.restore(r);
 }
 
-void
-CapacitorNetwork::addChargeAtOutput(Coulombs dq)
-{
-    if (currentCfg->branches.empty())
-        return;
-    const Farads c_eq = equivalentCapacitance();
-    const Volts dv = dq / c_eq;
-    for (const auto &branch : currentCfg->branches) {
-        const Coulombs dq_br = branchCapacitance(branch) * dv;
-        for (int idx : branch)
-            units[static_cast<size_t>(idx)].addCharge(dq_br);
-    }
-}
-
 Joules
-CapacitorNetwork::leak(Seconds dt)
+CapacitorNetwork::leakN(Seconds dt, uint64_t n)
 {
     Joules lost{0.0};
     for (auto &unit : units)
-        lost += unit.leak(dt);
-    // Leakage perturbs series-chain balance only within a chain (all units
-    // decay by the same factor, so equal units stay equal); connected
-    // branches may drift apart slightly, which the next equalization
-    // charges back -- physically this is the standing balancing current.
+        lost += unit.leakN(dt, n);
     return lost;
-}
-
-Joules
-CapacitorNetwork::clipOutput(Volts ceiling)
-{
-    Joules clipped{0.0};
-    const Volts v_out = outputVoltage();
-    if (!currentCfg->branches.empty() && v_out > ceiling) {
-        const Joules e_before = connectedEnergy();
-        addChargeAtOutput(equivalentCapacitance() * (ceiling - v_out));
-        clipped += e_before - connectedEnergy();
-    }
-    // Disconnected units are bounded only by their rating; the flags are
-    // maintained by adoptConfig() so this pass allocates nothing per step.
-    for (int i = 0; i < unitCount(); ++i) {
-        if (!connectedFlags[static_cast<size_t>(i)])
-            clipped += units[static_cast<size_t>(i)].clip();
-    }
-    return clipped;
 }
 
 } // namespace buffer

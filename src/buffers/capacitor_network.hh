@@ -21,6 +21,7 @@
 #ifndef REACT_BUFFERS_CAPACITOR_NETWORK_HH
 #define REACT_BUFFERS_CAPACITOR_NETWORK_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -118,6 +119,11 @@ class CapacitorNetwork
     /** Apply self-discharge to every unit; returns energy leaked. */
     Joules leak(Seconds dt);
 
+    /** Closed-form n-step leak of every unit (connected or not); same
+     *  contract and rounding bound as sim::Capacitor::leakN.  Fast-path
+     *  only -- not bit-identical to n leak(dt) calls. */
+    Joules leakN(Seconds dt, uint64_t n);
+
     /**
      * Clamp the output node to the given ceiling; the excess is burned.
      * Disconnected units clamp to their own rated voltage.
@@ -142,17 +148,16 @@ class CapacitorNetwork
     void restore(snapshot::SnapshotReader &r);
 
   private:
-    /** Terminal voltage of one branch (sum of member unit voltages). */
-    Volts branchVoltage(const std::vector<int> &branch) const;
-
-    /** Series capacitance of one branch. */
-    Farads branchCapacitance(const std::vector<int> &branch) const;
+    /** Terminal voltage of one compiled branch (sum of member unit
+     *  voltages, in config order). */
+    Volts flatBranchVoltage(std::size_t b) const;
 
     /** Equalize all connected branches to a common terminal voltage;
      *  returns the energy dissipated. */
     Joules equalizeConnected();
 
-    /** Validate an arrangement and rebuild connectedFlags from it. */
+    /** Validate an arrangement, rebuild connectedFlags, and compile the
+     *  flattened step state from it. */
     void adoptConfig(const NetworkConfig &next);
 
     std::vector<sim::Capacitor> units;
@@ -171,10 +176,152 @@ class CapacitorNetwork
      *  last per-step heap allocation). */
     std::vector<uint8_t> connectedFlags;
 
+    /**
+     * @name Flattened step state (compiled at adoptConfig() time)
+     *
+     * The per-step passes used to walk the arrangement's nested
+     * vector<vector<int>> -- a pointer chase per branch, per step.
+     * adoptConfig() instead compiles the arrangement once into three
+     * contiguous arrays so every pass is a linear sweep: the connected
+     * unit indices in branch-major config order, the half-open span of
+     * branch b in that array, and each branch's member count as the
+     * double the series-capacitance division consumes.  Capacity is
+     * reserved to the unit count at construction (each unit appears at
+     * most once), so recompilation never allocates.  Iteration order and
+     * arithmetic match the nested walk exactly; results stay
+     * bit-identical.
+     * @{
+     */
+    std::vector<int32_t> flatUnits;
+    /** branchSizes.size() + 1 offsets into flatUnits. */
+    std::vector<int32_t> branchOffsets;
+    std::vector<double> branchSizes;
+    /**
+     * Equivalent-capacitance memo keyed on the unit capacitance (all
+     * units share one part spec; aging rescales them together).
+     * adoptConfig() invalidates the key explicitly because a new
+     * arrangement changes the sum without touching the key.
+     */
+    mutable Farads cachedEqCap{0.0};
+    mutable Farads cachedEqCapKey{-1.0};
+    /** @} */
+
   public:
     CapacitorNetwork(const CapacitorNetwork &other);
     CapacitorNetwork &operator=(const CapacitorNetwork &other);
 };
+
+// Per-step passes, inline so they fold into the owning buffer's step():
+// Morphy touches the network several times per engine step (leak, the
+// standing-balance equalization, input/load routing, clip), and the
+// cross-TU call overhead of these sweeps dominated its step cost.
+
+inline Volts
+CapacitorNetwork::flatBranchVoltage(std::size_t b) const
+{
+    Volts v{0.0};
+    const int32_t end = branchOffsets[b + 1];
+    for (int32_t k = branchOffsets[b]; k < end; ++k)
+        v += units[static_cast<size_t>(flatUnits[static_cast<size_t>(k)])]
+                 .voltage();
+    return v;
+}
+
+inline Farads
+CapacitorNetwork::equivalentCapacitance() const
+{
+    // Sum of unit_cap / branch_size in branch order: the exact operation
+    // sequence of NetworkConfig::equivalentCapacitance(), memoized on
+    // the unit capacitance (the only run-time-variable operand).
+    const Farads unit_cap = units[0].capacitance();
+    if (unit_cap != cachedEqCapKey) {
+        Farads total{0.0};
+        for (double size : branchSizes)
+            total += unit_cap / size;
+        cachedEqCap = total;
+        cachedEqCapKey = unit_cap;
+    }
+    return cachedEqCap;
+}
+
+inline Volts
+CapacitorNetwork::outputVoltage() const
+{
+    // Between reconfigurations the connected branches stay equalized, so
+    // any branch's terminal voltage is the node voltage.
+    if (branchSizes.empty())
+        return Volts(0.0);
+    return flatBranchVoltage(0);
+}
+
+inline Joules
+CapacitorNetwork::storedEnergy() const
+{
+    Joules e{0.0};
+    for (const auto &unit : units)
+        e += unit.energy();
+    return e;
+}
+
+inline Joules
+CapacitorNetwork::connectedEnergy() const
+{
+    // Linear sweep: flatUnits lists the connected units in the same
+    // branch-major order the nested walk visited them.
+    Joules e{0.0};
+    for (int32_t idx : flatUnits)
+        e += units[static_cast<size_t>(idx)].energy();
+    return e;
+}
+
+inline void
+CapacitorNetwork::addChargeAtOutput(Coulombs dq)
+{
+    if (branchSizes.empty())
+        return;
+    const Farads c_eq = equivalentCapacitance();
+    const Volts dv = dq / c_eq;
+    const Farads unit_cap = units[0].capacitance();
+    for (std::size_t b = 0; b < branchSizes.size(); ++b) {
+        const Coulombs dq_br = unit_cap / branchSizes[b] * dv;
+        const int32_t end = branchOffsets[b + 1];
+        for (int32_t k = branchOffsets[b]; k < end; ++k)
+            units[static_cast<size_t>(flatUnits[static_cast<size_t>(k)])]
+                .addCharge(dq_br);
+    }
+}
+
+inline Joules
+CapacitorNetwork::leak(Seconds dt)
+{
+    Joules lost{0.0};
+    for (auto &unit : units)
+        lost += unit.leak(dt);
+    // Leakage perturbs series-chain balance only within a chain (all units
+    // decay by the same factor, so equal units stay equal); connected
+    // branches may drift apart slightly, which the next equalization
+    // charges back -- physically this is the standing balancing current.
+    return lost;
+}
+
+inline Joules
+CapacitorNetwork::clipOutput(Volts ceiling)
+{
+    Joules clipped{0.0};
+    const Volts v_out = outputVoltage();
+    if (!branchSizes.empty() && v_out > ceiling) {
+        const Joules e_before = connectedEnergy();
+        addChargeAtOutput(equivalentCapacitance() * (ceiling - v_out));
+        clipped += e_before - connectedEnergy();
+    }
+    // Disconnected units are bounded only by their rating; the flags are
+    // maintained by adoptConfig() so this pass allocates nothing per step.
+    for (int i = 0; i < unitCount(); ++i) {
+        if (!connectedFlags[static_cast<size_t>(i)])
+            clipped += units[static_cast<size_t>(i)].clip();
+    }
+    return clipped;
+}
 
 } // namespace buffer
 } // namespace react

@@ -55,13 +55,14 @@ struct MorphyParams
 };
 
 /** The Morphy buffer: task capacitor + switched network + controller. */
-class MorphyBuffer : public EnergyBuffer
+class MorphyBuffer final : public EnergyBuffer
 {
   public:
     explicit MorphyBuffer(const MorphyParams &params = MorphyParams());
 
     std::string name() const override { return "Morphy"; }
     void step(Seconds dt, Watts input_power, Amps load_current) override;
+    uint64_t advanceQuiescent(Seconds dt, uint64_t max_steps) override;
     Volts railVoltage() const override;
     Joules storedEnergy() const override;
     Farads equivalentCapacitance() const override;

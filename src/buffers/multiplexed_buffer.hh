@@ -26,7 +26,7 @@ namespace react {
 namespace buffer {
 
 /** Capybara-like bank of software-selected static buffers. */
-class MultiplexedBuffer : public EnergyBuffer
+class MultiplexedBuffer final : public EnergyBuffer
 {
   public:
     /**

@@ -22,7 +22,7 @@ namespace react {
 namespace buffer {
 
 /** Single fixed capacitor across the rail. */
-class StaticBuffer : public EnergyBuffer
+class StaticBuffer final : public EnergyBuffer
 {
   public:
     /**
@@ -37,6 +37,7 @@ class StaticBuffer : public EnergyBuffer
 
     std::string name() const override { return label; }
     void step(Seconds dt, Watts input_power, Amps load_current) override;
+    uint64_t advanceQuiescent(Seconds dt, uint64_t max_steps) override;
     Volts railVoltage() const override;
     Joules storedEnergy() const override;
     Farads equivalentCapacitance() const override;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "sim/hotloop_stats.hh"
 #include "snapshot/snapshot.hh"
 #include "util/logging.hh"
 #include "util/units.hh"
@@ -26,31 +27,23 @@ bankStateName(BankState state)
     return "?";
 }
 
-Farads
-BankSpec::seriesCapacitance() const
-{
-    return unit.capacitance / static_cast<double>(count);
-}
-
-Farads
-BankSpec::parallelCapacitance() const
-{
-    return unit.capacitance * static_cast<double>(count);
-}
-
-Joules
-BankSpec::energyAtUnitVoltage(Volts v_unit) const
-{
-    return static_cast<double>(count) *
-        units::capEnergy(unit.capacitance, v_unit);
-}
-
 CapacitorBank::CapacitorBank(const BankSpec &spec)
     : bankSpec(spec)
 {
     react_assert(spec.count >= 1, "bank needs at least one capacitor");
     react_assert(spec.unit.capacitance > Farads(0),
                  "bank unit capacitance must be positive");
+    rebuildLeakCache();
+}
+
+void
+CapacitorBank::rebuildLeakCache()
+{
+    const Ohms r = bankSpec.unit.leakResistance();
+    leakTauFinite = units::isfinite(r);
+    leakTau = leakTauFinite ? r * bankSpec.unit.capacitance : Seconds(0.0);
+    cachedLeakDt = Seconds(-1.0);
+    cachedLeakDecay = 1.0;
 }
 
 void
@@ -67,41 +60,8 @@ CapacitorBank::setUnitCapacitance(Farads capacitance)
                  "bank unit capacitance must be positive");
     const Joules before = storedEnergy();
     bankSpec.unit.capacitance = capacitance;
+    rebuildLeakCache();
     return before - storedEnergy();
-}
-
-Volts
-CapacitorBank::terminalVoltage() const
-{
-    switch (bankState) {
-      case BankState::Disconnected:
-        return Volts(0.0);
-      case BankState::Series:
-        return vUnit * static_cast<double>(bankSpec.count);
-      case BankState::Parallel:
-        return vUnit;
-    }
-    return Volts(0.0);
-}
-
-Farads
-CapacitorBank::terminalCapacitance() const
-{
-    switch (bankState) {
-      case BankState::Disconnected:
-        return Farads(0.0);
-      case BankState::Series:
-        return bankSpec.seriesCapacitance();
-      case BankState::Parallel:
-        return bankSpec.parallelCapacitance();
-    }
-    return Farads(0.0);
-}
-
-Joules
-CapacitorBank::storedEnergy() const
-{
-    return bankSpec.energyAtUnitVoltage(vUnit);
 }
 
 void
@@ -128,23 +88,19 @@ CapacitorBank::addChargeAtTerminal(Coulombs dq)
 }
 
 Joules
-CapacitorBank::leak(Seconds dt)
+CapacitorBank::leakN(Seconds dt, uint64_t n)
 {
-    const Ohms r = bankSpec.unit.leakResistance();
-    if (!units::isfinite(r) || vUnit <= Volts(0))
+    if (!leakTauFinite || vUnit <= Volts(0) || n == 0)
         return Joules(0);
+    if (dt == cachedLeakDt) {
+        ++sim::hotloop::counters().leakCacheHits;
+    } else {
+        cachedLeakDecay = std::exp(-dt / leakTau);
+        cachedLeakDt = dt;
+        ++sim::hotloop::counters().leakCacheMisses;
+    }
     const Joules before = storedEnergy();
-    vUnit *= std::exp(-dt / (r * bankSpec.unit.capacitance));
-    return before - storedEnergy();
-}
-
-Joules
-CapacitorBank::clipToRating()
-{
-    if (vUnit <= bankSpec.unit.ratedVoltage)
-        return Joules(0);
-    const Joules before = storedEnergy();
-    vUnit = bankSpec.unit.ratedVoltage;
+    vUnit *= std::pow(cachedLeakDecay, static_cast<double>(n));
     return before - storedEnergy();
 }
 
@@ -162,6 +118,7 @@ CapacitorBank::restore(snapshot::SnapshotReader &r)
     bankState = static_cast<BankState>(r.u8());
     vUnit = Volts(r.f64());
     bankSpec.unit.capacitance = Farads(r.f64());
+    rebuildLeakCache();
 }
 
 } // namespace core

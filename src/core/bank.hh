@@ -121,6 +121,11 @@ class CapacitorBank
     /** Exact exponential self-discharge; returns energy leaked. */
     Joules leak(Seconds dt);
 
+    /** Closed-form n-step leak (one pow instead of n multiplies); same
+     *  contract and rounding bound as sim::Capacitor::leakN.  Fast-path
+     *  only -- not bit-identical to n leak(dt) calls. */
+    Joules leakN(Seconds dt, uint64_t n);
+
     /**
      * Clamp the per-capacitor voltage to the part rating.
      *
@@ -137,7 +142,109 @@ class CapacitorBank
     BankSpec bankSpec;
     BankState bankState = BankState::Disconnected;
     Volts vUnit{0.0};
+
+    /**
+     * @name Memoized leak-decay cache
+     *
+     * Same scheme as sim::Capacitor: the per-step exp(-dt / (R_leak C))
+     * of leak() depends only on the unit part parameters and dt, so the
+     * time constant and last decay factor are cached and rebuilt at
+     * every mutation point (construction, setUnitCapacitance, snapshot
+     * restore).  The cached expression repeats the original operation
+     * sequence exactly, keeping results bit-identical.
+     * @{
+     */
+    Seconds leakTau{0.0};
+    bool leakTauFinite = false;
+    Seconds cachedLeakDt{-1.0};
+    double cachedLeakDecay = 1.0;
+    void rebuildLeakCache();
+    /** @} */
 };
+
+// Inline definitions for the per-step leaf operations: REACT touches
+// every bank every engine step (leak, clip, terminal reads), so these
+// must inline into the buffer's step() rather than pay a cross-TU call.
+
+inline Farads
+BankSpec::seriesCapacitance() const
+{
+    return unit.capacitance / static_cast<double>(count);
+}
+
+inline Farads
+BankSpec::parallelCapacitance() const
+{
+    return unit.capacitance * static_cast<double>(count);
+}
+
+inline Joules
+BankSpec::energyAtUnitVoltage(Volts v_unit) const
+{
+    return static_cast<double>(count) *
+        units::capEnergy(unit.capacitance, v_unit);
+}
+
+inline Volts
+CapacitorBank::terminalVoltage() const
+{
+    switch (bankState) {
+      case BankState::Disconnected:
+        return Volts(0.0);
+      case BankState::Series:
+        return vUnit * static_cast<double>(bankSpec.count);
+      case BankState::Parallel:
+        return vUnit;
+    }
+    return Volts(0.0);
+}
+
+inline Farads
+CapacitorBank::terminalCapacitance() const
+{
+    switch (bankState) {
+      case BankState::Disconnected:
+        return Farads(0.0);
+      case BankState::Series:
+        return bankSpec.seriesCapacitance();
+      case BankState::Parallel:
+        return bankSpec.parallelCapacitance();
+    }
+    return Farads(0.0);
+}
+
+inline Joules
+CapacitorBank::storedEnergy() const
+{
+    return bankSpec.energyAtUnitVoltage(vUnit);
+}
+
+inline Joules
+CapacitorBank::leak(Seconds dt)
+{
+    if (!leakTauFinite || vUnit <= Volts(0))
+        return Joules(0);
+    if (dt == cachedLeakDt) {
+        ++sim::hotloop::counters().leakCacheHits;
+    } else {
+        cachedLeakDecay = std::exp(-dt / leakTau);
+        cachedLeakDt = dt;
+        ++sim::hotloop::counters().leakCacheMisses;
+    }
+    const Joules before = storedEnergy();
+    vUnit *= cachedLeakDecay;
+    return before - storedEnergy();
+}
+
+inline Joules
+CapacitorBank::clipToRating()
+{
+    if (vUnit <= bankSpec.unit.ratedVoltage)
+        return Joules(0);
+    const Joules before = storedEnergy();
+    vUnit = bankSpec.unit.ratedVoltage;
+    return before - storedEnergy();
+}
 
 } // namespace core
 } // namespace react

@@ -46,6 +46,7 @@
 #include "core/bank_policy.hh"
 #include "core/react_config.hh"
 #include "sim/capacitor.hh"
+#include "sim/charge_transfer.hh"
 
 namespace react {
 namespace core {
@@ -53,7 +54,7 @@ namespace core {
 using units::Amps;
 
 /** REACT: reconfigurable, energy-adaptive capacitor banks. */
-class ReactBuffer : public buffer::EnergyBuffer
+class ReactBuffer final : public buffer::EnergyBuffer
 {
   public:
     /** @param config Hardware description; must pass validate(). */
@@ -62,6 +63,7 @@ class ReactBuffer : public buffer::EnergyBuffer
 
     std::string name() const override { return "REACT"; }
     void step(Seconds dt, Watts input_power, Amps load_current) override;
+    uint64_t advanceQuiescent(Seconds dt, uint64_t max_steps) override;
     Volts railVoltage() const override;
     Joules storedEnergy() const override;
     Farads equivalentCapacitance() const override;
@@ -173,6 +175,22 @@ class ReactBuffer : public buffer::EnergyBuffer
     Seconds pollAccumulator{0.0};
     Seconds agingAccumulator{0.0};
     uint64_t transitionCount = 0;
+
+    /**
+     * @name Per-path charge-transfer memos
+     *
+     * One TransferCache per bank for the bank -> last-level output-diode
+     * path, plus one for the fault-only reverse path through a shorted
+     * isolation diode.  The caches are key-checked on every use
+     * (capacitance, resistance, dt), so reconfiguration, aging, and
+     * snapshot restore need no explicit invalidation -- a changed key
+     * simply recomputes.  Sized once at construction; never reallocated
+     * on the step path.
+     * @{
+     */
+    std::vector<sim::TransferCache> outTransfer;
+    std::vector<sim::TransferCache> backTransfer;
+    /** @} */
 
     /** @name Fault-hardening state (inert without an injector). @{ */
     uint32_t retiredMask = 0;

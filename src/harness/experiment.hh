@@ -28,6 +28,29 @@
 namespace react {
 namespace harness {
 
+/**
+ * Quiescent fast-path policy (see EnergyBuffer::advanceQuiescent and
+ * DESIGN.md, "Hot loop").  The fast path replaces provably-inert spans
+ * (zero harvest, backend off) with closed-form decay; it is *opt-in*
+ * because results differ from exact stepping by the documented
+ * pow-vs-iterated rounding bound, and default runs must stay
+ * byte-exact against the golden suite.
+ */
+enum class FastPath
+{
+    /** Consult REACT_FAST_PATH once per process: unset/"0" -> Off,
+     *  "check" -> Check, anything else -> On. */
+    Auto,
+    /** Exact stepping only (the default behaviour). */
+    Off,
+    /** Engage the closed-form fast path on quiescent spans. */
+    On,
+    /** Engage it, then re-run every span exactly and panic if the fast
+     *  result diverges beyond the documented bound (the divergence
+     *  gate; runs at exact-mode speed and continues from exact state). */
+    Check,
+};
+
 /** Runner options. */
 struct ExperimentConfig
 {
@@ -50,6 +73,8 @@ struct ExperimentConfig
     /** Stop as soon as the backend first enables (latency-only runs,
      *  Table 4: charge time is software-invariant). */
     bool stopAfterLatency = false;
+    /** Quiescent fast-path policy; Auto defers to REACT_FAST_PATH. */
+    FastPath fastPath = FastPath::Auto;
 
     /**
      * Hardware fault schedule.  The default all-zero plan leaves the run
@@ -120,6 +145,9 @@ struct ExperimentResult
     double totalTime = 0.0;
     /** Fixed-timestep engine iterations executed (totalTime / dt). */
     uint64_t steps = 0;
+    /** Of `steps`, how many were advanced by the opt-in quiescent
+     *  fast path (REACT_FAST_PATH; always 0 in default exact mode). */
+    uint64_t fastSteps = 0;
     /** Number of power cycles (off -> on transitions). */
     uint64_t powerCycles = 0;
     /** Mean uninterrupted on-period, seconds. */

@@ -19,6 +19,12 @@ HarvesterFrontend::power(Seconds t) const
 }
 
 Seconds
+HarvesterFrontend::zeroPowerUntil(Seconds t) const
+{
+    return conv ? t : Seconds(powerTrace.zeroUntil(t.raw()));
+}
+
+Seconds
 HarvesterFrontend::traceDuration() const
 {
     return Seconds(powerTrace.duration());

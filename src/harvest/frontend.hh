@@ -41,6 +41,15 @@ class HarvesterFrontend
     /** Power delivered into the buffer at the given time. */
     Watts power(Seconds t) const;
 
+    /**
+     * Earliest time at or after `t` where power() can be nonzero (the
+     * quiescent fast-path horizon).  Identity frontends forward the
+     * trace's zero-sample scan; with a converter attached the result is
+     * conservatively `t` (a converter may bias zero input), declining
+     * the fast path.
+     */
+    Seconds zeroPowerUntil(Seconds t) const;
+
     /** Duration of the underlying trace. */
     Seconds traceDuration() const;
 

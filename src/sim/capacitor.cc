@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "sim/hotloop_stats.hh"
 #include "snapshot/snapshot.hh"
 #include "util/logging.hh"
 #include "util/units.hh"
@@ -25,6 +26,17 @@ Capacitor::Capacitor(const CapacitorSpec &spec, Volts initial_voltage)
                  "capacitance must be positive");
     react_assert(initial_voltage >= Volts(0),
                  "initial voltage must be >= 0");
+    rebuildLeakCache();
+}
+
+void
+Capacitor::rebuildLeakCache()
+{
+    const Ohms r = partSpec.leakResistance();
+    leakTauFinite = units::isfinite(r);
+    leakTau = leakTauFinite ? r * partSpec.capacitance : Seconds(0.0);
+    cachedLeakDt = Seconds(-1.0);
+    cachedLeakDecay = 1.0;
 }
 
 void
@@ -40,63 +52,25 @@ Capacitor::setCapacitance(Farads capacitance)
     react_assert(capacitance > Farads(0), "capacitance must be positive");
     const Joules before = energy();
     partSpec.capacitance = capacitance;
+    rebuildLeakCache();
     return before - energy();
 }
 
-Coulombs
-Capacitor::charge() const
-{
-    return partSpec.capacitance * v;
-}
-
 Joules
-Capacitor::energy() const
+Capacitor::leakN(Seconds dt, uint64_t n)
 {
-    return units::capEnergy(partSpec.capacitance, v);
-}
-
-void
-Capacitor::addCharge(Coulombs dq)
-{
-    v += dq / partSpec.capacitance;
-    if (v < Volts(0))
-        v = Volts(0);
-}
-
-void
-Capacitor::applyCurrent(Amps current, Seconds dt)
-{
-    addCharge(current * dt);
-}
-
-Joules
-Capacitor::leak(Seconds dt)
-{
-    const Ohms r = partSpec.leakResistance();
-    if (!units::isfinite(r) || v <= Volts(0))
+    if (!leakTauFinite || v <= Volts(0) || n == 0)
         return Joules(0);
+    if (dt == cachedLeakDt) {
+        ++hotloop::counters().leakCacheHits;
+    } else {
+        cachedLeakDecay = std::exp(-dt / leakTau);
+        cachedLeakDt = dt;
+        ++hotloop::counters().leakCacheMisses;
+    }
     const Joules before = energy();
-    v *= std::exp(-dt / (r * partSpec.capacitance));
+    v *= std::pow(cachedLeakDecay, static_cast<double>(n));
     return before - energy();
-}
-
-Joules
-Capacitor::clip(Volts ceiling)
-{
-    const Volts limit = ceiling < Volts(0) ? partSpec.ratedVoltage : ceiling;
-    if (v <= limit)
-        return Joules(0);
-    const Joules before = energy();
-    v = limit;
-    return before - energy();
-}
-
-Joules
-Capacitor::energyAbove(Volts floor_voltage) const
-{
-    if (v <= floor_voltage)
-        return Joules(0);
-    return units::capEnergyWindow(partSpec.capacitance, v, floor_voltage);
 }
 
 void
@@ -111,6 +85,7 @@ Capacitor::restore(snapshot::SnapshotReader &r)
 {
     partSpec.capacitance = Farads(r.f64());
     v = Volts(r.f64());
+    rebuildLeakCache();
 }
 
 } // namespace sim

@@ -14,6 +14,10 @@
 #ifndef REACT_SIM_CAPACITOR_HH
 #define REACT_SIM_CAPACITOR_HH
 
+#include <cmath>
+#include <cstdint>
+
+#include "sim/hotloop_stats.hh"
 #include "util/units.hh"
 
 namespace react {
@@ -115,6 +119,20 @@ class Capacitor
     Joules leak(Seconds dt);
 
     /**
+     * Closed-form n-step leak: equivalent to calling leak(dt) n times,
+     * except the decay is applied as one pow(decay, n) instead of n
+     * sequential multiplies.  Relative voltage error versus the
+     * iterated form is bounded by ~(n + 1) ulp (DESIGN.md, "Hot
+     * loop"), so results are *not* bit-identical to stepping; only the
+     * opt-in quiescent fast path (REACT_FAST_PATH) uses this.
+     *
+     * @param dt Per-step timestep.
+     * @param n Number of steps to advance.
+     * @return Total energy lost to leakage over the n steps.
+     */
+    Joules leakN(Seconds dt, uint64_t n);
+
+    /**
      * Clamp voltage to the given ceiling (defaults to the rated voltage).
      *
      * @param ceiling Maximum voltage; values above are discarded as heat.
@@ -137,7 +155,103 @@ class Capacitor
   private:
     CapacitorSpec partSpec;
     Volts v{0.0};
+
+    /**
+     * @name Memoized leak-decay cache
+     *
+     * leak() evaluates exp(-dt / (R_leak C)) whose inputs change only
+     * when the part parameters change (setCapacitance, snapshot
+     * restore) or the caller's dt changes -- never on the per-step hot
+     * path.  The time constant and the last decay factor are therefore
+     * cached here and rebuilt from rebuildLeakCache() at every
+     * parameter mutation point.  The cached expression is evaluated by
+     * the exact operation sequence the uncached code used
+     * (tau = R_leak * C, then exp(-dt / tau)), so results stay
+     * bit-identical.
+     * @{
+     */
+    /** R_leak * C; only meaningful when leakTauFinite. */
+    Seconds leakTau{0.0};
+    /** False for a lossless part (leakage current 0): leak() is then a
+     *  zero-cost early-out with no division or exp at all. */
+    bool leakTauFinite = false;
+    /** dt key of the cached decay factor (< 0 = empty). */
+    Seconds cachedLeakDt{-1.0};
+    /** exp(-cachedLeakDt / leakTau). */
+    double cachedLeakDecay = 1.0;
+
+    /** Recompute the cached time constant and drop the decay factor.
+     *  Call after any mutation of the part spec. */
+    void rebuildLeakCache();
+    /** @} */
 };
+
+// The per-step leaf operations below are defined inline in the header:
+// every buffer architecture calls them from its step() at engine rate
+// (tens of millions of calls per simulated hour), and keeping them in
+// the .cc made the cross-TU call overhead the dominant hot-loop cost.
+
+inline Coulombs
+Capacitor::charge() const
+{
+    return partSpec.capacitance * v;
+}
+
+inline Joules
+Capacitor::energy() const
+{
+    return units::capEnergy(partSpec.capacitance, v);
+}
+
+inline void
+Capacitor::addCharge(Coulombs dq)
+{
+    v += dq / partSpec.capacitance;
+    if (v < Volts(0))
+        v = Volts(0);
+}
+
+inline void
+Capacitor::applyCurrent(Amps current, Seconds dt)
+{
+    addCharge(current * dt);
+}
+
+inline Joules
+Capacitor::leak(Seconds dt)
+{
+    if (!leakTauFinite || v <= Volts(0))
+        return Joules(0);
+    if (dt == cachedLeakDt) {
+        ++hotloop::counters().leakCacheHits;
+    } else {
+        cachedLeakDecay = std::exp(-dt / leakTau);
+        cachedLeakDt = dt;
+        ++hotloop::counters().leakCacheMisses;
+    }
+    const Joules before = energy();
+    v *= cachedLeakDecay;
+    return before - energy();
+}
+
+inline Joules
+Capacitor::clip(Volts ceiling)
+{
+    const Volts limit = ceiling < Volts(0) ? partSpec.ratedVoltage : ceiling;
+    if (v <= limit)
+        return Joules(0);
+    const Joules before = energy();
+    v = limit;
+    return before - energy();
+}
+
+inline Joules
+Capacitor::energyAbove(Volts floor_voltage) const
+{
+    if (v <= floor_voltage)
+        return Joules(0);
+    return units::capEnergyWindow(partSpec.capacitance, v, floor_voltage);
+}
 
 } // namespace sim
 } // namespace react

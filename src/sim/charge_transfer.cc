@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/hotloop_stats.hh"
 #include "util/logging.hh"
 
 namespace react {
@@ -10,7 +11,7 @@ namespace sim {
 
 TransferResult
 transferCharge(Capacitor &source, Capacitor &sink, Ohms resistance,
-               Volts diode_drop, Seconds dt)
+               Volts diode_drop, Seconds dt, TransferCache *cache)
 {
     react_assert(resistance > Ohms(0),
                  "transfer resistance must be positive");
@@ -23,12 +24,25 @@ transferCharge(Capacitor &source, Capacitor &sink, Ohms resistance,
 
     const Farads c1 = source.capacitance();
     const Farads c2 = sink.capacitance();
-    const Farads ceq = c1 * c2 / (c1 + c2);
-    const Seconds tau = resistance * ceq;
-
-    // The excess voltage difference (above the diode drop) relaxes
-    // exponentially; the transferred charge is the integral of the current.
-    const double decay = std::exp(-dt / tau);
+    Farads ceq;
+    double decay;
+    if (cache != nullptr && cache->c1 == c1 && cache->c2 == c2 &&
+        cache->resistance == resistance && cache->dt == dt) {
+        ceq = cache->ceq;
+        decay = cache->decay;
+        ++hotloop::counters().transferCacheHits;
+    } else {
+        ceq = c1 * c2 / (c1 + c2);
+        const Seconds tau = resistance * ceq;
+        // The excess voltage difference (above the diode drop) relaxes
+        // exponentially; the transferred charge is the integral of the
+        // current.
+        decay = std::exp(-dt / tau);
+        if (cache != nullptr) {
+            *cache = TransferCache{c1, c2, resistance, dt, ceq, decay};
+            ++hotloop::counters().transferCacheMisses;
+        }
+    }
     const Coulombs q = ceq * dv * (1.0 - decay);
 
     const Joules e_before = source.energy() + sink.energy();

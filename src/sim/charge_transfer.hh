@@ -37,6 +37,31 @@ struct TransferResult
 };
 
 /**
+ * Memo for one transfer path's relaxation constants.  transferCharge()
+ * evaluates exp(-dt / tau) with tau derived from (C1, C2, R, dt) -- all
+ * constant along a given path between reconfigurations -- so the owner
+ * of the path (e.g. ReactBuffer, one cache per bank) keeps one of these
+ * and passes it in.  A key mismatch recomputes through the exact
+ * original operation sequence, so results are bit-identical with or
+ * without the cache; mutations (aging, snapshot restore, bank
+ * reconfiguration) need no explicit invalidation because they change
+ * the key.
+ */
+struct TransferCache
+{
+    /** @name Key (raw operand values of the last solve). @{ */
+    Farads c1{-1.0};
+    Farads c2{-1.0};
+    Ohms resistance{-1.0};
+    Seconds dt{-1.0};
+    /** @} */
+    /** @name Cached values. @{ */
+    Farads ceq{0.0};
+    double decay = 0.0;
+    /** @} */
+};
+
+/**
  * Move charge from @p source to @p sink through a series resistance and an
  * optional fixed diode drop, integrating the exact exponential relaxation
  * over the timestep.  No transfer occurs unless the source exceeds the sink
@@ -47,11 +72,13 @@ struct TransferResult
  * @param resistance Series resistance (> 0).
  * @param diode_drop Fixed forward drop (>= 0).
  * @param dt Timestep.
+ * @param cache Optional per-path memo for the relaxation constants
+ *        (bit-identical results either way).
  * @return Charge moved and the losses incurred.
  */
 TransferResult transferCharge(Capacitor &source, Capacitor &sink,
                               Ohms resistance, Volts diode_drop,
-                              Seconds dt);
+                              Seconds dt, TransferCache *cache = nullptr);
 
 /**
  * Charge a capacitor from a constant-power source (the harvester frontend)

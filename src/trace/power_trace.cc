@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "util/csv.hh"
@@ -111,6 +112,21 @@ PowerTrace::power(double t) const
     if (idx >= samples.size())
         return 0.0;
     return samples[idx];
+}
+
+double
+PowerTrace::zeroUntil(double t) const
+{
+    if (samples.empty())
+        return std::numeric_limits<double>::infinity();
+    if (t < 0.0)
+        t = 0.0;
+    size_t idx = static_cast<size_t>(t / dt);
+    while (idx < samples.size() && samples[idx] == 0.0)
+        ++idx;
+    if (idx >= samples.size())
+        return std::numeric_limits<double>::infinity();
+    return static_cast<double>(idx) * dt;
 }
 
 double

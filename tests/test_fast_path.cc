@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Quiescent fast-path equivalence suite (REACT_FAST_PATH; DESIGN.md,
+ * "Hot loop").
+ *
+ * The fast path is opt-in precisely because it is *not* bit-exact: the
+ * closed-form pow-based decay differs from iterated per-step multiplies
+ * by a documented rounding bound.  These tests pin the contract from
+ * both sides: with the feature off (the default) runs are untouched,
+ * with it on every paper-style workload lands within the bound of the
+ * exact run while actually exercising the fast path (fastSteps > 0 --
+ * no vacuous passes), and Check mode proves span-by-span equivalence by
+ * construction (it replays every span exactly, so its final state is
+ * bit-identical to exact mode's).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/paper_setup.hh"
+#include "trace/paper_traces.hh"
+#include "trace/power_trace.hh"
+#include "util/units.hh"
+
+namespace react {
+namespace harness {
+namespace {
+
+using trace::PowerTrace;
+using units::milliwatts;
+
+/**
+ * Feast/famine trace with long exactly-zero outages: 5 s of the given
+ * power followed by 35 s of darkness, repeated.  The zero spans (plus
+ * the run-until-drain tail after the trace ends) are what the quiescent
+ * fast path collapses.
+ */
+PowerTrace
+burstTrace(units::Watts power, int cycles, const std::string &name)
+{
+    const double dt = 0.1;
+    std::vector<double> samples;
+    for (int c = 0; c < cycles; ++c) {
+        for (int i = 0; i < 50; ++i)
+            samples.push_back(power.raw());
+        for (int i = 0; i < 350; ++i)
+            samples.push_back(0.0);
+    }
+    return PowerTrace(dt, std::move(samples), name);
+}
+
+ExperimentResult
+runWith(BufferKind kind, const PowerTrace &power, FastPath mode,
+        BenchmarkKind bench = BenchmarkKind::DataEncryption)
+{
+    auto buf = makeBuffer(kind);
+    auto wl = makeBenchmark(bench, power.duration() + 900.0);
+    harvest::HarvesterFrontend frontend(power);
+    ExperimentConfig cfg;
+    cfg.fastPath = mode;
+    return runExperiment(*buf, wl.get(), frontend, cfg);
+}
+
+/** Assert `fast` matches `exact` within the documented rounding bound,
+ *  widened to absorb one-step shifts of threshold crossings (a rail
+ *  that differs by ulps can cross a comparator a step earlier). */
+void
+expectEquivalent(const ExperimentResult &fast,
+                 const ExperimentResult &exact)
+{
+    EXPECT_EQ(fast.steps, exact.steps);
+    EXPECT_DOUBLE_EQ(fast.totalTime, exact.totalTime);
+    EXPECT_NEAR(fast.latency, exact.latency,
+                1e-2 * std::max(1.0, std::abs(exact.latency)));
+    EXPECT_NEAR(fast.onTime, exact.onTime,
+                1e-2 * std::max(1.0, exact.onTime));
+    EXPECT_NEAR(static_cast<double>(fast.workUnits),
+                static_cast<double>(exact.workUnits),
+                0.01 * static_cast<double>(exact.workUnits) + 2.0);
+    EXPECT_NEAR(fast.ledger.harvested.raw(), exact.ledger.harvested.raw(),
+                1e-6 * std::max(1.0, exact.ledger.harvested.raw()));
+    EXPECT_NEAR(fast.ledger.leaked.raw(), exact.ledger.leaked.raw(),
+                1e-6 * std::max(1.0, exact.ledger.leaked.raw()));
+    EXPECT_NEAR(fast.residualEnergy, exact.residualEnergy,
+                1e-6 * std::max(1.0, std::abs(exact.residualEnergy)));
+}
+
+TEST(FastPath, DefaultAutoResolvesOffWithoutEnv)
+{
+    // The suite never sets REACT_FAST_PATH, so Auto (the config default)
+    // must behave as Off: zero fast steps, nothing engaged.  This is the
+    // property that keeps the golden suite byte-exact.
+    const auto trace = burstTrace(milliwatts(5.0), 2, "auto");
+    const auto auto_run = runWith(BufferKind::Static10mF, trace,
+                                  FastPath::Auto);
+    const auto off_run = runWith(BufferKind::Static10mF, trace,
+                                 FastPath::Off);
+    EXPECT_EQ(auto_run.fastSteps, 0u);
+    EXPECT_EQ(off_run.fastSteps, 0u);
+    EXPECT_EQ(auto_run.stateDigest, off_run.stateDigest);
+    EXPECT_EQ(auto_run.steps, off_run.steps);
+}
+
+TEST(FastPath, EveryBufferEquivalentOnBurstTrace)
+{
+    // Equivalence + non-vacuity for all five evaluation buffers: every
+    // one must actually take the fast path on the outage spans (cold
+    // start, inter-burst darkness, and the run-until-drain tail) and
+    // land within the documented bound of the exact run.
+    const auto trace = burstTrace(milliwatts(5.0), 3, "burst");
+    for (const BufferKind kind : kAllBuffers) {
+        SCOPED_TRACE(bufferKindName(kind));
+        const auto exact = runWith(kind, trace, FastPath::Off);
+        const auto fast = runWith(kind, trace, FastPath::On);
+        EXPECT_EQ(exact.fastSteps, 0u);
+        EXPECT_GT(fast.fastSteps, 1000u);
+        EXPECT_LT(fast.fastSteps, fast.steps);
+        expectEquivalent(fast, exact);
+    }
+}
+
+TEST(FastPath, Table2StyleWorkloadEquivalent)
+{
+    // The acceptance workload shape: a paper trace replayed into REACT
+    // under the DE benchmark (one Table-2 cell), fast versus exact.
+    const auto trace = trace::makePaperTrace(trace::PaperTrace::RfCart, 3);
+    const auto exact = runWith(BufferKind::React, trace, FastPath::Off);
+    const auto fast = runWith(BufferKind::React, trace, FastPath::On);
+    EXPECT_GT(fast.fastSteps, 0u);
+    expectEquivalent(fast, exact);
+}
+
+TEST(FastPath, CheckModeIsBitExactAndNonVacuous)
+{
+    // Check mode replays every claimed span exactly and continues from
+    // the exact state, so its *final* result must be bit-identical to
+    // exact mode -- while still reporting the spans it vetted.  This is
+    // the divergence gate the bound documentation hangs off: a fast
+    // path drifting past the bound panics inside the run.
+    const auto trace = burstTrace(milliwatts(5.0), 2, "check");
+    for (const BufferKind kind :
+         {BufferKind::Static10mF, BufferKind::Morphy, BufferKind::React}) {
+        SCOPED_TRACE(bufferKindName(kind));
+        const auto exact = runWith(kind, trace, FastPath::Off);
+        const auto checked = runWith(kind, trace, FastPath::Check);
+        EXPECT_GT(checked.fastSteps, 0u);
+        EXPECT_EQ(checked.stateDigest, exact.stateDigest);
+        EXPECT_EQ(checked.steps, exact.steps);
+        EXPECT_EQ(checked.workUnits, exact.workUnits);
+        EXPECT_EQ(checked.powerCycles, exact.powerCycles);
+        EXPECT_DOUBLE_EQ(checked.latency, exact.latency);
+        EXPECT_DOUBLE_EQ(checked.ledger.harvested.raw(),
+                         exact.ledger.harvested.raw());
+        EXPECT_DOUBLE_EQ(checked.ledger.leaked.raw(),
+                         exact.ledger.leaked.raw());
+        EXPECT_DOUBLE_EQ(checked.residualEnergy, exact.residualEnergy);
+    }
+}
+
+TEST(FastPath, DeclinesUnderFaultInjection)
+{
+    // The injector draws from per-step random streams; skipping steps
+    // would desynchronize them, so the fast path must stand down for
+    // the whole run when any fault class is active.
+    auto buf = makeBuffer(BufferKind::React);
+    const auto trace = burstTrace(milliwatts(5.0), 2, "faulty");
+    harvest::HarvesterFrontend frontend(trace);
+    ExperimentConfig cfg;
+    cfg.fastPath = FastPath::On;
+    cfg.faultPlan.capacitanceFadePerHour = 0.01;
+    const auto result = runExperiment(*buf, nullptr, frontend, cfg);
+    EXPECT_EQ(result.fastSteps, 0u);
+}
+
+TEST(FastPath, RailRecordingKeepsItsGrid)
+{
+    // Every recording instant must still land inside an exact step: the
+    // fast and exact runs produce the same number of samples on the
+    // same timestamps (t follows the same FP trajectory), with voltages
+    // within the bound.
+    auto run_rec = [](FastPath mode) {
+        auto buf = makeBuffer(BufferKind::Static10mF);
+        harvest::HarvesterFrontend frontend(
+            burstTrace(milliwatts(5.0), 2, "rec"));
+        ExperimentConfig cfg;
+        cfg.fastPath = mode;
+        cfg.recordRail = true;
+        cfg.recordInterval = 0.25;
+        return runExperiment(*buf, nullptr, frontend, cfg);
+    };
+    const auto exact = run_rec(FastPath::Off);
+    const auto fast = run_rec(FastPath::On);
+    EXPECT_GT(fast.fastSteps, 0u);
+    ASSERT_EQ(fast.rail.size(), exact.rail.size());
+    for (size_t i = 0; i < exact.rail.size(); ++i) {
+        EXPECT_DOUBLE_EQ(fast.rail[i].time, exact.rail[i].time);
+        EXPECT_NEAR(fast.rail[i].voltage, exact.rail[i].voltage, 1e-6);
+        EXPECT_EQ(fast.rail[i].backendOn, exact.rail[i].backendOn);
+    }
+}
+
+TEST(FastPath, ZeroUntilScansTheTrace)
+{
+    // {0, 0, 5mW, 0, ...zeros...}: the scan reports the nonzero sample's
+    // start from anywhere before it, the sample's own start from inside
+    // it, and +infinity once only zeros (and the post-trace void) remain.
+    std::vector<double> samples = {0.0, 0.0, 5e-3, 0.0, 0.0, 0.0};
+    const PowerTrace tr(0.1, samples, "scan");
+    EXPECT_DOUBLE_EQ(tr.zeroUntil(0.0), 0.2);
+    EXPECT_DOUBLE_EQ(tr.zeroUntil(-1.0), 0.2);
+    EXPECT_DOUBLE_EQ(tr.zeroUntil(0.15), 0.2);
+    EXPECT_DOUBLE_EQ(tr.zeroUntil(0.25), 0.2);  // inside the sample
+    // 0.3 / 0.1 rounds *down* to 2.999... so ZOH still reads the
+    // nonzero sample at t = 0.3 -- and zeroUntil agrees with power()
+    // exactly, reporting 0.2 (a conservative <= t horizon) rather than
+    // pretending the darkness already started.
+    EXPECT_DOUBLE_EQ(tr.zeroUntil(0.3), 0.2);
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(tr.zeroUntil(0.35), inf);
+    EXPECT_EQ(tr.zeroUntil(100.0), inf);
+    EXPECT_EQ(PowerTrace(0.1, {0.0, 0.0}, "dark").zeroUntil(0.0), inf);
+}
+
+TEST(FastPath, DarkTraceCollapsesAlmostEntirely)
+{
+    // An all-zero trace never starts the backend; nearly every step of
+    // trace + settle should ride the fast path, and the result must
+    // match the exact run's shape.
+    const double dt = 0.1;
+    const PowerTrace dark(dt, std::vector<double>(300, 0.0), "dark");
+    const auto exact = runWith(BufferKind::Static770uF, dark,
+                               FastPath::Off);
+    const auto fast = runWith(BufferKind::Static770uF, dark,
+                              FastPath::On);
+    EXPECT_LT(exact.latency, 0.0);
+    EXPECT_LT(fast.latency, 0.0);
+    EXPECT_EQ(fast.steps, exact.steps);
+    EXPECT_DOUBLE_EQ(fast.totalTime, exact.totalTime);
+    // > 95 % of all steps collapsed (boundary steps stay exact).
+    EXPECT_GT(static_cast<double>(fast.fastSteps),
+              0.95 * static_cast<double>(fast.steps));
+}
+
+} // namespace
+} // namespace harness
+} // namespace react

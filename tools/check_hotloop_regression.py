@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Hot-loop perf-regression gate for CI.
+
+Compares a freshly measured BENCH_hotloop.json against the checked-in
+baseline and fails (exit 1) when any steps/sec metric regressed by more
+than the tolerance (default 10%).  Improvements never fail; a separate
+message suggests refreshing the baseline when a metric improved by more
+than the tolerance, so the gate ratchets forward instead of letting the
+baseline go stale.
+
+The cache hit rates are checked too: a silent cache regression (a key
+that never matches) shows up as a collapsed hit rate long before the
+wall-clock noise floor would flag it.
+
+Usage:
+  check_hotloop_regression.py <baseline.json> <current.json>
+      [--tolerance 0.10] [--min-leak-hit-rate 0.99]
+"""
+
+import argparse
+import json
+import sys
+
+
+def metrics(doc):
+    """Flatten the steps/sec metrics out of a BENCH_hotloop document."""
+    out = {}
+    for row in doc.get("micro", []):
+        out["micro." + row["name"]] = row["steps_per_sec"]
+    for key in ("table2_de", "table2_de_fastpath"):
+        section = doc.get(key)
+        # A --quick run leaves the table sections empty (0 cells); skip
+        # them rather than dividing by zero.
+        if section and section.get("cells", 0) > 0:
+            out[key] = section["steps_per_sec"]
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="max allowed fractional regression (default 0.10)")
+    ap.add_argument("--min-leak-hit-rate", type=float, default=0.99,
+                    help="fail when the leak cache hit rate drops below "
+                         "this (default 0.99)")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.current) as f:
+        cur = json.load(f)
+
+    base_m = metrics(base)
+    cur_m = metrics(cur)
+
+    failures = []
+    for name, base_v in sorted(base_m.items()):
+        cur_v = cur_m.get(name)
+        if cur_v is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        ratio = cur_v / base_v if base_v > 0 else float("inf")
+        tag = "ok"
+        if ratio < 1.0 - args.tolerance:
+            tag = "REGRESSION"
+            failures.append(
+                f"{name}: {cur_v:.3g} steps/s vs baseline "
+                f"{base_v:.3g} ({(1.0 - ratio) * 100.0:.1f}% slower)")
+        elif ratio > 1.0 + args.tolerance:
+            tag = "improved (consider refreshing the baseline)"
+        print(f"{name:28s} {cur_v:12.4g} vs {base_v:12.4g}  "
+              f"x{ratio:.3f}  {tag}")
+
+    cache = cur.get("cache", {})
+    leak_rate = cache.get("leak_hit_rate", 0.0)
+    total = cache.get("leak_hits", 0) + cache.get("leak_misses", 0)
+    if total > 0 and leak_rate < args.min_leak_hit_rate:
+        failures.append(
+            f"leak cache hit rate collapsed: {leak_rate:.4f} < "
+            f"{args.min_leak_hit_rate} (cache key churn?)")
+    print(f"{'cache.leak_hit_rate':28s} {leak_rate:12.4f}")
+
+    if failures:
+        print("\nFAIL: hot-loop performance regressed:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  - {f_}", file=sys.stderr)
+        return 1
+    print("\nOK: no hot-loop regression beyond "
+          f"{args.tolerance * 100.0:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Profile the hot-loop benchmark with Linux perf.
+#
+# Builds the `perf` preset (optimized with frame pointers, so call
+# graphs resolve), runs bench/hot_loop under `perf record`, and prints
+# the top of the report.  Degrades gracefully when perf is unavailable
+# (not installed, or perf_event_paranoid too strict): the benchmark
+# still runs and reports steps/sec, just without the profile.
+#
+# Usage: tools/profile_hotloop.sh [--quick] [extra hot_loop args...]
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+builddir="$repo/build-perf"
+
+cmake --preset perf -S "$repo"
+cmake --build --preset perf -j"$(nproc)" --target hot_loop
+
+bench="$builddir/bench/hot_loop"
+out="$builddir/perf_hotloop.data"
+
+if ! command -v perf >/dev/null 2>&1; then
+    echo "profile_hotloop: 'perf' not found; running unprofiled" >&2
+    exec "$bench" "$@"
+fi
+
+if ! perf record -o "$out" -g --call-graph fp -- "$bench" "$@"; then
+    echo "profile_hotloop: perf record failed (perf_event_paranoid?);" \
+         "running unprofiled" >&2
+    exec "$bench" "$@"
+fi
+
+echo
+echo "=== top functions (perf report --stdio, first 40 lines) ==="
+perf report -i "$out" --stdio --percent-limit 0.5 | head -40
+echo
+echo "full profile: perf report -i $out"
