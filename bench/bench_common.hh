@@ -29,6 +29,7 @@
 
 #include "harness/checkpoint.hh"
 #include "harness/experiment.hh"
+#include "harness/grid.hh"
 #include "harness/paper_setup.hh"
 #include "harness/parallel_runner.hh"
 #include "trace/paper_traces.hh"
@@ -39,50 +40,18 @@ namespace react {
 namespace bench {
 
 /** Drain allowance used by the table benches (run-until-drain, S 5). */
-constexpr double kDrainAllowance = 900.0;
+constexpr double kDrainAllowance = harness::kGridDrainAllowance;
 
 /** Base seed of the evaluation; cell streams derive from it via
  *  harness::cellSeed. */
-constexpr uint64_t kEvaluationSeed = 42;
+constexpr uint64_t kEvaluationSeed = harness::kEvaluationSeed;
 
-/** Lazily built, shared copies of the five Table-3 traces.  Thread-safe:
- *  the builds run under a lock, so concurrent cells may block on first
- *  access but always observe a fully built trace.  Parallel benches call
- *  prewarmEvaluationTraces() first so no cell pays the build. */
-inline const trace::PowerTrace &
-evaluationTrace(trace::PaperTrace which)
-{
-    static std::mutex lock;
-    static std::map<trace::PaperTrace, trace::PowerTrace> cache;
-    const std::lock_guard<std::mutex> guard(lock);
-    auto it = cache.find(which);
-    if (it == cache.end())
-        it = cache.emplace(which, trace::makePaperTrace(which)).first;
-    return it->second;
-}
-
-/** Build all five evaluation traces up front (serially, deterministic
- *  order) so parallel cells only ever read the cache. */
-inline void
-prewarmEvaluationTraces()
-{
-    for (const auto which : trace::kAllPaperTraces)
-        evaluationTrace(which);
-}
-
-/**
- * Stable identity of one evaluation-grid cell, e.g. "DE:RF Cart:REACT".
- * Deliberately excludes the figure that runs the cell: the same cell
- * must produce the same numbers wherever it appears.
- */
-inline std::string
-gridCellKey(harness::BenchmarkKind bench_kind, trace::PaperTrace trace_kind,
-            harness::BufferKind buffer_kind)
-{
-    return harness::benchmarkKindName(bench_kind) + ":" +
-        trace::paperTraceName(trace_kind) + ":" +
-        harness::bufferKindName(buffer_kind);
-}
+/** The grid machinery proper lives in harness/grid.hh so reactd and the
+ *  soak harness run byte-identical cells; the bench names stay for the
+ *  existing call sites. */
+using harness::evaluationTrace;
+using harness::gridCellKey;
+using harness::prewarmEvaluationTraces;
 
 /** Run one cell of the evaluation grid; the workload seed derives from
  *  the cell's stable identity.  With REACT_CHECKPOINT_DIR set the cell
@@ -94,18 +63,8 @@ runCell(harness::BufferKind buffer_kind, harness::BenchmarkKind bench_kind,
         const harness::ExperimentConfig &config =
             harness::ExperimentConfig())
 {
-    const std::string cell_key =
-        gridCellKey(bench_kind, trace_kind, buffer_kind);
-    auto buffer = harness::makeBuffer(buffer_kind);
-    const auto &power = evaluationTrace(trace_kind);
-    auto benchmark = harness::makeBenchmark(
-        bench_kind, power.duration() + kDrainAllowance,
-        harness::cellSeed(kEvaluationSeed, cell_key));
-    harvest::HarvesterFrontend frontend(power);
-    harness::ExperimentConfig cell_config = config;
-    harness::applyCheckpointEnv(&cell_config, cell_key);
-    return harness::runExperiment(*buffer, benchmark.get(), frontend,
-                                  cell_config);
+    return harness::runGridCell(buffer_kind, bench_kind, trace_kind,
+                                config);
 }
 
 /** Results of one benchmark's 5 x 5 evaluation grid, indexed

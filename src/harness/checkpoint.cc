@@ -1,8 +1,6 @@
 #include "checkpoint.hh"
 
-#include <cstdlib>
-
-#include "util/logging.hh"
+#include "util/env.hh"
 
 namespace react {
 namespace harness {
@@ -25,25 +23,15 @@ checkpointFileName(std::string_view cell_key)
 bool
 applyCheckpointEnv(ExperimentConfig *config, std::string_view cell_key)
 {
-    const char *dir = std::getenv("REACT_CHECKPOINT_DIR");
-    if (dir == nullptr || dir[0] == '\0')
+    const auto dir = env::stringVar("REACT_CHECKPOINT_DIR");
+    if (!dir)
         return false;
 
-    config->checkpointPath =
-        std::string(dir) + "/" + checkpointFileName(cell_key);
+    config->checkpointPath = *dir + "/" + checkpointFileName(cell_key);
     config->resume = true;
-    config->checkpointEverySteps = kDefaultCheckpointInterval;
-    if (const char *env = std::getenv("REACT_CHECKPOINT_INTERVAL")) {
-        char *end = nullptr;
-        const unsigned long long steps = std::strtoull(env, &end, 10);
-        if (end != env && *end == '\0' && steps > 0) {
-            config->checkpointEverySteps = steps;
-        } else {
-            react_warn("ignoring REACT_CHECKPOINT_INTERVAL='%s' (want a "
-                       "positive integer)",
-                       env);
-        }
-    }
+    config->checkpointEverySteps =
+        env::u64Var("REACT_CHECKPOINT_INTERVAL", 1, UINT64_MAX)
+            .value_or(kDefaultCheckpointInterval);
     return true;
 }
 

@@ -10,6 +10,7 @@
 #include "harness/paper_setup.hh"
 #include "snapshot/snapshot.hh"
 #include "util/crc32.hh"
+#include "util/env.hh"
 #include "util/logging.hh"
 
 namespace react {
@@ -140,12 +141,15 @@ resolveFastPath(FastPath configured)
     if (configured != FastPath::Auto)
         return configured;
     static const FastPath env_mode = [] {
-        const char *env = std::getenv("REACT_FAST_PATH");
-        if (env == nullptr || env[0] == '\0' ||
-            std::string(env) == "0")
+        const auto v = env::stringVar("REACT_FAST_PATH");
+        if (!v || *v == "0" || *v == "off")
             return FastPath::Off;
-        if (std::string(env) == "check")
+        if (*v == "check")
             return FastPath::Check;
+        if (*v != "1" && *v != "on")
+            react_warn("REACT_FAST_PATH='%s' is not 0/off, 1/on, or "
+                       "check; treating as on",
+                       v->c_str());
         return FastPath::On;
     }();
     return env_mode;

@@ -1,0 +1,97 @@
+#include "grid.hh"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "harness/checkpoint.hh"
+#include "harness/parallel_runner.hh"
+#include "harvest/frontend.hh"
+
+namespace react {
+namespace harness {
+
+std::string
+gridCellKey(BenchmarkKind bench_kind, trace::PaperTrace trace_kind,
+            BufferKind buffer_kind)
+{
+    return benchmarkKindName(bench_kind) + ":" +
+        trace::paperTraceName(trace_kind) + ":" +
+        bufferKindName(buffer_kind);
+}
+
+const trace::PowerTrace &
+evaluationTrace(trace::PaperTrace which)
+{
+    static std::mutex lock;
+    static std::map<trace::PaperTrace, trace::PowerTrace> cache;
+    const std::lock_guard<std::mutex> guard(lock);
+    auto it = cache.find(which);
+    if (it == cache.end())
+        it = cache.emplace(which, trace::makePaperTrace(which)).first;
+    return it->second;
+}
+
+void
+prewarmEvaluationTraces()
+{
+    for (const auto which : trace::kAllPaperTraces)
+        evaluationTrace(which);
+}
+
+ExperimentResult
+runGridCell(BufferKind buffer_kind, BenchmarkKind bench_kind,
+            trace::PaperTrace trace_kind, const ExperimentConfig &config,
+            uint64_t base_seed)
+{
+    const std::string cell_key =
+        gridCellKey(bench_kind, trace_kind, buffer_kind);
+    auto buffer = makeBuffer(buffer_kind);
+    const auto &power = evaluationTrace(trace_kind);
+    auto benchmark = makeBenchmark(
+        bench_kind, power.duration() + kGridDrainAllowance,
+        cellSeed(base_seed, cell_key));
+    harvest::HarvesterFrontend frontend(power);
+    ExperimentConfig cell_config = config;
+    applyCheckpointEnv(&cell_config, cell_key);
+    return runExperiment(*buffer, benchmark.get(), frontend, cell_config);
+}
+
+bool
+parseBenchmarkKind(const std::string &name, BenchmarkKind *out)
+{
+    for (const auto kind : kAllBenchmarks) {
+        if (benchmarkKindName(kind) == name) {
+            *out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parsePaperTrace(const std::string &name, trace::PaperTrace *out)
+{
+    for (const auto kind : trace::kAllPaperTraces) {
+        if (trace::paperTraceName(kind) == name) {
+            *out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseBufferKind(const std::string &name, BufferKind *out)
+{
+    for (const auto kind : kAllBuffers) {
+        if (bufferKindName(kind) == name) {
+            *out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace harness
+} // namespace react

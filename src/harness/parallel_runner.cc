@@ -2,12 +2,16 @@
 
 #include <atomic>
 #include <chrono>
+#include <climits>
+#include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
 
+#include "util/env.hh"
 #include "util/logging.hh"
 
 namespace react {
@@ -34,18 +38,23 @@ mix64(uint64_t z)
 long
 crashAfterCells()
 {
-    static const long n = [] {
-        const char *env = std::getenv("REACT_CRASH_AFTER_CELLS");
-        if (env == nullptr)
-            return -1L;
-        const long v = std::strtol(env, nullptr, 10);
-        if (v >= 0)
-            return v;
-        react_warn("ignoring REACT_CRASH_AFTER_CELLS='%s' (want a "
-                   "non-negative integer)",
-                   env);
-        return -1L;
-    }();
+    static const long n = static_cast<long>(
+        env::intVar("REACT_CRASH_AFTER_CELLS", 0, LONG_MAX).value_or(-1));
+    return n;
+}
+
+/**
+ * Graceful-drain test hook: REACT_SIGNAL_AFTER_CELLS=N raises SIGTERM
+ * in-process once N cells have completed -- the deliverable sibling of
+ * the crash hook above.  Under the default SignalPolicy the sweep must
+ * stop dispatching, finish its in-flight cells, and exit with
+ * kInterruptedExitStatus, which the signal-drain test asserts.
+ */
+long
+signalAfterCells()
+{
+    static const long n = static_cast<long>(
+        env::intVar("REACT_SIGNAL_AFTER_CELLS", 0, LONG_MAX).value_or(-1));
     return n;
 }
 
@@ -54,11 +63,28 @@ std::atomic<long> completedCells{0};
 void
 noteCellCompleted()
 {
-    const long limit = crashAfterCells();
-    if (limit < 0)
+    const long crash_limit = crashAfterCells();
+    const long signal_limit = signalAfterCells();
+    if (crash_limit < 0 && signal_limit < 0)
         return;
-    if (completedCells.fetch_add(1, std::memory_order_relaxed) + 1 >= limit)
+    const long done =
+        completedCells.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (crash_limit >= 0 && done >= crash_limit)
         std::_Exit(3);
+    if (signal_limit >= 0 && done == signal_limit)
+        std::raise(SIGTERM);
+}
+
+/** Process-wide stop flag; shared so one Ctrl-C stops every batch. */
+std::atomic<bool> stopFlag{false};
+
+/** Signal handler installed by run() under SignalPolicy::ExitAfterDrain:
+ *  just raise the flag (an atomic store is async-signal-safe); the
+ *  worker loops notice it between cells. */
+void
+onStopSignal(int)
+{
+    stopFlag.store(true, std::memory_order_relaxed);
 }
 
 } // namespace
@@ -92,15 +118,28 @@ ParallelRunner::ParallelRunner(int threads)
 int
 ParallelRunner::defaultThreadCount()
 {
-    if (const char *env = std::getenv("REACT_THREADS")) {
-        const long n = std::strtol(env, nullptr, 10);
-        if (n > 0)
-            return static_cast<int>(n);
-        react_warn("ignoring REACT_THREADS='%s' (want a positive integer)",
-                   env);
-    }
+    if (const auto n = env::intVar("REACT_THREADS", 1, 1 << 16))
+        return static_cast<int>(*n);
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void
+ParallelRunner::requestStop()
+{
+    stopFlag.store(true, std::memory_order_relaxed);
+}
+
+bool
+ParallelRunner::stopRequested()
+{
+    return stopFlag.load(std::memory_order_relaxed);
+}
+
+void
+ParallelRunner::clearStopRequest()
+{
+    stopFlag.store(false, std::memory_order_relaxed);
 }
 
 size_t
@@ -113,6 +152,10 @@ ParallelRunner::submit(std::string label, std::function<void()> fn)
 long
 ParallelRunner::nextTask(int worker_index)
 {
+    // Graceful drain: once the stop flag is up no new cell is handed
+    // out; the cell currently executing on each worker finishes.
+    if (stopRequested())
+        return -1;
     auto &queues_ref = *queues;
     // Own deque first, front-out: preserves the deterministic deal order
     // for the common un-stolen case.
@@ -154,6 +197,7 @@ ParallelRunner::workerLoop(int worker_index)
         const auto t1 = std::chrono::steady_clock::now();
         cellTimings[static_cast<size_t>(idx)].seconds =
             std::chrono::duration<double>(t1 - t0).count();
+        executedCount.fetch_add(1, std::memory_order_relaxed);
         noteCellCompleted();
     }
 }
@@ -166,16 +210,37 @@ ParallelRunner::run()
     for (const auto &task : tasks)
         cellTimings.push_back(CellTiming{task.label, 0.0});
 
+    // Under the default policy this run owns SIGINT/SIGTERM: the
+    // handler raises the stop flag, the batch drains, and run() exits
+    // the process below.  Previous dispositions are restored on every
+    // path out so embedding code (tests) is unaffected.
+    struct sigaction old_int = {}, old_term = {};
+    const bool own_signals = signalPolicy == SignalPolicy::ExitAfterDrain;
+    if (own_signals) {
+        struct sigaction sa = {};
+        sa.sa_handler = onStopSignal;
+        sigemptyset(&sa.sa_mask);
+        sigaction(SIGINT, &sa, &old_int);
+        sigaction(SIGTERM, &sa, &old_term);
+    }
+
+    executedCount.store(0);
+    lastInterrupted = false;
+    const size_t batch_size = tasks.size();
+
     const auto t0 = std::chrono::steady_clock::now();
 
     if (nThreads <= 1 || tasks.size() <= 1) {
         // Serial reference path: submission order, no pool machinery.
         for (size_t i = 0; i < tasks.size(); ++i) {
+            if (stopRequested())
+                break;
             const auto c0 = std::chrono::steady_clock::now();
             tasks[i].fn();
             const auto c1 = std::chrono::steady_clock::now();
             cellTimings[i].seconds =
                 std::chrono::duration<double>(c1 - c0).count();
+            executedCount.fetch_add(1, std::memory_order_relaxed);
             noteCellCompleted();
         }
     } else {
@@ -218,6 +283,26 @@ ParallelRunner::run()
     const auto t1 = std::chrono::steady_clock::now();
     lastWallSeconds = std::chrono::duration<double>(t1 - t0).count();
     tasks.clear();
+    lastInterrupted = stopRequested();
+
+    if (own_signals) {
+        sigaction(SIGINT, &old_int, nullptr);
+        sigaction(SIGTERM, &old_term, nullptr);
+        if (lastInterrupted) {
+            // The drain is complete: every dispatched cell finished (and
+            // wrote its checkpoint when REACT_CHECKPOINT_DIR is set).
+            // Exit with a status distinct from success and from the
+            // crash hook so drivers can tell "interrupted cleanly" from
+            // "died"; a rerun resumes the finished cells from their
+            // snapshots.
+            react_warn("sweep interrupted by signal: completed %zu of "
+                       "%zu cells, exiting with status %d",
+                       executedCount.load(), batch_size,
+                       kInterruptedExitStatus);
+            std::fflush(nullptr);
+            std::_Exit(kInterruptedExitStatus);
+        }
+    }
 }
 
 double

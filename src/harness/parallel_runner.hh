@@ -26,6 +26,7 @@
 #ifndef REACT_HARNESS_PARALLEL_RUNNER_HH
 #define REACT_HARNESS_PARALLEL_RUNNER_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -55,10 +56,42 @@ struct CellTiming
     double seconds = 0.0;
 };
 
+/**
+ * How a runner reacts to SIGINT/SIGTERM during run().
+ *
+ * Either way the batch *drains gracefully*: no new cells are dispatched
+ * once the stop flag is up, in-flight cells run to completion (writing
+ * their checkpoints when REACT_CHECKPOINT_DIR is set), and the pool
+ * joins cleanly.  The policies differ only in who owns the process
+ * afterwards.
+ */
+enum class SignalPolicy
+{
+    /**
+     * Default for command-line sweeps: run() installs SIGINT/SIGTERM
+     * handlers for its duration and, if a signal arrived, exits the
+     * process with kInterruptedExitStatus after the drain -- so a
+     * partially-swept bench never writes a truncated CSV artifact.
+     */
+    ExitAfterDrain,
+    /**
+     * For embedding (reactd): no handlers are installed and run()
+     * simply returns after the drain; the host consults interrupted()
+     * and decides what to do.  The host raises the stop flag itself
+     * via requestStop().
+     */
+    External,
+};
+
 /** Work-stealing scheduler for independent simulation cells. */
 class ParallelRunner
 {
   public:
+    /** Exit status of a sweep that drained after SIGINT/SIGTERM
+     *  (distinct from success, crash-hook kills, and sanitizer
+     *  failures). */
+    static constexpr int kInterruptedExitStatus = 75;
+
     /**
      * @param threads Worker count; 0 picks defaultThreadCount().  One
      *        worker executes inline (no thread is spawned).
@@ -104,6 +137,30 @@ class ParallelRunner
      *  equivalent work content). */
     double busySeconds() const;
 
+    /** Select the SIGINT/SIGTERM behaviour (default ExitAfterDrain). */
+    void setSignalPolicy(SignalPolicy policy) { signalPolicy = policy; }
+
+    /**
+     * Raise the process-wide stop flag: every running batch (in this or
+     * any other runner) stops dispatching new cells and drains its
+     * in-flight ones.  Async-signal-safe; this is exactly what the
+     * installed handlers call.
+     */
+    static void requestStop();
+
+    /** Whether the process-wide stop flag is up. */
+    static bool stopRequested();
+
+    /** Lower the stop flag (External hosts, between drain cycles). */
+    static void clearStopRequest();
+
+    /** True when the last run() stopped early on the stop flag. */
+    bool interrupted() const { return lastInterrupted; }
+
+    /** Cells actually executed by the last run() (== timings().size()
+     *  unless the batch was interrupted). */
+    size_t executedCells() const { return executedCount.load(); }
+
   private:
     struct Task
     {
@@ -119,6 +176,9 @@ class ParallelRunner
     long nextTask(int worker_index);
 
     int nThreads = 1;
+    SignalPolicy signalPolicy = SignalPolicy::ExitAfterDrain;
+    bool lastInterrupted = false;
+    std::atomic<size_t> executedCount{0};
     std::vector<Task> tasks;
     std::vector<CellTiming> cellTimings;
     double lastWallSeconds = 0.0;

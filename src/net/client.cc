@@ -1,0 +1,281 @@
+#include "client.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "util/logging.hh"
+
+namespace react {
+namespace net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int
+remainingMs(Clock::time_point deadline)
+{
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    return static_cast<int>(std::max<int64_t>(1, left.count()));
+}
+
+} // namespace
+
+double
+RetryPolicy::backoffMs(int attempt, Rng *rng) const
+{
+    const double envelope = std::min(
+        maxBackoffMs,
+        initialBackoffMs * std::ldexp(1.0, std::min(attempt - 1, 30)));
+    return envelope * (0.5 + 0.5 * rng->uniform());
+}
+
+Client::Client(const ClientConfig &config_in)
+    : config(config_in), injector(config_in.faults),
+      jitterRng(config_in.jitterSeed)
+{
+}
+
+Client::~Client() = default;
+
+void
+Client::disconnect()
+{
+    sock.close();
+    decoder = FrameDecoder();
+}
+
+void
+Client::ensureConnected()
+{
+    if (sock.valid())
+        return;
+    if (clientStats.connects > 0)
+        ++clientStats.reconnects;
+    sock = connectUnix(config.socketPath, config.connectTimeoutMs);
+    ++clientStats.connects;
+    decoder = FrameDecoder();
+    transmit(makeHello());
+    const Frame reply = awaitFrame();
+    if (reply.type != static_cast<uint8_t>(MsgType::HelloOk)) {
+        disconnect();
+        throw ProtocolError("handshake rejected (frame type " +
+                            std::to_string(reply.type) + ")");
+    }
+    WireReader r(reply.payload);
+    const uint32_t version = r.u32();
+    r.expectEnd();
+    if (version != kProtocolVersion) {
+        disconnect();
+        throw ProtocolError("server speaks protocol v" +
+                            std::to_string(version) + ", want v" +
+                            std::to_string(kProtocolVersion));
+    }
+}
+
+void
+Client::transmit(const std::vector<uint8_t> &frame)
+{
+    switch (injector.nextAction()) {
+      case FaultAction::Drop:
+        // Swallowed: the exchange times out and the retry spine takes
+        // over.  The frame counter still ticks (a send was attempted).
+        ++clientStats.framesSent;
+        return;
+      case FaultAction::Corrupt: {
+        std::vector<uint8_t> mangled = frame;
+        injector.corruptInPlace(&mangled);
+        sendAll(sock.fd(), mangled.data(), mangled.size(),
+                config.requestTimeoutMs);
+        ++clientStats.framesSent;
+        return;
+      }
+      case FaultAction::Delay:
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(injector.delaySeconds()));
+        break;
+      case FaultAction::PartialWrite: {
+        const size_t cut = injector.partialLength(frame.size());
+        if (cut > 0)
+            sendAll(sock.fd(), frame.data(), cut,
+                    config.requestTimeoutMs);
+        ++clientStats.framesSent;
+        // Tear the connection so the server sees a mid-frame EOF --
+        // the classic torn write.
+        disconnect();
+        throw SocketError("injected partial write");
+      }
+      case FaultAction::Deliver:
+        break;
+    }
+    sendAll(sock.fd(), frame.data(), frame.size(),
+            config.requestTimeoutMs);
+    ++clientStats.framesSent;
+}
+
+Frame
+Client::awaitFrame()
+{
+    const Clock::time_point deadline = Clock::now() +
+        std::chrono::milliseconds(config.requestTimeoutMs);
+    Frame frame;
+    for (;;) {
+        if (decoder.next(&frame)) {
+            ++clientStats.framesReceived;
+            return frame;
+        }
+        if (Clock::now() >= deadline) {
+            ++clientStats.timeouts;
+            throw SocketError("request timed out");
+        }
+        uint8_t buf[4096];
+        const size_t n =
+            recvSome(sock.fd(), buf, sizeof(buf), remainingMs(deadline));
+        if (n == 0)
+            throw SocketError("server closed the connection");
+        decoder.feed(buf, n);
+    }
+}
+
+JobOutcome
+Client::runJob(const JobSpec &spec)
+{
+    const uint64_t id = spec.jobId();
+    int attempt = 0;
+    std::string last_error = "no attempt made";
+    for (;;) {
+        try {
+            ensureConnected();
+            transmit(makeSubmit(spec));
+            for (;;) {
+                const Frame reply = awaitFrame();
+                WireReader r(reply.payload);
+                switch (static_cast<MsgType>(reply.type)) {
+                  case MsgType::JobResult: {
+                    const uint64_t got_id = r.u64();
+                    std::vector<uint8_t> result_bytes = r.bytes();
+                    r.expectEnd();
+                    if (got_id != id)
+                        throw ProtocolError(
+                            "result for wrong job id");
+                    JobOutcome outcome;
+                    outcome.jobId = id;
+                    WireReader rr(result_bytes);
+                    outcome.result = decodeResult(rr);
+                    rr.expectEnd();
+                    outcome.resultBytes = std::move(result_bytes);
+                    return outcome;
+                  }
+                  case MsgType::JobError: {
+                    const uint64_t got_id = r.u64();
+                    const std::string message = r.str();
+                    r.expectEnd();
+                    (void)got_id;
+                    // The job itself failed or expired: terminal, not
+                    // a transport fault.  Retrying would re-run a cell
+                    // the server already judged.
+                    throw ClientError("job " + spec.cellKey() +
+                                      " failed on server: " + message);
+                  }
+                  case MsgType::Submitted: {
+                    const uint64_t got_id = r.u64();
+                    const uint8_t state = r.u8();
+                    r.expectEnd();
+                    (void)got_id;
+                    (void)state;
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(
+                            config.pollIntervalMs));
+                    transmit(makePoll(id));
+                    continue;
+                  }
+                  case MsgType::Error: {
+                    const std::string message = r.str();
+                    ++clientStats.serverErrors;
+                    // Server-side rejection (draining, or a frame of
+                    // ours it could not parse -- likely one we
+                    // corrupted): transient.
+                    throw SocketError("server error: " + message);
+                  }
+                  default:
+                    throw ProtocolError(
+                        "unexpected reply frame type " +
+                        std::to_string(reply.type));
+                }
+            }
+        } catch (const ClientError &) {
+            throw;
+        } catch (const std::exception &e) {
+            last_error = e.what();
+            disconnect();
+        }
+        ++attempt;
+        if (attempt > config.retry.maxRetries)
+            throw ClientError(
+                "job " + spec.cellKey() + " abandoned after " +
+                std::to_string(config.retry.maxRetries) +
+                " retries; last error: " + last_error);
+        ++clientStats.retries;
+        const double pause_ms =
+            config.retry.backoffMs(attempt, &jitterRng);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(pause_ms));
+    }
+}
+
+bool
+Client::ping()
+{
+    try {
+        ensureConnected();
+        transmit(makePing());
+        const Frame reply = awaitFrame();
+        if (reply.type != static_cast<uint8_t>(MsgType::Pong))
+            return false;
+        WireReader r(reply.payload);
+        r.expectEnd();
+        return true;
+    } catch (const std::exception &) {
+        disconnect();
+        return false;
+    }
+}
+
+uint32_t
+Client::drain()
+{
+    int attempt = 0;
+    std::string last_error = "no attempt made";
+    for (;;) {
+        try {
+            ensureConnected();
+            transmit(makeDrain());
+            const Frame reply = awaitFrame();
+            if (reply.type != static_cast<uint8_t>(MsgType::DrainOk))
+                throw ProtocolError("unexpected reply frame type " +
+                                    std::to_string(reply.type));
+            WireReader r(reply.payload);
+            const uint32_t in_flight = r.u32();
+            r.expectEnd();
+            return in_flight;
+        } catch (const std::exception &e) {
+            last_error = e.what();
+            disconnect();
+        }
+        ++attempt;
+        if (attempt > config.retry.maxRetries)
+            throw ClientError("drain abandoned after " +
+                              std::to_string(config.retry.maxRetries) +
+                              " retries; last error: " + last_error);
+        ++clientStats.retries;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(
+                config.retry.backoffMs(attempt, &jitterRng)));
+    }
+}
+
+} // namespace net
+} // namespace react

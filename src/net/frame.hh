@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Transport framing: length-prefixed, CRC-32-guarded binary frames.
+ *
+ * Same discipline as the RSNP snapshot format (snapshot/snapshot.hh):
+ * a fixed magic, an explicit length, and a CRC-32 over the whole record
+ * so that any single burst error -- a flipped bit on the wire, a torn
+ * partial write, a length-lie -- is detected before a byte of payload
+ * reaches the message parser.
+ *
+ * ## Frame layout (all integers little-endian)
+ *
+ *     u32 magic   "RNET" (0x54454e52)
+ *     u8  type    message discriminator (net/protocol.hh)
+ *     u32 length  payload byte count, <= kMaxPayload
+ *     ... payload
+ *     u32 crc     CRC-32 of everything above (magic..payload)
+ *
+ * ## Strict, allocation-bounded decoding
+ *
+ * FrameDecoder consumes a byte stream incrementally and yields whole
+ * validated frames.  Its invariants:
+ *
+ *  - The declared length is validated against kMaxPayload *before* any
+ *    payload buffering, so a hostile length field cannot drive an
+ *    allocation (the decoder never buffers more than one maximum frame
+ *    plus one read chunk).
+ *  - A frame is only surfaced after its CRC verifies; a mismatch throws
+ *    ProtocolError and poisons the decoder (the stream position can no
+ *    longer be trusted, the connection must be dropped).
+ *  - A length-lie shows up as either a CRC mismatch (declared short:
+ *    the CRC is computed over the wrong span) or a bad magic on the
+ *    following "frame" (declared long past the real frame) -- both
+ *    clean errors.
+ *  - Truncation (peer vanished mid-frame) is visible as hasPartial()
+ *    when the caller observes end-of-stream.
+ */
+
+#ifndef REACT_NET_FRAME_HH
+#define REACT_NET_FRAME_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "net/wire.hh"
+
+namespace react {
+namespace net {
+
+/** Frame magic: "RNET" read as a little-endian u32. */
+constexpr uint32_t kFrameMagic = 0x54454e52u;
+
+/** Hard cap on a frame payload; larger declared lengths are rejected
+ *  before any buffering (4 MiB comfortably holds the largest result). */
+constexpr uint32_t kMaxPayload = 4u << 20;
+
+/** Fixed bytes before the payload: magic + type + length. */
+constexpr size_t kFrameHeaderSize = 4 + 1 + 4;
+/** Fixed bytes after the payload: the CRC. */
+constexpr size_t kFrameTrailerSize = 4;
+
+/** One decoded frame. */
+struct Frame
+{
+    uint8_t type = 0;
+    std::vector<uint8_t> payload;
+};
+
+/** Serialize one frame (header + payload + CRC). */
+std::vector<uint8_t> encodeFrame(uint8_t type,
+                                 const std::vector<uint8_t> &payload);
+
+/** Incremental strict decoder; see file comment for invariants. */
+class FrameDecoder
+{
+  public:
+    FrameDecoder() = default;
+
+    /**
+     * Append received bytes.  @throws ProtocolError as soon as the
+     * prefix is provably malformed (bad magic, oversized length, CRC
+     * mismatch); the decoder is then poisoned and must be discarded
+     * along with its connection.
+     */
+    void feed(const uint8_t *data, size_t size);
+
+    /**
+     * Pop the next complete, CRC-verified frame.
+     * @return false when no complete frame is buffered yet.
+     */
+    bool next(Frame *out);
+
+    /** Bytes of an incomplete frame are buffered: at end-of-stream this
+     *  means the peer truncated a frame mid-send. */
+    bool hasPartial() const { return !poisoned && !buffer.empty(); }
+
+    /** The decoder saw malformed input and refuses further use. */
+    bool isPoisoned() const { return poisoned; }
+
+    /** Total frames decoded over the decoder's lifetime. */
+    uint64_t framesDecoded() const { return decoded; }
+
+  private:
+    /** Validate the buffered prefix; throws on provable damage. */
+    void validatePrefix();
+
+    std::vector<uint8_t> buffer;
+    uint64_t decoded = 0;
+    bool poisoned = false;
+};
+
+} // namespace net
+} // namespace react
+
+#endif // REACT_NET_FRAME_HH

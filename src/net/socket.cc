@@ -1,0 +1,174 @@
+#include "socket.hh"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace react {
+namespace net {
+
+namespace {
+
+[[noreturn]] void
+throwErrno(const std::string &what)
+{
+    throw SocketError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un
+unixAddress(const std::string &path)
+{
+    sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        throw SocketError("socket path too long: " + path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+} // namespace
+
+Socket &
+Socket::operator=(Socket &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+int
+Socket::release()
+{
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+}
+
+Socket
+listenUnix(const std::string &path, int backlog)
+{
+    Socket sock(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!sock.valid())
+        throwErrno("socket");
+    const sockaddr_un addr = unixAddress(path);
+    ::unlink(path.c_str());
+    if (::bind(sock.fd(), reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        throwErrno("bind '" + path + "'");
+    if (::listen(sock.fd(), backlog) != 0)
+        throwErrno("listen '" + path + "'");
+    return sock;
+}
+
+Socket
+connectUnix(const std::string &path, int timeout_ms)
+{
+    Socket sock(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!sock.valid())
+        throwErrno("socket");
+    const sockaddr_un addr = unixAddress(path);
+    // AF_UNIX connect either succeeds immediately or fails with the
+    // backlog full / path missing; a poll-based wait still bounds the
+    // backlog-full case on a nonblocking socket.  Keep it simple:
+    // blocking connect, which cannot hang on a local socket, then poll
+    // discipline for all subsequent I/O.
+    (void)timeout_ms;
+    if (::connect(sock.fd(), reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0)
+        throwErrno("connect '" + path + "'");
+    return sock;
+}
+
+Socket
+acceptOn(int listen_fd)
+{
+    const int fd =
+        ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+            errno == ECONNABORTED)
+            return Socket();
+        throwErrno("accept");
+    }
+    return Socket(fd);
+}
+
+bool
+waitReadable(int fd, int timeout_ms)
+{
+    pollfd pfd = {};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    for (;;) {
+        const int rc = ::poll(&pfd, 1, timeout_ms);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            throwErrno("poll");
+        }
+        return rc > 0;
+    }
+}
+
+void
+sendAll(int fd, const uint8_t *data, size_t size, int timeout_ms)
+{
+    size_t sent = 0;
+    while (sent < size) {
+        const ssize_t n =
+            ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            pollfd pfd = {};
+            pfd.fd = fd;
+            pfd.events = POLLOUT;
+            const int rc = ::poll(&pfd, 1, timeout_ms);
+            if (rc == 0)
+                throw SocketError("send timed out");
+            if (rc < 0 && errno != EINTR)
+                throwErrno("poll(POLLOUT)");
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        throwErrno("send");
+    }
+}
+
+size_t
+recvSome(int fd, uint8_t *buf, size_t cap, int timeout_ms)
+{
+    if (!waitReadable(fd, timeout_ms))
+        throw SocketError("recv timed out");
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, cap, 0);
+        if (n >= 0)
+            return static_cast<size_t>(n);
+        if (errno == EINTR)
+            continue;
+        throwErrno("recv");
+    }
+}
+
+} // namespace net
+} // namespace react

@@ -1,0 +1,163 @@
+#include "wire.hh"
+
+#include <cstring>
+
+namespace react {
+namespace net {
+
+void
+WireWriter::put(const void *data_ptr, size_t size)
+{
+    const auto *p = static_cast<const uint8_t *>(data_ptr);
+    out.insert(out.end(), p, p + size);
+}
+
+void
+WireWriter::u8(uint8_t v)
+{
+    out.push_back(v);
+}
+
+void
+WireWriter::u32(uint32_t v)
+{
+    uint8_t buf[4];
+    for (int i = 0; i < 4; ++i)
+        buf[i] = static_cast<uint8_t>(v >> (8 * i));
+    put(buf, sizeof(buf));
+}
+
+void
+WireWriter::u64(uint64_t v)
+{
+    uint8_t buf[8];
+    for (int i = 0; i < 8; ++i)
+        buf[i] = static_cast<uint8_t>(v >> (8 * i));
+    put(buf, sizeof(buf));
+}
+
+void
+WireWriter::i64(int64_t v)
+{
+    u64(static_cast<uint64_t>(v));
+}
+
+void
+WireWriter::f64(double v)
+{
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v), "IEEE-754 double expected");
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+}
+
+void
+WireWriter::str(const std::string &v)
+{
+    u32(static_cast<uint32_t>(v.size()));
+    put(v.data(), v.size());
+}
+
+void
+WireWriter::bytes(const std::vector<uint8_t> &v)
+{
+    u32(static_cast<uint32_t>(v.size()));
+    put(v.data(), v.size());
+}
+
+void
+WireReader::take(void *out_ptr, size_t size)
+{
+    if (size > remaining())
+        throw ProtocolError("payload truncated: need " +
+                            std::to_string(size) + " bytes, have " +
+                            std::to_string(remaining()));
+    std::memcpy(out_ptr, base + cursor, size);
+    cursor += size;
+}
+
+uint8_t
+WireReader::u8()
+{
+    uint8_t v = 0;
+    take(&v, 1);
+    return v;
+}
+
+uint32_t
+WireReader::u32()
+{
+    uint8_t buf[4];
+    take(buf, sizeof(buf));
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(buf[i]) << (8 * i);
+    return v;
+}
+
+uint64_t
+WireReader::u64()
+{
+    uint8_t buf[8];
+    take(buf, sizeof(buf));
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(buf[i]) << (8 * i);
+    return v;
+}
+
+int64_t
+WireReader::i64()
+{
+    return static_cast<int64_t>(u64());
+}
+
+double
+WireReader::f64()
+{
+    const uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string
+WireReader::str()
+{
+    const uint32_t size = u32();
+    // Validate the declared length against the bytes actually present
+    // *before* allocating: a length-lie cannot drive an allocation past
+    // the (already frame-capped) payload size.
+    if (size > remaining())
+        throw ProtocolError("string length " + std::to_string(size) +
+                            " exceeds remaining payload " +
+                            std::to_string(remaining()));
+    std::string v(reinterpret_cast<const char *>(base + cursor), size);
+    cursor += size;
+    return v;
+}
+
+std::vector<uint8_t>
+WireReader::bytes()
+{
+    const uint32_t size = u32();
+    if (size > remaining())
+        throw ProtocolError("blob length " + std::to_string(size) +
+                            " exceeds remaining payload " +
+                            std::to_string(remaining()));
+    std::vector<uint8_t> v(base + cursor, base + cursor + size);
+    cursor += size;
+    return v;
+}
+
+void
+WireReader::expectEnd() const
+{
+    if (cursor != end)
+        throw ProtocolError("payload has " +
+                            std::to_string(end - cursor) +
+                            " unconsumed trailing bytes");
+}
+
+} // namespace net
+} // namespace react

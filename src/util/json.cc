@@ -1,5 +1,6 @@
 #include "json.hh"
 
+#include <cmath>
 #include <cstdio>
 
 #include "logging.hh"
@@ -132,6 +133,14 @@ void
 JsonWriter::value(double d)
 {
     beforeElement();
+    // JSON has no NaN/Infinity literals; "%.17g" would emit bare
+    // nan/inf tokens and silently corrupt the artifact for any strict
+    // reader (python json, jq).  Emit null and say so.
+    if (!std::isfinite(d)) {
+        react_warn("JSON value %g is not finite; emitting null", d);
+        out += "null";
+        return;
+    }
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.17g", d);
     out += buf;

@@ -11,9 +11,17 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "harness/experiment.hh"
 #include "harness/parallel_runner.hh"
@@ -207,6 +215,100 @@ TEST(ParallelRunner, BitIdenticalAcrossOneTwoEightThreads)
     for (const auto &r : serial)
         total_work += r.workUnits + r.packetsRx + r.packetsTx;
     EXPECT_GT(total_work, 0u);
+}
+
+TEST(ParallelRunner, ExternalPolicyDrainsAndReportsInterruption)
+{
+    ParallelRunner::clearStopRequest();
+    ParallelRunner runner(1);
+    runner.setSignalPolicy(SignalPolicy::External);
+    int executed = 0;
+    for (int i = 0; i < 6; ++i) {
+        runner.submit("cell", [&executed, i]() {
+            ++executed;
+            if (i == 1)
+                ParallelRunner::requestStop();
+        });
+    }
+    // run() returns instead of exiting the process; the batch stopped
+    // after the cell that raised the flag.
+    runner.run();
+    EXPECT_TRUE(runner.interrupted());
+    EXPECT_EQ(executed, 2);
+    EXPECT_EQ(runner.executedCells(), 2u);
+
+    // An External host lowers the flag between drain cycles and the
+    // runner is reusable for the remaining work.
+    ParallelRunner::clearStopRequest();
+    runner.submit("rest", [&executed]() { ++executed; });
+    runner.run();
+    EXPECT_FALSE(runner.interrupted());
+    EXPECT_EQ(executed, 3);
+}
+
+/**
+ * Child half of the signal-drain test below.  Skipped in normal runs;
+ * the parent re-execs this binary with REACT_SIGNAL_AFTER_CELLS set (a
+ * fresh process, so the hook's cached env lookup is actually read) and
+ * expects the sweep to drain and exit kInterruptedExitStatus.
+ */
+TEST(SignalDrainChild, SweepUnderSignalHook)
+{
+    const char *dir = std::getenv("REACT_DRAIN_TEST_DIR");
+    if (dir == nullptr || std::getenv("REACT_SIGNAL_AFTER_CELLS") == nullptr)
+        GTEST_SKIP() << "driven by ParallelRunner.SigtermDrainsAndExits75";
+    ParallelRunner runner(2);  // default ExitAfterDrain policy
+    for (int i = 0; i < 8; ++i) {
+        const std::string marker =
+            std::string(dir) + "/cell" + std::to_string(i);
+        runner.submit("cell", [marker]() {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            std::FILE *f = std::fopen(marker.c_str(), "w");
+            if (f != nullptr)
+                std::fclose(f);
+        });
+    }
+    runner.run();  // must _Exit(75) after the drain; returning is failure
+    std::_Exit(97);
+}
+
+TEST(ParallelRunner, SigtermDrainsAndExits75)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("react_drain_test." + std::to_string(::getpid()));
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        ::setenv("REACT_SIGNAL_AFTER_CELLS", "2", 1);
+        ::setenv("REACT_DRAIN_TEST_DIR", dir.c_str(), 1);
+        ::execl("/proc/self/exe", "test_parallel_runner",
+                "--gtest_filter=SignalDrainChild.*",
+                static_cast<char *>(nullptr));
+        std::_Exit(98);  // exec failed
+    }
+
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status)) << "child did not exit cleanly";
+    EXPECT_EQ(WEXITSTATUS(status),
+              ParallelRunner::kInterruptedExitStatus);
+
+    // The drain contract: the two cells that completed before the
+    // signal -- plus any already in flight -- finished (their marker
+    // files exist), and the batch stopped early (not all eight ran).
+    size_t markers = 0;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        (void)entry;
+        ++markers;
+    }
+    EXPECT_GE(markers, 2u);
+    EXPECT_LT(markers, 8u);
+    fs::remove_all(dir);
 }
 
 } // namespace

@@ -9,9 +9,13 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 
 #include "util/crc32.hh"
 #include "util/csv.hh"
+#include "util/env.hh"
+#include "util/json.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -299,6 +303,107 @@ TEST(Csv, TryParseReportsLineAndFieldWithoutAborting)
     EXPECT_FALSE(tryParseCsv("t,p\n0,oops\n", &table, &error));
     EXPECT_NE(error.find("line 2"), std::string::npos);
     EXPECT_NE(error.find("oops"), std::string::npos);
+}
+
+TEST(Json, FiniteDoublesRoundTripExactly)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("x", 0.1);
+    w.field("y", -1.5e300);
+    w.endObject();
+    EXPECT_NE(w.str().find("0.1"), std::string::npos);
+    EXPECT_NE(w.str().find("e+300"), std::string::npos);
+}
+
+TEST(Json, NonFiniteDoublesEmitNullNotBareTokens)
+{
+    // printf("%.17g", nan) yields "nan", which is not JSON; a consumer
+    // like python's json.loads would reject the whole artifact.  The
+    // writer substitutes null (and warns) instead.
+    JsonWriter w;
+    w.beginObject();
+    w.field("a", std::nan(""));
+    w.field("b", std::numeric_limits<double>::infinity());
+    w.field("c", -std::numeric_limits<double>::infinity());
+    w.endObject();
+    EXPECT_EQ(w.str().find("nan"), std::string::npos) << w.str();
+    EXPECT_EQ(w.str().find("inf"), std::string::npos) << w.str();
+    size_t nulls = 0;
+    for (size_t at = w.str().find("null"); at != std::string::npos;
+         at = w.str().find("null", at + 1))
+        ++nulls;
+    EXPECT_EQ(nulls, 3u);
+}
+
+// ---------------------------------------------------------------------
+// env: the one contract every environment knob shares (see util/env.hh).
+// setenv/unsetenv are process-global, so each test uses its own unique
+// variable name and cleans up after itself.
+
+class EnvVar
+{
+  public:
+    EnvVar(const char *name_in, const char *value) : name(name_in)
+    {
+        ::setenv(name, value, 1);
+    }
+    ~EnvVar() { ::unsetenv(name); }
+
+  private:
+    const char *name;
+};
+
+TEST(Env, UnsetIsSilentlyAbsent)
+{
+    ::unsetenv("REACT_TEST_UNSET");
+    EXPECT_FALSE(env::raw("REACT_TEST_UNSET").has_value());
+    EXPECT_FALSE(env::intVar("REACT_TEST_UNSET", 0, 10).has_value());
+    EXPECT_FALSE(env::boolVar("REACT_TEST_UNSET").has_value());
+}
+
+TEST(Env, WellFormedValuesParse)
+{
+    EnvVar a("REACT_TEST_INT", "42");
+    EnvVar b("REACT_TEST_DBL", "2.5");
+    EnvVar c("REACT_TEST_STR", "hello");
+    EnvVar d("REACT_TEST_BOOL", "On");
+    EXPECT_EQ(env::intVar("REACT_TEST_INT", 0, 100).value_or(-1), 42);
+    EXPECT_EQ(env::u64Var("REACT_TEST_INT", 0, 100).value_or(0), 42u);
+    EXPECT_EQ(env::doubleVar("REACT_TEST_DBL", 0.0, 10.0).value_or(-1.0),
+              2.5);
+    EXPECT_EQ(env::stringVar("REACT_TEST_STR").value_or(""), "hello");
+    EXPECT_TRUE(env::boolVar("REACT_TEST_BOOL").value_or(false));
+}
+
+TEST(Env, MalformedValuesWarnAndFallBack)
+{
+    EnvVar a("REACT_TEST_INT", "12abc");  // trailing garbage
+    EnvVar b("REACT_TEST_DBL", "fast");   // not a number
+    EnvVar c("REACT_TEST_BOOL", "maybe"); // not a boolean
+    EXPECT_FALSE(env::intVar("REACT_TEST_INT", 0, 100).has_value());
+    EXPECT_FALSE(env::doubleVar("REACT_TEST_DBL", 0.0, 1.0).has_value());
+    EXPECT_FALSE(env::boolVar("REACT_TEST_BOOL").has_value());
+}
+
+TEST(Env, OutOfRangeAndOverflowAreMalformed)
+{
+    EnvVar a("REACT_TEST_INT", "500");
+    EnvVar b("REACT_TEST_BIG", "99999999999999999999999999");
+    EnvVar c("REACT_TEST_NEG", "-3");
+    EXPECT_FALSE(env::intVar("REACT_TEST_INT", 0, 100).has_value());
+    EXPECT_FALSE(
+        env::intVar("REACT_TEST_BIG", 0, (1ll << 62)).has_value());
+    EXPECT_FALSE(env::u64Var("REACT_TEST_BIG", 0, UINT64_MAX).has_value());
+    // A negative value must not wrap through the unsigned parser.
+    EXPECT_FALSE(env::u64Var("REACT_TEST_NEG", 0, UINT64_MAX).has_value());
+    EXPECT_EQ(env::intVar("REACT_TEST_NEG", -10, 10).value_or(0), -3);
+}
+
+TEST(Env, EmptyStringIsUnsetNotWarned)
+{
+    EnvVar a("REACT_TEST_STR", "");
+    EXPECT_FALSE(env::stringVar("REACT_TEST_STR").has_value());
 }
 
 } // namespace
