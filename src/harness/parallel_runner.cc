@@ -11,6 +11,7 @@
 #include <mutex>
 #include <thread>
 
+#include "util/determinism.hh"
 #include "util/env.hh"
 #include "util/logging.hh"
 
@@ -18,6 +19,20 @@ namespace react {
 namespace harness {
 
 namespace {
+
+/**
+ * Monotonic timestamp for the runner's wall-time telemetry: per-cell
+ * timings, lastWallSeconds, and the BENCH_parallel speedup numbers.
+ * Cell *results* are a pure function of (spec, identity-derived seed);
+ * wall time never reaches them, which is why this is the runner's only
+ * sanctioned clock read.
+ */
+std::chrono::steady_clock::time_point
+telemetryNow()
+{
+    REACT_NONDET_OK("steady_clock feeds timing telemetry only, never cell results");
+    return std::chrono::steady_clock::now();
+}
 
 /** splitmix64 finalizer: full-avalanche 64-bit mix. */
 uint64_t
@@ -58,6 +73,7 @@ signalAfterCells()
     return n;
 }
 
+REACT_NONDET_OK("crash/signal test-hook progress count; never read into results");
 std::atomic<long> completedCells{0};
 
 void
@@ -75,7 +91,11 @@ noteCellCompleted()
         std::raise(SIGTERM);
 }
 
-/** Process-wide stop flag; shared so one Ctrl-C stops every batch. */
+/** Process-wide stop flag; shared so one Ctrl-C stops every batch.
+ *  Dispatched cells always run to completion, so the flag decides only
+ *  *how many* cells a drained run finishes, never what any cell
+ *  computes. */
+REACT_NONDET_OK("signal-drain stop flag gates dispatch only; cell results unaffected");
 std::atomic<bool> stopFlag{false};
 
 /** Signal handler installed by run() under SignalPolicy::ExitAfterDrain:
@@ -192,9 +212,9 @@ ParallelRunner::workerLoop(int worker_index)
         if (idx < 0)
             return;
         auto &task = tasks[static_cast<size_t>(idx)];
-        const auto t0 = std::chrono::steady_clock::now();
+        const auto t0 = telemetryNow();
         task.fn();
-        const auto t1 = std::chrono::steady_clock::now();
+        const auto t1 = telemetryNow();
         cellTimings[static_cast<size_t>(idx)].seconds =
             std::chrono::duration<double>(t1 - t0).count();
         executedCount.fetch_add(1, std::memory_order_relaxed);
@@ -228,16 +248,16 @@ ParallelRunner::run()
     lastInterrupted = false;
     const size_t batch_size = tasks.size();
 
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = telemetryNow();
 
     if (nThreads <= 1 || tasks.size() <= 1) {
         // Serial reference path: submission order, no pool machinery.
         for (size_t i = 0; i < tasks.size(); ++i) {
             if (stopRequested())
                 break;
-            const auto c0 = std::chrono::steady_clock::now();
+            const auto c0 = telemetryNow();
             tasks[i].fn();
-            const auto c1 = std::chrono::steady_clock::now();
+            const auto c1 = telemetryNow();
             cellTimings[i].seconds =
                 std::chrono::duration<double>(c1 - c0).count();
             executedCount.fetch_add(1, std::memory_order_relaxed);
@@ -280,7 +300,7 @@ ParallelRunner::run()
             std::rethrow_exception(first_error);
     }
 
-    const auto t1 = std::chrono::steady_clock::now();
+    const auto t1 = telemetryNow();
     lastWallSeconds = std::chrono::duration<double>(t1 - t0).count();
     tasks.clear();
     lastInterrupted = stopRequested();

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <thread>
 
+#include "util/determinism.hh"
 #include "util/logging.hh"
 
 namespace react {
@@ -14,11 +15,24 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/**
+ * The client's only sanctioned clock read.  Wall time paces request
+ * timeouts and retry backoff -- *whether* an exchange is retried, never
+ * *what* a job computes: results come back as server-produced bytes
+ * whose identity the soak suite checks against direct local runs.
+ */
+Clock::time_point
+wallNow()
+{
+    REACT_NONDET_OK("wall clock paces timeouts/retries only; result bytes are server-produced");
+    return Clock::now();
+}
+
 int
 remainingMs(Clock::time_point deadline)
 {
     const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-        deadline - Clock::now());
+        deadline - wallNow());
     return static_cast<int>(std::max<int64_t>(1, left.count()));
 }
 
@@ -119,7 +133,7 @@ Client::transmit(const std::vector<uint8_t> &frame)
 Frame
 Client::awaitFrame()
 {
-    const Clock::time_point deadline = Clock::now() +
+    const Clock::time_point deadline = wallNow() +
         std::chrono::milliseconds(config.requestTimeoutMs);
     Frame frame;
     for (;;) {
@@ -127,7 +141,7 @@ Client::awaitFrame()
             ++clientStats.framesReceived;
             return frame;
         }
-        if (Clock::now() >= deadline) {
+        if (wallNow() >= deadline) {
             ++clientStats.timeouts;
             throw SocketError("request timed out");
         }

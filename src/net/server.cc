@@ -22,6 +22,7 @@
 #include "net/frame.hh"
 #include "net/protocol.hh"
 #include "net/socket.hh"
+#include "util/determinism.hh"
 #include "util/env.hh"
 #include "util/logging.hh"
 
@@ -31,6 +32,19 @@ namespace net {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/**
+ * The server's only sanctioned clock read.  Wall time feeds queue
+ * deadlines and idle-timeout bookkeeping -- *whether* a job runs or a
+ * silent peer is dropped, never *what* a job computes: result bytes
+ * come from runGridCell on identity-derived seeds.
+ */
+Clock::time_point
+wallNow()
+{
+    REACT_NONDET_OK("wall clock feeds deadlines/idle timeouts only, never result bytes");
+    return Clock::now();
+}
 
 void
 setNonBlocking(int fd)
@@ -89,6 +103,12 @@ struct Server::Impl
     std::deque<uint64_t> pending;
     std::deque<uint64_t> doneOrder;
     uint64_t doneTicks = 0;
+    /** Jobs currently Queued or Running, maintained at every lifecycle
+     *  transition (under jobsLock).  DrainOk reports this count on the
+     *  wire; deriving it by iterating the unordered job table would put
+     *  bucket order one refactor away from the payload, which the
+     *  determinism lint bans. */
+    uint64_t inFlightJobs = 0;
 
     // ---- drain coordination --------------------------------------
     std::atomic<bool> draining{false};
@@ -160,6 +180,7 @@ Server::requestDrain()
 
 namespace {
 
+REACT_NONDET_OK("signal-handler rendezvous pointer; drain timing only, not results");
 std::atomic<Server *> signalTarget{nullptr};
 
 void
@@ -221,7 +242,7 @@ Server::Impl::runBatch(std::vector<uint64_t> batch_ids)
     std::vector<Slot> slots;
     slots.reserve(batch_ids.size());
 
-    const Clock::time_point now = Clock::now();
+    const Clock::time_point now = wallNow();
     {
         std::lock_guard<std::mutex> g(jobsLock);
         for (const uint64_t id : batch_ids) {
@@ -241,6 +262,7 @@ Server::Impl::runBatch(std::vector<uint64_t> batch_ids)
                 job.doneTick = ++doneTicks;
                 doneOrder.push_back(id);
                 ++stats.jobsExpired;
+                --inFlightJobs;
                 continue;
             }
             job.state = JobState::Running;
@@ -315,6 +337,7 @@ Server::Impl::runBatch(std::vector<uint64_t> batch_ids)
             }
             job.doneTick = ++doneTicks;
             doneOrder.push_back(slot.id);
+            --inFlightJobs;
         }
         evictOverflow();
     }
@@ -405,11 +428,7 @@ Server::Impl::handleFrame(Connection *conn, const Frame &frame)
         uint32_t in_flight = 0;
         {
             std::lock_guard<std::mutex> g(jobsLock);
-            for (const auto &entry : jobs) {
-                if (entry.second.state == JobState::Queued ||
-                    entry.second.state == JobState::Running)
-                    ++in_flight;
-            }
+            in_flight = static_cast<uint32_t>(inFlightJobs);
         }
         sendFrame(conn, makeDrainOk(in_flight));
         // Defer the actual drain until the reply is queued; serve()
@@ -433,9 +452,10 @@ Server::Impl::handleFrame(Connection *conn, const Frame &frame)
             Job job;
             job.spec = spec;
             job.state = JobState::Queued;
-            job.submittedAt = Clock::now();
+            job.submittedAt = wallNow();
             jobs.emplace(id, std::move(job));
             pending.push_back(id);
+            ++inFlightJobs;
             ++stats.jobsSubmitted;
             jobsCv.notify_all();
             sendFrame(conn, makeSubmitted(id, JobState::Queued));
@@ -455,8 +475,9 @@ Server::Impl::handleFrame(Connection *conn, const Frame &frame)
             job.state = JobState::Queued;
             job.spec = spec;
             job.errorMessage.clear();
-            job.submittedAt = Clock::now();
+            job.submittedAt = wallNow();
             pending.push_back(id);
+            ++inFlightJobs;
             ++stats.jobsSubmitted;
             jobsCv.notify_all();
             sendFrame(conn, makeSubmitted(id, JobState::Queued));
@@ -482,13 +503,14 @@ Server::Impl::handleFrame(Connection *conn, const Frame &frame)
         Job &job = it->second;
         if (job.state == JobState::Queued &&
             job.spec.deadlineSeconds > 0.0 &&
-            secondsSince(job.submittedAt, Clock::now()) >
+            secondsSince(job.submittedAt, wallNow()) >
                 job.spec.deadlineSeconds) {
             job.state = JobState::Expired;
             job.errorMessage = "deadline expired in queue";
             job.doneTick = ++doneTicks;
             doneOrder.push_back(id);
             ++stats.jobsExpired;
+            --inFlightJobs;
         }
         switch (job.state) {
           case JobState::Done:
@@ -584,7 +606,7 @@ Server::serve()
                     setNonBlocking(accepted.fd());
                     auto conn = std::make_unique<Impl::Connection>();
                     conn->sock = std::move(accepted);
-                    conn->lastActivity = Clock::now();
+                    conn->lastActivity = wallNow();
                     s.connections.push_back(std::move(conn));
                     ++s.stats.connectionsAccepted;
                 }
@@ -593,7 +615,7 @@ Server::serve()
 
         // Service the connections that were in this tick's poll set
         // (ones accepted above wait for the next tick).
-        const Clock::time_point now = Clock::now();
+        const Clock::time_point now = wallNow();
         for (size_t i = 0; i < polled_conns; ++i) {
             Impl::Connection *conn = s.connections[i].get();
             const pollfd &cp = pfds[conn_base + i];

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The determinism contract's escape hatch: REACT_NONDET_OK.
+ *
+ * The repo's evaluation guarantee is bit-identical results at any
+ * thread count and byte-exact golden CSVs.  tools/lint_determinism.py
+ * enforces that contract statically across src/: wall-clock and entropy
+ * sources, unordered-container iteration, pointer-keyed ordering,
+ * mutable global state, stray thread_locals, and order-dependent float
+ * reductions are all banned outright.
+ *
+ * Some of those constructs are nevertheless legitimate -- a retry
+ * deadline *should* read the wall clock, a signal handler *needs* a
+ * process-global atomic -- as long as the value never feeds result
+ * bytes, snapshot bytes, or wire payloads.  Such a site is exempted by
+ * placing
+ *
+ *     REACT_NONDET_OK("why this cannot affect simulation results");
+ *
+ * on the same line as the violation or on the line immediately above
+ * it.  The macro compiles to nothing (a vacuous static_assert that only
+ * checks the reason is a string literal), so it costs zero codegen; its
+ * whole value is being greppable and machine-checked:
+ *
+ *  - the linter suppresses exactly the annotated line, nothing wider
+ *    (no file-level or block-level opt-outs exist by design);
+ *  - tools/check_nondet_annotations.py inventories every annotation
+ *    into tools/determinism_allowlist.txt, and CI fails when a site is
+ *    added, removed, or reworded without updating the checked-in list
+ *    -- an exemption can never slip in silently.
+ *
+ * Keep reasons short, specific, and in terms of the contract ("wall
+ * clock feeds retry pacing only, never result bytes"), not in terms of
+ * the code ("needed here").
+ */
+
+#ifndef REACT_UTIL_DETERMINISM_HH
+#define REACT_UTIL_DETERMINISM_HH
+
+/**
+ * Mark the current (or next) source line as an audited exemption from
+ * the determinism lint.  @p reason must be a string literal; the `""
+ * reason` concatenation fails to compile for anything else, so a reason
+ * can never be computed, empty-by-accident, or forgotten.
+ */
+#define REACT_NONDET_OK(reason)                                              \
+    static_assert(sizeof("" reason) > 1,                                     \
+                  "REACT_NONDET_OK needs a non-empty string-literal reason")
+
+#endif // REACT_UTIL_DETERMINISM_HH

@@ -1,0 +1,24 @@
+// Fixture: DET001 entropy sources and <random> engines.  All project
+// randomness must flow through the explicitly seeded react::Rng.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+unsigned
+entropySoup()
+{
+    std::srand(42);                                  // EXPECT: DET001
+    unsigned h = static_cast<unsigned>(std::rand()); // EXPECT: DET001
+    h ^= static_cast<unsigned>(rand());              // EXPECT: DET001
+    h ^= static_cast<unsigned>(random());            // EXPECT: DET001
+    h ^= static_cast<unsigned>(drand48() * 4096.0);  // EXPECT: DET001
+    std::random_device rd;                           // EXPECT: DET001
+    std::mt19937 gen(rd());                          // EXPECT: DET001
+    std::mt19937_64 wide(h);                         // EXPECT: DET001
+    std::default_random_engine eng(h);               // EXPECT: DET001
+    return h + static_cast<unsigned>(gen()) +
+        static_cast<unsigned>(wide()) + static_cast<unsigned>(eng());
+}
+
+} // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture: DET006 order-dependent float reductions over unordered
+// containers (plus the DET002 iteration that drives them).  Float
+// addition does not commute, so these sums depend on bucket order.
+#include <numeric>
+#include <unordered_map>
+
+namespace fixture {
+
+double
+bucketOrderSum(const std::unordered_map<int, double> &joules)
+{
+    double sum = 0.0;
+    for (const auto &entry : joules) {                            // EXPECT: DET002
+        sum += entry.second;                                      // EXPECT: DET006
+    }
+    return sum;
+}
+
+double
+accumulateSum(const std::unordered_map<int, double> &joules)
+{
+    return std::accumulate(joules.cbegin(), joules.cend(), 0.0);  // EXPECT: DET002 DET006
+}
+
+} // namespace fixture

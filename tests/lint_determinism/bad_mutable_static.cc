@@ -1,0 +1,33 @@
+// Fixture: DET004 mutable static-lifetime state -- namespace-scope
+// variables (including `inline` ones), static locals, static members.
+// const/constexpr declarations and function declarations must not trip.
+#include <atomic>
+#include <string>
+
+namespace fixture {
+
+int callCount = 0;                  // EXPECT: DET004
+std::atomic<bool> panicFlag{false}; // EXPECT: DET004
+static double lastVoltage = 0.0;    // EXPECT: DET004
+std::string gScratch;               // EXPECT: DET004
+inline int exposedCounter = 0;      // EXPECT: DET004
+
+constexpr int kLimit = 8;
+const double kScale = 1.5;
+int liveQueryCount();
+
+int
+bumpMemo()
+{
+    static int memo = 0;            // EXPECT: DET004
+    return ++memo;
+}
+
+struct Gadget
+{
+    static int liveCount;           // EXPECT: DET004
+    static const int kMax = 4;
+    int perInstance = 0;
+};
+
+} // namespace fixture

@@ -1,0 +1,32 @@
+// Fixture: DET003 pointer-keyed ordered containers and std::less over
+// a pointer type: "ordered" by allocation address, i.e. by run.
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+namespace fixture {
+
+struct Node
+{
+    int id = 0;
+};
+
+struct Ordering
+{
+    std::map<Node *, int> ranks;               // EXPECT: DET003
+    std::set<const Node *> members;            // EXPECT: DET003
+    std::map<std::string, Node *> byName;      // clean: pointer value, ordered key
+    std::set<int, std::less<int *>> scrambled; // EXPECT: DET003
+};
+
+int
+countDistinct(const Node *a, const Node *b)
+{
+    std::set<const Node *> seen;               // EXPECT: DET003
+    seen.insert(a);
+    seen.insert(b);
+    return static_cast<int>(seen.size());
+}
+
+} // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: DET005 thread_local outside the approved hot-loop-counter
+// list (tools/lint_determinism.py APPROVED_THREAD_LOCAL).
+#include <vector>
+
+namespace fixture {
+
+thread_local int tlScratch = 0;          // EXPECT: DET005
+thread_local std::vector<double> tlPool; // EXPECT: DET005
+
+void
+clearScratch()
+{
+    thread_local unsigned tlCalls = 0;   // EXPECT: DET005
+    ++tlCalls;
+    tlScratch = 0;
+    tlPool.clear();
+}
+
+} // namespace fixture

@@ -1,0 +1,44 @@
+// Fixture: DET002 unordered-container iteration -- range-for over a
+// parameter, an explicit .begin() walk, and range-for over a member.
+// (find()/end() lookups are NOT iteration; good_clean.cc pins that.)
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+std::string
+joinKeys(const std::unordered_map<std::string, double> &stats)
+{
+    std::string out;
+    for (const auto &entry : stats) {                       // EXPECT: DET002
+        out.append(entry.first);
+    }
+    return out;
+}
+
+int
+iteratorWalk(const std::unordered_map<int, int> &table)
+{
+    int total = 0;
+    for (auto it = table.begin(); it != table.end(); ++it)  // EXPECT: DET002
+        total = total + it->first;
+    return total;
+}
+
+struct Registry
+{
+    std::unordered_set<std::string> names;
+
+    std::vector<std::string>
+    snapshotOrder() const
+    {
+        std::vector<std::string> out;
+        for (const auto &name : names)                      // EXPECT: DET002
+            out.push_back(name);
+        return out;
+    }
+};
+
+} // namespace fixture

@@ -1,0 +1,33 @@
+// Fixture: DET001 wall-clock reads, including reads through a local
+// `using Clock = ...` alias.  Fixtures are token-linted, never compiled.
+#include <chrono>
+#include <ctime>
+#include <sys/time.h>
+
+namespace fixture {
+
+using Clock = std::chrono::steady_clock;
+
+double
+wallSoup()
+{
+    const auto a = std::chrono::steady_clock::now();          // EXPECT: DET001
+    const auto b = std::chrono::system_clock::now();          // EXPECT: DET001
+    const auto c = std::chrono::high_resolution_clock::now(); // EXPECT: DET001
+    const auto d = Clock::now();                              // EXPECT: DET001
+    struct timeval tv;
+    gettimeofday(&tv, nullptr);                               // EXPECT: DET001
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);                      // EXPECT: DET001
+    const time_t stamp = time(nullptr);                       // EXPECT: DET001
+    const time_t qualified = std::time(nullptr);              // EXPECT: DET001
+    const clock_t ticks = clock();                            // EXPECT: DET001
+    return std::chrono::duration<double>(
+               a.time_since_epoch() + b.time_since_epoch() +
+               c.time_since_epoch() + d.time_since_epoch())
+               .count() +
+        static_cast<double>(tv.tv_sec + ts.tv_sec + stamp + qualified +
+                            ticks);
+}
+
+} // namespace fixture

@@ -1,0 +1,55 @@
+// Fixture: the same banned patterns as the bad_* corpus, each exempted
+// with REACT_NONDET_OK on the same line or the line immediately above.
+// The linter must report zero violations here and count the exemptions;
+// run_fixture_tests.py additionally strips these annotations and
+// re-lints the result to prove they are load-bearing.  (Fixtures are
+// token-linted, never compiled, so the macro needs no definition here.)
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+REACT_NONDET_OK("fixture: telemetry counter, never feeds result bytes");
+std::atomic<long> telemetryTicks{0};
+
+REACT_NONDET_OK("fixture: per-thread scratch is telemetry only");
+thread_local long tlAnnotatedScratch = 0;
+
+double
+wallSeconds()
+{
+    REACT_NONDET_OK("fixture: timing telemetry only");
+    const auto t0 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+unsigned
+legacySeedMix()
+{
+    REACT_NONDET_OK("fixture: exemption on the line above");
+    const unsigned mixed = static_cast<unsigned>(std::rand());
+    std::srand(7); REACT_NONDET_OK("fixture: same-line exemption");
+    return mixed;
+}
+
+int
+countPositive(const std::unordered_map<int, int> &table)
+{
+    int n = 0;
+    REACT_NONDET_OK("fixture: count is independent of bucket order");
+    for (const auto &entry : table)
+        n = n + (entry.second > 0 ? 1 : 0);
+    return n;
+}
+
+struct InternPool
+{
+    REACT_NONDET_OK("fixture: address order never escapes this cache");
+    std::map<const char *, int> slots;
+};
+
+} // namespace fixture

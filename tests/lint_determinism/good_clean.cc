@@ -1,0 +1,58 @@
+// Fixture: deterministic idioms that must NOT trip any check --
+// ordered-map iteration, find()/end() lookups on unordered maps,
+// vector reductions, chrono *types* without ::now, and identifiers that
+// merely contain banned substrings (strand, grandTotal, mytime).
+#include <chrono>
+#include <map>
+#include <numeric>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr double kDt = 1e-3;
+const int kStrands = 3;
+
+double mytime();
+
+double
+orderedSum(const std::map<std::string, double> &cells)
+{
+    double total = 0.0;
+    for (const auto &entry : cells)
+        total += entry.second;
+    return total;
+}
+
+int
+grandTotal(const std::vector<int> &values)
+{
+    int strand = 0;
+    for (const int v : values)
+        strand += v;
+    return strand + static_cast<int>(mytime());
+}
+
+double
+vectorSum(const std::vector<double> &xs)
+{
+    return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+
+std::string
+findStatus(const std::unordered_map<int, std::string> &byId, int id)
+{
+    const auto it = byId.find(id);
+    return it == byId.end() ? std::string("unknown") : it->second;
+}
+
+double
+spanSeconds(Clock::time_point from, Clock::time_point until)
+{
+    return std::chrono::duration<double>(until - from).count();
+}
+
+} // namespace fixture

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Self-test corpus runner for tools/lint_determinism.py.
+
+Each ``bad_*.cc`` fixture marks every line that must be diagnosed with a
+``// EXPECT: DETnnn [DETmmm ...]`` comment; the runner lints the fixture
+(token path only, ``--no-libclang``, so diagnostics are identical on
+every machine) and asserts the *exact* set of ``(line, check)``
+diagnostics -- a missing finding, an extra finding, or a finding on the
+wrong line all fail.  ``good_*.cc`` fixtures must lint completely clean
+with exit status 0.
+
+Two corpus-level properties are asserted on top:
+
+* coverage -- the bad fixtures together exercise every check class
+  DET001..DET006, so no banned-pattern class can silently lose its
+  fixture;
+* the suppression is load-bearing -- ``good_annotated.cc`` (every
+  banned pattern carrying REACT_NONDET_OK) lints clean and reports its
+  exemption count, and the same file with the annotations stripped is
+  re-linted and MUST flag, proving bare code is caught and only the
+  annotation suppresses.
+
+Exit status 0 when every assertion holds, 1 otherwise (with a diff of
+expected vs. actual diagnostics per failing fixture).
+"""
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+
+EXPECT_RE = re.compile(r"//\s*EXPECT:\s*([A-Z0-9 ,]+)")
+DIAG_RE = re.compile(r"^(.*?):(\d+): \[(DET\d{3})\]")
+ALL_CHECKS = {"DET001", "DET002", "DET003", "DET004", "DET005", "DET006"}
+
+
+def parse_expectations(path):
+    """Map line number -> set of expected DETnnn codes."""
+    expected = {}
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        m = EXPECT_RE.search(line)
+        if m:
+            for check in re.findall(r"DET\d{3}", m.group(1)):
+                expected.setdefault(lineno, set()).add(check)
+    return expected
+
+
+def lint(linter, root, path):
+    """Run the linter on one file; return (proc, line -> set of codes)."""
+    proc = subprocess.run(
+        [sys.executable, str(linter), "--root", str(root),
+         "--paths", str(path), "--no-libclang"],
+        capture_output=True, text=True)
+    got = {}
+    for line in proc.stderr.splitlines():
+        m = DIAG_RE.match(line)
+        if m:
+            got.setdefault(int(m.group(2)), set()).add(m.group(3))
+    return proc, got
+
+
+def describe_diff(expected, got):
+    lines = []
+    for lineno in sorted(set(expected) | set(got)):
+        want = expected.get(lineno, set())
+        have = got.get(lineno, set())
+        if want != have:
+            lines.append("    line %d: expected {%s}, got {%s}" %
+                         (lineno, ", ".join(sorted(want)) or "-",
+                          ", ".join(sorted(have)) or "-"))
+    return "\n".join(lines)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    here = pathlib.Path(__file__).resolve().parent
+    parser.add_argument("--linter", type=pathlib.Path,
+                        default=here.parent.parent / "tools" /
+                        "lint_determinism.py")
+    parser.add_argument("--fixtures", type=pathlib.Path, default=here)
+    args = parser.parse_args()
+    linter = args.linter.resolve()
+    fixdir = args.fixtures.resolve()
+
+    fixtures = sorted(fixdir.glob("*.cc"))
+    bad = [p for p in fixtures if p.name.startswith("bad_")]
+    good = [p for p in fixtures if p.name.startswith("good_")]
+    failures = []
+    if not bad or not good:
+        failures.append("corpus must contain bad_* and good_* fixtures "
+                        "(found %d bad, %d good)" % (len(bad), len(good)))
+
+    covered = set()
+    for path in fixtures:
+        expected = parse_expectations(path)
+        if path.name.startswith("good_") and expected:
+            failures.append("%s: good fixtures must not carry EXPECT "
+                            "markers" % path.name)
+            continue
+        covered |= {c for checks in expected.values() for c in checks}
+        proc, got = lint(linter, fixdir, path)
+        want_rc = 1 if expected else 0
+        if proc.returncode != want_rc:
+            failures.append("%s: exit %d, want %d\n  stderr: %s" %
+                            (path.name, proc.returncode, want_rc,
+                             proc.stderr.strip() or "<empty>"))
+        if got != expected:
+            failures.append("%s: diagnostics differ\n%s" %
+                            (path.name, describe_diff(expected, got)))
+
+    missing = ALL_CHECKS - covered
+    if missing:
+        failures.append("corpus does not exercise: %s" %
+                        ", ".join(sorted(missing)))
+
+    # The annotated fixture must lint clean AND report its exemptions.
+    annotated = fixdir / "good_annotated.cc"
+    if annotated.is_file():
+        proc, _ = lint(linter, fixdir, annotated)
+        m = re.search(r"(\d+) annotated exemption", proc.stdout)
+        if not m or int(m.group(1)) < 5:
+            failures.append("good_annotated.cc: expected >= 5 annotated "
+                            "exemptions in the summary, got: %s" %
+                            (proc.stdout.strip() or "<empty>"))
+        # Strip the annotations: the identical code must now flag, with
+        # nonzero exit -- the macro is the only thing keeping it clean.
+        bare_text = "\n".join(
+            line for line in annotated.read_text().splitlines()
+            if "REACT_NONDET_OK" not in line) + "\n"
+        with tempfile.TemporaryDirectory() as td:
+            bare = pathlib.Path(td) / "stripped_annotated.cc"
+            bare.write_text(bare_text)
+            proc, got = lint(linter, pathlib.Path(td), bare)
+            n_found = sum(len(v) for v in got.values())
+            if proc.returncode != 1 or n_found < 5:
+                failures.append(
+                    "stripping REACT_NONDET_OK from good_annotated.cc "
+                    "must surface >= 5 violations with exit 1; got exit "
+                    "%d with %d finding(s)" % (proc.returncode, n_found))
+    else:
+        failures.append("good_annotated.cc missing from corpus")
+
+    if failures:
+        for f in failures:
+            print("FAIL: %s" % f, file=sys.stderr)
+        print("run_fixture_tests: %d failure(s) across %d fixture(s)" %
+              (len(failures), len(fixtures)), file=sys.stderr)
+        return 1
+    print("run_fixture_tests: OK (%d fixtures, checks %s covered)" %
+          (len(fixtures), "+".join(sorted(covered))))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -596,6 +596,35 @@ TEST_F(NetIntegration, QueueDeadlineExpiresAndResubmissionRevives)
     EXPECT_EQ(outcome.resultBytes, directResultBytes(spec));
 }
 
+TEST_F(NetIntegration, DrainCountReflectsEveryJobLifecyclePath)
+{
+    // DrainOk carries a counter maintained at each lifecycle transition
+    // (it used to be derived by iterating the unordered job table, which
+    // the determinism lint bans).  Drive a job down every path --
+    // completed, cache-hit resubmission, deadline-expired, revived --
+    // and the counter must return exactly to zero: a missed decrement
+    // reports stuck in-flight jobs, and a missed increment underflows
+    // the unsigned counter into a huge value, so both directions fail.
+    Client client(clientConfig());
+    const JobSpec completed = quickSpec();
+    client.runJob(completed);
+    client.runJob(completed);  // cache hit: must not re-enter the count
+
+    JobSpec expiring = quickSpec();
+    expiring.bench = harness::BenchmarkKind::SenseCompute;
+    expiring.deadlineSeconds = 1e-9;
+    EXPECT_THROW(client.runJob(expiring), ClientError);
+
+    expiring.deadlineSeconds = 0.0;  // revive the Expired entry
+    client.runJob(expiring);
+
+    EXPECT_EQ(client.drain(), 0u);
+    server_thread.join();
+    EXPECT_EQ(exit_status, 0);
+    EXPECT_EQ(server->stats().jobsExecuted, 2u);
+    EXPECT_GE(server->stats().cacheHits, 1u);
+}
+
 TEST_F(NetIntegration, MalformedBytesCostTheConnectionNotTheServer)
 {
     {

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Pin every REACT_NONDET_OK exemption to a checked-in allowlist.
+
+The determinism linter (tools/lint_determinism.py) accepts
+``REACT_NONDET_OK("reason")`` as the only way to exempt a line, which
+makes the annotation itself the thing to audit: an exemption added
+quietly in a large diff is an unreviewed hole in the contract.  This
+tool inventories every annotation under ``src/`` as a
+``path<TAB>reason`` line and compares the inventory against
+``tools/determinism_allowlist.txt``:
+
+* ``--check`` (the default, run by the ``lint-determinism`` target and
+  the CI lint job) fails with a diff when the annotations in the tree
+  and the checked-in allowlist disagree -- adding, removing, moving, or
+  rewording an exemption forces a visible allowlist change in the same
+  commit;
+* ``--update`` rewrites the allowlist from the tree, for exactly that
+  commit.
+
+Line numbers are deliberately not recorded (unrelated edits would churn
+the file); the identity of an exemption is where it lives and the
+reason it claims.  Reasons must be non-empty string literals -- the
+macro enforces that at compile time, this tool re-checks it for
+headers/sources a build might not compile.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+ANNOTATION_RE = re.compile(
+    r'\bREACT_NONDET_OK\s*\(\s*("(?:[^"\\]|\\.)*")\s*\)')
+DEFINE_RE = re.compile(r"#\s*define\s+REACT_NONDET_OK\b")
+
+
+def strip_comments(text: str) -> str:
+    """Blank out comments, preserving newlines and string literals."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i)
+            j = n if j < 0 else j + 2
+            out.append("".join(c if c == "\n" else " "
+                               for c in text[i:j]))
+            i = j
+        elif text[i] in "\"'":
+            quote, j = text[i], i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(text[i:j])
+            i = j
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def inventory(root: pathlib.Path):
+    """Return sorted ``path<TAB>reason`` lines for src/ annotations."""
+    lines = []
+    problems = []
+    for path in sorted((root / "src").rglob("*")):
+        if path.suffix not in (".hh", ".cc"):
+            continue
+        rel = path.relative_to(root).as_posix()
+        text = strip_comments(path.read_text(errors="replace"))
+        for lineno, line in enumerate(text.splitlines(), 1):
+            if DEFINE_RE.search(line):
+                continue  # the macro's own definition
+            for m in ANNOTATION_RE.finditer(line):
+                reason = m.group(1)[1:-1]
+                if not reason.strip():
+                    problems.append("%s:%d: empty exemption reason" %
+                                    (rel, lineno))
+                lines.append("%s\t%s" % (rel, reason))
+            # A call the regex cannot see as a string literal is either
+            # a macro-built reason or a multi-line call; both defeat the
+            # audit, so reject them.
+            stripped_hits = len(
+                re.findall(r"\bREACT_NONDET_OK\s*\(", line))
+            if stripped_hits > len(ANNOTATION_RE.findall(line)):
+                problems.append(
+                    "%s:%d: REACT_NONDET_OK reason must be a single "
+                    "string literal on the same line" % (rel, lineno))
+    return sorted(lines), problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="audit REACT_NONDET_OK exemptions against the "
+                    "checked-in allowlist")
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(
+                            __file__).resolve().parent.parent)
+    parser.add_argument("--allowlist", type=pathlib.Path, default=None,
+                        help="default: tools/determinism_allowlist.txt")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the allowlist from the tree")
+    parser.add_argument("--check", action="store_true",
+                        help="compare tree against allowlist (default)")
+    args = parser.parse_args()
+    root = args.root.resolve()
+    allowlist = (args.allowlist or
+                 root / "tools" / "determinism_allowlist.txt")
+
+    lines, problems = inventory(root)
+    for p in problems:
+        print("check_nondet_annotations: %s" % p, file=sys.stderr)
+    if problems:
+        return 1
+
+    header = [
+        "# REACT_NONDET_OK exemption inventory -- one `path<TAB>reason`",
+        "# line per annotation under src/.  Regenerate with:",
+        "#   python3 tools/check_nondet_annotations.py --update",
+        "# CI runs --check: an exemption added, removed, or reworded",
+        "# without updating this file fails the lint job, so every",
+        "# determinism opt-out is visible in review.",
+    ]
+    rendered = "\n".join(header + lines) + "\n"
+
+    if args.update:
+        allowlist.write_text(rendered)
+        print("check_nondet_annotations: wrote %d exemption(s) to %s" %
+              (len(lines), allowlist.relative_to(root)))
+        return 0
+
+    if not allowlist.is_file():
+        print("check_nondet_annotations: %s missing; run with --update"
+              % allowlist, file=sys.stderr)
+        return 1
+    recorded = [l for l in allowlist.read_text().splitlines()
+                if l and not l.startswith("#")]
+    current = set(lines)
+    stale = [l for l in recorded if l not in current]
+    fresh = [l for l in lines if l not in set(recorded)]
+    if stale or fresh:
+        for l in fresh:
+            print("check_nondet_annotations: unrecorded exemption: %s"
+                  % l.replace("\t", ": "), file=sys.stderr)
+        for l in stale:
+            print("check_nondet_annotations: allowlist entry no longer "
+                  "in tree: %s" % l.replace("\t", ": "),
+                  file=sys.stderr)
+        print("check_nondet_annotations: allowlist out of date; rerun "
+              "with --update and commit the diff", file=sys.stderr)
+        return 1
+    print("check_nondet_annotations: OK (%d exemption(s) match %s)" %
+          (len(lines), allowlist.relative_to(root)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,742 @@
+#!/usr/bin/env python3
+"""Determinism/concurrency linter for the REACT reproduction.
+
+The repo's evaluation contract is *bit-identical results at any thread
+count* (enforced at runtime by the parallel_sweep divergence gate) and
+*byte-exact golden CSVs*.  Runtime gates only catch a nondeterminism bug
+that a bench happens to tickle; this linter bans the sources statically
+across ``src/`` so the contract holds by construction:
+
+DET001  wall-clock / entropy source: ``time``, ``clock``,
+        ``gettimeofday``, ``clock_gettime``, ``chrono::*_clock::now``
+        (including through local ``using Clock = ...`` aliases),
+        ``rand``/``srand``/``random``, ``std::random_device``, and any
+        ``<random>`` engine (all randomness must flow through the
+        explicitly seeded ``react::Rng``).
+DET002  iteration over ``std::unordered_map`` / ``std::unordered_set``
+        (range-for or ``.begin()`` family): bucket order is a function
+        of hashing, insertion history, and pointer values, so anything
+        derived from it can leak address-order into results, snapshots,
+        wire frames, or checkpoint bytes.
+DET003  pointer-keyed ordered containers (``std::map<T*, ...>``,
+        ``std::set<T*>``) and ``std::less<T*>``: iteration order is
+        allocation order, i.e. nondeterministic across runs.
+DET004  mutable global / static-lifetime state (namespace-scope
+        variables, non-const ``static`` locals and members): shared
+        mutable state is both a data-race surface and a cross-cell
+        coupling channel.
+DET005  ``thread_local`` outside the approved hot-loop-counter list:
+        per-thread state makes results depend on thread placement
+        unless it is pure telemetry.
+DET006  order-dependent floating-point reduction over an unordered
+        container (compound assignment or ``std::accumulate`` driven by
+        bucket order): float addition does not commute, so the sum
+        depends on hashing.
+
+A violating line is exempted only by placing
+``REACT_NONDET_OK("reason")`` (src/util/determinism.hh) on the same
+line or the line immediately above -- there is deliberately no file- or
+block-level opt-out, and tools/check_nondet_annotations.py pins every
+annotation into a checked-in allowlist so exemptions cannot be added
+silently.
+
+Analysis is token-level over comment/string-stripped sources (the same
+approach as lint_units.py), which keeps the linter dependency-free and
+byte-stable.  When the ``clang.cindex`` bindings are importable the
+linter additionally walks the AST of each translation unit from
+``compile_commands.json`` to harvest unordered-container variable names
+that the token pass cannot see (``auto`` deductions, cross-header
+member types); the token pass remains authoritative, libclang only
+widens DET002's net.  ``--no-libclang`` forces the pure token path (the
+fixture tests use it so diagnostics are identical on every machine).
+
+Exit status 0 when clean, 1 with ``file:line: [DETnnn]`` reports
+otherwise.  Run directly or via
+``cmake --build build --target lint-determinism``.
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+# Variables allowed to be thread_local without annotation: the hot-loop
+# telemetry counters.  They are pure per-thread statistics (cache
+# hit/miss counts) that never feed simulation state, and making them
+# atomics would put contended writes on the 30M-steps/sec path.
+APPROVED_THREAD_LOCAL = {
+    ("src/sim/hotloop_stats.hh", "tlCounters"),
+}
+
+ANNOTATION = "REACT_NONDET_OK"
+
+# Keywords that start a namespace-scope statement we never treat as a
+# mutable-global declaration.
+NS_SKIP_KEYWORDS = (
+    "namespace", "using", "typedef", "template", "friend", "extern",
+    "static_assert", "class", "struct", "union", "enum",
+    "concept", "asm", "public", "private", "protected", ANNOTATION,
+)
+
+
+def strip_comments(text: str) -> str:
+    """Blank out comments and string literals, preserving newlines."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i)
+            j = n if j < 0 else j + 2
+            out.append("".join(ch if ch == "\n" else " "
+                               for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote, j = c, i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(" " * (j - i))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Source:
+    """One stripped source file plus offset->line bookkeeping."""
+
+    def __init__(self, path: pathlib.Path, rel: str):
+        self.path = path
+        self.rel = rel
+        raw = path.read_text(errors="replace")
+        self.text = strip_comments(raw)
+        self.line_starts = [0]
+        for m in re.finditer(r"\n", self.text):
+            self.line_starts.append(m.end())
+        self.suppressed = {
+            self.line_of(m.start())
+            for m in re.finditer(r"\b%s\s*\(" % ANNOTATION, self.text)
+        }
+
+    def line_of(self, offset: int) -> int:
+        lo, hi = 0, len(self.line_starts) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self.line_starts[mid] <= offset:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo + 1
+
+    def is_suppressed(self, line: int) -> bool:
+        return line in self.suppressed or (line - 1) in self.suppressed
+
+
+class Finding:
+    def __init__(self, rel, line, check, message):
+        self.rel = rel
+        self.line = line
+        self.check = check
+        self.message = message
+
+    def key(self):
+        return (self.rel, self.line, self.check)
+
+
+def match_angle(text: str, open_pos: int):
+    """Return offset one past the '>' matching the '<' at open_pos, or -1."""
+    depth = 0
+    i = open_pos
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            # Ignore '->' and '>>' handled char-by-char (two closes).
+            if i > 0 and text[i - 1] == "-":
+                i += 1
+                continue
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif c in ";{}":
+            return -1  # not a template argument list after all
+        i += 1
+    return -1
+
+
+def match_brace(text: str, open_pos: int):
+    """Return offset one past the '}' matching the '{' at open_pos."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+# ---------------------------------------------------------------------------
+# DET001: wall-clock and entropy sources
+# ---------------------------------------------------------------------------
+
+CLOCK_ALIAS_RE = re.compile(
+    r"using\s+(\w+)\s*=\s*(?:std\s*::\s*)?chrono\s*::\s*"
+    r"(?:steady_clock|system_clock|high_resolution_clock)\s*;")
+CLOCK_NOW_RE = re.compile(
+    r"\b(?:steady_clock|system_clock|high_resolution_clock)"
+    r"\s*::\s*now\s*\(")
+C_TIME_RE = re.compile(
+    r"(?<![\w.>:])((?:std\s*::\s*)?"
+    r"(?:gettimeofday|clock_gettime|timespec_get|ftime|time|clock|"
+    r"localtime|gmtime|mktime))\s*\(")
+ENTROPY_RE = re.compile(
+    r"(?<![\w.>:])((?:std\s*::\s*)?"
+    r"(?:rand|srand|rand_r|drand48|lrand48|random|getrandom|"
+    r"__rdtsc|rdtsc))\s*\(")
+STD_ENGINE_RE = re.compile(
+    r"\bstd\s*::\s*(mt19937(?:_64)?|minstd_rand0?|"
+    r"default_random_engine|ranlux24(?:_base)?|ranlux48(?:_base)?|"
+    r"knuth_b|random_device)\b")
+
+
+def check_det001(src: Source, findings):
+    aliases = [m.group(1) for m in CLOCK_ALIAS_RE.finditer(src.text)]
+    for m in CLOCK_NOW_RE.finditer(src.text):
+        findings.append(Finding(
+            src.rel, src.line_of(m.start()), "DET001",
+            "wall-clock read (chrono clock ::now); simulation time must "
+            "come from the engine, wall time only from annotated sites"))
+    for alias in aliases:
+        alias_now = re.compile(r"\b%s\s*::\s*now\s*\(" % re.escape(alias))
+        for m in alias_now.finditer(src.text):
+            findings.append(Finding(
+                src.rel, src.line_of(m.start()), "DET001",
+                "wall-clock read (%s::now aliases a chrono clock)"
+                % alias))
+    for m in C_TIME_RE.finditer(src.text):
+        findings.append(Finding(
+            src.rel, src.line_of(m.start()), "DET001",
+            "wall-clock call %s()" % m.group(1).replace(" ", "")))
+    for m in ENTROPY_RE.finditer(src.text):
+        findings.append(Finding(
+            src.rel, src.line_of(m.start()), "DET001",
+            "entropy source %s(); use a seeded react::Rng stream"
+            % m.group(1).replace(" ", "")))
+    for m in STD_ENGINE_RE.finditer(src.text):
+        findings.append(Finding(
+            src.rel, src.line_of(m.start()), "DET001",
+            "std::%s: <random> engines are banned (seed-stability across "
+            "libstdc++ versions); use react::Rng" % m.group(1)))
+
+
+# ---------------------------------------------------------------------------
+# DET002 / DET006: unordered-container iteration and float reductions
+# ---------------------------------------------------------------------------
+
+UNORDERED_DECL_RE = re.compile(
+    r"\b(?:std\s*::\s*)?(unordered_(?:map|set|multimap|multiset))\s*<")
+USING_HEAD_RE = re.compile(r"using\s+(\w+)\s*=\s*$")
+IDENT_AFTER_RE = re.compile(r"\s*(?:&|\*)?\s*([A-Za-z_]\w*)")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(")
+# Iteration *entry points* only: `x.end()` alone is the deterministic
+# `find() == end()` lookup idiom, so it does not flag.
+BEGIN_CALL_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*\.\s*c?r?begin\s*\(")
+ACCUMULATE_RE = re.compile(
+    r"\baccumulate\s*\(\s*([A-Za-z_]\w*)\s*\.\s*c?begin")
+COMPOUND_ASSIGN_RE = re.compile(r"[A-Za-z_)\]]\s*[-+*/]=[^=]")
+
+
+def harvest_unordered_names(text: str):
+    """Names of variables (and type aliases) of unordered container type.
+
+    Returns (var_names, alias_types).  Token-level: catches direct
+    declarations and one level of `using Alias = std::unordered_map<...>`
+    indirection within the provided text.
+    """
+    var_names, alias_types = set(), set()
+    for m in UNORDERED_DECL_RE.finditer(text):
+        open_angle = text.find("<", m.end() - 1)
+        close = match_angle(text, open_angle)
+        if close < 0:
+            continue
+        head = text[max(0, m.start() - 48):m.start()]
+        using = USING_HEAD_RE.search(head)
+        ident = IDENT_AFTER_RE.match(text, close)
+        if using:
+            alias_types.add(using.group(1))
+        elif ident:
+            var_names.add(ident.group(1))
+    for alias in alias_types:
+        for m in re.finditer(r"\b%s\s+([A-Za-z_]\w*)\s*[;={]"
+                             % re.escape(alias), text):
+            var_names.add(m.group(1))
+    return var_names, alias_types
+
+
+def check_det002_det006(src: Source, extra_names, findings):
+    var_names, _aliases = harvest_unordered_names(src.text)
+    var_names |= extra_names
+
+    def flag_iteration(pos, what):
+        findings.append(Finding(
+            src.rel, src.line_of(pos), "DET002",
+            "iteration over unordered container %s: bucket order leaks "
+            "hashing/address order; use an ordered container, sort a "
+            "key vector first, or annotate an order-independent use"
+            % what))
+
+    # Range-for loops: `for (decl : range)`.
+    for m in RANGE_FOR_RE.finditer(src.text):
+        open_paren = m.end() - 1
+        depth, i = 0, open_paren
+        colon = -1
+        while i < len(src.text):
+            c = src.text[i]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            elif c == ":" and depth == 1:
+                if src.text[i - 1] != ":" and \
+                        src.text[i + 1:i + 2] != ":":
+                    colon = i
+            i += 1
+        if colon < 0 or i >= len(src.text):
+            continue
+        range_expr = src.text[colon + 1:i]
+        idents = re.findall(r"[A-Za-z_]\w*", range_expr)
+        over_unordered = ("unordered_" in range_expr or
+                          (idents and idents[-1] in var_names))
+        if not over_unordered:
+            continue
+        flag_iteration(m.start(), "'%s'" % " ".join(range_expr.split()))
+        # DET006: order-dependent reductions inside the loop body.
+        body_start = i + 1
+        while body_start < len(src.text) and \
+                src.text[body_start] in " \t\n":
+            body_start += 1
+        if body_start < len(src.text) and src.text[body_start] == "{":
+            body_end = match_brace(src.text, body_start)
+        else:
+            body_end = src.text.find(";", body_start) + 1
+        body = src.text[body_start:body_end]
+        for am in COMPOUND_ASSIGN_RE.finditer(body):
+            findings.append(Finding(
+                src.rel, src.line_of(body_start + am.start()), "DET006",
+                "compound accumulation inside unordered iteration: for "
+                "floating-point accumulators the result depends on "
+                "bucket order (float addition does not commute)"))
+
+    # Explicit iterator walks: jobs.begin() / jobs.cbegin() etc.
+    seen = set()
+    for m in BEGIN_CALL_RE.finditer(src.text):
+        if m.group(1) in var_names:
+            line = src.line_of(m.start())
+            if (line, m.group(1)) not in seen:
+                seen.add((line, m.group(1)))
+                flag_iteration(m.start(), "'%s'" % m.group(1))
+    for m in ACCUMULATE_RE.finditer(src.text):
+        if m.group(1) in var_names:
+            findings.append(Finding(
+                src.rel, src.line_of(m.start()), "DET006",
+                "std::accumulate over unordered container '%s': "
+                "bucket-order-dependent reduction" % m.group(1)))
+
+
+# ---------------------------------------------------------------------------
+# DET003: pointer-keyed ordering
+# ---------------------------------------------------------------------------
+
+ORDERED_DECL_RE = re.compile(
+    r"\bstd\s*::\s*(map|set|multimap|multiset)\s*<")
+PTR_LESS_RE = re.compile(r"\bstd\s*::\s*less\s*<[^<>]*\*\s*>")
+
+
+def check_det003(src: Source, findings):
+    for m in ORDERED_DECL_RE.finditer(src.text):
+        open_angle = src.text.find("<", m.end() - 1)
+        close = match_angle(src.text, open_angle)
+        if close < 0:
+            continue
+        args = src.text[open_angle + 1:close - 1]
+        depth, cut = 0, len(args)
+        for i, c in enumerate(args):
+            if c in "<([":
+                depth += 1
+            elif c in ">)]":
+                depth -= 1
+            elif c == "," and depth == 0:
+                cut = i
+                break
+        key_arg = args[:cut]
+        if "*" in key_arg:
+            findings.append(Finding(
+                src.rel, src.line_of(m.start()), "DET003",
+                "std::%s keyed by a pointer: iteration order is "
+                "allocation order; key by a stable id instead"
+                % m.group(1)))
+    for m in PTR_LESS_RE.finditer(src.text):
+        findings.append(Finding(
+            src.rel, src.line_of(m.start()), "DET003",
+            "std::less over a pointer type orders by address"))
+
+
+# ---------------------------------------------------------------------------
+# DET004 / DET005: mutable static-lifetime state and thread_local
+# ---------------------------------------------------------------------------
+
+NS_HEAD_RE = re.compile(r"(?:^|[;{}\s])namespace(\s+[\w:]+)?\s*$")
+CLASS_HEAD_RE = re.compile(
+    r"\b(?:class|struct|union|enum(?:\s+(?:class|struct))?)\b"
+    r"[^;{}()]*$")
+BLOCK_TAIL_RE = re.compile(
+    r"(?:\)|\belse\b|\bdo\b|\btry\b)\s*"
+    r"(?:const|noexcept|override|final|mutable|->\s*[\w:<>,\s*&\[\]]+)*"
+    r"\s*$")
+
+
+def classify_brace(text: str, pos: int) -> str:
+    """Classify the '{' at pos as ns / class / block / init."""
+    head_start = max(0, pos - 240)
+    head = text[head_start:pos]
+    for stop in ";{}":
+        cut = head.rfind(stop)
+        if cut >= 0:
+            head = head[cut + 1:]
+    if NS_HEAD_RE.search(" " + head):
+        return "ns"
+    if BLOCK_TAIL_RE.search(head):
+        return "block"
+    if CLASS_HEAD_RE.search(head):
+        return "class"
+    stripped = head.rstrip()
+    if stripped.endswith(("=", ",", "(", "{", "return")):
+        return "init"
+    if re.search(r"[\w>\]]\s*$", head):
+        return "init"  # braced initializer of a declaration
+    return "block"
+
+
+def iter_ns_statements(text: str):
+    """Yield (start_offset, statement_text) at pure namespace scope."""
+    stack = []
+    stmt_start = 0
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "{":
+            kind = classify_brace(text, i)
+            at_ns = all(k == "ns" for k in stack)
+            if kind == "init" and at_ns:
+                # Part of a declaration's initializer: skip the group,
+                # the statement continues to the ';'.
+                i = match_brace(text, i)
+                continue
+            if at_ns and kind != "ns":
+                # A class/function body opens: the head (up to here) is
+                # a complete-enough statement for our classification.
+                yield stmt_start, text[stmt_start:i] + " {"
+            stack.append(kind)
+            if kind == "ns":
+                stmt_start = i + 1
+            i += 1
+            continue
+        if c == "}":
+            if stack:
+                stack.pop()
+            if all(k == "ns" for k in stack):
+                stmt_start = i + 1
+            i += 1
+            continue
+        if c == ";" and all(k == "ns" for k in stack):
+            yield stmt_start, text[stmt_start:i + 1]
+            stmt_start = i + 1
+        i += 1
+
+
+DECL_NAME_RE = re.compile(r"([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?\s*$")
+
+
+def decl_name(head: str) -> str:
+    m = DECL_NAME_RE.search(head)
+    return m.group(1) if m else "<unnamed>"
+
+
+def is_function_like(stmt: str) -> bool:
+    """True when the first structural token makes this a function."""
+    for i, c in enumerate(stmt):
+        if c == "(":
+            return True
+        if c in "={;":
+            return False
+    return False
+
+
+def check_det004_det005(src: Source, findings):
+    text = src.text
+
+    # thread_local anywhere (DET005).
+    for m in re.finditer(r"\bthread_local\b", text):
+        end = text.find(";", m.end())
+        decl = text[m.end():end if end > 0 else m.end() + 200]
+        head = re.split(r"[={]", decl, maxsplit=1)[0]
+        name = decl_name(head)
+        if (src.rel, name) in APPROVED_THREAD_LOCAL:
+            continue
+        findings.append(Finding(
+            src.rel, src.line_of(m.start()), "DET005",
+            "thread_local '%s' is not on the approved hot-loop-counter "
+            "list: per-thread state makes results depend on thread "
+            "placement" % name))
+
+    # Namespace-scope declarations (DET004): mutable globals.
+    for start, stmt in iter_ns_statements(text):
+        s = stmt.strip()
+        if not s or s.startswith("#") or s.startswith("["):
+            continue
+        # `inline int x = 0;` is still a mutable global; only the
+        # keyword *after* inline decides (`inline namespace` skips).
+        s = re.sub(r"^(?:inline\s+)+", "", s)
+        first_word = re.match(r"[A-Za-z_]\w*", s)
+        if not first_word:
+            continue
+        if first_word.group(0) in NS_SKIP_KEYWORDS:
+            continue
+        if s.startswith("static"):
+            pass  # handled below with block/class statics
+        if re.search(r"\b(const|constexpr)\b", s):
+            continue
+        if "thread_local" in s:
+            continue  # DET005 owns it
+        if is_function_like(s):
+            continue
+        if s.endswith("{"):
+            continue  # type/namespace body head that slipped through
+        head = re.split(r"[={]", s, maxsplit=1)[0]
+        name = decl_name(head.rstrip("; \t\n"))
+        if name == "<unnamed>":
+            continue
+        findings.append(Finding(
+            src.rel, src.line_of(start + len(stmt) - len(stmt.lstrip())),
+            "DET004",
+            "mutable namespace-scope state '%s': shared mutable globals "
+            "are a race surface and couple independent cells; make it "
+            "const, pass it explicitly, or annotate" % name))
+
+    # static locals / members (DET004).  Namespace-scope `static` vars
+    # are already covered by the pass above (the keyword does not change
+    # the classification), so restrict to scopes below namespace level
+    # by checking the statement does not begin a ns-scope statement --
+    # cheaper: skip offsets the ns pass already flagged.
+    ns_flagged_lines = {
+        f.line for f in findings
+        if f.rel == src.rel and f.check == "DET004"
+    }
+    for m in re.finditer(r"\bstatic\b(?!_assert|_cast)", text):
+        end = min(x for x in (text.find(";", m.end()),
+                              text.find("{", m.end()),
+                              len(text)) if x >= 0)
+        decl = text[m.end():end].strip()
+        if not decl:
+            continue
+        if re.search(r"\b(const|constexpr)\b", decl):
+            continue
+        if "thread_local" in decl:
+            continue
+        if is_function_like(decl):
+            continue
+        line = src.line_of(m.start())
+        if line in ns_flagged_lines:
+            continue
+        findings.append(Finding(
+            src.rel, line, "DET004",
+            "mutable static '%s': static-lifetime mutable state is a "
+            "race surface and couples independent cells; make it "
+            "const, move it into the owning object, or annotate"
+            % decl_name(re.split(r"[={]", decl, maxsplit=1)[0])))
+
+
+# ---------------------------------------------------------------------------
+# Optional libclang widening of DET002's variable set
+# ---------------------------------------------------------------------------
+
+def libclang_unordered_names(compdb_dir, rel_to_path):
+    """Map rel path -> extra unordered-typed variable names, via the AST.
+
+    Best-effort: any failure (missing bindings, missing libclang.so,
+    parse errors) degrades to the token-level set with a notice.
+    """
+    try:
+        from clang import cindex
+    except ImportError:
+        return {}
+    try:
+        index = cindex.Index.create()
+        db = cindex.CompilationDatabase.fromDirectory(str(compdb_dir))
+    except Exception as e:  # noqa: BLE001 - degrade, never fail the lint
+        print("lint_determinism: libclang unavailable (%s); "
+              "token-level analysis only" % e, file=sys.stderr)
+        return {}
+    extra = {}
+    for rel, path in rel_to_path.items():
+        if not rel.endswith(".cc"):
+            continue
+        try:
+            cmds = db.getCompileCommands(str(path))
+            if not cmds:
+                continue
+            args = [a for a in list(cmds[0].arguments)[1:-1]
+                    if a not in ("-c", "-o")]
+            tu = index.parse(str(path), args=args)
+            names = set()
+            for cur in tu.cursor.walk_preorder():
+                if cur.kind in (cindex.CursorKind.VAR_DECL,
+                                cindex.CursorKind.FIELD_DECL):
+                    if "unordered_" in cur.type.spelling:
+                        names.add(cur.spelling)
+            if names:
+                extra[rel] = names
+        except Exception:  # noqa: BLE001
+            continue
+    return extra
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def collect_files(root, compdb, explicit_paths):
+    """Return list of (path, rel) to lint."""
+    if explicit_paths:
+        out = []
+        for p in explicit_paths:
+            p = pathlib.Path(p).resolve()
+            try:
+                rel = p.relative_to(root).as_posix()
+            except ValueError:
+                rel = p.name
+            out.append((p, rel))
+        return out
+    src_dir = root / "src"
+    headers = sorted(src_dir.rglob("*.hh"))
+    sources = sorted(src_dir.rglob("*.cc"))
+    if compdb:
+        try:
+            entries = json.loads(pathlib.Path(compdb).read_text())
+            listed = {str(pathlib.Path(e["file"]).resolve())
+                      for e in entries}
+            in_db = [p for p in sources if str(p.resolve()) in listed]
+            if in_db:
+                sources = in_db
+        except (OSError, ValueError, KeyError) as e:
+            print("lint_determinism: cannot read %s (%s); linting all "
+                  "of src/" % (compdb, e), file=sys.stderr)
+    return [(p, p.relative_to(root).as_posix())
+            for p in headers + sources]
+
+
+INCLUDE_RE = re.compile(r'#include\s+"([^"]+)"')
+
+
+def sibling_unordered_names(src: Source, root: pathlib.Path):
+    """Harvest unordered var names from directly included project headers.
+
+    Members declared in a .hh and iterated in the .cc are the common
+    split; one level of include-following covers it without building a
+    real include graph.
+    """
+    names = set()
+    raw = src.path.read_text(errors="replace")
+    for m in INCLUDE_RE.finditer(raw):
+        for base in (root / "src", src.path.parent):
+            header = base / m.group(1)
+            if header.is_file():
+                text = strip_comments(header.read_text(errors="replace"))
+                got, _aliases = harvest_unordered_names(text)
+                names |= got
+                break
+    return names
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="determinism/concurrency linter (see module docstring)")
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(
+                            __file__).resolve().parent.parent,
+                        help="repository root (default: ../ from this file)")
+    parser.add_argument("--compdb", type=pathlib.Path, default=None,
+                        help="compile_commands.json restricting the .cc "
+                             "set to built translation units")
+    parser.add_argument("--paths", nargs="*", default=None,
+                        help="lint exactly these files (fixture mode)")
+    parser.add_argument("--no-libclang", action="store_true",
+                        help="skip the optional libclang AST pass")
+    args = parser.parse_args()
+    root = args.root.resolve()
+
+    files = collect_files(root, args.compdb, args.paths)
+    if not files:
+        print("lint_determinism: no files to lint under %s" % root,
+              file=sys.stderr)
+        return 1
+
+    sources = [Source(path, rel) for path, rel in files]
+
+    extra_by_rel = {}
+    if not args.no_libclang and args.compdb:
+        extra_by_rel = libclang_unordered_names(
+            args.compdb.parent, {s.rel: s.path for s in sources})
+
+    all_findings = []
+    annotated = 0
+    for src in sources:
+        findings = []
+        check_det001(src, findings)
+        extra = set(extra_by_rel.get(src.rel, set()))
+        if not args.paths:
+            extra |= sibling_unordered_names(src, root)
+        check_det002_det006(src, extra, findings)
+        check_det003(src, findings)
+        check_det004_det005(src, findings)
+        for f in findings:
+            if src.is_suppressed(f.line):
+                annotated += 1
+            else:
+                all_findings.append(f)
+
+    unique = {}
+    for f in all_findings:
+        unique.setdefault(f.key(), f)
+    ordered = sorted(unique.values(), key=Finding.key)
+    for f in ordered:
+        print("%s:%d: [%s] %s" % (f.rel, f.line, f.check, f.message),
+              file=sys.stderr)
+    if ordered:
+        print("lint_determinism: %d violation(s) in %d files "
+              "(annotate with REACT_NONDET_OK(\"reason\") only after "
+              "confirming the value never feeds result/snapshot/wire "
+              "bytes)" % (len(ordered), len(sources)), file=sys.stderr)
+        return 1
+    print("lint_determinism: OK (%d files clean, %d annotated "
+          "exemption(s))" % (len(sources), annotated))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
