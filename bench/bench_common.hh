@@ -18,7 +18,9 @@
 #ifndef REACT_BENCH_COMMON_HH
 #define REACT_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <array>
+#include <cstddef>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -32,6 +34,8 @@
 #include "harness/grid.hh"
 #include "harness/paper_setup.hh"
 #include "harness/parallel_runner.hh"
+#include "sim/batch_stepper.hh"
+#include "sim/simd.hh"
 #include "trace/paper_traces.hh"
 #include "util/json.hh"
 #include "util/table.hh"
@@ -83,11 +87,24 @@ submitGrid(harness::ParallelRunner &runner, harness::BenchmarkKind bench_kind,
            const harness::ExperimentConfig &config =
                harness::ExperimentConfig())
 {
+    // With the lane engine selected (REACT_SIMD), the grid's static
+    // cells drain in per-worker batches of up to kMaxLanes; every
+    // cell's numbers stay bit-identical to a solo runCell because the
+    // seed derives from the cell identity, never from batch
+    // composition.  Unset/off keeps the historical per-cell submits.
+    const bool lane_engine =
+        sim::simd::selectedKernel() != sim::simd::Kernel::Disabled;
+    std::vector<harness::GridBatchCell> static_cells;
     for (size_t t = 0; t < trace::kAllPaperTraces.size(); ++t) {
         for (size_t b = 0; b < harness::kAllBuffers.size(); ++b) {
             const auto trace_kind = trace::kAllPaperTraces[t];
             const auto buffer_kind = harness::kAllBuffers[b];
             harness::ExperimentResult *slot = &out[t][b];
+            if (lane_engine && harness::isStaticBufferKind(buffer_kind)) {
+                static_cells.push_back({buffer_kind, bench_kind,
+                                        trace_kind, slot});
+                continue;
+            }
             runner.submit(
                 gridCellKey(bench_kind, trace_kind, buffer_kind),
                 [=]() {
@@ -95,6 +112,23 @@ submitGrid(harness::ParallelRunner &runner, harness::BenchmarkKind bench_kind,
                                     config);
                 });
         }
+    }
+    constexpr size_t kLanes =
+        static_cast<size_t>(sim::BatchStepper::kMaxLanes);
+    for (size_t begin = 0; begin < static_cells.size(); begin += kLanes) {
+        const size_t end =
+            std::min(begin + kLanes, static_cells.size());
+        const std::vector<harness::GridBatchCell> chunk(
+            static_cells.begin() + static_cast<ptrdiff_t>(begin),
+            static_cells.begin() + static_cast<ptrdiff_t>(end));
+        const auto &first = chunk.front();
+        runner.submit(
+            gridCellKey(first.benchKind, first.traceKind,
+                        first.bufferKind) +
+                " [batch of " + std::to_string(chunk.size()) + "]",
+            [chunk, config]() {
+                harness::runGridCellBatch(chunk, config);
+            });
     }
 }
 

@@ -14,6 +14,7 @@
 #include "bench_common.hh"
 
 #include "buffers/static_buffer.hh"
+#include "harness/batch_runner.hh"
 
 int
 main(int argc, char **argv)
@@ -46,26 +47,60 @@ main(int argc, char **argv)
                         {units::Farads(300e-3), "300mF"}};
 
     // Four independent cells, one per buffer size.  The DE workload
-    // stream is seeded from the cell identity (fig1:<size>).
+    // stream is seeded from the cell identity (fig1:<size>), so the
+    // per-cell and lane-engine routes below produce identical bytes
+    // (golden.simd.fig1_static_tradeoff holds both to the same CSV).
     harness::ParallelRunner runner;
     std::array<harness::ExperimentResult, 4> results;
-    for (size_t i = 0; i < 4; ++i) {
-        const Row row = rows[i];
-        harness::ExperimentResult *slot = &results[i];
-        const std::string key = std::string("fig1:") + row.name;
-        runner.submit(key, [=, &power]() {
-            buffer::StaticBuffer buf(harness::staticBufferSpec(row.cap),
-                                     units::Volts(3.6),
-                                     row.name);
-            // The Fig. 1 system draws a constant 1.5 mA while on: run
-            // with the DE workload (continuous active mode).
-            auto de = harness::makeBenchmark(
-                harness::BenchmarkKind::DataEncryption,
-                power.duration() + cfg.drainAllowance,
-                harness::cellSeed(bench::kEvaluationSeed, key));
+    const auto kernel = sim::simd::selectedKernel();
+    if (kernel != sim::simd::Kernel::Disabled &&
+        harness::batchAdmissible(
+            buffer::StaticBuffer(
+                harness::staticBufferSpec(rows[0].cap), units::Volts(3.6)),
+            cfg)) {
+        // Lane engine: all four buffer sizes advance in lockstep as one
+        // batch on one worker.
+        runner.submit("fig1 [batch of 4]", [&]() {
+            std::array<std::unique_ptr<buffer::StaticBuffer>, 4> bufs;
+            std::array<std::unique_ptr<workload::Benchmark>, 4> benches;
             harvest::HarvesterFrontend frontend(power);
-            *slot = harness::runExperiment(buf, de.get(), frontend, cfg);
+            std::array<harness::BatchCell, 4> batch;
+            for (size_t i = 0; i < 4; ++i) {
+                const Row &row = rows[i];
+                const std::string key = std::string("fig1:") + row.name;
+                bufs[i] = std::make_unique<buffer::StaticBuffer>(
+                    harness::staticBufferSpec(row.cap), units::Volts(3.6),
+                    row.name);
+                benches[i] = harness::makeBenchmark(
+                    harness::BenchmarkKind::DataEncryption,
+                    power.duration() + cfg.drainAllowance,
+                    harness::cellSeed(bench::kEvaluationSeed, key));
+                batch[i] = harness::BatchCell{bufs[i].get(),
+                                              benches[i].get(), &frontend,
+                                              &results[i]};
+            }
+            harness::runExperimentBatch(batch.data(), 4, cfg, kernel);
         });
+    } else {
+        for (size_t i = 0; i < 4; ++i) {
+            const Row row = rows[i];
+            harness::ExperimentResult *slot = &results[i];
+            const std::string key = std::string("fig1:") + row.name;
+            runner.submit(key, [=, &power]() {
+                buffer::StaticBuffer buf(
+                    harness::staticBufferSpec(row.cap), units::Volts(3.6),
+                    row.name);
+                // The Fig. 1 system draws a constant 1.5 mA while on:
+                // run with the DE workload (continuous active mode).
+                auto de = harness::makeBenchmark(
+                    harness::BenchmarkKind::DataEncryption,
+                    power.duration() + cfg.drainAllowance,
+                    harness::cellSeed(bench::kEvaluationSeed, key));
+                harvest::HarvesterFrontend frontend(power);
+                *slot = harness::runExperiment(buf, de.get(), frontend,
+                                               cfg);
+            });
+        }
     }
     runner.run();
 

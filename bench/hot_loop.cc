@@ -25,12 +25,16 @@
 #include <chrono>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "bench_common.hh"
 #include "buffers/morphy_buffer.hh"
 #include "buffers/static_buffer.hh"
 #include "core/react_buffer.hh"
+#include "sim/batch_stepper.hh"
+#include "sim/capacitor.hh"
 #include "sim/hotloop_stats.hh"
+#include "sim/simd.hh"
 
 namespace {
 
@@ -80,6 +84,50 @@ measureStepLoop(Buffer &buf, double budget_seconds)
                      units::Amps(1e-3));
         }
         out.steps += kChunk;
+        elapsed = nowSeconds() - start;
+    } while (elapsed < budget_seconds);
+    out.wallSeconds = elapsed;
+    return out;
+}
+
+/**
+ * Time-boxed 8-lane BatchStepper loop doing the same per-lane physics
+ * as the static_10mF micro row (10 mF part, 3 mW harvest, 1 mA load,
+ * 1 ms steps), reporting *lane*-steps so the number is directly
+ * comparable: lane_steps_per_sec / micro.static_10mF steps_per_sec is
+ * the batch engine's speedup over stepping cells one at a time.
+ */
+LoopResult
+measureBatchLoop(sim::simd::Kernel kernel, double budget_seconds)
+{
+    constexpr int kChunk = 50000;
+    const sim::CapacitorSpec spec =
+        harness::staticBufferSpec(units::Farads(10e-3));
+    const sim::Capacitor reference(spec, units::Volts(2.0));
+    sim::BatchStepper stepper(kernel, 1e-3);
+    for (int lane = 0; lane < sim::BatchStepper::kMaxLanes; ++lane) {
+        sim::BatchLaneInit init;
+        init.voltage = 2.0 + 0.05 * lane;
+        init.capacitance = spec.capacitance.raw();
+        init.clamp = 3.6;
+        init.leakDecay = reference.leakDecayFor(units::Seconds(1e-3));
+        stepper.addLane(init);
+        stepper.setHarvestPower(lane, 3e-3);
+        stepper.setLoadCurrent(lane, 1e-3);
+    }
+    for (int i = 0; i < 20000; ++i)
+        stepper.step();
+
+    LoopResult out;
+    volatile double sink = 0.0;
+    const double start = nowSeconds();
+    double elapsed = 0.0;
+    do {
+        for (int i = 0; i < kChunk; ++i)
+            stepper.step();
+        sink = sink + stepper.voltage(0);
+        out.steps +=
+            static_cast<uint64_t>(kChunk) * sim::BatchStepper::kMaxLanes;
         elapsed = nowSeconds() - start;
     } while (elapsed < budget_seconds);
     out.wallSeconds = elapsed;
@@ -177,6 +225,25 @@ main(int argc, char **argv)
         micro[2] = {"morphy", measureStepLoop(buf, budget)};
     }
 
+    // --- Batch lane engine, same physics as static_10mF ----------------
+    // The scalar row is emitted unconditionally (every host runs it, so
+    // the regression gate always has it); the avx2 row only where the
+    // kernel can run.  The 2x-over-single-cell acceptance gate lives in
+    // tools/check_hotloop_regression.py against these numbers.
+    struct BatchRow
+    {
+        const char *name;
+        LoopResult result;
+    };
+    std::vector<BatchRow> batch_rows;
+    batch_rows.push_back(
+        {"scalar", measureBatchLoop(sim::simd::Kernel::Scalar, budget)});
+    const bool avx2_available = sim::simd::avx2Available();
+    if (avx2_available) {
+        batch_rows.push_back(
+            {"avx2", measureBatchLoop(sim::simd::Kernel::Avx2, budget)});
+    }
+
     // --- Table-2 DE workload row (exact mode) --------------------------
     // Pinned to Off so the regression gate's number cannot be perturbed
     // by a REACT_FAST_PATH value leaking in from the environment.
@@ -208,6 +275,27 @@ main(int argc, char **argv)
         w.endObject();
     }
     w.endArray();
+    w.key("batch");
+    w.beginObject();
+    w.field("lanes", static_cast<uint64_t>(sim::BatchStepper::kMaxLanes));
+    w.field("avx2_available", avx2_available);
+    w.key("kernels");
+    w.beginArray();
+    for (const auto &row : batch_rows) {
+        w.beginObject();
+        w.field("name", row.name);
+        w.field("lane_steps", row.result.steps);
+        w.field("wall_s", row.result.wallSeconds);
+        w.field("lane_steps_per_sec", row.result.stepsPerSec());
+        w.field("speedup_vs_static_10mF",
+                micro[0].result.stepsPerSec() > 0.0
+                    ? row.result.stepsPerSec() /
+                        micro[0].result.stepsPerSec()
+                    : 0.0);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
     w.key("table2_de");
     w.beginObject();
     w.field("cells", quick ? 0 : 25);
@@ -241,6 +329,17 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(row.result.steps),
                     row.result.wallSeconds);
     }
+    for (const auto &row : batch_rows) {
+        std::printf("batch8_%-7s %12.3g lane-steps/s  (%.2fx vs "
+                    "static_10mF)\n",
+                    row.name, row.result.stepsPerSec(),
+                    micro[0].result.stepsPerSec() > 0.0
+                        ? row.result.stepsPerSec() /
+                            micro[0].result.stepsPerSec()
+                        : 0.0);
+    }
+    if (!avx2_available)
+        std::printf("batch8_avx2    skipped (host lacks AVX2)\n");
     if (!quick) {
         std::printf("%-14s %12.3g steps/s  (%llu steps / %.2f s, "
                     "25 cells)\n",

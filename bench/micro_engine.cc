@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <new>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
@@ -25,7 +26,9 @@
 #include "buffers/static_buffer.hh"
 #include "core/react_buffer.hh"
 #include "harness/paper_setup.hh"
+#include "sim/batch_stepper.hh"
 #include "sim/charge_transfer.hh"
+#include "sim/simd.hh"
 #include "trace/generator.hh"
 #include "workload/aes128.hh"
 
@@ -175,6 +178,44 @@ runAllocationAudit()
     {
         buffer::MorphyBuffer buf;
         report("MorphyBuffer cold", auditSteps(buf, kAuditSteps));
+    }
+
+    // Batch lane engine: admission (the transpose), the very first step
+    // after it, and the steady stepping loop must all be heap-free --
+    // the whole engine lives in fixed-capacity member arrays.  Audit
+    // every kernel this host can run.
+    {
+        std::vector<sim::simd::Kernel> kernels = {
+            sim::simd::Kernel::Scalar};
+        if (sim::simd::avx2Available())
+            kernels.push_back(sim::simd::Kernel::Avx2);
+        for (const auto kernel : kernels) {
+            const uint64_t before = allocCount();
+            sim::BatchStepper stepper(kernel, 1e-3);
+            for (int lane = 0; lane < sim::BatchStepper::kMaxLanes;
+                 ++lane) {
+                sim::BatchLaneInit init;
+                init.voltage = 0.5 + 0.25 * lane;
+                init.capacitance = 10e-3;
+                init.clamp = 3.6;
+                init.leakDecay = 0.9999999;
+                stepper.addLane(init);
+                stepper.setHarvestPower(lane, 3e-3);
+                stepper.setLoadCurrent(lane, 1e-3);
+            }
+            // No warmup on purpose: the window opens before the first
+            // step, covering admission and the post-transpose step.
+            for (int i = 0; i < kAuditSteps; ++i) {
+                stepper.step();
+                benchmark::DoNotOptimize(stepper.voltage(0));
+            }
+            stepper.setLaneCapacitance(0, 9.9e-3, 0.9999999);
+            stepper.freezeLane(1);
+            stepper.step();
+            const char *name = kernel == sim::simd::Kernel::Avx2
+                ? "BatchStepper avx2" : "BatchStepper scalar";
+            report(name, allocCount() - before);
+        }
     }
 
     if (failures != 0) {

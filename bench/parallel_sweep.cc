@@ -16,6 +16,7 @@
  * comes from REACT_THREADS or hardware concurrency.
  */
 
+#include <chrono>
 #include <cinttypes>
 #include <string>
 #include <vector>
@@ -25,6 +26,14 @@
 namespace {
 
 using namespace react;
+
+double
+nowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
 
 /** Canonical bit-faithful rendering of one cell result. */
 std::string
@@ -97,6 +106,81 @@ runSweep(int threads)
     return out;
 }
 
+/** Table-2 static column on the lane engine vs classic stepping. */
+struct LaneEngineOutcome
+{
+    /** Kernel the batch side ran ("scalar" on non-AVX2 hosts). */
+    const char *kernel = "scalar";
+    size_t cells = 0;
+    double classicWallSeconds = 0.0;
+    double batchWallSeconds = 0.0;
+    size_t divergent = 0;
+};
+
+/**
+ * Run the Table-2 Data-Encryption static-buffer column (5 traces x the
+ * static buffer kinds) twice -- per-cell runGridCell, then one
+ * runGridCellBatch on the best kernel this host has -- and require every
+ * cell bit-identical.  This is the end-to-end number the ISSUE gates at
+ * 2x in BENCH_hotloop.json; here we record what a real sweep actually
+ * gains once trace generation, workload, and harness bookkeeping share
+ * the bill.
+ */
+LaneEngineOutcome
+runLaneEngineColumn()
+{
+    LaneEngineOutcome out;
+    const sim::simd::Kernel kernel = sim::simd::avx2Available()
+        ? sim::simd::Kernel::Avx2
+        : sim::simd::Kernel::Scalar;
+    out.kernel = sim::simd::kernelName(kernel);
+
+    std::vector<trace::PaperTrace> traces;
+    std::vector<harness::BufferKind> buffers;
+    for (const auto trace_kind : trace::kAllPaperTraces)
+        for (const auto buffer_kind : harness::kAllBuffers)
+            if (harness::isStaticBufferKind(buffer_kind)) {
+                traces.push_back(trace_kind);
+                buffers.push_back(buffer_kind);
+            }
+    out.cells = traces.size();
+
+    std::vector<harness::ExperimentResult> classic(out.cells);
+    double t0 = nowSeconds();
+    for (size_t i = 0; i < out.cells; ++i) {
+        classic[i] = harness::runGridCell(
+            buffers[i], harness::BenchmarkKind::DataEncryption, traces[i]);
+    }
+    out.classicWallSeconds = nowSeconds() - t0;
+
+    std::vector<harness::ExperimentResult> batched(out.cells);
+    std::vector<harness::GridBatchCell> cells;
+    for (size_t i = 0; i < out.cells; ++i) {
+        cells.push_back({buffers[i],
+                         harness::BenchmarkKind::DataEncryption, traces[i],
+                         &batched[i]});
+    }
+    t0 = nowSeconds();
+    harness::runGridCellBatch(cells, harness::ExperimentConfig(),
+                              harness::kEvaluationSeed, kernel);
+    out.batchWallSeconds = nowSeconds() - t0;
+
+    for (size_t i = 0; i < out.cells; ++i) {
+        const std::string key = bench::gridCellKey(
+            harness::BenchmarkKind::DataEncryption, traces[i], buffers[i]);
+        const std::string a = fingerprintCell(key, classic[i]);
+        const std::string b = fingerprintCell(key, batched[i]);
+        if (a != b) {
+            if (++out.divergent <= 5) {
+                std::fprintf(stderr, "LANE-ENGINE DIVERGENT CELL:\n"
+                             "  classic: %s\n  batch:   %s\n",
+                             a.c_str(), b.c_str());
+            }
+        }
+    }
+    return out;
+}
+
 } // namespace
 
 int
@@ -122,6 +206,9 @@ main(int argc, char **argv)
     const SweepOutcome serial = runSweep(1);
     std::printf("running 100 cells on %d worker thread(s)...\n", threads);
     const SweepOutcome parallel = runSweep(threads);
+    std::printf("running the Table-2 DE static column on the lane "
+                "engine...\n");
+    const LaneEngineOutcome lane = runLaneEngineColumn();
 
     // Determinism gate: every cell bit-identical to the serial reference.
     size_t divergent = 0;
@@ -171,6 +258,27 @@ main(int argc, char **argv)
         w.endObject();
     }
     w.endArray();
+    w.key("lane_engine");
+    w.beginObject();
+    w.field("kernel", lane.kernel);
+    w.field("cells", static_cast<uint64_t>(lane.cells));
+    w.field("classic_wall_s", lane.classicWallSeconds);
+    w.field("batch_wall_s", lane.batchWallSeconds);
+    w.field("classic_cells_per_sec",
+            lane.classicWallSeconds > 0.0
+                ? static_cast<double>(lane.cells) / lane.classicWallSeconds
+                : 0.0);
+    w.field("cells_per_sec",
+            lane.batchWallSeconds > 0.0
+                ? static_cast<double>(lane.cells) / lane.batchWallSeconds
+                : 0.0);
+    w.field("speedup",
+            lane.batchWallSeconds > 0.0
+                ? lane.classicWallSeconds / lane.batchWallSeconds
+                : 0.0);
+    w.field("bit_identical", lane.divergent == 0);
+    w.field("divergent_cells", static_cast<uint64_t>(lane.divergent));
+    w.endObject();
     w.endObject();
     writeTextFile(json_path, w.str() + "\n");
 
@@ -183,11 +291,24 @@ main(int argc, char **argv)
     std::printf("determinism:        %s\n",
                 deterministic ? "bit-identical across thread counts"
                               : "DIVERGED");
+    std::printf("lane engine:        %s kernel, %zu cells, %.2fx vs "
+                "classic, %s\n",
+                lane.kernel, lane.cells,
+                lane.batchWallSeconds > 0.0
+                    ? lane.classicWallSeconds / lane.batchWallSeconds
+                    : 0.0,
+                lane.divergent == 0 ? "bit-identical" : "DIVERGED");
     std::printf("artifact:           %s\n", json_path.c_str());
 
     if (!deterministic) {
         std::fprintf(stderr, "\n%zu of 100 cells diverged between serial "
                      "and parallel execution\n", divergent);
+        return 1;
+    }
+    if (lane.divergent != 0) {
+        std::fprintf(stderr, "\n%zu of %zu lane-engine cells diverged "
+                     "from classic per-cell execution\n",
+                     lane.divergent, lane.cells);
         return 1;
     }
     return 0;

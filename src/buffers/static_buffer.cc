@@ -37,13 +37,19 @@ StaticBuffer::StaticBuffer(const sim::CapacitorSpec &spec, Volts rail_clamp,
                  "rail clamp cannot exceed the capacitor rating");
 }
 
-void
-StaticBuffer::step(Seconds dt, Watts input_power, Amps load_current)
+bool
+StaticBuffer::laneAgingEnabled() const
 {
-    // 0. Dielectric aging (fault injection only; 10 Hz update cadence
-    //    vastly oversamples hour-scale fade).
-    if (faults != nullptr &&
-        faults->plan().capacitanceFadePerHour > 0.0) {
+    return faults != nullptr &&
+        faults->plan().capacitanceFadePerHour > 0.0;
+}
+
+void
+StaticBuffer::laneStepAging(Seconds dt)
+{
+    // Dielectric aging (fault injection only; 10 Hz update cadence
+    // vastly oversamples hour-scale fade).
+    if (laneAgingEnabled()) {
         agingAccumulator += dt;
         if (agingAccumulator >= Seconds(0.1)) {
             agingAccumulator = Seconds(0.0);
@@ -51,6 +57,13 @@ StaticBuffer::step(Seconds dt, Watts input_power, Amps load_current)
                 baseCapacitance * faults->capacitanceFactor("static.cap"));
         }
     }
+}
+
+void
+StaticBuffer::step(Seconds dt, Watts input_power, Amps load_current)
+{
+    // 0. Dielectric aging.
+    laneStepAging(dt);
 
     // 1. Self-discharge.
     energyLedger.leaked += cap.leak(dt);

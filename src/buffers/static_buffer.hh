@@ -46,6 +46,31 @@ class StaticBuffer final : public EnergyBuffer
     /** Overvoltage clamp. */
     Volts railClamp() const { return clamp; }
 
+    /**
+     * @name Lane-engine seam (harness/batch_runner.cc)
+     *
+     * The batch stepper owns the per-step physics while a cell runs in
+     * a SIMD lane; the buffer object stays the source of truth for
+     * everything else (aging bookkeeping, fault attachment, snapshot
+     * layout).  The driver syncs the lane voltage back through
+     * laneCapacitor() before any observer can read the buffer, and
+     * writes the lane ledger totals back at finalization, so save() and
+     * ledger() report exactly what per-cell stepping would have.
+     * @{
+     */
+    /** The rail capacitor (lane voltage sync + aging resync reads). */
+    sim::Capacitor &laneCapacitor() { return cap; }
+    const sim::Capacitor &laneCapacitor() const { return cap; }
+    /** Mutable ledger (lane accumulator write-back at finalization). */
+    sim::EnergyLedger &laneLedger() { return energyLedger; }
+    /** Does step() run the dielectric-aging phase for this buffer? */
+    bool laneAgingEnabled() const;
+    /** Step phase 0 (dielectric aging) alone, on the current capacitor
+     *  voltage; the fault-loss delta books into this buffer's ledger
+     *  exactly as a full step() would. */
+    void laneStepAging(Seconds dt);
+    /** @} */
+
     void save(snapshot::SnapshotWriter &w) const override;
     void restore(snapshot::SnapshotReader &r) override;
 

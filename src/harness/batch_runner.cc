@@ -1,0 +1,334 @@
+#include "batch_runner.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "harness/paper_setup.hh"
+#include "snapshot/snapshot.hh"
+#include "util/crc32.hh"
+#include "util/logging.hh"
+
+namespace react {
+namespace harness {
+
+namespace {
+
+/** Per-lane control-plane state (everything runExperiment keeps in
+ *  locals, one copy per cell). */
+struct Lane
+{
+    Lane(const BatchCell &cell, const ExperimentConfig &config)
+        : buffer(cell.buffer), benchmark(cell.benchmark),
+          frontend(cell.frontend), result(cell.result),
+          device(backendSpec()),
+          gate(units::Volts(config.enableVoltage),
+               units::Volts(config.brownoutVoltage))
+    {
+    }
+
+    buffer::StaticBuffer *buffer;
+    workload::Benchmark *benchmark;
+    const harvest::HarvesterFrontend *frontend;
+    ExperimentResult *result;
+    mcu::Device device;
+    sim::PowerGate gate;
+    std::unique_ptr<sim::FaultInjector> injector;
+    workload::BenchContext ctx;
+    double storedStart = 0.0;
+    double traceDuration = 0.0;
+    double t = 0.0;
+    double offStreak = 0.0;
+    double nextRecord = 0.0;
+    bool aging = false;
+    bool done = false;
+};
+
+/** The lane voltage is the compute truth while a cell is batched; sync
+ *  it into the buffer object before anything can observe the buffer
+ *  (benchmark hooks, aging, finalization). */
+inline void
+syncLaneVoltage(Lane &lane, const sim::BatchStepper &stepper, int index)
+{
+    lane.buffer->laneCapacitor().setVoltage(
+        units::Volts(stepper.voltage(index)));
+}
+
+/** runExperiment's finalization tail, statement for statement. */
+void
+finalizeLane(Lane &lane, sim::BatchStepper &stepper, int index,
+             const ExperimentConfig &config)
+{
+    ExperimentResult &result = *lane.result;
+    result.totalTime = lane.t;
+    result.powerCycles = lane.device.powerCycles();
+    if (lane.benchmark) {
+        result.workUnits = lane.benchmark->workUnits();
+        result.packetsRx = lane.benchmark->packetsReceived();
+        result.packetsTx = lane.benchmark->packetsSent();
+        result.failedOps = lane.benchmark->failedOperations();
+        result.missedEvents = lane.benchmark->missedEvents();
+    }
+
+    // Write the lane physics state back: voltage, then the four ledger
+    // accumulators the kernel carried (faultLoss accrued directly on
+    // the buffer's ledger via laneStepAging; the rest were never
+    // touched, exactly as in per-cell stepping).
+    syncLaneVoltage(lane, stepper, index);
+    sim::EnergyLedger &ledger = lane.buffer->laneLedger();
+    ledger.leaked = units::Joules(stepper.leaked(index));
+    ledger.harvested = units::Joules(stepper.harvested(index));
+    ledger.delivered = units::Joules(stepper.delivered(index));
+    ledger.clipped = units::Joules(stepper.clipped(index));
+
+    result.ledger = lane.buffer->ledger();
+    result.residualEnergy = lane.buffer->storedEnergy().raw();
+
+    result.conservationError =
+        result.ledger
+            .conservationError(units::Joules(result.residualEnergy -
+                                             lane.storedStart))
+            .raw();
+    const double tolerance =
+        1e-9 * std::max(1.0, result.ledger.harvested.raw());
+    if (std::abs(result.conservationError) > tolerance) {
+        if (config.strictConservation) {
+            react_panic("energy ledger violated conservation: error %.3e J "
+                        "(harvested %.3e J, tolerance %.3e J)",
+                        result.conservationError,
+                        result.ledger.harvested.raw(), tolerance);
+        }
+        react_warn("energy ledger conservation error %.3e J exceeds "
+                   "tolerance %.3e J (%s / %s / %s)",
+                   result.conservationError, tolerance,
+                   result.bufferName.c_str(),
+                   result.benchmarkName.c_str(),
+                   result.traceName.c_str());
+    }
+
+    if (lane.injector) {
+        result.faultEvents = lane.injector->faultCount();
+        result.recoveryEvents = lane.injector->recoveryCount();
+        result.banksRetired = static_cast<int>(
+            lane.injector->eventCount(sim::FaultEventKind::BankRetired));
+        result.framRecoveries = static_cast<int>(
+            lane.injector->eventCount(sim::FaultEventKind::FramRecovery));
+        result.faultLog = lane.injector->events();
+    }
+
+    {
+        snapshot::SnapshotWriter dw;
+        dw.beginSection("digest");
+        lane.gate.save(dw);
+        lane.device.save(dw);
+        lane.buffer->save(dw);
+        if (lane.benchmark)
+            lane.benchmark->save(dw);
+        if (lane.injector)
+            lane.injector->save(dw);
+        dw.endSection();
+        const std::vector<uint8_t> image = dw.finish();
+        result.stateDigest = crc32(image.data(), image.size());
+    }
+    // No finished-checkpoint write: admission requires an empty
+    // checkpointPath, where runExperiment skips it too.
+
+    if (lane.injector) {
+        lane.buffer->attachFaultInjector(nullptr);
+        lane.gate.attachFaultInjector(nullptr);
+    }
+}
+
+} // namespace
+
+bool
+batchAdmissible(const buffer::EnergyBuffer &buffer,
+                const ExperimentConfig &config)
+{
+    if (dynamic_cast<const buffer::StaticBuffer *>(&buffer) == nullptr)
+        return false;
+    // The quiescent fast path collapses spans per cell; lanes must stay
+    // in lockstep.  (Off-mode results are the byte-exact reference.)
+    if (resolveFastPath(config.fastPath) != FastPath::Off)
+        return false;
+    // Checkpoint/resume serializes mid-run state the lane engine holds
+    // outside the buffer object, and the crash fuzzer's haltAfterSteps
+    // must stop exactly like a power failure -- both stay per-cell.
+    if (!config.checkpointPath.empty() || config.resume)
+        return false;
+    if (config.haltAfterSteps > 0)
+        return false;
+    return true;
+}
+
+void
+runExperimentBatch(const BatchCell *cells, int count,
+                   const ExperimentConfig &config, sim::simd::Kernel kernel)
+{
+    react_assert(count >= 1 && count <= sim::BatchStepper::kMaxLanes,
+                 "batch size %d outside 1..%d", count,
+                 sim::BatchStepper::kMaxLanes);
+
+    std::vector<Lane> lanes;
+    lanes.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        const BatchCell &cell = cells[i];
+        react_assert(cell.buffer != nullptr && cell.frontend != nullptr &&
+                         cell.result != nullptr,
+                     "batch cell %d is missing a component", i);
+        react_assert(batchAdmissible(*cell.buffer, config),
+                     "batch cell %d is not lane-engine admissible", i);
+        lanes.emplace_back(cell, config);
+    }
+
+    // Per-lane setup, mirroring runExperiment's preamble.
+    for (Lane &lane : lanes) {
+        lane.buffer->reset();
+        if (lane.benchmark)
+            lane.benchmark->reset();
+        if (config.faultPlan.enabled()) {
+            lane.injector = std::make_unique<sim::FaultInjector>(
+                config.faultPlan, config.faultSeed);
+            lane.buffer->attachFaultInjector(lane.injector.get());
+            lane.gate.attachFaultInjector(lane.injector.get());
+        }
+        lane.storedStart = lane.buffer->storedEnergy().raw();
+
+        *lane.result = ExperimentResult();
+        lane.result->bufferName = lane.buffer->name();
+        lane.result->benchmarkName =
+            lane.benchmark ? lane.benchmark->name() : "(none)";
+        lane.result->traceName = lane.frontend->trace().name();
+
+        lane.traceDuration = lane.frontend->traceDuration().raw();
+        lane.ctx.device = &lane.device;
+        lane.ctx.buffer = lane.buffer;
+        lane.ctx.workScale =
+            1.0 - lane.buffer->softwareOverheadFraction();
+        lane.aging = lane.buffer->laneAgingEnabled();
+    }
+
+    // Batch admission: transpose per-cell state into the lane arrays.
+    sim::BatchStepper stepper(kernel, config.dt);
+    for (Lane &lane : lanes) {
+        const sim::Capacitor &cap = lane.buffer->laneCapacitor();
+        sim::BatchLaneInit init;
+        init.voltage = cap.voltage().raw();
+        init.capacitance = cap.capacitance().raw();
+        init.clamp = lane.buffer->railClamp().raw();
+        init.leakDecay = cap.leakDecayFor(units::Seconds(config.dt));
+        const sim::EnergyLedger &ledger = lane.buffer->ledger();
+        init.leaked = ledger.leaked.raw();
+        init.harvested = ledger.harvested.raw();
+        init.delivered = ledger.delivered.raw();
+        init.clipped = ledger.clipped.raw();
+        stepper.addLane(init);
+    }
+
+    int active = count;
+    while (active > 0) {
+        // Control plane, pre-physics: runExperiment's loop head per
+        // lane -- advance time, latch the gate on the previous step's
+        // rail, look up the harvest input, advance the injector.
+        for (int i = 0; i < count; ++i) {
+            Lane &lane = lanes[static_cast<size_t>(i)];
+            if (lane.done)
+                continue;
+            lane.t += config.dt;
+            ++lane.result->steps;
+
+            if (lane.gate.update(units::Volts(stepper.voltage(i)))) {
+                // Hooks may observe the buffer; give it the lane rail.
+                syncLaneVoltage(lane, stepper, i);
+                lane.ctx.now = lane.t;
+                lane.ctx.dt = config.dt;
+                if (lane.gate.isOn()) {
+                    if (lane.result->latency < 0.0)
+                        lane.result->latency = lane.t;
+                    lane.device.setState(mcu::PowerState::Active);
+                    lane.buffer->notifyBackendPower(true);
+                    if (lane.benchmark)
+                        lane.benchmark->onPowerUp(lane.ctx);
+                } else {
+                    if (lane.benchmark)
+                        lane.benchmark->onPowerDown(lane.ctx);
+                    lane.device.setState(mcu::PowerState::Off);
+                    lane.buffer->notifyBackendPower(false);
+                }
+            }
+
+            units::Watts input_power =
+                lane.frontend->power(units::Seconds(lane.t));
+            if (lane.injector) {
+                lane.injector->advance(units::Seconds(config.dt));
+                input_power = lane.injector->filterHarvest(input_power);
+            }
+            stepper.setHarvestPower(i, input_power.raw());
+            stepper.setLoadCurrent(i, lane.device.current());
+
+            // Step phase 0 (dielectric aging) runs scalar on the cell's
+            // own capacitor, then the lane constants resync.
+            if (lane.aging) {
+                syncLaneVoltage(lane, stepper, i);
+                lane.buffer->laneStepAging(units::Seconds(config.dt));
+                const sim::Capacitor &cap = lane.buffer->laneCapacitor();
+                stepper.setLaneCapacitance(
+                    i, cap.capacitance().raw(),
+                    cap.leakDecayFor(units::Seconds(config.dt)));
+            }
+        }
+
+        // Physics: phases 1-4 for every lane at once.
+        stepper.step();
+
+        // Control plane, post-physics: benchmark tick, rail recording,
+        // and the exit checks, in runExperiment's exact order.
+        for (int i = 0; i < count; ++i) {
+            Lane &lane = lanes[static_cast<size_t>(i)];
+            if (lane.done)
+                continue;
+
+            if (lane.gate.isOn()) {
+                lane.result->onTime += config.dt;
+                lane.offStreak = 0.0;
+                if (lane.benchmark) {
+                    syncLaneVoltage(lane, stepper, i);
+                    lane.ctx.now = lane.t;
+                    lane.ctx.dt = config.dt;
+                    lane.benchmark->tick(lane.ctx);
+                } else {
+                    lane.device.setState(mcu::PowerState::Active);
+                }
+            } else {
+                lane.offStreak += config.dt;
+            }
+
+            if (config.recordRail && lane.t >= lane.nextRecord) {
+                lane.nextRecord += config.recordInterval;
+                lane.result->rail.push_back(
+                    {lane.t, stepper.voltage(i), lane.gate.isOn(),
+                     lane.buffer->capacitanceLevel()});
+            }
+
+            bool finished = false;
+            if (config.stopAfterLatency && lane.result->latency >= 0.0)
+                finished = true;
+            else if (lane.t >= lane.traceDuration &&
+                     (lane.offStreak >= config.settleTime ||
+                      lane.t >=
+                          lane.traceDuration + config.drainAllowance))
+                finished = true;
+
+            if (finished) {
+                finalizeLane(lane, stepper, i, config);
+                stepper.freezeLane(i);
+                lane.done = true;
+                --active;
+            }
+        }
+    }
+}
+
+} // namespace harness
+} // namespace react

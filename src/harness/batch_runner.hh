@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Lockstep experiment driver for the batch-of-cells lane engine.
+ *
+ * runExperimentBatch advances up to sim::BatchStepper::kMaxLanes
+ * independent static-buffer experiments together: per step, the scalar
+ * control plane (power gate, device, benchmark hooks, fault injector,
+ * trace lookup, exit checks) runs per lane in admission order, and the
+ * four physics phases run vectorized across all lanes at once.  Every
+ * lane's result -- counters, ledger, rail recording, conservation
+ * audit, and the CRC-32 stateDigest -- is bit-identical to
+ * runExperiment() running that cell alone: the physics kernel replays
+ * the exact scalar operation sequence (see sim/batch_stepper.hh), and
+ * the control plane replicates runExperiment's loop order statement for
+ * statement.  Cells that finish early are frozen in place, so batch
+ * composition, batch size, and ragged tails provably do not affect any
+ * cell's numbers (tests/test_batch_stepper.cc holds the proof).
+ *
+ * Admissibility: the lane engine covers the classic exact-stepping
+ * configuration -- a StaticBuffer, fast path off, no checkpointing, no
+ * simulated crash.  Fault plans *are* admissible (each lane owns its
+ * injector, and the aging phase runs scalar per lane).  Anything else
+ * falls back to runExperiment, which remains the semantics reference.
+ */
+
+#ifndef REACT_HARNESS_BATCH_RUNNER_HH
+#define REACT_HARNESS_BATCH_RUNNER_HH
+
+#include "buffers/static_buffer.hh"
+#include "harness/experiment.hh"
+#include "sim/batch_stepper.hh"
+
+namespace react {
+namespace harness {
+
+/** One cell of a lockstep batch (all pointers non-owning; benchmark may
+ *  be null, as in runExperiment). */
+struct BatchCell
+{
+    buffer::StaticBuffer *buffer = nullptr;
+    workload::Benchmark *benchmark = nullptr;
+    const harvest::HarvesterFrontend *frontend = nullptr;
+    ExperimentResult *result = nullptr;
+};
+
+/**
+ * Can this buffer/config pair run on the lane engine bit-identically?
+ * False for non-static buffers, an effective fast-path mode other than
+ * Off, any checkpoint/resume involvement, or a simulated crash.
+ */
+bool batchAdmissible(const buffer::EnergyBuffer &buffer,
+                     const ExperimentConfig &config);
+
+/**
+ * Run up to sim::BatchStepper::kMaxLanes admissible cells in lockstep.
+ * Each cell's *result receives exactly what runExperiment(buffer,
+ * benchmark, frontend, config) would have produced.
+ *
+ * @param cells Cell array; every entry must satisfy batchAdmissible.
+ * @param count Number of cells (1 .. kMaxLanes).
+ * @param config Shared runner options (grid sweeps share one config).
+ * @param kernel Scalar or Avx2 (typically sim::simd::selectedKernel()).
+ */
+void runExperimentBatch(const BatchCell *cells, int count,
+                        const ExperimentConfig &config,
+                        sim::simd::Kernel kernel);
+
+} // namespace harness
+} // namespace react
+
+#endif // REACT_HARNESS_BATCH_RUNNER_HH

@@ -133,28 +133,6 @@ restoreResult(snapshot::SnapshotReader &r, ExperimentResult *res)
     res->stateDigest = r.u32();
 }
 
-/** Resolve FastPath::Auto against REACT_FAST_PATH (read once per
- *  process: the mode must not change between cells of one sweep). */
-FastPath
-resolveFastPath(FastPath configured)
-{
-    if (configured != FastPath::Auto)
-        return configured;
-    static const FastPath env_mode = [] {
-        const auto v = env::stringVar("REACT_FAST_PATH");
-        if (!v || *v == "0" || *v == "off")
-            return FastPath::Off;
-        if (*v == "check")
-            return FastPath::Check;
-        if (*v != "1" && *v != "on")
-            react_warn("REACT_FAST_PATH='%s' is not 0/off, 1/on, or "
-                       "check; treating as on",
-                       v->c_str());
-        return FastPath::On;
-    }();
-    return env_mode;
-}
-
 /**
  * FastPath::Check divergence gate: run the closed-form advance, capture
  * its observables, rewind the buffer through a snapshot, replay the same
@@ -207,6 +185,26 @@ checkedQuiescentAdvance(buffer::EnergyBuffer &buffer, units::Seconds dt,
 }
 
 } // namespace
+
+FastPath
+resolveFastPath(FastPath configured)
+{
+    if (configured != FastPath::Auto)
+        return configured;
+    static const FastPath env_mode = [] {
+        const auto v = env::stringVar("REACT_FAST_PATH");
+        if (!v || *v == "0" || *v == "off")
+            return FastPath::Off;
+        if (*v == "check")
+            return FastPath::Check;
+        if (*v != "1" && *v != "on")
+            react_warn("REACT_FAST_PATH='%s' is not 0/off, 1/on, or "
+                       "check; treating as on",
+                       v->c_str());
+        return FastPath::On;
+    }();
+    return env_mode;
+}
 
 ExperimentResult
 runExperiment(buffer::EnergyBuffer &buffer, workload::Benchmark *benchmark,

@@ -215,6 +215,14 @@ struct ExperimentResult
 };
 
 /**
+ * Resolve FastPath::Auto against REACT_FAST_PATH (read once per
+ * process: the mode must not change between cells of one sweep).
+ * Exposed so the lane-engine admission check (harness/batch_runner.hh)
+ * sees the same effective mode runExperiment would use.
+ */
+FastPath resolveFastPath(FastPath configured);
+
+/**
  * Run one experiment.  The buffer and benchmark are reset first.
  *
  * @param buffer Energy buffer under test.

@@ -1,13 +1,17 @@
 #include "grid.hh"
 
+#include <algorithm>
+#include <array>
 #include <map>
 #include <memory>
 #include <mutex>
 
+#include "harness/batch_runner.hh"
 #include "harness/checkpoint.hh"
 #include "harness/parallel_runner.hh"
 #include "harvest/frontend.hh"
 #include "util/determinism.hh"
+#include "util/logging.hh"
 
 namespace react {
 namespace harness {
@@ -62,6 +66,74 @@ runGridCell(BufferKind buffer_kind, BenchmarkKind bench_kind,
     ExperimentConfig cell_config = config;
     applyCheckpointEnv(&cell_config, cell_key);
     return runExperiment(*buffer, benchmark.get(), frontend, cell_config);
+}
+
+void
+runGridCellBatch(const std::vector<GridBatchCell> &cells,
+                 const ExperimentConfig &config, uint64_t base_seed,
+                 sim::simd::Kernel kernel)
+{
+
+    /** Constructed components of one admitted cell, kept alive for the
+     *  duration of its batch. */
+    struct PreparedCell
+    {
+        std::unique_ptr<buffer::EnergyBuffer> buffer;
+        std::unique_ptr<workload::Benchmark> benchmark;
+        std::unique_ptr<harvest::HarvesterFrontend> frontend;
+        ExperimentResult *slot;
+    };
+    std::vector<PreparedCell> pending;
+    pending.reserve(
+        std::min(cells.size(),
+                 static_cast<size_t>(sim::BatchStepper::kMaxLanes)));
+
+    const auto flush = [&]() {
+        if (pending.empty())
+            return;
+        std::array<BatchCell, sim::BatchStepper::kMaxLanes> batch;
+        int count = 0;
+        for (PreparedCell &prepared : pending) {
+            auto *static_buffer = dynamic_cast<buffer::StaticBuffer *>(
+                prepared.buffer.get());
+            react_assert(static_buffer != nullptr,
+                         "admitted batch cell lost its StaticBuffer");
+            batch[static_cast<size_t>(count++)] =
+                BatchCell{static_buffer, prepared.benchmark.get(),
+                          prepared.frontend.get(), prepared.slot};
+        }
+        runExperimentBatch(batch.data(), count, config, kernel);
+        pending.clear();
+    };
+
+    for (const GridBatchCell &cell : cells) {
+        const std::string cell_key =
+            gridCellKey(cell.benchKind, cell.traceKind, cell.bufferKind);
+        auto buffer = makeBuffer(cell.bufferKind);
+        const auto &power = evaluationTrace(cell.traceKind);
+        auto benchmark = makeBenchmark(
+            cell.benchKind, power.duration() + kGridDrainAllowance,
+            cellSeed(base_seed, cell_key));
+        auto frontend = std::make_unique<harvest::HarvesterFrontend>(power);
+        ExperimentConfig cell_config = config;
+        applyCheckpointEnv(&cell_config, cell_key);
+        // The checkpoint env makes the cell inadmissible (non-empty
+        // path), so every admitted cell's effective config equals the
+        // shared one runExperimentBatch receives.
+        if (kernel == sim::simd::Kernel::Disabled ||
+            !batchAdmissible(*buffer, cell_config)) {
+            *cell.slot = runExperiment(*buffer, benchmark.get(), *frontend,
+                                       cell_config);
+            continue;
+        }
+        pending.push_back(PreparedCell{std::move(buffer),
+                                       std::move(benchmark),
+                                       std::move(frontend), cell.slot});
+        if (static_cast<int>(pending.size()) ==
+            sim::BatchStepper::kMaxLanes)
+            flush();
+    }
+    flush();
 }
 
 bool

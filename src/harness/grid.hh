@@ -21,9 +21,11 @@
 #define REACT_HARNESS_GRID_HH
 
 #include <string>
+#include <vector>
 
 #include "harness/experiment.hh"
 #include "harness/paper_setup.hh"
+#include "sim/simd.hh"
 #include "trace/paper_traces.hh"
 
 namespace react {
@@ -70,6 +72,34 @@ ExperimentResult runGridCell(BufferKind buffer_kind,
                              const ExperimentConfig &config =
                                  ExperimentConfig(),
                              uint64_t base_seed = kEvaluationSeed);
+
+/** One grid cell for the lane engine: its identity plus the slot its
+ *  result lands in. */
+struct GridBatchCell
+{
+    BufferKind bufferKind;
+    BenchmarkKind benchKind;
+    trace::PaperTrace traceKind;
+    ExperimentResult *slot;
+};
+
+/**
+ * Run a set of grid cells on the batch-of-cells lane engine
+ * (sim/batch_stepper.hh), in groups of up to
+ * sim::BatchStepper::kMaxLanes, in the given order.  Construction and
+ * seeding are identical to runGridCell -- workload seeds derive from
+ * each cell's stable identity, never from batch composition -- and
+ * every slot receives bit-identical numbers to a runGridCell call.
+ * Cells the lane engine cannot take (non-static buffers, checkpoint
+ * env, fast path on, or a Disabled kernel) fall back to runGridCell
+ * semantics inline.  @p kernel defaults to the process-wide REACT_SIMD
+ * selection; benches that compare engines in one process (parallel_sweep's
+ * lane_engine section) pass it explicitly.
+ */
+void runGridCellBatch(const std::vector<GridBatchCell> &cells,
+                      const ExperimentConfig &config = ExperimentConfig(),
+                      uint64_t base_seed = kEvaluationSeed,
+                      sim::simd::Kernel kernel = sim::simd::selectedKernel());
 
 /** @name Name <-> enum lookups (CLI / wire protocol)
  *

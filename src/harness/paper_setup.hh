@@ -53,6 +53,15 @@ constexpr std::array<BenchmarkKind, 4> kAllBenchmarks = {
     BenchmarkKind::RadioTransmit, BenchmarkKind::PacketForward,
 };
 
+/** True for the three fixed-capacitor designs -- the cells the batch
+ *  lane engine (sim/batch_stepper.hh) can take. */
+constexpr bool
+isStaticBufferKind(BufferKind kind)
+{
+    return kind == BufferKind::Static770uF ||
+        kind == BufferKind::Static10mF || kind == BufferKind::Static17mF;
+}
+
 /** Display name for a buffer column. */
 std::string bufferKindName(BufferKind kind);
 

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * AVX2 build of the lane kernel: the same operation sequence as
+ * detail::batchStepScalar, four lanes per __m256d, two vectors covering
+ * the 8 lanes.  Bit-exactness rests on three facts checked here:
+ *
+ *  - every vector op used (mul/add/sub/div/max/cmp/blend/and/xor) is
+ *    lane-wise and correctly rounded, identical to its scalar double
+ *    counterpart;
+ *  - this translation unit is compiled with -mavx2 *only* -- FMA is a
+ *    separate ISA extension that -mavx2 does not enable, and
+ *    -ffp-contract=off forbids the compiler from contracting mul+add
+ *    anywhere in this file (the #errors below pin both);
+ *  - scalar early-outs are replaced by arithmetic no-ops exactly as in
+ *    the scalar kernel (see batch_stepper.hh), so no lane ever needs a
+ *    divergent branch.
+ *
+ * There are deliberately no horizontal operations in this file: lane
+ * accumulators stay per-lane from admission to readout (the determinism
+ * linter's DET007 fixture pins the ban).
+ */
+
+#ifndef __AVX2__
+#error "batch_kernels_avx2.cc must be compiled with -mavx2"
+#endif
+#ifdef __FMA__
+#error "FMA would contract mul+add and break scalar/SIMD bit-identity"
+#endif
+
+#include <immintrin.h>
+
+#include "sim/batch_stepper.hh"
+
+namespace react {
+namespace sim {
+namespace detail {
+
+namespace {
+
+/** (halfC * v) * v: units::capEnergy's operation sequence. */
+inline __m256d
+laneEnergy(__m256d half_c, __m256d v)
+{
+    return _mm256_mul_pd(_mm256_mul_pd(half_c, v), v);
+}
+
+/** Advance lanes [base, base+4). */
+inline void
+stepVector(BatchLaneState &s, int base)
+{
+    const __m256d dt = _mm256_set1_pd(s.dt);
+    const __m256d zero = _mm256_setzero_pd();
+    const __m256d v_floor = _mm256_set1_pd(0.2);
+    const __m256d sign_bit = _mm256_set1_pd(-0.0);
+
+    const __m256d decay = _mm256_load_pd(&s.decay[base]);
+    const __m256d half_c = _mm256_load_pd(&s.halfC[base]);
+    const __m256d cap = _mm256_load_pd(&s.capacitance[base]);
+    const __m256d clamp = _mm256_load_pd(&s.clamp[base]);
+    const __m256d p = _mm256_load_pd(&s.harvestW[base]);
+    const __m256d load_a = _mm256_load_pd(&s.loadA[base]);
+    const __m256d v0 = _mm256_load_pd(&s.v[base]);
+
+    // 1. Self-discharge.
+    const __m256d v1 = _mm256_mul_pd(v0, decay);
+    const __m256d leaked = _mm256_add_pd(
+        _mm256_load_pd(&s.leaked[base]),
+        _mm256_sub_pd(laneEnergy(half_c, v0), laneEnergy(half_c, v1)));
+    _mm256_store_pd(&s.leaked[base], leaked);
+
+    // 2. Harvest.  q is masked to +0.0 on zero-power lanes (AND with
+    //    the P > 0 compare mask), making the addCharge a bitwise no-op.
+    const __m256d v_eff = _mm256_max_pd(v1, v_floor);
+    const __m256d current = _mm256_div_pd(p, v_eff);
+    const __m256d p_mask = _mm256_cmp_pd(p, zero, _CMP_GT_OQ);
+    const __m256d q =
+        _mm256_and_pd(_mm256_mul_pd(current, dt), p_mask);
+    __m256d v2 = _mm256_add_pd(v1, _mm256_div_pd(q, cap));
+    // addCharge's negative clamp: where v < 0, force +0.0.
+    v2 = _mm256_andnot_pd(_mm256_cmp_pd(v2, zero, _CMP_LT_OQ), v2);
+    const __m256d harvested = _mm256_add_pd(
+        _mm256_load_pd(&s.harvested[base]),
+        _mm256_sub_pd(laneEnergy(half_c, v2), laneEnergy(half_c, v1)));
+    _mm256_store_pd(&s.harvested[base], harvested);
+
+    // 3. Backend load: dq = -(I*dt) (sign flip is exact, so this equals
+    //    the scalar (-I)*dt), a -0.0 no-op on idle lanes.
+    const __m256d dq =
+        _mm256_xor_pd(_mm256_mul_pd(load_a, dt), sign_bit);
+    __m256d v3 = _mm256_add_pd(v2, _mm256_div_pd(dq, cap));
+    v3 = _mm256_andnot_pd(_mm256_cmp_pd(v3, zero, _CMP_LT_OQ), v3);
+    const __m256d delivered = _mm256_add_pd(
+        _mm256_load_pd(&s.delivered[base]),
+        _mm256_sub_pd(laneEnergy(half_c, v2), laneEnergy(half_c, v3)));
+    _mm256_store_pd(&s.delivered[base], delivered);
+
+    // 4. Overvoltage protection.
+    const __m256d clip_mask = _mm256_cmp_pd(v3, clamp, _CMP_GT_OQ);
+    const __m256d v4 = _mm256_blendv_pd(v3, clamp, clip_mask);
+    const __m256d clipped = _mm256_add_pd(
+        _mm256_load_pd(&s.clipped[base]),
+        _mm256_sub_pd(laneEnergy(half_c, v3), laneEnergy(half_c, v4)));
+    _mm256_store_pd(&s.clipped[base], clipped);
+
+    _mm256_store_pd(&s.v[base], v4);
+}
+
+} // namespace
+
+void
+batchStepAvx2(BatchLaneState &s)
+{
+    static_assert(BatchLaneState::kMaxLanes == 8,
+                  "two 4-wide vectors cover the batch");
+    stepVector(s, 0);
+    stepVector(s, 4);
+}
+
+} // namespace detail
+} // namespace sim
+} // namespace react

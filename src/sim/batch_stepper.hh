@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Batch-of-cells lane engine: advance up to 8 independent StaticBuffer
+ * physics states in lockstep, one SIMD lane per cell.
+ *
+ * The evaluation sweeps (Table 2, Figs. 1/5/7) are embarrassingly
+ * parallel across cells, and a static cell's per-step physics is four
+ * short phases of straight-line arithmetic (leak, harvest, load, clip --
+ * see buffers/static_buffer.cc).  This engine transposes the per-cell
+ * state into lane-major arrays at batch admission and replays *exactly*
+ * the scalar operation sequence on every lane per step, so each lane's
+ * trajectory is bit-identical to the cell stepping alone:
+ *
+ *  - every IEEE operation (mul/add/sub/div/max/compare) is performed
+ *    lane-wise in the same order the scalar code performs it; there are
+ *    no horizontal reductions (the determinism linter's DET007 bans
+ *    them outright);
+ *  - the scalar code's early-outs (no leak on a lossless part, no
+ *    harvest at zero power, no load at zero current, no clip under the
+ *    clamp) are replaced by arithmetic that is *bitwise* a no-op in the
+ *    skipped case: x * 1.0 == x, x + (+-0.0) == x for the x >= +0.0
+ *    values that arise here, and accumulator += +0.0 never changes the
+ *    accumulator's bits (ledger totals are never -0.0);
+ *  - the AVX2 translation unit is compiled with -mavx2 only (no FMA:
+ *    -mavx2 does not enable it) plus -ffp-contract=off, so vector and
+ *    scalar lanes round identically everywhere.
+ *
+ * Inactive (admitted-short or frozen) lanes carry inert values -- decay
+ * 1.0, zero power, zero load -- so the kernels always process all
+ * kMaxLanes lanes unconditionally with no tail handling.
+ *
+ * Everything lives in fixed-capacity member arrays: admission, stepping,
+ * and readout perform zero heap allocations (bench/micro_engine.cc's
+ * operator-new audit enforces this).
+ */
+
+#ifndef REACT_SIM_BATCH_STEPPER_HH
+#define REACT_SIM_BATCH_STEPPER_HH
+
+#include "sim/simd.hh"
+#include "util/units.hh"
+
+namespace react {
+namespace sim {
+
+/**
+ * Lane-major state shared with the kernel translation units.  Arrays are
+ * 32-byte aligned so the AVX2 kernel uses aligned loads/stores.
+ */
+struct BatchLaneState
+{
+    /** Maximum lanes per batch: two 4-wide AVX2 vectors. */
+    static constexpr int kMaxLanes = 8;
+
+    /** Terminal voltage per lane (the compute truth during a batch). */
+    alignas(32) double v[kMaxLanes];
+    /** Per-step leak decay factor exp(-dt/tau); 1.0 for lossless or
+     *  frozen lanes (a bitwise no-op multiply). */
+    alignas(32) double decay[kMaxLanes];
+    /** 0.5 * C, the first rounded term of units::capEnergy. */
+    alignas(32) double halfC[kMaxLanes];
+    /** Capacitance (the divisor in Capacitor::addCharge). */
+    alignas(32) double capacitance[kMaxLanes];
+    /** Overvoltage clamp (StaticBuffer rail clamp). */
+    alignas(32) double clamp[kMaxLanes];
+    /** Harvest input power for the pending step, watts. */
+    alignas(32) double harvestW[kMaxLanes];
+    /** Backend load current for the pending step, amps (>= 0). */
+    alignas(32) double loadA[kMaxLanes];
+    /** @name Ledger accumulators (same one-add-per-step sequence as the
+     *  scalar EnergyLedger fields). @{ */
+    alignas(32) double leaked[kMaxLanes];
+    alignas(32) double harvested[kMaxLanes];
+    alignas(32) double delivered[kMaxLanes];
+    alignas(32) double clipped[kMaxLanes];
+    /** @} */
+    /** Integration timestep, seconds (shared by every lane). */
+    double dt;
+};
+
+namespace detail {
+
+/** Portable lane kernel: the scalar operation sequence, per lane. */
+void batchStepScalar(BatchLaneState &s);
+
+/** AVX2 lane kernel (batch_kernels_avx2.cc; only linked when the
+ *  toolchain accepts -mavx2).  Bit-identical to batchStepScalar. */
+void batchStepAvx2(BatchLaneState &s);
+
+} // namespace detail
+
+/** Per-lane state at batch admission (transposed from the cell's
+ *  StaticBuffer / Capacitor / EnergyLedger). */
+struct BatchLaneInit
+{
+    /** Terminal voltage. */
+    double voltage = 0.0;
+    /** Capacitance. */
+    double capacitance = 0.0;
+    /** Rail clamp. */
+    double clamp = 0.0;
+    /** Capacitor::leakDecayFor(dt): exp(-dt/tau), 1.0 when lossless. */
+    double leakDecay = 1.0;
+    /** @name Ledger totals at admission. @{ */
+    double leaked = 0.0;
+    double harvested = 0.0;
+    double delivered = 0.0;
+    double clipped = 0.0;
+    /** @} */
+};
+
+/**
+ * The lane engine.  Usage per step: set each active lane's harvest
+ * power and load current, then step() once; read voltages/ledgers back
+ * any time.  Lanes that finish early are frozen (freezeLane), which
+ * turns every subsequent step into a bitwise no-op for that lane --
+ * ragged batch tails cost nothing and perturb nothing.
+ */
+class BatchStepper
+{
+  public:
+    static constexpr int kMaxLanes = BatchLaneState::kMaxLanes;
+
+    /**
+     * @param kernel Scalar or Avx2 (from simd::selectedKernel() or an
+     *        explicit test choice).  Disabled is a caller bug; Avx2
+     *        panics unless simd::avx2Available().
+     * @param dt Integration timestep shared by every lane, seconds.
+     */
+    BatchStepper(simd::Kernel kernel, double dt);
+
+    /** Admit one cell; returns its lane index. */
+    int addLane(const BatchLaneInit &init);
+
+    /** Admitted lanes (including frozen ones). */
+    int lanes() const { return laneCount; }
+
+    /** The kernel actually stepping this batch. */
+    simd::Kernel kernel() const { return activeKernel; }
+
+    /** Set the harvest input power for the pending step. */
+    void setHarvestPower(int lane, double watts)
+    {
+        state.harvestW[lane] = watts;
+    }
+
+    /** Set the backend load current for the pending step. */
+    void setLoadCurrent(int lane, double amps) { state.loadA[lane] = amps; }
+
+    /**
+     * Resync a lane whose capacitance changed mid-batch (dielectric
+     * aging books the energy delta on the cell's own Capacitor; the
+     * lane then continues with the new constants).
+     *
+     * @param lane Lane index.
+     * @param capacitance New capacitance, farads.
+     * @param leak_decay Capacitor::leakDecayFor(dt) for the new part.
+     */
+    void setLaneCapacitance(int lane, double capacitance,
+                            double leak_decay);
+
+    /**
+     * Freeze a finished lane: decay 1.0, zero power, zero load.  Every
+     * later step leaves the lane's voltage and ledger bits untouched,
+     * so one cell draining early never perturbs its batch mates.
+     */
+    void freezeLane(int lane);
+
+    /** Advance every lane one dt (frozen lanes are bitwise no-ops). */
+    void step() { stepFn(state); }
+
+    /** @name Lane readout. @{ */
+    double voltage(int lane) const { return state.v[lane]; }
+    double leaked(int lane) const { return state.leaked[lane]; }
+    double harvested(int lane) const { return state.harvested[lane]; }
+    double delivered(int lane) const { return state.delivered[lane]; }
+    double clipped(int lane) const { return state.clipped[lane]; }
+    /** @} */
+
+  private:
+    BatchLaneState state;
+    int laneCount = 0;
+    simd::Kernel activeKernel;
+    void (*stepFn)(BatchLaneState &);
+};
+
+} // namespace sim
+} // namespace react
+
+#endif // REACT_SIM_BATCH_STEPPER_HH

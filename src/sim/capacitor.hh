@@ -119,6 +119,23 @@ class Capacitor
     Joules leak(Seconds dt);
 
     /**
+     * Decay factor leak() would multiply the voltage by for this dt:
+     * exp(-dt / tau), or 1.0 for a lossless part.  Evaluated by the
+     * same expression leak() caches, so the batch lane engine
+     * (sim/batch_stepper.hh) can precompute a per-lane factor that is
+     * bit-identical to per-step leak() calls.
+     */
+    double leakDecayFor(Seconds dt) const
+    {
+        if (!leakTauFinite)
+            return 1.0;
+        return std::exp(-dt / leakTau);
+    }
+
+    /** False for a lossless part (leak() is a no-op at any dt). */
+    bool leakFinite() const { return leakTauFinite; }
+
+    /**
      * Closed-form n-step leak: equivalent to calling leak(dt) n times,
      * except the decay is applied as one pow(decay, n) instead of n
      * sequential multiplies.  Relative voltage error versus the

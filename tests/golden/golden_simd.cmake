@@ -1,0 +1,55 @@
+# Golden-file regression check under the AVX2 lane engine, run as a
+# ctest entry:
+#
+#   cmake -DPROBE=<simd_probe> -DBENCH=<bench> -DOUT=<scratch csv>
+#         -DGOLDEN=<fixture> -P golden_simd.cmake
+#
+# Reruns a bench with REACT_SIMD=avx2 and requires the CSV to be
+# byte-identical to the *same* committed fixture the scalar golden.*
+# entry uses: the lane kernels are bit-exact by contract, so there is
+# exactly one golden per bench, whatever engine produced it.
+#
+# On hosts that cannot run the AVX2 kernel the probe fails and this
+# script prints the [SKIP-NO-AVX2] marker; the registration's
+# SKIP_REGULAR_EXPRESSION turns that into a ctest skip with the probe's
+# explanation attached -- never a silent pass, never a bogus failure.
+if(NOT PROBE OR NOT BENCH OR NOT OUT OR NOT GOLDEN)
+    message(FATAL_ERROR
+        "golden_simd.cmake needs -DPROBE, -DBENCH, -DOUT, -DGOLDEN")
+endif()
+
+execute_process(
+    COMMAND ${PROBE}
+    RESULT_VARIABLE probe_rc
+    OUTPUT_VARIABLE probe_out
+    ERROR_VARIABLE probe_out)
+if(NOT probe_rc EQUAL 0)
+    message(STATUS
+        "[SKIP-NO-AVX2] skipping REACT_SIMD=avx2 golden rerun: "
+        "${probe_out}")
+    return()
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env REACT_SIMD=avx2 ${BENCH} --csv ${OUT}
+    RESULT_VARIABLE run_rc
+    OUTPUT_VARIABLE run_out
+    ERROR_VARIABLE run_out)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR
+        "REACT_SIMD=avx2 ${BENCH} exited with ${run_rc}:\n${run_out}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+    RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+    execute_process(COMMAND diff -u ${GOLDEN} ${OUT}
+                    OUTPUT_VARIABLE diff_text ERROR_QUIET)
+    message(FATAL_ERROR
+        "AVX2 lane engine diverged from the golden fixture ${GOLDEN}\n"
+        "${diff_text}\n"
+        "The lane kernels are bit-exact by contract; do NOT regenerate "
+        "the fixture -- find the divergent operation "
+        "(tests/test_batch_stepper.cc's shrinker will localize it).")
+endif()

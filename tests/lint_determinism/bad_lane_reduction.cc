@@ -1,0 +1,48 @@
+// Fixture: DET007 horizontal SIMD reductions.  The batch lane engine's
+// contract is that every lane's trajectory is bit-identical to the cell
+// stepping alone; a horizontal sum combines lanes in an order the
+// scalar code never performs (and hadd's pairwise order differs from
+// left-to-right accumulation anyway), so any result flowing through one
+// of these intrinsics breaks bit-identity.  Lane totals must stay
+// lane-major and be reduced -- if ever -- in the fixed scalar order.
+// (Fixtures are token-linted, never compiled, so no <immintrin.h>.)
+
+namespace fixture {
+
+struct V4
+{
+    double d[4];
+};
+// The linter is token-level: even a declaration spelling one of these
+// names flags, which is the conservative behaviour we want.
+V4 _mm256_hadd_pd(V4 a, V4 b);                             // EXPECT: DET007
+V4 _mm256_dp_ps(V4 a, V4 b, int mask);                     // EXPECT: DET007
+double _mm512_reduce_add_pd(V4 a);                         // EXPECT: DET007
+V4 _mm_hsub_ps(V4 a, V4 b);                                // EXPECT: DET007
+
+double
+horizontalLedgerTotal(V4 leaked, V4 harvested)
+{
+    const V4 pairs = _mm256_hadd_pd(leaked, harvested);    // EXPECT: DET007
+    return pairs.d[0] + pairs.d[2];
+}
+
+double
+dotProductEnergy(V4 volts, V4 amps)
+{
+    return _mm256_dp_ps(volts, amps, 0xF1).d[0];           // EXPECT: DET007
+}
+
+double
+wideReduce(V4 lanes)
+{
+    return _mm512_reduce_add_pd(lanes);                    // EXPECT: DET007
+}
+
+double
+pairwiseDifference(V4 a, V4 b)
+{
+    return _mm_hsub_ps(a, b).d[0];                         // EXPECT: DET007
+}
+
+} // namespace fixture

@@ -12,7 +12,7 @@ with exit status 0.
 Two corpus-level properties are asserted on top:
 
 * coverage -- the bad fixtures together exercise every check class
-  DET001..DET006, so no banned-pattern class can silently lose its
+  DET001..DET007, so no banned-pattern class can silently lose its
   fixture;
 * the suppression is load-bearing -- ``good_annotated.cc`` (every
   banned pattern carrying REACT_NONDET_OK) lints clean and reports its
@@ -33,7 +33,8 @@ import tempfile
 
 EXPECT_RE = re.compile(r"//\s*EXPECT:\s*([A-Z0-9 ,]+)")
 DIAG_RE = re.compile(r"^(.*?):(\d+): \[(DET\d{3})\]")
-ALL_CHECKS = {"DET001", "DET002", "DET003", "DET004", "DET005", "DET006"}
+ALL_CHECKS = {"DET001", "DET002", "DET003", "DET004", "DET005", "DET006",
+              "DET007"}
 
 
 def parse_expectations(path):

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Tiny capability probe for the golden.simd.* ctest lane: exits 0 when
+ * this host and build can run the AVX2 lane kernel, 1 otherwise.  The
+ * driver script (tests/golden/golden_simd.cmake) turns a non-zero exit
+ * into a ctest SKIP with the printed explanation -- the golden suite
+ * must degrade to "skipped, and here is why" on non-AVX2 hosts, never
+ * to a silent pass or a spurious failure.
+ */
+
+#include <cstdio>
+
+#include "sim/simd.hh"
+
+int
+main()
+{
+    using namespace react::sim::simd;
+    std::printf("cpu supports avx2: %s; avx2 kernel compiled in: %s\n",
+                cpuSupportsAvx2() ? "yes" : "no",
+                avx2KernelCompiled() ? "yes" : "no");
+    if (!avx2Available()) {
+        std::printf("AVX2 lane kernel unavailable; REACT_SIMD=avx2 runs "
+                    "must be skipped on this host\n");
+        return 1;
+    }
+    return 0;
+}

@@ -27,6 +27,8 @@ def metrics(doc):
     out = {}
     for row in doc.get("micro", []):
         out["micro." + row["name"]] = row["steps_per_sec"]
+    for row in doc.get("batch", {}).get("kernels", []):
+        out["batch." + row["name"]] = row["lane_steps_per_sec"]
     for key in ("table2_de", "table2_de_fastpath"):
         section = doc.get(key)
         # A --quick run leaves the table sections empty (0 cells); skip
@@ -34,6 +36,37 @@ def metrics(doc):
         if section and section.get("cells", 0) > 0:
             out[key] = section["steps_per_sec"]
     return out
+
+
+def check_batch_speedup(cur, cur_m, minimum, failures):
+    """Gate the batch lane engine's speedup over single-cell stepping.
+
+    The acceptance bar is on the AVX2 kernel (lane_steps_per_sec vs the
+    static_10mF micro row, both from the *current* run so machine speed
+    cancels out).  On hosts that cannot run AVX2 the gate is skipped
+    with an explicit note -- never silently passed.
+    """
+    batch = cur.get("batch")
+    if not batch:
+        failures.append("batch: section missing from current run")
+        return
+    if not batch.get("avx2_available", False):
+        print(f"{'batch.avx2 speedup gate':28s} skipped (host lacks AVX2)")
+        return
+    single = cur_m.get("micro.static_10mF", 0.0)
+    avx2 = cur_m.get("batch.avx2")
+    if avx2 is None or single <= 0.0:
+        failures.append("batch.avx2: AVX2 available but no avx2 row "
+                        "(or static_10mF micro row) in current run")
+        return
+    speedup = avx2 / single
+    tag = "ok" if speedup >= minimum else "BELOW GATE"
+    print(f"{'batch.avx2 speedup':28s} {speedup:12.2f}x vs "
+          f"micro.static_10mF (gate {minimum:.1f}x)  {tag}")
+    if speedup < minimum:
+        failures.append(
+            f"batch.avx2: {speedup:.2f}x over single-cell stepping, "
+            f"below the {minimum:.1f}x acceptance gate")
 
 
 def main():
@@ -45,6 +78,9 @@ def main():
     ap.add_argument("--min-leak-hit-rate", type=float, default=0.99,
                     help="fail when the leak cache hit rate drops below "
                          "this (default 0.99)")
+    ap.add_argument("--min-batch-speedup", type=float, default=2.0,
+                    help="min AVX2 batch lane-steps/sec over the "
+                         "static_10mF micro row (default 2.0)")
     args = ap.parse_args()
 
     with open(args.baseline) as f:
@@ -59,6 +95,14 @@ def main():
     for name, base_v in sorted(base_m.items()):
         cur_v = cur_m.get(name)
         if cur_v is None:
+            # A baseline recorded on an AVX2 host must not fail the gate
+            # on one without: the avx2 batch row is the only metric that
+            # is legitimately host-dependent.
+            if (name == "batch.avx2"
+                    and not cur.get("batch", {}).get("avx2_available",
+                                                     False)):
+                print(f"{name:28s} skipped (host lacks AVX2)")
+                continue
             failures.append(f"{name}: missing from current run")
             continue
         ratio = cur_v / base_v if base_v > 0 else float("inf")
@@ -72,6 +116,8 @@ def main():
             tag = "improved (consider refreshing the baseline)"
         print(f"{name:28s} {cur_v:12.4g} vs {base_v:12.4g}  "
               f"x{ratio:.3f}  {tag}")
+
+    check_batch_speedup(cur, cur_m, args.min_batch_speedup, failures)
 
     cache = cur.get("cache", {})
     leak_rate = cache.get("leak_hit_rate", 0.0)

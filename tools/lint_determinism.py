@@ -32,6 +32,12 @@ DET006  order-dependent floating-point reduction over an unordered
         container (compound assignment or ``std::accumulate`` driven by
         bucket order): float addition does not commute, so the sum
         depends on hashing.
+DET007  horizontal SIMD reductions (``_mm*_hadd_*``, ``_mm*_dp_*``,
+        ``_mm512_reduce_*``): they combine vector lanes in an order the
+        scalar code never performs, so a lane-engine result that flows
+        through one cannot be bit-identical to per-cell stepping.  The
+        batch kernels keep every accumulator lane-major and reduce (if
+        ever) in the fixed scalar order.
 
 A violating line is exempted only by placing
 ``REACT_NONDET_OK("reason")`` (src/util/determinism.hh) on the same
@@ -572,6 +578,26 @@ def check_det004_det005(src: Source, findings):
 
 
 # ---------------------------------------------------------------------------
+# DET007: horizontal SIMD reductions
+# ---------------------------------------------------------------------------
+
+HORIZONTAL_SIMD_RE = re.compile(
+    r"\b(_mm(?:256|512)?_"
+    r"(?:hadd_\w+|hsub_\w+|dp_p[sd]|reduce_(?:add|mul|min|max)_\w+))"
+    r"\s*\(")
+
+
+def check_det007(src: Source, findings):
+    for m in HORIZONTAL_SIMD_RE.finditer(src.text):
+        findings.append(Finding(
+            src.rel, src.line_of(m.start()), "DET007",
+            "horizontal SIMD reduction %s(): combines lanes in an order "
+            "the scalar code never performs, breaking the lane engine's "
+            "bit-identity contract; keep accumulators lane-major and "
+            "reduce in the fixed scalar order" % m.group(1)))
+
+
+# ---------------------------------------------------------------------------
 # Optional libclang widening of DET002's variable set
 # ---------------------------------------------------------------------------
 
@@ -714,6 +740,7 @@ def main() -> int:
         check_det002_det006(src, extra, findings)
         check_det003(src, findings)
         check_det004_det005(src, findings)
+        check_det007(src, findings)
         for f in findings:
             if src.is_suppressed(f.line):
                 annotated += 1
