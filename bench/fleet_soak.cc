@@ -1,0 +1,538 @@
+/**
+ * @file
+ * Fleet soak: chaos harness for the multi-host experiment fleet.
+ *
+ * The fleet contract extends the serving-layer one: NOTHING between the
+ * coordinator and the physics may change a merged result -- not worker
+ * SIGKILLs, not a coordinator kill and restart, not connection resets or
+ * partitions, not lease expiry and re-dispatch.  The harness does all of
+ * it at once, on seeded schedules:
+ *
+ *  1. Golden: every job is run serially in-process (runGridCell) and the
+ *     canonical merged output (encodeFleetOutput) is computed.
+ *  2. Chaos: N worker daemons (this binary re-exec'd with --serve, each
+ *     on a fixed probed TCP port, checkpointing under --dir) serve an
+ *     authenticated coordinator child (re-exec'd with --coordinate).
+ *     A killer thread SIGKILLs and restarts workers on a seeded
+ *     schedule; the first coordinator incarnation is itself SIGKILLed
+ *     mid-sweep and a second one restarted from nothing -- it re-derives
+ *     the same shard plan and is served from worker result caches and
+ *     checkpoint resume.  The coordinator's worker clients inject
+ *     connection resets and partitions on their own seeded schedules.
+ *  3. Verdict: the restarted coordinator must exit 0 (every job
+ *     complete, zero duplicate-byte mismatches) and its merged output
+ *     file must be byte-identical to the serial golden -- exactly one
+ *     result per cell, in input order: nothing lost, nothing
+ *     duplicated, nothing changed.  Finally every worker is SIGTERM'd
+ *     and must drain to exit 0.
+ *
+ * Usage: fleet_soak [--jobs N] [--workers N] [--kills N] [--seed S]
+ *                   [--dir PATH] [--faults SPEC]
+ *        fleet_soak --serve ENDPOINT CKPTDIR            (internal child)
+ *        fleet_soak --coordinate JOBS OUT SEED FAULTS WORKER...
+ *                                                       (internal child)
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "harness/grid.hh"
+#include "net/auth.hh"
+#include "net/endpoint.hh"
+#include "net/fleet.hh"
+#include "net/protocol.hh"
+#include "net/server.hh"
+#include "net/socket.hh"
+#include "util/rng.hh"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace react;
+
+constexpr char kFleetKey[] = "fleet-soak-preshared-key";
+
+// ---------------------------------------------------------------------
+// Shared: the deterministic job list (parent golden pass and the
+// coordinator child must agree on it exactly).
+
+std::vector<net::JobSpec>
+makeJobList(int jobs)
+{
+    std::vector<net::JobSpec> specs;
+    const trace::PaperTrace traces[2] = {trace::PaperTrace::RfCart,
+                                         trace::PaperTrace::RfObstruction};
+    for (const auto bench : harness::kAllBenchmarks) {
+        for (const auto buffer : harness::kAllBuffers) {
+            if (static_cast<int>(specs.size()) >= jobs)
+                return specs;
+            net::JobSpec spec;
+            spec.bench = bench;
+            spec.buffer = buffer;
+            spec.trace = traces[specs.size() % 2];
+            specs.push_back(spec);
+        }
+    }
+    return specs;
+}
+
+// ---------------------------------------------------------------------
+// Child mode 1: one worker daemon.
+
+int
+serveMain(int argc, char **argv)
+{
+    if (argc < 4) {
+        std::fprintf(stderr, "fleet_soak --serve ENDPOINT CKPTDIR\n");
+        return 2;
+    }
+    net::ServerConfig config = net::ServerConfig::fromEnv();
+    config.threads = 2;
+    config.endpoint = argv[2];
+    config.checkpointDir = argv[3];
+    config.checkpointIntervalSteps = 2000;
+    net::Server server(config);
+    net::Server::installSignalHandlers(&server);
+    return server.serve();
+}
+
+// ---------------------------------------------------------------------
+// Child mode 2: one coordinator incarnation.  Derives the job list and
+// shard plan from scratch (nothing is handed over from a predecessor),
+// sweeps, and writes the canonical merged bytes to OUT.
+
+int
+coordinateMain(int argc, char **argv)
+{
+    if (argc < 7) {
+        std::fprintf(stderr,
+                     "fleet_soak --coordinate JOBS OUT SEED FAULTS "
+                     "WORKER...\n");
+        return 2;
+    }
+    const int jobs = std::atoi(argv[2]);
+    const std::string out_path = argv[3];
+    const uint64_t seed =
+        static_cast<uint64_t>(std::strtoull(argv[4], nullptr, 10));
+    const std::string fault_spec = argv[5];
+
+    net::FleetConfig config;
+    config.applyEnv();
+    for (int i = 6; i < argc; ++i)
+        config.workers.push_back(argv[i]);
+    if (const auto key = net::loadFleetKey())
+        config.fleetKey = *key;
+    config.leaseMs = 600;
+    config.heartbeatMs = 10;
+    config.requestTimeoutMs = 1500;
+    config.connectTimeoutMs = 500;
+    config.retry.maxRetries = 200;
+    config.retry.initialBackoffMs = 5.0;
+    config.retry.maxBackoffMs = 80.0;
+    config.maxConsecutiveFailures = 1 << 20;  // outlive worker restarts
+    config.failurePauseMs = 20;
+    std::string fault_error;
+    if (!net::FaultPlan::fromSpec(fault_spec, &config.faults,
+                                  &fault_error)) {
+        std::fprintf(stderr, "coordinator: bad faults: %s\n",
+                     fault_error.c_str());
+        return 2;
+    }
+    config.faults.seed = seed;
+
+    const std::vector<net::JobSpec> specs = makeJobList(jobs);
+    const net::FleetResult result = net::runFleetSweep(specs, config);
+    if (result.stats.byteMismatches != 0) {
+        std::fprintf(stderr,
+                     "coordinator: %" PRIu64 " duplicate result(s) with "
+                     "mismatched bytes\n",
+                     result.stats.byteMismatches);
+        return 1;
+    }
+    if (!result.complete) {
+        std::fprintf(stderr, "coordinator: %" PRIu64 "/%zu complete\n",
+                     result.stats.jobsCompleted, specs.size());
+        return 1;
+    }
+
+    const std::vector<uint8_t> merged = net::encodeFleetOutput(result);
+    std::FILE *f = std::fopen(out_path.c_str(), "wb");
+    if (f == nullptr ||
+        std::fwrite(merged.data(), 1, merged.size(), f) !=
+            merged.size() ||
+        std::fclose(f) != 0) {
+        std::fprintf(stderr, "coordinator: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    std::printf("coordinator: %zu jobs, %" PRIu64 " re-dispatches, %" PRIu64
+                " lease expiries, %" PRIu64 " duplicates (all "
+                "byte-identical), %" PRIu64 " worker failures\n",
+                specs.size(), result.stats.redispatches,
+                result.stats.leasesExpired, result.stats.duplicateResults,
+                result.stats.workerFailures);
+    return 0;
+}
+
+// ---------------------------------------------------------------------
+// Parent mode: orchestration, chaos, verdict.
+
+struct Options
+{
+    int jobs = 8;
+    int workers = 3;
+    int kills = 3;
+    uint64_t seed = 1;
+    std::string dir = "fleet_soak.tmp";
+    std::string faults =
+        "drop=0.03,corrupt=0.03,reset=0.02,partition=0.01,partframes=4";
+};
+
+std::string
+selfExecutable()
+{
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0) {
+        std::perror("readlink(/proc/self/exe)");
+        std::exit(2);
+    }
+    buf[n] = '\0';
+    return std::string(buf);
+}
+
+/** Probe a free TCP port: bind to 0, read it back, release it.  The
+ *  worker re-binds it with SO_REUSEADDR; fixed ports let a restarted
+ *  worker come back at the address the coordinator already has. */
+uint16_t
+probeFreePort()
+{
+    net::Socket listener = net::listenTcp("127.0.0.1", 0, 1);
+    return net::boundTcpPort(listener.fd());
+}
+
+/** A restartable child process (worker or coordinator). */
+class ChildProcess
+{
+  public:
+    ChildProcess() = default;
+
+    void start(const std::vector<std::string> &argv_in)
+    {
+        std::lock_guard<std::mutex> g(lock);
+        argv = argv_in;
+        startLocked();
+    }
+
+    /** SIGKILL and restart with the same argv.
+     *  @return false when no child was alive. */
+    bool killAndRestart()
+    {
+        std::lock_guard<std::mutex> g(lock);
+        if (pid <= 0)
+            return false;
+        ::kill(pid, SIGKILL);
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+        pid = -1;
+        startLocked();
+        return true;
+    }
+
+    /** SIGKILL without restarting.  @return false if already gone. */
+    bool kill()
+    {
+        std::lock_guard<std::mutex> g(lock);
+        if (pid <= 0)
+            return false;
+        ::kill(pid, SIGKILL);
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+        pid = -1;
+        return true;
+    }
+
+    /** Wait for natural exit.  @return exit status, -1 on signal/none. */
+    int wait()
+    {
+        pid_t child = -1;
+        {
+            std::lock_guard<std::mutex> g(lock);
+            child = pid;
+        }
+        if (child <= 0)
+            return -1;
+        int status = 0;
+        ::waitpid(child, &status, 0);
+        {
+            std::lock_guard<std::mutex> g(lock);
+            pid = -1;
+        }
+        return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    }
+
+    /** SIGTERM and wait.  @return exit status, -1 if abnormal. */
+    int drainAndWait()
+    {
+        std::lock_guard<std::mutex> g(lock);
+        if (pid <= 0)
+            return -1;
+        ::kill(pid, SIGTERM);
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+        pid = -1;
+        return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    }
+
+    bool alive()
+    {
+        std::lock_guard<std::mutex> g(lock);
+        return pid > 0;
+    }
+
+  private:
+    void startLocked()
+    {
+        std::vector<char *> cargv;
+        cargv.reserve(argv.size() + 1);
+        for (auto &arg : argv)
+            cargv.push_back(arg.data());
+        cargv.push_back(nullptr);
+        const pid_t child = ::fork();
+        if (child < 0) {
+            std::perror("fork");
+            std::exit(2);
+        }
+        if (child == 0) {
+            ::execv(cargv[0], cargv.data());
+            std::perror("execv");
+            std::_Exit(2);
+        }
+        pid = child;
+    }
+
+    std::mutex lock;
+    pid_t pid = -1;
+    std::vector<std::string> argv;
+};
+
+int
+soakMain(const Options &options)
+{
+    const std::string exe = selfExecutable();
+    const fs::path dir(options.dir);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    // Workers and the coordinator inherit the pre-shared key: every
+    // fleet session in the soak is authenticated.
+    ::setenv("REACT_FLEET_KEY", kFleetKey, 1);
+
+    const std::vector<net::JobSpec> specs = makeJobList(options.jobs);
+
+    std::printf("fleet_soak: golden pass over %zu cells...\n",
+                specs.size());
+    harness::prewarmEvaluationTraces();
+    net::FleetResult golden_result;
+    golden_result.jobs.resize(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+        const harness::ExperimentResult direct = harness::runGridCell(
+            specs[i].buffer, specs[i].bench, specs[i].trace,
+            specs[i].toConfig(), specs[i].baseSeed);
+        net::WireWriter w;
+        net::encodeResult(w, direct);
+        golden_result.jobs[i].jobId = specs[i].jobId();
+        golden_result.jobs[i].ok = true;
+        golden_result.jobs[i].resultBytes = w.take();
+    }
+    const std::vector<uint8_t> golden_merged =
+        net::encodeFleetOutput(golden_result);
+
+    // Spawn the worker fleet on fixed probed ports.
+    std::vector<std::unique_ptr<ChildProcess>> workers;
+    std::vector<std::string> worker_endpoints;
+    for (int w = 0; w < options.workers; ++w) {
+        const uint16_t port = probeFreePort();
+        const std::string endpoint =
+            "tcp:127.0.0.1:" + std::to_string(port);
+        const fs::path ckpt = dir / ("ckpt_w" + std::to_string(w));
+        fs::create_directories(ckpt);
+        auto child = std::make_unique<ChildProcess>();
+        child->start({exe, "--serve", endpoint, ckpt.string()});
+        worker_endpoints.push_back(endpoint);
+        workers.push_back(std::move(child));
+    }
+
+    const std::string out_path = (dir / "merged.bin").string();
+    const std::string fault_spec = options.faults;
+    std::vector<std::string> coord_argv = {
+        exe,
+        "--coordinate",
+        std::to_string(options.jobs),
+        out_path,
+        std::to_string(options.seed + 23),
+        fault_spec,
+    };
+    for (const auto &endpoint : worker_endpoints)
+        coord_argv.push_back(endpoint);
+
+    ChildProcess coordinator;
+    coordinator.start(coord_argv);
+
+    // Killer thread: seeded SIGKILL-and-restart schedule against the
+    // workers, round-robin so every worker dies at least once when
+    // kills >= workers.
+    std::atomic<bool> stop_killer{false};
+    std::atomic<int> kills_done{0};
+    std::thread killer([&] {
+        Rng rng(options.seed ^ 0x6b696c6cULL);
+        for (int k = 0; k < options.kills; ++k) {
+            const double pause =
+                0.05 + 0.20 * rng.uniform();  // 50..250 ms
+            const auto deadline = std::chrono::steady_clock::now() +
+                std::chrono::duration<double>(pause);
+            while (std::chrono::steady_clock::now() < deadline) {
+                if (stop_killer.load())
+                    return;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(5));
+            }
+            if (stop_killer.load())
+                return;
+            const size_t victim =
+                static_cast<size_t>(k) % workers.size();
+            if (workers[victim]->killAndRestart())
+                kills_done.fetch_add(1);
+        }
+    });
+
+    // Coordinator chaos: let the first incarnation get partway into the
+    // sweep, SIGKILL it, and restart from scratch.  The restarted
+    // incarnation re-derives the identical plan and is served from
+    // worker caches (and checkpoint resume for cells lost mid-run).
+    Rng coord_rng(options.seed ^ 0x636f6f7264ULL);
+    const int first_life_ms =
+        120 + static_cast<int>(180.0 * coord_rng.uniform());
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(first_life_ms));
+    const bool coordinator_killed = coordinator.kill();
+    std::printf("fleet_soak: coordinator SIGKILL after %d ms (%s); "
+                "restarting\n",
+                first_life_ms,
+                coordinator_killed ? "mid-sweep" : "already done");
+    coordinator.start(coord_argv);
+    const int coord_status = coordinator.wait();
+
+    stop_killer.store(true);
+    killer.join();
+
+    int failures = 0;
+    if (coord_status != 0) {
+        ++failures;
+        std::fprintf(stderr,
+                     "FAIL: restarted coordinator exit %d (want 0)\n",
+                     coord_status);
+    }
+
+    // The merged output must equal the serial golden byte for byte:
+    // exactly one result per cell, input order, identical bytes.
+    std::vector<uint8_t> merged;
+    if (std::FILE *f = std::fopen(out_path.c_str(), "rb")) {
+        uint8_t buf[4096];
+        size_t n = 0;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            merged.insert(merged.end(), buf, buf + n);
+        std::fclose(f);
+    }
+    if (merged != golden_merged) {
+        ++failures;
+        std::fprintf(stderr,
+                     "FAIL: merged output diverged from serial golden "
+                     "(%zu vs %zu bytes)\n",
+                     merged.size(), golden_merged.size());
+    }
+
+    // Every surviving worker incarnation must drain cleanly.
+    for (size_t w = 0; w < workers.size(); ++w) {
+        const int status = workers[w]->drainAndWait();
+        if (status != 0) {
+            ++failures;
+            std::fprintf(stderr,
+                         "FAIL: worker %zu drain exit %d (want 0)\n", w,
+                         status);
+        }
+    }
+
+    std::printf("fleet_soak: %zu jobs, %d workers, %d worker kills, "
+                "coordinator restart %s, drain clean -> %s\n",
+                specs.size(), options.workers, kills_done.load(),
+                coordinator_killed ? "mid-sweep" : "post-sweep",
+                failures == 0 ? "OK" : "FAIL");
+
+    if (failures == 0)
+        fs::remove_all(dir);
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 1 && std::strcmp(argv[1], "--serve") == 0)
+        return serveMain(argc, argv);
+    if (argc > 1 && std::strcmp(argv[1], "--coordinate") == 0)
+        return coordinateMain(argc, argv);
+
+    Options options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char *value = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (arg == "--jobs" && value) {
+            options.jobs = std::atoi(value);
+            ++i;
+        } else if (arg == "--workers" && value) {
+            options.workers = std::atoi(value);
+            ++i;
+        } else if (arg == "--kills" && value) {
+            options.kills = std::atoi(value);
+            ++i;
+        } else if (arg == "--seed" && value) {
+            options.seed =
+                static_cast<uint64_t>(std::strtoull(value, nullptr, 10));
+            ++i;
+        } else if (arg == "--dir" && value) {
+            options.dir = value;
+            ++i;
+        } else if (arg == "--faults" && value) {
+            options.faults = value;
+            ++i;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--jobs N] [--workers N] [--kills N] "
+                         "[--seed S] [--dir PATH] [--faults SPEC]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (options.workers < 1 || options.jobs < 1) {
+        std::fprintf(stderr, "fleet_soak: need >=1 worker and job\n");
+        return 2;
+    }
+    return soakMain(options);
+}

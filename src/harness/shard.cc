@@ -1,0 +1,67 @@
+#include "shard.hh"
+
+namespace react {
+namespace harness {
+
+namespace {
+
+/** splitmix64 finalizer (same mixing stage the Rng seeds through). */
+uint64_t
+mix64(uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+size_t
+ShardPlan::itemCount() const
+{
+    size_t n = 0;
+    for (const auto &shard : shards)
+        n += shard.size();
+    return n;
+}
+
+ShardPlan
+planShards(size_t item_count, size_t shard_count)
+{
+    ShardPlan plan;
+    if (item_count == 0)
+        return plan;
+    if (shard_count == 0)
+        shard_count = 1;
+    if (shard_count > item_count)
+        shard_count = item_count;
+    plan.shards.resize(shard_count);
+    for (size_t item = 0; item < item_count; ++item)
+        plan.shards[item % shard_count].push_back(item);
+    return plan;
+}
+
+size_t
+recommendedShardCount(size_t item_count, size_t worker_count)
+{
+    if (worker_count == 0)
+        worker_count = 1;
+    // Four lease units per worker: small enough that losing one costs a
+    // quarter of a worker's share, large enough to keep lease traffic
+    // trivial next to cell runtimes.
+    const size_t want = worker_count * 4;
+    return item_count < want ? (item_count == 0 ? 1 : item_count) : want;
+}
+
+uint64_t
+shardSignature(const std::vector<size_t> &items)
+{
+    uint64_t h = 0x53484152u; // "SHAR"
+    for (const size_t item : items)
+        h = mix64(h ^ static_cast<uint64_t>(item));
+    return h;
+}
+
+} // namespace harness
+} // namespace react

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deterministic shard planning for fleet-distributed sweeps.
+ *
+ * The fleet coordinator (net/fleet.hh) splits a sweep's job list into
+ * shards -- the unit of lease-based dispatch and re-dispatch.  The plan
+ * must be a pure function of (item count, shard count): every
+ * coordinator incarnation (including one restarted mid-sweep) derives
+ * the identical plan, so a restart re-covers exactly the same shards
+ * and the merged output order never depends on scheduling.
+ *
+ * Items are dealt round-robin (item i -> shard i % shards) rather than
+ * in contiguous blocks: grid enumeration orders cells by benchmark and
+ * trace, so contiguous blocks would concentrate the slowest cells in
+ * one shard; interleaving keeps shard costs comparable, which is what
+ * makes re-dispatch after a worker loss cheap.
+ */
+
+#ifndef REACT_HARNESS_SHARD_HH
+#define REACT_HARNESS_SHARD_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace react {
+namespace harness {
+
+/** Item indices per shard; see file comment for the dealing order. */
+struct ShardPlan
+{
+    std::vector<std::vector<size_t>> shards;
+
+    /** Total items across all shards. */
+    size_t itemCount() const;
+};
+
+/**
+ * Partition @p item_count items into min(@p shard_count, item_count)
+ * round-robin shards (empty shards are never produced).  @p shard_count
+ * of 0 is treated as 1.
+ */
+ShardPlan planShards(size_t item_count, size_t shard_count);
+
+/**
+ * Shard count giving re-dispatch granularity: a few shards per worker,
+ * capped by the item count so no shard is empty.  One worker still gets
+ * multiple shards, keeping lease units small relative to the sweep.
+ */
+size_t recommendedShardCount(size_t item_count, size_t worker_count);
+
+/**
+ * Order-sensitive digest of one shard's item indices (folded through
+ * the same splitmix construction as cellSeed) -- a cheap cross-check
+ * that two coordinator incarnations derived the same plan.
+ */
+uint64_t shardSignature(const std::vector<size_t> &items);
+
+} // namespace harness
+} // namespace react
+
+#endif // REACT_HARNESS_SHARD_HH

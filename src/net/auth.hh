@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fleet session authentication: HMAC challenge-response over RNET.
+ *
+ * ## Handshake (protocol v2)
+ *
+ *     client                          server (key configured)
+ *     Hello(version)           ->
+ *                              <-    AuthChallenge(nonce32)
+ *     AuthResponse(mac32)      ->
+ *                              <-    HelloOk(version)        (mac good)
+ *                              <-    AuthReject(reason)+drop (mac bad)
+ *
+ * A server with no key configured answers Hello with HelloOk directly,
+ * preserving the PR-6 single-host flow.  A server with a key rejects
+ * *every* frame type except the handshake sequence until HelloOk has
+ * been sent: a stray scanner (or a mis-pointed client) can neither
+ * submit jobs nor poison the result cache, and its connection is
+ * dropped after the typed AuthReject.
+ *
+ * The proof is HMAC-SHA256(key, "RNETAUTH1" || nonce): the context
+ * prefix domain-separates the handshake from any future keyed use of
+ * the same PSK.  Verification is constant-time (util/hmac.hh).
+ *
+ * ## Nonces and determinism
+ *
+ * Nonces come from a seeded xoshiro stream (NonceSource), not an
+ * entropy source -- the determinism contract bans unseeded randomness
+ * in src/, and the threat model is a *trusted-fleet* control plane
+ * (see util/hmac.hh): the secret is the key, not the nonce.  Nonces
+ * still never repeat within a server's lifetime (distinct stream
+ * positions), which is what the challenge needs to pin a response to
+ * its own connection.  Deployments wanting unpredictable nonces can
+ * seed REACTD_AUTH_SEED per launch.
+ */
+
+#ifndef REACT_NET_AUTH_HH
+#define REACT_NET_AUTH_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/hmac.hh"
+#include "util/rng.hh"
+
+namespace react {
+namespace net {
+
+/** Challenge nonce size on the wire. */
+constexpr size_t kAuthNonceSize = 32;
+
+using AuthNonce = std::array<uint8_t, kAuthNonceSize>;
+using AuthMac = std::array<uint8_t, kSha256Size>;
+
+/** Compute the handshake proof for @p nonce under @p key. */
+AuthMac authProof(const std::vector<uint8_t> &key, const AuthNonce &nonce);
+
+/** Constant-time check of a received @p mac against the expected proof. */
+bool verifyAuthProof(const std::vector<uint8_t> &key, const AuthNonce &nonce,
+                     const uint8_t *mac, size_t mac_size);
+
+/** Seeded, never-repeating challenge-nonce stream (see file comment). */
+class NonceSource
+{
+  public:
+    explicit NonceSource(uint64_t seed) : rng_(seed) {}
+
+    AuthNonce next();
+
+  private:
+    Rng rng_;
+};
+
+/**
+ * Load the fleet pre-shared key: `REACT_FLEET_KEY` (literal bytes) wins
+ * over `REACT_FLEET_KEY_FILE` (file contents, one trailing newline
+ * stripped).  Neither set -> nullopt (authentication disabled).  A
+ * configured key file that cannot be read or is empty *throws* -- a
+ * server asked to authenticate must never silently start open.
+ */
+std::optional<std::vector<uint8_t>> loadFleetKey();
+
+} // namespace net
+} // namespace react
+
+#endif // REACT_NET_AUTH_HH

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <thread>
 
+#include "net/auth.hh"
+#include "net/endpoint.hh"
 #include "util/determinism.hh"
 #include "util/logging.hh"
 
@@ -67,13 +69,49 @@ Client::ensureConnected()
 {
     if (sock.valid())
         return;
+    // Injected connection refusal: drawn from its own derived stream
+    // (see FaultInjector::nextConnectRefused) and surfaced exactly like
+    // a real ECONNREFUSED so the retry spine handles both identically.
+    if (injector.nextConnectRefused())
+        throw SocketError("injected connection refusal");
     if (clientStats.connects > 0)
         ++clientStats.reconnects;
-    sock = connectUnix(config.socketPath, config.connectTimeoutMs);
+    sock = connectTo(Endpoint::parseOrThrow(config.endpoint),
+                     config.connectTimeoutMs);
     ++clientStats.connects;
     decoder = FrameDecoder();
     transmit(makeHello());
-    const Frame reply = awaitFrame();
+    Frame reply = awaitFrame();
+    if (reply.type == static_cast<uint8_t>(MsgType::AuthChallenge)) {
+        WireReader cr(reply.payload);
+        const std::vector<uint8_t> nonce_bytes = cr.bytes();
+        cr.expectEnd();
+        if (nonce_bytes.size() != kAuthNonceSize) {
+            disconnect();
+            throw ProtocolError("auth challenge nonce has wrong size");
+        }
+        if (config.fleetKey.empty()) {
+            disconnect();
+            // Terminal: no number of retries conjures up a key.
+            throw ClientError("server requires authentication and no "
+                              "fleet key is configured",
+                              ClientError::Kind::Rejected);
+        }
+        AuthNonce nonce;
+        std::copy(nonce_bytes.begin(), nonce_bytes.end(), nonce.begin());
+        const AuthMac mac = authProof(config.fleetKey, nonce);
+        transmit(makeAuthResponse(mac.data(), mac.size()));
+        reply = awaitFrame();
+    }
+    if (reply.type == static_cast<uint8_t>(MsgType::AuthReject)) {
+        WireReader rr(reply.payload);
+        const std::string reason = rr.str();
+        rr.expectEnd();
+        disconnect();
+        // Terminal: the key is wrong, retrying re-sends the same proof.
+        throw ClientError("server rejected session: " + reason,
+                          ClientError::Kind::Rejected);
+    }
     if (reply.type != static_cast<uint8_t>(MsgType::HelloOk)) {
         disconnect();
         throw ProtocolError("handshake rejected (frame type " +
@@ -122,6 +160,23 @@ Client::transmit(const std::vector<uint8_t> &frame)
         disconnect();
         throw SocketError("injected partial write");
       }
+      case FaultAction::Reset: {
+        // Connection reset mid-frame: like a torn write, but modelling
+        // the peer/network killing an established connection (RST).
+        const size_t cut = injector.partialLength(frame.size());
+        if (cut > 0)
+            sendAll(sock.fd(), frame.data(), cut,
+                    config.requestTimeoutMs);
+        ++clientStats.framesSent;
+        disconnect();
+        throw SocketError("injected connection reset");
+      }
+      case FaultAction::Blackhole:
+        // Partition: the frame vanishes but the connection stays "up";
+        // the exchange times out against a live socket and subsequent
+        // frames keep vanishing until the partition ends.
+        ++clientStats.framesSent;
+        return;
       case FaultAction::Deliver:
         break;
     }
@@ -155,7 +210,8 @@ Client::awaitFrame()
 }
 
 JobOutcome
-Client::runJob(const JobSpec &spec)
+Client::runJob(const JobSpec &spec,
+               const std::function<void(JobState)> &on_progress)
 {
     const uint64_t id = spec.jobId();
     int attempt = 0;
@@ -185,21 +241,31 @@ Client::runJob(const JobSpec &spec)
                   }
                   case MsgType::JobError: {
                     const uint64_t got_id = r.u64();
+                    const JobState state =
+                        static_cast<JobState>(r.u8());
                     const std::string message = r.str();
                     r.expectEnd();
                     (void)got_id;
                     // The job itself failed or expired: terminal, not
                     // a transport fault.  Retrying would re-run a cell
                     // the server already judged.
-                    throw ClientError("job " + spec.cellKey() +
-                                      " failed on server: " + message);
+                    const bool expired = state == JobState::Expired;
+                    throw ClientError(
+                        "job " + spec.cellKey() +
+                            (expired ? " expired on server: "
+                                     : " failed on server: ") +
+                            message,
+                        expired ? ClientError::Kind::DeadlineExpired
+                                : ClientError::Kind::JobFailed);
                   }
                   case MsgType::Submitted: {
                     const uint64_t got_id = r.u64();
-                    const uint8_t state = r.u8();
+                    const JobState state =
+                        static_cast<JobState>(r.u8());
                     r.expectEnd();
                     (void)got_id;
-                    (void)state;
+                    if (on_progress)
+                        on_progress(state);
                     std::this_thread::sleep_for(
                         std::chrono::milliseconds(
                             config.pollIntervalMs));
@@ -252,6 +318,13 @@ Client::ping()
         WireReader r(reply.payload);
         r.expectEnd();
         return true;
+    } catch (const ClientError &e) {
+        disconnect();
+        // A rejected session is a terminal verdict about credentials,
+        // not an unreachable server; callers must see the difference.
+        if (e.kind == ClientError::Kind::Rejected)
+            throw;
+        return false;
     } catch (const std::exception &) {
         disconnect();
         return false;
@@ -275,6 +348,8 @@ Client::drain()
             const uint32_t in_flight = r.u32();
             r.expectEnd();
             return in_flight;
+        } catch (const ClientError &) {
+            throw;
         } catch (const std::exception &e) {
             last_error = e.what();
             disconnect();

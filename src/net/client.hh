@@ -25,6 +25,7 @@
 #define REACT_NET_CLIENT_HH
 
 #include <cstdint>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -41,14 +42,30 @@ namespace net {
 
 /** Terminal client-side failure: retries exhausted, or the job itself
  *  failed/expired on the server.  Transient faults never surface as
- *  this; they are retried. */
+ *  this; they are retried.  The kind distinguishes the failure classes
+ *  callers act on differently (react-cli maps them to exit codes). */
 class ClientError : public std::runtime_error
 {
   public:
-    explicit ClientError(const std::string &what_arg)
-        : std::runtime_error(what_arg)
+    enum class Kind : uint8_t
+    {
+        /** Retries exhausted against transport failures. */
+        Transport = 0,
+        /** The cell threw on the server (JobError/Failed). */
+        JobFailed = 1,
+        /** The job's queue-wait deadline lapsed (JobError/Expired). */
+        DeadlineExpired = 2,
+        /** The server refused the session (auth reject, missing key). */
+        Rejected = 3,
+    };
+
+    explicit ClientError(const std::string &what_arg,
+                         Kind kind_in = Kind::Transport)
+        : std::runtime_error(what_arg), kind(kind_in)
     {
     }
+
+    Kind kind;
 };
 
 /** Exponential backoff with seeded jitter. */
@@ -69,7 +86,12 @@ struct RetryPolicy
 
 struct ClientConfig
 {
-    std::string socketPath = "/tmp/reactd.sock";
+    /** Server endpoint URI ("unix:/path", "tcp:host:port", or a bare
+     *  AF_UNIX path); see net/endpoint.hh. */
+    std::string endpoint = "/tmp/reactd.sock";
+    /** Pre-shared fleet key for the auth handshake; empty = expect an
+     *  unauthenticated server (an AuthChallenge then fails terminally). */
+    std::vector<uint8_t> fleetKey;
     /** Budget for one request/response exchange, milliseconds. */
     int requestTimeoutMs = 5000;
     int connectTimeoutMs = 2000;
@@ -117,10 +139,16 @@ class Client
      * Submit @p spec and drive it to completion: connect/handshake,
      * submit, poll while running, and retry the whole exchange (with
      * backoff) across any transient failure.
+     *
+     * @param on_progress Invoked after every successful status exchange
+     *        with the server-reported state (the fleet coordinator
+     *        renews its shard lease from this heartbeat); may be empty.
      * @throws ClientError when retries are exhausted or the server
-     *         reports the job Failed or Expired.
+     *         reports the job Failed or Expired (kind tells which).
      */
-    JobOutcome runJob(const JobSpec &spec);
+    JobOutcome runJob(const JobSpec &spec,
+                      const std::function<void(JobState)> &on_progress =
+                          {});
 
     /** One Ping/Pong exchange.  @return false on any failure. */
     bool ping();

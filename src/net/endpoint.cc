@@ -1,0 +1,119 @@
+#include "endpoint.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+namespace react {
+namespace net {
+
+std::string
+Endpoint::str() const
+{
+    if (kind == Kind::Unix)
+        return "unix:" + path;
+    return "tcp:" + host + ":" + std::to_string(port);
+}
+
+bool
+Endpoint::parse(const std::string &text, Endpoint *out, std::string *error)
+{
+    const auto fail = [error](const std::string &message) {
+        if (error != nullptr)
+            *error = message;
+        return false;
+    };
+    if (text.empty())
+        return fail("empty endpoint");
+    if (text.rfind("unix:", 0) == 0) {
+        const std::string p = text.substr(5);
+        if (p.empty())
+            return fail("unix endpoint needs a socket path: '" + text +
+                        "'");
+        out->kind = Kind::Unix;
+        out->path = p;
+        out->host.clear();
+        out->port = 0;
+        return true;
+    }
+    if (text.rfind("tcp:", 0) == 0) {
+        const std::string rest = text.substr(4);
+        // rfind so "tcp:host:port" still parses if the host ever grows
+        // a colon-free service suffix; IPv6 literals are out of scope.
+        const size_t colon = rest.rfind(':');
+        if (colon == std::string::npos)
+            return fail("tcp endpoint needs host:port: '" + text + "'");
+        const std::string h = rest.substr(0, colon);
+        const std::string p = rest.substr(colon + 1);
+        if (h.empty())
+            return fail("tcp endpoint has an empty host: '" + text + "'");
+        if (p.empty() ||
+            p.find_first_not_of("0123456789") != std::string::npos)
+            return fail("tcp endpoint has a non-numeric port: '" + text +
+                        "'");
+        const unsigned long value = std::strtoul(p.c_str(), nullptr, 10);
+        if (p.size() > 5 || value > 65535)
+            return fail("tcp port out of range: '" + text + "'");
+        out->kind = Kind::Tcp;
+        out->host = h;
+        out->port = static_cast<uint16_t>(value);
+        out->path.clear();
+        return true;
+    }
+    // A colon before any '/' looks like a scheme we don't know; a bare
+    // filesystem path ("/tmp/x.sock", "./sock") is the legacy spelling
+    // of unix: and stays accepted.
+    const size_t colon = text.find(':');
+    if (colon != std::string::npos && text.find('/') > colon)
+        return fail("unknown endpoint scheme: '" + text + "'");
+    out->kind = Kind::Unix;
+    out->path = text;
+    out->host.clear();
+    out->port = 0;
+    return true;
+}
+
+Endpoint
+Endpoint::parseOrThrow(const std::string &text)
+{
+    Endpoint endpoint;
+    std::string error;
+    if (!parse(text, &endpoint, &error))
+        throw SocketError("bad endpoint: " + error);
+    return endpoint;
+}
+
+Socket
+listenOn(const Endpoint &endpoint, int backlog)
+{
+    if (endpoint.kind == Endpoint::Kind::Unix)
+        return listenUnix(endpoint.path, backlog);
+    return listenTcp(endpoint.host, endpoint.port, backlog);
+}
+
+Socket
+connectTo(const Endpoint &endpoint, int timeout_ms)
+{
+    if (endpoint.kind == Endpoint::Kind::Unix)
+        return connectUnix(endpoint.path, timeout_ms);
+    return connectTcp(endpoint.host, endpoint.port, timeout_ms);
+}
+
+uint16_t
+boundTcpPort(int fd)
+{
+    sockaddr_in addr = {};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len) != 0)
+        throw SocketError(std::string("getsockname: ") +
+                          std::strerror(errno));
+    if (addr.sin_family != AF_INET)
+        throw SocketError("boundTcpPort: fd is not a TCP socket");
+    return ntohs(addr.sin_port);
+}
+
+} // namespace net
+} // namespace react

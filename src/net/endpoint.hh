@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unified transport endpoints: `unix:/path` and `tcp:host:port`.
+ *
+ * PR 6 served reactd over AF_UNIX only -- perfect for single-host CI
+ * (no port races, no network flakiness).  The fleet work adds TCP so
+ * whole sweeps can shard across machines; everything above the socket
+ * layer (framing, protocol, retry spine, fault injection) is transport
+ * agnostic, so the only new surface is this small parser plus TCP
+ * listen/connect in socket.cc.
+ *
+ * Accepted spellings:
+ *
+ *     unix:/tmp/reactd.sock     filesystem AF_UNIX stream socket
+ *     tcp:host:port             AF_INET stream socket ("tcp:0.0.0.0:7460"
+ *                               to serve, "tcp:db-host:7460" to dial;
+ *                               port 0 binds an ephemeral port, reported
+ *                               back by Server::boundEndpoint())
+ *     /tmp/reactd.sock          bare path: legacy spelling of unix:
+ *
+ * Parsing is strict beyond those forms: an empty host, a non-numeric or
+ * out-of-range port, or an unknown scheme is an error, reported through
+ * the return value so CLI layers can print it without catching.
+ */
+
+#ifndef REACT_NET_ENDPOINT_HH
+#define REACT_NET_ENDPOINT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "net/socket.hh"
+
+namespace react {
+namespace net {
+
+/** One parsed transport address; see file comment for spellings. */
+struct Endpoint
+{
+    enum class Kind : uint8_t
+    {
+        Unix = 0,
+        Tcp = 1,
+    };
+
+    Kind kind = Kind::Unix;
+    /** AF_UNIX socket path (Unix kind only). */
+    std::string path = "/tmp/reactd.sock";
+    /** Host name or dotted quad (Tcp kind only). */
+    std::string host;
+    /** TCP port; 0 asks the OS for an ephemeral port when listening. */
+    uint16_t port = 0;
+
+    /** Canonical URI spelling ("unix:/path" / "tcp:host:port"). */
+    std::string str() const;
+
+    /**
+     * Parse @p text into @p out.  @return false on malformed input with
+     * a diagnostic in @p error (may be null).  @p out is untouched on
+     * failure.
+     */
+    static bool parse(const std::string &text, Endpoint *out,
+                      std::string *error);
+
+    /** Parse or throw SocketError (for call sites past CLI validation). */
+    static Endpoint parseOrThrow(const std::string &text);
+};
+
+/** Bind + listen on @p endpoint.  @throws SocketError. */
+Socket listenOn(const Endpoint &endpoint, int backlog = 16);
+
+/** Connect to @p endpoint within @p timeout_ms.  @throws SocketError. */
+Socket connectTo(const Endpoint &endpoint, int timeout_ms);
+
+/** The local port a bound TCP socket actually got (resolves port 0).
+ *  @throws SocketError on a non-TCP or unbound fd. */
+uint16_t boundTcpPort(int fd);
+
+} // namespace net
+} // namespace react
+
+#endif // REACT_NET_ENDPOINT_HH

@@ -256,10 +256,11 @@ makeJobResult(uint64_t job_id, const std::vector<uint8_t> &result_bytes)
 }
 
 std::vector<uint8_t>
-makeJobError(uint64_t job_id, const std::string &message)
+makeJobError(uint64_t job_id, JobState state, const std::string &message)
 {
     WireWriter w;
     w.u64(job_id);
+    w.u8(static_cast<uint8_t>(state));
     w.str(message);
     return frameOf(MsgType::JobError, w);
 }
@@ -296,6 +297,30 @@ makeError(const std::string &message)
     WireWriter w;
     w.str(message);
     return frameOf(MsgType::Error, w);
+}
+
+std::vector<uint8_t>
+makeAuthChallenge(const uint8_t *nonce, size_t size)
+{
+    WireWriter w;
+    w.bytes(std::vector<uint8_t>(nonce, nonce + size));
+    return frameOf(MsgType::AuthChallenge, w);
+}
+
+std::vector<uint8_t>
+makeAuthResponse(const uint8_t *mac, size_t size)
+{
+    WireWriter w;
+    w.bytes(std::vector<uint8_t>(mac, mac + size));
+    return frameOf(MsgType::AuthResponse, w);
+}
+
+std::vector<uint8_t>
+makeAuthReject(const std::string &reason)
+{
+    WireWriter w;
+    w.str(reason);
+    return frameOf(MsgType::AuthReject, w);
 }
 
 } // namespace net

@@ -46,8 +46,11 @@
 namespace react {
 namespace net {
 
-/** Protocol revision; Hello/HelloOk must agree exactly. */
-constexpr uint32_t kProtocolVersion = 1;
+/** Protocol revision; Hello/HelloOk must agree exactly.
+ *  v2: auth handshake frames (net/auth.hh) and a JobState byte in
+ *  JobError so clients can tell deadline expiry from execution failure
+ *  without string matching. */
+constexpr uint32_t kProtocolVersion = 2;
 
 /** Frame types. */
 enum class MsgType : uint8_t
@@ -64,6 +67,12 @@ enum class MsgType : uint8_t
     Drain = 10,
     DrainOk = 11,
     Error = 12,
+    /** Server demands an HMAC proof for the enclosed nonce (v2). */
+    AuthChallenge = 13,
+    /** Client's HMAC proof over the challenge nonce (v2). */
+    AuthResponse = 14,
+    /** Typed authentication failure; the connection is dropped (v2). */
+    AuthReject = 15,
 };
 
 /** Server-side job lifecycle, as reported in Submitted frames. */
@@ -138,13 +147,16 @@ std::vector<uint8_t> makeSubmitted(uint64_t job_id, JobState state);
 std::vector<uint8_t> makePoll(uint64_t job_id);
 std::vector<uint8_t> makeJobResult(uint64_t job_id,
                                    const std::vector<uint8_t> &result_bytes);
-std::vector<uint8_t> makeJobError(uint64_t job_id,
+std::vector<uint8_t> makeJobError(uint64_t job_id, JobState state,
                                   const std::string &message);
 std::vector<uint8_t> makePing();
 std::vector<uint8_t> makePong();
 std::vector<uint8_t> makeDrain();
 std::vector<uint8_t> makeDrainOk(uint32_t jobs_in_flight);
 std::vector<uint8_t> makeError(const std::string &message);
+std::vector<uint8_t> makeAuthChallenge(const uint8_t *nonce, size_t size);
+std::vector<uint8_t> makeAuthResponse(const uint8_t *mac, size_t size);
+std::vector<uint8_t> makeAuthReject(const std::string &reason);
 /** @} */
 
 } // namespace net

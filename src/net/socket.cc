@@ -1,13 +1,22 @@
 #include "socket.hh"
 
 #include <cerrno>
+#include <chrono>
+#include <climits>
 #include <cstdint>
 #include <cstring>
 
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include "util/determinism.hh"
 
 namespace react {
 namespace net {
@@ -20,6 +29,43 @@ throwErrno(const std::string &what)
     throw SocketError(what + ": " + std::strerror(errno));
 }
 
+/** Monotonic milliseconds for timeout deadlines.  Every retry loop here
+ *  re-derives its remaining budget from an absolute deadline instead of
+ *  re-arming the full timeout: under a fast interval timer (the SIGTERM
+ *  drain path, the itimer hammer test) poll() returns EINTR every
+ *  millisecond, and a naive "retry with the original timeout" never
+ *  expires. */
+int64_t
+monotonicMs()
+{
+    REACT_NONDET_OK("monotonic clock bounds socket timeouts only, never result bytes");
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               now.time_since_epoch())
+        .count();
+}
+
+/** Absolute deadline for @p timeout_ms from now; negative = no deadline. */
+int64_t
+deadlineFrom(int timeout_ms)
+{
+    if (timeout_ms < 0)
+        return -1;
+    return monotonicMs() + timeout_ms;
+}
+
+/** Remaining poll() budget: -1 for no deadline, else clamped to >= 0. */
+int
+remainingMs(int64_t deadline_ms)
+{
+    if (deadline_ms < 0)
+        return -1;
+    const int64_t left = deadline_ms - monotonicMs();
+    if (left <= 0)
+        return 0;
+    return left > INT_MAX ? INT_MAX : static_cast<int>(left);
+}
+
 sockaddr_un
 unixAddress(const std::string &path)
 {
@@ -29,6 +75,38 @@ unixAddress(const std::string &path)
         throw SocketError("socket path too long: " + path);
     std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
     return addr;
+}
+
+sockaddr_in
+tcpAddress(const std::string &host, uint16_t port)
+{
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1)
+        return addr;
+    addrinfo hints = {};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    const int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &res);
+    if (rc != 0)
+        throw SocketError("resolve '" + host +
+                          "': " + ::gai_strerror(rc));
+    if (res == nullptr)
+        throw SocketError("resolve '" + host + "': no IPv4 address");
+    addr.sin_addr =
+        reinterpret_cast<const sockaddr_in *>(res->ai_addr)->sin_addr;
+    ::freeaddrinfo(res);
+    return addr;
+}
+
+void
+setIntOption(int fd, int level, int option, const char *name)
+{
+    const int one = 1;
+    if (::setsockopt(fd, level, option, &one, sizeof(one)) != 0)
+        throwErrno(std::string("setsockopt(") + name + ")");
 }
 
 } // namespace
@@ -90,9 +168,83 @@ connectUnix(const std::string &path, int timeout_ms)
     // blocking connect, which cannot hang on a local socket, then poll
     // discipline for all subsequent I/O.
     (void)timeout_ms;
-    if (::connect(sock.fd(), reinterpret_cast<const sockaddr *>(&addr),
-                  sizeof(addr)) != 0)
+    for (;;) {
+        if (::connect(sock.fd(), reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)) == 0)
+            return sock;
+        if (errno == EINTR)
+            continue;
         throwErrno("connect '" + path + "'");
+    }
+}
+
+Socket
+listenTcp(const std::string &host, uint16_t port, int backlog)
+{
+    Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!sock.valid())
+        throwErrno("socket");
+    // REUSEADDR so a restarted coordinator/worker can rebind its fixed
+    // port while the previous incarnation's connections sit in TIME_WAIT.
+    setIntOption(sock.fd(), SOL_SOCKET, SO_REUSEADDR, "SO_REUSEADDR");
+    const sockaddr_in addr = tcpAddress(host.empty() ? "0.0.0.0" : host,
+                                        port);
+    if (::bind(sock.fd(), reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        throwErrno("bind 'tcp:" + host + ":" + std::to_string(port) + "'");
+    if (::listen(sock.fd(), backlog) != 0)
+        throwErrno("listen 'tcp:" + host + ":" + std::to_string(port) +
+                   "'");
+    return sock;
+}
+
+Socket
+connectTcp(const std::string &host, uint16_t port, int timeout_ms)
+{
+    const std::string label =
+        "tcp:" + host + ":" + std::to_string(port);
+    const sockaddr_in addr = tcpAddress(host, port);
+    // Nonblocking connect so the three-way handshake honours the caller's
+    // deadline (a blocked peer or a black-holed route can otherwise hang
+    // for minutes); the socket reverts to blocking afterwards to match
+    // the poll discipline of sendAll/recvSome.
+    Socket sock(::socket(AF_INET,
+                         SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0));
+    if (!sock.valid())
+        throwErrno("socket");
+    const int64_t deadline = deadlineFrom(timeout_ms);
+    if (::connect(sock.fd(), reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        // EINTR on a nonblocking connect means the attempt continues
+        // asynchronously, exactly like EINPROGRESS (POSIX).
+        if (errno != EINPROGRESS && errno != EINTR)
+            throwErrno("connect '" + label + "'");
+        pollfd pfd = {};
+        pfd.fd = sock.fd();
+        pfd.events = POLLOUT;
+        for (;;) {
+            const int rc = ::poll(&pfd, 1, remainingMs(deadline));
+            if (rc > 0)
+                break;
+            if (rc == 0)
+                throw SocketError("connect '" + label + "' timed out");
+            if (errno != EINTR)
+                throwErrno("poll(connect)");
+        }
+        int err = 0;
+        socklen_t len = sizeof(err);
+        if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0)
+            throwErrno("getsockopt(SO_ERROR)");
+        if (err != 0)
+            throw SocketError("connect '" + label +
+                              "': " + std::strerror(err));
+    }
+    const int flags = ::fcntl(sock.fd(), F_GETFL);
+    if (flags < 0 ||
+        ::fcntl(sock.fd(), F_SETFL, flags & ~O_NONBLOCK) != 0)
+        throwErrno("fcntl(~O_NONBLOCK)");
+    // Request/response frames are small; Nagle only adds latency here.
+    setIntOption(sock.fd(), IPPROTO_TCP, TCP_NODELAY, "TCP_NODELAY");
     return sock;
 }
 
@@ -113,23 +265,28 @@ acceptOn(int listen_fd)
 bool
 waitReadable(int fd, int timeout_ms)
 {
+    const int64_t deadline = deadlineFrom(timeout_ms);
     pollfd pfd = {};
     pfd.fd = fd;
     pfd.events = POLLIN;
     for (;;) {
-        const int rc = ::poll(&pfd, 1, timeout_ms);
+        const int rc = ::poll(&pfd, 1, remainingMs(deadline));
         if (rc < 0) {
             if (errno == EINTR)
                 continue;
             throwErrno("poll");
         }
-        return rc > 0;
+        if (rc > 0)
+            return true;
+        if (remainingMs(deadline) == 0)
+            return false;
     }
 }
 
 void
 sendAll(int fd, const uint8_t *data, size_t size, int timeout_ms)
 {
+    const int64_t deadline = deadlineFrom(timeout_ms);
     size_t sent = 0;
     while (sent < size) {
         const ssize_t n =
@@ -142,7 +299,7 @@ sendAll(int fd, const uint8_t *data, size_t size, int timeout_ms)
             pollfd pfd = {};
             pfd.fd = fd;
             pfd.events = POLLOUT;
-            const int rc = ::poll(&pfd, 1, timeout_ms);
+            const int rc = ::poll(&pfd, 1, remainingMs(deadline));
             if (rc == 0)
                 throw SocketError("send timed out");
             if (rc < 0 && errno != EINTR)

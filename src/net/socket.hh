@@ -1,20 +1,29 @@
 /**
  * @file
- * Minimal AF_UNIX stream-socket wrapper with timeouts.
+ * Minimal stream-socket wrapper (AF_UNIX and TCP) with timeouts.
  *
- * reactd serves over a filesystem socket path: no port allocation races
+ * reactd defaults to a filesystem socket path: no port allocation races
  * in parallel CI, no network flakiness in the failure-injection tests
  * (every injected fault is *ours*), and the OS gives exact byte-stream
  * semantics -- which is precisely what the framing layer is hardened
- * against.  All I/O is poll()-based with explicit millisecond deadlines;
- * nothing here blocks forever.  SIGPIPE is avoided with MSG_NOSIGNAL
- * rather than a process-wide handler.
+ * against.  The fleet work adds TCP listen/connect beside it; the
+ * framing layer above is byte-stream agnostic, so TCP's extra failure
+ * modes (slow handshakes, RSTs, black holes) are handled here and in
+ * the retry spine, not in the protocol.
+ *
+ * All I/O is poll()-based with explicit millisecond deadlines carried
+ * as *absolute* monotonic deadlines across EINTR restarts -- a retry
+ * that re-arms the full timeout never expires under a fast interval
+ * timer (see the itimer hammer test).  Nothing here blocks forever.
+ * SIGPIPE is avoided with MSG_NOSIGNAL rather than a process-wide
+ * handler.
  */
 
 #ifndef REACT_NET_SOCKET_HH
 #define REACT_NET_SOCKET_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -66,6 +75,20 @@ Socket listenUnix(const std::string &path, int backlog = 16);
  * @throws SocketError on failure or timeout.
  */
 Socket connectUnix(const std::string &path, int timeout_ms);
+
+/**
+ * Create, bind (SO_REUSEADDR), and listen on a TCP socket.  An empty
+ * @p host binds INADDR_ANY; @p port 0 takes an ephemeral port (recover
+ * it with endpoint.hh's boundTcpPort()).  @throws SocketError.
+ */
+Socket listenTcp(const std::string &host, uint16_t port, int backlog = 16);
+
+/**
+ * Connect to @p host:@p port within @p timeout_ms (nonblocking connect +
+ * poll + SO_ERROR; negative timeout waits forever).  The returned socket
+ * is blocking with TCP_NODELAY set.  @throws SocketError.
+ */
+Socket connectTcp(const std::string &host, uint16_t port, int timeout_ms);
 
 /**
  * Accept one pending connection (the caller already established

@@ -1,0 +1,174 @@
+#include "hmac.hh"
+
+#include <cstring>
+
+namespace react {
+
+namespace {
+
+constexpr size_t kBlockSize = 64;
+
+constexpr uint32_t kRoundConstants[64] = {
+    0x428a2f98u, 0x71374491u, 0xb5c0fbcfu, 0xe9b5dba5u, 0x3956c25bu,
+    0x59f111f1u, 0x923f82a4u, 0xab1c5ed5u, 0xd807aa98u, 0x12835b01u,
+    0x243185beu, 0x550c7dc3u, 0x72be5d74u, 0x80deb1feu, 0x9bdc06a7u,
+    0xc19bf174u, 0xe49b69c1u, 0xefbe4786u, 0x0fc19dc6u, 0x240ca1ccu,
+    0x2de92c6fu, 0x4a7484aau, 0x5cb0a9dcu, 0x76f988dau, 0x983e5152u,
+    0xa831c66du, 0xb00327c8u, 0xbf597fc7u, 0xc6e00bf3u, 0xd5a79147u,
+    0x06ca6351u, 0x14292967u, 0x27b70a85u, 0x2e1b2138u, 0x4d2c6dfcu,
+    0x53380d13u, 0x650a7354u, 0x766a0abbu, 0x81c2c92eu, 0x92722c85u,
+    0xa2bfe8a1u, 0xa81a664bu, 0xc24b8b70u, 0xc76c51a3u, 0xd192e819u,
+    0xd6990624u, 0xf40e3585u, 0x106aa070u, 0x19a4c116u, 0x1e376c08u,
+    0x2748774cu, 0x34b0bcb5u, 0x391c0cb3u, 0x4ed8aa4au, 0x5b9cca4fu,
+    0x682e6ff3u, 0x748f82eeu, 0x78a5636fu, 0x84c87814u, 0x8cc70208u,
+    0x90befffau, 0xa4506cebu, 0xbef9a3f7u, 0xc67178f2u,
+};
+
+uint32_t
+rotr(uint32_t v, int n)
+{
+    return (v >> n) | (v << (32 - n));
+}
+
+struct Sha256State
+{
+    uint32_t h[8] = {0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
+                     0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u};
+
+    void compress(const uint8_t block[kBlockSize])
+    {
+        uint32_t w[64];
+        for (int i = 0; i < 16; ++i)
+            w[i] = (static_cast<uint32_t>(block[4 * i]) << 24) |
+                (static_cast<uint32_t>(block[4 * i + 1]) << 16) |
+                (static_cast<uint32_t>(block[4 * i + 2]) << 8) |
+                static_cast<uint32_t>(block[4 * i + 3]);
+        for (int i = 16; i < 64; ++i) {
+            const uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^
+                (w[i - 15] >> 3);
+            const uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^
+                (w[i - 2] >> 10);
+            w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+        }
+        uint32_t a = h[0], b = h[1], c = h[2], d = h[3];
+        uint32_t e = h[4], f = h[5], g = h[6], hh = h[7];
+        for (int i = 0; i < 64; ++i) {
+            const uint32_t s1 =
+                rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+            const uint32_t ch = (e & f) ^ (~e & g);
+            const uint32_t t1 = hh + s1 + ch + kRoundConstants[i] + w[i];
+            const uint32_t s0 =
+                rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+            const uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+            const uint32_t t2 = s0 + maj;
+            hh = g;
+            g = f;
+            f = e;
+            e = d + t1;
+            d = c;
+            c = b;
+            b = a;
+            a = t1 + t2;
+        }
+        h[0] += a;
+        h[1] += b;
+        h[2] += c;
+        h[3] += d;
+        h[4] += e;
+        h[5] += f;
+        h[6] += g;
+        h[7] += hh;
+    }
+};
+
+} // namespace
+
+std::array<uint8_t, kSha256Size>
+sha256(const uint8_t *data, size_t size)
+{
+    Sha256State state;
+    size_t offset = 0;
+    while (size - offset >= kBlockSize) {
+        state.compress(data + offset);
+        offset += kBlockSize;
+    }
+
+    // Final block(s): message tail + 0x80 + zero pad + 64-bit bit length.
+    uint8_t tail[2 * kBlockSize] = {};
+    const size_t rest = size - offset;
+    if (rest > 0)
+        std::memcpy(tail, data + offset, rest);
+    tail[rest] = 0x80;
+    const size_t padded =
+        rest + 1 + 8 <= kBlockSize ? kBlockSize : 2 * kBlockSize;
+    const uint64_t bits = static_cast<uint64_t>(size) * 8;
+    for (int i = 0; i < 8; ++i)
+        tail[padded - 8 + static_cast<size_t>(i)] =
+            static_cast<uint8_t>(bits >> (56 - 8 * i));
+    state.compress(tail);
+    if (padded == 2 * kBlockSize)
+        state.compress(tail + kBlockSize);
+
+    std::array<uint8_t, kSha256Size> out;
+    for (int i = 0; i < 8; ++i) {
+        out[static_cast<size_t>(4 * i)] =
+            static_cast<uint8_t>(state.h[i] >> 24);
+        out[static_cast<size_t>(4 * i + 1)] =
+            static_cast<uint8_t>(state.h[i] >> 16);
+        out[static_cast<size_t>(4 * i + 2)] =
+            static_cast<uint8_t>(state.h[i] >> 8);
+        out[static_cast<size_t>(4 * i + 3)] =
+            static_cast<uint8_t>(state.h[i]);
+    }
+    return out;
+}
+
+std::array<uint8_t, kSha256Size>
+hmacSha256(const uint8_t *key, size_t key_size, const uint8_t *msg,
+           size_t msg_size)
+{
+    uint8_t block_key[kBlockSize] = {};
+    if (key_size > kBlockSize) {
+        const std::array<uint8_t, kSha256Size> folded =
+            sha256(key, key_size);
+        std::memcpy(block_key, folded.data(), folded.size());
+    } else if (key_size > 0) {
+        std::memcpy(block_key, key, key_size);
+    }
+
+    std::vector<uint8_t> inner(kBlockSize + msg_size);
+    for (size_t i = 0; i < kBlockSize; ++i)
+        inner[i] = static_cast<uint8_t>(block_key[i] ^ 0x36u);
+    if (msg_size > 0)
+        std::memcpy(inner.data() + kBlockSize, msg, msg_size);
+    const std::array<uint8_t, kSha256Size> inner_hash =
+        sha256(inner.data(), inner.size());
+
+    uint8_t outer[kBlockSize + kSha256Size];
+    for (size_t i = 0; i < kBlockSize; ++i)
+        outer[i] = static_cast<uint8_t>(block_key[i] ^ 0x5cu);
+    std::memcpy(outer + kBlockSize, inner_hash.data(), inner_hash.size());
+    return sha256(outer, sizeof(outer));
+}
+
+std::array<uint8_t, kSha256Size>
+hmacSha256(const std::vector<uint8_t> &key, const std::vector<uint8_t> &msg)
+{
+    return hmacSha256(key.data(), key.size(), msg.data(), msg.size());
+}
+
+bool
+constantTimeEqual(const uint8_t *a, size_t a_size, const uint8_t *b,
+                  size_t b_size)
+{
+    if (a_size != b_size)
+        return false;
+    // The accumulator folds in every byte pair before the single branch
+    // at the end; `volatile` keeps the compiler from short-circuiting.
+    volatile uint8_t acc = 0;
+    for (size_t i = 0; i < a_size; ++i)
+        acc = static_cast<uint8_t>(acc | (a[i] ^ b[i]));
+    return acc == 0;
+}
+
+} // namespace react

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * SHA-256, HMAC-SHA256, and constant-time comparison for the fleet
+ * authentication handshake (net/auth.hh).
+ *
+ * Implemented from the FIPS 180-4 / RFC 2104 specifications rather than
+ * linking a crypto library: the repository's no-new-dependencies rule
+ * applies, the message sizes are tiny (a 32-byte nonce per connection),
+ * and a self-contained implementation keeps the byte streams stable
+ * across platforms the same way the hand-rolled xoshiro RNG does.
+ *
+ * Scope note: this is message authentication for a *trusted-fleet*
+ * control plane -- it keeps a stray scanner or a mis-pointed client from
+ * submitting jobs or poisoning the result cache.  It is not a TLS
+ * replacement: frames are authenticated at session setup, not encrypted,
+ * and the transport after the handshake is plaintext.
+ */
+
+#ifndef REACT_UTIL_HMAC_HH
+#define REACT_UTIL_HMAC_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace react {
+
+/** SHA-256 digest size in bytes. */
+constexpr size_t kSha256Size = 32;
+
+/** One-shot SHA-256 of a byte range (FIPS 180-4). */
+std::array<uint8_t, kSha256Size> sha256(const uint8_t *data, size_t size);
+
+/** HMAC-SHA256 (RFC 2104): keys longer than the 64-byte block are
+ *  pre-hashed, shorter keys are zero-padded, per the spec. */
+std::array<uint8_t, kSha256Size> hmacSha256(const uint8_t *key,
+                                            size_t key_size,
+                                            const uint8_t *msg,
+                                            size_t msg_size);
+
+/** Convenience overload over vectors (empty inputs are valid). */
+std::array<uint8_t, kSha256Size> hmacSha256(
+    const std::vector<uint8_t> &key, const std::vector<uint8_t> &msg);
+
+/**
+ * Compare two byte ranges in time independent of where they differ, so
+ * a MAC check cannot be turned into a byte-at-a-time oracle.  Ranges of
+ * different length compare unequal (length is public information).
+ */
+bool constantTimeEqual(const uint8_t *a, size_t a_size, const uint8_t *b,
+                       size_t b_size);
+
+} // namespace react
+
+#endif // REACT_UTIL_HMAC_HH

@@ -49,6 +49,10 @@ void
 logInform(const std::string &msg)
 {
     std::fprintf(stdout, "info: %s\n", msg.c_str());
+    // Status lines announce liveness (e.g. a daemon's bound endpoint);
+    // when stdout is a file or pipe they must not sit in the stdio
+    // buffer until exit.
+    std::fflush(stdout);
 }
 
 } // namespace detail

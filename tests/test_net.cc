@@ -11,25 +11,32 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <sys/time.h>
 #include <unistd.h>
 
 #include "harness/grid.hh"
 #include "harness/parallel_runner.hh"
+#include "net/auth.hh"
 #include "net/client.hh"
+#include "net/endpoint.hh"
 #include "net/fault_injector.hh"
 #include "net/frame.hh"
 #include "net/protocol.hh"
 #include "net/server.hh"
 #include "net/socket.hh"
 #include "net/wire.hh"
+#include "util/hmac.hh"
 
 namespace react {
 namespace net {
@@ -458,7 +465,7 @@ class NetIntegration : public ::testing::Test
     void SetUp() override
     {
         harness::ParallelRunner::clearStopRequest();
-        config.socketPath =
+        config.endpoint =
             (std::filesystem::temp_directory_path() /
              ("react_test_net." + std::to_string(::getpid()) + ".sock"))
                 .string();
@@ -469,7 +476,7 @@ class NetIntegration : public ::testing::Test
         });
         // Wait for the listener to come up.
         ClientConfig probe;
-        probe.socketPath = config.socketPath;
+        probe.endpoint = config.endpoint;
         probe.requestTimeoutMs = 2000;
         Client pinger(probe);
         for (int i = 0; i < 200 && !pinger.ping(); ++i)
@@ -483,13 +490,13 @@ class NetIntegration : public ::testing::Test
             server_thread.join();
         }
         harness::ParallelRunner::clearStopRequest();
-        std::filesystem::remove(config.socketPath);
+        std::filesystem::remove(config.endpoint);
     }
 
     ClientConfig clientConfig() const
     {
         ClientConfig c;
-        c.socketPath = config.socketPath;
+        c.endpoint = config.endpoint;
         c.requestTimeoutMs = 120000;
         return c;
     }
@@ -628,7 +635,7 @@ TEST_F(NetIntegration, DrainCountReflectsEveryJobLifecyclePath)
 TEST_F(NetIntegration, MalformedBytesCostTheConnectionNotTheServer)
 {
     {
-        Socket raw = connectUnix(config.socketPath, 1000);
+        Socket raw = connectUnix(config.endpoint, 1000);
         const uint8_t garbage[] = "GET / HTTP/1.1\r\n\r\n";
         sendAll(raw.fd(), garbage, sizeof(garbage) - 1, 1000);
         // The server answers with a diagnostic Error frame, then EOF.
@@ -671,7 +678,7 @@ TEST(ServerConfigEnv, ReactdVariablesParseThroughUtilEnv)
     ::unsetenv("REACTD_CHECKPOINT_INTERVAL");
     ::unsetenv("REACTD_IDLE_TIMEOUT_MS");
 
-    EXPECT_EQ(config.socketPath, "/tmp/custom.sock");
+    EXPECT_EQ(config.endpoint, "/tmp/custom.sock");
     EXPECT_EQ(config.threads, 3);
     // The malformed interval warned and kept the default.
     EXPECT_EQ(config.checkpointIntervalSteps,
@@ -692,6 +699,507 @@ TEST(RetryPolicy, BackoffIsBoundedAndSeeded)
         previous_envelope = ms;
     }
     (void)previous_envelope;
+}
+
+
+// ---------------------------------------------------------------------
+// Endpoints
+
+TEST(Endpoint, ParsesUnixTcpAndLegacyBarePaths)
+{
+    Endpoint ep;
+    std::string error;
+    ASSERT_TRUE(Endpoint::parse("unix:/run/reactd.sock", &ep, &error));
+    EXPECT_EQ(ep.kind, Endpoint::Kind::Unix);
+    EXPECT_EQ(ep.path, "/run/reactd.sock");
+    EXPECT_EQ(ep.str(), "unix:/run/reactd.sock");
+
+    ASSERT_TRUE(Endpoint::parse("tcp:127.0.0.1:9177", &ep, &error));
+    EXPECT_EQ(ep.kind, Endpoint::Kind::Tcp);
+    EXPECT_EQ(ep.host, "127.0.0.1");
+    EXPECT_EQ(ep.port, 9177);
+    EXPECT_EQ(ep.str(), "tcp:127.0.0.1:9177");
+
+    // Pre-fleet configs carried a bare socket path; it still means unix.
+    ASSERT_TRUE(Endpoint::parse("/tmp/legacy.sock", &ep, &error));
+    EXPECT_EQ(ep.kind, Endpoint::Kind::Unix);
+    EXPECT_EQ(ep.path, "/tmp/legacy.sock");
+
+    // Port 0 is valid at parse time: it requests an ephemeral port.
+    ASSERT_TRUE(Endpoint::parse("tcp:localhost:0", &ep, &error));
+    EXPECT_EQ(ep.port, 0);
+}
+
+TEST(Endpoint, RejectsMalformedUrisWithDiagnostics)
+{
+    Endpoint ep;
+    std::string error;
+    EXPECT_FALSE(Endpoint::parse("", &ep, &error));
+    EXPECT_FALSE(Endpoint::parse("unix:", &ep, &error));
+    EXPECT_FALSE(Endpoint::parse("tcp:localhost", &ep, &error));
+    EXPECT_FALSE(Endpoint::parse("tcp::9177", &ep, &error));
+    EXPECT_FALSE(Endpoint::parse("tcp:host:", &ep, &error));
+    EXPECT_FALSE(Endpoint::parse("tcp:host:port", &ep, &error));
+    EXPECT_FALSE(Endpoint::parse("tcp:host:65536", &ep, &error));
+    EXPECT_FALSE(Endpoint::parse("tcp:host:123456", &ep, &error));
+    EXPECT_FALSE(Endpoint::parse("tcp:host:-1", &ep, &error));
+    EXPECT_FALSE(Endpoint::parse("udp:host:9177", &ep, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_THROW(Endpoint::parseOrThrow("udp:host:1"), SocketError);
+}
+
+// ---------------------------------------------------------------------
+// TCP transport: the same server, protocol, and damage ladder over a
+// loopback TCP endpoint (ephemeral port; tests never race on a fixed
+// one).
+
+class NetIntegrationTcp : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        harness::ParallelRunner::clearStopRequest();
+        config.endpoint = "tcp:127.0.0.1:0";
+        config.threads = 1;
+        server = std::make_unique<Server>(config);
+        server_thread = std::thread([this] {
+            exit_status = server->serve();
+        });
+        // serve() publishes the resolved endpoint once bound.
+        for (int i = 0; i < 500 && server->boundEndpoint().empty(); ++i)
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        ASSERT_FALSE(server->boundEndpoint().empty())
+            << "server never bound";
+    }
+
+    void TearDown() override
+    {
+        if (server_thread.joinable()) {
+            server->requestDrain();
+            server_thread.join();
+        }
+        harness::ParallelRunner::clearStopRequest();
+    }
+
+    ClientConfig clientConfig() const
+    {
+        ClientConfig c;
+        c.endpoint = server->boundEndpoint();
+        c.requestTimeoutMs = 120000;
+        return c;
+    }
+
+    ServerConfig config;
+    std::unique_ptr<Server> server;
+    std::thread server_thread;
+    int exit_status = -1;
+};
+
+TEST_F(NetIntegrationTcp, EphemeralPortIsPublishedAndParseable)
+{
+    Endpoint ep;
+    std::string error;
+    ASSERT_TRUE(Endpoint::parse(server->boundEndpoint(), &ep, &error))
+        << error;
+    EXPECT_EQ(ep.kind, Endpoint::Kind::Tcp);
+    EXPECT_NE(ep.port, 0) << "bound endpoint still says port 0";
+}
+
+TEST_F(NetIntegrationTcp, ServedResultIsByteIdenticalOverTcp)
+{
+    const JobSpec spec = quickSpec();
+    Client client(clientConfig());
+    const JobOutcome outcome = client.runJob(spec);
+    EXPECT_EQ(outcome.resultBytes, directResultBytes(spec));
+}
+
+TEST_F(NetIntegrationTcp, FaultyTcpTransportConvergesToTheSameBytes)
+{
+    JobSpec spec = quickSpec();
+    spec.buffer = harness::BufferKind::Morphy;
+    ClientConfig faulty = clientConfig();
+    faulty.requestTimeoutMs = 1500;
+    faulty.retry.maxRetries = 50;
+    ASSERT_TRUE(FaultPlan::fromSpec(
+        "drop=0.1,corrupt=0.1,reset=0.1,partition=0.1,partframes=3,"
+        "delay=0.1,delayms=5,seed=11",
+        &faulty.faults, nullptr));
+    Client client(faulty);
+    const JobOutcome outcome = client.runJob(spec);
+    EXPECT_EQ(outcome.resultBytes, directResultBytes(spec));
+    EXPECT_GT(client.faultCounters().injected() + client.stats().retries,
+              0u);
+}
+
+Socket
+connectBound(const Server &server, int timeout_ms)
+{
+    return connectTo(Endpoint::parseOrThrow(server.boundEndpoint()),
+                     timeout_ms);
+}
+
+/** Read frames until EOF/reset, recording types seen. */
+std::vector<uint8_t>
+drainFrameTypes(int fd, int timeout_ms)
+{
+    std::vector<uint8_t> types;
+    FrameDecoder decoder;
+    Frame frame;
+    uint8_t buf[4096];
+    for (;;) {
+        size_t n = 0;
+        try {
+            n = recvSome(fd, buf, sizeof(buf), timeout_ms);
+        } catch (const SocketError &) {
+            break;
+        }
+        if (n == 0)
+            break;
+        try {
+            decoder.feed(buf, n);
+            while (decoder.next(&frame))
+                types.push_back(frame.type);
+        } catch (const ProtocolError &) {
+            break;
+        }
+    }
+    return types;
+}
+
+TEST_F(NetIntegrationTcp, MalformedBytesOverTcpCostTheConnectionOnly)
+{
+    // The full pre-frame damage ladder, over TCP: raw garbage, a valid
+    // frame with a flipped CRC, and an oversized declared length.  Each
+    // costs its connection; none cost the server.
+    const std::vector<std::vector<uint8_t>> corpus = [] {
+        std::vector<std::vector<uint8_t>> c;
+        const uint8_t garbage[] = "GET / HTTP/1.1\r\n\r\n";
+        c.emplace_back(garbage, garbage + sizeof(garbage) - 1);
+        std::vector<uint8_t> flipped = makeHello();
+        flipped.back() ^= 0x01;
+        c.push_back(flipped);
+        std::vector<uint8_t> oversize = {'R', 'N', 'E', 'T', 1,
+                                         0xff, 0xff, 0xff, 0xff};
+        c.push_back(oversize);
+        return c;
+    }();
+    for (const auto &bytes : corpus) {
+        Socket raw = connectBound(*server, 1000);
+        try {
+            sendAll(raw.fd(), bytes.data(), bytes.size(), 1000);
+        } catch (const SocketError &) {
+            // Server may reset before the full write lands; also fine.
+        }
+        drainFrameTypes(raw.fd(), 2000);  // wait out the close
+    }
+    // The server survived and still serves jobs.
+    Client client(clientConfig());
+    EXPECT_TRUE(client.ping());
+    const JobSpec spec = quickSpec();
+    EXPECT_EQ(client.runJob(spec).resultBytes, directResultBytes(spec));
+}
+
+// ---------------------------------------------------------------------
+// Authenticated sessions
+
+class NetIntegrationAuth : public NetIntegrationTcp
+{
+  protected:
+    void SetUp() override
+    {
+        config.fleetKey.assign(kKey, kKey + sizeof(kKey) - 1);
+        NetIntegrationTcp::SetUp();
+    }
+
+    static constexpr char kKey[] = "test-fleet-key";
+};
+
+constexpr char NetIntegrationAuth::kKey[];
+
+TEST_F(NetIntegrationAuth, HandshakeSucceedsWithTheSharedKey)
+{
+    ClientConfig cc = clientConfig();
+    cc.fleetKey.assign(kKey, kKey + sizeof(kKey) - 1);
+    Client client(cc);
+    EXPECT_TRUE(client.ping());
+    const JobSpec spec = quickSpec();
+    EXPECT_EQ(client.runJob(spec).resultBytes, directResultBytes(spec));
+    EXPECT_EQ(server->stats().authRejects, 0u);
+}
+
+TEST_F(NetIntegrationAuth, MissingKeyIsATerminalRejection)
+{
+    Client client(clientConfig());  // no key
+    try {
+        client.runJob(quickSpec());
+        FAIL() << "keyless client must not pass the handshake";
+    } catch (const ClientError &e) {
+        EXPECT_EQ(static_cast<int>(e.kind),
+                  static_cast<int>(ClientError::Kind::Rejected));
+    }
+}
+
+TEST_F(NetIntegrationAuth, WrongKeyIsRejectedAndCounted)
+{
+    ClientConfig cc = clientConfig();
+    const char wrong[] = "not-the-fleet-key";
+    cc.fleetKey.assign(wrong, wrong + sizeof(wrong) - 1);
+    Client client(cc);
+    try {
+        client.runJob(quickSpec());
+        FAIL() << "wrong key must not pass the handshake";
+    } catch (const ClientError &e) {
+        EXPECT_EQ(static_cast<int>(e.kind),
+                  static_cast<int>(ClientError::Kind::Rejected));
+    }
+    EXPECT_GE(server->stats().authRejects, 1u);
+}
+
+TEST_F(NetIntegrationAuth, FramesBeforeHandshakeAreRejectedAndDropped)
+{
+    Socket raw = connectBound(*server, 1000);
+    const std::vector<uint8_t> ping = makePing();
+    sendAll(raw.fd(), ping.data(), ping.size(), 1000);
+    const std::vector<uint8_t> types = drainFrameTypes(raw.fd(), 3000);
+    ASSERT_EQ(types.size(), 1u) << "expected exactly an AuthReject";
+    EXPECT_EQ(types[0], static_cast<uint8_t>(MsgType::AuthReject));
+    EXPECT_GE(server->stats().authRejects, 1u);
+
+    // The server is unharmed.
+    ClientConfig cc = clientConfig();
+    cc.fleetKey.assign(kKey, kKey + sizeof(kKey) - 1);
+    Client client(cc);
+    EXPECT_TRUE(client.ping());
+}
+
+TEST_F(NetIntegrationAuth, HandshakeSurvivesTruncationsAndBitFlips)
+{
+    // Damage the handshake itself: send Hello, receive the challenge,
+    // then answer with (a) every truncated prefix of a valid
+    // AuthResponse and (b) single-bit-flipped MACs.  Every attempt must
+    // end in rejection or a dropped connection -- never a session --
+    // and the server must keep serving afterward.
+    const std::vector<uint8_t> key(kKey, kKey + sizeof(kKey) - 1);
+    int sessions_denied = 0;
+    for (int attempt = 0; attempt < 12; ++attempt) {
+        Socket raw = connectBound(*server, 1000);
+        const std::vector<uint8_t> hello = makeHello();
+        sendAll(raw.fd(), hello.data(), hello.size(), 1000);
+
+        // Read the AuthChallenge and recover the nonce.
+        FrameDecoder decoder;
+        Frame frame;
+        uint8_t buf[512];
+        bool got_challenge = false;
+        while (!got_challenge) {
+            const size_t n = recvSome(raw.fd(), buf, sizeof(buf), 3000);
+            if (n == 0)
+                break;
+            decoder.feed(buf, n);
+            while (decoder.next(&frame))
+                if (frame.type ==
+                    static_cast<uint8_t>(MsgType::AuthChallenge))
+                    got_challenge = true;
+        }
+        ASSERT_TRUE(got_challenge);
+        WireReader r(frame.payload);
+        const std::vector<uint8_t> nonce_bytes = r.bytes();
+        ASSERT_EQ(nonce_bytes.size(), kAuthNonceSize);
+        AuthNonce nonce = {};
+        std::copy(nonce_bytes.begin(), nonce_bytes.end(), nonce.begin());
+        const AuthMac mac = authProof(key, nonce);
+        std::vector<uint8_t> response =
+            makeAuthResponse(mac.data(), mac.size());
+
+        if (attempt < 6) {
+            // Truncation: send a prefix, then hang up mid-handshake.
+            const size_t cut = response.size() * static_cast<size_t>(attempt) / 6;
+            sendAll(raw.fd(), response.data(), cut, 1000);
+            raw.close();
+            ++sessions_denied;
+        } else {
+            // Bit flip inside the MAC bytes of the payload.
+            std::vector<uint8_t> bad_mac(mac.begin(), mac.end());
+            bad_mac[static_cast<size_t>(attempt) % bad_mac.size()] ^=
+                static_cast<uint8_t>(1u << (attempt % 8));
+            std::vector<uint8_t> bad =
+                makeAuthResponse(bad_mac.data(), bad_mac.size());
+            sendAll(raw.fd(), bad.data(), bad.size(), 1000);
+            const std::vector<uint8_t> types =
+                drainFrameTypes(raw.fd(), 3000);
+            // Either we saw the AuthReject or the connection died
+            // first; both deny the session.
+            for (const uint8_t t : types)
+                EXPECT_NE(t, static_cast<uint8_t>(MsgType::HelloOk));
+            ++sessions_denied;
+        }
+    }
+    EXPECT_EQ(sessions_denied, 12);
+    EXPECT_GE(server->stats().authRejects, 6u);
+
+    // Still standing, still authenticating.
+    ClientConfig cc = clientConfig();
+    cc.fleetKey = key;
+    Client client(cc);
+    EXPECT_TRUE(client.ping());
+}
+
+TEST(AuthPrimitives, ProofIsDeterministicAndKeyedAndConstantTimeEqual)
+{
+    const std::vector<uint8_t> key = {1, 2, 3, 4};
+    const std::vector<uint8_t> other_key = {1, 2, 3, 5};
+    NonceSource nonces(7);
+    const AuthNonce nonce = nonces.next();
+    const AuthMac mac = authProof(key, nonce);
+    EXPECT_EQ(mac, authProof(key, nonce));
+    EXPECT_NE(mac, authProof(other_key, nonce));
+    EXPECT_NE(mac, authProof(key, nonces.next()));
+    EXPECT_TRUE(verifyAuthProof(key, nonce, mac.data(), mac.size()));
+    EXPECT_FALSE(
+        verifyAuthProof(other_key, nonce, mac.data(), mac.size()));
+    EXPECT_FALSE(verifyAuthProof(key, nonce, mac.data(), mac.size() - 1));
+
+    // Seeded nonce sources replay (the determinism contract) but two
+    // draws never collide.
+    NonceSource a(42), b(42);
+    EXPECT_EQ(a.next(), b.next());
+    NonceSource c(42);
+    EXPECT_NE(c.next(), c.next());
+}
+
+TEST(AuthPrimitives, HmacSha256MatchesRfc4231Vectors)
+{
+    // RFC 4231 test case 2: key "Jefe", data "what do ya want for
+    // nothing?".
+    const char *key_text = "Jefe";
+    const char *msg_text = "what do ya want for nothing?";
+    const std::vector<uint8_t> key(key_text, key_text + 4);
+    const std::vector<uint8_t> msg(msg_text, msg_text + 28);
+    const std::array<uint8_t, kSha256Size> mac = hmacSha256(key, msg);
+    const uint8_t expected[] = {
+        0x5b, 0xdc, 0xc1, 0x46, 0xbf, 0x60, 0x75, 0x4e,
+        0x6a, 0x04, 0x24, 0x26, 0x08, 0x95, 0x75, 0xc7,
+        0x5a, 0x00, 0x3f, 0x08, 0x9d, 0x27, 0x39, 0x83,
+        0x9d, 0xec, 0x58, 0xb9, 0x64, 0xec, 0x38, 0x43};
+    EXPECT_TRUE(std::equal(mac.begin(), mac.end(), expected));
+}
+
+// ---------------------------------------------------------------------
+// Bounded server outbufs
+
+TEST(ServerOutbuf, NeverPollingClientCannotBalloonServerMemory)
+{
+    harness::ParallelRunner::clearStopRequest();
+    ServerConfig config;
+    config.endpoint = "tcp:127.0.0.1:0";
+    config.threads = 1;
+    config.maxOutbufBytes = 64 * 1024;  // tiny cap to trip quickly
+    Server server(config);
+    std::thread server_thread([&server] { server.serve(); });
+    for (int i = 0; i < 500 && server.boundEndpoint().empty(); ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_FALSE(server.boundEndpoint().empty());
+
+    {
+        // A client that sends pings forever and never reads a byte:
+        // pongs accumulate in the server's outbuf until the cap closes
+        // the connection (instead of growing without bound).
+        Socket raw = connectBound(server, 1000);
+        const std::vector<uint8_t> ping = makePing();
+        bool dropped = false;
+        for (int i = 0; i < 200000 && !dropped; ++i) {
+            try {
+                sendAll(raw.fd(), ping.data(), ping.size(), 1000);
+            } catch (const SocketError &) {
+                dropped = true;  // server closed on us: the cap worked
+            }
+        }
+        EXPECT_TRUE(dropped)
+            << "server absorbed 200k unread pongs without closing";
+    }
+    EXPECT_GE(server.stats().outbufOverflows, 1u);
+
+    // Well-behaved clients are unaffected.
+    ClientConfig cc;
+    cc.endpoint = server.boundEndpoint();
+    Client client(cc);
+    EXPECT_TRUE(client.ping());
+    server.requestDrain();
+    server_thread.join();
+    harness::ParallelRunner::clearStopRequest();
+}
+
+// ---------------------------------------------------------------------
+// EINTR discipline: a 1 ms interval timer hammers every blocking socket
+// call with signals; transfers must still complete and timeouts must
+// still expire on schedule (EINTR must not re-arm them).
+
+class IntervalTimerScope
+{
+  public:
+    IntervalTimerScope()
+    {
+        struct sigaction sa = {};
+        sa.sa_handler = &IntervalTimerScope::onAlarm;
+        // Deliberately NOT SA_RESTART: every blocking call sees EINTR.
+        sigemptyset(&sa.sa_mask);
+        sigaction(SIGALRM, &sa, &previous_);
+        struct itimerval timer = {};
+        timer.it_interval.tv_usec = 1000;  // 1 ms
+        timer.it_value.tv_usec = 1000;
+        setitimer(ITIMER_REAL, &timer, &previous_timer_);
+    }
+
+    ~IntervalTimerScope()
+    {
+        setitimer(ITIMER_REAL, &previous_timer_, nullptr);
+        sigaction(SIGALRM, &previous_, nullptr);
+    }
+
+    static int fired() { return fired_; }
+
+  private:
+    static void onAlarm(int) { ++fired_; }
+    static volatile sig_atomic_t fired_;
+    struct sigaction previous_ = {};
+    struct itimerval previous_timer_ = {};
+};
+
+volatile sig_atomic_t IntervalTimerScope::fired_ = 0;
+
+TEST_F(NetIntegrationTcp, TransfersCompleteUnderSignalHammer)
+{
+    IntervalTimerScope hammer;
+    const JobSpec spec = quickSpec();
+    Client client(clientConfig());
+    const JobOutcome outcome = client.runJob(spec);
+    EXPECT_EQ(outcome.resultBytes, directResultBytes(spec));
+    EXPECT_GT(IntervalTimerScope::fired(), 0)
+        << "the interval timer never fired; the hammer tested nothing";
+}
+
+TEST_F(NetIntegrationTcp, TimeoutsStillExpireUnderSignalHammer)
+{
+    // recvSome on an idle connection with a 200 ms budget: the timeout
+    // is an absolute deadline, so ~200 EINTRs must not extend it.  The
+    // old per-iteration re-arm would spin here for the full 10 s gtest
+    // timeout instead of the asserted bound.
+    Socket raw = connectBound(*server, 1000);
+    const std::vector<uint8_t> hello = makeHello();
+    sendAll(raw.fd(), hello.data(), hello.size(), 1000);
+    drainFrameTypes(raw.fd(), 500);  // consume HelloOk
+
+    IntervalTimerScope hammer;
+    uint8_t buf[64];
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_THROW(recvSome(raw.fd(), buf, sizeof(buf), 200), SocketError);
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_GE(elapsed, 150);
+    EXPECT_LE(elapsed, 5000) << "EINTR extended the deadline";
+    EXPECT_GT(IntervalTimerScope::fired(), 0);
 }
 
 } // namespace

@@ -8,7 +8,11 @@
  *     react-cli [options] drain
  *
  * options:
- *     --socket PATH    server socket (default /tmp/reactd.sock)
+ *     --endpoint URI   server endpoint: unix:/path or tcp:host:port
+ *                      (default unix:/tmp/reactd.sock)
+ *     --socket PATH    alias for --endpoint unix:PATH
+ *     --key STR        fleet auth key (overrides REACT_FLEET_KEY /
+ *                      REACT_FLEET_KEY_FILE)
  *     --timeout MS     per-request timeout
  *     --retries N      transient failures tolerated per job
  *     --seed N         base seed for submitted cells
@@ -20,6 +24,15 @@
  * an unknown name lists the valid ones.  `run` prints one result,
  * `sweep` a table over the (filtered) evaluation grid; retries are
  * idempotent so a flaky transport can slow a sweep but never corrupt it.
+ *
+ * Exit codes (scripts and the soak harness branch on these):
+ *     0  success
+ *     1  the job itself failed on the server
+ *     2  usage error (bad flags, unknown cell name)
+ *     4  transport failure (cannot reach / keep a session to the server)
+ *     5  the job's queue-wait deadline expired on the server
+ *     6  the server rejected the session (failed auth handshake,
+ *        protocol version mismatch)
  */
 
 #include <cstdio>
@@ -30,6 +43,7 @@
 
 #include "harness/grid.hh"
 #include "harness/paper_setup.hh"
+#include "net/auth.hh"
 #include "net/client.hh"
 #include "trace/paper_traces.hh"
 
@@ -39,12 +53,38 @@ using react::harness::BenchmarkKind;
 using react::harness::BufferKind;
 using react::trace::PaperTrace;
 
+// Exit codes; keep in sync with the file comment.
+constexpr int kExitOk = 0;
+constexpr int kExitJobFailed = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitTransport = 4;
+constexpr int kExitDeadline = 5;
+constexpr int kExitRejected = 6;
+
+/** Map a client error to the documented exit code. */
+int
+exitCodeFor(const react::net::ClientError &e)
+{
+    switch (e.kind) {
+    case react::net::ClientError::Kind::DeadlineExpired:
+        return kExitDeadline;
+    case react::net::ClientError::Kind::Rejected:
+        return kExitRejected;
+    case react::net::ClientError::Kind::JobFailed:
+        return kExitJobFailed;
+    case react::net::ClientError::Kind::Transport:
+        break;
+    }
+    return kExitTransport;
+}
+
 void
 usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--socket PATH] [--timeout MS] [--retries N]\n"
+        "usage: %s [--endpoint URI] [--socket PATH] [--key STR]\n"
+        "          [--timeout MS] [--retries N]\n"
         "          [--seed N] [--deadline S] [--faults SPEC]\n"
         "          ping | run BENCH TRACE BUFFER |\n"
         "          sweep [--bench B] [--trace T] [--buffer K] | drain\n",
@@ -158,7 +198,13 @@ main(int argc, char **argv)
             listNames();
             return 0;
         } else if (arg == "--socket" && value) {
-            config.socketPath = value;
+            config.endpoint = std::string("unix:") + value;
+            ++i;
+        } else if (arg == "--endpoint" && value) {
+            config.endpoint = value;
+            ++i;
+        } else if (arg == "--key" && value) {
+            config.fleetKey.assign(value, value + std::strlen(value));
             ++i;
         } else if (arg == "--timeout" && value) {
             config.requestTimeoutMs = std::atoi(value);
@@ -203,7 +249,16 @@ main(int argc, char **argv)
 
     if (positional.empty()) {
         usage(argv[0]);
-        return 2;
+        return kExitUsage;
+    }
+    if (config.fleetKey.empty()) {
+        try {
+            if (const auto key = react::net::loadFleetKey())
+                config.fleetKey = *key;
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "react-cli: %s\n", e.what());
+            return kExitUsage;
+        }
     }
     const std::string &command = positional[0];
     react::net::Client client(config);
@@ -212,21 +267,21 @@ main(int argc, char **argv)
         if (command == "ping") {
             if (!client.ping()) {
                 std::fprintf(stderr, "react-cli: no pong from %s\n",
-                             config.socketPath.c_str());
-                return 1;
+                             config.endpoint.c_str());
+                return kExitTransport;
             }
-            std::printf("pong from %s\n", config.socketPath.c_str());
-            return 0;
+            std::printf("pong from %s\n", config.endpoint.c_str());
+            return kExitOk;
         }
         if (command == "drain") {
             const uint32_t in_flight = client.drain();
             std::printf("draining; %u job(s) in flight\n", in_flight);
-            return 0;
+            return kExitOk;
         }
         if (command == "run") {
             if (positional.size() != 4) {
                 usage(argv[0]);
-                return 2;
+                return kExitUsage;
             }
             react::net::JobSpec spec = base_spec;
             if (!react::harness::parseBenchmarkKind(positional[1],
@@ -237,22 +292,25 @@ main(int argc, char **argv)
                                                  &spec.buffer)) {
                 std::fprintf(stderr, "react-cli: unknown cell name\n");
                 listNames();
-                return 2;
+                return kExitUsage;
             }
             printResult(client.runJob(spec));
-            return 0;
+            return kExitOk;
         }
         if (command == "sweep") {
             return runSweep(&client, base_spec, bench_filter,
                             trace_filter, buffer_filter);
         }
+    } catch (const react::net::ClientError &e) {
+        std::fprintf(stderr, "react-cli: %s\n", e.what());
+        return exitCodeFor(e);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "react-cli: %s\n", e.what());
-        return 1;
+        return kExitTransport;
     }
 
     std::fprintf(stderr, "react-cli: unknown command '%s'\n",
                  command.c_str());
     usage(argv[0]);
-    return 2;
+    return kExitUsage;
 }
