@@ -2,14 +2,21 @@
  * @file
  * Hot-loop throughput benchmark and CI perf-regression artifact.
  *
- * Two measurements, both single-threaded so the numbers isolate per-step
+ * All measurements are single-threaded so the numbers isolate per-step
  * engine cost from the parallel runner's scaling (BENCH_parallel.json
  * covers that axis):
  *
  *  1. Raw per-architecture step loops: each buffer is warmed past its
  *     transient and then stepped in a time-boxed tight loop, reporting
  *     steps/sec for StaticBuffer, ReactBuffer, and MorphyBuffer.
- *  2. The Table-2 Data-Encryption workload row (5 traces x 5 buffers,
+ *  2. Raw batch lane-engine loops per kernel (scalar / AVX2 / AVX-512),
+ *     reporting lane-steps/sec against the static_10mF micro row.
+ *  3. The Table-2 DE static column end to end, classic per-cell vs the
+ *     lane-major runGridCellBatch on the best kernel this host has --
+ *     the "lane_engine" speedup the regression gate holds at 2.5x --
+ *     plus an instrumented pass recording the per-phase Amdahl split
+ *     (frontend / physics / workload / bookkeeping).
+ *  4. The Table-2 Data-Encryption workload row (5 traces x 5 buffers,
  *     trace + run-until-drain): the end-to-end experiment loop the CI
  *     budget actually buys, reporting aggregate steps/sec.
  *
@@ -31,6 +38,7 @@
 #include "buffers/morphy_buffer.hh"
 #include "buffers/static_buffer.hh"
 #include "core/react_buffer.hh"
+#include "harness/batch_runner.hh"
 #include "sim/batch_stepper.hh"
 #include "sim/capacitor.hh"
 #include "sim/hotloop_stats.hh"
@@ -131,6 +139,86 @@ measureBatchLoop(sim::simd::Kernel kernel, double budget_seconds)
         elapsed = nowSeconds() - start;
     } while (elapsed < budget_seconds);
     out.wallSeconds = elapsed;
+    return out;
+}
+
+/**
+ * Table-2 DE static column end to end: classic per-cell runGridCell vs
+ * one lane-major runGridCellBatch pass on the best kernel this host has.
+ * The speedup runs uninstrumented; a second, instrumented batch pass
+ * collects the per-phase Amdahl split (clock reads perturb the loop, so
+ * the gated number and the breakdown never share a run).
+ */
+struct LaneEngineResult
+{
+    const char *kernel = "scalar";
+    size_t cells = 0;
+    double classicWallSeconds = 0.0;
+    double batchWallSeconds = 0.0;
+    size_t divergent = 0;
+    harness::BatchPhaseStats phases;
+
+    double speedup() const
+    {
+        return batchWallSeconds > 0.0
+            ? classicWallSeconds / batchWallSeconds
+            : 0.0;
+    }
+};
+
+LaneEngineResult
+measureLaneEngine(sim::simd::Kernel kernel)
+{
+    LaneEngineResult out;
+    out.kernel = sim::simd::kernelName(kernel);
+
+    std::vector<trace::PaperTrace> traces;
+    std::vector<harness::BufferKind> buffers;
+    for (const auto trace_kind : trace::kAllPaperTraces)
+        for (const auto buffer_kind : harness::kAllBuffers)
+            if (harness::isStaticBufferKind(buffer_kind)) {
+                traces.push_back(trace_kind);
+                buffers.push_back(buffer_kind);
+            }
+    out.cells = traces.size();
+
+    std::vector<harness::ExperimentResult> classic(out.cells);
+    double t0 = nowSeconds();
+    for (size_t i = 0; i < out.cells; ++i) {
+        classic[i] = harness::runGridCell(
+            buffers[i], harness::BenchmarkKind::DataEncryption, traces[i]);
+    }
+    out.classicWallSeconds = nowSeconds() - t0;
+
+    std::vector<harness::ExperimentResult> batched(out.cells);
+    std::vector<harness::GridBatchCell> cells;
+    for (size_t i = 0; i < out.cells; ++i) {
+        cells.push_back({buffers[i],
+                         harness::BenchmarkKind::DataEncryption, traces[i],
+                         &batched[i]});
+    }
+    t0 = nowSeconds();
+    harness::runGridCellBatch(cells, harness::ExperimentConfig(),
+                              harness::kEvaluationSeed, kernel);
+    out.batchWallSeconds = nowSeconds() - t0;
+
+    for (size_t i = 0; i < out.cells; ++i) {
+        if (batched[i].stateDigest != classic[i].stateDigest ||
+            batched[i].steps != classic[i].steps)
+            ++out.divergent;
+    }
+
+    // Instrumented pass for the phase split only.
+    std::vector<harness::ExperimentResult> timed(out.cells);
+    std::vector<harness::GridBatchCell> timed_cells;
+    for (size_t i = 0; i < out.cells; ++i) {
+        timed_cells.push_back({buffers[i],
+                               harness::BenchmarkKind::DataEncryption,
+                               traces[i], &timed[i]});
+    }
+    harness::runGridCellBatch(timed_cells, harness::ExperimentConfig(),
+                              harness::kEvaluationSeed, kernel,
+                              &out.phases);
     return out;
 }
 
@@ -243,6 +331,46 @@ main(int argc, char **argv)
         batch_rows.push_back(
             {"avx2", measureBatchLoop(sim::simd::Kernel::Avx2, budget)});
     }
+    const bool avx512_available = sim::simd::avx512Available();
+    if (avx512_available) {
+        batch_rows.push_back(
+            {"avx512",
+             measureBatchLoop(sim::simd::Kernel::Avx512, budget)});
+    }
+
+    // --- Table-2 DE static column, classic vs lane engine ---------------
+    // The Amdahl number: what the whole experiment loop -- frontend,
+    // gate, workload, bookkeeping, physics -- gains end to end.
+    //
+    // Kernel choice: REACT_SIMD pins one explicitly (the CI probe legs
+    // use this); otherwise pick by the measured batch-row throughput,
+    // not ISA width -- the kernels are bit-identical (the differential
+    // harness proves it) so the choice is free, and on Skylake-class
+    // parts the zmm divider makes AVX2 the faster batch kernel despite
+    // AVX-512 being "wider".
+    sim::simd::Kernel lane_kernel = sim::simd::Kernel::Scalar;
+    {
+        const sim::simd::Policy policy = sim::simd::envPolicy();
+        if (policy != sim::simd::Policy::Off &&
+            policy != sim::simd::Policy::Auto) {
+            lane_kernel = sim::simd::resolveKernel(
+                policy, avx2_available, avx512_available);
+        } else {
+            double best = 0.0;
+            for (const auto &row : batch_rows) {
+                if (row.result.stepsPerSec() <= best)
+                    continue;
+                best = row.result.stepsPerSec();
+                lane_kernel = std::strcmp(row.name, "avx512") == 0
+                    ? sim::simd::Kernel::Avx512
+                    : std::strcmp(row.name, "avx2") == 0
+                        ? sim::simd::Kernel::Avx2
+                        : sim::simd::Kernel::Scalar;
+            }
+        }
+    }
+    const LaneEngineResult lane =
+        quick ? LaneEngineResult{} : measureLaneEngine(lane_kernel);
 
     // --- Table-2 DE workload row (exact mode) --------------------------
     // Pinned to Off so the regression gate's number cannot be perturbed
@@ -263,7 +391,7 @@ main(int argc, char **argv)
 
     JsonWriter w;
     w.beginObject();
-    w.field("schema", 1);
+    w.field("schema", 2);
     w.key("micro");
     w.beginArray();
     for (const auto &row : micro) {
@@ -279,6 +407,7 @@ main(int argc, char **argv)
     w.beginObject();
     w.field("lanes", static_cast<uint64_t>(sim::BatchStepper::kMaxLanes));
     w.field("avx2_available", avx2_available);
+    w.field("avx512_available", avx512_available);
     w.key("kernels");
     w.beginArray();
     for (const auto &row : batch_rows) {
@@ -295,6 +424,39 @@ main(int argc, char **argv)
         w.endObject();
     }
     w.endArray();
+    w.endObject();
+    w.key("lane_engine");
+    w.beginObject();
+    w.field("kernel", lane.kernel);
+    w.field("cells", static_cast<uint64_t>(lane.cells));
+    w.field("classic_wall_s", lane.classicWallSeconds);
+    w.field("batch_wall_s", lane.batchWallSeconds);
+    w.field("speedup", lane.speedup());
+    w.field("bit_identical", lane.divergent == 0);
+    w.field("divergent_cells", static_cast<uint64_t>(lane.divergent));
+    {
+        // Amdahl split from the instrumented pass (fractions of the
+        // instrumented loop's own wall time, not of batch_wall_s).
+        const auto &p = lane.phases;
+        const double total_ns = static_cast<double>(
+            p.frontendNs + p.physicsNs + p.workloadNs + p.bookkeepingNs);
+        w.key("phases");
+        w.beginObject();
+        w.field("steps", p.steps);
+        w.field("frontend_ns", p.frontendNs);
+        w.field("physics_ns", p.physicsNs);
+        w.field("workload_ns", p.workloadNs);
+        w.field("bookkeeping_ns", p.bookkeepingNs);
+        w.field("frontend_frac",
+                total_ns > 0.0 ? p.frontendNs / total_ns : 0.0);
+        w.field("physics_frac",
+                total_ns > 0.0 ? p.physicsNs / total_ns : 0.0);
+        w.field("workload_frac",
+                total_ns > 0.0 ? p.workloadNs / total_ns : 0.0);
+        w.field("bookkeeping_frac",
+                total_ns > 0.0 ? p.bookkeepingNs / total_ns : 0.0);
+        w.endObject();
+    }
     w.endObject();
     w.key("table2_de");
     w.beginObject();
@@ -340,6 +502,27 @@ main(int argc, char **argv)
     }
     if (!avx2_available)
         std::printf("batch8_avx2    skipped (host lacks AVX2)\n");
+    if (!avx512_available)
+        std::printf("batch8_avx512  skipped (host lacks AVX-512F or the "
+                    "kernel was not compiled in)\n");
+    if (!quick) {
+        const auto &p = lane.phases;
+        const double total_ns = static_cast<double>(
+            p.frontendNs + p.physicsNs + p.workloadNs + p.bookkeepingNs);
+        std::printf("lane_engine    %zu cells on %s: %.2fx vs classic "
+                    "(%.2f s -> %.2f s), %s\n",
+                    lane.cells, lane.kernel, lane.speedup(),
+                    lane.classicWallSeconds, lane.batchWallSeconds,
+                    lane.divergent == 0 ? "bit-identical" : "DIVERGED");
+        if (total_ns > 0.0) {
+            std::printf("  phase split: frontend %.1f%%, physics %.1f%%, "
+                        "workload %.1f%%, bookkeeping %.1f%%\n",
+                        100.0 * p.frontendNs / total_ns,
+                        100.0 * p.physicsNs / total_ns,
+                        100.0 * p.workloadNs / total_ns,
+                        100.0 * p.bookkeepingNs / total_ns);
+        }
+    }
     if (!quick) {
         std::printf("%-14s %12.3g steps/s  (%llu steps / %.2f s, "
                     "25 cells)\n",
@@ -366,5 +549,11 @@ main(int argc, char **argv)
                 sim::hotloop::hitRate(c.schottkyCacheHits,
                                       c.schottkyCacheMisses));
     std::printf("artifact: %s\n", json_path.c_str());
+    if (!quick && lane.divergent != 0) {
+        std::fprintf(stderr, "\n%zu of %zu lane-engine cells diverged "
+                     "from classic per-cell execution\n",
+                     lane.divergent, lane.cells);
+        return 1;
+    }
     return 0;
 }

@@ -25,12 +25,16 @@
 #include "buffers/morphy_buffer.hh"
 #include "buffers/static_buffer.hh"
 #include "core/react_buffer.hh"
+#include "harness/batch_runner.hh"
 #include "harness/paper_setup.hh"
+#include "harvest/frontend.hh"
 #include "sim/batch_stepper.hh"
 #include "sim/charge_transfer.hh"
 #include "sim/simd.hh"
 #include "trace/generator.hh"
+#include "trace/power_trace.hh"
 #include "workload/aes128.hh"
+#include "workload/de_benchmark.hh"
 
 // ---------------------------------------------------------------------------
 // Counting allocator shims.  Relaxed ordering suffices: the audit reads the
@@ -189,6 +193,8 @@ runAllocationAudit()
             sim::simd::Kernel::Scalar};
         if (sim::simd::avx2Available())
             kernels.push_back(sim::simd::Kernel::Avx2);
+        if (sim::simd::avx512Available())
+            kernels.push_back(sim::simd::Kernel::Avx512);
         for (const auto kernel : kernels) {
             const uint64_t before = allocCount();
             sim::BatchStepper stepper(kernel, 1e-3);
@@ -212,10 +218,63 @@ runAllocationAudit()
             stepper.setLaneCapacitance(0, 9.9e-3, 0.9999999);
             stepper.freezeLane(1);
             stepper.step();
-            const char *name = kernel == sim::simd::Kernel::Avx2
-                ? "BatchStepper avx2" : "BatchStepper scalar";
+            const char *name = kernel == sim::simd::Kernel::Avx512
+                ? "BatchStepper avx512"
+                : kernel == sim::simd::Kernel::Avx2
+                    ? "BatchStepper avx2" : "BatchStepper scalar";
             report(name, allocCount() - before);
         }
+    }
+
+    // Batched frontend path: a whole runExperimentBatch, admission
+    // included.  Admission work -- Lane construction, compiling the
+    // trace through the frontend into power spans, seeding the lanes --
+    // may allocate; the steady stepping loop (span sweep, gate lane
+    // masks, workload ticks, bookkeeping) must not.  The same samples
+    // at two sampling rates give identical admission shapes (same
+    // sample and span counts) but a 100x different step count, so the
+    // two allocation totals must be exactly equal: any difference is a
+    // per-step allocation on the batched path.
+    {
+        auto run_allocs = [](double sample_dt) -> uint64_t {
+            std::vector<double> samples(40);
+            for (size_t i = 0; i < samples.size(); ++i)
+                samples[i] = (i % 4) == 3 ? 0.0 : 3e-3;
+            harness::ExperimentConfig config;
+            config.fastPath = harness::FastPath::Off;
+            config.drainAllowance = 1.0;
+            const uint64_t before = allocCount();
+            buffer::StaticBuffer buf_a(
+                harness::staticBufferSpec(units::Farads(10e-3)));
+            buffer::StaticBuffer buf_b(
+                harness::staticBufferSpec(units::Farads(470e-6)));
+            workload::DataEncryptionBenchmark bench_a, bench_b;
+            harvest::HarvesterFrontend frontend(
+                trace::PowerTrace(sample_dt, samples, "audit"));
+            harness::ExperimentResult res_a, res_b;
+            const harness::BatchCell cells[2] = {
+                {&buf_a, &bench_a, &frontend, &res_a},
+                {&buf_b, &bench_b, &frontend, &res_b},
+            };
+            harness::runExperimentBatch(cells, 2, config,
+                                        sim::simd::selectedKernel() ==
+                                                sim::simd::Kernel::Disabled
+                                            ? sim::simd::Kernel::Scalar
+                                            : sim::simd::selectedKernel());
+            return allocCount() - before;
+        };
+        const uint64_t short_run = run_allocs(0.05);
+        const uint64_t long_run = run_allocs(5.0);
+        const uint64_t delta = long_run > short_run
+            ? long_run - short_run : short_run - long_run;
+        std::printf("alloc-audit: %-18s %8llu admission allocations, "
+                    "+%llu over a 100x longer run %s\n",
+                    "BatchRunner",
+                    static_cast<unsigned long long>(short_run),
+                    static_cast<unsigned long long>(delta),
+                    delta == 0 ? "[ok]" : "[FAIL]");
+        if (delta != 0)
+            ++failures;
     }
 
     if (failures != 0) {

@@ -71,11 +71,11 @@ runGridCell(BufferKind buffer_kind, BenchmarkKind bench_kind,
 void
 runGridCellBatch(const std::vector<GridBatchCell> &cells,
                  const ExperimentConfig &config, uint64_t base_seed,
-                 sim::simd::Kernel kernel)
+                 sim::simd::Kernel kernel, BatchPhaseStats *stats)
 {
 
     /** Constructed components of one admitted cell, kept alive for the
-     *  duration of its batch. */
+     *  duration of the streaming run. */
     struct PreparedCell
     {
         std::unique_ptr<buffer::EnergyBuffer> buffer;
@@ -84,27 +84,7 @@ runGridCellBatch(const std::vector<GridBatchCell> &cells,
         ExperimentResult *slot;
     };
     std::vector<PreparedCell> pending;
-    pending.reserve(
-        std::min(cells.size(),
-                 static_cast<size_t>(sim::BatchStepper::kMaxLanes)));
-
-    const auto flush = [&]() {
-        if (pending.empty())
-            return;
-        std::array<BatchCell, sim::BatchStepper::kMaxLanes> batch;
-        int count = 0;
-        for (PreparedCell &prepared : pending) {
-            auto *static_buffer = dynamic_cast<buffer::StaticBuffer *>(
-                prepared.buffer.get());
-            react_assert(static_buffer != nullptr,
-                         "admitted batch cell lost its StaticBuffer");
-            batch[static_cast<size_t>(count++)] =
-                BatchCell{static_buffer, prepared.benchmark.get(),
-                          prepared.frontend.get(), prepared.slot};
-        }
-        runExperimentBatch(batch.data(), count, config, kernel);
-        pending.clear();
-    };
+    pending.reserve(cells.size());
 
     for (const GridBatchCell &cell : cells) {
         const std::string cell_key =
@@ -129,11 +109,35 @@ runGridCellBatch(const std::vector<GridBatchCell> &cells,
         pending.push_back(PreparedCell{std::move(buffer),
                                        std::move(benchmark),
                                        std::move(frontend), cell.slot});
-        if (static_cast<int>(pending.size()) ==
-            sim::BatchStepper::kMaxLanes)
-            flush();
     }
-    flush();
+    if (pending.empty())
+        return;
+
+    // Stream every admitted cell through one lane-refilled run, longest
+    // trace first: with slot refill, longest-first admission minimizes
+    // the makespan (the classic LPT schedule -- total iterations land
+    // near max(sum/kMaxLanes, longest cell) instead of the
+    // sum-of-group-maxima a fixed grouping pays).  Each cell's numbers
+    // are independent of admission order (tests prove composition
+    // independence), so the sort changes wall time only; stable_sort on
+    // the duration keeps tie order deterministic.
+    std::stable_sort(pending.begin(), pending.end(),
+                     [](const PreparedCell &a, const PreparedCell &b) {
+                         return a.frontend->traceDuration().raw() >
+                             b.frontend->traceDuration().raw();
+                     });
+    std::vector<BatchCell> batch;
+    batch.reserve(pending.size());
+    for (PreparedCell &prepared : pending) {
+        auto *static_buffer =
+            dynamic_cast<buffer::StaticBuffer *>(prepared.buffer.get());
+        react_assert(static_buffer != nullptr,
+                     "admitted batch cell lost its StaticBuffer");
+        batch.push_back(BatchCell{static_buffer, prepared.benchmark.get(),
+                                  prepared.frontend.get(), prepared.slot});
+    }
+    runExperimentBatch(batch.data(), static_cast<int>(batch.size()),
+                       config, kernel, stats);
 }
 
 bool

@@ -73,6 +73,8 @@ ExperimentResult runGridCell(BufferKind buffer_kind,
                                  ExperimentConfig(),
                              uint64_t base_seed = kEvaluationSeed);
 
+struct BatchPhaseStats;
+
 /** One grid cell for the lane engine: its identity plus the slot its
  *  result lands in. */
 struct GridBatchCell
@@ -85,21 +87,26 @@ struct GridBatchCell
 
 /**
  * Run a set of grid cells on the batch-of-cells lane engine
- * (sim/batch_stepper.hh), in groups of up to
- * sim::BatchStepper::kMaxLanes, in the given order.  Construction and
+ * (sim/batch_stepper.hh) as one lane-refilled stream, admitted longest
+ * trace first (the LPT schedule; see grid.cc).  Construction and
  * seeding are identical to runGridCell -- workload seeds derive from
- * each cell's stable identity, never from batch composition -- and
- * every slot receives bit-identical numbers to a runGridCell call.
+ * each cell's stable identity, never from batch composition or
+ * admission order -- and every slot receives bit-identical numbers to
+ * a runGridCell call.
  * Cells the lane engine cannot take (non-static buffers, checkpoint
  * env, fast path on, or a Disabled kernel) fall back to runGridCell
  * semantics inline.  @p kernel defaults to the process-wide REACT_SIMD
  * selection; benches that compare engines in one process (parallel_sweep's
- * lane_engine section) pass it explicitly.
+ * lane_engine section) pass it explicitly.  @p stats, when non-null,
+ * accumulates the per-phase wall-time split of the streaming run (see
+ * harness/batch_runner.hh; cells that fell back to runExperiment are not
+ * timed) -- pass null for gated perf runs so the loop reads no clocks.
  */
 void runGridCellBatch(const std::vector<GridBatchCell> &cells,
                       const ExperimentConfig &config = ExperimentConfig(),
                       uint64_t base_seed = kEvaluationSeed,
-                      sim::simd::Kernel kernel = sim::simd::selectedKernel());
+                      sim::simd::Kernel kernel = sim::simd::selectedKernel(),
+                      BatchPhaseStats *stats = nullptr);
 
 /** @name Name <-> enum lookups (CLI / wire protocol)
  *

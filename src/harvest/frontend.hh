@@ -16,6 +16,7 @@
 #define REACT_HARVEST_FRONTEND_HH
 
 #include <memory>
+#include <vector>
 
 #include "harvest/converter.hh"
 #include "trace/power_trace.hh"
@@ -40,6 +41,23 @@ class HarvesterFrontend
 
     /** Power delivered into the buffer at the given time. */
     Watts power(Seconds t) const;
+
+    /**
+     * Compile the per-step at-buffer power sequence of a fixed-dt
+     * replay (`t = 0; repeat { t += step_dt; power(Seconds(t)); }`)
+     * into run-length spans, appended to @p out.  The trace's raw spans
+     * (trace::PowerTrace::compileStepSpans) are mapped through the
+     * converter once per span -- zero-order hold means equal input bits
+     * yield equal output bits, so one evaluation covers every step of
+     * the span -- and adjacent spans with bit-equal outputs are merged.
+     * Sweeping the result is bit-identical to calling power() every
+     * step; the lane engine's hot loop relies on exactly that.
+     *
+     * @param step_dt Replay timestep, seconds (> 0).
+     * @param out Receives the spans (appended; not cleared).
+     */
+    void compileStepSpans(double step_dt,
+                          std::vector<trace::StepSpan> &out) const;
 
     /**
      * Earliest time at or after `t` where power() can be nonzero (the

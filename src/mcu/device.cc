@@ -14,36 +14,10 @@ Device::Device(const DeviceSpec &spec)
 }
 
 void
-Device::setState(PowerState state)
-{
-    if (powerState == PowerState::Off && state != PowerState::Off)
-        ++cycles;
-    if (state == PowerState::Off)
-        periphCurrent = 0.0;  // peripherals lose power with the MCU
-    powerState = state;
-}
-
-void
 Device::setPeripheralCurrent(double current)
 {
     react_assert(current >= 0.0, "peripheral current must be >= 0");
     periphCurrent = current;
-}
-
-double
-Device::current() const
-{
-    switch (powerState) {
-      case PowerState::Off:
-        return 0.0;
-      case PowerState::DeepSleep:
-        return deviceSpec.deepSleepCurrent + periphCurrent;
-      case PowerState::Sleep:
-        return deviceSpec.sleepCurrent + periphCurrent;
-      case PowerState::Active:
-        return deviceSpec.activeCurrent + periphCurrent;
-    }
-    return 0.0;
 }
 
 void

@@ -63,9 +63,17 @@ class Device
 
     /**
      * Set the operating mode.  Off is driven by the power gate via the
-     * harness; Sleep/Active are driven by workload code.
+     * harness; Sleep/Active are driven by workload code.  Inline: this
+     * runs once per powered step in both experiment engines.
      */
-    void setState(PowerState state);
+    void setState(PowerState state)
+    {
+        if (powerState == PowerState::Off && state != PowerState::Off)
+            ++cycles;
+        if (state == PowerState::Off)
+            periphCurrent = 0.0;  // peripherals lose power with the MCU
+        powerState = state;
+    }
 
     /** Additional peripheral current (radio, microphone...), amperes. */
     double peripheralCurrent() const { return periphCurrent; }
@@ -73,8 +81,22 @@ class Device
     /** Set the peripheral load (0 disables). */
     void setPeripheralCurrent(double current);
 
-    /** Total current drawn from the rail in the present state. */
-    double current() const;
+    /** Total current drawn from the rail in the present state.
+     *  Inline: the step loops re-query it after every tick. */
+    double current() const
+    {
+        switch (powerState) {
+          case PowerState::Off:
+            return 0.0;
+          case PowerState::DeepSleep:
+            return deviceSpec.deepSleepCurrent + periphCurrent;
+          case PowerState::Sleep:
+            return deviceSpec.sleepCurrent + periphCurrent;
+          case PowerState::Active:
+            return deviceSpec.activeCurrent + periphCurrent;
+        }
+        return 0.0;
+    }
 
     /** Count of off->on transitions (power cycles survived). */
     uint64_t powerCycles() const { return cycles; }

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * AVX-512 build of the lane kernel: the same operation sequence as
+ * detail::batchStepScalar, all 8 lanes in one __m512d per array.
+ * Bit-exactness rests on the same three facts as the AVX2 build:
+ *
+ *  - every vector op used (mul/add/sub/div/max/cmp/masked-move) is
+ *    lane-wise and correctly rounded, identical to its scalar double
+ *    counterpart; masked moves are bitwise selects, no rounding at all;
+ *  - this translation unit is compiled with -mavx512f *only* -- FMA is
+ *    a separate ISA extension that -mavx512f does not enable on this
+ *    toolchain, and -ffp-contract=off forbids the compiler from
+ *    contracting mul+add anywhere in this file (the #errors below pin
+ *    both);
+ *  - scalar early-outs are replaced by arithmetic/bitwise no-ops
+ *    exactly as in the scalar kernel (see batch_stepper.hh): the
+ *    zero-power harvest charge is zeroed through a k-mask (+0.0 added,
+ *    leaving the voltage bits alone), negative clamps force +0.0 only
+ *    on the lanes the scalar `if` would touch, and the clip is a
+ *    per-lane blend.
+ *
+ * There are deliberately no horizontal operations in this file: lane
+ * accumulators stay per-lane from admission to readout (the determinism
+ * linter's DET007 fixture pins the ban, and it scans this TU too).
+ */
+
+#ifndef __AVX512F__
+#error "batch_kernels_avx512.cc must be compiled with -mavx512f"
+#endif
+#ifdef __FMA__
+#error "FMA would contract mul+add and break scalar/SIMD bit-identity"
+#endif
+
+#include <immintrin.h>
+
+#include "sim/batch_stepper.hh"
+
+namespace react {
+namespace sim {
+namespace detail {
+
+namespace {
+
+/** (halfC * v) * v: units::capEnergy's operation sequence. */
+inline __m512d
+laneEnergy(__m512d half_c, __m512d v)
+{
+    return _mm512_mul_pd(_mm512_mul_pd(half_c, v), v);
+}
+
+} // namespace
+
+void
+batchStepAvx512(BatchLaneState &s)
+{
+    static_assert(BatchLaneState::kMaxLanes == 8,
+                  "one 8-wide vector covers the batch");
+
+    const __m512d dt = _mm512_set1_pd(s.dt);
+    const __m512d zero = _mm512_setzero_pd();
+    const __m512d v_floor = _mm512_set1_pd(0.2);
+
+    const __m512d decay = _mm512_load_pd(&s.decay[0]);
+    const __m512d half_c = _mm512_load_pd(&s.halfC[0]);
+    const __m512d cap = _mm512_load_pd(&s.capacitance[0]);
+    const __m512d clamp = _mm512_load_pd(&s.clamp[0]);
+    const __m512d p = _mm512_load_pd(&s.harvestW[0]);
+    const __m512d dq_over_cap = _mm512_load_pd(&s.dqOverCap[0]);
+    const __m512d v0 = _mm512_load_pd(&s.v[0]);
+
+    // 1. Self-discharge.
+    const __m512d v1 = _mm512_mul_pd(v0, decay);
+    const __m512d leaked = _mm512_add_pd(
+        _mm512_load_pd(&s.leaked[0]),
+        _mm512_sub_pd(laneEnergy(half_c, v0), laneEnergy(half_c, v1)));
+    _mm512_store_pd(&s.leaked[0], leaked);
+
+    // 2. Harvest.  q is zeroed (to +0.0) on zero-power lanes through
+    //    the P > 0 k-mask, making the addCharge a bitwise no-op.
+    const __m512d v_eff = _mm512_max_pd(v1, v_floor);
+    const __m512d current = _mm512_div_pd(p, v_eff);
+    const __mmask8 p_mask = _mm512_cmp_pd_mask(p, zero, _CMP_GT_OQ);
+    const __m512d q =
+        _mm512_maskz_mov_pd(p_mask, _mm512_mul_pd(current, dt));
+    __m512d v2 = _mm512_add_pd(v1, _mm512_div_pd(q, cap));
+    // addCharge's negative clamp: where v < 0, force +0.0.
+    v2 = _mm512_mask_mov_pd(v2, _mm512_cmp_pd_mask(v2, zero, _CMP_LT_OQ),
+                            zero);
+    const __m512d harvested = _mm512_add_pd(
+        _mm512_load_pd(&s.harvested[0]),
+        _mm512_sub_pd(laneEnergy(half_c, v2), laneEnergy(half_c, v1)));
+    _mm512_store_pd(&s.harvested[0], harvested);
+
+    // 3. Backend load: the voltage delta (-(I*dt))/C is precomputed by
+    //    the load/capacitance setters (its operands only move there,
+    //    and IEEE division is deterministic, so the cached quotient is
+    //    bitwise the per-step division) -- a -0.0 no-op on idle lanes
+    //    and one fewer vector divide per step.
+    __m512d v3 = _mm512_add_pd(v2, dq_over_cap);
+    v3 = _mm512_mask_mov_pd(v3, _mm512_cmp_pd_mask(v3, zero, _CMP_LT_OQ),
+                            zero);
+    const __m512d delivered = _mm512_add_pd(
+        _mm512_load_pd(&s.delivered[0]),
+        _mm512_sub_pd(laneEnergy(half_c, v2), laneEnergy(half_c, v3)));
+    _mm512_store_pd(&s.delivered[0], delivered);
+
+    // 4. Overvoltage protection: per-lane blend, no rounding.
+    const __mmask8 clip_mask =
+        _mm512_cmp_pd_mask(v3, clamp, _CMP_GT_OQ);
+    const __m512d v4 = _mm512_mask_mov_pd(v3, clip_mask, clamp);
+    const __m512d clipped = _mm512_add_pd(
+        _mm512_load_pd(&s.clipped[0]),
+        _mm512_sub_pd(laneEnergy(half_c, v3), laneEnergy(half_c, v4)));
+    _mm512_store_pd(&s.clipped[0], clipped);
+
+    _mm512_store_pd(&s.v[0], v4);
+}
+
+} // namespace detail
+} // namespace sim
+} // namespace react

@@ -57,10 +57,11 @@ batchStepScalar(BatchLaneState &s)
             laneEnergy(half_c, v2) - laneEnergy(half_c, v1);
 
         // 3. Backend load: applyCurrent(-I, dt).  (-I)*dt and -(I*dt)
-        //    are the same bits (negation is exact), and at I == 0 the
-        //    added -0.0/C term is again a bitwise no-op.
-        const double dq = -(s.loadA[l] * s.dt);
-        double v3 = v2 + dq / cap;
+        //    are the same bits (negation is exact), at I == 0 the
+        //    added -0.0/C term is again a bitwise no-op, and the
+        //    division's operands only move through the setters, so the
+        //    cached quotient is bitwise the per-step division.
+        double v3 = v2 + s.dqOverCap[l];
         if (v3 < 0.0)
             v3 = 0.0;
         s.delivered[l] +=
@@ -76,11 +77,98 @@ batchStepScalar(BatchLaneState &s)
     }
 }
 
+bool
+batchStepQuiet(BatchLaneState &s)
+{
+    // With every lane unpowered and unloaded, phases 2-4 of the full
+    // kernel are bitwise no-ops (see the header comment), so only the
+    // leak phase remains -- unless a lane sits above its clamp (a fresh
+    // admission can seed that), in which case phase 4 would fire and we
+    // must not have mutated anything yet.  Check first, commit second.
+    double v1[BatchLaneState::kMaxLanes];
+    bool clips = false;
+    for (int l = 0; l < BatchLaneState::kMaxLanes; ++l) {
+        v1[l] = s.v[l] * s.decay[l];
+        clips |= v1[l] > s.clamp[l];
+    }
+    if (clips)
+        return false;
+    for (int l = 0; l < BatchLaneState::kMaxLanes; ++l) {
+        s.leaked[l] +=
+            laneEnergy(s.halfC[l], s.v[l]) - laneEnergy(s.halfC[l], v1[l]);
+        s.v[l] = v1[l];
+    }
+    return true;
+}
+
+namespace {
+
+/** One lane of batchStepScalar, same statements in the same order.
+ *  Kept separate from the 8-lane loop so the hot all-lane kernel's
+ *  codegen (auto-vectorization included) is not perturbed by another
+ *  call site. */
+void
+stepOneLaneFull(BatchLaneState &s, int l)
+{
+    const double half_c = s.halfC[l];
+    const double cap = s.capacitance[l];
+
+    const double v0 = s.v[l];
+    const double v1 = v0 * s.decay[l];
+    s.leaked[l] += laneEnergy(half_c, v0) - laneEnergy(half_c, v1);
+
+    const double p = s.harvestW[l];
+    const double v_eff = std::max(v1, 0.2);
+    const double current = p / v_eff;
+    double q = current * s.dt;
+    if (!(p > 0.0))
+        q = 0.0;
+    double v2 = v1 + q / cap;
+    if (v2 < 0.0)
+        v2 = 0.0;
+    s.harvested[l] += laneEnergy(half_c, v2) - laneEnergy(half_c, v1);
+
+    double v3 = v2 + s.dqOverCap[l];
+    if (v3 < 0.0)
+        v3 = 0.0;
+    s.delivered[l] += laneEnergy(half_c, v2) - laneEnergy(half_c, v3);
+
+    double v4 = v3;
+    if (v4 > s.clamp[l])
+        v4 = s.clamp[l];
+    s.clipped[l] += laneEnergy(half_c, v3) - laneEnergy(half_c, v4);
+
+    s.v[l] = v4;
+}
+
+} // namespace
+
+void
+batchStepScalarLower(BatchLaneState &s)
+{
+    for (int l = 0; l < BatchLaneState::kMaxLanes / 2; ++l)
+        stepOneLaneFull(s, l);
+}
+
 #ifndef REACT_HAVE_AVX2_KERNEL
 void
 batchStepAvx2(BatchLaneState &)
 {
     react_panic("AVX2 lane kernel was not compiled into this binary");
+}
+
+void
+batchStepAvx2Lower(BatchLaneState &)
+{
+    react_panic("AVX2 lane kernel was not compiled into this binary");
+}
+#endif
+
+#ifndef REACT_HAVE_AVX512_KERNEL
+void
+batchStepAvx512(BatchLaneState &)
+{
+    react_panic("AVX-512 lane kernel was not compiled into this binary");
 }
 #endif
 
@@ -96,8 +184,31 @@ BatchStepper::BatchStepper(simd::Kernel kernel, double dt)
         react_assert(simd::avx2Available(),
                      "AVX2 lane kernel selected but unavailable "
                      "(resolveKernel should have rejected this)");
-    stepFn = kernel == simd::Kernel::Avx2 ? detail::batchStepAvx2
-                                          : detail::batchStepScalar;
+    if (kernel == simd::Kernel::Avx512)
+        react_assert(simd::avx512Available(),
+                     "AVX-512 lane kernel selected but unavailable "
+                     "(resolveKernel should have rejected this)");
+    switch (kernel) {
+    case simd::Kernel::Avx512:
+        stepFn = detail::batchStepAvx512;
+        break;
+    case simd::Kernel::Avx2:
+        stepFn = detail::batchStepAvx2;
+        break;
+    default:
+        stepFn = detail::batchStepScalar;
+        break;
+    }
+    // The half-width tail step: any AVX-512 part also runs AVX2, so
+    // both vector kernels share the 4-wide ymm lower step (the xmm/ymm
+    // divider is the win over a full-width zmm divide on ragged tails).
+#ifdef REACT_HAVE_AVX2_KERNEL
+    stepLowerFn = kernel == simd::Kernel::Scalar
+        ? detail::batchStepScalarLower
+        : detail::batchStepAvx2Lower;
+#else
+    stepLowerFn = detail::batchStepScalarLower;
+#endif
     state.dt = dt;
     // Inert padding lanes: the kernels process all kMaxLanes
     // unconditionally, so unadmitted lanes carry values for which every
@@ -110,6 +221,7 @@ BatchStepper::BatchStepper(simd::Kernel kernel, double dt)
         state.clamp[l] = 1.0;
         state.harvestW[l] = 0.0;
         state.loadA[l] = 0.0;
+        state.dqOverCap[l] = -0.0;
         state.leaked[l] = 0.0;
         state.harvested[l] = 0.0;
         state.delivered[l] = 0.0;
@@ -122,22 +234,31 @@ BatchStepper::addLane(const BatchLaneInit &init)
 {
     react_assert(laneCount < kMaxLanes, "batch is full (%d lanes)",
                  kMaxLanes);
+    const int lane = laneCount;
+    reinitLane(lane, init);
+    return lane;
+}
+
+void
+BatchStepper::reinitLane(int lane, const BatchLaneInit &init)
+{
+    react_assert(lane >= 0 && lane < kMaxLanes,
+                 "lane index %d out of range", lane);
     react_assert(init.capacitance > 0.0,
                  "lane capacitance must be positive");
     react_assert(init.clamp > 0.0, "lane clamp must be positive");
-    const int lane = laneCount++;
+    laneCount = std::max(laneCount, lane + 1);
     state.v[lane] = init.voltage;
     state.decay[lane] = init.leakDecay;
     state.halfC[lane] = 0.5 * init.capacitance;
     state.capacitance[lane] = init.capacitance;
     state.clamp[lane] = init.clamp;
-    state.harvestW[lane] = 0.0;
-    state.loadA[lane] = 0.0;
+    setHarvestPower(lane, 0.0);
+    setLoadCurrent(lane, 0.0);
     state.leaked[lane] = init.leaked;
     state.harvested[lane] = init.harvested;
     state.delivered[lane] = init.delivered;
     state.clipped[lane] = init.clipped;
-    return lane;
 }
 
 void
@@ -148,14 +269,40 @@ BatchStepper::setLaneCapacitance(int lane, double capacitance,
     state.capacitance[lane] = capacitance;
     state.halfC[lane] = 0.5 * capacitance;
     state.decay[lane] = leak_decay;
+    // The cached load-phase quotient divides by the capacitance;
+    // refresh it for the new part (same operand sequence as the
+    // setter, so the bits match a per-step division).
+    state.dqOverCap[lane] =
+        (-(state.loadA[lane] * state.dt)) / capacitance;
+}
+
+void
+BatchStepper::stepLane(int lane)
+{
+    react_assert(lane >= 0 && lane < kMaxLanes,
+                 "lane index %d out of range", lane);
+    // Per-lane quiet peephole, same reasoning as batchStepQuiet but for
+    // one lane: unpowered and unloaded means phases 2-4 are bitwise
+    // no-ops unless the post-leak voltage would clip.
+    if (!lanePowered[lane] && !laneLoaded[lane]) {
+        const double v0 = state.v[lane];
+        const double v1 = v0 * state.decay[lane];
+        if (!(v1 > state.clamp[lane])) {
+            state.leaked[lane] += detail::laneEnergy(state.halfC[lane], v0) -
+                detail::laneEnergy(state.halfC[lane], v1);
+            state.v[lane] = v1;
+            return;
+        }
+    }
+    detail::stepOneLaneFull(state, lane);
 }
 
 void
 BatchStepper::freezeLane(int lane)
 {
     state.decay[lane] = 1.0;
-    state.harvestW[lane] = 0.0;
-    state.loadA[lane] = 0.0;
+    setHarvestPower(lane, 0.0);
+    setLoadCurrent(lane, 0.0);
 }
 
 } // namespace sim

@@ -12,6 +12,8 @@
 #ifndef REACT_SIM_POWER_GATE_HH
 #define REACT_SIM_POWER_GATE_HH
 
+#include <cstdint>
+
 #include "util/units.hh"
 
 namespace react {
@@ -80,6 +82,63 @@ class PowerGate
     Volts vBrownout;
     bool on = false;
     FaultInjector *faults = nullptr;
+};
+
+/**
+ * Lane-major mirror of up to kMaxLanes PowerGate latches for the batch
+ * runner's hot loop: the per-step threshold check becomes one compare
+ * pair per lane producing a transition bitmask -- no call, no unit
+ * wrapping, no per-lane object walk.
+ *
+ * Without a fault injector, PowerGate::update is a pure hysteresis
+ * latch (compare against one of two fixed thresholds), so the mirror
+ * is bit-identical by construction; the authoritative PowerGate object
+ * remains the source of truth for serialization, and the runner calls
+ * its update() on every flagged transition to keep the two in lockstep.
+ * Lanes whose gate observes the rail through an injector must NOT be
+ * mirrored: comparatorRead consumes injector randomness on every call,
+ * so those lanes keep their per-step update() (clear their liveMask
+ * bit).
+ */
+struct GateLaneBank
+{
+    static constexpr int kMaxLanes = 8;
+
+    /** Rising enable threshold per lane, volts. */
+    double vEnable[kMaxLanes] = {};
+    /** Falling brown-out threshold per lane, volts. */
+    double vBrownout[kMaxLanes] = {};
+    /** Bit l set: lane l's latch is currently on. */
+    uint8_t onMask = 0;
+    /** Bit l set: lane l is mirrored here (live, injector-free). */
+    uint8_t liveMask = 0;
+
+    /**
+     * The hysteresis check for every mirrored lane at once.
+     *
+     * @param rail Lane-major rail voltages (e.g.
+     *        sim::BatchStepper::voltages()).
+     * @return Mask of mirrored lanes whose latch flips on this rail.
+     *         The caller forwards each flip to the authoritative
+     *         PowerGate::update and toggles onMask.
+     */
+    uint8_t transitionMask(const double *rail) const
+    {
+        uint8_t flips = 0;
+        for (int l = 0; l < kMaxLanes; ++l) {
+            const bool on = (onMask >> l) & 1u;
+            const bool flip = on ? rail[l] <= vBrownout[l]
+                                 : rail[l] >= vEnable[l];
+            flips |= static_cast<uint8_t>(flip ? 1u << l : 0u);
+        }
+        return flips & liveMask;
+    }
+
+    /** Apply a transition mask to the latch mirror. */
+    void toggle(uint8_t mask) { onMask ^= mask; }
+
+    /** The mirrored latch state for one lane. */
+    bool isOn(int lane) const { return (onMask >> lane) & 1u; }
 };
 
 } // namespace sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -112,6 +113,56 @@ PowerTrace::power(double t) const
     if (idx >= samples.size())
         return 0.0;
     return samples[idx];
+}
+
+namespace {
+
+/** Bit equality: the span sweep must reproduce power()'s exact result
+ *  doubles, and value equality would conflate 0.0 with -0.0 (whose bits
+ *  diverge downstream, e.g. through std::max in a converter). */
+inline bool
+sameBits(double a, double b)
+{
+    uint64_t ab, bb;
+    std::memcpy(&ab, &a, sizeof(ab));
+    std::memcpy(&bb, &b, sizeof(bb));
+    return ab == bb;
+}
+
+} // namespace
+
+void
+PowerTrace::compileStepSpans(double step_dt,
+                             std::vector<StepSpan> &out) const
+{
+    react_assert(step_dt > 0.0, "span replay timestep must be positive");
+    const size_t n = samples.size();
+    double t = 0.0;
+    double current = 0.0;
+    uint64_t run = 0;
+    if (n > 0) {
+        for (;;) {
+            // Exactly power()'s arithmetic under the caller's
+            // accumulated t (t > 0 always holds here).
+            t += step_dt;
+            const size_t idx = static_cast<size_t>(t / dt);
+            if (idx >= n)
+                break;
+            const double w = samples[idx];
+            if (run > 0 && sameBits(w, current)) {
+                ++run;
+                continue;
+            }
+            if (run > 0)
+                out.push_back({current, run});
+            current = w;
+            run = 1;
+        }
+        if (run > 0)
+            out.push_back({current, run});
+    }
+    // Past the trace end power() is 0.0 forever (t only grows).
+    out.push_back({0.0, StepSpan::kOpenEnded});
 }
 
 double

@@ -15,6 +15,7 @@
 #define REACT_TRACE_POWER_TRACE_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -35,6 +36,26 @@ class TraceError : public std::runtime_error
         : std::runtime_error(what_arg)
     {
     }
+};
+
+/**
+ * One run of consecutive fixed-dt replay steps over which power() keeps
+ * returning the same double (bit-identical).  The batch runner's hot
+ * loop consumes a precompiled span table as a linear sweep -- one
+ * counter decrement per lane per step -- instead of a per-step
+ * divide-and-index lookup.
+ */
+struct StepSpan
+{
+    /** steps value of the final span: the trace has ended and power()
+     *  is 0.0 (or the converter's image of 0.0) forever after. */
+    static constexpr uint64_t kOpenEnded = ~0ull;
+
+    /** power() during every step of the span, watts. */
+    double watts = 0.0;
+    /** Number of consecutive steps the value holds (kOpenEnded for the
+     *  unbounded tail past the trace end). */
+    uint64_t steps = 0;
 };
 
 /** Summary statistics for a trace (the paper's Table 3 row). */
@@ -92,6 +113,23 @@ class PowerTrace
      * harness to size quiescent fast-path horizons.
      */
     double zeroUntil(double t) const;
+
+    /**
+     * Compile the fixed-dt replay `t = 0; repeat { t += step_dt;
+     * power(t); }` into run-length spans, appended to @p out.  The
+     * boundaries come from replaying that exact accumulated-t sequence
+     * (including its floating-point rounding) through power()'s own
+     * index arithmetic, so sweeping the spans yields bit-identical
+     * power values to calling power() every step -- this is what lets
+     * the lane engine hoist trace sampling out of its hot loop.  The
+     * final span is the unbounded zero tail past the trace end
+     * (StepSpan::kOpenEnded).
+     *
+     * @param step_dt Replay timestep, seconds (> 0).
+     * @param out Receives the spans (appended; not cleared).
+     */
+    void compileStepSpans(double step_dt,
+                          std::vector<StepSpan> &out) const;
 
     /** Total energy contained in the trace, in joules. */
     double totalEnergy() const;

@@ -115,6 +115,18 @@ class Benchmark
     /** Advance the workload by one tick (only called while powered). */
     virtual void tick(BenchContext &ctx) = 0;
 
+    /**
+     * Does tick() ever read ctx.buffer?  Workloads that adapt to the
+     * buffer's energy state (RT, PF) return true (the default);
+     * fixed-pipeline workloads (DE, SC) override to false, which lets
+     * the lane engine skip re-syncing the lane voltage into the buffer
+     * object before every tick (the lane array is the compute truth
+     * while a cell is batched; see harness/batch_runner.cc).  Power
+     * hooks may observe the buffer regardless -- the contract covers
+     * tick() only.
+     */
+    virtual bool tickObservesBuffer() const { return true; }
+
     /** Primary figure of merit (encryptions, samples, transmissions...). */
     uint64_t workUnits() const { return work; }
 

@@ -28,6 +28,8 @@ class DataEncryptionBenchmark : public Benchmark
 
     std::string name() const override { return "DE"; }
     void tick(BenchContext &ctx) override;
+    /** Fixed pipeline: tick() reads only the device and clock. */
+    bool tickObservesBuffer() const override { return false; }
     void onPowerDown(BenchContext &ctx) override;
     void reset() override;
 

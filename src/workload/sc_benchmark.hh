@@ -39,6 +39,8 @@ class SenseComputeBenchmark : public Benchmark
 
     std::string name() const override { return "SC"; }
     void tick(BenchContext &ctx) override;
+    /** Fixed pipeline: tick() reads only the device and clock. */
+    bool tickObservesBuffer() const override { return false; }
     void onPowerDown(BenchContext &ctx) override;
     void reset() override;
 

@@ -1,43 +1,46 @@
-# Golden-file regression check under the AVX2 lane engine, run as a
+# Golden-file regression check under a vector lane engine, run as a
 # ctest entry:
 #
-#   cmake -DPROBE=<simd_probe> -DBENCH=<bench> -DOUT=<scratch csv>
-#         -DGOLDEN=<fixture> -P golden_simd.cmake
+#   cmake -DPROBE=<simd_probe> -DSIMD=<avx2|avx512> -DBENCH=<bench>
+#         -DOUT=<scratch csv> -DGOLDEN=<fixture> -P golden_simd.cmake
 #
-# Reruns a bench with REACT_SIMD=avx2 and requires the CSV to be
+# Reruns a bench with REACT_SIMD=${SIMD} and requires the CSV to be
 # byte-identical to the *same* committed fixture the scalar golden.*
 # entry uses: the lane kernels are bit-exact by contract, so there is
 # exactly one golden per bench, whatever engine produced it.
 #
-# On hosts that cannot run the AVX2 kernel the probe fails and this
-# script prints the [SKIP-NO-AVX2] marker; the registration's
+# On hosts that cannot run the requested kernel the probe fails and
+# this script prints the [SKIP-NO-SIMD] marker; the registration's
 # SKIP_REGULAR_EXPRESSION turns that into a ctest skip with the probe's
 # explanation attached -- never a silent pass, never a bogus failure.
 if(NOT PROBE OR NOT BENCH OR NOT OUT OR NOT GOLDEN)
     message(FATAL_ERROR
         "golden_simd.cmake needs -DPROBE, -DBENCH, -DOUT, -DGOLDEN")
 endif()
+if(NOT SIMD)
+    set(SIMD avx2)
+endif()
 
 execute_process(
-    COMMAND ${PROBE}
+    COMMAND ${PROBE} ${SIMD}
     RESULT_VARIABLE probe_rc
     OUTPUT_VARIABLE probe_out
     ERROR_VARIABLE probe_out)
 if(NOT probe_rc EQUAL 0)
     message(STATUS
-        "[SKIP-NO-AVX2] skipping REACT_SIMD=avx2 golden rerun: "
+        "[SKIP-NO-SIMD] skipping REACT_SIMD=${SIMD} golden rerun: "
         "${probe_out}")
     return()
 endif()
 
 execute_process(
-    COMMAND ${CMAKE_COMMAND} -E env REACT_SIMD=avx2 ${BENCH} --csv ${OUT}
+    COMMAND ${CMAKE_COMMAND} -E env REACT_SIMD=${SIMD} ${BENCH} --csv ${OUT}
     RESULT_VARIABLE run_rc
     OUTPUT_VARIABLE run_out
     ERROR_VARIABLE run_out)
 if(NOT run_rc EQUAL 0)
     message(FATAL_ERROR
-        "REACT_SIMD=avx2 ${BENCH} exited with ${run_rc}:\n${run_out}")
+        "REACT_SIMD=${SIMD} ${BENCH} exited with ${run_rc}:\n${run_out}")
 endif()
 
 execute_process(
@@ -47,7 +50,7 @@ if(NOT diff_rc EQUAL 0)
     execute_process(COMMAND diff -u ${GOLDEN} ${OUT}
                     OUTPUT_VARIABLE diff_text ERROR_QUIET)
     message(FATAL_ERROR
-        "AVX2 lane engine diverged from the golden fixture ${GOLDEN}\n"
+        "${SIMD} lane engine diverged from the golden fixture ${GOLDEN}\n"
         "${diff_text}\n"
         "The lane kernels are bit-exact by contract; do NOT regenerate "
         "the fixture -- find the divergent operation "

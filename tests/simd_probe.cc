@@ -1,21 +1,42 @@
 /**
  * @file
- * Tiny capability probe for the golden.simd.* ctest lane: exits 0 when
- * this host and build can run the AVX2 lane kernel, 1 otherwise.  The
- * driver script (tests/golden/golden_simd.cmake) turns a non-zero exit
- * into a ctest SKIP with the printed explanation -- the golden suite
- * must degrade to "skipped, and here is why" on non-AVX2 hosts, never
- * to a silent pass or a spurious failure.
+ * Tiny capability probe for the golden.simd*.* ctest lanes: exits 0
+ * when this host and build can run the requested lane kernel ("avx2"
+ * by default, "avx512" as argv[1]), 1 otherwise.  The driver script
+ * (tests/golden/golden_simd.cmake) turns a non-zero exit into a ctest
+ * SKIP with the printed explanation -- the golden suite must degrade
+ * to "skipped, and here is why" on incapable hosts, never to a silent
+ * pass or a spurious failure.
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "sim/simd.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace react::sim::simd;
+    const char *mode = argc > 1 ? argv[1] : "avx2";
+    if (std::strcmp(mode, "avx512") == 0) {
+        std::printf("cpu supports avx512f: %s; avx512 kernel compiled "
+                    "in: %s\n",
+                    cpuSupportsAvx512f() ? "yes" : "no",
+                    avx512KernelCompiled() ? "yes" : "no");
+        if (!avx512Available()) {
+            std::printf("AVX-512 lane kernel unavailable; "
+                        "REACT_SIMD=avx512 runs must be skipped on this "
+                        "host\n");
+            return 1;
+        }
+        return 0;
+    }
+    if (std::strcmp(mode, "avx2") != 0) {
+        std::printf("unknown probe mode '%s' (expected avx2 or avx512)\n",
+                    mode);
+        return 2;
+    }
     std::printf("cpu supports avx2: %s; avx2 kernel compiled in: %s\n",
                 cpuSupportsAvx2() ? "yes" : "no",
                 avx2KernelCompiled() ? "yes" : "no");

@@ -12,9 +12,14 @@
  *    rail recording) asserting byte-identical stateDigest, ledger
  *    totals, counters, and residuals per kernel;
  *  - a seeded randomized sweep -- hundreds of generated cells over
- *    capacitance x trace shape x fault schedule x workload -- with a
- *    shrinker that, on first divergence, minimizes the failing cell's
- *    trace and prints a one-line "REPRO:" recipe;
+ *    capacitance x trace shape (bursty, gate-flappy, zero-tailed, at
+ *    ragged sample periods) x converter frontend (identity, datasheet
+ *    presets, randomized sigmoids -- per lane, mixed within a batch)
+ *    x fault schedule x workload -- with a shrinker that, on first
+ *    divergence, minimizes the failing cell's trace and prints a
+ *    one-line "REPRO:" recipe;
+ *  - a span-compilation differential walking the admission-time
+ *    frontend table step by step against the per-step power() path;
  *  - batch-shape properties: permutations, splits (8 vs 4+4 vs 3+5),
  *    ragged tails, and grid chunking must not change any cell's bytes,
  *    which is what makes the engine safe under any thread count (a
@@ -35,6 +40,7 @@
 
 #include "buffers/static_buffer.hh"
 #include "harness/batch_runner.hh"
+#include "harvest/converter.hh"
 #include "harness/experiment.hh"
 #include "harness/grid.hh"
 #include "harness/paper_setup.hh"
@@ -99,14 +105,16 @@ expectBitIdentical(const ExperimentResult &got, const ExperimentResult &want,
     }
 }
 
-/** The lane kernels this host can run: scalar always, AVX2 when the
- *  build and the CPU allow.  Differential tests iterate all of them. */
+/** The lane kernels this host can run: scalar always, AVX2/AVX-512 when
+ *  the build and the CPU allow.  Differential tests iterate all of them. */
 std::vector<sim::simd::Kernel>
 availableKernels()
 {
     std::vector<sim::simd::Kernel> kernels = {sim::simd::Kernel::Scalar};
     if (sim::simd::avx2Available())
         kernels.push_back(sim::simd::Kernel::Avx2);
+    if (sim::simd::avx512Available())
+        kernels.push_back(sim::simd::Kernel::Avx512);
     return kernels;
 }
 
@@ -148,6 +156,20 @@ struct CellSpec
     /** Trace synthesis inputs (seeded random bursts). */
     int traceSamples = 300;
     uint64_t traceSeed = 1;
+    /** Trace sample period; varies per lane, so one batch mixes span
+     *  boundaries that never line up across lanes. */
+    double traceDt = 0.1;
+    /** 0 = random bursts, 1 = gate-flappy near-threshold micro-bursts,
+     *  2 = bursts with a hard zero-power tail (settle/drain path). */
+    int traceShape = 0;
+    /** 0 = identity (null converter), 1 = RF rectifier preset,
+     *  2 = solar boost preset, 3 = randomized sigmoid (params below). */
+    int converterKind = 0;
+    double convEtaFloor = 0.05;
+    double convEtaCeiling = 0.9;
+    double convPHalfW = 1e-3;
+    double convSlope = 2.0;
+    double convQuiescentW = 5e-6;
     /** FaultPlan::stress severity (0 = fault-free). */
     double faultSeverity = 0.0;
     uint64_t faultSeed = 0x5eedull;
@@ -157,15 +179,18 @@ struct CellSpec
 
     std::string repro() const
     {
-        char buf[256];
+        char buf[512];
         std::snprintf(buf, sizeof(buf),
                       "REPRO: sweep_seed=%llu index=%d cap=%.17g clamp=%.17g "
-                      "trace_samples=%d trace_seed=%llu fault_severity=%.17g "
+                      "trace_samples=%d trace_seed=%llu trace_dt=%.17g "
+                      "trace_shape=%d conv=%d conv_params=[%.17g %.17g %.17g "
+                      "%.17g %.17g] fault_severity=%.17g "
                       "fault_seed=%llu bench=%d bench_seed=%llu",
                       static_cast<unsigned long long>(sweepSeed), index,
                       capacitanceF, clampV, traceSamples,
-                      static_cast<unsigned long long>(traceSeed),
-                      faultSeverity,
+                      static_cast<unsigned long long>(traceSeed), traceDt,
+                      traceShape, converterKind, convEtaFloor, convEtaCeiling,
+                      convPHalfW, convSlope, convQuiescentW, faultSeverity,
                       static_cast<unsigned long long>(faultSeed), benchKind,
                       static_cast<unsigned long long>(benchSeed));
         return buf;
@@ -192,6 +217,23 @@ drawCell(uint64_t sweep_seed, int index)
     spec.traceSeed = rng.next();
     spec.benchKind = rng.uniformInt(-1, 3);
     spec.benchSeed = rng.next();
+    // Ragged sample periods: span boundaries land on different steps in
+    // every lane, so batch-mate span advances never align.
+    const double dts[] = {0.05, 0.1, 0.2};
+    spec.traceDt = dts[rng.uniformInt(0, 2)];
+    spec.traceSamples =
+        static_cast<int>(spec.traceSamples * (0.1 / spec.traceDt));
+    spec.traceShape = rng.uniformInt(0, 2);
+    // Per-lane frontend: mix identity, the two datasheet presets, and
+    // fully randomized sigmoid parameters within one batch.
+    spec.converterKind = rng.uniformInt(0, 3);
+    if (spec.converterKind == 3) {
+        spec.convEtaFloor = rng.uniform(0.01, 0.2);
+        spec.convEtaCeiling = rng.uniform(0.6, 0.95);
+        spec.convPHalfW = std::pow(10.0, rng.uniform(-4.0, -2.0));
+        spec.convSlope = rng.uniform(1.0, 4.0);
+        spec.convQuiescentW = std::pow(10.0, rng.uniform(-6.0, -4.5));
+    }
     // Half the batch groups run fault-free; the rest get the canonical
     // mixed stress plan at a group-random severity (aging resyncs lane
     // constants mid-batch, dropouts gate the harvest, comparator faults
@@ -207,22 +249,38 @@ drawCell(uint64_t sweep_seed, int index)
 
 /** Synthesize the spec's trace: seeded random bursts with hard zeros
  *  (exercising the no-harvest masked path) and occasional strong
- *  samples (exercising the overvoltage clip). */
+ *  samples (exercising the overvoltage clip).  Shape 1 is micro-bursts
+ *  that hold the rail in the hysteresis band so the gate latch flips
+ *  constantly (including right at lane freeze boundaries); shape 2
+ *  appends a hard zero-power tail covering the settle/drain exits. */
 PowerTrace
 cellTrace(const CellSpec &spec)
 {
     Rng rng(spec.traceSeed);
+    const size_t want = static_cast<size_t>(spec.traceSamples);
     std::vector<double> samples;
-    samples.reserve(static_cast<size_t>(spec.traceSamples));
-    while (samples.size() < static_cast<size_t>(spec.traceSamples)) {
-        const bool dark = rng.uniform() < 0.4;
-        const int span = rng.uniformInt(5, 40);
-        const double watts = dark ? 0.0 : rng.uniform(0.5e-3, 30e-3);
-        for (int i = 0; i < span &&
-             samples.size() < static_cast<size_t>(spec.traceSamples); ++i)
-            samples.push_back(watts);
+    samples.reserve(want);
+    if (spec.traceShape == 1) {
+        bool dark = rng.uniform() < 0.5;
+        while (samples.size() < want) {
+            const int span = rng.uniformInt(1, 4);
+            const double watts = dark ? 0.0 : rng.uniform(20e-3, 60e-3);
+            for (int i = 0; i < span && samples.size() < want; ++i)
+                samples.push_back(watts);
+            dark = !dark;
+        }
+    } else {
+        const size_t lit = spec.traceShape == 2 ? want * 7 / 10 : want;
+        while (samples.size() < lit) {
+            const bool dark = rng.uniform() < 0.4;
+            const int span = rng.uniformInt(5, 40);
+            const double watts = dark ? 0.0 : rng.uniform(0.5e-3, 30e-3);
+            for (int i = 0; i < span && samples.size() < lit; ++i)
+                samples.push_back(watts);
+        }
+        samples.resize(want, 0.0);
     }
-    return PowerTrace(0.1, std::move(samples),
+    return PowerTrace(spec.traceDt, std::move(samples),
                       "diff-" + std::to_string(spec.index));
 }
 
@@ -254,8 +312,25 @@ buildCell(const CellSpec &spec)
             kAllBenchmarks[static_cast<size_t>(spec.benchKind)],
             built.trace->duration() + built.config.drainAllowance,
             spec.benchSeed);
-    built.frontend =
-        std::make_unique<harvest::HarvesterFrontend>(*built.trace);
+    std::unique_ptr<harvest::Converter> converter;
+    switch (spec.converterKind) {
+    case 1:
+        converter = std::make_unique<harvest::RfRectifier>();
+        break;
+    case 2:
+        converter = std::make_unique<harvest::SolarBoostCharger>();
+        break;
+    case 3:
+        converter = std::make_unique<harvest::SigmoidEfficiencyConverter>(
+            spec.convEtaFloor, spec.convEtaCeiling,
+            units::Watts(spec.convPHalfW), spec.convSlope,
+            units::Watts(spec.convQuiescentW));
+        break;
+    default:
+        break;
+    }
+    built.frontend = std::make_unique<harvest::HarvesterFrontend>(
+        *built.trace, std::move(converter));
     return built;
 }
 
@@ -514,6 +589,52 @@ TEST(BatchStepper, AdmissibilityGate)
 }
 
 // ---------------------------------------------------------------------------
+// Span compilation: the admission-time frontend table.
+// ---------------------------------------------------------------------------
+
+TEST(FrontendSpanCompilation, ReplaysPerStepPowerBitExactly)
+{
+    // The lane engine replaces the classic loop's per-step
+    // frontend.power(t) call with a precompiled span sweep.  Walk the
+    // spans step by step against the virtual-call path for two dozen
+    // generated frontends (all converter kinds, all trace shapes,
+    // ragged dts) and require bit equality at every step -- including
+    // past the trace end, where the open-ended zero tail must replay
+    // the drain window for free.
+    constexpr uint64_t kSeed = 0x5a5a5ull;
+    for (int i = 0; i < 24; ++i) {
+        const CellSpec spec = drawCell(kSeed, i);
+        const BuiltCell built = buildCell(spec);
+        const double dt = built.config.dt;
+        std::vector<trace::StepSpan> spans;
+        built.frontend->compileStepSpans(dt, spans);
+        ASSERT_FALSE(spans.empty()) << spec.repro();
+        ASSERT_EQ(spans.back().steps, trace::StepSpan::kOpenEnded)
+            << spec.repro();
+        EXPECT_EQ(bits(spans.back().watts), bits(0.0)) << spec.repro();
+
+        const uint64_t horizon = static_cast<uint64_t>(
+            (built.frontend->traceDuration().raw() + 2.0) / dt);
+        size_t idx = 0;
+        uint64_t left = spans[0].steps;
+        double t = 0.0;
+        for (uint64_t step = 0; step < horizon; ++step) {
+            t += dt;
+            if (left == 0) {
+                ++idx;
+                ASSERT_LT(idx, spans.size()) << spec.repro();
+                left = spans[idx].steps;
+            }
+            --left;
+            ASSERT_EQ(
+                bits(spans[idx].watts),
+                bits(built.frontend->power(units::Seconds(t)).raw()))
+                << spec.repro() << " step=" << step << " t=" << t;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Randomized differential sweep with shrinking.
 // ---------------------------------------------------------------------------
 
@@ -528,15 +649,26 @@ TEST(BatchStepperDifferential, RandomizedSweepIsBitExactOnEveryKernel)
     constexpr int kCells = 208;  // 26 full batches of 8
 
     std::vector<CellSpec> pool;
-    size_t faulted = 0;
+    size_t faulted = 0, converted = 0, flappy = 0, darkTailed = 0;
     for (int i = 0; i < kCells; ++i) {
         pool.push_back(drawCell(kSweepSeed, i));
         if (pool.back().faultSeverity > 0.0)
             ++faulted;
+        if (pool.back().converterKind > 0)
+            ++converted;
+        if (pool.back().traceShape == 1)
+            ++flappy;
+        if (pool.back().traceShape == 2)
+            ++darkTailed;
     }
-    // Non-vacuous coverage of both regimes.
+    // Non-vacuous coverage of every regime the sweep claims to hit:
+    // faulted and fault-free groups, per-lane converter frontends, and
+    // the gate-flap / zero-tail trace shapes.
     ASSERT_GE(faulted, 48u);
     ASSERT_GE(pool.size() - faulted, 48u);
+    ASSERT_GE(converted, 80u);
+    ASSERT_GE(flappy, 32u);
+    ASSERT_GE(darkTailed, 32u);
 
     std::vector<ExperimentResult> classic(pool.size());
     for (size_t i = 0; i < pool.size(); ++i)
@@ -718,47 +850,132 @@ TEST(BatchStepperKernel, FrozenLaneIsABitwiseNoOp)
     }
 }
 
-TEST(BatchStepperKernel, ScalarAndAvx2LanesAgreeBitwise)
+TEST(BatchStepperKernel, ScalarAndVectorLanesAgreeBitwise)
 {
     // The kernel-level differential: identical lane states stepped by
-    // both kernels stay bitwise equal, lane by lane, step by step.
-    if (!sim::simd::avx2Available())
-        GTEST_SKIP() << "host cannot run the AVX2 kernel";
+    // the scalar kernel and every available vector kernel stay bitwise
+    // equal, lane by lane, step by step.
+    const auto kernels = availableKernels();
+    if (kernels.size() < 2)
+        GTEST_SKIP() << "host cannot run any vector kernel";
     Rng rng(99);
-    sim::BatchStepper scalar(sim::simd::Kernel::Scalar, 1e-3);
-    sim::BatchStepper avx2(sim::simd::Kernel::Avx2, 1e-3);
+    std::vector<std::unique_ptr<sim::BatchStepper>> steppers;
+    for (const auto kernel : kernels)
+        steppers.push_back(
+            std::make_unique<sim::BatchStepper>(kernel, 1e-3));
     for (int lane = 0; lane < sim::BatchStepper::kMaxLanes; ++lane) {
         sim::BatchLaneInit init;
         init.voltage = rng.uniform(0.0, 4.0);
         init.capacitance = rng.uniform(0.5e-3, 50e-3);
         init.clamp = rng.uniform(3.3, 4.0);
         init.leakDecay = rng.uniform() < 0.3 ? 1.0 : 0.9999995;
-        scalar.addLane(init);
-        avx2.addLane(init);
+        for (auto &stepper : steppers)
+            stepper->addLane(init);
     }
     for (int step = 0; step < 5000; ++step) {
         for (int lane = 0; lane < sim::BatchStepper::kMaxLanes; ++lane) {
             const bool dark = rng.uniform() < 0.3;
             const double watts = dark ? 0.0 : rng.uniform(0.0, 20e-3);
             const double amps = rng.uniform() < 0.5 ? 0.0 : 1.5e-3;
-            scalar.setHarvestPower(lane, watts);
-            avx2.setHarvestPower(lane, watts);
-            scalar.setLoadCurrent(lane, amps);
-            avx2.setLoadCurrent(lane, amps);
+            for (auto &stepper : steppers) {
+                stepper->setHarvestPower(lane, watts);
+                stepper->setLoadCurrent(lane, amps);
+            }
         }
-        scalar.step();
-        avx2.step();
+        for (auto &stepper : steppers)
+            stepper->step();
+        const auto &scalar = *steppers.front();
+        for (size_t k = 1; k < steppers.size(); ++k) {
+            const auto &vec = *steppers[k];
+            SCOPED_TRACE(sim::simd::kernelName(vec.kernel()));
+            for (int lane = 0; lane < sim::BatchStepper::kMaxLanes;
+                 ++lane) {
+                ASSERT_EQ(bits(scalar.voltage(lane)),
+                          bits(vec.voltage(lane)))
+                    << "step " << step << " lane " << lane;
+                ASSERT_EQ(bits(scalar.leaked(lane)),
+                          bits(vec.leaked(lane)));
+                ASSERT_EQ(bits(scalar.harvested(lane)),
+                          bits(vec.harvested(lane)));
+                ASSERT_EQ(bits(scalar.delivered(lane)),
+                          bits(vec.delivered(lane)));
+                ASSERT_EQ(bits(scalar.clipped(lane)),
+                          bits(vec.clipped(lane)));
+            }
+        }
+    }
+}
+
+TEST(BatchStepperKernel, NarrowStepsMatchFullWidth)
+{
+    // The ragged-tail narrow steps: with the upper lanes frozen,
+    // stepLower() (4-wide) must track step() (8-wide) bitwise, and with
+    // all but one lane frozen, stepLane() must as well -- on every
+    // kernel, through randomized power/load schedules including
+    // all-dark (quiet-peephole) stretches.
+    for (const auto kernel : availableKernels()) {
+        SCOPED_TRACE(sim::simd::kernelName(kernel));
+        Rng rng(4242);
+        sim::BatchStepper full(kernel, 1e-3);
+        sim::BatchStepper narrow(kernel, 1e-3);
         for (int lane = 0; lane < sim::BatchStepper::kMaxLanes; ++lane) {
-            ASSERT_EQ(bits(scalar.voltage(lane)), bits(avx2.voltage(lane)))
-                << "step " << step << " lane " << lane;
-            ASSERT_EQ(bits(scalar.leaked(lane)), bits(avx2.leaked(lane)));
-            ASSERT_EQ(bits(scalar.harvested(lane)),
-                      bits(avx2.harvested(lane)));
-            ASSERT_EQ(bits(scalar.delivered(lane)),
-                      bits(avx2.delivered(lane)));
-            ASSERT_EQ(bits(scalar.clipped(lane)),
-                      bits(avx2.clipped(lane)));
+            sim::BatchLaneInit init;
+            init.voltage = rng.uniform(0.0, 4.0);
+            init.capacitance = rng.uniform(0.5e-3, 50e-3);
+            init.clamp = rng.uniform(3.3, 4.0);
+            init.leakDecay = rng.uniform() < 0.3 ? 1.0 : 0.9999995;
+            full.addLane(init);
+            narrow.addLane(init);
         }
+        auto compare_all = [&](int step, const char *mode) {
+            for (int lane = 0; lane < sim::BatchStepper::kMaxLanes;
+                 ++lane) {
+                ASSERT_EQ(bits(full.voltage(lane)),
+                          bits(narrow.voltage(lane)))
+                    << mode << " step " << step << " lane " << lane;
+                ASSERT_EQ(bits(full.leaked(lane)),
+                          bits(narrow.leaked(lane)));
+                ASSERT_EQ(bits(full.harvested(lane)),
+                          bits(narrow.harvested(lane)));
+                ASSERT_EQ(bits(full.delivered(lane)),
+                          bits(narrow.delivered(lane)));
+                ASSERT_EQ(bits(full.clipped(lane)),
+                          bits(narrow.clipped(lane)));
+            }
+        };
+        auto drive = [&](int live_lanes, int steps, const char *mode,
+                         auto &&advance) {
+            for (int step = 0; step < steps; ++step) {
+                const bool all_dark = rng.uniform() < 0.2;
+                for (int lane = 0; lane < live_lanes; ++lane) {
+                    const double watts = all_dark || rng.uniform() < 0.3
+                        ? 0.0 : rng.uniform(0.0, 20e-3);
+                    const double amps = all_dark || rng.uniform() < 0.5
+                        ? 0.0 : 1.5e-3;
+                    full.setHarvestPower(lane, watts);
+                    full.setLoadCurrent(lane, amps);
+                    narrow.setHarvestPower(lane, watts);
+                    narrow.setLoadCurrent(lane, amps);
+                }
+                full.step();
+                advance();
+                compare_all(step, mode);
+            }
+        };
+        // Phase 1: every lane live, both full width (baseline sanity).
+        drive(8, 200, "full", [&] { narrow.step(); });
+        // Phase 2: upper half frozen; narrow goes 4-wide.
+        for (int lane = 4; lane < sim::BatchStepper::kMaxLanes; ++lane) {
+            full.freezeLane(lane);
+            narrow.freezeLane(lane);
+        }
+        drive(4, 1000, "lower", [&] { narrow.stepLower(); });
+        // Phase 3: single survivor; narrow steps one lane.
+        for (int lane = 1; lane < 4; ++lane) {
+            full.freezeLane(lane);
+            narrow.freezeLane(lane);
+        }
+        drive(1, 1000, "lane", [&] { narrow.stepLane(0); });
     }
 }
 

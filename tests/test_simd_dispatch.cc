@@ -23,7 +23,7 @@ namespace sim {
 namespace simd {
 namespace {
 
-TEST(SimdDispatch, ParsePolicyAcceptsTheFourForms)
+TEST(SimdDispatch, ParsePolicyAcceptsTheFiveForms)
 {
     bool malformed = true;
     EXPECT_EQ(parsePolicy("off", &malformed), Policy::Off);
@@ -34,14 +34,16 @@ TEST(SimdDispatch, ParsePolicyAcceptsTheFourForms)
     EXPECT_FALSE(malformed);
     EXPECT_EQ(parsePolicy("avx2", &malformed), Policy::Avx2);
     EXPECT_FALSE(malformed);
+    EXPECT_EQ(parsePolicy("avx512", &malformed), Policy::Avx512);
+    EXPECT_FALSE(malformed);
 }
 
 TEST(SimdDispatch, ParsePolicyFlagsEverythingElseMalformed)
 {
     // Per the react::env contract, a malformed value warns (the caller
     // owns the warning) and behaves as unset -- never a silent guess.
-    for (const char *bad : {"", "AVX2", "Auto", "sse", "avx512", "on",
-                            "1", "scalar ", " avx2"}) {
+    for (const char *bad : {"", "AVX2", "Auto", "sse", "AVX512", "on",
+                            "1", "scalar ", " avx2", "avx512f"}) {
         bool malformed = false;
         EXPECT_EQ(parsePolicy(bad, &malformed), Policy::Off)
             << "'" << bad << "'";
@@ -52,14 +54,22 @@ TEST(SimdDispatch, ParsePolicyFlagsEverythingElseMalformed)
 TEST(SimdDispatch, ResolutionMatrix)
 {
     // Off never engages the lane engine; scalar is pinned regardless of
-    // capability; auto takes the best available kernel.
+    // capability; auto takes the widest available kernel (legal only
+    // because every kernel is proven bit-identical).
     for (const bool avx2 : {false, true}) {
-        EXPECT_EQ(resolveKernel(Policy::Off, avx2), Kernel::Disabled);
-        EXPECT_EQ(resolveKernel(Policy::Scalar, avx2), Kernel::Scalar);
+        for (const bool avx512 : {false, true}) {
+            EXPECT_EQ(resolveKernel(Policy::Off, avx2, avx512),
+                      Kernel::Disabled);
+            EXPECT_EQ(resolveKernel(Policy::Scalar, avx2, avx512),
+                      Kernel::Scalar);
+        }
     }
-    EXPECT_EQ(resolveKernel(Policy::Auto, false), Kernel::Scalar);
-    EXPECT_EQ(resolveKernel(Policy::Auto, true), Kernel::Avx2);
-    EXPECT_EQ(resolveKernel(Policy::Avx2, true), Kernel::Avx2);
+    EXPECT_EQ(resolveKernel(Policy::Auto, false, false), Kernel::Scalar);
+    EXPECT_EQ(resolveKernel(Policy::Auto, true, false), Kernel::Avx2);
+    EXPECT_EQ(resolveKernel(Policy::Auto, true, true), Kernel::Avx512);
+    EXPECT_EQ(resolveKernel(Policy::Auto, false, true), Kernel::Avx512);
+    EXPECT_EQ(resolveKernel(Policy::Avx2, true, false), Kernel::Avx2);
+    EXPECT_EQ(resolveKernel(Policy::Avx512, false, true), Kernel::Avx512);
 }
 
 TEST(SimdDispatchDeathTest, ExplicitAvx2RequestFailsLoudlyWhenUnavailable)
@@ -68,9 +78,18 @@ TEST(SimdDispatchDeathTest, ExplicitAvx2RequestFailsLoudlyWhenUnavailable)
     // kernel must panic, naming the cause and the fallback knob --
     // silently handing back the scalar engine would report the wrong
     // machine's numbers.
-    EXPECT_DEATH(resolveKernel(Policy::Avx2, false),
+    EXPECT_DEATH(resolveKernel(Policy::Avx2, false, false),
                  "REACT_SIMD=avx2 requested but the AVX2 lane kernel "
                  "cannot run here");
+}
+
+TEST(SimdDispatchDeathTest, ExplicitAvx512RequestFailsLoudlyWhenUnavailable)
+{
+    // Same contract one step wider; note avx2 capability is NOT an
+    // acceptable substitute -- the request named avx512.
+    EXPECT_DEATH(resolveKernel(Policy::Avx512, true, false),
+                 "REACT_SIMD=avx512 requested but the AVX-512 lane "
+                 "kernel cannot run here");
 }
 
 TEST(SimdDispatch, ScalarPinsTheScalarKernelEndToEnd)
@@ -78,7 +97,8 @@ TEST(SimdDispatch, ScalarPinsTheScalarKernelEndToEnd)
     // On an AVX2-capable host, Policy::Scalar must still hand the batch
     // stepper the scalar kernel -- the pin is what makes scalar-vs-avx2
     // A/B runs trustworthy.
-    const Kernel kernel = resolveKernel(Policy::Scalar, avx2Available());
+    const Kernel kernel =
+        resolveKernel(Policy::Scalar, avx2Available(), avx512Available());
     ASSERT_EQ(kernel, Kernel::Scalar);
     BatchStepper stepper(kernel, 1e-3);
     EXPECT_EQ(stepper.kernel(), Kernel::Scalar);
@@ -108,18 +128,22 @@ TEST(SimdDispatch, MalformedEnvValueWarnsAndDefaultsOff)
     EXPECT_EQ(policy, Policy::Off);
     EXPECT_NE(log.find("REACT_SIMD"), std::string::npos) << log;
     EXPECT_NE(log.find("defaulting to off"), std::string::npos) << log;
-    EXPECT_EQ(resolveKernel(policy, avx2Available()), Kernel::Disabled);
+    EXPECT_EQ(resolveKernel(policy, avx2Available(), avx512Available()),
+              Kernel::Disabled);
 }
 
 TEST(SimdDispatch, CapabilityProbesAgree)
 {
-    // avx2Available is the conjunction of the cpu probe and the build
-    // probe; kernelName covers every enumerator (BENCH_*.json relies on
-    // the strings).
+    // Each *Available probe is the conjunction of its cpu probe and
+    // build probe; kernelName covers every enumerator (BENCH_*.json
+    // relies on the strings).
     EXPECT_EQ(avx2Available(), cpuSupportsAvx2() && avx2KernelCompiled());
+    EXPECT_EQ(avx512Available(),
+              cpuSupportsAvx512f() && avx512KernelCompiled());
     EXPECT_STREQ(kernelName(Kernel::Disabled), "disabled");
     EXPECT_STREQ(kernelName(Kernel::Scalar), "scalar");
     EXPECT_STREQ(kernelName(Kernel::Avx2), "avx2");
+    EXPECT_STREQ(kernelName(Kernel::Avx512), "avx512");
 }
 
 } // namespace

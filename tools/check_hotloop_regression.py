@@ -69,6 +69,76 @@ def check_batch_speedup(cur, cur_m, minimum, failures):
             f"below the {minimum:.1f}x acceptance gate")
 
 
+def check_lane_engine(base, cur, target, tolerance, failures):
+    """Gate the end-to-end lane-engine speedup (Table-2 DE static column,
+    classic per-cell vs one lane-major batch pass).
+
+    The acceptance target is ``target`` (2.5x).  Wall-clock ratios are
+    host-dependent -- lane utilization caps the achievable speedup when a
+    few long traces pin the batch makespan -- so the gate ratchets: a run
+    passes at the absolute target, or by staying within ``tolerance`` of
+    the checked-in baseline's achieved speedup.  Either way a divergent
+    (non-bit-identical) run always fails, and hosts without a vector
+    kernel skip with an explicit note, never a silent pass.
+    """
+    sec = cur.get("lane_engine")
+    if not sec or sec.get("cells", 0) == 0:
+        print(f"{'lane_engine speedup gate':28s} skipped (--quick run)")
+        return
+    if not cur.get("batch", {}).get("avx2_available", False):
+        print(f"{'lane_engine speedup gate':28s} skipped (host lacks AVX2)")
+        return
+    if not sec.get("bit_identical", False):
+        failures.append(
+            f"lane_engine: batch run diverged from classic stepping on "
+            f"{sec.get('divergent_cells', '?')} cell(s)")
+        return
+    speedup = sec.get("speedup", 0.0)
+    base_sec = base.get("lane_engine") or {}
+    base_speedup = base_sec.get("speedup", 0.0)
+    floor = base_speedup * (1.0 - tolerance)
+    if speedup >= target:
+        tag = "ok"
+    elif base_speedup > 0.0 and speedup >= floor:
+        tag = (f"below {target:.1f}x target, within {tolerance * 100:.0f}% "
+               f"of baseline {base_speedup:.2f}x")
+    else:
+        tag = "BELOW GATE"
+        failures.append(
+            f"lane_engine: {speedup:.2f}x vs classic, below the "
+            f"{target:.1f}x target and the baseline ratchet "
+            f"({base_speedup:.2f}x - {tolerance * 100:.0f}%)")
+    print(f"{'lane_engine speedup':28s} {speedup:12.2f}x vs classic "
+          f"on {sec.get('kernel', '?')} (target {target:.1f}x)  {tag}")
+
+    # Per-phase Amdahl split: report every fraction, and fail when the
+    # frontend's share of the loop grows by more than `tolerance`
+    # absolute over the baseline -- per-step trace/converter work
+    # creeping back into the hot loop is exactly the regression the
+    # lane-major frontend exists to prevent.
+    phases = sec.get("phases") or {}
+    base_phases = base_sec.get("phases") or {}
+    for name in ("frontend", "physics", "workload", "bookkeeping"):
+        frac = phases.get(name + "_frac")
+        if frac is None:
+            failures.append(f"lane_engine.phases.{name}_frac: missing "
+                            f"from current run")
+            continue
+        base_frac = base_phases.get(name + "_frac")
+        tag = "ok"
+        if name == "frontend" and base_frac is not None \
+                and frac > base_frac + tolerance:
+            tag = "REGRESSION"
+            failures.append(
+                f"lane_engine.phases.frontend_frac: {frac:.3f} vs "
+                f"baseline {base_frac:.3f} (+{(frac - base_frac) * 100:.1f} "
+                f"points of the loop moved into the frontend)")
+        base_str = f"{base_frac:12.3f}" if base_frac is not None \
+            else "           -"
+        print(f"{'lane_engine.' + name + '_frac':28s} {frac:12.3f} vs "
+              f"{base_str}  {tag}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
@@ -81,6 +151,10 @@ def main():
     ap.add_argument("--min-batch-speedup", type=float, default=2.0,
                     help="min AVX2 batch lane-steps/sec over the "
                          "static_10mF micro row (default 2.0)")
+    ap.add_argument("--lane-engine-target", type=float, default=2.5,
+                    help="end-to-end lane-engine speedup target; runs "
+                         "below it pass only within --tolerance of the "
+                         "baseline's achieved speedup (default 2.5)")
     args = ap.parse_args()
 
     with open(args.baseline) as f:
@@ -95,13 +169,18 @@ def main():
     for name, base_v in sorted(base_m.items()):
         cur_v = cur_m.get(name)
         if cur_v is None:
-            # A baseline recorded on an AVX2 host must not fail the gate
-            # on one without: the avx2 batch row is the only metric that
-            # is legitimately host-dependent.
+            # A baseline recorded on a vector-capable host must not fail
+            # the gate on one without: the avx2/avx512 batch rows are the
+            # only metrics that are legitimately host-dependent.
             if (name == "batch.avx2"
                     and not cur.get("batch", {}).get("avx2_available",
                                                      False)):
                 print(f"{name:28s} skipped (host lacks AVX2)")
+                continue
+            if (name == "batch.avx512"
+                    and not cur.get("batch", {}).get("avx512_available",
+                                                     False)):
+                print(f"{name:28s} skipped (host lacks AVX-512F)")
                 continue
             failures.append(f"{name}: missing from current run")
             continue
@@ -118,6 +197,8 @@ def main():
               f"x{ratio:.3f}  {tag}")
 
     check_batch_speedup(cur, cur_m, args.min_batch_speedup, failures)
+    check_lane_engine(base, cur, args.lane_engine_target, args.tolerance,
+                      failures)
 
     cache = cur.get("cache", {})
     leak_rate = cache.get("leak_hit_rate", 0.0)
